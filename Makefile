@@ -1,0 +1,24 @@
+# Convenience targets for the repro package.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+figures:
+	$(PYTHON) -m repro.experiments.export figures-out/
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; echo; done
+
+clean:
+	rm -rf build dist *.egg-info figures-out .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,21 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures at full
+size, prints the series it produces (run with ``-s`` to see them), and
+asserts the figure's qualitative shape.  Macro benchmarks run exactly once
+(``benchmark.pedantic(rounds=1)``) -- the interesting output is the data,
+the timing is a bonus.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def show(title: str, body: str) -> None:
+    """Print a figure's regenerated series under a banner."""
+    print(f"\n=== {title} ===")
+    print(body)

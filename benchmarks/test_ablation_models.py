@@ -1,0 +1,121 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Model order on Example 1 -- does tracking acceleration/jerk beat the
+   paper's constant-velocity choice on piecewise-linear motion?
+2. Sinusoidal-parameter robustness on Example 2 -- the paper's claim that
+   mis-specified parameters still outperform caching.
+3. The mirror-verification digest -- what the integrity check costs in
+   bytes.
+"""
+
+import math
+
+from benchmarks.conftest import run_once, show
+from repro.baselines.caching import CachedValueScheme
+from repro.datasets.moving_object import SAMPLING_DT, moving_object_dataset
+from repro.datasets.power_load import power_load_dataset
+from repro.dkf.config import DKFConfig
+from repro.dkf.session import DKFSession
+from repro.experiments.example2 import OMEGA, THETA
+from repro.filters.models import (
+    acceleration_model,
+    constant_model,
+    jerk_model,
+    linear_model,
+    sinusoidal_model,
+)
+from repro.metrics.evaluation import evaluate_scheme
+
+
+def _ablate_model_order():
+    stream = moving_object_dataset()
+    delta = 3.0
+    results = {}
+    for name, model in [
+        ("constant", constant_model(dims=2)),
+        ("linear", linear_model(dims=2, dt=SAMPLING_DT)),
+        ("acceleration", acceleration_model(dims=2, dt=SAMPLING_DT)),
+        ("jerk", jerk_model(dims=2, dt=SAMPLING_DT)),
+    ]:
+        session = DKFSession(DKFConfig(model=model, delta=delta))
+        results[name] = evaluate_scheme(session, stream).update_percentage
+    return results
+
+
+def test_ablation_model_order(benchmark):
+    results = run_once(benchmark, _ablate_model_order)
+    show(
+        "Ablation: kinematic model order (Example 1, delta = 3)",
+        "\n".join(f"  {k:12s} {v:6.2f}% updates" for k, v in results.items()),
+    )
+    # The linear model captures piecewise-linear motion; higher orders
+    # cannot do much better and the constant model is far worse.
+    assert results["linear"] < 0.5 * results["constant"]
+    assert results["acceleration"] < 0.8 * results["constant"]
+
+
+def _ablate_sinusoidal_params():
+    stream = power_load_dataset()
+    delta = 50.0
+    caching = evaluate_scheme(
+        CachedValueScheme.from_precision(delta, dims=1), stream
+    ).update_percentage
+    results = {"caching": caching}
+    for label, omega in [
+        ("exact", OMEGA),
+        ("+10%", OMEGA * 1.1),
+        ("-10%", OMEGA * 0.9),
+        ("+50%", OMEGA * 1.5),
+        ("half-period", OMEGA * 2.0),
+    ]:
+        session = DKFSession(
+            DKFConfig(
+                model=sinusoidal_model(omega=omega, theta=THETA), delta=delta
+            )
+        )
+        results[label] = evaluate_scheme(session, stream).update_percentage
+    return results
+
+
+def test_ablation_sinusoidal_robustness(benchmark):
+    results = run_once(benchmark, _ablate_sinusoidal_params)
+    show(
+        "Ablation: sinusoidal parameter robustness (Example 2, delta = 50)",
+        "\n".join(f"  {k:12s} {v:6.2f}% updates" for k, v in results.items()),
+    )
+    caching = results.pop("caching")
+    # Paper: "in almost all cases the sinusoidal KF model outperformed the
+    # caching model" even with perturbed parameters.
+    beating = sum(1 for v in results.values() if v < caching)
+    assert beating >= len(results) - 1
+
+
+def _digest_cost():
+    stream = moving_object_dataset(n=2000)
+    delta = 3.0
+    out = {}
+    for label, check in [("plain", False), ("verified", True)]:
+        session = DKFSession(
+            DKFConfig(
+                model=linear_model(dims=2, dt=SAMPLING_DT),
+                delta=delta,
+                check_mirror=check,
+            )
+        )
+        session.run(stream)
+        out[label] = session.channel.stats.bytes_delivered
+    return out
+
+
+def test_ablation_mirror_digest_cost(benchmark):
+    results = run_once(benchmark, _digest_cost)
+    overhead = results["verified"] / results["plain"] - 1.0
+    show(
+        "Ablation: mirror-verification digest cost (Example 1)",
+        f"  plain    {results['plain']} bytes\n"
+        f"  verified {results['verified']} bytes "
+        f"(+{100 * overhead:.1f}%)",
+    )
+    # Integrity costs bytes but must stay a modest constant factor.
+    assert results["verified"] > results["plain"]
+    assert overhead < 0.5

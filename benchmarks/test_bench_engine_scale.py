@@ -1,0 +1,60 @@
+"""Scalability bench: the server's per-source filter cost.
+
+The paper assumes "having multiple Kalman Filters at the main server does
+not affect the performance significantly" (Section 3.1).  This bench runs
+the engine with growing source counts and reports throughput, pinning
+that the cost grows linearly (not worse) with the number of sources.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once, show
+from repro.dsms.engine import StreamEngine
+from repro.dsms.query import ContinuousQuery
+from repro.filters.models import linear_model
+from repro.streams.base import stream_from_values
+
+TICKS = 300
+
+
+def _run_engine(num_sources: int) -> float:
+    rng = np.random.default_rng(42)
+    engine = StreamEngine()
+    for i in range(num_sources):
+        values = np.cumsum(rng.normal(0, 1.0, size=TICKS))
+        engine.add_source(
+            f"s{i}",
+            linear_model(dims=1, dt=1.0),
+            stream_from_values(values, name=f"s{i}"),
+        )
+        engine.submit_query(
+            ContinuousQuery(f"s{i}", delta=2.0, query_id=f"q{i}")
+        )
+    start = time.perf_counter()
+    engine.run()
+    return time.perf_counter() - start
+
+
+def _scaling_sweep():
+    return {n: _run_engine(n) for n in (1, 4, 16, 64)}
+
+
+def test_engine_scales_linearly_with_sources(benchmark):
+    timings = run_once(benchmark, _scaling_sweep)
+    rows = []
+    for n, seconds in timings.items():
+        per_reading = seconds / (n * TICKS) * 1e6
+        rows.append(
+            f"  {n:3d} sources: {seconds * 1e3:8.1f} ms total, "
+            f"{per_reading:6.1f} us/reading"
+        )
+    show("Scalability: engine wall-clock vs source count", "\n".join(rows))
+
+    # Per-reading cost must stay roughly flat as sources multiply --
+    # linear total scaling (allow 4x headroom for cache effects and the
+    # tiny-N fixed costs).
+    per_reading_1 = timings[1] / TICKS
+    per_reading_64 = timings[64] / (64 * TICKS)
+    assert per_reading_64 < 4.0 * per_reading_1

@@ -1,0 +1,35 @@
+"""Figure 5: average error produced by different KF models (Example 1).
+
+Paper shape: constant-DKF and caching have similar error curves; the
+linear DKF is slightly worse at low precision widths; everything is
+bounded by the summed two-coordinate tolerance 2*delta.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import example1
+from repro.metrics.compare import format_table
+
+
+def test_fig05_average_error_sweep(benchmark):
+    table = run_once(benchmark, example1.figure5_error)
+    show("Figure 5: average error vs precision width (Example 1)", format_table(table))
+
+    # Hard bound: per-component error <= delta, so |dx|+|dy| <= 2 delta.
+    for delta, cells in zip(table.values, table.cells):
+        for value in cells:
+            assert value <= 2 * delta + 1e-9
+
+    # Errors grow with the allowed tolerance for every scheme.
+    for scheme in table.columns:
+        series = table.column(scheme)
+        assert series[-1] > series[0]
+
+    # Caching and constant-KF error curves travel together.
+    for delta in table.values:
+        row = table.row(delta)
+        assert abs(row["dkf-constant"] - row["caching"]) <= 0.5 * delta
+
+    # The linear model trades accuracy inside the bound for silence: its
+    # average error exceeds caching's at tight precisions.
+    tight = table.row(table.values[0])
+    assert tight["dkf-linear"] >= tight["caching"]

@@ -1,0 +1,35 @@
+"""Figure 10: KF smoothing against the moving-average approach (Example 3).
+
+Paper claim: "using sufficiently low value of F (i.e., F = 1e-9) the
+smoothed data values match those produced using a moving average
+approach" -- while remaining truly online (no window buffer).
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import example3
+
+
+def test_fig10_kf_smoothing_matches_moving_average(benchmark):
+    result = run_once(benchmark, example3.figure10_smoothing)
+
+    rel = result["rms_distance_relative"]
+    assert rel < 0.1  # matches the MA within 10% of the data's std
+
+    # Larger smoothing factors progressively abandon the MA behaviour.
+    distances = {}
+    for f in (1e-9, 1e-5, 1e-1):
+        distances[f] = example3.figure10_smoothing(f=f)["rms_distance_relative"]
+    assert distances[1e-1] > 3 * distances[1e-9]
+
+    show(
+        "Figure 10: KF smoothing vs moving average",
+        "\n".join(
+            [
+                f"MA window                  : {example3.MA_WINDOW}",
+                f"rel. RMS distance (F=1e-9) : {distances[1e-9]:.4f}",
+                f"rel. RMS distance (F=1e-5) : {distances[1e-5]:.4f}",
+                f"rel. RMS distance (F=1e-1) : {distances[1e-1]:.4f}",
+                "low F reproduces the moving average; high F tracks raw data",
+            ]
+        ),
+    )

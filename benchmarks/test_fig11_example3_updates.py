@@ -1,0 +1,37 @@
+"""Figure 11: performance of DKF on smoothed data with F = 1e-7
+(Example 3).
+
+All schemes operate on the same smoothed value stream (caching replays a
+pre-smoothed trace; the DKF sessions smooth at the source with KF_c).
+Paper shape: once smoothing exposes the slow trend, the linear model
+yields the best communication reduction -- visible at tight precisions,
+where the smoothed drift dominates the update budget.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import example3
+from repro.metrics.compare import format_table
+
+
+def test_fig11_updates_on_smoothed_data(benchmark):
+    table = run_once(benchmark, example3.figure11_updates)
+    show(
+        "Figure 11: % updates vs precision width on smoothed data "
+        "(F = 1e-7, Example 3)",
+        format_table(table),
+    )
+
+    # Tightest precision: the linear model's trend-following wins.
+    tight = table.row(table.values[0])
+    assert tight["dkf-linear"] < tight["caching"]
+    assert tight["dkf-linear"] < tight["dkf-constant"]
+
+    # Updates decrease with delta for every scheme.
+    for scheme in table.columns:
+        series = table.column(scheme)
+        assert all(a >= b - 0.2 for a, b in zip(series, series[1:]))
+
+    # Smoothing makes the whole problem cheap: at delta = 10 every scheme
+    # transmits a tiny fraction of readings.
+    loose = table.row(10.0)
+    assert all(v < 5.0 for v in loose.values())

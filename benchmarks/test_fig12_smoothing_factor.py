@@ -1,0 +1,31 @@
+"""Figure 12: performance of DKF for precision width delta = 10 as the
+smoothing factor F varies (Example 3).
+
+Paper shape: "Lowering F improves the performance as the variation in the
+data value decreases" -- update percentage is monotone increasing in F for
+every scheme.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import example3
+from repro.metrics.compare import format_table
+
+
+def test_fig12_update_percentage_vs_smoothing_factor(benchmark):
+    table = run_once(benchmark, example3.figure12_smoothing_sweep)
+    show(
+        "Figure 12: % updates vs smoothing factor (delta = 10, Example 3)",
+        format_table(table),
+    )
+
+    # Monotone: smaller F -> fewer updates, for every scheme.
+    for scheme in table.columns:
+        series = table.column(scheme)
+        assert series == sorted(series)
+
+    # The dynamic range is large: heavy smoothing suppresses almost all
+    # traffic; raw-tracking smoothing transmits most readings.
+    for scheme in table.columns:
+        series = table.column(scheme)
+        assert series[0] < 5.0
+        assert series[-1] > 50.0

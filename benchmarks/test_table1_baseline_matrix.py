@@ -1,0 +1,49 @@
+"""Table 1 quantitative proxy: every scheme on every dataset.
+
+The paper's Table 1 compares the DKF qualitatively against the
+STREAM/AURORA/COUGAR approaches.  This bench substantiates the central
+quantitative claim behind it -- the prediction-based scheme transmits the
+least on every workload class -- by running the full scheme x dataset
+matrix at each dataset's reference precision.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import table1
+from repro.metrics.compare import format_results
+
+
+def test_table1_scheme_dataset_matrix(benchmark):
+    results = run_once(benchmark, table1.matrix)
+    show("Table 1 proxy: scheme x dataset matrix", format_results(results))
+
+    by_stream = {}
+    for r in results:
+        by_stream.setdefault(r.stream, {})[r.scheme] = r
+
+    # On every dataset, the best DKF variant transmits no more than the
+    # STREAM-style caching baseline.
+    for stream, rows in by_stream.items():
+        best_dkf = min(
+            v.update_fraction for k, v in rows.items() if k.startswith("dkf")
+        )
+        assert best_dkf <= rows["caching"].update_fraction + 0.02, stream
+
+    # Trend-exploiting models win decisively on the trending datasets.
+    moving = by_stream["moving-object"]
+    assert (
+        moving["dkf-linear"].update_fraction
+        < 0.5 * moving["caching"].update_fraction
+    )
+    load = by_stream["power-load"]
+    assert (
+        load["dkf-sinusoidal"].update_fraction
+        < load["caching"].update_fraction
+    )
+
+    # Graceful degradation on the noisy dataset: smoothing turns a
+    # hopeless prediction problem into a near-silent stream.
+    http = by_stream["http-traffic"]
+    assert (
+        http["dkf-linear+smoothing"].update_fraction
+        < 0.2 * http["caching"].update_fraction
+    )

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Network monitoring: smoothing noisy streams (paper Example 3).
+
+HTTP traffic counts are too noisy for raw prediction to suppress anything.
+This example shows:
+
+* the effect of the smoothing factor F on the value stream the query sees;
+* the update-traffic vs fidelity trade-off F controls (the paper's
+  "fine-grain control over the sensitivity of the result");
+* the innovation monitor flagging traffic spikes as outliers while the
+  smoothed query answer glides over them.
+
+Run with::
+
+    python examples/network_monitoring.py
+"""
+
+import numpy as np
+
+from repro import DKFConfig, DKFSession, evaluate_scheme
+from repro.datasets import http_traffic_dataset
+from repro.filters import InnovationMonitor, KalmanFilter, constant_model, linear_model
+from repro.filters.smoothing import smooth_series
+
+
+def smoothing_tradeoff(stream) -> None:
+    """Sweep F: updates transmitted vs adherence to the raw data."""
+    raw = stream.component(0)
+    print("F sweep at delta = 10 (linear model):")
+    print(f"  {'F':>8s}  {'updates%':>8s}  {'raw RMS err':>11s}")
+    for f in (1e-9, 1e-7, 1e-5, 1e-3, 1e-1):
+        session = DKFSession(
+            DKFConfig(model=linear_model(dims=1, dt=1.0), delta=10.0, smoothing_f=f)
+        )
+        result = evaluate_scheme(session, stream)
+        smoothed = smooth_series(raw, f=f)
+        rms = float(np.sqrt(np.mean((smoothed - raw) ** 2)))
+        print(f"  {f:8.0e}  {result.update_percentage:8.2f}  {rms:11.1f}")
+    print(
+        "  -> small F: almost no updates, heavily averaged answers;\n"
+        "     large F: faithful answers, near-continuous updates."
+    )
+
+
+def spike_detection(stream) -> None:
+    """Innovation monitoring: spikes are outliers, not trend changes."""
+    values = stream.component(0)
+    model = constant_model(dims=1, q=1.0, r=float(np.var(values[:50])))
+    filter_ = model.build_filter(values[:1])
+    monitor = InnovationMonitor(window=50, outlier_nis=10.8)  # chi2_1 99.9%
+    outliers = []
+    for k, value in enumerate(values[1:], start=1):
+        filter_.predict()
+        innovation = np.array([value]) - filter_.predict_measurement()
+        s = filter_.innovation_covariance()
+        if monitor.record(innovation, s):
+            outliers.append(k)
+        filter_.update(np.array([value]))
+    top = np.argsort(values)[-5:]
+    print(
+        f"\nInnovation monitor: {len(outliers)} outliers in "
+        f"{len(values) - 1} samples "
+        f"({100 * len(outliers) / (len(values) - 1):.1f}%)."
+    )
+    flagged_top = sum(1 for k in top if k in set(outliers))
+    print(
+        f"  {flagged_top}/5 of the largest spikes were flagged; the "
+        "smoothed query answer is unaffected by them, but the monitor "
+        "lets an operator see them (Section 3.1, advantage 5)."
+    )
+
+
+def main() -> None:
+    stream = http_traffic_dataset()
+    summary = stream.summary()
+    print(
+        f"HTTP traffic stream: {summary['length']} samples, "
+        f"mean {summary['mean']:.0f}, std {summary['std']:.0f} "
+        "(no visible trend -- raw prediction is hopeless)\n"
+    )
+    smoothing_tradeoff(stream)
+    spike_detection(stream)
+
+
+if __name__ == "__main__":
+    main()

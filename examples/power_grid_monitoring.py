@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Power-grid monitoring: model choice on periodic streams (paper Example 2).
+
+A utility's zonal load follows a strong diurnal cycle.  This example shows:
+
+* fitting the sinusoidal model's frequency from the data (FFT), instead of
+  assuming it -- the paper's "stream characteristics can only be deduced
+  after the stream has been analyzed";
+* the update-traffic gap between caching, a generic linear model, and the
+  fitted sinusoidal model;
+* the paper's robustness claim: perturbing the model's parameters degrades
+  performance only mildly;
+* a stream synopsis -- storing a month of readings as a handful of update
+  points and reconstructing within tolerance.
+
+Run with::
+
+    python examples/power_grid_monitoring.py
+"""
+
+import math
+
+from repro import CachedValueScheme, DKFConfig, DKFSession, evaluate_scheme
+from repro.datasets import dominant_period, power_load_dataset
+from repro.dkf import DKFConfig
+from repro.dsms import KalmanSynopsis
+from repro.filters import linear_model, sinusoidal_model
+from repro.metrics import format_results
+
+
+def main() -> None:
+    stream = power_load_dataset()
+    delta = 50.0
+
+    # 1. Identify the dominant cycle from the data itself.
+    period = dominant_period(stream)
+    omega = 2.0 * math.pi / period
+    print(f"Dominant period from FFT: {period:.1f} samples (hourly data, "
+          f"so a {period:.0f}-hour cycle); omega = {omega:.4f}")
+
+    # 2. Compare the three schemes at one precision width.
+    theta = -8.0 * omega  # afternoon peak
+    schemes = [
+        CachedValueScheme.from_precision(delta, dims=1),
+        DKFSession(DKFConfig(model=linear_model(dims=1, dt=1.0), delta=delta)),
+        DKFSession(
+            DKFConfig(model=sinusoidal_model(omega=omega, theta=theta), delta=delta)
+        ),
+    ]
+    results = [evaluate_scheme(s, stream) for s in schemes]
+    print()
+    print(format_results(results))
+
+    # 3. Robustness: the paper's claim is that even with mis-specified
+    #    parameters "in almost all cases the sinusoidal KF model
+    #    outperformed the caching model".
+    caching_pct = results[0].update_percentage
+    print(
+        f"\nRobustness to model mis-specification (update % at delta=50; "
+        f"caching reference: {caching_pct:.2f}%):"
+    )
+    for scale, label in [(1.0, "exact"), (1.1, "+10% omega"), (0.9, "-10% omega"),
+                         (1.5, "+50% omega")]:
+        session = DKFSession(
+            DKFConfig(
+                model=sinusoidal_model(omega=omega * scale, theta=theta),
+                delta=delta,
+            )
+        )
+        result = evaluate_scheme(session, stream)
+        verdict = "beats caching" if result.update_percentage < caching_pct else "worse"
+        print(f"  {label:12s} {result.update_percentage:6.2f}%  ({verdict})")
+
+    # 4. Store the month as a synopsis and reconstruct.
+    synopsis = KalmanSynopsis(
+        DKFConfig(model=sinusoidal_model(omega=omega, theta=theta), delta=delta)
+    )
+    stats = synopsis.ingest(stream)
+    error = synopsis.reconstruction_error(stream)
+    print(
+        f"\nSynopsis: {stats.original_records} hourly readings stored as "
+        f"{stats.stored_updates} update points "
+        f"({stats.compression_ratio:.1f}x compression), max reconstruction "
+        f"error {error:.1f} (tolerance {stats.tolerance:g} at decision "
+        "points)."
+    )
+
+
+if __name__ == "__main__":
+    main()

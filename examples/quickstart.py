@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: suppress a moving-object stream with the Dual Kalman Filter.
+
+Covers the minimal end-to-end flow in ~30 lines of code:
+
+1. generate (or load) a stream;
+2. pick a state-space model and a precision constraint δ;
+3. run the DKF session and compare against the caching baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    CachedValueScheme,
+    DKFConfig,
+    DKFSession,
+    evaluate_scheme,
+    linear_model,
+)
+from repro.datasets import moving_object_dataset
+from repro.metrics import format_results
+
+
+def main() -> None:
+    # A 2-D trajectory: 4000 positions sampled every 100 ms (paper Fig. 3).
+    stream = moving_object_dataset()
+
+    # The user's continuous query tolerates answers within 3 position units.
+    delta = 3.0
+
+    # The DKF pair: a constant-velocity model at the server predicts the
+    # object's path; the mirror at the sensor transmits only when that
+    # prediction drifts out of tolerance.
+    dkf = DKFSession(DKFConfig(model=linear_model(dims=2, dt=0.1), delta=delta))
+
+    # The classic alternative: cache the last value, resend when it escapes
+    # the same tolerance.
+    caching = CachedValueScheme.from_precision(delta, dims=2)
+
+    results = [
+        evaluate_scheme(caching, stream),
+        evaluate_scheme(dkf, stream),
+    ]
+    print(format_results(results))
+
+    saved = results[0].updates - results[1].updates
+    print(
+        f"\nThe DKF suppressed {saved} of {results[0].updates} updates the "
+        f"caching scheme needed ({100 * saved / results[0].updates:.0f}% "
+        "bandwidth saved) while honouring the same precision constraint."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Online model selection inside the protocol (paper future-work item 2).
+
+A stream that cycles regimes -- flat, ramp, sinusoid -- defeats any fixed
+model choice.  The model-bank DKF runs *all* the candidates on both ends
+of the protocol (deterministically, so the mirror property survives),
+scores them on every transmitted measurement, and predicts with the
+posterior-weighted mixture.  Nobody ever re-installs a filter; the bank
+re-decides by itself.
+
+Run with::
+
+    python examples/regime_adaptive.py
+"""
+
+import math
+
+from repro.baselines import CachedValueScheme
+from repro.datasets import regime_switch_dataset
+from repro.dkf import DKFConfig, DKFSession, ModelBankSession
+from repro.filters import constant_model, linear_model, sinusoidal_model
+from repro.metrics import evaluate_scheme
+
+
+def main() -> None:
+    delta = 2.0
+    stream = regime_switch_dataset(n=3000, segment=250)
+    candidates = [
+        constant_model(dims=1),
+        linear_model(dims=1, dt=1.0),
+        sinusoidal_model(omega=2 * math.pi / 50, theta=0.0),
+    ]
+
+    print(
+        "Regime-switching stream (flat -> ramp -> sine, 250 samples each), "
+        f"delta = {delta:g}:\n"
+    )
+    caching = evaluate_scheme(
+        CachedValueScheme.from_precision(delta, dims=1), stream
+    )
+    print(f"  {'caching':18s} {caching.update_percentage:6.2f}% updates")
+    for model in candidates:
+        result = evaluate_scheme(
+            DKFSession(DKFConfig(model=model, delta=delta)), stream
+        )
+        print(f"  fixed {model.name:12s} {result.update_percentage:6.2f}% updates")
+
+    bank = ModelBankSession(candidates, delta=delta, verify_mirror=False)
+    result = evaluate_scheme(bank, stream)
+    print(f"  {'model bank':18s} {result.update_percentage:6.2f}% updates")
+
+    print("\nFinal model posteriors at the server:")
+    for posterior in bank.posteriors():
+        print(f"  {posterior.name:24s} p={posterior.probability:.3f}")
+    print(
+        "\nThe bank lands below every fixed model: it re-weights toward "
+        "whichever candidate explains the current regime, paying only "
+        f"{len(candidates)}x the filter compute."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Multi-sensor fusion and cross-source aggregates.
+
+Two capabilities layered on the DKF substrate:
+
+1. **Information-form fusion** -- two noisy position sensors observe the
+   same vehicle; the information filter fuses them with a commutative
+   addition per sensor, beating either sensor alone (the multi-sensor
+   data-fusion application the paper cites for the Kalman filter).
+2. **Certified aggregates** -- the server answers AVG/MIN/MAX queries
+   *across* sources from its predictions, with an interval bound derived
+   from the per-source precision widths -- zero extra communication.
+
+Run with::
+
+    python examples/sensor_fusion.py
+"""
+
+import numpy as np
+
+from repro import InformationFilter
+from repro.datasets import power_load_dataset
+from repro.dsms import (
+    AggregateQuery,
+    ContinuousQuery,
+    StreamEngine,
+    answer_aggregate,
+)
+from repro.filters import linear_model
+
+
+def fusion_demo() -> None:
+    """Two position sensors, one fused track."""
+    dt = 1.0
+    phi = np.array([[1.0, dt], [0.0, 1.0]])
+    q = np.diag([1e-4, 1e-4])
+    h = np.array([[1.0, 0.0]])
+    r_good = np.eye(1) * 0.25  # precise sensor
+    r_poor = np.eye(1) * 4.0  # cheap sensor
+
+    rng = np.random.default_rng(0)
+    truth_pos, truth_vel = 0.0, 1.5
+
+    fused = InformationFilter(phi, q, x0=np.zeros(2), p0=np.eye(2) * 10)
+    only_good = InformationFilter(phi, q, x0=np.zeros(2), p0=np.eye(2) * 10)
+    only_poor = InformationFilter(phi, q, x0=np.zeros(2), p0=np.eye(2) * 10)
+
+    err = {"fused": 0.0, "good": 0.0, "poor": 0.0}
+    steps = 400
+    for _ in range(steps):
+        truth_pos += truth_vel * dt
+        z_good = np.array([truth_pos + rng.normal(0, 0.5)])
+        z_poor = np.array([truth_pos + rng.normal(0, 2.0)])
+        for filt in (fused, only_good, only_poor):
+            filt.predict()
+        fused.fuse([(h, r_good, z_good), (h, r_poor, z_poor)])
+        only_good.update(h, r_good, z_good)
+        only_poor.update(h, r_poor, z_poor)
+        err["fused"] += abs(fused.x[0] - truth_pos)
+        err["good"] += abs(only_good.x[0] - truth_pos)
+        err["poor"] += abs(only_poor.x[0] - truth_pos)
+
+    print("Sensor fusion (mean |position error| over the run):")
+    for name in ("poor", "good", "fused"):
+        print(f"  {name:6s} {err[name] / steps:.3f}")
+    print(
+        "  fusing both sensors beats the better sensor alone -- evidence "
+        "adds in information form.\n"
+    )
+
+
+def aggregate_demo() -> None:
+    """Grid-wide load statistics from per-zone DKF predictions."""
+    engine = StreamEngine()
+    zones = ["north", "south", "east", "west"]
+    for i, zone in enumerate(zones):
+        engine.add_source(
+            f"zone-{zone}",
+            linear_model(dims=1, dt=1.0),
+            power_load_dataset(n=1000, seed=100 + i),
+        )
+        engine.submit_query(
+            ContinuousQuery(f"zone-{zone}", delta=40.0, query_id=f"q-{zone}")
+        )
+    engine.run()
+
+    source_ids = tuple(f"zone-{z}" for z in zones)
+    print("Grid-wide aggregates from predictions (per-zone delta = 40):")
+    for kind in ("avg", "min", "max", "sum"):
+        answer = answer_aggregate(
+            engine, AggregateQuery(kind, source_ids, query_id=f"grid-{kind}")
+        )
+        print(
+            f"  {kind.upper():3s} = {answer.value:8.1f}  "
+            f"certified within +-{answer.error_bound:.1f} "
+            f"[{answer.lower:.1f}, {answer.upper:.1f}]"
+        )
+    report = engine.report()
+    print(
+        f"\n  answered from {report.updates_sent} updates over "
+        f"{report.readings} readings "
+        f"({100 * report.updates_sent / report.readings:.1f}% transmitted) -- "
+        "the aggregates themselves cost zero extra messages."
+    )
+
+
+def main() -> None:
+    fusion_demo()
+    aggregate_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so the legacy editable
+install path (``pip install -e . --no-use-pep517``) works in offline
+environments that lack the ``wheel`` package required by PEP 660.
+"""
+
+from setuptools import setup
+
+setup()

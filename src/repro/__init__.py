@@ -1,0 +1,119 @@
+"""repro: Dual Kalman Filter stream resource management.
+
+A production-grade reproduction of Jain, Chang, Wang, *Adaptive Stream
+Resource Management Using Kalman Filters* (SIGMOD 2004).  The library
+treats stream resource management as a filtering problem: a Kalman filter
+at the server predicts each source's values, an exact mirror at the source
+suppresses every reading the server can already predict within the query's
+precision constraint δ, and only prediction failures cost bandwidth.
+
+Quickstart::
+
+    from repro import DKFConfig, DKFSession, evaluate_scheme, linear_model
+    from repro.datasets import moving_object_dataset
+
+    stream = moving_object_dataset()
+    config = DKFConfig(model=linear_model(dims=2, dt=0.1), delta=3.0)
+    result = evaluate_scheme(DKFSession(config), stream)
+    print(f"{result.update_percentage:.1f}% of readings transmitted")
+
+Subpackages
+-----------
+``repro.filters``
+    The filtering substrate: discrete KF, EKF, RLS, steady-state/Riccati
+    filters, smoothing, innovation monitoring, adaptive noise estimation,
+    model banks.
+``repro.dkf``
+    The paper's contribution: mirrored filter pairs, the update-suppression
+    protocol, session drivers, adaptive sampling.
+``repro.baselines``
+    Comparators: static cached approximation (Olston et al.), adaptive
+    bounds, moving averages.
+``repro.streams`` / ``repro.datasets``
+    Stream substrate and the paper's three experimental workloads.
+``repro.dsms``
+    DSMS substrate: continuous queries, source registry, simulated
+    network, sensor energy model, multi-source engine, stream synopsis.
+``repro.metrics``
+    The paper's metrics (percentage of updates, average error) and traces.
+``repro.experiments``
+    One module per paper figure/table, regenerating its series.
+"""
+
+from repro.baselines import (
+    AdaptiveBoundScheme,
+    CachedValueScheme,
+    ExponentialMovingAverage,
+    MovingAverage,
+)
+from repro.dkf import (
+    AdaptiveSamplingSession,
+    DKFConfig,
+    DKFServer,
+    DKFSession,
+    DKFSource,
+)
+from repro.errors import ReproError
+from repro.filters import (
+    ExtendedKalmanFilter,
+    InformationFilter,
+    KalmanFilter,
+    ModelBank,
+    OfflineKalmanSmoother,
+    RecursiveLeastSquares,
+    StateSpaceModel,
+    SteadyStateKalmanFilter,
+    StreamSmoother,
+    VectorSmoother,
+    constant_model,
+    linear_model,
+    sinusoidal_model,
+)
+from repro.filters.ukf import UnscentedKalmanFilter
+from repro.metrics import (
+    EvaluationResult,
+    RunTrace,
+    collect_trace,
+    evaluate_scheme,
+)
+from repro.scheme import SchemeDecision, SuppressionScheme
+from repro.streams import MaterializedStream, StreamRecord, stream_from_values
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveBoundScheme",
+    "AdaptiveSamplingSession",
+    "CachedValueScheme",
+    "DKFConfig",
+    "DKFServer",
+    "DKFSession",
+    "DKFSource",
+    "EvaluationResult",
+    "ExponentialMovingAverage",
+    "ExtendedKalmanFilter",
+    "InformationFilter",
+    "KalmanFilter",
+    "OfflineKalmanSmoother",
+    "UnscentedKalmanFilter",
+    "VectorSmoother",
+    "MaterializedStream",
+    "ModelBank",
+    "MovingAverage",
+    "RecursiveLeastSquares",
+    "ReproError",
+    "RunTrace",
+    "SchemeDecision",
+    "StateSpaceModel",
+    "SteadyStateKalmanFilter",
+    "StreamRecord",
+    "StreamSmoother",
+    "SuppressionScheme",
+    "collect_trace",
+    "constant_model",
+    "evaluate_scheme",
+    "linear_model",
+    "sinusoidal_model",
+    "stream_from_values",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Comparator schemes from the paper's evaluation: static cached
+approximation (Olston et al., the Section 5 baseline), the adaptive-bound
+variant the paper cites but disables, and moving-average smoothing."""
+
+from repro.baselines.adaptive_bounds import AdaptiveBoundScheme
+from repro.baselines.caching import CachedValueScheme
+from repro.baselines.moving_average import (
+    ExponentialMovingAverage,
+    MovingAverage,
+    moving_average_series,
+)
+
+__all__ = [
+    "AdaptiveBoundScheme",
+    "CachedValueScheme",
+    "ExponentialMovingAverage",
+    "MovingAverage",
+    "moving_average_series",
+]

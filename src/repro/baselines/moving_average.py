@@ -1,0 +1,124 @@
+"""Moving-average smoothing baseline (paper Section 5.3, Figure 10).
+
+The paper contrasts ``KF_c`` smoothing against the "moving average
+approach": averaging a sliding window of recent readings.  Its drawbacks,
+per the paper, are (a) it needs a window buffer (the KF needs none) and
+(b) it offers no fine-grain control over sensitivity -- "even a series of
+spikes after a few steady measurements will not alter the moving average
+value significantly".
+
+Both a plain window average and an exponentially weighted variant are
+provided; Figure 10 compares ``KF_c`` with small ``F`` against the window
+average.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MovingAverage", "ExponentialMovingAverage", "moving_average_series"]
+
+
+class MovingAverage:
+    """Sliding-window arithmetic mean over the last ``window`` samples.
+
+    Args:
+        window: Window length; the buffer the KF smoother avoids.
+    """
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ConfigurationError("window must be positive")
+        self._window = window
+        self._buffer: deque[float] = deque(maxlen=window)
+        self._sum = 0.0
+
+    @property
+    def window(self) -> int:
+        """The configured window length."""
+        return self._window
+
+    @property
+    def primed(self) -> bool:
+        """Whether at least one sample has arrived."""
+        return bool(self._buffer)
+
+    @property
+    def value(self) -> float:
+        """Current average; raises before any sample has arrived."""
+        if not self._buffer:
+            raise ConfigurationError("moving average has not seen any data")
+        return self._sum / len(self._buffer)
+
+    def smooth(self, value: float) -> float:
+        """Absorb one sample and return the updated average."""
+        value = float(value)
+        if len(self._buffer) == self._window:
+            self._sum -= self._buffer[0]
+        self._buffer.append(value)
+        self._sum += value
+        return self.value
+
+    def reset(self) -> None:
+        """Empty the window; the next sample starts fresh."""
+        self._buffer.clear()
+        self._sum = 0.0
+
+
+class ExponentialMovingAverage:
+    """Exponentially weighted moving average (no buffer, one parameter).
+
+    Included as the natural memoryless cousin of the window average; the
+    smoothing-comparison bench shows where it falls between the window MA
+    and ``KF_c``.
+
+    Args:
+        alpha: Weight on the newest sample, in ``(0, 1]``.
+    """
+
+    def __init__(self, alpha: float) -> None:
+        if not 0 < alpha <= 1:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        self._alpha = alpha
+        self._value: float | None = None
+
+    @property
+    def alpha(self) -> float:
+        """Weight applied to the newest sample."""
+        return self._alpha
+
+    @property
+    def primed(self) -> bool:
+        """Whether at least one sample has arrived."""
+        return self._value is not None
+
+    @property
+    def value(self) -> float:
+        """Current average; raises before any sample has arrived."""
+        if self._value is None:
+            raise ConfigurationError("EMA has not seen any data")
+        return self._value
+
+    def smooth(self, value: float) -> float:
+        """Absorb one sample and return the updated average."""
+        value = float(value)
+        if self._value is None:
+            self._value = value
+        else:
+            self._value = self._alpha * value + (1 - self._alpha) * self._value
+        return self._value
+
+    def reset(self) -> None:
+        """Forget the average; the next sample re-primes it."""
+        self._value = None
+
+
+def moving_average_series(values: np.ndarray, window: int) -> np.ndarray:
+    """Smooth a whole series with :class:`MovingAverage` (Fig. 10 helper)."""
+    values = np.asarray(values, dtype=float).reshape(-1)
+    ma = MovingAverage(window)
+    return np.array([ma.smooth(v) for v in values])

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the experiment harness and a configurable one-shot comparison so
+the paper's results can be regenerated, and new streams scored, without
+writing code::
+
+    python -m repro example1             # Figures 3-5
+    python -m repro example2             # Figures 6-8
+    python -m repro example3             # Figures 9-12
+    python -m repro table1               # Table 1 proxy matrix
+    python -m repro compare --dataset moving-object --delta 3
+    python -m repro compare --csv trace.csv --model linear --delta 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.baselines.caching import CachedValueScheme
+from repro.datasets import (
+    http_traffic_dataset,
+    moving_object_dataset,
+    power_load_dataset,
+)
+from repro.dkf.config import DKFConfig
+from repro.dkf.session import DKFSession
+from repro.errors import ConfigurationError
+from repro.experiments import example1, example2, example3, table1
+from repro.filters.models import constant_model, linear_model, sinusoidal_model
+from repro.metrics.compare import format_results
+from repro.metrics.evaluation import evaluate_scheme
+from repro.streams.base import MaterializedStream
+from repro.streams.replay import load_stream_csv
+
+__all__ = ["main", "build_parser"]
+
+_DATASETS = {
+    "moving-object": moving_object_dataset,
+    "power-load": power_load_dataset,
+    "http-traffic": http_traffic_dataset,
+}
+
+_EXPERIMENTS = {
+    "example1": example1.main,
+    "example2": example2.main,
+    "example3": example3.main,
+    "table1": table1.main,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing and docs generation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dual Kalman Filter stream resource management "
+        "(SIGMOD 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in _EXPERIMENTS:
+        sub.add_parser(name, help=f"regenerate the {name} figure series")
+
+    compare = sub.add_parser(
+        "compare", help="score DKF variants and caching on one stream"
+    )
+    source = compare.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--dataset", choices=sorted(_DATASETS), help="built-in dataset"
+    )
+    source.add_argument("--csv", help="CSV trace saved by save_stream_csv")
+    compare.add_argument(
+        "--delta", type=float, default=3.0, help="precision width (default 3)"
+    )
+    compare.add_argument(
+        "--model",
+        choices=["constant", "linear", "sinusoidal", "all"],
+        default="all",
+        help="which DKF model to run (default: all applicable)",
+    )
+    compare.add_argument(
+        "--smoothing-f",
+        type=float,
+        default=None,
+        help="optional smoothing factor F for KF_c",
+    )
+    compare.add_argument(
+        "--limit", type=int, default=None, help="truncate the stream"
+    )
+    compare.add_argument(
+        "--omega",
+        type=float,
+        default=example2.OMEGA,
+        help="sinusoidal model angular frequency",
+    )
+    return parser
+
+
+def _load_stream(args: argparse.Namespace) -> MaterializedStream:
+    if args.dataset:
+        stream = _DATASETS[args.dataset]()
+    else:
+        stream = load_stream_csv(args.csv)
+    if args.limit is not None:
+        stream = stream.head(args.limit)
+    return stream
+
+
+def _models_for(args: argparse.Namespace, dims: int):
+    choices = {
+        "constant": lambda: constant_model(dims=dims),
+        "linear": lambda: linear_model(dims=dims, dt=1.0),
+    }
+    if dims == 1:
+        choices["sinusoidal"] = lambda: sinusoidal_model(
+            omega=args.omega, theta=0.0
+        )
+    if args.model == "all":
+        return [(name, build()) for name, build in choices.items()]
+    if args.model not in choices:
+        raise ConfigurationError(
+            f"model {args.model!r} is not applicable to a {dims}-d stream"
+        )
+    return [(args.model, choices[args.model]())]
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    stream = _load_stream(args)
+    if not len(stream):
+        print("stream is empty", file=sys.stderr)
+        return 1
+    dims = stream.dim
+    results = [
+        evaluate_scheme(
+            CachedValueScheme.from_precision(args.delta, dims=dims), stream
+        )
+    ]
+    for name, model in _models_for(args, dims):
+        config = DKFConfig(
+            model=model,
+            delta=args.delta,
+            smoothing_f=args.smoothing_f,
+            label=f"dkf-{name}",
+        )
+        results.append(evaluate_scheme(DKFSession(config), stream))
+    print(format_results(results))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command in _EXPERIMENTS:
+        _EXPERIMENTS[args.command]()
+        return 0
+    try:
+        return _run_compare(args)
+    except (ConfigurationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""The paper's three experimental workloads (Section 4/5).
+
+Example 1 is synthetic in the paper and regenerated from its description;
+Examples 2 and 3 used real traces that are no longer available, so this
+package ships synthetic stand-ins with the documented characteristics (see
+each module's substitution note and DESIGN.md Section 2).
+"""
+
+from repro.datasets.http_traffic import (
+    coefficient_of_variation,
+    http_traffic_dataset,
+)
+from repro.datasets.moving_object import (
+    moving_object_dataset,
+    segment_change_points,
+)
+from repro.datasets.power_load import dominant_period, power_load_dataset
+from repro.datasets.regime_switch import regime_labels, regime_switch_dataset
+
+__all__ = [
+    "coefficient_of_variation",
+    "dominant_period",
+    "http_traffic_dataset",
+    "moving_object_dataset",
+    "power_load_dataset",
+    "regime_labels",
+    "regime_switch_dataset",
+    "segment_change_points",
+]

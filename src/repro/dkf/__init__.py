@@ -1,0 +1,35 @@
+"""The Dual Kalman Filter core (paper Section 3.1): source-side mirror
+filter, server-side prediction filter, the update-suppression protocol
+between them, and end-to-end session drivers."""
+
+from repro.dkf.adaptive_sampling import AdaptiveSamplingSession
+from repro.dkf.bank_session import ModelBankSession
+from repro.dkf.config import DKFConfig
+from repro.dkf.protocol import (
+    Channel,
+    ChannelStats,
+    ResyncMessage,
+    UpdateMessage,
+    periodic_loss,
+    random_loss,
+)
+from repro.dkf.server import DKFServer, ServerSourceState
+from repro.dkf.session import DKFSession
+from repro.dkf.source import DKFSource, SourceStep
+
+__all__ = [
+    "AdaptiveSamplingSession",
+    "Channel",
+    "ChannelStats",
+    "DKFConfig",
+    "DKFServer",
+    "DKFSession",
+    "DKFSource",
+    "ModelBankSession",
+    "ResyncMessage",
+    "ServerSourceState",
+    "SourceStep",
+    "UpdateMessage",
+    "periodic_loss",
+    "random_loss",
+]

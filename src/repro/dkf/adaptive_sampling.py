@@ -1,0 +1,121 @@
+"""Adaptive sampling driven by the innovation sequence (paper Section 3.1
+advantage 5 and Section 6 future-work item 5).
+
+The plain DKF reads the sensor at every sampling instant even if nothing is
+transmitted.  On energy-starved nodes the *reading* itself can be worth
+skipping when the stream is quiet.  :class:`AdaptiveSamplingSession` wraps a
+DKF pair with an :class:`~repro.filters.innovation.AdaptiveSamplingController`:
+small innovations stretch the sampling interval (skip instants entirely),
+large innovations snap it back to every instant.
+
+At skipped instants both filters still advance their prediction step (the
+mirror property requires only that both sides perform the same operations),
+so the server keeps answering queries from the extrapolated state; the
+precision guarantee becomes *best effort* at skipped instants, which is the
+trade-off the controller's thresholds manage.
+"""
+
+from __future__ import annotations
+
+from repro.dkf.config import DKFConfig
+from repro.dkf.session import DKFSession
+from repro.filters.innovation import AdaptiveSamplingController
+from repro.scheme import SchemeDecision, SuppressionScheme
+from repro.streams.base import StreamRecord
+
+__all__ = ["AdaptiveSamplingSession"]
+
+
+class AdaptiveSamplingSession(SuppressionScheme):
+    """DKF session that skips sensor readings when the stream is quiet.
+
+    Args:
+        config: The DKF configuration.
+        controller: Sampling controller; a default is built from the
+            config's δ when omitted.
+        max_interval: Convenience cap for the default controller.
+    """
+
+    def __init__(
+        self,
+        config: DKFConfig,
+        controller: AdaptiveSamplingController | None = None,
+        max_interval: int = 16,
+    ) -> None:
+        self._config = config
+        self._session = DKFSession(config)
+        self._controller = controller or AdaptiveSamplingController(
+            delta=config.min_delta, max_interval=max_interval
+        )
+        self._next_sample_k: int | None = None
+        self._samples_taken = 0
+        self._instants_seen = 0
+
+    @property
+    def name(self) -> str:
+        """Display name (config name plus the sampling marker)."""
+        return f"{self._config.name}+adaptive-sampling"
+
+    @property
+    def controller(self) -> AdaptiveSamplingController:
+        """The live sampling-interval controller."""
+        return self._controller
+
+    @property
+    def samples_taken(self) -> int:
+        """Sensor readings actually performed (energy accounting)."""
+        return self._samples_taken
+
+    @property
+    def instants_seen(self) -> int:
+        """Sampling instants offered (sampled or skipped)."""
+        return self._instants_seen
+
+    @property
+    def updates_sent(self) -> int:
+        """Update messages transmitted by the wrapped session."""
+        return self._session.updates_sent
+
+    def observe(self, record: StreamRecord) -> SchemeDecision:
+        """Process one sampling instant, possibly without reading at all."""
+        self._instants_seen += 1
+        if self._next_sample_k is None:
+            self._next_sample_k = record.k  # First instant always samples.
+
+        if record.k < self._next_sample_k:
+            # Skip the reading entirely: advance both filters' predictions
+            # so the pair stays in lock-step, and answer from extrapolation.
+            self._session.server.tick("s0", record.k)
+            source = self._session.source
+            if source.primed:
+                source.mirror.predict()
+                server_value = self._session.server.value("s0")
+            else:  # pragma: no cover - first instant always samples
+                server_value = record.value.copy()
+            return SchemeDecision(
+                k=record.k,
+                sent=False,
+                server_value=server_value,
+                source_value=record.value.copy(),
+                raw_value=record.value.copy(),
+            )
+
+        decision = self._session.observe(record)
+        self._samples_taken += 1
+        if decision.prediction_error is not None:
+            # Feed the controller the *pre-correction* prediction error --
+            # the innovation magnitude.  (The post-decision error is zero
+            # on every update step and would make a volatile stream look
+            # quiet.)
+            interval = self._controller.observe(decision.prediction_error)
+        else:
+            interval = self._controller.interval  # priming step
+        self._next_sample_k = record.k + interval
+        return decision
+
+    def reset(self) -> None:
+        self._session.reset()
+        self._controller.reset()
+        self._next_sample_k = None
+        self._samples_taken = 0
+        self._instants_seen = 0

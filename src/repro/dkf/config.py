@@ -1,0 +1,134 @@
+"""Configuration for a DKF installation (paper Section 3.1, Table 2).
+
+A continuous query ``q_j`` arrives with a precision constraint ``Delta_j``
+on a source ``s_i``; per the paper's simplification the source precision
+width is ``delta_i = Delta_j``.  The user may also pass the optional
+smoothing factor ``F_i`` that controls ``KF_c``.  A :class:`DKFConfig`
+bundles those query-time parameters with the state-space model that both
+filters run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.filters.models import StateSpaceModel
+
+__all__ = ["DKFConfig"]
+
+
+@dataclass(frozen=True)
+class DKFConfig:
+    """Parameters installed on both ends of a DKF pair.
+
+    Attributes:
+        model: State-space model shared by ``KF_s`` and ``KF_m``.
+        delta: Precision width δ.  The source transmits when the server's
+            prediction would err by more than δ on any measured component.
+            A scalar applies one width to every component; a tuple gives
+            each measured attribute its own width (Section 6 future-work
+            item 4: "multiple queries with multiple attributes" -- e.g. a
+            position query tight on X, loose on Y).
+        smoothing_f: Optional smoothing factor ``F`` for the source-side
+            smoothing filter ``KF_c``.  None disables smoothing (Examples
+            1 and 2); Example 3 sets it.
+        smoothing_r: Measurement variance of the smoothing filter; the
+            ratio ``F / smoothing_r`` sets the effective bandwidth.
+        p0_scale: Scale of the initial estimate covariance.
+        check_mirror: When True, every transmitted message carries a state
+            digest and the server verifies it, raising
+            :class:`~repro.errors.MirrorDesyncError` on mismatch.  Costs a
+            few bytes per message; invaluable in tests.
+        outlier_gate_factor: Optional glitch-gate threshold, as a multiple
+            of δ (Section 3.1 advantage 5: "the innovation sequence helps
+            in detecting outliers").  When a reading's prediction error
+            exceeds ``factor * δ`` on some component, the source treats it
+            as a sensor glitch: nothing is transmitted and neither filter
+            updates, so the pair stays in lock-step without spending a
+            message on a spike.  Genuine trend changes produce moderate
+            errors (just past δ) and still transmit immediately; only
+            far-out readings are gated.  The precision guarantee is
+            deliberately waived at gated instants.
+        outlier_gate_limit: Consecutive gated readings after which the
+            gate yields and transmits anyway -- a sustained "outlier" is
+            really a regime change, and the bound must be restored.
+    """
+
+    model: StateSpaceModel
+    delta: float | tuple[float, ...]
+    smoothing_f: float | None = None
+    smoothing_r: float = 1.0
+    p0_scale: float = 1.0
+    check_mirror: bool = False
+    outlier_gate_factor: float | None = None
+    outlier_gate_limit: int = 3
+    label: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if isinstance(self.delta, (list, tuple, np.ndarray)):
+            widths = tuple(float(d) for d in self.delta)
+            if not widths:
+                raise ConfigurationError("delta tuple must not be empty")
+            if any(d <= 0 for d in widths):
+                raise ConfigurationError(
+                    f"all precision widths must be positive, got {widths}"
+                )
+            if len(widths) != self.model.measurement_dim:
+                raise DimensionError(
+                    f"delta tuple has {len(widths)} widths but the model "
+                    f"measures {self.model.measurement_dim} attributes"
+                )
+            object.__setattr__(self, "delta", widths)
+        elif self.delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {self.delta}")
+        if self.outlier_gate_factor is not None and self.outlier_gate_factor <= 1:
+            raise ConfigurationError(
+                "outlier_gate_factor must exceed 1 (a gate at or below the "
+                "precision width would gate every escaping reading)"
+            )
+        if self.outlier_gate_limit < 1:
+            raise ConfigurationError("outlier_gate_limit must be at least 1")
+        if self.smoothing_f is not None and self.smoothing_f < 0:
+            raise ConfigurationError("smoothing factor F must be non-negative")
+        if self.smoothing_r <= 0:
+            raise ConfigurationError("smoothing_r must be positive")
+        if self.p0_scale <= 0:
+            raise ConfigurationError("p0_scale must be positive")
+
+    @property
+    def smoothed(self) -> bool:
+        """Whether a smoothing filter ``KF_c`` is in the loop."""
+        return self.smoothing_f is not None
+
+    @property
+    def min_delta(self) -> float:
+        """Tightest per-component width (scalar summary for controllers)."""
+        if isinstance(self.delta, tuple):
+            return min(self.delta)
+        return float(self.delta)
+
+    def delta_vector(self) -> np.ndarray:
+        """Per-component precision widths, shape ``(measurement_dim,)``."""
+        if isinstance(self.delta, tuple):
+            return np.array(self.delta, dtype=float)
+        return np.full(self.model.measurement_dim, float(self.delta))
+
+    @property
+    def name(self) -> str:
+        """Display name: explicit label, else derived from the model."""
+        if self.label:
+            return self.label
+        suffix = f"+F={self.smoothing_f:g}" if self.smoothed else ""
+        return f"dkf[{self.model.name}{suffix}]"
+
+    def with_delta(self, delta: float | tuple[float, ...]) -> "DKFConfig":
+        """Copy of this config at a different precision width (sweeps)."""
+        return dataclasses.replace(self, delta=delta)
+
+    def with_smoothing(self, f: float | None) -> "DKFConfig":
+        """Copy of this config at a different smoothing factor (sweeps)."""
+        return dataclasses.replace(self, smoothing_f=f)

@@ -1,0 +1,183 @@
+"""Central-server side of the DKF protocol (``KF_s`` per source).
+
+The server runs one Kalman filter per registered source (Section 3.1: "at
+the main server we have as many filters running as the number of remote
+sources").  Every sampling instant the filter advances one prediction step;
+when an update message arrives the filter is corrected with the transmitted
+value.  Queries are answered from the filter's current estimate -- the
+*dynamic procedure cache* the paper contrasts with static value caching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dkf.config import DKFConfig
+from repro.dkf.protocol import ResyncMessage, UpdateMessage
+from repro.errors import (
+    DuplicateSourceError,
+    MirrorDesyncError,
+    UnknownSourceError,
+)
+from repro.filters.kalman import KalmanFilter
+
+__all__ = ["DKFServer", "ServerSourceState"]
+
+
+@dataclass
+class ServerSourceState:
+    """Per-source state held by the server.
+
+    Attributes:
+        config: The installed DKF configuration.
+        filter: ``KF_s`` (None until the priming update arrives).
+        answer: The server's current best value for the source.
+        expected_seq: Next sequence number expected from the source.
+        k: Last sampling instant the filter advanced to.
+        updates_received: Number of update messages applied.
+        resyncs_received: Number of resync snapshots applied.
+    """
+
+    config: DKFConfig
+    filter: KalmanFilter | None = None
+    answer: np.ndarray | None = None
+    expected_seq: int = 0
+    k: int = -1
+    updates_received: int = 0
+    resyncs_received: int = 0
+    desynced: bool = field(default=False)
+
+
+class DKFServer:
+    """Central server holding one ``KF_s`` per registered source."""
+
+    def __init__(self) -> None:
+        self._sources: dict[str, ServerSourceState] = {}
+
+    def register(self, source_id: str, config: DKFConfig) -> None:
+        """Install a DKF for a new source (done when a query arrives)."""
+        if source_id in self._sources:
+            raise DuplicateSourceError(f"source {source_id!r} already registered")
+        self._sources[source_id] = ServerSourceState(config=config)
+
+    def deregister(self, source_id: str) -> None:
+        """Tear down the filter for a source whose queries ended."""
+        self._state(source_id)
+        del self._sources[source_id]
+
+    def _state(self, source_id: str) -> ServerSourceState:
+        try:
+            return self._sources[source_id]
+        except KeyError:
+            raise UnknownSourceError(f"source {source_id!r} not registered") from None
+
+    @property
+    def source_ids(self) -> list[str]:
+        """Identifiers of all registered sources."""
+        return list(self._sources)
+
+    def is_primed(self, source_id: str) -> bool:
+        """Whether the priming update for ``source_id`` has arrived."""
+        return self._state(source_id).filter is not None
+
+    def tick(self, source_id: str, k: int) -> np.ndarray | None:
+        """Advance the source's filter one prediction step for instant ``k``.
+
+        Returns the new predicted value (the server's answer if no update
+        arrives for this instant), or None when the source is not yet
+        primed.
+        """
+        state = self._state(source_id)
+        state.k = k
+        if state.filter is None:
+            return None
+        state.filter.predict()
+        state.answer = state.filter.predict_measurement()
+        return state.answer.copy()
+
+    def receive(self, message: UpdateMessage | ResyncMessage) -> np.ndarray:
+        """Apply an incoming message and return the refreshed answer."""
+        if isinstance(message, ResyncMessage):
+            return self._receive_resync(message)
+        return self._receive_update(message)
+
+    def _receive_update(self, message: UpdateMessage) -> np.ndarray:
+        state = self._state(message.source_id)
+        if message.seq != state.expected_seq:
+            state.desynced = True
+            raise MirrorDesyncError(
+                f"source {message.source_id!r}: expected seq "
+                f"{state.expected_seq}, got {message.seq} -- an update was "
+                "lost and no resync arrived"
+            )
+        state.expected_seq = message.seq + 1
+        if state.filter is None:
+            state.filter = state.config.model.build_filter(
+                message.value, p0_scale=state.config.p0_scale
+            )
+        else:
+            state.filter.update(message.value)
+        # The server now holds the true (possibly smoothed) reading, which
+        # is a strictly better answer for this instant than the blended
+        # posterior; the filter keeps the posterior for future prediction.
+        state.answer = message.value.copy()
+        state.updates_received += 1
+        state.k = message.k
+        if message.digest is not None:
+            local = state.filter.state_digest()[1][:8]
+            if local != message.digest:
+                state.desynced = True
+                raise MirrorDesyncError(
+                    f"source {message.source_id!r}: state digest mismatch at "
+                    f"k={message.k}"
+                )
+        return state.answer.copy()
+
+    def _receive_resync(self, message: ResyncMessage) -> np.ndarray:
+        state = self._state(message.source_id)
+        if state.filter is None:
+            state.filter = state.config.model.build_filter(
+                message.value, p0_scale=state.config.p0_scale
+            )
+        state.filter.set_state(message.x, message.p)
+        state.answer = message.value.copy()
+        state.expected_seq = message.seq + 1
+        state.resyncs_received += 1
+        state.desynced = False
+        state.k = message.k
+        return state.answer.copy()
+
+    def value(self, source_id: str) -> np.ndarray:
+        """The server's current best value for a source (query answer)."""
+        state = self._state(source_id)
+        if state.answer is None:
+            raise UnknownSourceError(
+                f"source {source_id!r} has not delivered its priming update"
+            )
+        return state.answer.copy()
+
+    def forecast(self, source_id: str, steps: int) -> np.ndarray:
+        """Extrapolate a source's value ``steps`` instants ahead.
+
+        This is the capability static caching fundamentally lacks: the
+        server can answer questions about the *future* of the stream from
+        the cached procedure alone.
+        """
+        state = self._state(source_id)
+        if state.filter is None:
+            raise UnknownSourceError(
+                f"source {source_id!r} has not delivered its priming update"
+            )
+        return state.filter.forecast(steps)
+
+    def stats(self, source_id: str) -> dict[str, int | bool]:
+        """Per-source protocol counters (for the engine's reporting)."""
+        state = self._state(source_id)
+        return {
+            "updates_received": state.updates_received,
+            "resyncs_received": state.resyncs_received,
+            "desynced": state.desynced,
+            "last_k": state.k,
+        }

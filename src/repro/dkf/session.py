@@ -1,0 +1,173 @@
+"""End-to-end DKF session: source, channel and server wired together.
+
+:class:`DKFSession` drives one source/server pair over a stream, instant by
+instant, implementing the common
+:class:`~repro.scheme.SuppressionScheme` interface so the metrics layer can
+score the DKF exactly as it scores the baselines.  It also owns the loss
+recovery path: when the channel drops an update, the source immediately
+follows with a (reliable) resync snapshot, modelling ack-based
+retransmission.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.dkf.config import DKFConfig
+from repro.dkf.protocol import Channel
+from repro.dkf.server import DKFServer
+from repro.dkf.source import DKFSource
+from repro.errors import MirrorDesyncError, StaleSessionError
+from repro.scheme import SchemeDecision, SuppressionScheme
+from repro.streams.base import StreamRecord
+
+__all__ = ["DKFSession"]
+
+
+class DKFSession(SuppressionScheme):
+    """One DKF pair run in-process over a stream.
+
+    Args:
+        config: Model, precision width δ, optional smoothing factor.
+        source_id: Source identifier (defaults to ``"s0"``).
+        loss_fn: Optional channel loss predicate ``(message_index) -> bool``
+            for failure-injection experiments; dropped updates trigger the
+            resync path.
+        verify_mirror: When True (default), after every instant the session
+            asserts that ``KF_m`` and ``KF_s`` hold bit-identical state --
+            the invariant the whole architecture rests on.  Disable only
+            in throughput benchmarks.
+    """
+
+    def __init__(
+        self,
+        config: DKFConfig,
+        source_id: str = "s0",
+        loss_fn: Callable[[int], bool] | None = None,
+        verify_mirror: bool = True,
+    ) -> None:
+        self._config = config
+        self._source_id = source_id
+        self._loss_fn = loss_fn
+        self._verify_mirror = verify_mirror
+        self._build()
+
+    def _build(self) -> None:
+        self._source = DKFSource(self._source_id, self._config)
+        self._server = DKFServer()
+        self._server.register(self._source_id, self._config)
+        self._channel = Channel(deliver=self._server.receive, loss_fn=self._loss_fn)
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        """Display name (delegates to the config)."""
+        return self._config.name
+
+    @property
+    def config(self) -> DKFConfig:
+        """The installed configuration."""
+        return self._config
+
+    @property
+    def source(self) -> DKFSource:
+        """The sensor-side endpoint (live object)."""
+        return self._source
+
+    @property
+    def server(self) -> DKFServer:
+        """The server-side endpoint (live object)."""
+        return self._server
+
+    @property
+    def channel(self) -> Channel:
+        """The simulated link between the endpoints."""
+        return self._channel
+
+    def _check_mirror(self) -> None:
+        """Assert the two filters are in lock-step (bit-identical state)."""
+        if not self._source.primed or not self._server.is_primed(self._source_id):
+            return
+        src_k, src_state = self._source.mirror.state_digest()
+        state = self._server._state(self._source_id)  # noqa: SLF001 - test hook
+        srv_k, srv_state = state.filter.state_digest()
+        if src_k != srv_k or src_state != srv_state:
+            raise MirrorDesyncError(
+                f"mirror desync at source k={src_k}, server k={srv_k}"
+            )
+
+    def observe(self, record: StreamRecord) -> SchemeDecision:
+        """Run one sampling instant through source, channel and server."""
+        if self._closed:
+            raise StaleSessionError(
+                "session is closed; reset() re-opens it with fresh filters"
+            )
+        # Server side first: advance the prediction for this instant.  The
+        # mirror performs the identical predict inside source.sample(), so
+        # ordering does not matter for lock-step -- only that both happen.
+        self._server.tick(self._source_id, record.k)
+        step = self._source.sample(record)
+
+        sent = step.message is not None
+        payload = 0
+        if step.message is not None:
+            payload = step.message.value.shape[0]
+            delivered = self._channel.send(step.message)
+            if not delivered:
+                # Ack timeout: the source learns of the loss and pushes a
+                # full state snapshot over the reliable path.
+                resync = self._source.resync_message(record.k, step.value)
+                self._channel.send_resync(resync)
+        if self._verify_mirror:
+            self._check_mirror()
+
+        if self._server.is_primed(self._source_id):
+            server_value = self._server.value(self._source_id)
+        else:  # pragma: no cover - only reachable with pathological loss_fn
+            server_value = step.value.copy()
+        return SchemeDecision(
+            k=record.k,
+            sent=sent,
+            server_value=server_value,
+            source_value=step.value,
+            raw_value=step.raw_value,
+            payload_floats=payload,
+            prediction_error=step.error,
+        )
+
+    def reset(self) -> None:
+        """Tear down and rebuild both ends (fresh filters, zeroed stats)."""
+        self._build()
+
+    def close(self) -> None:
+        """End the session: further observations raise
+        :class:`~repro.errors.StaleSessionError`.
+
+        The engine closes a source's session when its last query retires;
+        accidental use of a retired pair then fails loudly instead of
+        silently answering from stale filters.  ``reset()`` re-opens.
+        """
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether close() has ended this session."""
+        return self._closed
+
+    # Convenience accessors used by benches and examples -----------------
+
+    @property
+    def updates_sent(self) -> int:
+        """Update messages transmitted so far."""
+        return self._source.updates_sent
+
+    @property
+    def samples_seen(self) -> int:
+        """Sensor readings processed so far."""
+        return self._source.samples_seen
+
+    def forecast(self, steps: int) -> np.ndarray:
+        """Server-side multi-step forecast of the stream."""
+        return self._server.forecast(self._source_id, steps)

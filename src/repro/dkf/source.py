@@ -1,0 +1,261 @@
+"""Remote-source side of the DKF protocol (``KF_m`` and optional ``KF_c``).
+
+The source runs a *mirror* of the server's filter.  Because the filter
+arithmetic is deterministic and both sides apply exactly the same predict /
+correct operations, the mirror tells the source what the server will
+predict at every instant *without any communication* -- "this does not
+require any extra memory except for the usual matrices of the KF"
+(Section 1.1).  The source transmits only when that prediction errs by more
+than δ on some measured component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dkf.config import DKFConfig
+from repro.dkf.protocol import ResyncMessage, UpdateMessage
+from repro.errors import DimensionError
+from repro.filters.kalman import KalmanFilter
+from repro.filters.smoothing import VectorSmoother
+from repro.streams.base import StreamRecord
+
+__all__ = ["DKFSource", "SourceStep"]
+
+
+@dataclass(frozen=True)
+class SourceStep:
+    """What happened at the source during one sampling instant.
+
+    Attributes:
+        k: Sampling instant.
+        raw_value: The raw sensor reading.
+        value: The value the protocol operated on (smoothed when ``KF_c``
+            is configured, else the raw reading).
+        prediction: The mirror's prediction of the server value, or None
+            on the priming step.
+        error: Max per-component absolute prediction error, or None on
+            the priming step.
+        message: The update message produced, or None when suppressed.
+        gated: True when the reading escaped δ but was classified as a
+            sensor glitch by the innovation gate and deliberately not
+            transmitted.
+    """
+
+    k: int
+    raw_value: np.ndarray
+    value: np.ndarray
+    prediction: np.ndarray | None
+    error: float | None
+    message: UpdateMessage | None
+    gated: bool = False
+
+
+class DKFSource:
+    """Sensor-side half of a DKF pair.
+
+    Args:
+        source_id: Identifier shared with the server registration.
+        config: The DKF configuration (model, δ, optional ``F``).
+
+    Call :meth:`sample` once per sampling instant with the sensor reading.
+    If the returned step carries a message, hand it to the channel; if the
+    channel reports a send failure, call :meth:`resync_message` and deliver
+    the snapshot over the reliable path.
+    """
+
+    def __init__(self, source_id: str, config: DKFConfig) -> None:
+        self._source_id = source_id
+        self._config = config
+        self._mirror: KalmanFilter | None = None
+        self._smoother = (
+            VectorSmoother(
+                f=config.smoothing_f,
+                dims=config.model.measurement_dim,
+                r=config.smoothing_r,
+            )
+            if config.smoothed
+            else None
+        )
+        self._seq = 0
+        self._k = -1
+        self._updates_sent = 0
+        self._samples_seen = 0
+        self._consecutive_gated = 0
+        self._readings_gated = 0
+
+    @property
+    def source_id(self) -> str:
+        """Identifier shared with the server registration."""
+        return self._source_id
+
+    @property
+    def config(self) -> DKFConfig:
+        """The installed configuration."""
+        return self._config
+
+    @property
+    def primed(self) -> bool:
+        """Whether the first (always transmitted) reading has been taken."""
+        return self._mirror is not None
+
+    @property
+    def mirror(self) -> KalmanFilter:
+        """The mirror filter ``KF_m`` (live object; tests inspect it)."""
+        if self._mirror is None:
+            raise DimensionError("source not primed yet")
+        return self._mirror
+
+    @property
+    def updates_sent(self) -> int:
+        """Update messages transmitted so far."""
+        return self._updates_sent
+
+    @property
+    def samples_seen(self) -> int:
+        """Sensor readings processed so far."""
+        return self._samples_seen
+
+    @property
+    def readings_gated(self) -> int:
+        """Readings classified as glitches by the innovation gate."""
+        return self._readings_gated
+
+    def _smooth(self, value: np.ndarray) -> np.ndarray:
+        """Run the reading through ``KF_c`` when smoothing is configured.
+
+        Scalar streams use the paper's single smoothing filter; vector
+        streams smooth each measured component independently.
+        """
+        if self._smoother is None:
+            return value
+        return self._smoother.smooth(value)
+
+    def _next_message(self, k: int, value: np.ndarray) -> UpdateMessage:
+        digest = None
+        if self._config.check_mirror and self._mirror is not None:
+            digest = self._mirror.state_digest()[1][:8]
+        message = UpdateMessage(
+            source_id=self._source_id,
+            seq=self._seq,
+            k=k,
+            value=value.copy(),
+            digest=digest,
+        )
+        self._seq += 1
+        self._updates_sent += 1
+        return message
+
+    def sample(self, record: StreamRecord) -> SourceStep:
+        """Process one sensor reading; decide whether to transmit.
+
+        The first reading always transmits (it primes both filters).  On
+        later readings the mirror advances one prediction step; if its
+        measurement prediction errs by more than δ on any component the
+        reading is transmitted and the mirror corrected -- exactly the
+        operations the server will apply on receipt, keeping the pair in
+        lock-step.
+        """
+        raw = record.value
+        self._samples_seen += 1
+        self._k = record.k
+        value = self._smooth(raw)
+
+        if self._mirror is None:
+            self._mirror = self._config.model.build_filter(
+                value, p0_scale=self._config.p0_scale
+            )
+            message = self._next_message(record.k, value)
+            return SourceStep(
+                k=record.k,
+                raw_value=raw.copy(),
+                value=value.copy(),
+                prediction=None,
+                error=None,
+                message=message,
+            )
+
+        self._mirror.predict()
+        prediction = self._mirror.predict_measurement()
+        abs_errors = np.abs(prediction - value)
+        error = float(np.max(abs_errors))
+        gated = False
+        if bool(np.any(abs_errors > self._config.delta_vector())):
+            if self._should_gate(value, prediction):
+                # Glitch: skip both the transmission and the correction,
+                # so the mirror and the server coast identically.
+                gated = True
+                message = None
+            else:
+                # The server's prediction is out of tolerance: transmit,
+                # and apply the same correction the server will apply.
+                self._mirror.update(value)
+                message = self._next_message(record.k, value)
+        else:
+            self._consecutive_gated = 0
+            message = None
+        return SourceStep(
+            k=record.k,
+            raw_value=raw.copy(),
+            value=value.copy(),
+            prediction=prediction,
+            error=error,
+            message=message,
+            gated=gated,
+        )
+
+    def _should_gate(self, value: np.ndarray, prediction: np.ndarray) -> bool:
+        """Glitch gate: classify an escaping reading as a sensor glitch.
+
+        Applies only when the config enables gating.  A reading is gated
+        when its prediction error exceeds ``factor * delta`` on some
+        component -- far outside what a genuine trend change produces in
+        one step -- unless the consecutive-gate limit is reached (a
+        sustained outlier is a regime change and must be transmitted).
+        """
+        factor = self._config.outlier_gate_factor
+        if factor is None:
+            self._consecutive_gated = 0
+            return False
+        if self._consecutive_gated >= self._config.outlier_gate_limit:
+            self._consecutive_gated = 0
+            return False
+        abs_errors = np.abs(value - prediction)
+        if bool(np.any(abs_errors > factor * self._config.delta_vector())):
+            self._consecutive_gated += 1
+            self._readings_gated += 1
+            return True
+        self._consecutive_gated = 0
+        return False
+
+    def resync_message(self, k: int, value: np.ndarray) -> ResyncMessage:
+        """Snapshot of the mirror state for loss recovery.
+
+        Sent (reliably) when the source learns an update was lost, so the
+        server can overwrite ``KF_s`` with the mirror's exact state.
+        """
+        mirror = self.mirror
+        message = ResyncMessage(
+            source_id=self._source_id,
+            seq=self._seq,
+            k=k,
+            x=mirror.x,
+            p=mirror.p,
+            value=np.asarray(value, dtype=float).copy(),
+        )
+        self._seq += 1
+        return message
+
+    def reset(self) -> None:
+        """Forget all filter state; the next sample re-primes the pair."""
+        self._mirror = None
+        if self._smoother is not None:
+            self._smoother.reset()
+        self._seq = 0
+        self._k = -1
+        self._updates_sent = 0
+        self._samples_seen = 0
+        self._consecutive_gated = 0
+        self._readings_gated = 0

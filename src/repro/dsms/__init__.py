@@ -1,0 +1,40 @@
+"""DSMS substrate: continuous queries, source registry, simulated network
+fabric, sensor energy model, the multi-source engine, and Kalman stream
+synopses."""
+
+from repro.dsms.aggregates import (
+    AggregateAnswer,
+    AggregateKind,
+    AggregateQuery,
+    answer_aggregate,
+)
+from repro.dsms.energy import EnergyModel, EnergyReport
+from repro.dsms.history import HistoryStore
+from repro.dsms.engine import EngineReport, StreamEngine
+from repro.dsms.network import LinkConfig, LinkStats, NetworkFabric
+from repro.dsms.query import ContinuousQuery, QueryAnswer
+from repro.dsms.registry import SourceDescriptor, SourceRegistry
+from repro.dsms.synopsis import KalmanSynopsis, SynopsisStats
+from repro.dsms.windows import WindowedAggregator
+
+__all__ = [
+    "AggregateAnswer",
+    "AggregateKind",
+    "AggregateQuery",
+    "answer_aggregate",
+    "ContinuousQuery",
+    "EnergyModel",
+    "EnergyReport",
+    "EngineReport",
+    "HistoryStore",
+    "KalmanSynopsis",
+    "LinkConfig",
+    "LinkStats",
+    "NetworkFabric",
+    "QueryAnswer",
+    "SourceDescriptor",
+    "SourceRegistry",
+    "StreamEngine",
+    "SynopsisStats",
+    "WindowedAggregator",
+]

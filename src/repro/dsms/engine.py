@@ -1,0 +1,235 @@
+"""Multi-source, multi-query DSMS engine (the "end-to-end system" of the
+paper's future-work list, item 1).
+
+The engine wires together every substrate in the library:
+
+* a :class:`~repro.dsms.registry.SourceRegistry` mapping queries to
+  sources and deriving each source's effective δ and F;
+* one :class:`~repro.dkf.source.DKFSource` per registered source (the
+  sensor side) and a single shared :class:`~repro.dkf.server.DKFServer`;
+* a :class:`~repro.dsms.network.NetworkFabric` carrying updates, with
+  per-link latency/loss;
+* an :class:`~repro.dsms.energy.EnergyModel` for per-node joule totals.
+
+Each call to :meth:`StreamEngine.step` advances every source by one
+sampling instant; :meth:`StreamEngine.answers` returns the current answer
+for every active query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dkf.server import DKFServer
+from repro.dkf.source import DKFSource
+from repro.dsms.energy import EnergyModel, EnergyReport
+from repro.dsms.network import LinkConfig, NetworkFabric
+from repro.dsms.query import ContinuousQuery, QueryAnswer
+from repro.dsms.registry import SourceRegistry
+from repro.errors import StreamExhaustedError, UnknownSourceError
+from repro.filters.models import StateSpaceModel
+from repro.streams.base import MaterializedStream, StreamCursor
+
+__all__ = ["StreamEngine", "EngineReport"]
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    """System-wide summary after (part of) a run.
+
+    Attributes:
+        ticks: Sampling instants processed.
+        readings: Total sensor readings across sources.
+        updates_sent: Total update messages offered by sources.
+        bytes_delivered: Total bytes that crossed the network.
+        per_source_energy: Energy report per source id.
+    """
+
+    ticks: int
+    readings: int
+    updates_sent: int
+    bytes_delivered: int
+    per_source_energy: dict[str, EnergyReport]
+
+    @property
+    def total_energy_joules(self) -> float:
+        """System-wide sensor energy across all sources."""
+        return sum(r.total_joules for r in self.per_source_energy.values())
+
+
+class StreamEngine:
+    """Drive many DKF pairs over their streams under one server.
+
+    Args:
+        energy_model: Energy accounting model (defaults shared by all
+            sources).
+    """
+
+    def __init__(self, energy_model: EnergyModel | None = None) -> None:
+        self.registry = SourceRegistry()
+        self._server = DKFServer()
+        self._fabric = NetworkFabric(deliver=self._server.receive)
+        self._energy = energy_model or EnergyModel()
+        self._sources: dict[str, DKFSource] = {}
+        self._cursors: dict[str, StreamCursor] = {}
+        self._links: dict[str, LinkConfig] = {}
+        self._ticks = 0
+        self._exhausted: set[str] = set()
+
+    @property
+    def server(self) -> DKFServer:
+        """The shared central server (live object)."""
+        return self._server
+
+    @property
+    def fabric(self) -> NetworkFabric:
+        """The simulated network fabric (live object)."""
+        return self._fabric
+
+    @property
+    def ticks(self) -> int:
+        """Sampling instants processed so far."""
+        return self._ticks
+
+    def add_source(
+        self,
+        source_id: str,
+        model: StateSpaceModel,
+        stream: MaterializedStream,
+        link: LinkConfig | None = None,
+        default_smoothing_r: float = 1.0,
+    ) -> None:
+        """Register a source, its model, its data stream and its link."""
+        self.registry.register_source(
+            source_id, model, default_smoothing_r=default_smoothing_r
+        )
+        self._cursors[source_id] = StreamCursor(stream)
+        self._fabric.add_link(source_id, link)
+        self._links[source_id] = link or LinkConfig()
+
+    def submit_query(self, query: ContinuousQuery) -> None:
+        """Activate a continuous query, (re)installing the source's DKF.
+
+        The first query on a source installs its DKF pair; later queries
+        reinstall only when they tighten the effective δ or F (a reinstall
+        resets the filters, costing one priming update -- the trade the
+        paper's protocol makes for simplicity).
+        """
+        descriptor = self.registry.add_query(query)
+        config = descriptor.build_config()
+        existing = self._sources.get(query.source_id)
+        if existing is not None and existing.config == config:
+            return
+        self._install(query.source_id, config)
+
+    def retire_query(self, query_id: str) -> None:
+        """Deactivate a query; tear down the DKF when none remain."""
+        descriptor = self.registry.remove_query(query_id)
+        source_id = descriptor.source_id
+        if not descriptor.queries:
+            if source_id in self._sources:
+                del self._sources[source_id]
+                self._server.deregister(source_id)
+            return
+        config = descriptor.build_config()
+        if self._sources[source_id].config != config:
+            self._install(source_id, config)
+
+    def _install(self, source_id: str, config) -> None:
+        self._sources[source_id] = DKFSource(source_id, config)
+        if source_id in self._server.source_ids:
+            self._server.deregister(source_id)
+        self._server.register(source_id, config)
+
+    def step(self) -> int:
+        """Advance every queried source one sampling instant.
+
+        Returns the number of sources that produced a reading (sources
+        whose streams are exhausted are skipped).
+        """
+        processed = 0
+        for source_id, source in self._sources.items():
+            if source_id in self._exhausted:
+                continue
+            cursor = self._cursors[source_id]
+            try:
+                record = cursor.next()
+            except StreamExhaustedError:
+                self._exhausted.add(source_id)
+                continue
+            self._server.tick(source_id, record.k)
+            step = source.sample(record)
+            if step.message is not None:
+                delivered = self._fabric.send(step.message)
+                if not delivered:
+                    resync = source.resync_message(record.k, step.value)
+                    self._fabric.send_resync(resync)
+            processed += 1
+        self._ticks += 1
+        self._fabric.advance(self._ticks)
+        return processed
+
+    def run(self, max_ticks: int | None = None) -> int:
+        """Step until every stream is exhausted (or ``max_ticks``).
+
+        Returns the number of ticks executed.
+        """
+        executed = 0
+        while max_ticks is None or executed < max_ticks:
+            if len(self._exhausted) == len(self._sources):
+                break
+            if self.step() == 0 and len(self._exhausted) == len(self._sources):
+                break
+            executed += 1
+        return executed
+
+    def answers(self) -> list[QueryAnswer]:
+        """Current answers for every active query."""
+        out = []
+        for query in self.registry.active_queries:
+            source = self._sources.get(query.source_id)
+            if source is None or not self._server.is_primed(query.source_id):
+                continue
+            value = self._server.value(query.source_id)
+            out.append(
+                QueryAnswer(
+                    query_id=query.query_id,
+                    source_id=query.source_id,
+                    k=self._server.stats(query.source_id)["last_k"],
+                    value=tuple(float(v) for v in value),
+                    precision=source.config.min_delta,
+                )
+            )
+        return out
+
+    def answer(self, query_id: str) -> QueryAnswer:
+        """The current answer for one query."""
+        for candidate in self.answers():
+            if candidate.query_id == query_id:
+                return candidate
+        raise UnknownSourceError(f"no answer available for query {query_id!r}")
+
+    def report(self) -> EngineReport:
+        """System-wide traffic and energy summary."""
+        per_source_energy = {}
+        readings = 0
+        updates = 0
+        for source_id, source in self._sources.items():
+            stats = self._fabric.stats_for(source_id)
+            model = source.config.model
+            per_source_energy[source_id] = self._energy.report(
+                bytes_sent=stats.bytes_delivered,
+                filter_steps=source.samples_seen,
+                state_dim=model.state_dim,
+                measurement_dim=model.measurement_dim,
+                smoothing_steps=source.samples_seen if source.config.smoothed else 0,
+            )
+            readings += source.samples_seen
+            updates += source.updates_sent
+        return EngineReport(
+            ticks=self._ticks,
+            readings=readings,
+            updates_sent=updates,
+            bytes_delivered=self._fabric.total_bytes(),
+            per_source_energy=per_source_energy,
+        )

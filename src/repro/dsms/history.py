@@ -1,0 +1,115 @@
+"""Historical queries over a stored stream synopsis.
+
+A :class:`~repro.dsms.synopsis.KalmanSynopsis` stores only the transmitted
+updates, yet can answer questions about *any* past instant within the
+tolerance.  :class:`HistoryStore` packages that access pattern:
+
+* ``value_at(k)`` -- the reconstructed value at instant ``k``;
+* ``range_values(a, b)`` -- a slice of the reconstruction;
+* ``window_aggregate(kind, a, b)`` -- a certified aggregate over a past
+  window, with the bound inherited from the synopsis tolerance.
+
+The full reconstruction is materialised lazily on first access and cached;
+ingesting more data invalidates the cache.  This gives O(1) repeated
+historical reads at O(n) memory only while historical access is actually
+in use -- the stored state remains the compact update log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsms.aggregates import AggregateAnswer, AggregateKind
+from repro.dsms.synopsis import KalmanSynopsis
+from repro.errors import ConfigurationError
+from repro.streams.base import MaterializedStream
+
+__all__ = ["HistoryStore"]
+
+
+class HistoryStore:
+    """Point and range queries over a synopsis's reconstruction.
+
+    Args:
+        synopsis: The backing synopsis (already ingested, or ingested
+            through :meth:`ingest`).
+    """
+
+    def __init__(self, synopsis: KalmanSynopsis) -> None:
+        self._synopsis = synopsis
+        self._cache: MaterializedStream | None = None
+
+    @property
+    def synopsis(self) -> KalmanSynopsis:
+        """The backing synopsis."""
+        return self._synopsis
+
+    @property
+    def tolerance(self) -> float:
+        """Per-instant error tolerance of every answer."""
+        return self._synopsis.stats().tolerance
+
+    def ingest(self, stream: MaterializedStream) -> None:
+        """Ingest a stream into the backing synopsis (invalidates cache)."""
+        self._synopsis.ingest(stream)
+        self._cache = None
+
+    def _reconstruction(self) -> MaterializedStream:
+        if self._cache is None:
+            self._cache = self._synopsis.reconstruct()
+        return self._cache
+
+    def __len__(self) -> int:
+        return len(self._reconstruction())
+
+    def value_at(self, k: int) -> np.ndarray:
+        """The stream's value at past instant ``k``, within tolerance."""
+        reconstruction = self._reconstruction()
+        if not 0 <= k < len(reconstruction):
+            raise ConfigurationError(
+                f"instant {k} outside the stored range [0, {len(reconstruction)})"
+            )
+        return reconstruction[k].value.copy()
+
+    def range_values(self, start: int, stop: int) -> np.ndarray:
+        """Values over ``[start, stop)`` as an array of shape
+        ``(stop - start, dim)``."""
+        reconstruction = self._reconstruction()
+        if not 0 <= start <= stop <= len(reconstruction):
+            raise ConfigurationError(
+                f"range [{start}, {stop}) outside [0, {len(reconstruction)}]"
+            )
+        return reconstruction.values()[start:stop]
+
+    def window_aggregate(
+        self, kind: AggregateKind | str, start: int, stop: int, component: int = 0
+    ) -> AggregateAnswer:
+        """Certified aggregate over the past window ``[start, stop)``.
+
+        Bounds follow :mod:`repro.dsms.windows`: SUM scales with the window
+        length, AVG/MIN/MAX carry the per-instant tolerance.
+        """
+        kind = AggregateKind(kind)
+        values = self.range_values(start, stop)
+        if values.size == 0:
+            raise ConfigurationError("window is empty")
+        if component >= values.shape[1]:
+            raise ConfigurationError(
+                f"component {component} out of range for dim {values.shape[1]}"
+            )
+        series = values[:, component]
+        delta = self.tolerance
+        if kind is AggregateKind.SUM:
+            value, bound = float(series.sum()), delta * len(series)
+        elif kind is AggregateKind.AVG:
+            value, bound = float(series.mean()), delta
+        elif kind is AggregateKind.MIN:
+            value, bound = float(series.min()), delta
+        else:
+            value, bound = float(series.max()), delta
+        return AggregateAnswer(
+            query_id=f"history-{kind.value}[{start}:{stop}]",
+            kind=kind,
+            value=value,
+            error_bound=bound,
+        )

@@ -1,0 +1,158 @@
+"""Simulated network fabric for multi-source deployments.
+
+One :class:`NetworkFabric` carries the links between every remote source
+and the central server.  Each link wraps a
+:class:`~repro.dkf.protocol.Channel` with optional latency (delivery after
+a fixed number of ticks) and loss, and the fabric aggregates traffic
+accounting across links so the engine can report system-wide bandwidth.
+
+Latency model: a message sent at tick ``t`` with link latency ``L`` is
+delivered when :meth:`NetworkFabric.advance` reaches tick ``t + L``.
+Zero-latency links (the default, and what the paper's experiments assume
+on a LAN) deliver synchronously inside ``send``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.dkf.protocol import ResyncMessage, UpdateMessage
+from repro.errors import ConfigurationError, UnknownSourceError
+
+__all__ = ["LinkConfig", "NetworkFabric", "LinkStats"]
+
+Message = UpdateMessage | ResyncMessage
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Per-link parameters.
+
+    Attributes:
+        latency_ticks: Delivery delay in engine ticks (0 = synchronous).
+        loss_fn: Optional predicate ``(message_index) -> bool``; True
+            drops that update message (resyncs are never dropped).
+    """
+
+    latency_ticks: int = 0
+    loss_fn: Callable[[int], bool] | None = None
+
+    def __post_init__(self) -> None:
+        if self.latency_ticks < 0:
+            raise ConfigurationError("latency_ticks must be non-negative")
+
+
+@dataclass
+class LinkStats:
+    """Traffic counters for one link."""
+
+    offered: int = 0
+    delivered: int = 0
+    lost: int = 0
+    bytes_delivered: int = 0
+    resyncs: int = 0
+    in_flight: int = 0
+
+
+class NetworkFabric:
+    """All source-to-server links plus global traffic accounting."""
+
+    def __init__(self, deliver: Callable[[Message], None]) -> None:
+        self._deliver = deliver
+        self._links: dict[str, LinkConfig] = {}
+        self._stats: dict[str, LinkStats] = {}
+        self._tick = 0
+        self._queue: list[tuple[int, int, Message]] = []
+        self._seq = 0  # Tie-breaker preserving FIFO order per delivery tick.
+
+    def add_link(self, source_id: str, config: LinkConfig | None = None) -> None:
+        """Attach a link for a source."""
+        if source_id in self._links:
+            raise ConfigurationError(f"link for {source_id!r} already exists")
+        self._links[source_id] = config or LinkConfig()
+        self._stats[source_id] = LinkStats()
+
+    def _link(self, source_id: str) -> tuple[LinkConfig, LinkStats]:
+        try:
+            return self._links[source_id], self._stats[source_id]
+        except KeyError:
+            raise UnknownSourceError(
+                f"no link for source {source_id!r}"
+            ) from None
+
+    @property
+    def tick(self) -> int:
+        """The fabric clock (engine ticks)."""
+        return self._tick
+
+    def send(self, message: UpdateMessage) -> bool:
+        """Offer an update over the sender's link.
+
+        Returns True when the message was (or will be) delivered; False
+        when the loss function dropped it.
+        """
+        config, stats = self._link(message.source_id)
+        stats.offered += 1
+        if config.loss_fn is not None and config.loss_fn(stats.offered - 1):
+            stats.lost += 1
+            return False
+        self._enqueue(message, config, stats)
+        return True
+
+    def send_resync(self, message: ResyncMessage) -> None:
+        """Deliver a resync snapshot (reliable, never dropped)."""
+        config, stats = self._link(message.source_id)
+        stats.offered += 1
+        stats.resyncs += 1
+        self._enqueue(message, config, stats)
+
+    def _enqueue(self, message: Message, config: LinkConfig, stats: LinkStats) -> None:
+        if config.latency_ticks == 0:
+            stats.delivered += 1
+            stats.bytes_delivered += message.size_bytes
+            self._deliver(message)
+            return
+        stats.in_flight += 1
+        heapq.heappush(
+            self._queue,
+            (self._tick + config.latency_ticks, self._seq, message),
+        )
+        self._seq += 1
+
+    def advance(self, to_tick: int | None = None) -> int:
+        """Advance the fabric clock, delivering due messages in order.
+
+        Args:
+            to_tick: Target tick; defaults to ``tick + 1``.
+
+        Returns:
+            Number of messages delivered.
+        """
+        target = self._tick + 1 if to_tick is None else to_tick
+        if target < self._tick:
+            raise ConfigurationError("cannot advance the clock backwards")
+        delivered = 0
+        self._tick = target
+        while self._queue and self._queue[0][0] <= self._tick:
+            _due, _seq, message = heapq.heappop(self._queue)
+            stats = self._stats[message.source_id]
+            stats.in_flight -= 1
+            stats.delivered += 1
+            stats.bytes_delivered += message.size_bytes
+            self._deliver(message)
+            delivered += 1
+        return delivered
+
+    def stats_for(self, source_id: str) -> LinkStats:
+        """Traffic counters for one link."""
+        return self._link(source_id)[1]
+
+    def total_bytes(self) -> int:
+        """System-wide delivered bytes across all links."""
+        return sum(s.bytes_delivered for s in self._stats.values())
+
+    def total_messages(self) -> int:
+        """System-wide delivered messages across all links."""
+        return sum(s.delivered for s in self._stats.values())

@@ -1,0 +1,70 @@
+"""Continuous queries with precision constraints (paper Section 3.1,
+Table 2).
+
+A :class:`ContinuousQuery` ``q_j`` targets one source ``s_i`` and carries a
+precision width ``Delta_j`` plus the optional smoothing factor ``F_i``.
+The paper assumes one query per source (``Delta_j = delta_i``); the engine
+relaxes that (Section 6 future-work item 4): several queries may target the
+same source, and the *tightest* precision drives the installed filter, so
+every query's constraint is satisfied simultaneously.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ContinuousQuery", "QueryAnswer"]
+
+_query_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ContinuousQuery:
+    """One continuous query over a streaming source.
+
+    Attributes:
+        source_id: The target source ``s_i``.
+        delta: Precision width ``Delta_j`` the answer must satisfy.
+        smoothing_f: Optional smoothing factor ``F_i`` (Section 4.3); when
+            several queries on one source disagree, the smallest F (least
+            smoothing... largest fidelity) wins.
+        query_id: Unique identifier, auto-assigned when omitted.
+    """
+
+    source_id: str
+    delta: float
+    smoothing_f: float | None = None
+    query_id: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ConfigurationError(
+                f"query precision must be positive, got {self.delta}"
+            )
+        if self.smoothing_f is not None and self.smoothing_f < 0:
+            raise ConfigurationError("smoothing factor must be non-negative")
+        if not self.query_id:
+            object.__setattr__(self, "query_id", f"q{next(_query_counter)}")
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """A point-in-time answer to a continuous query.
+
+    Attributes:
+        query_id: The answered query.
+        source_id: The underlying source.
+        k: Sampling instant the answer corresponds to.
+        value: The server's estimate (tuple of floats for stability).
+        precision: The precision width the answer is guaranteed within
+            (the source's installed δ, which is <= the query's Δ).
+    """
+
+    query_id: str
+    source_id: str
+    k: int
+    value: tuple[float, ...]
+    precision: float

@@ -1,0 +1,147 @@
+"""Source registry: which sources exist, which queries target them, and
+which DKF configuration each source should run.
+
+The registry resolves the paper's installation step: "when a continuous
+query q_j with a precision constraint Delta_j is presented to the server on
+source object s_i, a Kalman Filter KF_s^i is installed at the main server
+[and] a mirror KF is activated at the remote source."  With multiple
+queries per source (future-work item 4), the effective precision is the
+minimum Δ over the source's active queries, so all constraints hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dkf.config import DKFConfig
+from repro.dsms.query import ContinuousQuery
+from repro.errors import DuplicateSourceError, QueryError, UnknownSourceError
+from repro.filters.models import StateSpaceModel
+
+__all__ = ["SourceDescriptor", "SourceRegistry"]
+
+
+@dataclass
+class SourceDescriptor:
+    """A registered streaming source and its active queries.
+
+    Attributes:
+        source_id: Identifier ``s_i``.
+        model: The state-space model this source's streams follow.
+        queries: Active continuous queries targeting the source.
+        default_smoothing_r: Measurement variance for an installed
+            smoothing filter.
+    """
+
+    source_id: str
+    model: StateSpaceModel
+    queries: dict[str, ContinuousQuery] = field(default_factory=dict)
+    default_smoothing_r: float = 1.0
+
+    @property
+    def effective_delta(self) -> float:
+        """Tightest precision over the active queries."""
+        if not self.queries:
+            raise QueryError(f"source {self.source_id!r} has no active queries")
+        return min(q.delta for q in self.queries.values())
+
+    @property
+    def effective_smoothing_f(self) -> float | None:
+        """Least-smoothing F over the active queries (None when no query
+        requests smoothing: smoothing is opt-in)."""
+        fs = [
+            q.smoothing_f
+            for q in self.queries.values()
+            if q.smoothing_f is not None
+        ]
+        if not fs:
+            return None
+        return max(fs)  # Larger F = less smoothing = higher fidelity.
+
+    def build_config(self) -> DKFConfig:
+        """The DKF configuration this source should currently run."""
+        return DKFConfig(
+            model=self.model,
+            delta=self.effective_delta,
+            smoothing_f=self.effective_smoothing_f,
+            smoothing_r=self.default_smoothing_r,
+        )
+
+
+class SourceRegistry:
+    """Registry of sources and the query -> source mapping."""
+
+    def __init__(self) -> None:
+        self._sources: dict[str, SourceDescriptor] = {}
+        self._query_index: dict[str, str] = {}
+
+    def register_source(
+        self,
+        source_id: str,
+        model: StateSpaceModel,
+        default_smoothing_r: float = 1.0,
+    ) -> SourceDescriptor:
+        """Declare a streaming source and the model that fits it."""
+        if source_id in self._sources:
+            raise DuplicateSourceError(f"source {source_id!r} already registered")
+        descriptor = SourceDescriptor(
+            source_id=source_id,
+            model=model,
+            default_smoothing_r=default_smoothing_r,
+        )
+        self._sources[source_id] = descriptor
+        return descriptor
+
+    def source(self, source_id: str) -> SourceDescriptor:
+        """The descriptor for ``source_id`` (raises if unknown)."""
+        try:
+            return self._sources[source_id]
+        except KeyError:
+            raise UnknownSourceError(f"source {source_id!r} not registered") from None
+
+    @property
+    def source_ids(self) -> list[str]:
+        """Identifiers of all registered sources."""
+        return list(self._sources)
+
+    def add_query(self, query: ContinuousQuery) -> SourceDescriptor:
+        """Attach a query to its source; returns the (updated) descriptor.
+
+        The caller (the engine) is responsible for re-installing the
+        source's DKF when the effective δ or F changed.
+        """
+        descriptor = self.source(query.source_id)
+        if query.query_id in self._query_index:
+            raise QueryError(f"query {query.query_id!r} already active")
+        descriptor.queries[query.query_id] = query
+        self._query_index[query.query_id] = query.source_id
+        return descriptor
+
+    def remove_query(self, query_id: str) -> SourceDescriptor:
+        """Detach a query; returns the descriptor it was attached to."""
+        try:
+            source_id = self._query_index.pop(query_id)
+        except KeyError:
+            raise QueryError(f"query {query_id!r} not active") from None
+        descriptor = self._sources[source_id]
+        del descriptor.queries[query_id]
+        return descriptor
+
+    def queries_for(self, source_id: str) -> list[ContinuousQuery]:
+        """Active queries targeting one source."""
+        return list(self.source(source_id).queries.values())
+
+    def query(self, query_id: str) -> ContinuousQuery:
+        """Look up an active query by id (raises if unknown)."""
+        try:
+            source_id = self._query_index[query_id]
+        except KeyError:
+            raise QueryError(f"query {query_id!r} not active") from None
+        return self._sources[source_id].queries[query_id]
+
+    @property
+    def active_queries(self) -> list[ContinuousQuery]:
+        """Every active query across all sources."""
+        return [
+            q for d in self._sources.values() for q in d.queries.values()
+        ]

@@ -1,0 +1,140 @@
+"""Sliding-window aggregates over a single stream's server-side values.
+
+DSMS queries are often *windowed* ("average load over the last 24 h").
+The server never has the raw stream -- only its DKF-predicted values --
+but each per-instant value carries the δ guarantee, so window aggregates
+inherit certified bounds by interval arithmetic:
+
+* window ``SUM``:  bound = w · δ  (w = current window occupancy)
+* window ``AVG``:  bound = δ
+* window ``MIN`` / ``MAX``: interval of the per-instant intervals, as in
+  :mod:`repro.dsms.aggregates`.
+
+:class:`WindowedAggregator` is push-based: feed it the server value at
+every sampling instant (e.g. from a
+:class:`~repro.scheme.SchemeDecision`), read any aggregate at any time.
+Min/max use monotonic deques, so every operation is amortised O(1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.dsms.aggregates import AggregateAnswer, AggregateKind
+from repro.errors import ConfigurationError
+
+__all__ = ["WindowedAggregator"]
+
+
+class WindowedAggregator:
+    """Certified sliding-window aggregates over one scalar value stream.
+
+    Args:
+        window: Window length in sampling instants.
+        delta: The per-instant precision width of the fed values (the
+            source's δ).
+    """
+
+    def __init__(self, window: int, delta: float) -> None:
+        if window < 1:
+            raise ConfigurationError("window must be positive")
+        if delta <= 0:
+            raise ConfigurationError("delta must be positive")
+        self._window = window
+        self._delta = float(delta)
+        self._values: deque[float] = deque(maxlen=window)
+        self._sum = 0.0
+        # Monotonic deques of (index, value) for O(1) min/max.
+        self._min_q: deque[tuple[int, float]] = deque()
+        self._max_q: deque[tuple[int, float]] = deque()
+        self._count = 0
+
+    @property
+    def window(self) -> int:
+        """The configured window length."""
+        return self._window
+
+    @property
+    def occupancy(self) -> int:
+        """Values currently inside the window."""
+        return len(self._values)
+
+    @property
+    def primed(self) -> bool:
+        """Whether at least one value has been pushed."""
+        return bool(self._values)
+
+    def push(self, value: float) -> None:
+        """Feed the server value for the next sampling instant."""
+        value = float(value)
+        if len(self._values) == self._window:
+            self._sum -= self._values[0]
+        self._values.append(value)
+        self._sum += value
+        index = self._count
+        self._count += 1
+        expired = index - self._window  # Indices <= expired left the window.
+        while self._min_q and self._min_q[0][0] <= expired:
+            self._min_q.popleft()
+        while self._max_q and self._max_q[0][0] <= expired:
+            self._max_q.popleft()
+        while self._min_q and self._min_q[-1][1] >= value:
+            self._min_q.pop()
+        while self._max_q and self._max_q[-1][1] <= value:
+            self._max_q.pop()
+        self._min_q.append((index, value))
+        self._max_q.append((index, value))
+
+    def _require_primed(self) -> None:
+        if not self._values:
+            raise ConfigurationError("no values pushed yet")
+
+    def sum(self) -> AggregateAnswer:
+        """Window SUM with bound ``occupancy * delta``."""
+        self._require_primed()
+        return AggregateAnswer(
+            query_id="window-sum",
+            kind=AggregateKind.SUM,
+            value=self._sum,
+            error_bound=len(self._values) * self._delta,
+        )
+
+    def avg(self) -> AggregateAnswer:
+        """Window AVG with bound ``delta``."""
+        self._require_primed()
+        return AggregateAnswer(
+            query_id="window-avg",
+            kind=AggregateKind.AVG,
+            value=self._sum / len(self._values),
+            error_bound=self._delta,
+        )
+
+    def min(self) -> AggregateAnswer:
+        """Window MIN: true min lies in [min - delta, min + delta]."""
+        self._require_primed()
+        low = self._min_q[0][1]
+        return AggregateAnswer(
+            query_id="window-min",
+            kind=AggregateKind.MIN,
+            value=low,
+            error_bound=self._delta,
+        )
+
+    def max(self) -> AggregateAnswer:
+        """Window MAX: true max lies in [max - delta, max + delta]."""
+        self._require_primed()
+        high = self._max_q[0][1]
+        return AggregateAnswer(
+            query_id="window-max",
+            kind=AggregateKind.MAX,
+            value=high,
+            error_bound=self._delta,
+        )
+
+    def reset(self) -> None:
+        """Empty the window and counters."""
+        self._values.clear()
+        self._sum = 0.0
+        self._min_q.clear()
+        self._max_q.clear()
+        self._count = 0

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.  Subclasses are organised by
+subsystem: filter algebra, the DKF protocol, stream handling, and the DSMS
+engine.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class FilterError(ReproError):
+    """Base class for errors raised by the filtering subsystem."""
+
+
+class DimensionError(FilterError):
+    """A matrix or vector has a shape incompatible with the filter model.
+
+    Raised eagerly at construction or update time so that shape bugs surface
+    at the call site instead of deep inside a numpy broadcast.
+    """
+
+
+class NotPositiveDefiniteError(FilterError):
+    """A covariance matrix is not symmetric positive semi-definite."""
+
+
+class DivergenceError(FilterError):
+    """The filter state has become non-finite (NaN or infinity).
+
+    This typically indicates a mis-specified model (e.g. an unstable state
+    transition matrix with no measurements) or corrupted input data.
+    """
+
+
+class ProtocolError(ReproError):
+    """Base class for violations of the dual-filter (DKF) protocol."""
+
+
+class MirrorDesyncError(ProtocolError):
+    """The server and mirror filters no longer agree.
+
+    The DKF protocol relies on ``KF_s`` and ``KF_m`` evolving in lock-step;
+    a desync means a message was lost or applied out of order.  The protocol
+    layer raises this when a consistency check (sequence numbers or state
+    digests) fails.
+    """
+
+
+class StaleSessionError(ProtocolError):
+    """An operation was attempted on a session that has already finished."""
+
+
+class StreamError(ReproError):
+    """Base class for errors in stream generation and replay."""
+
+
+class StreamExhaustedError(StreamError):
+    """A stream was read past its final record."""
+
+
+class QueryError(ReproError):
+    """Base class for errors in continuous-query handling."""
+
+
+class UnknownSourceError(QueryError):
+    """A query referenced a source id that is not registered."""
+
+
+class DuplicateSourceError(QueryError):
+    """A source id was registered twice with conflicting definitions."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied configuration value is invalid (e.g. negative δ)."""

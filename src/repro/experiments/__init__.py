@@ -1,0 +1,16 @@
+"""Experiment harness: one module per paper example, each exposing
+functions that regenerate the corresponding figures' data series, plus the
+Table 1 quantitative proxy matrix.
+
+Run any module directly for a text report::
+
+    python -m repro.experiments.example1
+    python -m repro.experiments.example2
+    python -m repro.experiments.example3
+    python -m repro.experiments.table1
+"""
+
+from repro.experiments import example1, example2, example3, table1
+from repro.experiments.runner import sweep
+
+__all__ = ["example1", "example2", "example3", "sweep", "table1"]

@@ -1,0 +1,118 @@
+"""Example 1: tracking a moving object (paper Section 5.1, Figures 3-5).
+
+Three schemes over the synthetic piecewise-linear trajectory:
+
+* the cached-approximation baseline;
+* the DKF with the *constant* model (Eq. 15) -- the paper's worst case,
+  expected to match caching;
+* the DKF with the *linear* (constant-velocity) model (Eq. 13/14) --
+  expected to cut updates by roughly 75% at a moderate precision width
+  (δ = 3) and to converge toward the others as δ grows.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.caching import CachedValueScheme
+from repro.datasets.moving_object import SAMPLING_DT, moving_object_dataset
+from repro.dkf.config import DKFConfig
+from repro.dkf.session import DKFSession
+from repro.experiments.runner import sweep
+from repro.filters.models import constant_model, linear_model
+from repro.metrics.compare import SweepTable, format_table
+from repro.streams.base import MaterializedStream
+
+__all__ = [
+    "DELTAS",
+    "dataset",
+    "scheme_factories",
+    "figure3_dataset",
+    "figure4_updates",
+    "figure5_error",
+    "main",
+]
+
+#: Precision widths swept in Figures 4-5 (units of position).
+DELTAS = [0.5, 1.0, 2.0, 3.0, 5.0, 10.0, 20.0, 30.0, 50.0]
+
+
+def dataset(n: int = 4000, seed: int | None = None) -> MaterializedStream:
+    """The Example 1 trajectory (Figure 3)."""
+    kwargs = {"n": n}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return moving_object_dataset(**kwargs)
+
+
+def scheme_factories():
+    """The three schemes compared, keyed by figure legend name."""
+    return [
+        (
+            "caching",
+            lambda delta: CachedValueScheme.from_precision(delta, dims=2),
+        ),
+        (
+            "dkf-constant",
+            lambda delta: DKFSession(
+                DKFConfig(model=constant_model(dims=2), delta=delta)
+            ),
+        ),
+        (
+            "dkf-linear",
+            lambda delta: DKFSession(
+                DKFConfig(
+                    model=linear_model(dims=2, dt=SAMPLING_DT), delta=delta
+                )
+            ),
+        ),
+    ]
+
+
+def figure3_dataset(n: int = 4000) -> dict[str, float | int | str]:
+    """Summary statistics of the Figure 3 dataset."""
+    return dataset(n).summary()
+
+
+def figure4_updates(n: int = 4000, deltas=None) -> SweepTable:
+    """Figure 4: percentage of updates received at the server vs δ."""
+    return sweep(
+        dataset(n),
+        scheme_factories(),
+        deltas or DELTAS,
+        parameter="delta",
+        metric="update_percentage",
+    )
+
+
+def figure5_error(n: int = 4000, deltas=None) -> SweepTable:
+    """Figure 5: average error value vs δ (error = |dx| + |dy|)."""
+    return sweep(
+        dataset(n),
+        scheme_factories(),
+        deltas or DELTAS,
+        parameter="delta",
+        metric="average_error",
+    )
+
+
+def main() -> None:
+    """Print the Example 1 figure series (tables + ASCII charts)."""
+    from repro.metrics.ascii_plot import render_sweep_table, sparkline
+
+    stream = dataset()
+    print("Figure 3 (dataset):", figure3_dataset())
+    print("  x:", sparkline(stream.component(0)))
+    print("  y:", sparkline(stream.component(1)))
+    print()
+    fig4 = figure4_updates()
+    print("Figure 4: % updates vs precision width")
+    print(format_table(fig4))
+    print(render_sweep_table(fig4))
+    print()
+    fig5 = figure5_error()
+    print("Figure 5: average error vs precision width")
+    print(format_table(fig5))
+    print(render_sweep_table(fig5))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+"""Example 2: monitoring average zonal electric load (paper Section 5.2,
+Figures 6-8).
+
+Three schemes over the (synthetic stand-in for the) hourly power-load
+series:
+
+* the cached-approximation baseline;
+* the DKF with a 1-D *linear* model -- the generic choice when the
+  stream's periodicity has not been analysed;
+* the DKF with the *sinusoidal* model of Eq. 17, whose time-varying
+  ``phi_k`` encodes the diurnal cycle.
+
+The paper reports the sinusoidal model beating the linear one by roughly
+10% and both beating caching, with robustness to imperfect parameters.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines.caching import CachedValueScheme
+from repro.datasets.power_load import power_load_dataset
+from repro.dkf.config import DKFConfig
+from repro.dkf.session import DKFSession
+from repro.experiments.runner import sweep
+from repro.filters.models import linear_model, sinusoidal_model
+from repro.metrics.compare import SweepTable, format_table
+from repro.streams.base import MaterializedStream
+
+__all__ = [
+    "DELTAS",
+    "OMEGA",
+    "THETA",
+    "dataset",
+    "scheme_factories",
+    "figure6_dataset",
+    "figure7_updates",
+    "figure8_error",
+    "main",
+]
+
+#: Precision widths swept in Figures 7-8 (load units).
+DELTAS = [10.0, 20.0, 30.0, 50.0, 75.0, 100.0, 150.0, 200.0]
+
+#: Diurnal angular frequency on hourly samples (2π / 24 h).  The paper
+#: reports ``omega = 18/pi``; on hourly data a diurnal cycle is 2π/24, and
+#: our synthetic stand-in is built with that period, so we install the
+#: matching value (the paper's robustness claim -- parameters need not be
+#: exact -- is exercised separately in the ablation bench).
+OMEGA = 2.0 * math.pi / 24.0
+#: Phase aligning the model with the dataset's afternoon peak.
+THETA = -8.0 * OMEGA
+
+
+def dataset(n: int = 5831, seed: int | None = None) -> MaterializedStream:
+    """The Example 2 hourly load series (Figure 6 stand-in)."""
+    kwargs = {"n": n}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return power_load_dataset(**kwargs)
+
+
+def scheme_factories(omega: float = OMEGA, theta: float = THETA):
+    """The three schemes compared, keyed by figure legend name."""
+    return [
+        (
+            "caching",
+            lambda delta: CachedValueScheme.from_precision(delta, dims=1),
+        ),
+        (
+            "dkf-linear",
+            lambda delta: DKFSession(
+                DKFConfig(model=linear_model(dims=1, dt=1.0), delta=delta)
+            ),
+        ),
+        (
+            "dkf-sinusoidal",
+            lambda delta: DKFSession(
+                DKFConfig(
+                    model=sinusoidal_model(omega=omega, theta=theta),
+                    delta=delta,
+                )
+            ),
+        ),
+    ]
+
+
+def figure6_dataset(n: int = 5831) -> dict[str, float | int | str]:
+    """Summary statistics of the Figure 6 dataset."""
+    return dataset(n).summary()
+
+
+def figure7_updates(n: int = 5831, deltas=None) -> SweepTable:
+    """Figure 7: percentage of updates received at the server vs δ."""
+    return sweep(
+        dataset(n),
+        scheme_factories(),
+        deltas or DELTAS,
+        parameter="delta",
+        metric="update_percentage",
+    )
+
+
+def figure8_error(n: int = 5831, deltas=None) -> SweepTable:
+    """Figure 8: average error value vs δ."""
+    return sweep(
+        dataset(n),
+        scheme_factories(),
+        deltas or DELTAS,
+        parameter="delta",
+        metric="average_error",
+    )
+
+
+def main() -> None:
+    """Print the Example 2 figure series (tables + ASCII charts)."""
+    from repro.metrics.ascii_plot import render_sweep_table, sparkline
+
+    print("Figure 6 (dataset):", figure6_dataset())
+    print("  load:", sparkline(dataset().component(0)))
+    print()
+    fig7 = figure7_updates()
+    print("Figure 7: % updates vs precision width")
+    print(format_table(fig7))
+    print(render_sweep_table(fig7))
+    print()
+    fig8 = figure8_error()
+    print("Figure 8: average error vs precision width")
+    print(format_table(fig8))
+    print(render_sweep_table(fig8))
+
+
+if __name__ == "__main__":
+    main()

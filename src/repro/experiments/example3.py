@@ -1,0 +1,220 @@
+"""Example 3: network monitoring (paper Section 5.3, Figures 9-12).
+
+The HTTP-traffic series is too noisy for raw prediction to help, so the
+source smooths it with ``KF_c`` (smoothing factor ``F``) before the DKF
+protocol runs.  Experiments:
+
+* Figure 10 -- with a small ``F`` (1e-9) the KF-smoothed series matches the
+  moving average, demonstrating that the KF subsumes the moving-average
+  approach while remaining truly online (no window buffer).
+* Figure 11 -- update percentage vs δ at ``F = 1e-7`` for caching,
+  constant-model DKF and linear-model DKF, all operating on the smoothed
+  stream; the linear model wins once smoothing exposes the local trend.
+* Figure 12 -- update percentage vs ``F`` at fixed δ = 10: lowering ``F``
+  reduces variation and thus updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.caching import CachedValueScheme
+from repro.baselines.moving_average import moving_average_series
+from repro.datasets.http_traffic import http_traffic_dataset
+from repro.dkf.config import DKFConfig
+from repro.dkf.session import DKFSession
+from repro.filters.models import constant_model, linear_model
+from repro.filters.smoothing import smooth_series
+from repro.metrics.compare import SweepTable, format_table
+from repro.metrics.evaluation import evaluate_scheme
+from repro.streams.base import MaterializedStream, stream_from_values
+
+__all__ = [
+    "DELTAS",
+    "SMOOTHING_FACTORS",
+    "FIG11_F",
+    "FIG12_DELTA",
+    "MA_WINDOW",
+    "dataset",
+    "figure9_dataset",
+    "figure10_smoothing",
+    "figure11_updates",
+    "figure12_smoothing_sweep",
+    "main",
+]
+
+#: Precision widths swept in Figure 11 (packet-count units).  With
+#: F = 1e-7 the smoothed stream drifts slowly, so the interesting regime
+#: -- where the linear model's trend-following beats constant/caching --
+#: sits at tight precisions.
+DELTAS = [0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0]
+#: Smoothing factors swept in Figure 12.
+SMOOTHING_FACTORS = [1e-9, 1e-7, 1e-5, 1e-3, 1e-1]
+#: Figure 11 runs at this smoothing factor (paper: F = 1e-7).
+FIG11_F = 1e-7
+#: Figure 12 runs at this precision width (paper: delta = 10).
+FIG12_DELTA = 10.0
+#: Window of the moving-average comparator in Figure 10.  A long window
+#: matches the paper's description of the MA as nearly insensitive to
+#: short spike runs; with it, KF smoothing at F <= 1e-7 coincides with the
+#: MA while large F tracks the raw data.
+MA_WINDOW = 1000
+
+
+def dataset(n: int = 4000, seed: int | None = None) -> MaterializedStream:
+    """The Example 3 HTTP packet-count series (Figure 9 stand-in)."""
+    kwargs = {"n": n}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return http_traffic_dataset(**kwargs)
+
+
+def figure9_dataset(n: int = 4000) -> dict[str, float | int | str]:
+    """Summary statistics of the Figure 9 dataset."""
+    return dataset(n).summary()
+
+
+def figure10_smoothing(
+    n: int = 4000, f: float = 1e-9, window: int = MA_WINDOW
+) -> dict[str, np.ndarray | float]:
+    """Figure 10: KF smoothing vs the moving-average approach.
+
+    Returns the raw series, the KF-smoothed series, the moving average,
+    and their root-mean-square distance over the post-warm-up region
+    (both smoothers need ``window`` samples to settle).
+    """
+    raw = dataset(n).component(0)
+    kf = smooth_series(raw, f=f)
+    ma = moving_average_series(raw, window=window)
+    settled = slice(window, None)
+    rms = float(np.sqrt(np.mean((kf[settled] - ma[settled]) ** 2)))
+    scale = float(raw.std())
+    return {
+        "raw": raw,
+        "kf_smoothed": kf,
+        "moving_average": ma,
+        "rms_distance": rms,
+        "rms_distance_relative": rms / scale if scale else 0.0,
+    }
+
+
+def _fig11_factories(f: float):
+    return [
+        ("caching", lambda delta: CachedValueScheme.from_precision(delta, dims=1)),
+        (
+            "dkf-constant",
+            lambda delta: DKFSession(
+                DKFConfig(model=constant_model(dims=1), delta=delta, smoothing_f=f)
+            ),
+        ),
+        (
+            "dkf-linear",
+            lambda delta: DKFSession(
+                DKFConfig(
+                    model=linear_model(dims=1, dt=1.0), delta=delta, smoothing_f=f
+                )
+            ),
+        ),
+    ]
+
+
+def smoothed_dataset(n: int = 4000, f: float = FIG11_F) -> MaterializedStream:
+    """The Example 3 stream after ``KF_c`` smoothing (for the caching
+    comparator, which has no smoothing filter of its own)."""
+    raw = dataset(n)
+    smoothed = smooth_series(raw.component(0), f=f)
+    return stream_from_values(
+        smoothed,
+        name=f"{raw.name}[F={f:g}]",
+        sampling_interval=raw.sampling_interval,
+    )
+
+
+def figure11_updates(n: int = 4000, f: float = FIG11_F, deltas=None) -> SweepTable:
+    """Figure 11: update percentage vs δ on smoothed data (F = 1e-7).
+
+    The caching baseline replays the pre-smoothed stream; the DKF sessions
+    smooth at the source via ``KF_c`` -- both therefore operate on the
+    identical value sequence, and only the prediction mechanism differs.
+    """
+    deltas = deltas or DELTAS
+    raw = dataset(n)
+    smoothed = smoothed_dataset(n, f)
+    table = SweepTable(parameter="delta", values=[], metric="update_percentage")
+    for delta in deltas:
+        row = []
+        caching = CachedValueScheme.from_precision(delta, dims=1)
+        caching_result = evaluate_scheme(caching, smoothed)
+        row.append(_relabel(caching_result, "caching"))
+        for name, factory in _fig11_factories(f)[1:]:
+            result = evaluate_scheme(factory(delta), raw)
+            row.append(_relabel(result, name))
+        table.add_row(delta, row)
+    return table
+
+
+def figure12_smoothing_sweep(
+    n: int = 4000, delta: float = FIG12_DELTA, factors=None
+) -> SweepTable:
+    """Figure 12: update percentage vs F at fixed δ = 10."""
+    factors = factors or SMOOTHING_FACTORS
+    raw = dataset(n)
+    table = SweepTable(parameter="F", values=[], metric="update_percentage")
+    for f in factors:
+        row = []
+        for name, factory in _fig11_factories(f):
+            if name == "caching":
+                result = evaluate_scheme(
+                    CachedValueScheme.from_precision(delta, dims=1),
+                    smoothed_dataset(n, f),
+                )
+            else:
+                result = evaluate_scheme(factory(delta), raw)
+            row.append(_relabel(result, name))
+        table.add_row(f, row)
+    return table
+
+
+def _relabel(result, name):
+    return type(result)(
+        scheme=name,
+        stream=result.stream,
+        readings=result.readings,
+        updates=result.updates,
+        update_fraction=result.update_fraction,
+        average_error=result.average_error,
+        max_error=result.max_error,
+        average_raw_error=result.average_raw_error,
+        payload_floats=result.payload_floats,
+    )
+
+
+def main() -> None:
+    """Print the Example 3 figure series (tables + ASCII charts)."""
+    from repro.metrics.ascii_plot import render_sweep_table, sparkline
+
+    print("Figure 9 (dataset):", figure9_dataset())
+    print("  counts:", sparkline(dataset().component(0)))
+    print()
+    fig10 = figure10_smoothing()
+    print(
+        "Figure 10: KF(F=1e-9) vs moving average -- relative RMS distance "
+        f"{fig10['rms_distance_relative']:.4f}"
+    )
+    print("  raw     :", sparkline(fig10["raw"]))
+    print("  KF      :", sparkline(fig10["kf_smoothed"]))
+    print("  mov.avg :", sparkline(fig10["moving_average"]))
+    print()
+    fig11 = figure11_updates()
+    print("Figure 11: % updates vs precision width (F = 1e-7)")
+    print(format_table(fig11))
+    print(render_sweep_table(fig11))
+    print()
+    fig12 = figure12_smoothing_sweep()
+    print("Figure 12: % updates vs smoothing factor (delta = 10)")
+    print(format_table(fig12))
+    print(render_sweep_table(fig12, log_x=True))
+
+
+if __name__ == "__main__":
+    main()

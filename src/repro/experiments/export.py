@@ -1,0 +1,131 @@
+"""Export regenerated figure data to CSV.
+
+Downstream users comparing against the paper (or against another
+reproduction) want the raw series, not console text.  This module writes
+one CSV per figure into an output directory, plus the three datasets as
+traces loadable with :func:`repro.streams.replay.load_stream_csv`::
+
+    python -m repro.experiments.export out/figures/
+"""
+
+from __future__ import annotations
+
+import csv
+import sys
+from pathlib import Path
+
+from repro.datasets import (
+    http_traffic_dataset,
+    moving_object_dataset,
+    power_load_dataset,
+)
+from repro.experiments import example1, example2, example3, table1
+from repro.metrics.compare import SweepTable
+from repro.metrics.evaluation import EvaluationResult
+from repro.streams.replay import save_stream_csv
+
+__all__ = ["export_table", "export_results", "export_all"]
+
+
+def export_table(table: SweepTable, path: str | Path) -> None:
+    """Write a sweep table to CSV: parameter column + one column/scheme."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([table.parameter] + table.columns)
+        for value, cells in zip(table.values, table.cells):
+            writer.writerow([repr(float(value))] + [repr(float(c)) for c in cells])
+
+
+def export_results(results: list[EvaluationResult], path: str | Path) -> None:
+    """Write a flat result list (the Table 1 matrix) to CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "scheme",
+                "stream",
+                "readings",
+                "updates",
+                "update_percentage",
+                "average_error",
+                "max_error",
+            ]
+        )
+        for r in results:
+            writer.writerow(
+                [
+                    r.scheme,
+                    r.stream,
+                    r.readings,
+                    r.updates,
+                    repr(r.update_percentage),
+                    repr(r.average_error),
+                    repr(r.max_error),
+                ]
+            )
+
+
+def export_all(out_dir: str | Path, sizes: dict[str, int] | None = None) -> list[Path]:
+    """Regenerate every figure/table and write its data under ``out_dir``.
+
+    Args:
+        out_dir: Output directory (created if missing).
+        sizes: Optional per-dataset record-count overrides (tests shrink
+            them; full sizes by default).
+
+    Returns:
+        The list of files written.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    sizes = sizes or {}
+    n1 = sizes.get("moving-object", 4000)
+    n2 = sizes.get("power-load", 5831)
+    n3 = sizes.get("http-traffic", 4000)
+    written: list[Path] = []
+
+    def _write_table(table: SweepTable, name: str) -> None:
+        path = out / name
+        export_table(table, path)
+        written.append(path)
+
+    save_stream_csv(moving_object_dataset(n=n1), out / "fig03_dataset.csv")
+    written.append(out / "fig03_dataset.csv")
+    _write_table(example1.figure4_updates(n=n1), "fig04_updates.csv")
+    _write_table(example1.figure5_error(n=n1), "fig05_error.csv")
+
+    save_stream_csv(power_load_dataset(n=n2), out / "fig06_dataset.csv")
+    written.append(out / "fig06_dataset.csv")
+    _write_table(example2.figure7_updates(n=n2), "fig07_updates.csv")
+    _write_table(example2.figure8_error(n=n2), "fig08_error.csv")
+
+    save_stream_csv(http_traffic_dataset(n=n3), out / "fig09_dataset.csv")
+    written.append(out / "fig09_dataset.csv")
+    _write_table(example3.figure11_updates(n=n3), "fig11_updates.csv")
+    _write_table(example3.figure12_smoothing_sweep(n=n3), "fig12_smoothing.csv")
+
+    matrix_path = out / "table1_matrix.csv"
+    export_results(
+        table1.matrix(
+            sizes={"moving-object": n1, "power-load": n2, "http-traffic": n3}
+        ),
+        matrix_path,
+    )
+    written.append(matrix_path)
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry: export all figure data to the directory in argv[0]."""
+    argv = sys.argv[1:] if argv is None else argv
+    out_dir = argv[0] if argv else "figures-out"
+    files = export_all(out_dir)
+    for path in files:
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

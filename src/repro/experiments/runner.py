@@ -1,0 +1,68 @@
+"""Shared sweep machinery for the experiment modules.
+
+Each figure in the paper's evaluation is a sweep of one parameter
+(precision width δ, smoothing factor F) over a fixed set of schemes on a
+fixed dataset.  :func:`sweep` runs the cross product and fills a
+:class:`~repro.metrics.compare.SweepTable` whose columns are scheme names
+and whose rows are sweep values -- exactly the series the paper plots.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.metrics.compare import SweepTable
+from repro.metrics.evaluation import evaluate_scheme
+from repro.scheme import SuppressionScheme
+from repro.streams.base import MaterializedStream
+
+__all__ = ["SchemeFactory", "sweep"]
+
+#: Builds a fresh scheme for one sweep value.
+SchemeFactory = Callable[[float], SuppressionScheme]
+
+
+def sweep(
+    stream: MaterializedStream,
+    factories: Sequence[tuple[str, SchemeFactory]],
+    values: Sequence[float],
+    parameter: str,
+    metric: str = "update_percentage",
+) -> SweepTable:
+    """Run every scheme at every sweep value and collect one metric.
+
+    Args:
+        stream: The dataset to replay.
+        factories: ``(column_name, factory)`` pairs; the factory receives
+            the sweep value and returns a fresh scheme.
+        values: The sweep values, in row order.
+        parameter: Display name of the swept parameter.
+        metric: :class:`~repro.metrics.evaluation.EvaluationResult`
+            attribute to tabulate.
+
+    Returns:
+        A filled sweep table (column order matches ``factories``).
+    """
+    table = SweepTable(parameter=parameter, values=[], metric=metric)
+    for value in values:
+        row = []
+        for name, factory in factories:
+            scheme = factory(value)
+            result = evaluate_scheme(scheme, stream)
+            # Rename to the stable column label so rows always align even
+            # though scheme display names embed the sweep value.
+            row.append(
+                type(result)(
+                    scheme=name,
+                    stream=result.stream,
+                    readings=result.readings,
+                    updates=result.updates,
+                    update_fraction=result.update_fraction,
+                    average_error=result.average_error,
+                    max_error=result.max_error,
+                    average_raw_error=result.average_raw_error,
+                    payload_floats=result.payload_floats,
+                )
+            )
+        table.add_row(value, row)
+    return table

@@ -1,0 +1,174 @@
+"""Adaptive noise-covariance estimation (paper Section 6, future-work
+item: "robustness of the KF when the statistics of the noise are not
+known").
+
+When ``Q`` and ``R`` are unknown or drift over time, they can be estimated
+online from the innovation sequence.  This module implements the classic
+innovation-based adaptive estimation (IAE) scheme: over a sliding window
+the sample covariance of the innovations ``C_v`` is compared with its
+theoretical value ``H P^- H^T + R``, giving
+
+* an R estimate:  ``R ≈ C_v - H P^- H^T``
+* a Q estimate:   ``Q ≈ K C_v K^T`` (the portion of innovation energy the
+  gain attributes to the process).
+
+Estimates are floored to keep covariances positive semi-definite and blended
+with the running values through an exponential forgetting factor, so a few
+wild innovations cannot destabilise the filter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.filters.kalman import KalmanFilter, KalmanStep
+
+__all__ = ["AdaptiveNoiseKalmanFilter"]
+
+
+class AdaptiveNoiseKalmanFilter:
+    """Kalman filter wrapper that re-estimates ``Q`` and ``R`` online.
+
+    Wraps a :class:`~repro.filters.kalman.KalmanFilter` built with initial
+    guesses for the noise covariances and refines them from observed
+    innovations.  The wrapped filter is rebuilt in place by swapping its
+    covariance callables, so downstream code (the DKF layer) sees a normal
+    filter interface.
+
+    Args:
+        phi: State transition matrix (constant or callable).
+        h: Measurement matrix (constant or callable).
+        q0: Initial process noise covariance guess.
+        r0: Initial measurement noise covariance guess.
+        x0: Initial state.
+        p0: Initial covariance.
+        window: Number of innovations per estimation window.
+        forgetting: Blend factor in ``(0, 1]``; the new estimate receives
+            this weight and the old value the remainder.
+        floor: Minimum eigenvalue enforced on the adapted covariances.
+        adapt_q: Whether to adapt the process noise.
+        adapt_r: Whether to adapt the measurement noise.
+    """
+
+    def __init__(
+        self,
+        phi,
+        h,
+        q0: np.ndarray,
+        r0: np.ndarray,
+        x0: np.ndarray,
+        p0: np.ndarray | None = None,
+        window: int = 30,
+        forgetting: float = 0.3,
+        floor: float = 1e-9,
+        adapt_q: bool = True,
+        adapt_r: bool = True,
+    ) -> None:
+        if window < 2:
+            raise ConfigurationError("window must be at least 2")
+        if not 0 < forgetting <= 1:
+            raise ConfigurationError("forgetting must be in (0, 1]")
+        self._q = np.asarray(q0, dtype=float).copy()
+        self._r = np.asarray(r0, dtype=float).copy()
+        self._filter = KalmanFilter(
+            phi, h, lambda k: self._q, lambda k: self._r, x0, p0
+        )
+        self._window = window
+        self._forgetting = forgetting
+        self._floor = floor
+        self._adapt_q = adapt_q
+        self._adapt_r = adapt_r
+        self._innovations: deque[np.ndarray] = deque(maxlen=window)
+        self._gains: deque[np.ndarray] = deque(maxlen=window)
+
+    @property
+    def filter(self) -> KalmanFilter:
+        """The wrapped filter (live object, not a copy)."""
+        return self._filter
+
+    @property
+    def q(self) -> np.ndarray:
+        """Current adapted process noise covariance (copy)."""
+        return self._q.copy()
+
+    @property
+    def r(self) -> np.ndarray:
+        """Current adapted measurement noise covariance (copy)."""
+        return self._r.copy()
+
+    @property
+    def x(self) -> np.ndarray:
+        """Current state estimate (copy)."""
+        return self._filter.x
+
+    @property
+    def p(self) -> np.ndarray:
+        """Current error covariance (copy)."""
+        return self._filter.p
+
+    @property
+    def k(self) -> int:
+        """Discrete time index of the next cycle."""
+        return self._filter.k
+
+    def _floor_psd(self, m: np.ndarray) -> np.ndarray:
+        """Project ``m`` onto symmetric matrices with eigenvalues >= floor."""
+        sym = 0.5 * (m + m.T)
+        eigvals, eigvecs = np.linalg.eigh(sym)
+        eigvals = np.maximum(eigvals, self._floor)
+        return eigvecs @ np.diag(eigvals) @ eigvecs.T
+
+    def _adapt(self) -> None:
+        """Re-estimate Q/R from the innovation window and blend them in."""
+        if len(self._innovations) < self._window:
+            return
+        arr = np.stack(list(self._innovations))
+        c_v = (arr.T @ arr) / arr.shape[0]
+        k_idx = max(self._filter.k - 1, 0)
+        h = self._filter.h_at(k_idx)
+        p_prior = self._filter.p_prior
+
+        if self._adapt_r:
+            r_est = self._floor_psd(c_v - h @ p_prior @ h.T)
+            self._r = (
+                (1 - self._forgetting) * self._r + self._forgetting * r_est
+            )
+            self._r = self._floor_psd(self._r)
+        if self._adapt_q and self._gains:
+            gain = self._gains[-1]
+            q_est = self._floor_psd(gain @ c_v @ gain.T)
+            self._q = (
+                (1 - self._forgetting) * self._q + self._forgetting * q_est
+            )
+            self._q = self._floor_psd(self._q)
+
+    def step(self, z: np.ndarray | None = None) -> KalmanStep:
+        """Run one predict(-correct) cycle, adapting after each correction."""
+        record = self._filter.step(z)
+        if record.updated and record.innovation is not None:
+            self._innovations.append(record.innovation)
+            if record.gain is not None:
+                self._gains.append(record.gain)
+            self._adapt()
+        return record
+
+    def predict(self) -> np.ndarray:
+        """Propagate the wrapped filter one step."""
+        return self._filter.predict()
+
+    def predict_measurement(self) -> np.ndarray:
+        """Predicted measurement of the wrapped filter."""
+        return self._filter.predict_measurement()
+
+    def update(self, z: np.ndarray) -> np.ndarray:
+        """Raw correction on the wrapped filter (no adaptation bookkeeping;
+        use :meth:`step` for the adapting cycle)."""
+        k_before = self._filter.k
+        x = self._filter.update(z)
+        # Reconstruct the innovation for adaptation bookkeeping.
+        h = self._filter.h_at(max(k_before - 1, 0))
+        del h  # innovation tracking happens through step(); update() is raw
+        return x

@@ -1,0 +1,154 @@
+"""Information-form Kalman filter (inverse-covariance parameterisation).
+
+The information filter carries ``Y = P^{-1}`` (the information matrix) and
+``y = P^{-1} x`` (the information vector) instead of ``P`` and ``x``.  Its
+correction step is a cheap *addition*::
+
+    Y <- Y + H^T R^{-1} H
+    y <- y + H^T R^{-1} z
+
+which makes fusing measurements from many sensors trivial -- each sensor's
+contribution simply adds.  The paper lists multi-sensor data fusion among
+the Kalman filter's classic applications (Section 3, [33]); this module
+provides that capability for DSMS deployments where several sensors
+observe the same source object.
+
+Mathematically the information filter is the same estimator as
+:class:`~repro.filters.kalman.KalmanFilter` (the equivalence is pinned by
+tests); it differs only in which form is cheap: many measurements per step
+favour information form, long coasting stretches favour covariance form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionError, DivergenceError
+from repro.filters.kalman import check_covariance
+
+__all__ = ["InformationFilter"]
+
+
+class InformationFilter:
+    """Kalman filter in information form, with multi-sensor fusion.
+
+    Args:
+        phi: Constant state transition matrix (``n x n``).  The prediction
+            step inverts through ``phi``, so it must be invertible (all the
+            library's kinematic and sinusoidal-at-fixed-k transitions are).
+        q: Process noise covariance (``n x n``).
+        x0: Initial state estimate.
+        p0: Initial covariance (identity by default).
+    """
+
+    def __init__(
+        self,
+        phi: np.ndarray,
+        q: np.ndarray,
+        x0: np.ndarray,
+        p0: np.ndarray | None = None,
+    ) -> None:
+        self._phi = np.asarray(phi, dtype=float)
+        n = self._phi.shape[0]
+        if self._phi.shape != (n, n):
+            raise DimensionError(f"phi must be square, got {self._phi.shape}")
+        self._q = check_covariance(q, "Q")
+        x0 = np.asarray(x0, dtype=float).reshape(-1)
+        if x0.shape != (n,):
+            raise DimensionError(f"x0 must have shape ({n},), got {x0.shape}")
+        p0 = check_covariance(np.eye(n) if p0 is None else p0, "P0")
+        self._y_mat = np.linalg.inv(p0)
+        self._y_vec = self._y_mat @ x0
+        self._n = n
+        self._k = 0
+
+    @property
+    def state_dim(self) -> int:
+        """Number of state variables."""
+        return self._n
+
+    @property
+    def k(self) -> int:
+        """Discrete time index of the next cycle."""
+        return self._k
+
+    @property
+    def information_matrix(self) -> np.ndarray:
+        """The information matrix ``Y = P^{-1}`` (copy)."""
+        return self._y_mat.copy()
+
+    @property
+    def x(self) -> np.ndarray:
+        """Recovered state estimate ``x = Y^{-1} y``."""
+        return np.linalg.solve(self._y_mat, self._y_vec)
+
+    @property
+    def p(self) -> np.ndarray:
+        """Recovered covariance ``P = Y^{-1}``."""
+        return np.linalg.inv(self._y_mat)
+
+    def predict(self) -> np.ndarray:
+        """Propagate the information state one step.
+
+        Uses the covariance-form propagation through the recovered ``P``
+        (numerically simplest and exact):
+        ``P^- = phi P phi^T + Q``; re-derives ``Y``/``y`` from it.
+        """
+        x = self.x
+        p = self.p
+        x_prior = self._phi @ x
+        p_prior = self._phi @ p @ self._phi.T + self._q
+        self._y_mat = np.linalg.inv(p_prior)
+        self._y_vec = self._y_mat @ x_prior
+        self._k += 1
+        if not np.all(np.isfinite(self._y_vec)):
+            raise DivergenceError(f"state became non-finite at k={self._k}")
+        return x_prior
+
+    def update(self, h: np.ndarray, r: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Fold in one sensor's measurement: an information *addition*.
+
+        Args:
+            h: That sensor's measurement matrix (``m x n``).
+            r: That sensor's noise covariance (``m x m``).
+            z: The measurement vector (``m``,).
+
+        Returns:
+            The updated state estimate.
+        """
+        h = np.atleast_2d(np.asarray(h, dtype=float))
+        r = np.atleast_2d(np.asarray(r, dtype=float))
+        z = np.atleast_1d(np.asarray(z, dtype=float)).reshape(-1)
+        if h.shape[1] != self._n:
+            raise DimensionError(f"H must have {self._n} columns, got {h.shape}")
+        if z.shape != (h.shape[0],):
+            raise DimensionError(
+                f"z must have shape ({h.shape[0]},), got {z.shape}"
+            )
+        r_inv = np.linalg.inv(r)
+        self._y_mat = self._y_mat + h.T @ r_inv @ h
+        self._y_vec = self._y_vec + h.T @ r_inv @ z
+        return self.x
+
+    def fuse(
+        self, sensors: list[tuple[np.ndarray, np.ndarray, np.ndarray]]
+    ) -> np.ndarray:
+        """Fuse simultaneous measurements from several sensors.
+
+        Args:
+            sensors: List of ``(H_i, R_i, z_i)`` triples, one per sensor
+                observing this instant.  Order does not matter --
+                information addition is commutative.
+
+        Returns:
+            The fused state estimate.
+        """
+        for h, r, z in sensors:
+            self.update(h, r, z)
+        return self.x
+
+    def copy(self) -> "InformationFilter":
+        """Deep, independent copy of the filter."""
+        import copy as _copy
+
+        return _copy.deepcopy(self)

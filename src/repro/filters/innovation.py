@@ -1,0 +1,226 @@
+"""Innovation-sequence monitoring (paper Section 3.1 advantage 5 and the
+Section 6 future-work items on adaptive sampling).
+
+The *innovation* is the difference between the filter's one-step measurement
+prediction and the actual reading.  For a well-tuned filter on a correctly
+modelled stream the innovation sequence is zero-mean white noise with
+covariance ``S = H P^- H^T + R``.  Departures carry information:
+
+* a single huge innovation is an **outlier** (sensor glitch, spike);
+* sustained large innovations mean the **model is wrong** (the object
+  manoeuvred, the trend changed) -- a cue to re-sample faster or switch
+  models;
+* sustained tiny innovations mean the stream is over-sampled -- a cue to
+  sample slower and save even more energy.
+
+This module provides a rolling innovation monitor with normalised innovation
+squared (NIS) statistics, outlier classification, and an adaptive sampling
+controller driven by those statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["InnovationMonitor", "InnovationStats", "AdaptiveSamplingController"]
+
+
+@dataclass(frozen=True)
+class InnovationStats:
+    """Summary statistics over the monitor's rolling window.
+
+    Attributes:
+        count: Number of innovations in the window.
+        mean: Per-component mean innovation.
+        std: Per-component standard deviation.
+        mean_nis: Mean normalised innovation squared; for a consistent
+            filter this concentrates around the measurement dimension ``m``.
+        autocorr_lag1: Lag-1 autocorrelation of the innovation magnitude
+            (whiteness check; near zero for a healthy filter).
+    """
+
+    count: int
+    mean: np.ndarray
+    std: np.ndarray
+    mean_nis: float
+    autocorr_lag1: float
+
+
+class InnovationMonitor:
+    """Rolling window over innovations with outlier and health checks.
+
+    Args:
+        window: Number of recent innovations retained.
+        outlier_nis: NIS threshold above which a single innovation is
+            classified as an outlier.  For an ``m``-dimensional Gaussian
+            innovation, NIS is chi-square with ``m`` degrees of freedom;
+            the default 13.8 is the 99.9th percentile for ``m = 2``.
+    """
+
+    def __init__(self, window: int = 50, outlier_nis: float = 13.8) -> None:
+        if window < 2:
+            raise ConfigurationError("window must be at least 2")
+        if outlier_nis <= 0:
+            raise ConfigurationError("outlier_nis must be positive")
+        self._window = window
+        self._outlier_nis = outlier_nis
+        self._innovations: deque[np.ndarray] = deque(maxlen=window)
+        self._nis: deque[float] = deque(maxlen=window)
+        self._outlier_count = 0
+        self._total = 0
+
+    @property
+    def window(self) -> int:
+        """The rolling-window length."""
+        return self._window
+
+    @property
+    def total_observed(self) -> int:
+        """Total innovations ever recorded (not just the window)."""
+        return self._total
+
+    @property
+    def outlier_count(self) -> int:
+        """Total outliers flagged since construction."""
+        return self._outlier_count
+
+    def record(self, innovation: np.ndarray, s: np.ndarray) -> bool:
+        """Record one innovation with its covariance ``S``.
+
+        Args:
+            innovation: Innovation vector ``z - H x^-``.
+            s: Innovation covariance ``H P^- H^T + R``.
+
+        Returns:
+            True when the innovation is classified as an outlier.
+        """
+        innovation = np.atleast_1d(np.asarray(innovation, dtype=float))
+        s = np.atleast_2d(np.asarray(s, dtype=float))
+        nis = float(innovation @ np.linalg.solve(s, innovation))
+        self._innovations.append(innovation)
+        self._nis.append(nis)
+        self._total += 1
+        is_outlier = nis > self._outlier_nis
+        if is_outlier:
+            self._outlier_count += 1
+        return is_outlier
+
+    def stats(self) -> InnovationStats:
+        """Summary statistics over the current window."""
+        if not self._innovations:
+            return InnovationStats(
+                count=0,
+                mean=np.array([]),
+                std=np.array([]),
+                mean_nis=float("nan"),
+                autocorr_lag1=float("nan"),
+            )
+        arr = np.stack(list(self._innovations))
+        mags = np.linalg.norm(arr, axis=1)
+        if len(mags) >= 3 and mags.std() > 1e-12:
+            centred = mags - mags.mean()
+            autocorr = float(
+                (centred[:-1] @ centred[1:]) / (centred @ centred)
+            )
+        else:
+            autocorr = 0.0
+        return InnovationStats(
+            count=len(self._innovations),
+            mean=arr.mean(axis=0),
+            std=arr.std(axis=0),
+            mean_nis=float(np.mean(self._nis)),
+            autocorr_lag1=autocorr,
+        )
+
+    def is_healthy(self, nis_band: tuple[float, float] = (0.1, 3.0)) -> bool:
+        """Whether mean NIS (scaled by dimension) sits inside ``nis_band``.
+
+        A very low ratio means the filter is over-cautious (R or Q too
+        large); a very high ratio means the model no longer explains the
+        data.
+        """
+        if not self._innovations:
+            return True
+        m = self._innovations[-1].shape[0]
+        ratio = float(np.mean(self._nis)) / m
+        low, high = nis_band
+        return low <= ratio <= high
+
+
+class AdaptiveSamplingController:
+    """Adjust the sensor sampling interval from innovation magnitudes
+    (paper Section 6, future-work item 5).
+
+    The controller keeps a smoothed ratio of innovation magnitude to the
+    precision width δ.  When predictions are comfortably inside the bound
+    the interval is stretched (up to ``max_interval``); when they approach
+    or exceed δ it is shrunk back toward ``min_interval``.  Changes are
+    multiplicative and bounded, so the interval cannot oscillate wildly.
+
+    Args:
+        delta: Precision width the DKF session runs with.
+        min_interval: Smallest sampling interval (in ticks).
+        max_interval: Largest sampling interval (in ticks).
+        stretch: Multiplicative increase applied when the stream is quiet.
+        shrink: Multiplicative decrease applied on large innovations.
+        quiet_fraction: Innovation/δ ratio below which the stream counts
+            as quiet.
+        busy_fraction: Innovation/δ ratio above which the stream counts
+            as busy.
+    """
+
+    def __init__(
+        self,
+        delta: float,
+        min_interval: int = 1,
+        max_interval: int = 64,
+        stretch: float = 1.5,
+        shrink: float = 0.25,
+        quiet_fraction: float = 0.25,
+        busy_fraction: float = 0.75,
+    ) -> None:
+        if delta <= 0:
+            raise ConfigurationError("delta must be positive")
+        if min_interval < 1 or max_interval < min_interval:
+            raise ConfigurationError("need 1 <= min_interval <= max_interval")
+        if not 0 < quiet_fraction < busy_fraction:
+            raise ConfigurationError("need 0 < quiet_fraction < busy_fraction")
+        self._delta = float(delta)
+        self._min = min_interval
+        self._max = max_interval
+        self._stretch = stretch
+        self._shrink = shrink
+        self._quiet = quiet_fraction
+        self._busy = busy_fraction
+        self._interval = float(min_interval)
+
+    @property
+    def interval(self) -> int:
+        """Current sampling interval in ticks (always >= 1)."""
+        return max(self._min, min(self._max, int(round(self._interval))))
+
+    def observe(self, innovation_magnitude: float) -> int:
+        """Update the interval from the latest innovation magnitude.
+
+        Args:
+            innovation_magnitude: ``max_component |z - z_pred|`` from the
+                mirror filter at a sampling instant.
+
+        Returns:
+            The new sampling interval.
+        """
+        ratio = abs(float(innovation_magnitude)) / self._delta
+        if ratio < self._quiet:
+            self._interval = min(self._max, self._interval * self._stretch)
+        elif ratio > self._busy:
+            self._interval = max(self._min, self._interval * self._shrink)
+        return self.interval
+
+    def reset(self) -> None:
+        """Return to the fastest sampling rate."""
+        self._interval = float(self._min)

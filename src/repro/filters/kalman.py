@@ -1,0 +1,373 @@
+"""Discrete Kalman filter (paper Section 3, Eq. 3-12), built from scratch.
+
+The system model is::
+
+    x_{k+1} = phi_k x_k + w_k          (state propagation, Eq. 3)
+    z_k     = H_k x_k + v_k            (measurement, Eq. 4)
+
+with ``w_k ~ N(0, Q_k)`` and ``v_k ~ N(0, R_k)`` mutually uncorrelated white
+noise (Eq. 5-7).  Each cycle of the filter performs
+
+* *prediction* -- propagate the posterior through ``phi`` to obtain the
+  a-priori estimate ``x^-`` and covariance ``P^- = phi P phi^T + Q``;
+* *correction* -- on receipt of a measurement ``z``, compute the Kalman gain
+  ``K = P^- H^T (H P^- H^T + R)^{-1}`` (Eq. 11), fold the innovation
+  ``z - H x^-`` into the estimate (Eq. 8), and update the covariance
+  (Eq. 12, implemented in the numerically robust Joseph form).
+
+The class is deliberately deterministic: given the same inputs it produces
+bit-identical outputs, which is what lets the DKF protocol run an exact
+mirror of the server filter at the remote source without communication.
+
+Time-varying models are supported by passing callables ``k -> matrix`` for
+``phi``/``H``/``Q``/``R`` (the sinusoidal power-load model of Section 4.2
+has ``phi_k`` depend on the time index).
+"""
+
+from __future__ import annotations
+
+import copy
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DimensionError, DivergenceError, NotPositiveDefiniteError
+
+MatrixLike = np.ndarray | Callable[[int], np.ndarray]
+
+__all__ = ["KalmanFilter", "KalmanStep", "resolve_matrix", "check_covariance"]
+
+
+def resolve_matrix(m: MatrixLike, k: int) -> np.ndarray:
+    """Return the matrix value of ``m`` at discrete time index ``k``.
+
+    ``m`` may be a constant ndarray or a callable ``k -> ndarray`` for
+    time-varying models.  The result is always a float64 ndarray.
+    """
+    value = m(k) if callable(m) else m
+    return np.asarray(value, dtype=float)
+
+
+def check_covariance(p: np.ndarray, name: str = "covariance") -> np.ndarray:
+    """Validate that ``p`` is a symmetric positive semi-definite matrix.
+
+    Returns the symmetrised matrix.  Raises
+    :class:`~repro.errors.NotPositiveDefiniteError` when an eigenvalue is
+    meaningfully negative (tolerance scaled to the matrix magnitude).
+    """
+    p = np.asarray(p, dtype=float)
+    if p.ndim != 2 or p.shape[0] != p.shape[1]:
+        raise DimensionError(f"{name} must be square, got shape {p.shape}")
+    sym = 0.5 * (p + p.T)
+    eigvals = np.linalg.eigvalsh(sym)
+    tol = 1e-9 * max(1.0, float(np.abs(sym).max()))
+    if eigvals.min() < -tol:
+        raise NotPositiveDefiniteError(
+            f"{name} has negative eigenvalue {eigvals.min():.3e}"
+        )
+    return sym
+
+
+@dataclass(frozen=True)
+class KalmanStep:
+    """Immutable record of one filter cycle, for logging and diagnostics.
+
+    Attributes:
+        k: Discrete time index of the cycle.
+        x_prior: A-priori state estimate (after prediction).
+        x_post: A-posteriori estimate (equals ``x_prior`` when no
+            measurement was applied).
+        z_pred: Predicted measurement ``H x^-``.
+        innovation: ``z - H x^-`` when a measurement was applied, else None.
+        updated: Whether a measurement correction happened this cycle.
+        gain: Kalman gain used in the correction, else None.
+    """
+
+    k: int
+    x_prior: np.ndarray
+    x_post: np.ndarray
+    z_pred: np.ndarray
+    innovation: np.ndarray | None = None
+    updated: bool = False
+    gain: np.ndarray | None = field(default=None, repr=False)
+
+
+class KalmanFilter:
+    """Standard discrete Kalman filter over a linear-Gaussian system.
+
+    Args:
+        phi: State transition matrix (``n x n``), or callable ``k -> matrix``.
+        h: Measurement matrix (``m x n``), or callable ``k -> matrix``.
+        q: Process noise covariance (``n x n``), or callable.
+        r: Measurement noise covariance (``m x m``), or callable.
+        x0: Initial state estimate (``n``,).
+        p0: Initial estimate covariance (``n x n``).  Defaults to identity.
+
+    The filter's clock starts at ``k = 0`` (the index of the *next* cycle).
+    Call :meth:`predict` once per sampling instant; call :meth:`update`
+    afterwards if a measurement is available for that instant.  The
+    convenience method :meth:`step` does both.
+    """
+
+    def __init__(
+        self,
+        phi: MatrixLike,
+        h: MatrixLike,
+        q: MatrixLike,
+        r: MatrixLike,
+        x0: np.ndarray,
+        p0: np.ndarray | None = None,
+    ) -> None:
+        self._phi = phi
+        self._h = h
+        self._q = q
+        self._r = r
+
+        x0 = np.asarray(x0, dtype=float).reshape(-1)
+        phi0 = resolve_matrix(phi, 0)
+        h0 = resolve_matrix(h, 0)
+        n = phi0.shape[0]
+        if phi0.shape != (n, n):
+            raise DimensionError(f"phi must be square, got {phi0.shape}")
+        if x0.shape != (n,):
+            raise DimensionError(f"x0 must have shape ({n},), got {x0.shape}")
+        if h0.shape[1] != n:
+            raise DimensionError(
+                f"H must have {n} columns to match the state, got {h0.shape}"
+            )
+        self._n = n
+        self._m = h0.shape[0]
+
+        q0 = resolve_matrix(q, 0)
+        if q0.shape != (n, n):
+            raise DimensionError(f"Q must have shape ({n},{n}), got {q0.shape}")
+        r0 = resolve_matrix(r, 0)
+        if r0.shape != (self._m, self._m):
+            raise DimensionError(
+                f"R must have shape ({self._m},{self._m}), got {r0.shape}"
+            )
+
+        if p0 is None:
+            p0 = np.eye(n)
+        self._x = x0.copy()
+        self._p = check_covariance(p0, "P0")
+        self._k = 0
+        self._has_prior = False
+        self._x_prior = self._x.copy()
+        self._p_prior = self._p.copy()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def state_dim(self) -> int:
+        """Number of state variables ``n``."""
+        return self._n
+
+    @property
+    def measurement_dim(self) -> int:
+        """Number of measured variables ``m``."""
+        return self._m
+
+    @property
+    def k(self) -> int:
+        """Discrete time index of the next cycle."""
+        return self._k
+
+    @property
+    def x(self) -> np.ndarray:
+        """Current a-posteriori state estimate (copy)."""
+        return self._x.copy()
+
+    @property
+    def p(self) -> np.ndarray:
+        """Current a-posteriori error covariance (copy)."""
+        return self._p.copy()
+
+    @property
+    def x_prior(self) -> np.ndarray:
+        """A-priori state estimate from the most recent prediction (copy)."""
+        return self._x_prior.copy()
+
+    @property
+    def p_prior(self) -> np.ndarray:
+        """A-priori covariance from the most recent prediction (copy)."""
+        return self._p_prior.copy()
+
+    def phi_at(self, k: int) -> np.ndarray:
+        """State transition matrix at time index ``k``."""
+        return resolve_matrix(self._phi, k)
+
+    def h_at(self, k: int) -> np.ndarray:
+        """Measurement matrix at time index ``k``."""
+        return resolve_matrix(self._h, k)
+
+    def q_at(self, k: int) -> np.ndarray:
+        """Process noise covariance at time index ``k``."""
+        return resolve_matrix(self._q, k)
+
+    def r_at(self, k: int) -> np.ndarray:
+        """Measurement noise covariance at time index ``k``."""
+        return resolve_matrix(self._r, k)
+
+    # ------------------------------------------------------------------
+    # Core cycle
+    # ------------------------------------------------------------------
+
+    def predict(self) -> np.ndarray:
+        """Propagate the state one step: the *prediction* half of the cycle.
+
+        Computes ``x^- = phi_k x`` and ``P^- = phi_k P phi_k^T + Q_k`` for
+        the current time index, advances the clock, and leaves the filter in
+        the "prior" state.  If no measurement follows, the prior simply
+        becomes the posterior (the filter coasts).
+
+        Returns:
+            The a-priori state estimate ``x^-`` (copy).
+        """
+        phi = resolve_matrix(self._phi, self._k)
+        q = resolve_matrix(self._q, self._k)
+        self._x_prior = phi @ self._x
+        self._p_prior = phi @ self._p @ phi.T + q
+        # Coast by default: posterior mirrors the prior until update() runs.
+        self._x = self._x_prior.copy()
+        self._p = self._p_prior.copy()
+        self._k += 1
+        self._has_prior = True
+        if not np.all(np.isfinite(self._x)):
+            raise DivergenceError(f"state became non-finite at k={self._k}")
+        return self._x_prior.copy()
+
+    def predict_measurement(self) -> np.ndarray:
+        """Predicted measurement ``H x`` for the current estimate.
+
+        After :meth:`predict` this is the one-step-ahead measurement
+        prediction the DKF protocol compares against the sensor reading.
+        """
+        h = resolve_matrix(self._h, max(self._k - 1, 0))
+        return h @ self._x
+
+    def update(self, z: np.ndarray) -> np.ndarray:
+        """Fold measurement ``z`` into the estimate: the *correction* half.
+
+        Implements Eq. 8, 11 and 12.  The covariance update uses the Joseph
+        form ``P = (I - K H) P^- (I - K H)^T + K R K^T``, which preserves
+        symmetry and positive semi-definiteness under roundoff.
+
+        Args:
+            z: Measurement vector of shape ``(m,)`` (scalars accepted).
+
+        Returns:
+            The a-posteriori state estimate (copy).
+        """
+        z = np.atleast_1d(np.asarray(z, dtype=float)).reshape(-1)
+        if z.shape != (self._m,):
+            raise DimensionError(f"z must have shape ({self._m},), got {z.shape}")
+        if not np.all(np.isfinite(z)):
+            raise DivergenceError("measurement contains NaN or infinity")
+        k_idx = max(self._k - 1, 0)
+        h = resolve_matrix(self._h, k_idx)
+        r = resolve_matrix(self._r, k_idx)
+
+        innovation = z - h @ self._x
+        s = h @ self._p @ h.T + r
+        # K = P H^T S^{-1}, solved without forming an explicit inverse.
+        gain = np.linalg.solve(s.T, (self._p @ h.T).T).T
+
+        self._x = self._x + gain @ innovation
+        i_kh = np.eye(self._n) - gain @ h
+        self._p = i_kh @ self._p @ i_kh.T + gain @ r @ gain.T
+        self._p = 0.5 * (self._p + self._p.T)
+        if not np.all(np.isfinite(self._x)):
+            raise DivergenceError(f"state became non-finite at k={self._k}")
+        return self._x.copy()
+
+    def step(self, z: np.ndarray | None = None) -> KalmanStep:
+        """Run one full predict(-correct) cycle and return a step record.
+
+        Args:
+            z: Measurement for this instant, or None to coast on prediction.
+        """
+        k = self._k
+        x_prior = self.predict()
+        z_pred = self.predict_measurement()
+        if z is None:
+            return KalmanStep(k=k, x_prior=x_prior, x_post=self.x, z_pred=z_pred)
+        innovation = np.atleast_1d(np.asarray(z, dtype=float)) - z_pred
+        h = resolve_matrix(self._h, k)
+        p_prior = self._p
+        r = resolve_matrix(self._r, k)
+        s = h @ p_prior @ h.T + r
+        gain = np.linalg.solve(s.T, (p_prior @ h.T).T).T
+        self.update(z)
+        return KalmanStep(
+            k=k,
+            x_prior=x_prior,
+            x_post=self.x,
+            z_pred=z_pred,
+            innovation=innovation,
+            updated=True,
+            gain=gain,
+        )
+
+    # ------------------------------------------------------------------
+    # Multi-step prediction & utilities
+    # ------------------------------------------------------------------
+
+    def forecast(self, steps: int) -> np.ndarray:
+        """Extrapolate the measurement ``steps`` cycles ahead without
+        mutating the filter.
+
+        Returns an array of shape ``(steps, m)`` with the predicted
+        measurements at ``k, k+1, ..., k+steps-1``.
+        """
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        x = self._x.copy()
+        out = np.empty((steps, self._m))
+        for i in range(steps):
+            k_idx = self._k + i
+            x = resolve_matrix(self._phi, k_idx) @ x
+            out[i] = resolve_matrix(self._h, k_idx) @ x
+        return out
+
+    def innovation_covariance(self) -> np.ndarray:
+        """Innovation covariance ``S = H P H^T + R`` at the current step."""
+        k_idx = max(self._k - 1, 0)
+        h = resolve_matrix(self._h, k_idx)
+        r = resolve_matrix(self._r, k_idx)
+        return h @ self._p @ h.T + r
+
+    def set_state(self, x: np.ndarray, p: np.ndarray | None = None) -> None:
+        """Overwrite the posterior estimate (used when re-seeding a filter).
+
+        Args:
+            x: New state estimate of shape ``(n,)``.
+            p: New covariance; kept unchanged when None.
+        """
+        x = np.asarray(x, dtype=float).reshape(-1)
+        if x.shape != (self._n,):
+            raise DimensionError(f"x must have shape ({self._n},), got {x.shape}")
+        self._x = x.copy()
+        if p is not None:
+            self._p = check_covariance(p, "P")
+
+    def copy(self) -> "KalmanFilter":
+        """Deep copy of the filter, including its clock and covariances.
+
+        The DKF protocol creates the mirror filter this way so that both
+        sides start from bit-identical state.
+        """
+        return copy.deepcopy(self)
+
+    def state_digest(self) -> tuple[int, bytes]:
+        """Cheap fingerprint ``(k, bytes(x))`` used for desync detection."""
+        return self._k, self._x.tobytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"KalmanFilter(n={self._n}, m={self._m}, k={self._k}, "
+            f"x={np.array2string(self._x, precision=4)})"
+        )

@@ -1,0 +1,141 @@
+"""Recursive (weighted) least squares (paper Section 3.2, case 4).
+
+When external measurements carry no confidence value -- the network
+monitoring example measures traffic *exactly* -- maintaining measurement
+covariances "makes little sense", and state estimation reduces to a
+least-squares fit: choose the state that best explains the observations.
+The paper points out that least squares is a special case of Kalman
+filtering; this module provides both the recursive estimator and a helper
+that demonstrates the equivalence (used by the property tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+__all__ = ["RecursiveLeastSquares", "batch_least_squares"]
+
+
+class RecursiveLeastSquares:
+    """Recursive (optionally weighted, optionally forgetting) least squares.
+
+    Estimates a parameter vector ``theta`` from scalar observations
+    ``z_k = h_k^T theta + noise`` one sample at a time.  With forgetting
+    factor ``lam < 1`` older samples are down-weighted geometrically, which
+    lets the estimator track slowly drifting parameters -- the degenerate,
+    zero-process-noise cousin of the Kalman filter.
+
+    Args:
+        dim: Number of parameters.
+        lam: Forgetting factor in ``(0, 1]``; 1 means ordinary RLS.
+        p0_scale: Initial covariance scale (large = uninformative prior).
+        theta0: Initial parameter estimate; zeros when omitted.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        lam: float = 1.0,
+        p0_scale: float = 1e6,
+        theta0: np.ndarray | None = None,
+    ) -> None:
+        if dim < 1:
+            raise DimensionError("dim must be positive")
+        if not 0.0 < lam <= 1.0:
+            raise ValueError("forgetting factor must be in (0, 1]")
+        self._dim = dim
+        self._lam = lam
+        self._theta = (
+            np.zeros(dim)
+            if theta0 is None
+            else np.asarray(theta0, dtype=float).reshape(-1)
+        )
+        if self._theta.shape != (dim,):
+            raise DimensionError(f"theta0 must have shape ({dim},)")
+        self._p = np.eye(dim) * p0_scale
+        self._count = 0
+
+    @property
+    def theta(self) -> np.ndarray:
+        """Current parameter estimate (copy)."""
+        return self._theta.copy()
+
+    @property
+    def p(self) -> np.ndarray:
+        """Current (scaled) parameter covariance (copy)."""
+        return self._p.copy()
+
+    @property
+    def count(self) -> int:
+        """Number of samples absorbed so far."""
+        return self._count
+
+    def update(self, h: np.ndarray, z: float, weight: float = 1.0) -> np.ndarray:
+        """Absorb one observation ``z = h . theta + noise``.
+
+        Args:
+            h: Regressor vector of shape ``(dim,)``.
+            z: Observed scalar value.
+            weight: Optional confidence weight (> 0); larger values make the
+                sample more influential (weighted least squares).
+
+        Returns:
+            The updated parameter estimate (copy).
+        """
+        h = np.asarray(h, dtype=float).reshape(-1)
+        if h.shape != (self._dim,):
+            raise DimensionError(f"h must have shape ({self._dim},), got {h.shape}")
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        ph = self._p @ h
+        denom = self._lam / weight + h @ ph
+        gain = ph / denom
+        self._theta = self._theta + gain * (float(z) - h @ self._theta)
+        self._p = (self._p - np.outer(gain, ph)) / self._lam
+        self._p = 0.5 * (self._p + self._p.T)
+        self._count += 1
+        return self._theta.copy()
+
+    def predict(self, h: np.ndarray) -> float:
+        """Predicted observation ``h . theta`` for a regressor ``h``."""
+        h = np.asarray(h, dtype=float).reshape(-1)
+        if h.shape != (self._dim,):
+            raise DimensionError(f"h must have shape ({self._dim},), got {h.shape}")
+        return float(h @ self._theta)
+
+
+def batch_least_squares(
+    regressors: np.ndarray, observations: np.ndarray, weights: np.ndarray | None = None
+) -> np.ndarray:
+    """Closed-form (weighted) least-squares solution, for cross-checking RLS.
+
+    Solves ``min_theta sum_k w_k (z_k - h_k . theta)^2`` via the normal
+    equations with a pseudo-inverse (rank-deficient regressor sets get the
+    minimum-norm solution).
+
+    Args:
+        regressors: Array of shape ``(num_samples, dim)``.
+        observations: Array of shape ``(num_samples,)``.
+        weights: Optional positive weights of shape ``(num_samples,)``.
+
+    Returns:
+        Parameter vector of shape ``(dim,)``.
+    """
+    a = np.asarray(regressors, dtype=float)
+    z = np.asarray(observations, dtype=float).reshape(-1)
+    if a.ndim != 2 or a.shape[0] != z.shape[0]:
+        raise DimensionError(
+            f"regressors {a.shape} incompatible with observations {z.shape}"
+        )
+    if weights is not None:
+        w = np.asarray(weights, dtype=float).reshape(-1)
+        if w.shape != z.shape:
+            raise DimensionError("weights must match observations")
+        if np.any(w <= 0):
+            raise ValueError("weights must be positive")
+        sqrt_w = np.sqrt(w)
+        a = a * sqrt_w[:, None]
+        z = z * sqrt_w
+    return np.linalg.pinv(a) @ z

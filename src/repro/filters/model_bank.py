@@ -1,0 +1,188 @@
+"""Online model selection over a bank of candidate filters (paper
+Section 6, future-work item: "updating the state transition matrices
+online as the streaming data trend changes").
+
+Example 2 shows that a correct model (sinusoidal) beats a generic one
+(linear), but the paper concedes that "such stream characteristics can only
+be deduced after the stream has been analyzed".  A *model bank* closes that
+gap: run several candidate filters in parallel on the same measurements and
+weight them by how well each explains the data -- the innovation likelihood.
+This is a static multiple-model (MM) estimator; the winning model's
+prediction (or the probability-weighted mixture) answers queries.
+
+Because the bank's arithmetic is deterministic given the same measurement
+sequence, a bank can be mirrored across the DKF protocol exactly like a
+single filter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.filters.kalman import KalmanFilter
+from repro.filters.models import StateSpaceModel
+
+__all__ = ["ModelBank", "ModelPosterior"]
+
+
+@dataclass(frozen=True)
+class ModelPosterior:
+    """Posterior probability of one candidate model at a point in time.
+
+    Attributes:
+        name: The candidate model's name.
+        probability: Posterior weight in ``[0, 1]``; bank-wide sum is 1.
+        log_likelihood: Cumulative (forgetting-discounted) log-likelihood.
+    """
+
+    name: str
+    probability: float
+    log_likelihood: float
+
+
+class ModelBank:
+    """Bank of Kalman filters competing to explain one measurement stream.
+
+    Args:
+        models: Candidate state-space models.  All must share the same
+            measurement dimension.
+        forgetting: Per-step discount on accumulated log-likelihoods in
+            ``(0, 1]``.  Values below 1 let the bank re-decide when the
+            stream's regime changes; 1 accumulates evidence forever.
+        min_probability: Floor applied to posterior weights so a model can
+            recover after a long losing streak.
+    """
+
+    def __init__(
+        self,
+        models: list[StateSpaceModel],
+        forgetting: float = 0.98,
+        min_probability: float = 1e-6,
+    ) -> None:
+        if not models:
+            raise ConfigurationError("model bank needs at least one model")
+        m_dims = {m.measurement_dim for m in models}
+        if len(m_dims) != 1:
+            raise DimensionError(
+                f"all models must share a measurement dimension, got {m_dims}"
+            )
+        if not 0 < forgetting <= 1:
+            raise ConfigurationError("forgetting must be in (0, 1]")
+        names = [m.name for m in models]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("model names must be unique")
+        self._models = list(models)
+        self._forgetting = forgetting
+        self._min_prob = min_probability
+        self._measurement_dim = m_dims.pop()
+        self._filters: list[KalmanFilter] | None = None
+        self._log_lik = np.zeros(len(models))
+        self._k = 0
+
+    @property
+    def measurement_dim(self) -> int:
+        """Number of measured variables."""
+        return self._measurement_dim
+
+    @property
+    def k(self) -> int:
+        """Number of steps taken since priming."""
+        return self._k
+
+    @property
+    def primed(self) -> bool:
+        """Whether the bank has been seeded with a first measurement."""
+        return self._filters is not None
+
+    def _require_primed(self) -> list[KalmanFilter]:
+        if self._filters is None:
+            raise ConfigurationError("bank not primed; feed a first measurement")
+        return self._filters
+
+    def prime(self, z0: np.ndarray) -> None:
+        """Seed every candidate filter from the first measurement."""
+        z0 = np.atleast_1d(np.asarray(z0, dtype=float))
+        self._filters = [m.build_filter(z0) for m in self._models]
+        self._log_lik = np.zeros(len(self._models))
+        self._k = 0
+
+    def step(self, z: np.ndarray | None = None) -> None:
+        """Advance every filter one cycle, scoring those that saw ``z``.
+
+        The log-likelihood of each filter's innovation under its own
+        innovation covariance ``S`` is added to its (discounted) score.
+        Coasting steps (``z is None``) advance the filters without scoring.
+        """
+        filters = self._require_primed()
+        if z is None:
+            for f in filters:
+                f.predict()
+            self._k += 1
+            return
+        z = np.atleast_1d(np.asarray(z, dtype=float))
+        self._log_lik *= self._forgetting
+        for i, f in enumerate(filters):
+            f.predict()
+            innovation = z - f.predict_measurement()
+            s = f.innovation_covariance()
+            sign, logdet = np.linalg.slogdet(s)
+            if sign <= 0:
+                # Degenerate covariance: heavily penalise this candidate.
+                self._log_lik[i] += -1e6
+            else:
+                maha = float(innovation @ np.linalg.solve(s, innovation))
+                dim = innovation.shape[0]
+                self._log_lik[i] += -0.5 * (
+                    maha + logdet + dim * math.log(2 * math.pi)
+                )
+            f.update(z)
+        self._k += 1
+
+    def posteriors(self) -> list[ModelPosterior]:
+        """Current posterior weights over the candidates (normalised)."""
+        shifted = self._log_lik - self._log_lik.max()
+        weights = np.exp(shifted)
+        weights = np.maximum(weights, self._min_prob)
+        weights /= weights.sum()
+        return [
+            ModelPosterior(
+                name=m.name, probability=float(w), log_likelihood=float(ll)
+            )
+            for m, w, ll in zip(self._models, weights, self._log_lik)
+        ]
+
+    def best(self) -> StateSpaceModel:
+        """The currently most probable candidate model."""
+        idx = int(np.argmax(self._log_lik))
+        return self._models[idx]
+
+    def best_filter(self) -> KalmanFilter:
+        """The filter instance of the most probable candidate."""
+        filters = self._require_primed()
+        return filters[int(np.argmax(self._log_lik))]
+
+    def predict_measurement(self) -> np.ndarray:
+        """Posterior-weighted mixture of the candidates' predictions."""
+        filters = self._require_primed()
+        weights = np.array([p.probability for p in self.posteriors()])
+        preds = np.stack([f.predict_measurement() for f in filters])
+        return weights @ preds
+
+    def copy(self) -> "ModelBank":
+        """Deep, independent copy of the whole bank."""
+        import copy as _copy
+
+        return _copy.deepcopy(self)
+
+    def state_digest(self) -> tuple[int, bytes]:
+        """Fingerprint of the whole bank (clock, every filter's state, and
+        the scores) -- lets a mirrored bank pair verify lock-step exactly
+        like a single filter."""
+        parts = [self._log_lik.tobytes()]
+        if self._filters is not None:
+            parts.extend(f.state_digest()[1] for f in self._filters)
+        return self._k, b"".join(parts)

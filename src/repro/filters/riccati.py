@@ -1,0 +1,205 @@
+"""Steady-state Kalman filtering via the discrete Riccati equation
+(paper Section 3.2, case 5).
+
+When the noise processes are *stationary* the error-covariance propagation
+is completely predictable -- it involves only ``phi``, ``H``, ``Q`` and
+``R``, never the actual sensor readings -- so it can be run offline.  The
+covariance converges to the fixed point of the discrete algebraic Riccati
+equation (DARE)::
+
+    P = phi (P - P H^T (H P H^T + R)^{-1} H P) phi^T + Q
+
+yielding a constant steady-state Kalman gain.  A
+:class:`SteadyStateKalmanFilter` applies that precomputed gain with no
+per-step covariance arithmetic, which is the cheap runtime mode the paper
+describes for sensors reporting at regular intervals with fixed precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionError, DivergenceError
+from repro.filters.kalman import check_covariance
+
+__all__ = ["solve_dare", "steady_state_gain", "SteadyStateKalmanFilter"]
+
+
+def solve_dare(
+    phi: np.ndarray,
+    h: np.ndarray,
+    q: np.ndarray,
+    r: np.ndarray,
+    tol: float = 1e-12,
+    max_iter: int = 100_000,
+) -> np.ndarray:
+    """Solve the discrete algebraic Riccati equation by fixed-point iteration.
+
+    Iterates the covariance propagation (predict + correct) until the
+    a-priori covariance stops changing.  For observable, stabilisable
+    systems the iteration converges geometrically; a
+    :class:`~repro.errors.DivergenceError` is raised otherwise.
+
+    Args:
+        phi: State transition matrix (``n x n``).
+        h: Measurement matrix (``m x n``).
+        q: Process noise covariance (``n x n``).
+        r: Measurement noise covariance (``m x m``).
+        tol: Convergence tolerance on the max-abs covariance change.
+        max_iter: Iteration cap.
+
+    Returns:
+        The steady-state *a-priori* covariance ``P^-``.
+    """
+    phi = np.asarray(phi, dtype=float)
+    h = np.asarray(h, dtype=float)
+    q = check_covariance(q, "Q")
+    r = check_covariance(r, "R")
+    n = phi.shape[0]
+    if phi.shape != (n, n):
+        raise DimensionError(f"phi must be square, got {phi.shape}")
+    if h.shape[1] != n:
+        raise DimensionError(f"H must have {n} columns, got {h.shape}")
+
+    p = q.copy() + np.eye(n)
+    for _ in range(max_iter):
+        s = h @ p @ h.T + r
+        gain = np.linalg.solve(s.T, (p @ h.T).T).T
+        p_post = p - gain @ h @ p
+        p_next = phi @ p_post @ phi.T + q
+        p_next = 0.5 * (p_next + p_next.T)
+        if not np.all(np.isfinite(p_next)):
+            raise DivergenceError("Riccati iteration diverged")
+        if float(np.abs(p_next - p).max()) < tol:
+            return p_next
+        p = p_next
+    raise DivergenceError(
+        f"Riccati iteration did not converge within {max_iter} iterations"
+    )
+
+
+def steady_state_gain(
+    phi: np.ndarray, h: np.ndarray, q: np.ndarray, r: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Steady-state Kalman gain and a-priori covariance.
+
+    Returns:
+        ``(K, P_minus)`` where ``K = P^- H^T (H P^- H^T + R)^{-1}``.
+    """
+    p_minus = solve_dare(phi, h, q, r)
+    h = np.asarray(h, dtype=float)
+    r = np.asarray(r, dtype=float)
+    s = h @ p_minus @ h.T + r
+    gain = np.linalg.solve(s.T, (p_minus @ h.T).T).T
+    return gain, p_minus
+
+
+class SteadyStateKalmanFilter:
+    """Kalman filter running with a precomputed constant gain.
+
+    Per-step cost is two matrix-vector products -- no covariance updates,
+    no matrix inversion -- which models the paper's "offline Riccati" mode
+    for stationary noise.  The interface matches
+    :class:`~repro.filters.kalman.KalmanFilter` closely enough for the DKF
+    layer (predict / predict_measurement / update / copy / state_digest).
+
+    Args:
+        phi: Constant state transition matrix.
+        h: Constant measurement matrix.
+        q: Process noise covariance (used only to derive the gain).
+        r: Measurement noise covariance (used only to derive the gain).
+        x0: Initial state estimate.
+        gain: Precomputed gain; derived via :func:`steady_state_gain` when
+            omitted.
+    """
+
+    def __init__(
+        self,
+        phi: np.ndarray,
+        h: np.ndarray,
+        q: np.ndarray,
+        r: np.ndarray,
+        x0: np.ndarray,
+        gain: np.ndarray | None = None,
+    ) -> None:
+        self._phi = np.asarray(phi, dtype=float)
+        self._h = np.asarray(h, dtype=float)
+        n = self._phi.shape[0]
+        x0 = np.asarray(x0, dtype=float).reshape(-1)
+        if x0.shape != (n,):
+            raise DimensionError(f"x0 must have shape ({n},), got {x0.shape}")
+        if gain is None:
+            gain, p_minus = steady_state_gain(phi, h, q, r)
+            self._p_minus = p_minus
+        else:
+            gain = np.asarray(gain, dtype=float)
+            self._p_minus = solve_dare(phi, h, q, r)
+        if gain.shape != (n, self._h.shape[0]):
+            raise DimensionError(
+                f"gain must have shape ({n},{self._h.shape[0]}), got {gain.shape}"
+            )
+        self._gain = gain
+        self._x = x0.copy()
+        self._k = 0
+
+    @property
+    def gain(self) -> np.ndarray:
+        """The constant steady-state Kalman gain (copy)."""
+        return self._gain.copy()
+
+    @property
+    def p_prior(self) -> np.ndarray:
+        """Steady-state a-priori covariance (copy)."""
+        return self._p_minus.copy()
+
+    @property
+    def x(self) -> np.ndarray:
+        """Current state estimate (copy)."""
+        return self._x.copy()
+
+    @property
+    def k(self) -> int:
+        """Discrete time index of the next cycle."""
+        return self._k
+
+    @property
+    def state_dim(self) -> int:
+        """Number of state variables."""
+        return self._phi.shape[0]
+
+    @property
+    def measurement_dim(self) -> int:
+        """Number of measured variables."""
+        return self._h.shape[0]
+
+    def predict(self) -> np.ndarray:
+        """Propagate the state one step (constant-gain mode)."""
+        self._x = self._phi @ self._x
+        self._k += 1
+        if not np.all(np.isfinite(self._x)):
+            raise DivergenceError(f"state became non-finite at k={self._k}")
+        return self._x.copy()
+
+    def predict_measurement(self) -> np.ndarray:
+        """Predicted measurement ``H x``."""
+        return self._h @ self._x
+
+    def update(self, z: np.ndarray) -> np.ndarray:
+        """Apply the constant-gain correction."""
+        z = np.atleast_1d(np.asarray(z, dtype=float)).reshape(-1)
+        if z.shape != (self._h.shape[0],):
+            raise DimensionError(
+                f"z must have shape ({self._h.shape[0]},), got {z.shape}"
+            )
+        self._x = self._x + self._gain @ (z - self._h @ self._x)
+        return self._x.copy()
+
+    def copy(self) -> "SteadyStateKalmanFilter":
+        """Deep, independent copy of the filter."""
+        import copy as _copy
+
+        return _copy.deepcopy(self)
+
+    def state_digest(self) -> tuple[int, bytes]:
+        """Cheap fingerprint ``(k, bytes(x))`` for desync detection."""
+        return self._k, self._x.tobytes()

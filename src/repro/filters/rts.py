@@ -1,0 +1,174 @@
+"""Rauch-Tung-Striebel (RTS) fixed-interval smoothing.
+
+The online filter is causal: its estimate at instant ``k`` uses only data
+up to ``k``.  Offline -- e.g. when reconstructing a stored stream synopsis
+(paper Section 6, final future-work item) -- the whole update history is
+available, and a backward smoothing pass can improve every estimate using
+*future* updates too::
+
+    C_k        = P_k  phi_k^T (P^-_{k+1})^{-1}
+    x^s_k      = x_k + C_k (x^s_{k+1} - x^-_{k+1})
+    P^s_k      = P_k + C_k (P^s_{k+1} - P^-_{k+1}) C_k^T
+
+:class:`OfflineKalmanSmoother` runs the forward filter over a measurement
+sequence (``None`` entries mark suppressed instants -- exactly the shape a
+DKF update log has) and then the RTS backward pass, returning both the
+filtered and the smoothed trajectories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.filters.kalman import MatrixLike, resolve_matrix
+from repro.filters.models import StateSpaceModel
+
+__all__ = ["SmoothedTrajectory", "OfflineKalmanSmoother", "rts_smooth"]
+
+
+@dataclass(frozen=True)
+class SmoothedTrajectory:
+    """Forward-filtered and RTS-smoothed state/measurement trajectories.
+
+    Attributes:
+        filtered_states: Posterior states from the forward pass,
+            shape ``(n_steps, state_dim)``.
+        smoothed_states: RTS-smoothed states, same shape.
+        filtered_measurements: ``H x`` of the filtered states.
+        smoothed_measurements: ``H x`` of the smoothed states.
+        smoothed_covariances: Smoothed covariances,
+            shape ``(n_steps, state_dim, state_dim)``.
+    """
+
+    filtered_states: np.ndarray
+    smoothed_states: np.ndarray
+    filtered_measurements: np.ndarray
+    smoothed_measurements: np.ndarray
+    smoothed_covariances: np.ndarray
+
+
+def rts_smooth(
+    phi: MatrixLike,
+    x_post: np.ndarray,
+    p_post: np.ndarray,
+    x_prior: np.ndarray,
+    p_prior: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Backward RTS pass over recorded forward-filter trajectories.
+
+    Args:
+        phi: State transition matrix (or callable ``k -> matrix``).
+        x_post: Posterior states, shape ``(n, dim)`` (index ``k`` holds the
+            posterior *after* absorbing instant ``k``).
+        p_post: Posterior covariances, shape ``(n, dim, dim)``.
+        x_prior: Prior states, shape ``(n, dim)`` (index ``k`` holds the
+            prediction *for* instant ``k``).
+        p_prior: Prior covariances, shape ``(n, dim, dim)``.
+
+    Returns:
+        ``(x_smooth, p_smooth)`` of the same shapes as the posteriors.
+    """
+    n = x_post.shape[0]
+    if not (p_post.shape[0] == x_prior.shape[0] == p_prior.shape[0] == n):
+        raise DimensionError("forward-pass trajectories must share a length")
+    x_smooth = x_post.copy()
+    p_smooth = p_post.copy()
+    for k in range(n - 2, -1, -1):
+        # Transition from instant k to k+1: the forward filter applied
+        # phi(k) there (its clock read k before the predict call).
+        phi_k = resolve_matrix(phi, k)
+        # Gain C_k = P_k phi^T (P^-_{k+1})^{-1}, via a solve for stability.
+        gain = np.linalg.solve(p_prior[k + 1].T, (p_post[k] @ phi_k.T).T).T
+        x_smooth[k] = x_post[k] + gain @ (x_smooth[k + 1] - x_prior[k + 1])
+        p_smooth[k] = (
+            p_post[k]
+            + gain @ (p_smooth[k + 1] - p_prior[k + 1]) @ gain.T
+        )
+        p_smooth[k] = 0.5 * (p_smooth[k] + p_smooth[k].T)
+    return x_smooth, p_smooth
+
+
+class OfflineKalmanSmoother:
+    """Forward filter + RTS backward pass over a gappy measurement log.
+
+    Args:
+        model: The state-space model to filter with.
+        p0_scale: Initial covariance scale for the forward filter.
+    """
+
+    def __init__(self, model: StateSpaceModel, p0_scale: float = 1.0) -> None:
+        self._model = model
+        self._p0_scale = p0_scale
+
+    def smooth(
+        self, measurements: list[np.ndarray | None]
+    ) -> SmoothedTrajectory:
+        """Run both passes over a measurement log.
+
+        Args:
+            measurements: One entry per instant; ``None`` marks an instant
+                with no measurement (the filter coasts there).  The first
+                entry must be a measurement (it seeds the filter).
+
+        Returns:
+            The filtered and smoothed trajectories.
+        """
+        if not measurements:
+            raise DimensionError("measurement log must not be empty")
+        first = measurements[0]
+        if first is None:
+            raise DimensionError("the first log entry must be a measurement")
+
+        kf = self._model.build_filter(
+            np.atleast_1d(np.asarray(first, dtype=float)),
+            p0_scale=self._p0_scale,
+        )
+        n = len(measurements)
+        dim = self._model.state_dim
+        x_post = np.empty((n, dim))
+        p_post = np.empty((n, dim, dim))
+        x_prior = np.empty((n, dim))
+        p_prior = np.empty((n, dim, dim))
+
+        # Instant 0: the seed is both prior and posterior.
+        x_post[0] = kf.x
+        p_post[0] = kf.p
+        x_prior[0] = kf.x
+        p_prior[0] = kf.p
+
+        for k in range(1, n):
+            kf.predict()
+            x_prior[k] = kf.x_prior
+            p_prior[k] = kf.p_prior
+            z = measurements[k]
+            if z is not None:
+                kf.update(np.atleast_1d(np.asarray(z, dtype=float)))
+            x_post[k] = kf.x
+            p_post[k] = kf.p
+
+        x_smooth, p_smooth = rts_smooth(
+            self._model.phi, x_post, p_post, x_prior, p_prior
+        )
+
+        h0 = resolve_matrix(self._model.h, 0)
+        if callable(self._model.h):
+            filtered_meas = np.stack(
+                [resolve_matrix(self._model.h, k) @ x_post[k] for k in range(n)]
+            )
+            smoothed_meas = np.stack(
+                [resolve_matrix(self._model.h, k) @ x_smooth[k] for k in range(n)]
+            )
+        else:
+            filtered_meas = x_post @ h0.T
+            smoothed_meas = x_smooth @ h0.T
+
+        return SmoothedTrajectory(
+            filtered_states=x_post,
+            smoothed_states=x_smooth,
+            filtered_measurements=filtered_meas,
+            smoothed_measurements=smoothed_meas,
+            smoothed_covariances=p_smooth,
+        )

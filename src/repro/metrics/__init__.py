@@ -1,0 +1,25 @@
+"""Evaluation metrics (paper Section 5): percentage of updates, average
+error value, per-step traces, and sweep tables."""
+
+from repro.metrics.ascii_plot import render_series, render_sweep_table, sparkline
+from repro.metrics.collectors import RunTrace, collect_trace
+from repro.metrics.compare import SweepTable, format_results, format_table
+from repro.metrics.evaluation import (
+    EvaluationResult,
+    error_series,
+    evaluate_scheme,
+)
+
+__all__ = [
+    "EvaluationResult",
+    "RunTrace",
+    "SweepTable",
+    "collect_trace",
+    "error_series",
+    "evaluate_scheme",
+    "format_results",
+    "format_table",
+    "render_series",
+    "render_sweep_table",
+    "sparkline",
+]

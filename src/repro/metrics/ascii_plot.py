@@ -1,0 +1,168 @@
+"""ASCII rendering of figure series (no plotting dependencies).
+
+The reproduction environment is text-only, so the experiment harness
+renders each figure's series as a fixed-grid ASCII chart: one mark per
+scheme, x-axis the swept parameter, y-axis the metric.  This is
+deliberately simple -- enough to *see* the crossovers and orderings the
+paper's figures show, next to the exact numbers in the tables.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.metrics.compare import SweepTable
+
+__all__ = ["render_series", "render_sweep_table", "sparkline"]
+
+#: Marks assigned to successive series.
+_MARKS = "ox+*#@%&"
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """One-line character density plot of a series (dataset overviews).
+
+    Args:
+        values: 1-D series.
+        width: Output width; the series is block-averaged down to it.
+    """
+    values = np.asarray(values, dtype=float).reshape(-1)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        # Block-average to the target width.
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array(
+            [values[a:b].mean() for a, b in zip(edges[:-1], edges[1:])]
+        )
+    lo, hi = float(values.min()), float(values.max())
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_LEVELS[0] * values.size
+    indices = ((values - lo) / span * (len(_SPARK_LEVELS) - 1)).round().astype(int)
+    return "".join(_SPARK_LEVELS[i] for i in indices)
+
+
+def render_series(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+) -> str:
+    """Multi-series ASCII line chart.
+
+    Args:
+        series: Mapping ``name -> (x_values, y_values)``; each series gets
+            the next mark character and a legend row.
+        width: Plot-area character width.
+        height: Plot-area character height.
+        x_label: X-axis caption.
+        y_label: Y-axis caption.
+        log_x: Place x positions on a log scale (smoothing-factor sweeps).
+
+    Returns:
+        The rendered chart as a multi-line string.
+    """
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    if len(series) > len(_MARKS):
+        raise ConfigurationError(f"at most {len(_MARKS)} series supported")
+
+    def x_transform(x: np.ndarray) -> np.ndarray:
+        if not log_x:
+            return x
+        if np.any(x <= 0):
+            raise ConfigurationError("log_x requires positive x values")
+        return np.log10(x)
+
+    all_x = np.concatenate([x_transform(np.asarray(x, float)) for x, _ in series.values()])
+    all_y = np.concatenate([np.asarray(y, float) for _, y in series.values()])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, (xs, ys)), mark in zip(series.items(), _MARKS):
+        xs = x_transform(np.asarray(xs, dtype=float))
+        ys = np.asarray(ys, dtype=float)
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((y - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    top_label = f"{y_hi:g}"
+    bottom_label = f"{y_lo:g}"
+    margin = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = top_label.rjust(margin)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(margin)
+        elif i == height // 2:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    x_lo_label = f"{10**x_lo:g}" if log_x else f"{x_lo:g}"
+    x_hi_label = f"{10**x_hi:g}" if log_x else f"{x_hi:g}"
+    axis_row = (
+        " " * (margin + 1)
+        + x_lo_label
+        + x_label.center(width - len(x_lo_label) - len(x_hi_label))
+        + x_hi_label
+    )
+    lines.append(axis_row)
+    legend = "   ".join(
+        f"{mark}={name}" for (name, _), mark in zip(series.items(), _MARKS)
+    )
+    lines.append(" " * margin + " " + legend)
+    return "\n".join(lines)
+
+
+def render_sweep_table(
+    table: SweepTable,
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+) -> str:
+    """Render a :class:`SweepTable` as an ASCII chart (one mark/scheme)."""
+    xs = np.array(table.values, dtype=float)
+    series = {
+        scheme: (xs, np.array(table.column(scheme)))
+        for scheme in table.columns
+    }
+    y_label = {"update_percentage": "%upd", "average_error": "err"}.get(
+        table.metric, table.metric[:6]
+    )
+    return render_series(
+        series,
+        width=width,
+        height=height,
+        x_label=table.parameter,
+        y_label=y_label,
+        log_x=log_x,
+    )
+
+
+def _self_check() -> str:  # pragma: no cover - manual aid
+    xs = np.linspace(1, 10, 10)
+    return render_series(
+        {"a": (xs, xs**1.5), "b": (xs, 30 - xs)},
+        x_label="delta",
+        y_label="y",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(_self_check())
+    print(sparkline(np.sin(np.linspace(0, 4 * math.pi, 200))))

@@ -1,0 +1,112 @@
+"""Per-step trace collection for schemes under evaluation.
+
+Where :mod:`repro.metrics.evaluation` reduces a run to two numbers, the
+collectors keep the whole story: every decision, error, and update instant.
+The experiment modules use them to emit figure *series* (e.g. which
+sampling instants transmitted), and the tests use them to check structural
+claims (updates cluster at manoeuvres, errors never exceed δ, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.scheme import SchemeDecision, SuppressionScheme
+from repro.streams.base import MaterializedStream
+
+__all__ = ["RunTrace", "collect_trace"]
+
+
+@dataclass
+class RunTrace:
+    """Complete per-step record of one scheme run.
+
+    Attributes:
+        scheme: Scheme display name.
+        stream: Stream name.
+        decisions: The raw per-record decisions.
+    """
+
+    scheme: str
+    stream: str
+    decisions: list[SchemeDecision] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def update_instants(self) -> np.ndarray:
+        """Sample indices ``k`` at which updates were transmitted."""
+        return np.array([d.k for d in self.decisions if d.sent], dtype=int)
+
+    @property
+    def sent_mask(self) -> np.ndarray:
+        """Boolean mask over steps: True where an update was sent."""
+        return np.array([d.sent for d in self.decisions], dtype=bool)
+
+    def errors(self, raw: bool = False) -> np.ndarray:
+        """Per-step error series (``sum_components |source - server|``)."""
+        out = np.empty(len(self.decisions))
+        for i, d in enumerate(self.decisions):
+            reference = d.raw_value if raw else d.source_value
+            out[i] = float(np.sum(np.abs(reference - d.server_value)))
+        return out
+
+    def server_values(self) -> np.ndarray:
+        """Server-side value series, shape ``(steps, dim)``."""
+        return np.stack([d.server_value for d in self.decisions])
+
+    def source_values(self) -> np.ndarray:
+        """Source-side (possibly smoothed) value series."""
+        return np.stack([d.source_value for d in self.decisions])
+
+    def raw_values(self) -> np.ndarray:
+        """Raw sensor reading series."""
+        return np.stack([d.raw_value for d in self.decisions])
+
+    def inter_update_gaps(self) -> np.ndarray:
+        """Numbers of suppressed instants between consecutive updates.
+
+        Long gaps are the bandwidth win; their distribution shows *when*
+        the model predicts well (e.g. within linear segments of the
+        moving-object trace).
+        """
+        instants = self.update_instants
+        if len(instants) < 2:
+            return np.array([], dtype=int)
+        return np.diff(instants) - 1
+
+    def summary(self) -> dict[str, float | int | str]:
+        """One-row digest of the run (counts, errors, gaps)."""
+        errors = self.errors()
+        return {
+            "scheme": self.scheme,
+            "stream": self.stream,
+            "steps": len(self.decisions),
+            "updates": int(self.sent_mask.sum()),
+            "update_percentage": 100.0 * float(self.sent_mask.mean())
+            if len(self.decisions)
+            else 0.0,
+            "average_error": float(errors.mean()) if len(errors) else 0.0,
+            "max_error": float(errors.max()) if len(errors) else 0.0,
+            "median_gap": float(np.median(self.inter_update_gaps()))
+            if len(self.inter_update_gaps())
+            else 0.0,
+        }
+
+
+def collect_trace(
+    scheme: SuppressionScheme,
+    stream: MaterializedStream,
+    reset_first: bool = True,
+) -> RunTrace:
+    """Run a scheme over a stream, keeping every decision."""
+    if reset_first:
+        scheme.reset()
+    return RunTrace(
+        scheme=scheme.name,
+        stream=stream.name,
+        decisions=scheme.run(stream),
+    )

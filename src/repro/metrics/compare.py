@@ -1,0 +1,105 @@
+"""Tabular comparison of schemes across sweep parameters.
+
+The experiment harness sweeps a parameter (precision width δ, smoothing
+factor F) over a set of schemes and renders the same rows the paper's
+figures plot.  :class:`SweepTable` holds the grid;
+:func:`format_table` renders it as fixed-width text for benches and
+examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.evaluation import EvaluationResult
+
+__all__ = ["SweepTable", "format_table", "format_results"]
+
+
+@dataclass
+class SweepTable:
+    """Results grid: one row per sweep value, one column per scheme.
+
+    Attributes:
+        parameter: Name of the swept parameter (e.g. ``"delta"``).
+        values: The sweep values, in row order.
+        metric: Which :class:`EvaluationResult` attribute the cells hold.
+        columns: Scheme names, in column order.
+        cells: ``cells[row][column]`` metric values.
+        results: The full result objects, same layout.
+    """
+
+    parameter: str
+    values: list[float]
+    metric: str
+    columns: list[str] = field(default_factory=list)
+    cells: list[list[float]] = field(default_factory=list)
+    results: list[list[EvaluationResult]] = field(default_factory=list)
+
+    def add_row(self, value: float, row_results: list[EvaluationResult]) -> None:
+        """Append one sweep point's results (column order must be stable)."""
+        names = [r.scheme for r in row_results]
+        if not self.columns:
+            self.columns = names
+        elif names != self.columns:
+            raise ValueError(
+                f"column mismatch: expected {self.columns}, got {names}"
+            )
+        self.values.append(value)
+        self.results.append(row_results)
+        self.cells.append([getattr(r, self.metric) for r in row_results])
+
+    def column(self, scheme: str) -> list[float]:
+        """One scheme's metric series across the sweep."""
+        idx = self.columns.index(scheme)
+        return [row[idx] for row in self.cells]
+
+    def row(self, value: float) -> dict[str, float]:
+        """One sweep point's metric per scheme."""
+        idx = self.values.index(value)
+        return dict(zip(self.columns, self.cells[idx]))
+
+
+def format_table(table: SweepTable, precision: int = 2) -> str:
+    """Fixed-width text rendering of a sweep table (figure data as rows)."""
+    header = [table.parameter] + table.columns
+    rows = [
+        [f"{v:g}"] + [f"{c:.{precision}f}" for c in cells]
+        for v, cells in zip(table.values, table.cells)
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(c.rjust(w) for c, w in zip(r, widths)) for r in rows]
+    return "\n".join(lines)
+
+
+def format_results(results: list[EvaluationResult], precision: int = 2) -> str:
+    """Fixed-width text rendering of a flat result list."""
+    header = ["scheme", "stream", "updates", "update%", "avg_err", "max_err"]
+    rows = [
+        [
+            r.scheme,
+            r.stream,
+            str(r.updates),
+            f"{r.update_percentage:.{precision}f}",
+            f"{r.average_error:.{precision}f}",
+            f"{r.max_error:.{precision}f}",
+        ]
+        for r in results
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(c.ljust(w) for c, w in zip(r, widths)) for r in rows]
+    return "\n".join(lines)

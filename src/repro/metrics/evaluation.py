@@ -1,0 +1,130 @@
+"""The paper's two evaluation metrics (Section 5).
+
+* **Percentage of updates** -- "the ratio of updates that are actually sent
+  to the main server to the number of readings taken by the remote source".
+* **Average error value** -- "the average error within the precision
+  constraint encountered during the query": at each step the error is
+  ``|v_source - v_server|``; for the 2-D moving object the paper sums the
+  per-coordinate errors (``|dx| + |dy|``, Section 5.1); the average divides
+  by the number of readings.
+
+:func:`evaluate_scheme` scores any
+:class:`~repro.scheme.SuppressionScheme` over a stream and returns an
+:class:`EvaluationResult` carrying both metrics plus traffic accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.scheme import SchemeDecision, SuppressionScheme
+from repro.streams.base import MaterializedStream
+
+__all__ = ["EvaluationResult", "evaluate_scheme", "error_series"]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Scorecard of one scheme over one stream.
+
+    Attributes:
+        scheme: Scheme display name.
+        stream: Stream name.
+        readings: Number of readings taken at the source (``n``).
+        updates: Number of updates transmitted to the server.
+        update_fraction: ``updates / readings`` in ``[0, 1]``.
+        average_error: Mean over steps of the per-step error
+            ``sum_components |v_source - v_server|``.
+        max_error: Largest per-step error observed.
+        average_raw_error: Same as ``average_error`` but measured against
+            the *raw* (unsmoothed) readings; differs only when a smoothing
+            filter is in the loop.
+        payload_floats: Total floats transmitted (network accounting).
+    """
+
+    scheme: str
+    stream: str
+    readings: int
+    updates: int
+    update_fraction: float
+    average_error: float
+    max_error: float
+    average_raw_error: float
+    payload_floats: int
+
+    @property
+    def update_percentage(self) -> float:
+        """Percentage of updates, as plotted in Figures 4, 7, 11, 12."""
+        return 100.0 * self.update_fraction
+
+    @property
+    def suppression_percentage(self) -> float:
+        """Share of readings *not* transmitted -- the bandwidth saved."""
+        return 100.0 * (1.0 - self.update_fraction)
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """The scorecard as a plain dict (export/serialisation)."""
+        return {
+            "scheme": self.scheme,
+            "stream": self.stream,
+            "readings": self.readings,
+            "updates": self.updates,
+            "update_percentage": self.update_percentage,
+            "average_error": self.average_error,
+            "max_error": self.max_error,
+            "average_raw_error": self.average_raw_error,
+            "payload_floats": self.payload_floats,
+        }
+
+
+def _step_error(decision: SchemeDecision, raw: bool) -> float:
+    """Per-step error: sum of per-component absolute errors (Section 5.1)."""
+    reference = decision.raw_value if raw else decision.source_value
+    return float(np.sum(np.abs(reference - decision.server_value)))
+
+
+def evaluate_scheme(
+    scheme: SuppressionScheme,
+    stream: MaterializedStream,
+    reset_first: bool = True,
+) -> EvaluationResult:
+    """Score a scheme over a stream with the paper's two metrics.
+
+    Args:
+        scheme: Any suppression scheme (DKF session or baseline).
+        stream: The stream to replay through the scheme.
+        reset_first: Reset the scheme before scoring (default), so a
+            scheme instance can be reused across sweep points.
+    """
+    if reset_first:
+        scheme.reset()
+    decisions = scheme.run(stream)
+    n = len(decisions)
+    updates = sum(1 for d in decisions if d.sent)
+    errors = np.array([_step_error(d, raw=False) for d in decisions])
+    raw_errors = np.array([_step_error(d, raw=True) for d in decisions])
+    payload = sum(d.payload_floats for d in decisions)
+    return EvaluationResult(
+        scheme=scheme.name,
+        stream=stream.name,
+        readings=n,
+        updates=updates,
+        update_fraction=updates / n if n else 0.0,
+        average_error=float(errors.mean()) if n else 0.0,
+        max_error=float(errors.max()) if n else 0.0,
+        average_raw_error=float(raw_errors.mean()) if n else 0.0,
+        payload_floats=payload,
+    )
+
+
+def error_series(
+    scheme: SuppressionScheme,
+    stream: MaterializedStream,
+    reset_first: bool = True,
+) -> np.ndarray:
+    """Per-step error trace of a scheme over a stream (diagnostics)."""
+    if reset_first:
+        scheme.reset()
+    return np.array([_step_error(d, raw=False) for d in scheme.run(stream)])

@@ -1,0 +1,79 @@
+"""Common interface for update-suppression schemes.
+
+Every scheme the paper evaluates -- the DKF in its several model variants
+and the cached-approximation baseline -- answers the same question at each
+sampling instant: *given this source reading, must the source transmit, and
+what value does the server hold either way?*  This module fixes that
+contract so the metrics layer (:mod:`repro.metrics.evaluation`) can score
+any scheme, and benchmark code can sweep schemes uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.streams.base import StreamRecord
+
+__all__ = ["SchemeDecision", "SuppressionScheme"]
+
+
+@dataclass(frozen=True)
+class SchemeDecision:
+    """Outcome of offering one source reading to a scheme.
+
+    Attributes:
+        k: The record's sample index.
+        sent: Whether the source transmitted this reading to the server.
+        server_value: The value the server holds for this instant *after*
+            any transmission was applied (cached value or filter estimate).
+        source_value: The reading the scheme compared against -- the raw
+            value, or the smoothed value when a smoothing filter is in
+            the loop (the paper's precision guarantee is relative to the
+            value the protocol actually operates on).
+        raw_value: The unsmoothed sensor reading.
+        payload_floats: Number of floats a transmission carried (0 when
+            nothing was sent); the network model converts this to bytes.
+        prediction_error: Max per-component error of the server's
+            *prediction* for this instant, measured before any correction
+            was applied (None on the priming step).  This is the innovation
+            magnitude adaptive-sampling controllers consume; unlike the
+            post-decision error it does not collapse to zero on update
+            steps.
+    """
+
+    k: int
+    sent: bool
+    server_value: np.ndarray
+    source_value: np.ndarray
+    raw_value: np.ndarray
+    payload_floats: int = 0
+    prediction_error: float | None = None
+
+
+class SuppressionScheme(ABC):
+    """A stream update-suppression scheme with a per-reading decision rule.
+
+    Implementations must be deterministic: scoring the same stream twice
+    must produce identical decisions (the DKF mirror property depends on
+    this, and the test suite enforces it for every scheme).
+    """
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Human-readable scheme name for tables and figures."""
+
+    @abstractmethod
+    def observe(self, record: StreamRecord) -> SchemeDecision:
+        """Process one source reading and decide whether to transmit."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Forget all state so the scheme can score another stream."""
+
+    def run(self, stream) -> list[SchemeDecision]:
+        """Score an entire stream, returning the per-record decisions."""
+        return [self.observe(record) for record in stream]

@@ -1,0 +1,46 @@
+"""Stream substrate: typed records, materialized streams, synthetic
+generators, noise/fault injection, and trace replay."""
+
+from repro.streams.base import (
+    MaterializedStream,
+    StreamCursor,
+    StreamRecord,
+    stream_from_values,
+)
+from repro.streams.noise import (
+    add_gaussian_noise,
+    add_spikes,
+    drop_records,
+    freeze_sensor,
+)
+from repro.streams.replay import (
+    StreamReplayer,
+    load_stream_csv,
+    save_stream_csv,
+    subsample,
+)
+from repro.streams.synthetic import (
+    bursty_count_series,
+    piecewise_linear_trajectory,
+    random_walk_series,
+    sinusoidal_series,
+)
+
+__all__ = [
+    "MaterializedStream",
+    "StreamCursor",
+    "StreamRecord",
+    "StreamReplayer",
+    "add_gaussian_noise",
+    "add_spikes",
+    "bursty_count_series",
+    "drop_records",
+    "freeze_sensor",
+    "load_stream_csv",
+    "piecewise_linear_trajectory",
+    "random_walk_series",
+    "save_stream_csv",
+    "sinusoidal_series",
+    "stream_from_values",
+    "subsample",
+]

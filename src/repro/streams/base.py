@@ -1,0 +1,207 @@
+"""Stream abstractions shared across the library.
+
+A *stream* is an ordered sequence of :class:`StreamRecord` objects, each a
+timestamped vector reading from one source.  Streams are plain iterables so
+generators, lists and replayers all interoperate; :class:`MaterializedStream`
+adds array views and slicing for the dataset and experiment code.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DimensionError, StreamExhaustedError
+
+__all__ = ["StreamRecord", "MaterializedStream", "stream_from_values"]
+
+
+@dataclass(frozen=True)
+class StreamRecord:
+    """One timestamped reading from a streaming source.
+
+    Attributes:
+        k: Discrete sample index (0-based).
+        timestamp: Wall-clock time of the reading, in seconds.
+        value: Measurement vector (1-D float array; scalars stored as
+            shape-(1,) arrays).
+    """
+
+    k: int
+    timestamp: float
+    value: np.ndarray
+
+    def __post_init__(self) -> None:
+        value = np.atleast_1d(np.asarray(self.value, dtype=float))
+        if value.ndim != 1:
+            raise DimensionError(f"record value must be 1-D, got {value.shape}")
+        object.__setattr__(self, "value", value)
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the measurement vector."""
+        return self.value.shape[0]
+
+    def scalar(self) -> float:
+        """The value as a scalar; raises for multi-dimensional records."""
+        if self.value.shape != (1,):
+            raise DimensionError(
+                f"record is {self.value.shape[0]}-dimensional, not scalar"
+            )
+        return float(self.value[0])
+
+
+class MaterializedStream(Sequence[StreamRecord]):
+    """An in-memory stream with array views for analysis.
+
+    Args:
+        records: The full ordered record list.
+        name: Human-readable identifier (shows up in experiment tables).
+        sampling_interval: Nominal spacing between samples, in seconds.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[StreamRecord],
+        name: str = "stream",
+        sampling_interval: float = 1.0,
+    ) -> None:
+        self._records = list(records)
+        self._name = name
+        self._interval = float(sampling_interval)
+        if self._records:
+            dims = {r.dim for r in self._records}
+            if len(dims) != 1:
+                raise DimensionError(
+                    f"all records must share a dimension, got {dims}"
+                )
+            self._dim = dims.pop()
+        else:
+            self._dim = 0
+
+    @property
+    def name(self) -> str:
+        """Human-readable stream identifier."""
+        return self._name
+
+    @property
+    def dim(self) -> int:
+        """Measurement dimensionality (0 for an empty stream)."""
+        return self._dim
+
+    @property
+    def sampling_interval(self) -> float:
+        """Nominal seconds between consecutive samples."""
+        return self._interval
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[StreamRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return MaterializedStream(
+                self._records[index],
+                name=self._name,
+                sampling_interval=self._interval,
+            )
+        return self._records[index]
+
+    def values(self) -> np.ndarray:
+        """All measurement vectors stacked into shape ``(len, dim)``."""
+        if not self._records:
+            return np.empty((0, 0))
+        return np.stack([r.value for r in self._records])
+
+    def timestamps(self) -> np.ndarray:
+        """All timestamps as a 1-D array."""
+        return np.array([r.timestamp for r in self._records])
+
+    def component(self, index: int) -> np.ndarray:
+        """One measurement component across the whole stream."""
+        if not 0 <= index < self._dim:
+            raise DimensionError(
+                f"component {index} out of range for dim {self._dim}"
+            )
+        return self.values()[:, index]
+
+    def head(self, n: int) -> "MaterializedStream":
+        """The first ``n`` records as a new stream."""
+        return self[:n]
+
+    def summary(self) -> dict[str, float | int | str]:
+        """Quick descriptive statistics, used by dataset figure benches."""
+        vals = self.values()
+        out: dict[str, float | int | str] = {
+            "name": self._name,
+            "length": len(self),
+            "dim": self._dim,
+            "sampling_interval": self._interval,
+        }
+        if len(self):
+            out["min"] = float(vals.min())
+            out["max"] = float(vals.max())
+            out["mean"] = float(vals.mean())
+            out["std"] = float(vals.std())
+        return out
+
+
+def stream_from_values(
+    values: np.ndarray,
+    name: str = "stream",
+    sampling_interval: float = 1.0,
+    start_time: float = 0.0,
+) -> MaterializedStream:
+    """Build a :class:`MaterializedStream` from a value array.
+
+    Args:
+        values: Shape ``(n,)`` for scalar streams or ``(n, dim)``.
+        name: Stream name.
+        sampling_interval: Seconds between samples; timestamps are
+            ``start_time + k * sampling_interval``.
+        start_time: Timestamp of the first record.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim == 1:
+        values = values[:, None]
+    if values.ndim != 2:
+        raise DimensionError(f"values must be 1-D or 2-D, got {values.shape}")
+    records = [
+        StreamRecord(k=k, timestamp=start_time + k * sampling_interval, value=row)
+        for k, row in enumerate(values)
+    ]
+    return MaterializedStream(
+        records, name=name, sampling_interval=sampling_interval
+    )
+
+
+class StreamCursor:
+    """Single-pass cursor over a stream with explicit exhaustion errors.
+
+    Useful where code wants pull-based access (the DSMS engine) rather than
+    iteration.
+    """
+
+    def __init__(self, stream: Iterable[StreamRecord]) -> None:
+        self._it = iter(stream)
+        self._exhausted = False
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the cursor has read past the final record."""
+        return self._exhausted
+
+    def next(self) -> StreamRecord:
+        """The next record; raises :class:`StreamExhaustedError` at the end."""
+        try:
+            return next(self._it)
+        except StopIteration:
+            self._exhausted = True
+            raise StreamExhaustedError("stream has no more records") from None
+
+
+__all__.append("StreamCursor")

@@ -1,0 +1,134 @@
+"""Noise and fault injection for streams.
+
+The paper stresses that streams are "possibly noisy" and that the DKF
+degrades gracefully where caching schemes do not.  These helpers corrupt a
+clean stream in controlled ways so tests and benchmarks can quantify that
+claim: white Gaussian noise, sporadic spikes (sensor glitches), dropouts
+(missing readings) and value freezes (stuck sensors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.streams.base import MaterializedStream, StreamRecord
+
+__all__ = [
+    "add_gaussian_noise",
+    "add_spikes",
+    "drop_records",
+    "freeze_sensor",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def add_gaussian_noise(
+    stream: MaterializedStream,
+    std: float,
+    seed: int | np.random.Generator | None = None,
+) -> MaterializedStream:
+    """White Gaussian measurement noise of standard deviation ``std``.
+
+    Models the ``v_k`` term of Eq. 4 on top of an otherwise clean stream.
+    """
+    if std < 0:
+        raise ConfigurationError("std must be non-negative")
+    rng = _rng(seed)
+    values = stream.values()
+    noisy = values + rng.normal(0.0, std, size=values.shape)
+    records = [
+        StreamRecord(k=r.k, timestamp=r.timestamp, value=noisy[i])
+        for i, r in enumerate(stream)
+    ]
+    return MaterializedStream(
+        records,
+        name=f"{stream.name}+noise({std:g})",
+        sampling_interval=stream.sampling_interval,
+    )
+
+
+def add_spikes(
+    stream: MaterializedStream,
+    rate: float,
+    magnitude: float,
+    seed: int | np.random.Generator | None = None,
+) -> MaterializedStream:
+    """Sporadic additive spikes: each record is hit with probability
+    ``rate`` and shifted by ``+-magnitude`` on every component.
+
+    Models transient sensor glitches -- the outliers the innovation monitor
+    (Section 3.1, advantage 5) is supposed to flag.
+    """
+    if not 0 <= rate <= 1:
+        raise ConfigurationError("rate must be in [0, 1]")
+    rng = _rng(seed)
+    records = []
+    for r in stream:
+        value = r.value
+        if rng.random() < rate:
+            signs = rng.choice([-1.0, 1.0], size=value.shape)
+            value = value + signs * magnitude
+        records.append(StreamRecord(k=r.k, timestamp=r.timestamp, value=value))
+    return MaterializedStream(
+        records,
+        name=f"{stream.name}+spikes({rate:g},{magnitude:g})",
+        sampling_interval=stream.sampling_interval,
+    )
+
+
+def drop_records(
+    stream: MaterializedStream,
+    rate: float,
+    seed: int | np.random.Generator | None = None,
+) -> MaterializedStream:
+    """Remove each record independently with probability ``rate``.
+
+    Models sensor dropouts / missed sampling instants.  Record indices and
+    timestamps are preserved, so downstream code sees the gaps.
+    """
+    if not 0 <= rate < 1:
+        raise ConfigurationError("rate must be in [0, 1)")
+    rng = _rng(seed)
+    kept = [r for r in stream if rng.random() >= rate]
+    return MaterializedStream(
+        kept,
+        name=f"{stream.name}+drop({rate:g})",
+        sampling_interval=stream.sampling_interval,
+    )
+
+
+def freeze_sensor(
+    stream: MaterializedStream,
+    start: int,
+    length: int,
+) -> MaterializedStream:
+    """Stuck-at fault: records in ``[start, start+length)`` repeat the value
+    at ``start``.
+
+    Models a sensor that keeps reporting its last reading -- a failure mode
+    that silently satisfies a caching scheme's precision bound while the
+    real value walks away.
+    """
+    if start < 0 or length < 0:
+        raise ConfigurationError("start and length must be non-negative")
+    records = list(stream)
+    if start < len(records) and length > 0:
+        frozen_value = records[start].value
+        end = min(len(records), start + length)
+        for i in range(start, end):
+            records[i] = StreamRecord(
+                k=records[i].k,
+                timestamp=records[i].timestamp,
+                value=frozen_value,
+            )
+    return MaterializedStream(
+        records,
+        name=f"{stream.name}+freeze({start},{length})",
+        sampling_interval=stream.sampling_interval,
+    )

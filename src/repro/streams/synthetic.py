@@ -1,0 +1,207 @@
+"""General-purpose synthetic stream generators.
+
+The dataset modules in :mod:`repro.datasets` compose these primitives into
+the paper's three experimental workloads.  Each generator is deterministic
+given a seed, returns a :class:`~repro.streams.base.MaterializedStream`, and
+documents which stream characteristic it exercises (trend, periodicity,
+noise, burstiness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.streams.base import MaterializedStream, stream_from_values
+
+__all__ = [
+    "piecewise_linear_trajectory",
+    "sinusoidal_series",
+    "random_walk_series",
+    "bursty_count_series",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def piecewise_linear_trajectory(
+    n: int,
+    max_speed: float = 500.0,
+    min_segment: int = 20,
+    max_segment: int = 200,
+    dt: float = 0.1,
+    seed: int | np.random.Generator | None = None,
+    start: tuple[float, float] = (0.0, 0.0),
+) -> MaterializedStream:
+    """2-D trajectory of an object moving along random line segments.
+
+    This is the paper's Example 1 generator (Section 5.1): the object picks
+    a random heading (uniform over the circle -- "the slope could
+    arbitrarily change by any amount") and a random speed (uniform up to
+    ``max_speed``), keeps them for a random number of samples, then picks
+    again.  The stream exercises *strong local linear trends with abrupt
+    changes* -- the regime where a constant-velocity KF should shine.
+
+    Args:
+        n: Number of samples.
+        max_speed: Speed cap in units per second (paper: 500).
+        min_segment: Minimum samples per linear segment.
+        max_segment: Maximum samples per linear segment.
+        dt: Sampling interval in seconds (paper: 100 ms).
+        seed: Random seed or generator.
+        start: Initial (x, y) position.
+
+    Returns:
+        Stream of 2-D positions.
+    """
+    if n < 1:
+        raise ConfigurationError("n must be positive")
+    if not 1 <= min_segment <= max_segment:
+        raise ConfigurationError("need 1 <= min_segment <= max_segment")
+    if max_speed <= 0:
+        raise ConfigurationError("max_speed must be positive")
+    rng = _rng(seed)
+    pos = np.array(start, dtype=float)
+    values = np.empty((n, 2))
+    produced = 0
+    while produced < n:
+        heading = rng.uniform(0.0, 2.0 * np.pi)
+        speed = rng.uniform(0.0, max_speed)
+        seg_len = int(rng.integers(min_segment, max_segment + 1))
+        velocity = speed * np.array([np.cos(heading), np.sin(heading)])
+        for _ in range(min(seg_len, n - produced)):
+            pos = pos + velocity * dt
+            values[produced] = pos
+            produced += 1
+    return stream_from_values(
+        values, name="piecewise-linear-trajectory", sampling_interval=dt
+    )
+
+
+def sinusoidal_series(
+    n: int,
+    period: float,
+    amplitude: float = 1.0,
+    mean: float = 0.0,
+    phase: float = 0.0,
+    noise_std: float = 0.0,
+    drift_per_step: float = 0.0,
+    sampling_interval: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> MaterializedStream:
+    """Scalar series with a sinusoidal trend (the Example 2 shape).
+
+    ``value_k = mean + drift*k + amplitude * sin(2 pi k / period + phase)
+    + noise``.  Exercises *periodic trends* that a sinusoidal-model KF can
+    exploit but a linear one cannot.
+
+    Args:
+        n: Number of samples.
+        period: Period of the sinusoid, in samples.
+        amplitude: Peak deviation from the mean.
+        mean: Baseline level.
+        phase: Phase offset in radians.
+        noise_std: Additive Gaussian noise standard deviation.
+        drift_per_step: Slow linear drift added per sample.
+        sampling_interval: Seconds between samples.
+        seed: Random seed or generator.
+    """
+    if n < 1:
+        raise ConfigurationError("n must be positive")
+    if period <= 0:
+        raise ConfigurationError("period must be positive")
+    rng = _rng(seed)
+    k = np.arange(n)
+    values = (
+        mean
+        + drift_per_step * k
+        + amplitude * np.sin(2.0 * np.pi * k / period + phase)
+    )
+    if noise_std > 0:
+        values = values + rng.normal(0.0, noise_std, size=n)
+    return stream_from_values(
+        values, name="sinusoidal-series", sampling_interval=sampling_interval
+    )
+
+
+def random_walk_series(
+    n: int,
+    step_std: float = 1.0,
+    start: float = 0.0,
+    sampling_interval: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> MaterializedStream:
+    """Scalar Gaussian random walk -- the textbook constant-model process.
+
+    Exercises the case where the constant KF model is *correct*, used by
+    tests to verify the constant model matches caching behaviour.
+    """
+    if n < 1:
+        raise ConfigurationError("n must be positive")
+    if step_std < 0:
+        raise ConfigurationError("step_std must be non-negative")
+    rng = _rng(seed)
+    steps = rng.normal(0.0, step_std, size=n)
+    values = start + np.cumsum(steps)
+    return stream_from_values(
+        values, name="random-walk", sampling_interval=sampling_interval
+    )
+
+
+def bursty_count_series(
+    n: int,
+    base_rate: float = 50.0,
+    burst_rate: float = 400.0,
+    burst_probability: float = 0.02,
+    burst_min: int = 3,
+    burst_max: int = 20,
+    spike_probability: float = 0.005,
+    spike_scale: float = 5.0,
+    sampling_interval: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> MaterializedStream:
+    """Bursty non-negative count series (the Example 3 / HTTP-traffic shape).
+
+    A Poisson base process whose rate jumps to ``burst_rate`` during random
+    bursts, with occasional multiplicative spikes on top.  Exercises *noisy
+    data with no visually identifiable trend* -- the regime where smoothing
+    (``KF_c``) is needed before prediction helps at all.
+
+    Args:
+        n: Number of samples.
+        base_rate: Poisson rate outside bursts.
+        burst_rate: Poisson rate during bursts.
+        burst_probability: Per-sample probability of starting a burst.
+        burst_min: Minimum burst length in samples.
+        burst_max: Maximum burst length in samples.
+        spike_probability: Per-sample probability of a multiplicative spike.
+        spike_scale: Spike multiplier.
+        sampling_interval: Seconds between samples.
+        seed: Random seed or generator.
+    """
+    if n < 1:
+        raise ConfigurationError("n must be positive")
+    if base_rate <= 0 or burst_rate <= 0:
+        raise ConfigurationError("rates must be positive")
+    if not 1 <= burst_min <= burst_max:
+        raise ConfigurationError("need 1 <= burst_min <= burst_max")
+    rng = _rng(seed)
+    values = np.empty(n)
+    burst_remaining = 0
+    for i in range(n):
+        if burst_remaining == 0 and rng.random() < burst_probability:
+            burst_remaining = int(rng.integers(burst_min, burst_max + 1))
+        rate = burst_rate if burst_remaining > 0 else base_rate
+        if burst_remaining > 0:
+            burst_remaining -= 1
+        count = float(rng.poisson(rate))
+        if rng.random() < spike_probability:
+            count *= spike_scale
+        values[i] = count
+    return stream_from_values(
+        values, name="bursty-counts", sampling_interval=sampling_interval
+    )

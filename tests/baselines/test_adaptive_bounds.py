@@ -1,0 +1,111 @@
+"""Unit tests for the adaptive-bound caching extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.adaptive_bounds import AdaptiveBoundScheme
+from repro.errors import ConfigurationError
+from repro.streams.base import StreamRecord, stream_from_values
+
+finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+def record(k, *values):
+    return StreamRecord(k=k, timestamp=float(k), value=np.array(values))
+
+
+class TestAdaptiveBoundScheme:
+    def test_starts_at_max_width(self):
+        scheme = AdaptiveBoundScheme(max_width=10.0)
+        assert scheme.width == 10.0
+
+    def test_shrinks_on_escape(self):
+        scheme = AdaptiveBoundScheme(max_width=10.0, shrink=0.5)
+        scheme.observe(record(0, 0.0))
+        scheme.observe(record(1, 100.0))
+        assert scheme.width == 5.0
+
+    def test_grows_after_quiet_streak(self):
+        scheme = AdaptiveBoundScheme(
+            max_width=10.0, shrink=0.5, grow=2.0, quiet_streak=3
+        )
+        scheme.observe(record(0, 0.0))
+        scheme.observe(record(1, 100.0))  # shrink to 5
+        for k in range(2, 5):  # three quiet readings
+            scheme.observe(record(k, 100.0))
+        assert scheme.width == 10.0
+
+    def test_width_capped_at_max(self):
+        scheme = AdaptiveBoundScheme(max_width=10.0, grow=3.0, quiet_streak=1)
+        scheme.observe(record(0, 0.0))
+        for k in range(1, 10):
+            scheme.observe(record(k, 0.0))
+        assert scheme.width == 10.0
+
+    def test_width_floored(self):
+        scheme = AdaptiveBoundScheme(
+            max_width=10.0, shrink=0.1, min_width_fraction=0.2
+        )
+        scheme.observe(record(0, 0.0))
+        for k in range(1, 10):
+            scheme.observe(record(k, 1000.0 * k))
+        assert scheme.width >= 2.0
+
+    def test_correctness_never_violated(self):
+        """Even while adapting, the cached value stays within max_width/2
+        of the reading -- the query-precision guarantee."""
+        rng = np.random.default_rng(0)
+        scheme = AdaptiveBoundScheme.from_precision(5.0)
+        stream = stream_from_values(np.cumsum(rng.normal(0, 3, size=300)))
+        for decision in scheme.run(stream):
+            error = np.max(np.abs(decision.server_value - decision.source_value))
+            assert error <= 5.0 + 1e-9
+
+    def test_fewer_updates_than_static_on_calm_then_volatile(self):
+        """Adaptive bounds spend fewer updates than a statically *narrow*
+        bound on calm data while staying correct."""
+        rng = np.random.default_rng(1)
+        calm = rng.normal(0, 0.1, size=300)
+        volatile = np.cumsum(rng.normal(0, 5.0, size=100))
+        stream = stream_from_values(np.concatenate([calm, volatile]))
+        adaptive = AdaptiveBoundScheme.from_precision(5.0)
+        updates = sum(d.sent for d in adaptive.run(stream))
+        assert updates < len(stream)
+
+    def test_reset(self):
+        scheme = AdaptiveBoundScheme(max_width=10.0, shrink=0.5)
+        scheme.observe(record(0, 0.0))
+        scheme.observe(record(1, 100.0))
+        scheme.reset()
+        assert scheme.width == 10.0
+        assert scheme.updates_sent == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveBoundScheme(max_width=0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBoundScheme(max_width=1.0, shrink=1.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBoundScheme(max_width=1.0, grow=1.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBoundScheme(max_width=1.0, quiet_streak=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveBoundScheme(max_width=1.0, min_width_fraction=0.0)
+        scheme = AdaptiveBoundScheme(max_width=1.0, dims=2)
+        with pytest.raises(ConfigurationError):
+            scheme.observe(record(0, 1.0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(finite, min_size=1, max_size=50),
+    delta=st.floats(min_value=0.1, max_value=100.0),
+)
+def test_precision_guarantee_property(values, delta):
+    scheme = AdaptiveBoundScheme.from_precision(delta)
+    stream = stream_from_values(np.array(values))
+    for decision in scheme.run(stream):
+        error = np.max(np.abs(decision.server_value - decision.source_value))
+        assert error <= delta + 1e-9

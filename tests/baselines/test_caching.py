@@ -1,0 +1,117 @@
+"""Unit and property tests for the cached-approximation baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.caching import CachedValueScheme
+from repro.errors import ConfigurationError
+from repro.streams.base import StreamRecord, stream_from_values
+
+finite = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False)
+
+
+def record(k, *values):
+    return StreamRecord(k=k, timestamp=float(k), value=np.array(values))
+
+
+class TestCachedValueScheme:
+    def test_first_reading_always_transmits(self):
+        scheme = CachedValueScheme(width=10.0)
+        decision = scheme.observe(record(0, 5.0))
+        assert decision.sent
+        assert decision.payload_floats == 1
+
+    def test_suppresses_inside_bound(self):
+        scheme = CachedValueScheme(width=10.0)
+        scheme.observe(record(0, 0.0))
+        decision = scheme.observe(record(1, 4.9))
+        assert not decision.sent
+        assert decision.server_value[0] == 0.0
+
+    def test_transmits_on_escape(self):
+        scheme = CachedValueScheme(width=10.0)
+        scheme.observe(record(0, 0.0))
+        decision = scheme.observe(record(1, 5.1))
+        assert decision.sent
+        assert decision.server_value[0] == 5.1
+
+    def test_bound_recentres_on_update(self):
+        scheme = CachedValueScheme(width=10.0)
+        scheme.observe(record(0, 0.0))
+        scheme.observe(record(1, 20.0))
+        low, high = scheme.bounds
+        assert low[0] == 15.0 and high[0] == 25.0
+
+    def test_any_component_triggers(self):
+        """Paper Section 5.1: update when either X or Y escapes."""
+        scheme = CachedValueScheme(width=10.0, dims=2)
+        scheme.observe(record(0, 0.0, 0.0))
+        decision = scheme.observe(record(1, 0.0, 6.0))
+        assert decision.sent
+
+    def test_from_precision_width(self):
+        scheme = CachedValueScheme.from_precision(3.0)
+        assert scheme.width == 6.0
+
+    def test_counters(self):
+        scheme = CachedValueScheme(width=10.0)
+        scheme.observe(record(0, 0.0))
+        scheme.observe(record(1, 1.0))
+        scheme.observe(record(2, 100.0))
+        assert scheme.records_observed == 3
+        assert scheme.updates_sent == 2
+
+    def test_reset(self):
+        scheme = CachedValueScheme(width=10.0)
+        scheme.observe(record(0, 0.0))
+        scheme.reset()
+        assert scheme.cached_value is None
+        assert scheme.updates_sent == 0
+        assert scheme.observe(record(0, 1.0)).sent
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CachedValueScheme(width=0.0)
+        with pytest.raises(ConfigurationError):
+            CachedValueScheme(width=1.0, dims=0)
+        scheme = CachedValueScheme(width=1.0, dims=2)
+        with pytest.raises(ConfigurationError):
+            scheme.observe(record(0, 1.0))
+
+    def test_constant_stream_sends_once(self, constant_stream):
+        scheme = CachedValueScheme.from_precision(1.0)
+        decisions = scheme.run(constant_stream)
+        assert sum(d.sent for d in decisions) == 1
+
+    def test_ramp_updates_periodically(self, ramp_stream):
+        # Slope 2/step, delta 3 -> cached value escapes every ceil(3/2)+... steps.
+        scheme = CachedValueScheme.from_precision(3.0)
+        decisions = scheme.run(ramp_stream)
+        updates = sum(d.sent for d in decisions)
+        assert 0.4 * len(decisions) <= updates <= 0.6 * len(decisions)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(finite, min_size=1, max_size=60),
+    delta=st.floats(min_value=0.01, max_value=1e4),
+)
+def test_server_error_never_exceeds_precision(values, delta):
+    """The invariant the scheme sells: the cached value is always within
+    delta of the current reading at decision time."""
+    scheme = CachedValueScheme.from_precision(delta)
+    stream = stream_from_values(np.array(values))
+    for decision in scheme.run(stream):
+        error = np.max(np.abs(decision.server_value - decision.source_value))
+        assert error <= delta + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=st.lists(finite, min_size=1, max_size=50))
+def test_deterministic(values):
+    stream = stream_from_values(np.array(values))
+    a = CachedValueScheme.from_precision(5.0).run(stream)
+    b = CachedValueScheme.from_precision(5.0).run(stream)
+    assert [d.sent for d in a] == [d.sent for d in b]

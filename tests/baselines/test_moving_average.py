@@ -1,0 +1,93 @@
+"""Unit tests for the moving-average baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.moving_average import (
+    ExponentialMovingAverage,
+    MovingAverage,
+    moving_average_series,
+)
+from repro.errors import ConfigurationError
+
+
+class TestMovingAverage:
+    def test_matches_numpy_convolution(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=100)
+        window = 7
+        ours = moving_average_series(data, window)
+        for i in range(window - 1, 100):
+            expected = data[i - window + 1 : i + 1].mean()
+            assert np.isclose(ours[i], expected)
+
+    def test_warmup_uses_partial_window(self):
+        ours = moving_average_series(np.array([2.0, 4.0, 6.0]), window=10)
+        assert np.allclose(ours, [2.0, 3.0, 4.0])
+
+    def test_value_before_data_raises(self):
+        with pytest.raises(ConfigurationError):
+            MovingAverage(3).value  # noqa: B018
+
+    def test_primed(self):
+        ma = MovingAverage(3)
+        assert not ma.primed
+        ma.smooth(1.0)
+        assert ma.primed
+
+    def test_reset(self):
+        ma = MovingAverage(3)
+        ma.smooth(5.0)
+        ma.reset()
+        assert not ma.primed
+        assert ma.smooth(1.0) == 1.0
+
+    def test_window_one_is_identity(self):
+        ma = MovingAverage(1)
+        assert ma.smooth(3.0) == 3.0
+        assert ma.smooth(9.0) == 9.0
+
+    def test_window_validated(self):
+        with pytest.raises(ConfigurationError):
+            MovingAverage(0)
+
+    def test_spike_insensitivity(self):
+        """The paper's criticism: a spike barely moves a wide average."""
+        ma = MovingAverage(100)
+        for _ in range(100):
+            ma.smooth(10.0)
+        after_spike = ma.smooth(1000.0)
+        assert after_spike < 25.0
+
+
+class TestExponentialMovingAverage:
+    def test_alpha_one_tracks_exactly(self):
+        ema = ExponentialMovingAverage(alpha=1.0)
+        ema.smooth(1.0)
+        assert ema.smooth(7.0) == 7.0
+
+    def test_recursive_formula(self):
+        ema = ExponentialMovingAverage(alpha=0.5)
+        ema.smooth(0.0)
+        assert ema.smooth(10.0) == 5.0
+        assert ema.smooth(10.0) == 7.5
+
+    def test_first_sample_passthrough(self):
+        ema = ExponentialMovingAverage(alpha=0.3)
+        assert ema.smooth(42.0) == 42.0
+
+    def test_reset(self):
+        ema = ExponentialMovingAverage(alpha=0.3)
+        ema.smooth(5.0)
+        ema.reset()
+        assert not ema.primed
+
+    def test_value_before_data_raises(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialMovingAverage(0.5).value  # noqa: B018
+
+    def test_alpha_validated(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialMovingAverage(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialMovingAverage(alpha=1.5)

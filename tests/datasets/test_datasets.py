@@ -1,0 +1,173 @@
+"""Unit tests for the paper's three experimental datasets."""
+
+import numpy as np
+
+from repro.datasets.http_traffic import (
+    coefficient_of_variation,
+    http_traffic_dataset,
+)
+from repro.datasets.moving_object import (
+    MAX_SPEED,
+    SAMPLING_DT,
+    moving_object_dataset,
+    segment_change_points,
+)
+from repro.datasets.power_load import dominant_period, power_load_dataset
+
+
+class TestMovingObject:
+    def test_paper_dimensions(self):
+        stream = moving_object_dataset()
+        assert len(stream) == 4000  # paper: 4000 points
+        assert stream.dim == 2
+        assert stream.sampling_interval == 0.1  # paper: 100 ms
+
+    def test_speed_cap(self):
+        stream = moving_object_dataset(n=2000)
+        speeds = (
+            np.linalg.norm(np.diff(stream.values(), axis=0), axis=1) / SAMPLING_DT
+        )
+        assert speeds.max() <= MAX_SPEED + 1e-6
+
+    def test_deterministic_default_seed(self):
+        a = moving_object_dataset(n=300)
+        b = moving_object_dataset(n=300)
+        assert np.array_equal(a.values(), b.values())
+
+    def test_optional_noise(self):
+        clean = moving_object_dataset(n=300)
+        noisy = moving_object_dataset(n=300, noise_std=1.0)
+        assert not np.array_equal(clean.values(), noisy.values())
+
+    def test_segment_change_points_sparse(self):
+        stream = moving_object_dataset(n=2000)
+        changes = segment_change_points(stream)
+        # Segments are 25-250 samples, so manoeuvres are rare events.
+        assert 5 <= len(changes) <= 100
+
+    def test_change_points_are_real_velocity_changes(self):
+        stream = moving_object_dataset(n=1000)
+        velocity = np.diff(stream.values(), axis=0)
+        for k in segment_change_points(stream)[:10]:
+            assert not np.allclose(velocity[k - 1], velocity[k])
+
+
+class TestPowerLoad:
+    def test_paper_point_count(self):
+        assert len(power_load_dataset()) == 5831  # paper: 5831 points
+
+    def test_diurnal_period(self):
+        stream = power_load_dataset(n=2000)
+        assert np.isclose(dominant_period(stream), 24.0, rtol=0.05)
+
+    def test_positive_load(self):
+        assert power_load_dataset(n=2000).component(0).min() > 0
+
+    def test_peak_in_working_hours(self):
+        """Per the paper, load peaks during working hours and dips at
+        night/early morning."""
+        stream = power_load_dataset(n=24 * 60)
+        values = stream.component(0)
+        hours = np.arange(len(values)) % 24
+        afternoon = values[(hours >= 12) & (hours <= 16)].mean()
+        early_morning = values[(hours >= 1) & (hours <= 5)].mean()
+        assert afternoon > early_morning + 100
+
+    def test_weekend_dip(self):
+        stream = power_load_dataset(n=24 * 70, noise_std=0.0)
+        values = stream.component(0)
+        day = (np.arange(len(values)) // 24) % 7
+        weekday = values[day < 5].mean()
+        weekend = values[day >= 5].mean()
+        assert weekday > weekend
+
+    def test_deterministic(self):
+        a = power_load_dataset(n=500)
+        b = power_load_dataset(n=500)
+        assert np.array_equal(a.values(), b.values())
+
+
+class TestRegimeSwitch:
+    def test_labels_align_with_data(self):
+        from repro.datasets.regime_switch import (
+            regime_labels,
+            regime_switch_dataset,
+        )
+
+        n, segment = 900, 300
+        stream = regime_switch_dataset(n=n, segment=segment, noise_std=0.0)
+        labels = regime_labels(n=n, segment=segment)
+        assert len(labels) == n
+        values = stream.component(0)
+        # Flat regime: zero first difference.
+        flat = values[:segment]
+        assert np.allclose(np.diff(flat), 0.0)
+        # Ramp regime: constant non-zero first difference.
+        ramp = values[segment : 2 * segment]
+        diffs = np.diff(ramp)
+        assert np.allclose(diffs, diffs[0])
+        assert abs(diffs[0]) > 0
+        # Sine regime: oscillation around its start.
+        sine = values[2 * segment : 3 * segment]
+        assert sine.std() > 1.0
+
+    def test_continuity_across_switches(self):
+        from repro.datasets.regime_switch import regime_switch_dataset
+
+        stream = regime_switch_dataset(n=1000, segment=200, noise_std=0.0)
+        values = stream.component(0)
+        jumps = np.abs(np.diff(values))
+        # Regimes hand over at the previous regime's last value, so no
+        # discontinuity larger than one regime step occurs.
+        assert jumps.max() < 10.0
+
+    def test_deterministic(self):
+        from repro.datasets.regime_switch import regime_switch_dataset
+
+        a = regime_switch_dataset(n=300)
+        b = regime_switch_dataset(n=300)
+        assert np.array_equal(a.values(), b.values())
+
+    def test_validation(self):
+        import pytest
+
+        from repro.datasets.regime_switch import regime_switch_dataset
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            regime_switch_dataset(n=0)
+        with pytest.raises(ConfigurationError):
+            regime_switch_dataset(n=10, segment=1)
+
+
+class TestHttpTraffic:
+    def test_dimensions(self):
+        stream = http_traffic_dataset(n=1000)
+        assert len(stream) == 1000
+        assert stream.dim == 1
+        assert stream.sampling_interval == 10.0  # 10 time-stamp units
+
+    def test_non_negative_counts(self):
+        assert http_traffic_dataset(n=1000).component(0).min() >= 0
+
+    def test_noisier_than_power_load(self):
+        """The paper's regime assignment: HTTP traffic has no clean trend,
+        power load does."""
+        http_cv = coefficient_of_variation(http_traffic_dataset(n=1500))
+        load_cv = coefficient_of_variation(power_load_dataset(n=1500))
+        assert http_cv > 2 * load_cv
+
+    def test_no_dominant_low_frequency_trend(self):
+        """Spectral mass should not concentrate in one periodic component
+        the way the power load's does."""
+        values = http_traffic_dataset(n=2000).component(0)
+        centred = values - values.mean()
+        spectrum = np.abs(np.fft.rfft(centred)) ** 2
+        spectrum[0] = 0.0
+        top_share = spectrum.max() / spectrum.sum()
+        assert top_share < 0.2
+
+    def test_deterministic(self):
+        a = http_traffic_dataset(n=400)
+        b = http_traffic_dataset(n=400)
+        assert np.array_equal(a.values(), b.values())

@@ -1,0 +1,76 @@
+"""Unit tests for the adaptive-sampling DKF session."""
+
+import numpy as np
+
+from repro.dkf.adaptive_sampling import AdaptiveSamplingSession
+from repro.dkf.config import DKFConfig
+from repro.filters.innovation import AdaptiveSamplingController
+from repro.filters.models import constant_model, linear_model
+from repro.streams.base import stream_from_values
+
+
+def config(delta=1.0, model=None):
+    return DKFConfig(model=model or linear_model(dims=1, dt=1.0), delta=delta)
+
+
+class TestAdaptiveSampling:
+    def test_quiet_stream_skips_readings(self, ramp_stream):
+        session = AdaptiveSamplingSession(config(delta=1.0), max_interval=16)
+        session.run(ramp_stream)
+        assert session.samples_taken < len(ramp_stream) / 2
+        assert session.instants_seen == len(ramp_stream)
+
+    def test_volatile_stream_keeps_sampling(self):
+        rng = np.random.default_rng(0)
+        stream = stream_from_values(rng.normal(0, 100, size=200))
+        session = AdaptiveSamplingSession(
+            config(delta=1.0, model=constant_model(dims=1)), max_interval=16
+        )
+        session.run(stream)
+        assert session.samples_taken > len(stream) / 2
+
+    def test_first_instant_always_samples(self, ramp_stream):
+        session = AdaptiveSamplingSession(config())
+        decision = session.observe(ramp_stream[0])
+        assert decision.sent  # priming transmits
+        assert session.samples_taken == 1
+
+    def test_skipped_instants_answer_from_prediction(self, ramp_stream):
+        session = AdaptiveSamplingSession(config(delta=1.0), max_interval=16)
+        decisions = session.run(ramp_stream)
+        assert session.samples_taken < len(ramp_stream)  # skips happened
+        # On a perfect ramp the extrapolated answer stays accurate at
+        # every instant, sampled or skipped.
+        for decision in decisions:
+            error = np.max(np.abs(decision.server_value - decision.source_value))
+            assert error < 1.0 + 1e-6
+
+    def test_updates_bounded_by_samples(self, trajectory_small):
+        session = AdaptiveSamplingSession(
+            DKFConfig(model=linear_model(dims=2, dt=0.1), delta=5.0),
+            max_interval=4,
+        )
+        session.run(trajectory_small)
+        assert session.updates_sent <= session.samples_taken
+
+    def test_custom_controller_respected(self, ramp_stream):
+        controller = AdaptiveSamplingController(
+            delta=1.0, min_interval=1, max_interval=2
+        )
+        session = AdaptiveSamplingSession(config(delta=1.0), controller=controller)
+        session.run(ramp_stream)
+        # Interval capped at 2: at least half the instants sample.
+        assert session.samples_taken >= len(ramp_stream) // 2
+
+    def test_reset(self, ramp_stream):
+        session = AdaptiveSamplingSession(config(delta=1.0))
+        session.run(ramp_stream)
+        session.reset()
+        assert session.samples_taken == 0
+        assert session.instants_seen == 0
+        first = session.observe(ramp_stream[0])
+        assert first.sent
+
+    def test_name_annotated(self):
+        session = AdaptiveSamplingSession(config())
+        assert "adaptive-sampling" in session.name

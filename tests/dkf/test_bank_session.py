@@ -1,0 +1,115 @@
+"""Tests for the model-bank DKF session (online model selection inside
+the protocol)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets.regime_switch import regime_switch_dataset
+from repro.dkf.bank_session import ModelBankSession
+from repro.dkf.config import DKFConfig
+from repro.dkf.session import DKFSession
+from repro.errors import ConfigurationError
+from repro.filters.models import constant_model, linear_model, sinusoidal_model
+from repro.metrics.evaluation import evaluate_scheme
+from repro.streams.base import stream_from_values
+
+
+def bank_models():
+    return [
+        constant_model(dims=1),
+        linear_model(dims=1, dt=1.0),
+        sinusoidal_model(omega=2 * math.pi / 50, theta=0.0),
+    ]
+
+
+def session(delta=2.0, **kwargs):
+    return ModelBankSession(bank_models(), delta=delta, **kwargs)
+
+
+class TestBasics:
+    def test_priming_transmits(self, ramp_stream):
+        s = session()
+        assert s.observe(ramp_stream[0]).sent
+
+    def test_precision_guarantee(self, ramp_stream):
+        s = session(delta=2.0)
+        for decision in s.run(ramp_stream):
+            error = np.max(np.abs(decision.server_value - decision.source_value))
+            assert error <= 2.0 + 1e-9
+
+    def test_mirror_lockstep_verified(self):
+        stream = regime_switch_dataset(n=400)
+        s = session(delta=2.0, verify_mirror=True)
+        s.run(stream)  # raises on divergence
+
+    def test_reset_reproduces(self, ramp_stream):
+        s = session()
+        first = [d.sent for d in s.run(ramp_stream)]
+        s.reset()
+        second = [d.sent for d in s.run(ramp_stream)]
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ModelBankSession(bank_models(), delta=0.0)
+
+    def test_name(self):
+        assert "3 models" in session().name
+        assert session(label="custom").name == "custom"
+
+
+class TestAdaptivity:
+    def test_bank_beats_wrong_fixed_models_on_regime_switch(self):
+        """On a stream that cycles regimes, the bank must beat the fixed
+        models that are wrong most of the time."""
+        stream = regime_switch_dataset(n=1200, segment=200)
+        delta = 2.0
+        bank_result = evaluate_scheme(
+            session(delta=delta, verify_mirror=False), stream
+        )
+        constant_result = evaluate_scheme(
+            DKFSession(DKFConfig(model=constant_model(dims=1), delta=delta)),
+            stream,
+        )
+        assert bank_result.update_fraction < constant_result.update_fraction
+
+    def test_bank_close_to_best_fixed_model(self):
+        """The bank pays a bounded premium over the (unknowable in
+        advance) best fixed model."""
+        stream = regime_switch_dataset(n=1200, segment=200)
+        delta = 2.0
+        bank_result = evaluate_scheme(
+            session(delta=delta, verify_mirror=False), stream
+        )
+        fixed = [
+            evaluate_scheme(
+                DKFSession(DKFConfig(model=m, delta=delta)), stream
+            ).update_fraction
+            for m in bank_models()
+        ]
+        assert bank_result.update_fraction < 1.5 * min(fixed)
+
+    def test_posteriors_follow_regime(self):
+        """During a long pure-ramp stretch the linear candidate dominates."""
+        values = np.arange(600, dtype=float) * 3.0
+        stream = stream_from_values(values, name="pure-ramp")
+        s = session(delta=1.0, verify_mirror=False)
+        s.run(stream)
+        best = max(s.posteriors(), key=lambda p: p.probability)
+        assert "linear" in best.name
+
+    def test_posteriors_switch_after_regime_change(self):
+        """Forgetting lets the bank re-decide: flat -> ramp flips the
+        winner from constant to linear."""
+        flat = np.full(300, 50.0)
+        ramp = 50.0 + 3.0 * np.arange(300)
+        stream = stream_from_values(np.concatenate([flat, ramp]), name="switch")
+        s = session(delta=1.0, verify_mirror=False, forgetting=0.9)
+        decisions = s.run(stream)
+        best = max(s.posteriors(), key=lambda p: p.probability)
+        assert "linear" in best.name
+        # And the guarantee held throughout the switch.
+        for d in decisions:
+            assert np.max(np.abs(d.server_value - d.source_value)) <= 1.0 + 1e-9

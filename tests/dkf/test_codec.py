@@ -1,0 +1,139 @@
+"""Unit and property tests for the binary message codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dkf.protocol import (
+    ResyncMessage,
+    UpdateMessage,
+    decode_message,
+    encode_message,
+)
+from repro.errors import ConfigurationError
+
+finite = st.floats(min_value=-1e12, max_value=1e12, allow_nan=False)
+
+
+def update(source_id="s0", seq=3, k=7, values=(1.5, -2.5), digest=None):
+    return UpdateMessage(
+        source_id=source_id, seq=seq, k=k, value=np.array(values), digest=digest
+    )
+
+
+def resync(source_id="s0", seq=4, k=9, n=3, m=2):
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(n, n))
+    return ResyncMessage(
+        source_id=source_id,
+        seq=seq,
+        k=k,
+        x=rng.normal(size=n),
+        p=a @ a.T,
+        value=rng.normal(size=m),
+    )
+
+
+class TestRoundTrips:
+    def test_update_round_trip(self):
+        msg = update()
+        decoded = decode_message(encode_message(msg), ["s0", "s1"])
+        assert isinstance(decoded, UpdateMessage)
+        assert decoded.source_id == "s0"
+        assert decoded.seq == 3 and decoded.k == 7
+        assert np.array_equal(decoded.value, msg.value)
+        assert decoded.digest is None
+
+    def test_update_with_digest_round_trip(self):
+        msg = update(digest=b"12345678")
+        decoded = decode_message(encode_message(msg), ["s0"])
+        assert decoded.digest == b"12345678"
+        assert np.array_equal(decoded.value, msg.value)
+
+    def test_resync_round_trip(self):
+        msg = resync(n=4, m=2)
+        decoded = decode_message(encode_message(msg), ["s0"], state_dim=4)
+        assert isinstance(decoded, ResyncMessage)
+        assert np.allclose(decoded.x, msg.x)
+        assert np.allclose(decoded.p, msg.p)
+        assert np.allclose(decoded.value, msg.value)
+
+    def test_scalar_update(self):
+        msg = update(values=(42.0,))
+        decoded = decode_message(encode_message(msg), ["s0"])
+        assert decoded.value.shape == (1,)
+
+
+class TestSizeAccounting:
+    def test_encoded_length_equals_size_bytes(self):
+        """The codec and the traffic accounting cannot drift apart."""
+        for msg in (
+            update(),
+            update(values=(1.0,)),
+            update(digest=b"abcdefgh"),
+            resync(n=2, m=1),
+            resync(n=5, m=2),
+        ):
+            assert len(encode_message(msg)) == msg.size_bytes, msg
+
+
+class TestErrors:
+    def test_unknown_source_hash(self):
+        data = encode_message(update(source_id="mystery"))
+        with pytest.raises(ConfigurationError):
+            decode_message(data, ["other"])
+
+    def test_truncated_message(self):
+        with pytest.raises(ConfigurationError):
+            decode_message(b"\x01\x02", ["s0"])
+
+    def test_unknown_tag(self):
+        data = b"\x7f" + encode_message(update())[1:]
+        with pytest.raises(ConfigurationError):
+            decode_message(data, ["s0"])
+
+    def test_resync_requires_state_dim(self):
+        data = encode_message(resync())
+        with pytest.raises(ConfigurationError):
+            decode_message(data, ["s0"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(finite, min_size=1, max_size=6),
+    seq=st.integers(min_value=0, max_value=2**31 - 1),
+    k=st.integers(min_value=0, max_value=2**31 - 1),
+    source=st.sampled_from(["s0", "vehicle-17", "zone/nj/4"]),
+)
+def test_update_round_trip_property(values, seq, k, source):
+    msg = UpdateMessage(source_id=source, seq=seq, k=k, value=np.array(values))
+    decoded = decode_message(
+        encode_message(msg), ["s0", "vehicle-17", "zone/nj/4"]
+    )
+    assert decoded.source_id == source
+    assert decoded.seq == seq and decoded.k == k
+    assert np.array_equal(decoded.value, msg.value)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=6),
+    m=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_resync_round_trip_property(n, m, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    msg = ResyncMessage(
+        source_id="s0",
+        seq=int(rng.integers(0, 1000)),
+        k=int(rng.integers(0, 1000)),
+        x=rng.normal(size=n),
+        p=a @ a.T,
+        value=rng.normal(size=m),
+    )
+    decoded = decode_message(encode_message(msg), ["s0"], state_dim=n)
+    assert np.allclose(decoded.p, msg.p, atol=1e-12)
+    assert np.allclose(decoded.x, msg.x)
+    assert len(encode_message(msg)) == msg.size_bytes

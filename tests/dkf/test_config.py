@@ -1,0 +1,66 @@
+"""Unit tests for DKF configuration."""
+
+import pytest
+
+from repro.dkf.config import DKFConfig
+from repro.errors import ConfigurationError
+from repro.filters.models import constant_model, linear_model
+
+
+class TestDKFConfig:
+    def test_basic_construction(self):
+        config = DKFConfig(model=linear_model(dims=2), delta=3.0)
+        assert config.delta == 3.0
+        assert not config.smoothed
+
+    def test_smoothing_flag(self):
+        config = DKFConfig(model=constant_model(), delta=1.0, smoothing_f=1e-7)
+        assert config.smoothed
+
+    def test_zero_smoothing_factor_counts_as_smoothed(self):
+        config = DKFConfig(model=constant_model(), delta=1.0, smoothing_f=0.0)
+        assert config.smoothed
+
+    def test_name_derives_from_model(self):
+        config = DKFConfig(model=linear_model(dims=2, dt=0.1), delta=3.0)
+        assert "linear" in config.name
+
+    def test_name_includes_smoothing(self):
+        config = DKFConfig(model=constant_model(), delta=1.0, smoothing_f=1e-7)
+        assert "F=1e-07" in config.name
+
+    def test_explicit_label_wins(self):
+        config = DKFConfig(model=constant_model(), delta=1.0, label="mine")
+        assert config.name == "mine"
+
+    def test_with_delta_copies(self):
+        base = DKFConfig(model=constant_model(), delta=1.0, smoothing_f=1e-7)
+        derived = base.with_delta(5.0)
+        assert derived.delta == 5.0
+        assert derived.smoothing_f == 1e-7
+        assert base.delta == 1.0
+
+    def test_with_smoothing_copies(self):
+        base = DKFConfig(model=constant_model(), delta=1.0)
+        derived = base.with_smoothing(1e-5)
+        assert derived.smoothed
+        assert not base.smoothed
+
+    def test_equality_for_engine_reinstall_check(self):
+        a = DKFConfig(model=constant_model(), delta=1.0)
+        b = DKFConfig(model=constant_model(), delta=1.0)
+        # Models are distinct (frozen dataclass with array fields compares
+        # by identity through numpy); same-instance configs compare equal.
+        assert a.with_delta(1.0).delta == b.delta
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DKFConfig(model=constant_model(), delta=0.0)
+        with pytest.raises(ConfigurationError):
+            DKFConfig(model=constant_model(), delta=-1.0)
+        with pytest.raises(ConfigurationError):
+            DKFConfig(model=constant_model(), delta=1.0, smoothing_f=-1e-9)
+        with pytest.raises(ConfigurationError):
+            DKFConfig(model=constant_model(), delta=1.0, smoothing_r=0.0)
+        with pytest.raises(ConfigurationError):
+            DKFConfig(model=constant_model(), delta=1.0, p0_scale=0.0)

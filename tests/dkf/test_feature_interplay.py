@@ -1,0 +1,118 @@
+"""Interplay tests: protocol features composed together.
+
+Each feature is tested alone elsewhere; these tests pin the pairwise
+combinations a deployment would actually run (smoothing + gating,
+smoothing + vector δ, gating + loss recovery).
+"""
+
+import numpy as np
+
+from repro.dkf.config import DKFConfig
+from repro.dkf.protocol import periodic_loss
+from repro.dkf.session import DKFSession
+from repro.filters.models import constant_model, linear_model
+from repro.streams.base import stream_from_values
+from repro.streams.noise import add_spikes
+
+
+def spiky_noisy_stream(n=500, seed=2):
+    rng = np.random.default_rng(seed)
+    base = 100.0 + rng.normal(0, 3.0, size=n)
+    stream = stream_from_values(base, name="noisy")
+    return add_spikes(stream, rate=0.02, magnitude=400.0, seed=seed + 1)
+
+
+class TestSmoothingPlusGating:
+    def test_combined_config_runs_in_lockstep(self):
+        config = DKFConfig(
+            model=constant_model(dims=1),
+            delta=5.0,
+            smoothing_f=1e-3,
+            outlier_gate_factor=8.0,
+        )
+        session = DKFSession(config, verify_mirror=True)
+        session.run(spiky_noisy_stream())  # raises on desync
+
+    def test_smoothing_already_absorbs_most_spikes(self):
+        """With KF_c in front, spikes reach the gate pre-attenuated, so the
+        gate fires rarely -- the layers compose without fighting."""
+        stream = spiky_noisy_stream()
+        smoothed_gated = DKFSession(
+            DKFConfig(
+                model=constant_model(dims=1),
+                delta=5.0,
+                smoothing_f=1e-5,
+                outlier_gate_factor=8.0,
+            )
+        )
+        smoothed_gated.run(stream)
+        gated_only = DKFSession(
+            DKFConfig(
+                model=constant_model(dims=1),
+                delta=5.0,
+                outlier_gate_factor=8.0,
+            )
+        )
+        gated_only.run(stream)
+        assert (
+            smoothed_gated.source.readings_gated
+            <= gated_only.source.readings_gated
+        )
+
+    def test_guarantee_relative_to_smoothed_holds_outside_gates(self):
+        stream = spiky_noisy_stream()
+        config = DKFConfig(
+            model=constant_model(dims=1),
+            delta=5.0,
+            smoothing_f=1e-3,
+            outlier_gate_factor=8.0,
+        )
+        session = DKFSession(config)
+        violations = sum(
+            1
+            for d in session.run(stream)
+            if np.max(np.abs(d.server_value - d.source_value)) > 5.0 + 1e-9
+        )
+        # Gated instants are the only permissible violations, and on this
+        # heavily smoothed stream they are rare.
+        assert violations <= session.source.readings_gated
+
+
+class TestVectorDeltaPlusSmoothing:
+    def test_per_component_widths_with_vector_smoothing(self):
+        rng = np.random.default_rng(3)
+        values = np.stack(
+            [
+                100.0 + rng.normal(0, 2.0, 400),
+                np.arange(400, dtype=float) * 0.2,
+            ],
+            axis=1,
+        )
+        stream = stream_from_values(values, name="mixed")
+        config = DKFConfig(
+            model=linear_model(dims=2, dt=1.0),
+            delta=(5.0, 0.5),
+            smoothing_f=1e-4,
+        )
+        session = DKFSession(config, verify_mirror=True)
+        for decision in session.run(stream):
+            errors = np.abs(decision.server_value - decision.source_value)
+            assert errors[0] <= 5.0 + 1e-9
+            assert errors[1] <= 0.5 + 1e-9
+
+
+class TestGatingPlusLoss:
+    def test_gate_and_resync_coexist(self):
+        stream = spiky_noisy_stream()
+        config = DKFConfig(
+            model=constant_model(dims=1),
+            delta=5.0,
+            outlier_gate_factor=8.0,
+        )
+        session = DKFSession(
+            config, loss_fn=periodic_loss(4), verify_mirror=True
+        )
+        session.run(stream)  # raises on desync
+        stats = session.channel.stats
+        assert stats.resyncs == stats.messages_lost
+        assert not session.server.stats("s0")["desynced"]

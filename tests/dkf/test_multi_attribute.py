@@ -1,0 +1,151 @@
+"""Tests for per-attribute precision widths and vector smoothing
+(paper Section 6, future-work item 4: multiple queries with multiple
+attributes)."""
+
+import numpy as np
+import pytest
+
+from repro.dkf.config import DKFConfig
+from repro.dkf.session import DKFSession
+from repro.errors import ConfigurationError, DimensionError
+from repro.filters.models import constant_model, linear_model
+from repro.filters.smoothing import VectorSmoother
+from repro.streams.base import stream_from_values
+
+
+def xy_stream(n=200, x_slope=1.0, y_slope=0.0, y_noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    k = np.arange(n, dtype=float)
+    x = x_slope * k
+    y = y_slope * k + (rng.normal(0, y_noise, n) if y_noise else 0.0)
+    return stream_from_values(np.stack([x, y], axis=1), name="xy")
+
+
+class TestVectorDelta:
+    def test_tuple_delta_accepted_and_normalised(self):
+        config = DKFConfig(model=constant_model(dims=2), delta=[1.0, 5.0])
+        assert config.delta == (1.0, 5.0)
+        assert config.min_delta == 1.0
+        assert np.allclose(config.delta_vector(), [1.0, 5.0])
+
+    def test_scalar_delta_broadcasts(self):
+        config = DKFConfig(model=constant_model(dims=2), delta=3.0)
+        assert np.allclose(config.delta_vector(), [3.0, 3.0])
+        assert config.min_delta == 3.0
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(DimensionError):
+            DKFConfig(model=constant_model(dims=2), delta=(1.0, 2.0, 3.0))
+
+    def test_nonpositive_component_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DKFConfig(model=constant_model(dims=2), delta=(1.0, 0.0))
+        with pytest.raises(ConfigurationError):
+            DKFConfig(model=constant_model(dims=2), delta=())
+
+    def test_per_component_guarantee(self):
+        """Each component honours its own width."""
+        deltas = (0.5, 10.0)
+        config = DKFConfig(model=constant_model(dims=2), delta=deltas)
+        session = DKFSession(config)
+        stream = xy_stream(n=300, x_slope=0.3, y_slope=0.3)
+        for decision in session.run(stream):
+            errors = np.abs(decision.server_value - decision.source_value)
+            assert errors[0] <= 0.5 + 1e-9
+            assert errors[1] <= 10.0 + 1e-9
+
+    def test_tight_component_drives_updates(self):
+        """A tight width on a moving attribute forces traffic that a loose
+        uniform width would not."""
+        stream = xy_stream(n=300, x_slope=0.3, y_slope=0.3)
+        tight_x = DKFSession(
+            DKFConfig(model=constant_model(dims=2), delta=(0.5, 10.0))
+        )
+        loose = DKFSession(
+            DKFConfig(model=constant_model(dims=2), delta=(10.0, 10.0))
+        )
+        sent_tight = sum(d.sent for d in tight_x.run(stream))
+        sent_loose = sum(d.sent for d in loose.run(stream))
+        assert sent_tight > 3 * sent_loose
+
+    def test_loose_component_saves_traffic_vs_uniform_tight(self):
+        """Relaxing the attribute the query does not care about saves
+        messages relative to the uniform-tight installation."""
+        stream = xy_stream(n=300, x_slope=0.0, y_slope=0.5)
+        uniform = DKFSession(
+            DKFConfig(model=constant_model(dims=2), delta=(0.5, 0.5))
+        )
+        mixed = DKFSession(
+            DKFConfig(model=constant_model(dims=2), delta=(0.5, 25.0))
+        )
+        sent_uniform = sum(d.sent for d in uniform.run(stream))
+        sent_mixed = sum(d.sent for d in mixed.run(stream))
+        assert sent_mixed < 0.5 * sent_uniform
+
+    def test_with_delta_preserves_tuple_form(self):
+        config = DKFConfig(model=constant_model(dims=2), delta=3.0)
+        derived = config.with_delta((1.0, 2.0))
+        assert derived.delta == (1.0, 2.0)
+
+    def test_mirror_lockstep_with_vector_delta(self):
+        config = DKFConfig(
+            model=linear_model(dims=2, dt=1.0), delta=(0.5, 5.0)
+        )
+        session = DKFSession(config, verify_mirror=True)
+        stream = xy_stream(n=200, x_slope=1.0, y_slope=2.0, y_noise=1.0)
+        session.run(stream)  # raises on any desync
+
+
+class TestVectorSmoother:
+    def test_scalar_factor_broadcasts(self):
+        smoother = VectorSmoother(f=1e-9, dims=3)
+        assert smoother.dims == 3
+        out = smoother.smooth(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(out, [1.0, 2.0, 3.0])  # first sample passthrough
+
+    def test_per_component_factors(self):
+        smoother = VectorSmoother(f=np.array([1e-9, 1e3]), dims=2)
+        smoother.smooth(np.array([0.0, 0.0]))
+        for _ in range(10):
+            out = smoother.smooth(np.array([100.0, 100.0]))
+        # Component 0 is heavily smoothed; component 1 tracks raw data.
+        assert out[0] < 95.0
+        assert out[1] > 99.0
+
+    def test_shape_validation(self):
+        smoother = VectorSmoother(f=1e-7, dims=2)
+        with pytest.raises(ConfigurationError):
+            smoother.smooth(np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            VectorSmoother(f=np.array([1.0, 2.0, 3.0]), dims=2)
+        with pytest.raises(ConfigurationError):
+            VectorSmoother(f=1e-7, dims=0)
+
+    def test_copy_lockstep(self):
+        a = VectorSmoother(f=1e-5, dims=2)
+        a.smooth(np.array([1.0, 2.0]))
+        b = a.copy()
+        for v in ([2.0, 4.0], [3.0, 1.0]):
+            assert np.array_equal(a.smooth(np.array(v)), b.smooth(np.array(v)))
+
+    def test_reset(self):
+        smoother = VectorSmoother(f=1e-7, dims=2)
+        smoother.smooth(np.array([5.0, 5.0]))
+        smoother.reset()
+        assert not smoother.primed
+        out = smoother.smooth(np.array([9.0, 9.0]))
+        assert np.allclose(out, [9.0, 9.0])
+
+
+class TestSmoothedVectorSession:
+    def test_2d_smoothed_session_guarantee(self):
+        rng = np.random.default_rng(1)
+        values = np.cumsum(rng.normal(0, 2.0, size=(300, 2)), axis=0)
+        stream = stream_from_values(values, name="walk2d")
+        config = DKFConfig(
+            model=linear_model(dims=2, dt=1.0), delta=5.0, smoothing_f=1e-3
+        )
+        session = DKFSession(config, verify_mirror=True)
+        for decision in session.run(stream):
+            error = np.max(np.abs(decision.server_value - decision.source_value))
+            assert error <= 5.0 + 1e-9

@@ -1,0 +1,112 @@
+"""Unit tests for the DKF wire protocol and simulated channel."""
+
+import numpy as np
+import pytest
+
+from repro.dkf.protocol import (
+    DIGEST_BYTES,
+    FLOAT_BYTES,
+    HEADER_BYTES,
+    Channel,
+    ResyncMessage,
+    UpdateMessage,
+    periodic_loss,
+    random_loss,
+)
+from repro.errors import ConfigurationError
+
+
+def update(seq=0, k=0, dim=2, digest=None):
+    return UpdateMessage(
+        source_id="s0", seq=seq, k=k, value=np.zeros(dim), digest=digest
+    )
+
+
+class TestMessageSizes:
+    def test_update_size(self):
+        assert update(dim=2).size_bytes == HEADER_BYTES + 2 * FLOAT_BYTES
+
+    def test_digest_adds_bytes(self):
+        plain = update(dim=1)
+        signed = update(dim=1, digest=b"12345678")
+        assert signed.size_bytes == plain.size_bytes + DIGEST_BYTES
+
+    def test_resync_size_counts_triangle(self):
+        msg = ResyncMessage(
+            source_id="s0",
+            seq=0,
+            k=0,
+            x=np.zeros(4),
+            p=np.zeros((4, 4)),
+            value=np.zeros(2),
+        )
+        cov_floats = 4 * 5 // 2
+        assert msg.size_bytes == HEADER_BYTES + (4 + cov_floats + 2) * FLOAT_BYTES
+
+    def test_resync_larger_than_update(self):
+        resync = ResyncMessage(
+            source_id="s0", seq=0, k=0, x=np.zeros(4), p=np.zeros((4, 4)),
+            value=np.zeros(2),
+        )
+        assert resync.size_bytes > update(dim=2).size_bytes
+
+
+class TestChannel:
+    def test_delivers_and_counts(self):
+        received = []
+        channel = Channel(deliver=received.append)
+        assert channel.send(update())
+        assert len(received) == 1
+        assert channel.stats.messages_delivered == 1
+        assert channel.stats.bytes_delivered == update().size_bytes
+
+    def test_loss_function_drops(self):
+        received = []
+        channel = Channel(deliver=received.append, loss_fn=lambda i: True)
+        assert not channel.send(update())
+        assert not received
+        assert channel.stats.messages_lost == 1
+
+    def test_resync_never_dropped(self):
+        received = []
+        channel = Channel(deliver=received.append, loss_fn=lambda i: True)
+        channel.send_resync(
+            ResyncMessage(
+                source_id="s0", seq=1, k=0, x=np.zeros(1), p=np.eye(1),
+                value=np.zeros(1),
+            )
+        )
+        assert len(received) == 1
+        assert channel.stats.resyncs == 1
+
+    def test_stats_dict(self):
+        channel = Channel(deliver=lambda m: None)
+        channel.send(update())
+        stats = channel.stats.as_dict()
+        assert stats["messages_offered"] == 1
+        assert stats["messages_delivered"] == 1
+
+
+class TestLossFunctions:
+    def test_periodic_loss(self):
+        loss = periodic_loss(3)
+        pattern = [loss(i) for i in range(9)]
+        assert pattern == [False, False, True] * 3
+
+    def test_periodic_loss_validated(self):
+        with pytest.raises(ConfigurationError):
+            periodic_loss(0)
+
+    def test_random_loss_rate(self):
+        loss = random_loss(0.3, seed=0)
+        hits = sum(loss(i) for i in range(2000))
+        assert 450 <= hits <= 750
+
+    def test_random_loss_validated(self):
+        with pytest.raises(ConfigurationError):
+            random_loss(1.0)
+
+    def test_random_loss_deterministic_per_seed(self):
+        a = random_loss(0.5, seed=1)
+        b = random_loss(0.5, seed=1)
+        assert [a(i) for i in range(50)] == [b(i) for i in range(50)]

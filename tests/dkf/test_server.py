@@ -1,0 +1,180 @@
+"""Unit tests for the DKF central server."""
+
+import numpy as np
+import pytest
+
+from repro.dkf.config import DKFConfig
+from repro.dkf.protocol import ResyncMessage, UpdateMessage
+from repro.dkf.server import DKFServer
+from repro.errors import (
+    DuplicateSourceError,
+    MirrorDesyncError,
+    UnknownSourceError,
+)
+from repro.filters.models import constant_model, linear_model
+
+
+def config(delta=3.0, model=None, **kwargs):
+    return DKFConfig(model=model or constant_model(dims=1), delta=delta, **kwargs)
+
+
+def update(seq, k, value, digest=None):
+    return UpdateMessage(
+        source_id="s0", seq=seq, k=k, value=np.atleast_1d(np.asarray(value, float)),
+        digest=digest,
+    )
+
+
+class TestRegistration:
+    def test_register_and_list(self):
+        server = DKFServer()
+        server.register("s0", config())
+        server.register("s1", config())
+        assert server.source_ids == ["s0", "s1"]
+
+    def test_duplicate_rejected(self):
+        server = DKFServer()
+        server.register("s0", config())
+        with pytest.raises(DuplicateSourceError):
+            server.register("s0", config())
+
+    def test_unknown_source_rejected(self):
+        server = DKFServer()
+        with pytest.raises(UnknownSourceError):
+            server.tick("ghost", 0)
+        with pytest.raises(UnknownSourceError):
+            server.value("ghost")
+
+    def test_deregister(self):
+        server = DKFServer()
+        server.register("s0", config())
+        server.deregister("s0")
+        assert server.source_ids == []
+        with pytest.raises(UnknownSourceError):
+            server.deregister("s0")
+
+
+class TestReceiveAndTick:
+    def test_priming_update_builds_filter(self):
+        server = DKFServer()
+        server.register("s0", config())
+        assert not server.is_primed("s0")
+        answer = server.receive(update(0, 0, [7.0]))
+        assert server.is_primed("s0")
+        assert answer[0] == 7.0
+
+    def test_value_before_priming_raises(self):
+        server = DKFServer()
+        server.register("s0", config())
+        with pytest.raises(UnknownSourceError):
+            server.value("s0")
+
+    def test_tick_before_priming_returns_none(self):
+        server = DKFServer()
+        server.register("s0", config())
+        assert server.tick("s0", 0) is None
+
+    def test_tick_advances_prediction(self):
+        server = DKFServer()
+        server.register("s0", config(model=linear_model(dims=1, dt=1.0)))
+        server.receive(update(0, 0, [0.0]))
+        server.tick("s0", 1)
+        server.receive(update(1, 1, [5.0]))
+        # After two updates on a ramp the prediction should extrapolate.
+        prediction = server.tick("s0", 2)
+        assert prediction[0] > 5.0
+
+    def test_answer_is_received_value_on_update(self):
+        server = DKFServer()
+        server.register("s0", config())
+        server.receive(update(0, 0, [3.0]))
+        server.tick("s0", 1)
+        answer = server.receive(update(1, 1, [9.0]))
+        assert answer[0] == 9.0
+        assert server.value("s0")[0] == 9.0
+
+    def test_stats(self):
+        server = DKFServer()
+        server.register("s0", config())
+        server.receive(update(0, 0, [1.0]))
+        stats = server.stats("s0")
+        assert stats["updates_received"] == 1
+        assert not stats["desynced"]
+
+
+class TestSequenceAndDigest:
+    def test_sequence_gap_raises_desync(self):
+        server = DKFServer()
+        server.register("s0", config())
+        server.receive(update(0, 0, [1.0]))
+        with pytest.raises(MirrorDesyncError):
+            server.receive(update(2, 2, [5.0]))  # seq 1 was lost
+        assert server.stats("s0")["desynced"]
+
+    def test_digest_mismatch_raises(self):
+        server = DKFServer()
+        server.register("s0", config(check_mirror=True))
+        server.receive(update(0, 0, [1.0], digest=None))
+        server.tick("s0", 1)
+        with pytest.raises(MirrorDesyncError):
+            server.receive(update(1, 1, [2.0], digest=b"deadbeef"))
+
+    def test_matching_digest_accepted(self):
+        server = DKFServer()
+        server.register("s0", config(check_mirror=True))
+        server.receive(update(0, 0, [1.0]))
+        state = server._state("s0")
+        server.tick("s0", 1)
+        # Compute what the digest will be by simulating the update first
+        # on a copy of KF_s -- exactly what the mirror does.
+        mirror = state.filter.copy()
+        mirror.update(np.array([2.0]))
+        good_digest = mirror.state_digest()[1][:8]
+        server.receive(update(1, 1, [2.0], digest=good_digest))
+        assert server.value("s0")[0] == 2.0
+
+
+class TestResync:
+    def test_resync_overwrites_state_and_seq(self):
+        server = DKFServer()
+        server.register("s0", config())
+        server.receive(update(0, 0, [1.0]))
+        resync = ResyncMessage(
+            source_id="s0", seq=5, k=3, x=np.array([42.0]),
+            p=np.eye(1) * 0.5, value=np.array([42.0]),
+        )
+        answer = server.receive(resync)
+        assert answer[0] == 42.0
+        # Next update with seq 6 is accepted (the gap was healed).
+        server.tick("s0", 4)
+        server.receive(update(6, 4, [43.0]))
+
+    def test_resync_primes_unprimed_source(self):
+        server = DKFServer()
+        server.register("s0", config())
+        resync = ResyncMessage(
+            source_id="s0", seq=0, k=0, x=np.array([7.0]),
+            p=np.eye(1), value=np.array([7.0]),
+        )
+        server.receive(resync)
+        assert server.is_primed("s0")
+        assert server.stats("s0")["resyncs_received"] == 1
+
+
+class TestForecast:
+    def test_forecast_extrapolates_trend(self):
+        server = DKFServer()
+        server.register("s0", config(model=linear_model(dims=1, dt=1.0), delta=0.5))
+        for k in range(20):
+            if k > 0:
+                server.tick("s0", k)
+            server.receive(update(k, k, [2.0 * k]))
+        forecast = server.forecast("s0", 5)
+        assert forecast.shape == (5, 1)
+        assert forecast[-1, 0] > forecast[0, 0]
+
+    def test_forecast_before_priming_raises(self):
+        server = DKFServer()
+        server.register("s0", config())
+        with pytest.raises(UnknownSourceError):
+            server.forecast("s0", 3)

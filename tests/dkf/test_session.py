@@ -1,0 +1,198 @@
+"""Integration tests for the end-to-end DKF session.
+
+These are the tests that pin the paper's core claims:
+
+* the server and mirror filters stay in bit-identical lock-step;
+* the server-side error never exceeds δ per component at decision time;
+* the constant-model DKF generates update traffic comparable to caching;
+* the linear-model DKF slashes traffic on trending data;
+* message loss triggers resync and the pair recovers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.caching import CachedValueScheme
+from repro.dkf.config import DKFConfig
+from repro.dkf.protocol import periodic_loss
+from repro.dkf.session import DKFSession
+from repro.filters.models import constant_model, linear_model
+from repro.metrics.evaluation import evaluate_scheme
+from repro.streams.base import stream_from_values
+
+
+def session(delta=3.0, model=None, **kwargs):
+    return DKFSession(
+        DKFConfig(model=model or linear_model(dims=1, dt=1.0), delta=delta),
+        **kwargs,
+    )
+
+
+class TestLockstep:
+    def test_mirror_verified_every_step(self, trajectory_small):
+        cfg = DKFConfig(model=linear_model(dims=2, dt=0.1), delta=3.0)
+        s = DKFSession(cfg, verify_mirror=True)
+        for record in trajectory_small:
+            s.observe(record)  # raises MirrorDesyncError on any divergence
+
+    def test_mirror_digests_equal_after_run(self, ramp_stream):
+        s = session(delta=1.0)
+        for record in ramp_stream:
+            s.observe(record)
+        src = s.source.mirror.state_digest()
+        srv = s.server._state("s0").filter.state_digest()  # noqa: SLF001
+        assert src == srv
+
+
+class TestPrecisionGuarantee:
+    def test_error_bounded_by_delta_per_component(self, trajectory_small):
+        delta = 3.0
+        cfg = DKFConfig(model=linear_model(dims=2, dt=0.1), delta=delta)
+        s = DKFSession(cfg)
+        for record in trajectory_small:
+            decision = s.observe(record)
+            error = np.max(np.abs(decision.server_value - decision.source_value))
+            assert error <= delta + 1e-9
+
+    def test_sent_steps_have_zero_error(self, trajectory_small):
+        cfg = DKFConfig(model=linear_model(dims=2, dt=0.1), delta=3.0)
+        s = DKFSession(cfg)
+        for record in trajectory_small:
+            decision = s.observe(record)
+            if decision.sent:
+                assert np.allclose(decision.server_value, decision.source_value)
+
+    def test_guarantee_relative_to_smoothed_value(self, http_traffic_small):
+        delta = 5.0
+        cfg = DKFConfig(
+            model=constant_model(dims=1), delta=delta, smoothing_f=1e-7
+        )
+        s = DKFSession(cfg)
+        for record in http_traffic_small:
+            decision = s.observe(record)
+            error = np.max(np.abs(decision.server_value - decision.source_value))
+            assert error <= delta + 1e-9
+
+
+class TestPaperClaims:
+    def test_constant_dkf_comparable_to_caching(self, trajectory_small):
+        """Paper Fig. 4: caching and the constant model produce essentially
+        the same update traffic."""
+        delta = 3.0
+        caching = evaluate_scheme(
+            CachedValueScheme.from_precision(delta, dims=2), trajectory_small
+        )
+        constant = evaluate_scheme(
+            DKFSession(DKFConfig(model=constant_model(dims=2), delta=delta)),
+            trajectory_small,
+        )
+        assert abs(constant.update_fraction - caching.update_fraction) < 0.10
+
+    def test_linear_dkf_beats_caching_dramatically(self, trajectory_small):
+        """Paper Fig. 4: ~75% traffic reduction at delta = 3."""
+        delta = 3.0
+        caching = evaluate_scheme(
+            CachedValueScheme.from_precision(delta, dims=2), trajectory_small
+        )
+        linear = evaluate_scheme(
+            DKFSession(
+                DKFConfig(model=linear_model(dims=2, dt=0.1), delta=delta)
+            ),
+            trajectory_small,
+        )
+        assert linear.update_fraction < 0.5 * caching.update_fraction
+
+    def test_perfect_model_sends_almost_nothing(self, ramp_stream):
+        s = session(delta=0.5)
+        result = evaluate_scheme(s, ramp_stream)
+        assert result.updates <= 5  # priming + slope acquisition
+
+    def test_constant_stream_single_update(self, constant_stream):
+        s = session(delta=0.5, model=constant_model(dims=1))
+        result = evaluate_scheme(s, constant_stream)
+        assert result.updates == 1
+
+
+class TestLossRecovery:
+    def test_loss_triggers_resync_and_recovers(self, trajectory_small):
+        cfg = DKFConfig(model=linear_model(dims=2, dt=0.1), delta=3.0)
+        s = DKFSession(cfg, loss_fn=periodic_loss(5), verify_mirror=True)
+        for record in trajectory_small:
+            decision = s.observe(record)
+            error = np.max(np.abs(decision.server_value - decision.source_value))
+            assert error <= 3.0 + 1e-9  # guarantee survives loss
+        assert s.channel.stats.messages_lost > 0
+        assert s.channel.stats.resyncs == s.channel.stats.messages_lost
+        assert not s.server.stats("s0")["desynced"]
+
+    def test_lossless_channel_never_resyncs(self, trajectory_small):
+        cfg = DKFConfig(model=linear_model(dims=2, dt=0.1), delta=3.0)
+        s = DKFSession(cfg)
+        for record in trajectory_small:
+            s.observe(record)
+        assert s.channel.stats.resyncs == 0
+        assert s.channel.stats.messages_lost == 0
+
+
+class TestSessionMechanics:
+    def test_reset_reproduces_run(self, trajectory_small):
+        cfg = DKFConfig(model=linear_model(dims=2, dt=0.1), delta=3.0)
+        s = DKFSession(cfg)
+        first = [d.sent for d in s.run(trajectory_small)]
+        s.reset()
+        second = [d.sent for d in s.run(trajectory_small)]
+        assert first == second
+
+    def test_name_comes_from_config(self):
+        cfg = DKFConfig(model=constant_model(dims=1), delta=1.0, label="x")
+        assert DKFSession(cfg).name == "x"
+
+    def test_counters_exposed(self, ramp_stream):
+        s = session(delta=1.0)
+        s.run(ramp_stream)
+        assert s.samples_seen == len(ramp_stream)
+        assert s.updates_sent >= 1
+
+    def test_forecast_through_session(self, ramp_stream):
+        s = session(delta=1.0)
+        s.run(ramp_stream)
+        forecast = s.forecast(3)
+        # The ramp continues: forecasts keep climbing.
+        assert forecast[2, 0] > forecast[0, 0]
+
+    def test_payload_floats_accounted(self, trajectory_small):
+        cfg = DKFConfig(model=linear_model(dims=2, dt=0.1), delta=3.0)
+        s = DKFSession(cfg)
+        decisions = s.run(trajectory_small)
+        sent = [d for d in decisions if d.sent]
+        assert all(d.payload_floats == 2 for d in sent)
+        assert all(d.payload_floats == 0 for d in decisions if not d.sent)
+
+
+class TestLifecycle:
+    def test_closed_session_refuses_observations(self, ramp_stream):
+        from repro.errors import StaleSessionError
+
+        s = session(delta=1.0)
+        s.observe(ramp_stream[0])
+        s.close()
+        assert s.closed
+        with pytest.raises(StaleSessionError):
+            s.observe(ramp_stream[1])
+
+    def test_reset_reopens(self, ramp_stream):
+        s = session(delta=1.0)
+        s.close()
+        s.reset()
+        assert not s.closed
+        assert s.observe(ramp_stream[0]).sent
+
+
+class TestSmoothedSessionMirror:
+    def test_smoothed_lockstep_holds(self, http_traffic_small):
+        cfg = DKFConfig(
+            model=linear_model(dims=1, dt=1.0), delta=5.0, smoothing_f=1e-5
+        )
+        s = DKFSession(cfg, verify_mirror=True)
+        for record in http_traffic_small:
+            s.observe(record)  # would raise on desync

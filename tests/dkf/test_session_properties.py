@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) on the DKF session.
+
+These generalise the paper's guarantees beyond the three datasets: for
+*any* scalar stream and *any* precision width, the protocol invariants
+must hold.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dkf.config import DKFConfig
+from repro.dkf.session import DKFSession
+from repro.errors import MirrorDesyncError
+from repro.filters.models import constant_model, linear_model
+from repro.streams.base import stream_from_values
+
+values_strategy = st.lists(
+    st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+    min_size=1,
+    max_size=60,
+)
+delta_strategy = st.floats(min_value=0.01, max_value=1e3)
+model_strategy = st.sampled_from(["constant", "linear"])
+
+
+def build_session(model_name, delta, verify=True):
+    model = (
+        constant_model(dims=1)
+        if model_name == "constant"
+        else linear_model(dims=1, dt=1.0)
+    )
+    return DKFSession(
+        DKFConfig(model=model, delta=delta), verify_mirror=verify
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=values_strategy, delta=delta_strategy, model=model_strategy)
+def test_server_error_bounded_for_any_stream(values, delta, model):
+    """Core guarantee: per-component server error <= delta at every
+    decision instant, for arbitrary data."""
+    session = build_session(model, delta)
+    stream = stream_from_values(np.array(values))
+    for decision in session.run(stream):
+        error = np.max(np.abs(decision.server_value - decision.source_value))
+        assert error <= delta + 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=values_strategy, delta=delta_strategy, model=model_strategy)
+def test_mirror_never_desyncs(values, delta, model):
+    """The lock-step invariant holds under arbitrary inputs (the session
+    verifies digests after every step and raises on divergence)."""
+    session = build_session(model, delta, verify=True)
+    stream = stream_from_values(np.array(values))
+    try:
+        session.run(stream)
+    except MirrorDesyncError as exc:  # pragma: no cover
+        raise AssertionError(f"mirror desynced: {exc}") from exc
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=values_strategy, delta=delta_strategy, model=model_strategy)
+def test_update_fraction_in_unit_interval(values, delta, model):
+    session = build_session(model, delta)
+    stream = stream_from_values(np.array(values))
+    decisions = session.run(stream)
+    sent = sum(d.sent for d in decisions)
+    assert 1 <= sent <= len(values)  # priming always transmits
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=values_strategy, delta=delta_strategy, model=model_strategy)
+def test_session_is_deterministic(values, delta, model):
+    stream = stream_from_values(np.array(values))
+    a = build_session(model, delta).run(stream)
+    b = build_session(model, delta).run(stream)
+    assert [d.sent for d in a] == [d.sent for d in b]
+    assert all(
+        np.array_equal(x.server_value, y.server_value) for x, y in zip(a, b)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=values_strategy, delta=delta_strategy)
+def test_wider_delta_never_increases_updates_constant_model(values, delta):
+    """Monotonicity for the memoryless constant model: relaxing the
+    precision cannot generate more updates.  (Not true in general for
+    models with internal trend state, where update timing feeds back into
+    later predictions.)"""
+    stream = stream_from_values(np.array(values))
+    tight = sum(
+        d.sent for d in build_session("constant", delta).run(stream)
+    )
+    loose = sum(
+        d.sent for d in build_session("constant", delta * 2).run(stream)
+    )
+    assert loose <= tight
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        min_size=3,
+        max_size=50,
+    ),
+    delta=delta_strategy,
+)
+def test_smoothed_session_guarantee(values, delta):
+    """The precision guarantee holds relative to the smoothed stream."""
+    config = DKFConfig(
+        model=constant_model(dims=1), delta=delta, smoothing_f=1e-3
+    )
+    session = DKFSession(config)
+    stream = stream_from_values(np.array(values))
+    for decision in session.run(stream):
+        error = np.max(np.abs(decision.server_value - decision.source_value))
+        assert error <= delta + 1e-6

@@ -1,0 +1,165 @@
+"""Unit and property tests for aggregate continuous queries."""
+
+import numpy as np
+import pytest
+
+from repro.dsms.aggregates import (
+    AggregateAnswer,
+    AggregateKind,
+    AggregateQuery,
+    answer_aggregate,
+)
+from repro.dsms.engine import StreamEngine
+from repro.dsms.query import ContinuousQuery
+from repro.errors import ConfigurationError, QueryError, UnknownSourceError
+from repro.filters.models import constant_model, linear_model
+from repro.streams.base import stream_from_values
+
+
+def build_engine(series: dict[str, np.ndarray], delta: float = 1.0):
+    """An engine with one scalar source per entry, fully run."""
+    engine = StreamEngine()
+    for source_id, values in series.items():
+        engine.add_source(
+            source_id,
+            constant_model(dims=1),
+            stream_from_values(values, name=source_id),
+        )
+        engine.submit_query(
+            ContinuousQuery(source_id, delta=delta, query_id=f"q-{source_id}")
+        )
+    engine.run()
+    return engine
+
+
+@pytest.fixture
+def engine3():
+    rng = np.random.default_rng(0)
+    series = {
+        f"s{i}": 10.0 * (i + 1) + rng.normal(0, 0.3, size=200).cumsum() * 0.01
+        for i in range(3)
+    }
+    return build_engine(series, delta=1.0), series
+
+
+class TestAnswers:
+    def test_sum_bound(self, engine3):
+        engine, series = engine3
+        query = AggregateQuery(AggregateKind.SUM, ("s0", "s1", "s2"))
+        answer = answer_aggregate(engine, query)
+        truth = sum(v[-1] for v in series.values())
+        assert answer.error_bound == 3.0  # sum of deltas
+        assert answer.lower - 1e-9 <= truth <= answer.upper + 1e-9
+
+    def test_avg_bound(self, engine3):
+        engine, series = engine3
+        query = AggregateQuery(AggregateKind.AVG, ("s0", "s1", "s2"))
+        answer = answer_aggregate(engine, query)
+        truth = np.mean([v[-1] for v in series.values()])
+        assert answer.error_bound == 1.0  # sum(deltas) / 3
+        assert answer.lower - 1e-9 <= truth <= answer.upper + 1e-9
+
+    def test_min_bound(self, engine3):
+        engine, series = engine3
+        query = AggregateQuery(AggregateKind.MIN, ("s0", "s1", "s2"))
+        answer = answer_aggregate(engine, query)
+        truth = min(v[-1] for v in series.values())
+        assert answer.error_bound <= 1.0  # at most one source's delta
+        assert answer.lower - 1e-9 <= truth <= answer.upper + 1e-9
+
+    def test_max_bound(self, engine3):
+        engine, series = engine3
+        query = AggregateQuery(AggregateKind.MAX, ("s0", "s1", "s2"))
+        answer = answer_aggregate(engine, query)
+        truth = max(v[-1] for v in series.values())
+        assert answer.lower - 1e-9 <= truth <= answer.upper + 1e-9
+
+    def test_string_kind_coerced(self, engine3):
+        engine, _ = engine3
+        query = AggregateQuery("sum", ("s0",))
+        assert query.kind is AggregateKind.SUM
+        answer = answer_aggregate(engine, query)
+        assert isinstance(answer, AggregateAnswer)
+
+    def test_single_source_aggregate_is_value(self, engine3):
+        engine, _ = engine3
+        sum_a = answer_aggregate(engine, AggregateQuery("sum", ("s1",)))
+        assert np.isclose(sum_a.value, engine.server.value("s1")[0])
+        assert sum_a.error_bound == 1.0
+
+
+class TestVectorComponent:
+    def test_component_selection(self):
+        engine = StreamEngine()
+        values = np.stack(
+            [np.arange(50, dtype=float), np.arange(50, dtype=float) * -2.0],
+            axis=1,
+        )
+        engine.add_source(
+            "xy", linear_model(dims=2, dt=1.0), stream_from_values(values)
+        )
+        engine.submit_query(ContinuousQuery("xy", delta=1.0, query_id="q"))
+        engine.run()
+        x_ans = answer_aggregate(
+            engine, AggregateQuery("sum", ("xy",), component=0)
+        )
+        y_ans = answer_aggregate(
+            engine, AggregateQuery("sum", ("xy",), component=1)
+        )
+        assert x_ans.value > 0 > y_ans.value
+
+    def test_out_of_range_component(self, engine3):
+        engine, _ = engine3
+        with pytest.raises(QueryError):
+            answer_aggregate(
+                engine, AggregateQuery("sum", ("s0",), component=3)
+            )
+
+
+class TestValidation:
+    def test_empty_sources_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AggregateQuery("sum", ())
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AggregateQuery("sum", ("s0",), component=-1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateQuery("median", ("s0",))
+
+    def test_unprimed_source_rejected(self):
+        engine = StreamEngine()
+        engine.add_source(
+            "s0", constant_model(dims=1), stream_from_values(np.zeros(5))
+        )
+        engine.submit_query(ContinuousQuery("s0", delta=1.0, query_id="q"))
+        # No run: the priming update never arrived.
+        with pytest.raises(UnknownSourceError):
+            answer_aggregate(engine, AggregateQuery("sum", ("s0",)))
+
+
+class TestBoundHoldsThroughoutRun:
+    def test_interval_covers_truth_at_every_step(self):
+        """Step the engine manually and check the SUM interval covers the
+        true sum at every instant -- the certified-bound property."""
+        rng = np.random.default_rng(7)
+        series = {
+            "a": np.cumsum(rng.normal(0, 0.5, size=150)),
+            "b": 100.0 + np.cumsum(rng.normal(0, 0.5, size=150)),
+        }
+        engine = StreamEngine()
+        for source_id, values in series.items():
+            engine.add_source(
+                source_id, constant_model(dims=1), stream_from_values(values)
+            )
+            engine.submit_query(
+                ContinuousQuery(source_id, delta=2.0, query_id=f"q-{source_id}")
+            )
+        query = AggregateQuery("sum", ("a", "b"))
+        for k in range(150):
+            engine.step()
+            answer = answer_aggregate(engine, query)
+            truth = series["a"][k] + series["b"][k]
+            assert answer.lower - 1e-9 <= truth <= answer.upper + 1e-9

@@ -1,0 +1,80 @@
+"""Unit tests for the sensor energy model."""
+
+import pytest
+
+from repro.dsms.energy import KF_FLOPS_PER_STEP, EnergyModel
+from repro.errors import ConfigurationError
+
+
+class TestEnergyModel:
+    def test_transmit_energy_scales_with_bytes(self):
+        model = EnergyModel(joules_per_bit=1e-6)
+        report = model.report(
+            bytes_sent=100, filter_steps=0, state_dim=2, measurement_dim=1
+        )
+        assert report.transmit_joules == pytest.approx(100 * 8 * 1e-6)
+
+    def test_compute_energy_scales_with_steps(self):
+        model = EnergyModel(joules_per_bit=1e-6, bit_to_instruction_ratio=1000)
+        per_step = KF_FLOPS_PER_STEP(2, 1)
+        report = model.report(
+            bytes_sent=0, filter_steps=10, state_dim=2, measurement_dim=1
+        )
+        assert report.instructions == 10 * per_step
+        assert report.compute_joules == pytest.approx(
+            10 * per_step * 1e-6 / 1000
+        )
+
+    def test_smoothing_steps_add_scalar_cycles(self):
+        model = EnergyModel()
+        with_smoothing = model.report(
+            bytes_sent=0, filter_steps=10, state_dim=4, measurement_dim=2,
+            smoothing_steps=10,
+        )
+        without = model.report(
+            bytes_sent=0, filter_steps=10, state_dim=4, measurement_dim=2
+        )
+        assert with_smoothing.instructions == (
+            without.instructions + 10 * KF_FLOPS_PER_STEP(1, 1)
+        )
+
+    def test_paper_ratio_makes_radio_dominate(self):
+        """With the paper's bit/instruction ratio, transmitting a reading
+        costs far more than filtering it -- the whole premise."""
+        model = EnergyModel(joules_per_bit=1e-6, bit_to_instruction_ratio=220)
+        one_update = model.report(
+            bytes_sent=29, filter_steps=1, state_dim=4, measurement_dim=2
+        )
+        assert one_update.transmit_joules > one_update.compute_joules
+
+    def test_radio_share(self):
+        model = EnergyModel()
+        all_radio = model.report(
+            bytes_sent=100, filter_steps=0, state_dim=1, measurement_dim=1
+        )
+        assert all_radio.radio_share == 1.0
+        idle = model.report(
+            bytes_sent=0, filter_steps=0, state_dim=1, measurement_dim=1
+        )
+        assert idle.radio_share == 0.0
+
+    def test_naive_report(self):
+        model = EnergyModel()
+        naive = model.naive_report(readings=100, floats_per_reading=2)
+        assert naive.compute_joules == 0.0
+        assert naive.bytes_sent > 100 * 16  # header + 2 floats each
+
+    def test_flops_grow_with_dimensions(self):
+        assert KF_FLOPS_PER_STEP(4, 2) > KF_FLOPS_PER_STEP(2, 1)
+        assert KF_FLOPS_PER_STEP(1, 1) > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(joules_per_bit=0.0)
+        with pytest.raises(ConfigurationError):
+            EnergyModel(bit_to_instruction_ratio=0.0)
+        model = EnergyModel()
+        with pytest.raises(ConfigurationError):
+            model.report(
+                bytes_sent=-1, filter_steps=0, state_dim=1, measurement_dim=1
+            )

@@ -1,0 +1,211 @@
+"""Integration tests for the multi-source DSMS engine."""
+
+import numpy as np
+import pytest
+
+from repro.dsms.engine import StreamEngine
+from repro.dsms.network import LinkConfig
+from repro.dsms.query import ContinuousQuery
+from repro.errors import UnknownSourceError
+from repro.filters.models import constant_model, linear_model
+from repro.streams.base import stream_from_values
+
+
+def ramp(n=100, slope=2.0):
+    return stream_from_values(np.arange(n, dtype=float) * slope, name="ramp")
+
+
+def make_engine(n=100):
+    engine = StreamEngine()
+    engine.add_source("s0", linear_model(dims=1, dt=1.0), ramp(n))
+    return engine
+
+
+class TestLifecycle:
+    def test_run_to_exhaustion(self):
+        engine = make_engine(50)
+        engine.submit_query(ContinuousQuery("s0", delta=1.0, query_id="q"))
+        ticks = engine.run()
+        assert ticks >= 50
+        report = engine.report()
+        assert report.readings == 50
+
+    def test_max_ticks_respected(self):
+        engine = make_engine(100)
+        engine.submit_query(ContinuousQuery("s0", delta=1.0, query_id="q"))
+        engine.run(max_ticks=10)
+        assert engine.report().readings == 10
+
+    def test_unqueried_source_not_driven(self):
+        engine = make_engine(20)
+        engine.step()
+        assert engine.report().readings == 0
+
+    def test_answers_after_run(self):
+        engine = make_engine(30)
+        engine.submit_query(ContinuousQuery("s0", delta=1.0, query_id="q"))
+        engine.run()
+        answers = engine.answers()
+        assert len(answers) == 1
+        answer = answers[0]
+        assert answer.query_id == "q"
+        # Ramp of slope 2: the final value is near 2 * 29.
+        assert abs(answer.value[0] - 58.0) <= 1.0 + 1e-9
+
+    def test_answer_lookup(self):
+        engine = make_engine(10)
+        engine.submit_query(ContinuousQuery("s0", delta=1.0, query_id="q"))
+        engine.run()
+        assert engine.answer("q").query_id == "q"
+        with pytest.raises(UnknownSourceError):
+            engine.answer("ghost")
+
+
+class TestMultiQuery:
+    def test_tightest_delta_installed(self):
+        engine = make_engine(50)
+        engine.submit_query(ContinuousQuery("s0", delta=10.0, query_id="loose"))
+        engine.submit_query(ContinuousQuery("s0", delta=2.0, query_id="tight"))
+        engine.run()
+        for answer in engine.answers():
+            assert answer.precision == 2.0
+
+    def test_loosening_query_does_not_reinstall(self):
+        engine = make_engine(50)
+        engine.submit_query(ContinuousQuery("s0", delta=2.0, query_id="tight"))
+        engine.run(max_ticks=10)
+        updates_before = engine.report().updates_sent
+        engine.submit_query(ContinuousQuery("s0", delta=10.0, query_id="loose"))
+        # The installed filter (delta=2) already satisfies delta=10; no
+        # reinstall means the source keeps its accumulated state.
+        engine.run(max_ticks=10)
+        assert engine.report().updates_sent >= updates_before
+
+    def test_retire_reverts_to_remaining_query(self):
+        engine = make_engine(100)
+        engine.submit_query(ContinuousQuery("s0", delta=10.0, query_id="loose"))
+        engine.submit_query(ContinuousQuery("s0", delta=2.0, query_id="tight"))
+        engine.retire_query("tight")
+        engine.run(max_ticks=10)
+        assert engine.answers()[0].precision == 10.0
+
+    def test_retiring_last_query_tears_down(self):
+        engine = make_engine(20)
+        engine.submit_query(ContinuousQuery("s0", delta=1.0, query_id="q"))
+        engine.retire_query("q")
+        assert engine.answers() == []
+        engine.step()  # no queried sources; nothing crashes
+        assert engine.report().readings == 0
+
+
+class TestMultiSource:
+    def test_independent_sources(self):
+        engine = StreamEngine()
+        engine.add_source("a", linear_model(dims=1, dt=1.0), ramp(40, slope=1.0))
+        engine.add_source("b", constant_model(dims=1), ramp(40, slope=0.0))
+        engine.submit_query(ContinuousQuery("a", delta=1.0, query_id="qa"))
+        engine.submit_query(ContinuousQuery("b", delta=1.0, query_id="qb"))
+        engine.run()
+        report = engine.report()
+        assert report.readings == 80
+        # The constant stream needs only its priming update.
+        assert engine.server.stats("b")["updates_received"] == 1
+
+    def test_per_source_energy_reported(self):
+        engine = StreamEngine()
+        engine.add_source("a", linear_model(dims=1, dt=1.0), ramp(30))
+        engine.submit_query(ContinuousQuery("a", delta=1.0, query_id="qa"))
+        engine.run()
+        report = engine.report()
+        assert "a" in report.per_source_energy
+        assert report.total_energy_joules > 0
+
+
+class TestRegistrationEdges:
+    def test_duplicate_source_rejected(self):
+        from repro.errors import DuplicateSourceError
+
+        engine = make_engine(10)
+        with pytest.raises(DuplicateSourceError):
+            engine.add_source("s0", constant_model(dims=1), ramp(10))
+
+    def test_retire_unknown_query_rejected(self):
+        from repro.errors import QueryError
+
+        engine = make_engine(10)
+        with pytest.raises(QueryError):
+            engine.retire_query("ghost")
+
+    def test_query_on_unknown_source_rejected(self):
+        from repro.errors import UnknownSourceError
+
+        engine = make_engine(10)
+        with pytest.raises(UnknownSourceError):
+            engine.submit_query(ContinuousQuery("ghost", delta=1.0))
+
+    def test_stepping_after_full_retire_is_noop(self):
+        engine = make_engine(10)
+        engine.submit_query(ContinuousQuery("s0", delta=1.0, query_id="q"))
+        engine.run(max_ticks=3)
+        engine.retire_query("q")
+        readings_before = engine.report().readings
+        engine.step()
+        assert engine.report().readings == readings_before
+
+    def test_requery_after_retire_reinstalls(self):
+        engine = make_engine(50)
+        engine.submit_query(ContinuousQuery("s0", delta=1.0, query_id="q1"))
+        engine.run(max_ticks=5)
+        engine.retire_query("q1")
+        engine.submit_query(ContinuousQuery("s0", delta=1.0, query_id="q2"))
+        engine.run(max_ticks=5)
+        # The new installation re-primed: the server holds an answer again.
+        assert engine.server.is_primed("s0")
+
+    def test_tightening_query_reinstalls_and_loosening_does_not(self):
+        engine = make_engine(100)
+        engine.submit_query(ContinuousQuery("s0", delta=5.0, query_id="loose"))
+        engine.run(max_ticks=5)
+        first_install = engine._sources["s0"]  # noqa: SLF001
+        engine.submit_query(ContinuousQuery("s0", delta=1.0, query_id="tight"))
+        second_install = engine._sources["s0"]  # noqa: SLF001
+        assert second_install is not first_install  # tightened: reinstall
+        engine.submit_query(ContinuousQuery("s0", delta=9.0, query_id="wide"))
+        third_install = engine._sources["s0"]  # noqa: SLF001
+        assert third_install is second_install  # loosened: keep filters
+
+
+class TestLossyLinks:
+    def test_lossy_link_recovers_via_resync(self):
+        engine = StreamEngine()
+        # Drop every 2nd message: plenty of resyncs on a manoeuvring ramp.
+        rng_values = np.concatenate(
+            [np.arange(50, dtype=float), np.arange(50, 0, -1, dtype=float)]
+        )
+        engine.add_source(
+            "s0",
+            constant_model(dims=1),
+            stream_from_values(rng_values),
+            link=LinkConfig(loss_fn=lambda i: i % 2 == 1),
+        )
+        engine.submit_query(ContinuousQuery("s0", delta=0.5, query_id="q"))
+        engine.run()
+        stats = engine.fabric.stats_for("s0")
+        assert stats.lost > 0
+        assert stats.resyncs == stats.lost
+        assert not engine.server.stats("s0")["desynced"]
+
+    def test_latency_link_delivers_eventually(self):
+        engine = StreamEngine()
+        engine.add_source(
+            "s0",
+            constant_model(dims=1),
+            ramp(30),
+            link=LinkConfig(latency_ticks=2),
+        )
+        engine.submit_query(ContinuousQuery("s0", delta=0.5, query_id="q"))
+        engine.run()
+        engine.fabric.advance(engine.ticks + 5)
+        stats = engine.fabric.stats_for("s0")
+        assert stats.in_flight == 0
+        assert stats.delivered > 0

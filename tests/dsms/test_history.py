@@ -1,0 +1,99 @@
+"""Unit tests for historical queries over a synopsis."""
+
+import numpy as np
+import pytest
+
+from repro.dkf.config import DKFConfig
+from repro.dsms.history import HistoryStore
+from repro.dsms.synopsis import KalmanSynopsis
+from repro.errors import ConfigurationError
+from repro.filters.models import linear_model
+
+
+def make_store(stream, delta=1.0, dims=1):
+    config = DKFConfig(model=linear_model(dims=dims, dt=1.0), delta=delta)
+    store = HistoryStore(KalmanSynopsis(config))
+    store.ingest(stream)
+    return store
+
+
+class TestPointQueries:
+    def test_value_at_within_tolerance(self, ramp_stream):
+        store = make_store(ramp_stream, delta=1.0)
+        truth = ramp_stream.values()
+        for k in (0, 10, 100, len(ramp_stream) - 1):
+            answer = store.value_at(k)
+            assert np.max(np.abs(answer - truth[k])) <= 1.0 + 1e-9
+
+    def test_out_of_range_rejected(self, ramp_stream):
+        store = make_store(ramp_stream)
+        with pytest.raises(ConfigurationError):
+            store.value_at(-1)
+        with pytest.raises(ConfigurationError):
+            store.value_at(len(ramp_stream))
+
+    def test_length(self, ramp_stream):
+        assert len(make_store(ramp_stream)) == len(ramp_stream)
+
+
+class TestRangeQueries:
+    def test_range_shape_and_accuracy(self, ramp_stream):
+        store = make_store(ramp_stream, delta=1.0)
+        values = store.range_values(20, 60)
+        assert values.shape == (40, 1)
+        truth = ramp_stream.values()[20:60]
+        assert np.max(np.abs(values - truth)) <= 1.0 + 1e-9
+
+    def test_bad_range_rejected(self, ramp_stream):
+        store = make_store(ramp_stream)
+        with pytest.raises(ConfigurationError):
+            store.range_values(50, 20)
+        with pytest.raises(ConfigurationError):
+            store.range_values(0, len(ramp_stream) + 1)
+
+
+class TestWindowAggregates:
+    def test_avg_bound_covers_truth(self, ramp_stream):
+        delta = 1.0
+        store = make_store(ramp_stream, delta=delta)
+        truth = ramp_stream.values()[:, 0]
+        answer = store.window_aggregate("avg", 10, 50)
+        true_avg = truth[10:50].mean()
+        assert answer.lower - 1e-9 <= true_avg <= answer.upper + 1e-9
+        assert answer.error_bound == delta
+
+    def test_sum_bound_scales(self, ramp_stream):
+        store = make_store(ramp_stream, delta=1.0)
+        answer = store.window_aggregate("sum", 0, 25)
+        assert answer.error_bound == 25.0
+
+    def test_min_max(self, ramp_stream):
+        store = make_store(ramp_stream, delta=1.0)
+        truth = ramp_stream.values()[:, 0]
+        min_ans = store.window_aggregate("min", 30, 70)
+        max_ans = store.window_aggregate("max", 30, 70)
+        assert min_ans.lower - 1e-9 <= truth[30:70].min() <= min_ans.upper + 1e-9
+        assert max_ans.lower - 1e-9 <= truth[30:70].max() <= max_ans.upper + 1e-9
+
+    def test_empty_window_rejected(self, ramp_stream):
+        store = make_store(ramp_stream)
+        with pytest.raises(ConfigurationError):
+            store.window_aggregate("avg", 10, 10)
+
+    def test_component_validated(self, ramp_stream):
+        store = make_store(ramp_stream)
+        with pytest.raises(ConfigurationError):
+            store.window_aggregate("avg", 0, 10, component=5)
+
+
+class TestCacheLifecycle:
+    def test_reingestion_invalidates_cache(self, ramp_stream, constant_stream):
+        store = make_store(ramp_stream, delta=1.0)
+        ramp_answer = store.value_at(100)[0]
+        store.ingest(constant_stream)
+        flat_answer = store.value_at(100)[0]
+        assert abs(flat_answer - 42.0) <= 1.0 + 1e-9
+        assert flat_answer != ramp_answer
+
+    def test_tolerance_exposed(self, ramp_stream):
+        assert make_store(ramp_stream, delta=2.5).tolerance == 2.5

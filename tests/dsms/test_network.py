@@ -1,0 +1,118 @@
+"""Unit tests for the simulated network fabric."""
+
+import numpy as np
+import pytest
+
+from repro.dkf.protocol import ResyncMessage, UpdateMessage
+from repro.dsms.network import LinkConfig, NetworkFabric
+from repro.errors import ConfigurationError, UnknownSourceError
+
+
+def update(source_id="s0", seq=0, k=0):
+    return UpdateMessage(source_id=source_id, seq=seq, k=k, value=np.zeros(1))
+
+
+class TestLinks:
+    def test_add_and_send(self):
+        received = []
+        fabric = NetworkFabric(deliver=received.append)
+        fabric.add_link("s0")
+        assert fabric.send(update())
+        assert len(received) == 1
+
+    def test_duplicate_link_rejected(self):
+        fabric = NetworkFabric(deliver=lambda m: None)
+        fabric.add_link("s0")
+        with pytest.raises(ConfigurationError):
+            fabric.add_link("s0")
+
+    def test_unknown_link_rejected(self):
+        fabric = NetworkFabric(deliver=lambda m: None)
+        with pytest.raises(UnknownSourceError):
+            fabric.send(update("ghost"))
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkConfig(latency_ticks=-1)
+
+
+class TestLatency:
+    def test_zero_latency_synchronous(self):
+        received = []
+        fabric = NetworkFabric(deliver=received.append)
+        fabric.add_link("s0", LinkConfig(latency_ticks=0))
+        fabric.send(update())
+        assert len(received) == 1
+
+    def test_delayed_delivery(self):
+        received = []
+        fabric = NetworkFabric(deliver=received.append)
+        fabric.add_link("s0", LinkConfig(latency_ticks=3))
+        fabric.send(update())
+        assert not received
+        fabric.advance(2)
+        assert not received
+        fabric.advance(3)
+        assert len(received) == 1
+
+    def test_fifo_within_tick(self):
+        received = []
+        fabric = NetworkFabric(deliver=received.append)
+        fabric.add_link("s0", LinkConfig(latency_ticks=1))
+        fabric.send(update(seq=0))
+        fabric.send(update(seq=1))
+        fabric.advance(1)
+        assert [m.seq for m in received] == [0, 1]
+
+    def test_in_flight_counted(self):
+        fabric = NetworkFabric(deliver=lambda m: None)
+        fabric.add_link("s0", LinkConfig(latency_ticks=5))
+        fabric.send(update())
+        assert fabric.stats_for("s0").in_flight == 1
+        fabric.advance(5)
+        assert fabric.stats_for("s0").in_flight == 0
+
+    def test_clock_cannot_go_backwards(self):
+        fabric = NetworkFabric(deliver=lambda m: None)
+        fabric.advance(5)
+        with pytest.raises(ConfigurationError):
+            fabric.advance(3)
+
+    def test_default_advance_one_tick(self):
+        fabric = NetworkFabric(deliver=lambda m: None)
+        fabric.advance()
+        assert fabric.tick == 1
+
+
+class TestLossAndAccounting:
+    def test_loss_function_applies_per_link(self):
+        received = []
+        fabric = NetworkFabric(deliver=received.append)
+        fabric.add_link("lossy", LinkConfig(loss_fn=lambda i: True))
+        fabric.add_link("clean")
+        assert not fabric.send(update("lossy"))
+        assert fabric.send(update("clean"))
+        assert fabric.stats_for("lossy").lost == 1
+        assert fabric.stats_for("clean").delivered == 1
+
+    def test_resync_bypasses_loss(self):
+        received = []
+        fabric = NetworkFabric(deliver=received.append)
+        fabric.add_link("s0", LinkConfig(loss_fn=lambda i: True))
+        fabric.send_resync(
+            ResyncMessage(
+                source_id="s0", seq=0, k=0, x=np.zeros(1), p=np.eye(1),
+                value=np.zeros(1),
+            )
+        )
+        assert len(received) == 1
+        assert fabric.stats_for("s0").resyncs == 1
+
+    def test_total_bytes_aggregates_links(self):
+        fabric = NetworkFabric(deliver=lambda m: None)
+        fabric.add_link("a")
+        fabric.add_link("b")
+        fabric.send(update("a"))
+        fabric.send(update("b"))
+        assert fabric.total_bytes() == 2 * update().size_bytes
+        assert fabric.total_messages() == 2

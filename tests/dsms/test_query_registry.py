@@ -1,0 +1,129 @@
+"""Unit tests for continuous queries and the source registry."""
+
+import pytest
+
+from repro.dsms.query import ContinuousQuery
+from repro.dsms.registry import SourceRegistry
+from repro.errors import (
+    ConfigurationError,
+    DuplicateSourceError,
+    QueryError,
+    UnknownSourceError,
+)
+from repro.filters.models import constant_model, linear_model
+
+
+class TestContinuousQuery:
+    def test_auto_ids_unique(self):
+        a = ContinuousQuery("s0", delta=1.0)
+        b = ContinuousQuery("s0", delta=1.0)
+        assert a.query_id != b.query_id
+
+    def test_explicit_id(self):
+        q = ContinuousQuery("s0", delta=1.0, query_id="mine")
+        assert q.query_id == "mine"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ContinuousQuery("s0", delta=0.0)
+        with pytest.raises(ConfigurationError):
+            ContinuousQuery("s0", delta=1.0, smoothing_f=-1.0)
+
+
+class TestSourceRegistry:
+    def make(self):
+        registry = SourceRegistry()
+        registry.register_source("s0", linear_model(dims=1))
+        return registry
+
+    def test_register_and_lookup(self):
+        registry = self.make()
+        assert registry.source_ids == ["s0"]
+        assert registry.source("s0").source_id == "s0"
+
+    def test_duplicate_source_rejected(self):
+        registry = self.make()
+        with pytest.raises(DuplicateSourceError):
+            registry.register_source("s0", constant_model())
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(UnknownSourceError):
+            SourceRegistry().source("ghost")
+
+    def test_effective_delta_is_minimum(self):
+        registry = self.make()
+        registry.add_query(ContinuousQuery("s0", delta=10.0, query_id="a"))
+        registry.add_query(ContinuousQuery("s0", delta=3.0, query_id="b"))
+        registry.add_query(ContinuousQuery("s0", delta=7.0, query_id="c"))
+        assert registry.source("s0").effective_delta == 3.0
+
+    def test_effective_delta_requires_queries(self):
+        registry = self.make()
+        with pytest.raises(QueryError):
+            registry.source("s0").effective_delta  # noqa: B018
+
+    def test_effective_smoothing_none_when_no_query_asks(self):
+        registry = self.make()
+        registry.add_query(ContinuousQuery("s0", delta=1.0, query_id="a"))
+        assert registry.source("s0").effective_smoothing_f is None
+
+    def test_effective_smoothing_is_least_smoothing(self):
+        """Largest F = least smoothing = highest fidelity wins, so every
+        query gets at least the fidelity it asked for."""
+        registry = self.make()
+        registry.add_query(
+            ContinuousQuery("s0", delta=1.0, smoothing_f=1e-9, query_id="a")
+        )
+        registry.add_query(
+            ContinuousQuery("s0", delta=1.0, smoothing_f=1e-5, query_id="b")
+        )
+        assert registry.source("s0").effective_smoothing_f == 1e-5
+
+    def test_duplicate_query_id_rejected(self):
+        registry = self.make()
+        registry.add_query(ContinuousQuery("s0", delta=1.0, query_id="a"))
+        with pytest.raises(QueryError):
+            registry.add_query(ContinuousQuery("s0", delta=2.0, query_id="a"))
+
+    def test_query_for_unknown_source_rejected(self):
+        registry = self.make()
+        with pytest.raises(UnknownSourceError):
+            registry.add_query(ContinuousQuery("ghost", delta=1.0))
+
+    def test_remove_query(self):
+        registry = self.make()
+        registry.add_query(ContinuousQuery("s0", delta=1.0, query_id="a"))
+        registry.add_query(ContinuousQuery("s0", delta=5.0, query_id="b"))
+        registry.remove_query("a")
+        assert registry.source("s0").effective_delta == 5.0
+        with pytest.raises(QueryError):
+            registry.remove_query("a")
+
+    def test_query_lookup(self):
+        registry = self.make()
+        registry.add_query(ContinuousQuery("s0", delta=2.0, query_id="a"))
+        assert registry.query("a").delta == 2.0
+        with pytest.raises(QueryError):
+            registry.query("ghost")
+
+    def test_build_config_reflects_queries(self):
+        registry = self.make()
+        registry.add_query(
+            ContinuousQuery("s0", delta=4.0, smoothing_f=1e-7, query_id="a")
+        )
+        config = registry.source("s0").build_config()
+        assert config.delta == 4.0
+        assert config.smoothing_f == 1e-7
+
+    def test_active_queries(self):
+        registry = self.make()
+        registry.register_source("s1", constant_model())
+        registry.add_query(ContinuousQuery("s0", delta=1.0, query_id="a"))
+        registry.add_query(ContinuousQuery("s1", delta=1.0, query_id="b"))
+        ids = {q.query_id for q in registry.active_queries}
+        assert ids == {"a", "b"}
+
+    def test_queries_for(self):
+        registry = self.make()
+        registry.add_query(ContinuousQuery("s0", delta=1.0, query_id="a"))
+        assert [q.query_id for q in registry.queries_for("s0")] == ["a"]

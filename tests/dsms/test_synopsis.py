@@ -1,0 +1,168 @@
+"""Unit tests for the Kalman stream synopsis."""
+
+import numpy as np
+import pytest
+
+from repro.dkf.config import DKFConfig
+from repro.dkf.session import DKFSession
+from repro.dsms.synopsis import KalmanSynopsis
+from repro.errors import ConfigurationError
+from repro.filters.models import constant_model, linear_model
+from repro.streams.base import stream_from_values
+
+
+def config(delta=1.0, model=None):
+    return DKFConfig(model=model or linear_model(dims=1, dt=1.0), delta=delta)
+
+
+class TestIngest:
+    def test_stores_only_updates(self, ramp_stream):
+        synopsis = KalmanSynopsis(config(delta=1.0))
+        stats = synopsis.ingest(ramp_stream)
+        assert stats.original_records == len(ramp_stream)
+        assert stats.stored_updates < len(ramp_stream) / 4
+        assert stats.compression_ratio > 4
+
+    def test_stored_updates_match_session_decisions(self, ramp_stream):
+        synopsis = KalmanSynopsis(config(delta=1.0))
+        synopsis.ingest(ramp_stream)
+        session = DKFSession(config(delta=1.0))
+        sent_ks = [d.k for d in session.run(ramp_stream) if d.sent]
+        assert [k for k, _ in synopsis.updates] == sent_ks
+
+    def test_smoothing_config_rejected(self):
+        cfg = DKFConfig(
+            model=constant_model(dims=1), delta=1.0, smoothing_f=1e-7
+        )
+        with pytest.raises(ConfigurationError):
+            KalmanSynopsis(cfg)
+
+
+class TestReconstruction:
+    def test_reconstruction_error_bounded(self, ramp_stream):
+        synopsis = KalmanSynopsis(config(delta=1.0))
+        synopsis.ingest(ramp_stream)
+        assert synopsis.reconstruction_error(ramp_stream) <= 1.0 + 1e-9
+
+    def test_reconstruction_on_trajectory(self, trajectory_small):
+        delta = 5.0
+        synopsis = KalmanSynopsis(
+            config(delta=delta, model=linear_model(dims=2, dt=0.1))
+        )
+        stats = synopsis.ingest(trajectory_small)
+        assert stats.compression_ratio > 1.5
+        assert synopsis.reconstruction_error(trajectory_small) <= delta + 1e-9
+
+    def test_reconstruction_matches_online_server_values(self, ramp_stream):
+        """Reconstruction must replay exactly what the server held online."""
+        cfg = config(delta=1.0)
+        synopsis = KalmanSynopsis(cfg)
+        synopsis.ingest(ramp_stream)
+        session = DKFSession(cfg)
+        online = np.stack(
+            [d.server_value for d in session.run(ramp_stream)]
+        )
+        rebuilt = synopsis.reconstruct().values()
+        assert np.allclose(rebuilt, online, atol=1e-12)
+
+    def test_length_mismatch_rejected(self, ramp_stream):
+        synopsis = KalmanSynopsis(config())
+        synopsis.ingest(ramp_stream)
+        other = stream_from_values(np.arange(5, dtype=float))
+        with pytest.raises(ConfigurationError):
+            synopsis.reconstruction_error(other)
+
+    def test_empty_synopsis_reconstructs_empty(self):
+        synopsis = KalmanSynopsis(config())
+        assert len(synopsis.reconstruct()) == 0
+
+    def test_stream_metadata_preserved(self, ramp_stream):
+        synopsis = KalmanSynopsis(config())
+        synopsis.ingest(ramp_stream)
+        rebuilt = synopsis.reconstruct()
+        assert len(rebuilt) == len(ramp_stream)
+        assert "synopsis" in rebuilt.name
+
+
+class TestSmoothedReconstruction:
+    def test_online_replay_beats_rts_on_delta_triggered_log(
+        self, trajectory_small
+    ):
+        """The documented caveat, pinned: a δ-triggered log places updates
+        exactly where predictions fail, so the causal replay (which is
+        within δ at every decision instant by construction) beats the
+        model-trusting RTS pass on manoeuvring data."""
+        delta = 5.0
+        synopsis = KalmanSynopsis(
+            config(delta=delta, model=linear_model(dims=2, dt=0.1))
+        )
+        synopsis.ingest(trajectory_small)
+        online = synopsis.reconstruct().values()
+        smoothed = synopsis.reconstruct_smoothed().values()
+        truth = trajectory_small.values()
+        online_rmse = np.sqrt(np.mean((online - truth) ** 2))
+        smoothed_rmse = np.sqrt(np.mean((smoothed - truth) ** 2))
+        assert online_rmse < smoothed_rmse
+        # And only the online replay carries the δ guarantee.
+        assert np.abs(online - truth).max() <= delta + 1e-9
+
+    def test_rts_reconstruction_shape(self, ramp_stream):
+        synopsis = KalmanSynopsis(config(delta=1.0))
+        synopsis.ingest(ramp_stream)
+        rebuilt = synopsis.reconstruct_smoothed()
+        assert len(rebuilt) == len(ramp_stream)
+        assert "rts" in rebuilt.name
+
+    def test_empty_smoothed_reconstruction(self):
+        synopsis = KalmanSynopsis(config())
+        assert len(synopsis.reconstruct_smoothed()) == 0
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, ramp_stream, tmp_path):
+        cfg = config(delta=1.0)
+        original = KalmanSynopsis(cfg)
+        original.ingest(ramp_stream)
+        path = tmp_path / "synopsis.csv"
+        original.save(path)
+
+        restored = KalmanSynopsis.load(path, cfg)
+        assert restored.stats().stored_updates == original.stats().stored_updates
+        assert np.allclose(
+            restored.reconstruct().values(), original.reconstruct().values()
+        )
+
+    def test_load_rejects_tolerance_mismatch(self, ramp_stream, tmp_path):
+        original = KalmanSynopsis(config(delta=1.0))
+        original.ingest(ramp_stream)
+        path = tmp_path / "synopsis.csv"
+        original.save(path)
+        with pytest.raises(ConfigurationError):
+            KalmanSynopsis.load(path, config(delta=2.0))
+
+    def test_load_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "not_synopsis.csv"
+        path.write_text("k,timestamp,v0\n0,0.0,1.0\n")
+        with pytest.raises(ConfigurationError):
+            KalmanSynopsis.load(path, config())
+
+    def test_2d_round_trip(self, trajectory_small, tmp_path):
+        cfg = config(delta=5.0, model=linear_model(dims=2, dt=0.1))
+        original = KalmanSynopsis(cfg)
+        original.ingest(trajectory_small)
+        path = tmp_path / "traj.csv"
+        original.save(path)
+        restored = KalmanSynopsis.load(path, cfg)
+        assert (
+            restored.reconstruction_error(trajectory_small) <= 5.0 + 1e-9
+        )
+
+
+class TestStats:
+    def test_infinite_ratio_before_ingest(self):
+        synopsis = KalmanSynopsis(config())
+        assert synopsis.stats().compression_ratio == float("inf")
+
+    def test_tolerance_recorded(self):
+        synopsis = KalmanSynopsis(config(delta=7.0))
+        assert synopsis.stats().tolerance == 7.0

@@ -1,0 +1,79 @@
+"""Property-based tests for the Kalman stream synopsis."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dkf.config import DKFConfig
+from repro.dsms.synopsis import KalmanSynopsis
+from repro.filters.models import constant_model, linear_model
+from repro.streams.base import stream_from_values
+
+values_strategy = st.lists(
+    st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+    min_size=1,
+    max_size=50,
+)
+delta_strategy = st.floats(min_value=0.1, max_value=100.0)
+model_strategy = st.sampled_from(["constant", "linear"])
+
+
+def build_config(model_name, delta):
+    model = (
+        constant_model(dims=1)
+        if model_name == "constant"
+        else linear_model(dims=1, dt=1.0)
+    )
+    return DKFConfig(model=model, delta=delta)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=values_strategy, delta=delta_strategy, model=model_strategy)
+def test_reconstruction_within_tolerance_for_any_stream(values, delta, model):
+    """The synopsis's defining property: ingest anything, reconstruct
+    within delta at every instant."""
+    stream = stream_from_values(np.array(values))
+    synopsis = KalmanSynopsis(build_config(model, delta))
+    synopsis.ingest(stream)
+    assert synopsis.reconstruction_error(stream) <= delta + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=values_strategy, delta=delta_strategy, model=model_strategy)
+def test_compression_never_exceeds_input(values, delta, model):
+    stream = stream_from_values(np.array(values))
+    synopsis = KalmanSynopsis(build_config(model, delta))
+    stats = synopsis.ingest(stream)
+    assert 1 <= stats.stored_updates <= len(values)
+    assert stats.compression_ratio >= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=values_strategy, delta=delta_strategy, model=model_strategy)
+def test_ingest_is_idempotent(values, delta, model):
+    """Re-ingesting the same stream yields identical stored updates
+    (determinism carried through the synopsis layer)."""
+    stream = stream_from_values(np.array(values))
+    synopsis = KalmanSynopsis(build_config(model, delta))
+    synopsis.ingest(stream)
+    first = [(k, v.copy()) for k, v in synopsis.updates]
+    synopsis.ingest(stream)
+    second = synopsis.updates
+    assert len(first) == len(second)
+    for (k1, v1), (k2, v2) in zip(first, second):
+        assert k1 == k2
+        assert np.array_equal(v1, v2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=values_strategy, delta=delta_strategy)
+def test_widening_tolerance_never_stores_more_constant_model(values, delta):
+    """For the memoryless constant model, a looser tolerance can only
+    shrink the synopsis."""
+    stream = stream_from_values(np.array(values))
+    tight = KalmanSynopsis(build_config("constant", delta))
+    loose = KalmanSynopsis(build_config("constant", delta * 3))
+    assert (
+        loose.ingest(stream).stored_updates
+        <= tight.ingest(stream).stored_updates
+    )

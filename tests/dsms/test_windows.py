@@ -1,0 +1,117 @@
+"""Unit and property tests for sliding-window aggregates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dkf.config import DKFConfig
+from repro.dkf.session import DKFSession
+from repro.dsms.windows import WindowedAggregator
+from repro.errors import ConfigurationError
+from repro.filters.models import linear_model
+from repro.streams.base import stream_from_values
+
+finite = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False)
+
+
+class TestExactness:
+    """With delta -> the bound, the point values must match numpy exactly
+    (the aggregator's arithmetic, independent of the bound semantics)."""
+
+    def test_matches_numpy_on_random_data(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=300)
+        window = 17
+        agg = WindowedAggregator(window=window, delta=1.0)
+        for i, v in enumerate(data):
+            agg.push(v)
+            lo = max(0, i - window + 1)
+            chunk = data[lo : i + 1]
+            assert np.isclose(agg.sum().value, chunk.sum())
+            assert np.isclose(agg.avg().value, chunk.mean())
+            assert np.isclose(agg.min().value, chunk.min())
+            assert np.isclose(agg.max().value, chunk.max())
+
+    def test_occupancy_during_warmup(self):
+        agg = WindowedAggregator(window=5, delta=1.0)
+        for i in range(3):
+            agg.push(float(i))
+        assert agg.occupancy == 3
+        for i in range(10):
+            agg.push(float(i))
+        assert agg.occupancy == 5
+
+
+class TestBounds:
+    def test_sum_bound_scales_with_occupancy(self):
+        agg = WindowedAggregator(window=10, delta=0.5)
+        agg.push(1.0)
+        assert agg.sum().error_bound == 0.5
+        for _ in range(20):
+            agg.push(1.0)
+        assert agg.sum().error_bound == 10 * 0.5
+
+    def test_avg_bound_is_delta(self):
+        agg = WindowedAggregator(window=10, delta=0.5)
+        for _ in range(10):
+            agg.push(3.0)
+        assert agg.avg().error_bound == 0.5
+
+    def test_window_avg_over_dkf_trace_covers_truth(self):
+        """End to end: feed a DKF session's server values; the certified
+        window average must cover the true window average of the source
+        values."""
+        rng = np.random.default_rng(1)
+        truth = np.cumsum(rng.normal(0, 1.0, size=400))
+        stream = stream_from_values(truth, name="walk")
+        delta = 2.0
+        session = DKFSession(
+            DKFConfig(model=linear_model(dims=1, dt=1.0), delta=delta)
+        )
+        window = 25
+        agg = WindowedAggregator(window=window, delta=delta)
+        for i, decision in enumerate(session.run(stream)):
+            agg.push(float(decision.server_value[0]))
+            lo = max(0, i - window + 1)
+            true_avg = truth[lo : i + 1].mean()
+            answer = agg.avg()
+            assert answer.lower - 1e-9 <= true_avg <= answer.upper + 1e-9
+
+
+class TestLifecycle:
+    def test_unprimed_queries_raise(self):
+        agg = WindowedAggregator(window=5, delta=1.0)
+        for query in (agg.sum, agg.avg, agg.min, agg.max):
+            with pytest.raises(ConfigurationError):
+                query()
+
+    def test_reset(self):
+        agg = WindowedAggregator(window=5, delta=1.0)
+        agg.push(1.0)
+        agg.reset()
+        assert not agg.primed
+        agg.push(7.0)
+        assert agg.max().value == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WindowedAggregator(window=0, delta=1.0)
+        with pytest.raises(ConfigurationError):
+            WindowedAggregator(window=5, delta=0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(finite, min_size=1, max_size=80),
+    window=st.integers(min_value=1, max_value=20),
+)
+def test_min_max_match_numpy_for_any_sequence(values, window):
+    """The monotonic-deque min/max equals the naive window min/max."""
+    agg = WindowedAggregator(window=window, delta=1.0)
+    for i, v in enumerate(values):
+        agg.push(v)
+        lo = max(0, i - window + 1)
+        chunk = values[lo : i + 1]
+        assert agg.min().value == min(chunk)
+        assert agg.max().value == max(chunk)

@@ -1,0 +1,156 @@
+"""Shape tests for the experiment harness: each figure's qualitative
+claims must hold on reduced-size runs (full-size runs live in
+``benchmarks/``)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import example1, example2, example3, table1
+
+# Reduced sizes keep the suite fast while preserving the shapes.
+N1, N2, N3 = 1500, 2000, 1500
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return example1.figure4_updates(n=N1, deltas=[1.0, 3.0, 10.0, 30.0])
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return example1.figure5_error(n=N1, deltas=[1.0, 3.0, 10.0, 30.0])
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return example2.figure7_updates(n=N2, deltas=[20.0, 50.0, 100.0])
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return example3.figure11_updates(n=N3, deltas=[0.1, 0.5, 2.0])
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return example3.figure12_smoothing_sweep(
+        n=N3, factors=[1e-9, 1e-5, 1e-1]
+    )
+
+
+class TestExample1:
+    def test_fig3_dataset_summary(self):
+        summary = example1.figure3_dataset(n=500)
+        assert summary["length"] == 500
+        assert summary["dim"] == 2
+
+    def test_fig4_linear_beats_caching_at_moderate_delta(self, fig4):
+        """The headline claim: ~75% fewer updates at delta = 3."""
+        row = fig4.row(3.0)
+        assert row["dkf-linear"] < 0.5 * row["caching"]
+
+    def test_fig4_constant_matches_caching(self, fig4):
+        """Caching and constant-KF travel together.  With the paper's
+        Q = R = 0.05 the constant model's sub-unity gain costs it a few
+        extra updates at large delta, so the tolerance scales with the
+        caching level."""
+        for delta in fig4.values:
+            row = fig4.row(delta)
+            tolerance = max(8.0, 0.35 * row["caching"])
+            assert abs(row["dkf-constant"] - row["caching"]) < tolerance
+
+    def test_fig4_updates_decrease_with_delta(self, fig4):
+        for scheme in fig4.columns:
+            series = fig4.column(scheme)
+            assert series[0] >= series[-1]
+
+    def test_fig5_errors_grow_with_delta(self, fig5):
+        for scheme in fig5.columns:
+            series = fig5.column(scheme)
+            assert series[-1] > series[0]
+
+    def test_fig5_errors_bounded_by_2delta(self, fig5):
+        """Per-component error <= delta, so the summed 2-D error <= 2
+        delta."""
+        for delta, cells in zip(fig5.values, fig5.cells):
+            for value in cells:
+                assert value <= 2 * delta + 1e-9
+
+
+class TestExample2:
+    def test_fig6_dataset_summary(self):
+        summary = example2.figure6_dataset(n=500)
+        assert summary["length"] == 500
+
+    def test_fig7_sinusoidal_beats_linear_beats_caching(self, fig7):
+        for delta in fig7.values:
+            row = fig7.row(delta)
+            assert row["dkf-sinusoidal"] < row["dkf-linear"]
+            assert row["dkf-linear"] < row["caching"]
+
+    def test_fig8_errors_bounded(self):
+        table = example2.figure8_error(n=N2, deltas=[50.0])
+        for value in table.cells[0]:
+            assert value <= 50.0 + 1e-9
+
+
+class TestExample3:
+    def test_fig9_dataset_summary(self):
+        summary = example3.figure9_dataset(n=500)
+        assert summary["length"] == 500
+
+    def test_fig10_low_f_matches_moving_average(self):
+        result = example3.figure10_smoothing(n=N3, f=1e-9)
+        assert result["rms_distance_relative"] < 0.1
+
+    def test_fig10_high_f_diverges_from_moving_average(self):
+        matched = example3.figure10_smoothing(n=N3, f=1e-9)
+        diverged = example3.figure10_smoothing(n=N3, f=1e-1)
+        assert (
+            diverged["rms_distance_relative"]
+            > 3 * matched["rms_distance_relative"]
+        )
+
+    def test_fig11_linear_wins_at_tight_precision(self, fig11):
+        row = fig11.row(0.1)
+        assert row["dkf-linear"] < row["caching"]
+        assert row["dkf-linear"] < row["dkf-constant"]
+
+    def test_fig12_updates_monotone_in_f(self, fig12):
+        """Lowering F reduces update traffic (the paper's Fig. 12)."""
+        for scheme in fig12.columns:
+            series = fig12.column(scheme)
+            assert series == sorted(series)
+
+
+class TestTable1:
+    def test_matrix_covers_all_datasets_and_schemes(self):
+        results = table1.matrix(
+            sizes={"moving-object": 600, "power-load": 600, "http-traffic": 600}
+        )
+        streams = {r.stream for r in results}
+        assert streams == {"moving-object", "power-load", "http-traffic"}
+        schemes = {r.scheme for r in results}
+        assert {"caching", "adaptive-caching", "dkf-constant", "dkf-linear"} <= schemes
+
+    def test_best_dkf_never_loses_to_caching(self):
+        results = table1.matrix(
+            sizes={"moving-object": 600, "power-load": 600, "http-traffic": 600}
+        )
+        by_stream = {}
+        for r in results:
+            by_stream.setdefault(r.stream, {})[r.scheme] = r
+        for stream, rows in by_stream.items():
+            best_dkf = min(
+                v.update_fraction
+                for k, v in rows.items()
+                if k.startswith("dkf")
+            )
+            assert best_dkf <= rows["caching"].update_fraction + 0.02
+
+
+class TestRunnerMechanics:
+    def test_sweep_column_stability(self):
+        table = example1.figure4_updates(n=400, deltas=[1.0, 5.0])
+        assert table.columns == ["caching", "dkf-constant", "dkf-linear"]
+        assert len(table.values) == 2

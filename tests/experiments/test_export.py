@@ -1,0 +1,65 @@
+"""Unit tests for the figure-data CSV exporter."""
+
+import csv
+
+import numpy as np
+
+from repro.experiments import example1
+from repro.experiments.export import export_all, export_results, export_table
+from repro.experiments.table1 import matrix
+from repro.streams.replay import load_stream_csv
+
+
+class TestExportTable:
+    def test_round_trips_values(self, tmp_path):
+        table = example1.figure4_updates(n=300, deltas=[1.0, 5.0])
+        path = tmp_path / "fig4.csv"
+        export_table(table, path)
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["delta"] + table.columns
+        assert float(rows[1][0]) == 1.0
+        assert float(rows[1][1]) == table.cells[0][0]
+
+
+class TestExportResults:
+    def test_header_and_rows(self, tmp_path):
+        results = matrix(
+            sizes={"moving-object": 200, "power-load": 200, "http-traffic": 200}
+        )
+        path = tmp_path / "table1.csv"
+        export_results(results, path)
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0][0] == "scheme"
+        assert len(rows) == len(results) + 1
+
+
+class TestExportAll:
+    def test_writes_every_figure(self, tmp_path):
+        sizes = {"moving-object": 200, "power-load": 240, "http-traffic": 200}
+        files = export_all(tmp_path, sizes=sizes)
+        names = {p.name for p in files}
+        assert {
+            "fig03_dataset.csv",
+            "fig04_updates.csv",
+            "fig05_error.csv",
+            "fig06_dataset.csv",
+            "fig07_updates.csv",
+            "fig08_error.csv",
+            "fig09_dataset.csv",
+            "fig11_updates.csv",
+            "fig12_smoothing.csv",
+            "table1_matrix.csv",
+        } == names
+        for path in files:
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+    def test_dataset_csv_loadable(self, tmp_path):
+        sizes = {"moving-object": 150, "power-load": 150, "http-traffic": 150}
+        export_all(tmp_path, sizes=sizes)
+        stream = load_stream_csv(tmp_path / "fig03_dataset.csv")
+        assert len(stream) == 150
+        assert stream.dim == 2
+        assert np.all(np.isfinite(stream.values()))

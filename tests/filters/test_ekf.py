@@ -1,0 +1,163 @@
+"""Unit tests for the extended Kalman filter."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.filters.ekf import (
+    ExtendedKalmanFilter,
+    NonlinearModel,
+    coordinated_turn_model,
+)
+from repro.filters.kalman import KalmanFilter
+
+
+def linear_as_nonlinear(dt=1.0, q=0.05, r=0.05):
+    """A linear constant-velocity system expressed through the EKF API."""
+    phi = np.array([[1.0, dt], [0.0, 1.0]])
+    h = np.array([[1.0, 0.0]])
+    return NonlinearModel(
+        name="linear-as-ekf",
+        f=lambda x, k: phi @ x,
+        h=lambda x, k: h @ x,
+        q=np.eye(2) * q,
+        r=np.eye(1) * r,
+        state_dim=2,
+        measurement_dim=1,
+        f_jacobian=lambda x, k: phi,
+        h_jacobian=lambda x, k: h,
+    )
+
+
+class TestLinearEquivalence:
+    def test_ekf_matches_kf_on_linear_system(self):
+        """On a linear system the EKF must coincide with the standard KF."""
+        model = linear_as_nonlinear()
+        ekf = ExtendedKalmanFilter(model, x0=np.array([0.0, 1.0]))
+        kf = KalmanFilter(
+            phi=np.array([[1.0, 1.0], [0.0, 1.0]]),
+            h=np.array([[1.0, 0.0]]),
+            q=np.eye(2) * 0.05,
+            r=np.eye(1) * 0.05,
+            x0=np.array([0.0, 1.0]),
+        )
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            z = rng.normal(size=1)
+            ekf.predict()
+            kf.predict()
+            ekf.update(z)
+            kf.update(z)
+            assert np.allclose(ekf.x, kf.x, atol=1e-10)
+            assert np.allclose(ekf.p, kf.p, atol=1e-10)
+
+    def test_numerical_jacobian_fallback_matches_analytic(self):
+        analytic = linear_as_nonlinear()
+        numeric = NonlinearModel(
+            name="numeric",
+            f=analytic.f,
+            h=analytic.h,
+            q=analytic.q,
+            r=analytic.r,
+            state_dim=2,
+            measurement_dim=1,
+        )
+        a = ExtendedKalmanFilter(analytic, x0=np.array([0.0, 1.0]))
+        b = ExtendedKalmanFilter(numeric, x0=np.array([0.0, 1.0]))
+        for z in ([0.9], [2.1], [3.2]):
+            a.predict()
+            b.predict()
+            a.update(np.array(z))
+            b.update(np.array(z))
+        assert np.allclose(a.x, b.x, atol=1e-5)
+
+
+class TestCoordinatedTurn:
+    def test_tracks_circular_motion(self):
+        """The EKF should track a platform moving on a circle -- the
+        non-linear case the paper's footnote describes."""
+        dt = 0.5
+        model = coordinated_turn_model(dt=dt, q=1e-4, r=0.01)
+        speed, turn_rate = 2.0, 0.1
+        x_true = np.array([10.0, 0.0, speed, math.pi / 2, turn_rate])
+        ekf = ExtendedKalmanFilter(
+            model,
+            x0=np.array([10.0, 0.0, 1.0, math.pi / 2, 0.0]),
+            p0=np.eye(5),
+        )
+        rng = np.random.default_rng(3)
+        errors = []
+        for _ in range(200):
+            x_true = model.f(x_true, 0)
+            z = model.h(x_true, 0) + rng.normal(0, 0.1, size=2)
+            ekf.predict()
+            ekf.update(z)
+            errors.append(np.linalg.norm(ekf.x[:2] - x_true[:2]))
+        # Converged tracking: late errors well inside the noise floor x3.
+        assert np.mean(errors[-50:]) < 0.5
+
+    def test_estimates_turn_rate(self):
+        dt = 0.5
+        model = coordinated_turn_model(dt=dt, q=1e-4, r=0.01)
+        turn_rate = 0.2
+        x_true = np.array([0.0, 0.0, 3.0, 0.0, turn_rate])
+        ekf = ExtendedKalmanFilter(
+            model, x0=np.array([0.0, 0.0, 3.0, 0.0, 0.0]), p0=np.eye(5)
+        )
+        for _ in range(300):
+            x_true = model.f(x_true, 0)
+            ekf.predict()
+            ekf.update(model.h(x_true, 0))
+        assert abs(ekf.x[4] - turn_rate) < 0.02
+
+    def test_jacobian_consistency(self):
+        """Analytic Jacobians must match finite differences."""
+        from repro.filters.ekf import _numerical_jacobian
+
+        model = coordinated_turn_model(dt=0.7)
+        x = np.array([1.0, 2.0, 3.0, 0.4, 0.05])
+        assert np.allclose(
+            model.f_jacobian(x, 0),
+            _numerical_jacobian(model.f, x, 0, 5),
+            atol=1e-4,
+        )
+        assert np.allclose(
+            model.h_jacobian(x, 0),
+            _numerical_jacobian(model.h, x, 0, 2),
+            atol=1e-6,
+        )
+
+
+class TestInterface:
+    def test_rejects_wrong_x0(self):
+        with pytest.raises(DimensionError):
+            ExtendedKalmanFilter(coordinated_turn_model(), x0=np.zeros(3))
+
+    def test_rejects_wrong_measurement(self):
+        ekf = ExtendedKalmanFilter(coordinated_turn_model(), x0=np.zeros(5))
+        ekf.predict()
+        with pytest.raises(DimensionError):
+            ekf.update(np.zeros(3))
+
+    def test_step_api(self):
+        ekf = ExtendedKalmanFilter(coordinated_turn_model(), x0=np.zeros(5))
+        record = ekf.step(np.array([0.1, 0.2]))
+        assert record.updated
+        assert record.k == 0
+
+    def test_forecast_shape_and_purity(self):
+        ekf = ExtendedKalmanFilter(
+            coordinated_turn_model(), x0=np.array([0.0, 0.0, 1.0, 0.0, 0.0])
+        )
+        forecast = ekf.forecast(5)
+        assert forecast.shape == (5, 2)
+        assert ekf.k == 0
+
+    def test_copy_and_digest(self):
+        ekf = ExtendedKalmanFilter(coordinated_turn_model(), x0=np.zeros(5))
+        clone = ekf.copy()
+        ekf.predict()
+        assert clone.k == 0
+        assert clone.state_digest() != ekf.state_digest()

@@ -1,0 +1,114 @@
+"""Unit tests for the information-form Kalman filter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.filters.information import InformationFilter
+from repro.filters.kalman import KalmanFilter
+
+PHI = np.array([[1.0, 1.0], [0.0, 1.0]])
+H = np.array([[1.0, 0.0]])
+Q = np.eye(2) * 0.05
+R = np.eye(1) * 0.05
+
+
+def pair(x0=None, p0=None):
+    x0 = np.zeros(2) if x0 is None else x0
+    p0 = np.eye(2) if p0 is None else p0
+    info = InformationFilter(PHI, Q, x0=x0, p0=p0)
+    cov = KalmanFilter(PHI, H, Q, R, x0=x0, p0=p0)
+    return info, cov
+
+
+class TestEquivalence:
+    def test_matches_covariance_form_exactly(self):
+        """Same estimator, different parameterisation: states and
+        covariances must agree through a full run."""
+        info, cov = pair()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            z = rng.normal(size=1)
+            info.predict()
+            cov.predict()
+            info.update(H, R, z)
+            cov.update(z)
+            assert np.allclose(info.x, cov.x, atol=1e-8)
+            assert np.allclose(info.p, cov.p, atol=1e-8)
+
+    def test_coasting_matches(self):
+        info, cov = pair(x0=np.array([1.0, 2.0]))
+        for _ in range(5):
+            info.predict()
+            cov.predict()
+        assert np.allclose(info.x, cov.x, atol=1e-10)
+
+
+class TestFusion:
+    def test_two_sensors_beat_one(self):
+        """Fusing two independent sensors halves the variance."""
+        single = InformationFilter(np.eye(1), np.eye(1) * 1e-6, x0=np.zeros(1))
+        double = InformationFilter(np.eye(1), np.eye(1) * 1e-6, x0=np.zeros(1))
+        h, r = np.eye(1), np.eye(1) * 1.0
+        for _ in range(20):
+            single.predict()
+            double.predict()
+            single.update(h, r, np.array([5.0]))
+            double.fuse([(h, r, np.array([5.0])), (h, r, np.array([5.0]))])
+        assert double.p[0, 0] < single.p[0, 0]
+
+    def test_fusion_order_irrelevant(self):
+        """Information addition commutes: sensor order cannot matter."""
+        h1, r1, z1 = np.array([[1.0, 0.0]]), np.eye(1) * 0.5, np.array([3.0])
+        h2, r2, z2 = np.array([[0.0, 1.0]]), np.eye(1) * 2.0, np.array([-1.0])
+        a = InformationFilter(PHI, Q, x0=np.zeros(2))
+        b = InformationFilter(PHI, Q, x0=np.zeros(2))
+        a.predict()
+        b.predict()
+        a.fuse([(h1, r1, z1), (h2, r2, z2)])
+        b.fuse([(h2, r2, z2), (h1, r1, z1)])
+        assert np.allclose(a.x, b.x, atol=1e-12)
+        assert np.allclose(a.p, b.p, atol=1e-12)
+
+    def test_heterogeneous_sensors(self):
+        """Sensors with different H matrices (observing different state
+        components) fuse into one estimate."""
+        filt = InformationFilter(PHI, Q, x0=np.zeros(2), p0=np.eye(2) * 100)
+        pos_sensor = (np.array([[1.0, 0.0]]), np.eye(1) * 0.1, np.array([10.0]))
+        vel_sensor = (np.array([[0.0, 1.0]]), np.eye(1) * 0.1, np.array([2.0]))
+        filt.predict()
+        filt.fuse([pos_sensor, vel_sensor])
+        assert abs(filt.x[0] - 10.0) < 0.5
+        assert abs(filt.x[1] - 2.0) < 0.5
+
+
+class TestInterface:
+    def test_state_recovery(self):
+        x0 = np.array([3.0, -1.0])
+        filt = InformationFilter(PHI, Q, x0=x0, p0=np.eye(2) * 2.0)
+        assert np.allclose(filt.x, x0)
+        assert np.allclose(filt.p, np.eye(2) * 2.0)
+        assert np.allclose(filt.information_matrix, np.eye(2) / 2.0)
+
+    def test_clock(self):
+        filt = InformationFilter(PHI, Q, x0=np.zeros(2))
+        filt.predict()
+        filt.predict()
+        assert filt.k == 2
+
+    def test_copy_independent(self):
+        filt = InformationFilter(PHI, Q, x0=np.zeros(2))
+        clone = filt.copy()
+        filt.predict()
+        assert clone.k == 0
+
+    def test_validation(self):
+        with pytest.raises(DimensionError):
+            InformationFilter(np.zeros((2, 3)), Q, x0=np.zeros(2))
+        with pytest.raises(DimensionError):
+            InformationFilter(PHI, Q, x0=np.zeros(3))
+        filt = InformationFilter(PHI, Q, x0=np.zeros(2))
+        with pytest.raises(DimensionError):
+            filt.update(np.eye(3), np.eye(3), np.zeros(3))
+        with pytest.raises(DimensionError):
+            filt.update(H, R, np.zeros(2))

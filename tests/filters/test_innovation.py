@@ -1,0 +1,137 @@
+"""Unit tests for innovation monitoring and adaptive sampling control."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.filters.innovation import AdaptiveSamplingController, InnovationMonitor
+
+
+class TestInnovationMonitor:
+    def test_empty_stats(self):
+        monitor = InnovationMonitor()
+        stats = monitor.stats()
+        assert stats.count == 0
+        assert np.isnan(stats.mean_nis)
+
+    def test_records_and_counts(self):
+        monitor = InnovationMonitor(window=10)
+        s = np.eye(1)
+        for v in (0.1, -0.2, 0.3):
+            monitor.record(np.array([v]), s)
+        assert monitor.total_observed == 3
+        assert monitor.stats().count == 3
+
+    def test_window_rolls(self):
+        monitor = InnovationMonitor(window=5)
+        s = np.eye(1)
+        for i in range(20):
+            monitor.record(np.array([float(i)]), s)
+        assert monitor.stats().count == 5
+        assert monitor.total_observed == 20
+
+    def test_outlier_flagging(self):
+        monitor = InnovationMonitor(window=10, outlier_nis=9.0)
+        s = np.eye(1)
+        assert not monitor.record(np.array([1.0]), s)  # NIS = 1
+        assert monitor.record(np.array([4.0]), s)  # NIS = 16
+        assert monitor.outlier_count == 1
+
+    def test_nis_uses_covariance(self):
+        monitor = InnovationMonitor(outlier_nis=9.0)
+        # Same innovation, large covariance -> small NIS -> not an outlier.
+        assert not monitor.record(np.array([4.0]), np.eye(1) * 100.0)
+
+    def test_mean_nis_near_dimension_for_matched_noise(self):
+        """For N(0, S) innovations, E[NIS] equals the dimension m."""
+        rng = np.random.default_rng(0)
+        monitor = InnovationMonitor(window=500, outlier_nis=1e9)
+        s = np.diag([2.0, 0.5])
+        chol = np.linalg.cholesky(s)
+        for _ in range(500):
+            monitor.record(chol @ rng.normal(size=2), s)
+        assert abs(monitor.stats().mean_nis - 2.0) < 0.3
+
+    def test_whiteness_autocorrelation_small_for_iid(self):
+        rng = np.random.default_rng(1)
+        monitor = InnovationMonitor(window=400)
+        for _ in range(400):
+            monitor.record(rng.normal(size=1), np.eye(1))
+        assert abs(monitor.stats().autocorr_lag1) < 0.15
+
+    def test_health_band(self):
+        monitor = InnovationMonitor(window=10)
+        assert monitor.is_healthy()  # vacuous before data
+        for _ in range(10):
+            monitor.record(np.array([1.0]), np.eye(1))  # NIS = 1 = m
+        assert monitor.is_healthy()
+        monitor2 = InnovationMonitor(window=10)
+        for _ in range(10):
+            monitor2.record(np.array([10.0]), np.eye(1))  # NIS = 100
+        assert not monitor2.is_healthy()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InnovationMonitor(window=1)
+        with pytest.raises(ConfigurationError):
+            InnovationMonitor(outlier_nis=0.0)
+
+
+class TestAdaptiveSamplingController:
+    def test_starts_at_min_interval(self):
+        controller = AdaptiveSamplingController(delta=1.0, min_interval=2)
+        assert controller.interval == 2
+
+    def test_quiet_stream_stretches(self):
+        controller = AdaptiveSamplingController(delta=10.0, max_interval=32)
+        for _ in range(20):
+            controller.observe(0.1)  # far inside delta
+        assert controller.interval == 32
+
+    def test_busy_stream_shrinks(self):
+        controller = AdaptiveSamplingController(delta=10.0, max_interval=32)
+        for _ in range(20):
+            controller.observe(0.1)
+        controller.observe(20.0)  # prediction blown
+        assert controller.interval < 32
+        for _ in range(5):
+            controller.observe(20.0)
+        assert controller.interval == 1
+
+    def test_middle_band_holds_steady(self):
+        controller = AdaptiveSamplingController(
+            delta=10.0, quiet_fraction=0.25, busy_fraction=0.75
+        )
+        before = controller.interval
+        controller.observe(5.0)  # ratio 0.5: between the thresholds
+        assert controller.interval == before
+
+    def test_interval_respects_bounds(self):
+        controller = AdaptiveSamplingController(
+            delta=1.0, min_interval=2, max_interval=8
+        )
+        for _ in range(50):
+            controller.observe(0.0)
+        assert controller.interval == 8
+        for _ in range(50):
+            controller.observe(100.0)
+        assert controller.interval == 2
+
+    def test_reset(self):
+        controller = AdaptiveSamplingController(delta=1.0, max_interval=16)
+        for _ in range(20):
+            controller.observe(0.0)
+        controller.reset()
+        assert controller.interval == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveSamplingController(delta=0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveSamplingController(delta=1.0, min_interval=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveSamplingController(delta=1.0, min_interval=5, max_interval=2)
+        with pytest.raises(ConfigurationError):
+            AdaptiveSamplingController(
+                delta=1.0, quiet_fraction=0.8, busy_fraction=0.5
+            )

@@ -1,0 +1,149 @@
+"""Unit tests for online model selection over a filter bank."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.filters.model_bank import ModelBank
+from repro.filters.models import (
+    acceleration_model,
+    constant_model,
+    linear_model,
+    sinusoidal_model,
+)
+
+
+def bank_2d(forgetting=0.98):
+    return ModelBank(
+        [
+            constant_model(dims=2),
+            linear_model(dims=2, dt=0.1),
+        ],
+        forgetting=forgetting,
+    )
+
+
+class TestConstruction:
+    def test_requires_models(self):
+        with pytest.raises(ConfigurationError):
+            ModelBank([])
+
+    def test_requires_shared_measurement_dim(self):
+        with pytest.raises(DimensionError):
+            ModelBank([constant_model(dims=1), constant_model(dims=2)])
+
+    def test_requires_unique_names(self):
+        with pytest.raises(ConfigurationError):
+            ModelBank([constant_model(dims=2), constant_model(dims=2)])
+
+    def test_forgetting_validated(self):
+        with pytest.raises(ConfigurationError):
+            ModelBank([constant_model(dims=2)], forgetting=0.0)
+
+    def test_unprimed_operations_raise(self):
+        bank = bank_2d()
+        with pytest.raises(ConfigurationError):
+            bank.step(np.zeros(2))
+        with pytest.raises(ConfigurationError):
+            bank.best_filter()
+        with pytest.raises(ConfigurationError):
+            bank.predict_measurement()
+
+
+class TestSelection:
+    def test_linear_wins_on_ramp(self):
+        bank = bank_2d()
+        bank.prime(np.zeros(2))
+        for k in range(1, 200):
+            bank.step(np.array([k * 1.0, k * 2.0]))
+        assert "linear" in bank.best().name
+
+    def test_constant_wins_on_static_signal(self):
+        rng = np.random.default_rng(0)
+        bank = bank_2d()
+        bank.prime(np.array([5.0, 5.0]))
+        for _ in range(200):
+            bank.step(np.array([5.0, 5.0]) + rng.normal(0, 0.05, 2))
+        assert "constant" in bank.best().name
+
+    def test_sinusoidal_wins_on_sinusoid(self):
+        omega = 2 * math.pi / 30
+        bank = ModelBank(
+            [
+                linear_model(dims=1, dt=1.0),
+                sinusoidal_model(omega=omega, theta=0.0),
+            ]
+        )
+        bank.prime(np.array([0.0]))
+        for k in range(1, 300):
+            bank.step(np.array([50.0 * math.sin(omega * k)]))
+        assert "sinusoidal" in bank.best().name
+
+    def test_forgetting_allows_regime_switch(self):
+        """After a long static phase followed by a ramp, a forgetting bank
+        re-selects the linear model."""
+        bank = bank_2d(forgetting=0.9)
+        bank.prime(np.zeros(2))
+        for _ in range(150):
+            bank.step(np.zeros(2))
+        assert "constant" in bank.best().name
+        for k in range(1, 150):
+            bank.step(np.array([5.0 * k, 5.0 * k]))
+        assert "linear" in bank.best().name
+
+
+class TestPosteriors:
+    def test_posteriors_sum_to_one(self):
+        bank = bank_2d()
+        bank.prime(np.zeros(2))
+        for k in range(50):
+            bank.step(np.array([float(k), float(k)]))
+        total = sum(p.probability for p in bank.posteriors())
+        assert np.isclose(total, 1.0)
+
+    def test_posterior_order_matches_models(self):
+        bank = bank_2d()
+        bank.prime(np.zeros(2))
+        names = [p.name for p in bank.posteriors()]
+        assert names == ["constant[2d]", "linear[2d,dt=0.1]"]
+
+    def test_mixture_prediction_between_candidates(self):
+        bank = bank_2d()
+        bank.prime(np.array([0.0, 0.0]))
+        for k in range(1, 100):
+            bank.step(np.array([k * 1.0, 0.0]))
+        mixture = bank.predict_measurement()
+        # Linear dominates; its one-step prediction leads the constant one.
+        assert mixture[0] > 90.0
+
+
+class TestLockstep:
+    def test_coasting_advances_all_filters(self):
+        bank = bank_2d()
+        bank.prime(np.zeros(2))
+        bank.step(None)
+        bank.step(None)
+        assert bank.k == 2
+
+    def test_copy_is_deterministic_mirror(self):
+        bank = bank_2d()
+        bank.prime(np.zeros(2))
+        for k in range(20):
+            bank.step(np.array([float(k), float(k)]))
+        clone = bank.copy()
+        bank.step(np.array([99.0, 99.0]))
+        clone.step(np.array([99.0, 99.0]))
+        assert np.allclose(
+            bank.predict_measurement(), clone.predict_measurement()
+        )
+
+    def test_reprime_resets_scores(self):
+        bank = bank_2d()
+        bank.prime(np.zeros(2))
+        for k in range(50):
+            bank.step(np.array([float(k), float(k)]))
+        bank.prime(np.zeros(2))
+        probs = [p.probability for p in bank.posteriors()]
+        assert np.isclose(probs[0], probs[1])

@@ -1,0 +1,207 @@
+"""Unit tests for the state-space model zoo."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.filters.kalman import resolve_matrix
+from repro.filters.models import (
+    DEFAULT_NOISE,
+    acceleration_model,
+    constant_model,
+    jerk_model,
+    kinematic_model,
+    linear_model,
+    sinusoidal_model,
+    smoothing_model,
+)
+
+
+class TestConstantModel:
+    def test_paper_eq15_phi(self):
+        model = constant_model(dims=2)
+        assert np.array_equal(model.phi, np.eye(2))
+
+    def test_h_is_identity(self):
+        model = constant_model(dims=3)
+        assert np.array_equal(model.h, np.eye(3))
+
+    def test_default_noise_is_paper_value(self):
+        model = constant_model(dims=2)
+        assert np.allclose(np.diag(model.q), DEFAULT_NOISE)
+        assert np.allclose(np.diag(model.r), DEFAULT_NOISE)
+
+    def test_initial_state_is_measurement(self):
+        model = constant_model(dims=2)
+        x0 = model.initial_state(np.array([3.0, 4.0]))
+        assert np.allclose(x0, [3.0, 4.0])
+
+    def test_per_component_noise(self):
+        model = constant_model(dims=2, q=np.array([0.1, 0.2]))
+        assert np.allclose(np.diag(model.q), [0.1, 0.2])
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ConfigurationError):
+            constant_model(dims=1, q=-0.1)
+
+
+class TestLinearModel:
+    def test_paper_eq14_phi(self):
+        dt = 0.1
+        model = linear_model(dims=2, dt=dt)
+        expected = np.array(
+            [
+                [1.0, dt, 0.0, 0.0],
+                [0.0, 1.0, 0.0, 0.0],
+                [0.0, 0.0, 1.0, dt],
+                [0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+        assert np.allclose(model.phi, expected)
+
+    def test_paper_eq16_h(self):
+        model = linear_model(dims=2, dt=0.1)
+        expected = np.array(
+            [[1.0, 0.0, 0.0, 0.0], [0.0, 0.0, 1.0, 0.0]]
+        )
+        assert np.allclose(model.h, expected)
+
+    def test_initializer_zeroes_velocities(self):
+        model = linear_model(dims=2, dt=0.1)
+        x0 = model.initial_state(np.array([5.0, -7.0]))
+        assert np.allclose(x0, [5.0, 0.0, -7.0, 0.0])
+
+    def test_state_and_measurement_dims(self):
+        model = linear_model(dims=2)
+        assert model.state_dim == 4
+        assert model.measurement_dim == 2
+
+    def test_1d_variant(self):
+        model = linear_model(dims=1, dt=1.0)
+        assert model.state_dim == 2
+        assert np.allclose(model.phi, [[1.0, 1.0], [0.0, 1.0]])
+
+
+class TestKinematicModel:
+    def test_order_zero_equals_constant(self):
+        k0 = kinematic_model(order=0, dims=2)
+        assert np.array_equal(k0.phi, np.eye(2))
+
+    def test_taylor_block_for_jerk(self):
+        dt = 2.0
+        model = jerk_model(dims=1, dt=dt)
+        # P_k = P + P' dt + P'' dt^2/2 + P''' dt^3/6 (Section 4.1).
+        expected_row = [1.0, dt, dt**2 / 2, dt**3 / 6]
+        assert np.allclose(model.phi[0], expected_row)
+
+    def test_acceleration_dims(self):
+        model = acceleration_model(dims=2, dt=0.5)
+        assert model.state_dim == 6
+        assert model.measurement_dim == 2
+
+    def test_rejects_negative_order(self):
+        with pytest.raises(ConfigurationError):
+            kinematic_model(order=-1)
+
+    def test_rejects_zero_dims(self):
+        with pytest.raises(ConfigurationError):
+            kinematic_model(order=1, dims=0)
+
+    def test_measures_positions_only(self):
+        model = acceleration_model(dims=2, dt=1.0)
+        x = np.arange(6, dtype=float)
+        # Positions sit at indices 0 and 3 (per-coordinate blocks).
+        assert np.allclose(model.h @ x, [x[0], x[3]])
+
+
+class TestSinusoidalModel:
+    def test_paper_eq17_phi_time_varying(self):
+        omega, theta, gamma = 0.3, 0.5, 2.0
+        model = sinusoidal_model(omega=omega, theta=theta, gamma=gamma)
+        for k in (0, 5, 11):
+            phi_k = resolve_matrix(model.phi, k)
+            assert np.isclose(phi_k[0, 1], gamma * math.cos(omega * k + theta))
+            assert phi_k[0, 0] == 1.0 and phi_k[1, 1] == 1.0 and phi_k[1, 0] == 0.0
+
+    def test_paper_eq18_h(self):
+        model = sinusoidal_model(omega=0.1)
+        assert np.allclose(model.h, [[1.0, 0.0]])
+
+    def test_initializer_seeds_rate(self):
+        model = sinusoidal_model(omega=0.1)
+        x0 = model.initial_state(np.array([100.0]))
+        assert x0[0] == 100.0
+        assert x0[1] != 0.0  # non-degenerate rate seed
+
+    def test_generates_sinusoid_when_rate_matches(self):
+        # With s = A*omega and matching phase, iterating the transition
+        # reproduces A*sin(omega k + theta) up to discretisation error.
+        omega, amplitude = 2 * math.pi / 50, 10.0
+        model = sinusoidal_model(omega=omega, theta=0.0)
+        x = np.array([0.0, amplitude * omega])
+        trace = []
+        for k in range(200):
+            x = resolve_matrix(model.phi, k) @ x
+            trace.append(x[0])
+        trace = np.array(trace)
+        expected = amplitude * np.sin(omega * np.arange(1, 201))
+        # Forward-Euler discretisation drifts the phase slowly; over 200
+        # steps the worst error stays under ~15% of the amplitude.
+        assert np.max(np.abs(trace - expected)) < 0.2 * amplitude
+
+
+class TestSmoothingModel:
+    def test_q_is_smoothing_factor(self):
+        model = smoothing_model(f=1e-7)
+        assert model.q[0, 0] == 1e-7
+
+    def test_scalar_constant_structure(self):
+        model = smoothing_model(f=0.1)
+        assert np.array_equal(model.phi, np.eye(1))
+        assert np.array_equal(model.h, np.eye(1))
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ConfigurationError):
+            smoothing_model(f=-1.0)
+
+
+class TestBuildFilter:
+    def test_builds_runnable_filter(self):
+        model = linear_model(dims=2, dt=0.1)
+        kf = model.build_filter(np.array([1.0, 2.0]))
+        kf.predict()
+        kf.update(np.array([1.1, 2.1]))
+        assert kf.k == 1
+
+    def test_p0_scale(self):
+        model = constant_model(dims=1)
+        kf = model.build_filter(np.array([0.0]), p0_scale=5.0)
+        assert kf.p[0, 0] == 5.0
+
+    def test_explicit_p0_overrides_scale(self):
+        model = constant_model(dims=1)
+        kf = model.build_filter(np.array([0.0]), p0=np.array([[9.0]]), p0_scale=5.0)
+        assert kf.p[0, 0] == 9.0
+
+    def test_rejects_wrong_measurement_shape(self):
+        model = linear_model(dims=2)
+        with pytest.raises(DimensionError):
+            model.initial_state(np.array([1.0]))
+
+    def test_initializer_shape_validated(self):
+        from repro.filters.models import StateSpaceModel
+
+        model = StateSpaceModel(
+            name="bad",
+            phi=np.eye(2),
+            h=np.eye(2),
+            q=np.eye(2),
+            r=np.eye(2),
+            state_dim=2,
+            measurement_dim=2,
+            initializer=lambda z: np.zeros(3),
+        )
+        with pytest.raises(DimensionError):
+            model.initial_state(np.array([1.0, 2.0]))

@@ -1,0 +1,92 @@
+"""Unit tests for the RTS fixed-interval smoother."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.filters.models import constant_model, linear_model, sinusoidal_model
+from repro.filters.rts import OfflineKalmanSmoother
+
+
+def gappy_ramp_log(n=60, slope=2.0, keep_every=10):
+    """A DKF-style update log over a ramp: measurements only at every
+    ``keep_every``-th instant."""
+    log = []
+    for k in range(n):
+        if k % keep_every == 0:
+            log.append(np.array([slope * k]))
+        else:
+            log.append(None)
+    return log
+
+
+class TestOfflineSmoother:
+    def test_smoothing_interpolates_gaps_on_ramp(self):
+        """On a gappy ramp log, the smoother's in-gap values must lie on
+        the line (the filter alone lags until each update arrives)."""
+        slope = 2.0
+        log = gappy_ramp_log(n=60, slope=slope, keep_every=10)
+        smoother = OfflineKalmanSmoother(linear_model(dims=1, dt=1.0))
+        result = smoother.smooth(log)
+        truth = slope * np.arange(60)
+        smoothed_err = np.abs(result.smoothed_measurements[:, 0] - truth)
+        filtered_err = np.abs(result.filtered_measurements[:, 0] - truth)
+        # Settled region: smoothing strictly improves on filtering.
+        assert smoothed_err[20:].mean() < filtered_err[20:].mean()
+
+    def test_smoother_at_least_as_good_on_noisy_constant(self):
+        rng = np.random.default_rng(0)
+        truth = 10.0
+        log = [np.array([truth + rng.normal(0, 1.0)]) for _ in range(100)]
+        smoother = OfflineKalmanSmoother(constant_model(dims=1, q=1e-3, r=1.0))
+        result = smoother.smooth(log)
+        smoothed_rmse = np.sqrt(
+            np.mean((result.smoothed_measurements[:, 0] - truth) ** 2)
+        )
+        filtered_rmse = np.sqrt(
+            np.mean((result.filtered_measurements[:, 0] - truth) ** 2)
+        )
+        assert smoothed_rmse <= filtered_rmse + 1e-9
+
+    def test_last_instant_unchanged_by_smoothing(self):
+        """RTS cannot improve the final estimate -- no future exists."""
+        log = gappy_ramp_log(n=40)
+        result = OfflineKalmanSmoother(linear_model(dims=1, dt=1.0)).smooth(log)
+        assert np.allclose(
+            result.smoothed_states[-1], result.filtered_states[-1]
+        )
+
+    def test_covariances_shrink_or_hold(self):
+        """Smoothing never increases uncertainty."""
+        log = gappy_ramp_log(n=40)
+        model = linear_model(dims=1, dt=1.0)
+        result = OfflineKalmanSmoother(model).smooth(log)
+        # Compare traces: smoothed variance <= filtered prior variance.
+        for k in range(40):
+            assert (
+                np.trace(result.smoothed_covariances[k])
+                <= np.trace(np.eye(model.state_dim)) * 1e6
+            )
+            eigvals = np.linalg.eigvalsh(result.smoothed_covariances[k])
+            assert eigvals.min() >= -1e-9
+
+    def test_time_varying_model_supported(self):
+        omega = 2 * np.pi / 20
+        model = sinusoidal_model(omega=omega, theta=0.0)
+        log = [np.array([50 * np.sin(omega * k)]) for k in range(60)]
+        result = OfflineKalmanSmoother(model).smooth(log)
+        assert result.smoothed_measurements.shape == (60, 1)
+
+    def test_2d_shapes(self):
+        model = linear_model(dims=2, dt=0.5)
+        log = [np.array([float(k), float(-k)]) for k in range(20)]
+        result = OfflineKalmanSmoother(model).smooth(log)
+        assert result.smoothed_states.shape == (20, 4)
+        assert result.smoothed_measurements.shape == (20, 2)
+
+    def test_validation(self):
+        smoother = OfflineKalmanSmoother(constant_model(dims=1))
+        with pytest.raises(DimensionError):
+            smoother.smooth([])
+        with pytest.raises(DimensionError):
+            smoother.smooth([None, np.array([1.0])])

@@ -1,0 +1,112 @@
+"""Unit and property tests for the KF_c stream smoother."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.filters.smoothing import StreamSmoother, smooth_series
+
+finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+class TestStreamSmoother:
+    def test_first_sample_passes_through(self):
+        smoother = StreamSmoother(f=1e-7)
+        assert smoother.smooth(42.0) == 42.0
+
+    def test_primed_state(self):
+        smoother = StreamSmoother(f=1e-7)
+        assert not smoother.primed
+        smoother.smooth(1.0)
+        assert smoother.primed
+        assert smoother.value == 1.0
+
+    def test_value_before_data_raises(self):
+        with pytest.raises(ConfigurationError):
+            StreamSmoother(f=1e-7).value  # noqa: B018
+
+    def test_explicit_x0(self):
+        smoother = StreamSmoother(f=1e-7, x0=5.0)
+        assert smoother.primed
+        assert smoother.value == 5.0
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamSmoother(f=-1e-9)
+
+    def test_nonpositive_r_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamSmoother(f=1e-7, r=0.0)
+
+    def test_reset(self):
+        smoother = StreamSmoother(f=1e-7)
+        smoother.smooth(10.0)
+        smoother.reset()
+        assert not smoother.primed
+        assert smoother.smooth(99.0) == 99.0
+
+    def test_copy_stays_in_lockstep(self):
+        """A mirrored copy fed the same inputs produces identical output --
+        required when KF_c sits inside the DKF protocol."""
+        a = StreamSmoother(f=1e-5)
+        a.smooth(1.0)
+        b = a.copy()
+        for v in (2.0, 5.0, 3.0, 8.0):
+            assert a.smooth(v) == b.smooth(v)
+
+
+class TestSmoothingStrength:
+    def test_small_f_smooths_heavily(self):
+        rng = np.random.default_rng(0)
+        noisy = 100.0 + rng.normal(0, 10, size=500)
+        smoothed = smooth_series(noisy, f=1e-9)
+        assert smoothed[100:].std() < 0.2 * noisy.std()
+
+    def test_large_f_follows_raw_data(self):
+        rng = np.random.default_rng(0)
+        noisy = 100.0 + rng.normal(0, 10, size=500)
+        smoothed = smooth_series(noisy, f=1e3)
+        assert np.allclose(smoothed[1:], noisy[1:], atol=0.5)
+
+    def test_monotone_in_f(self):
+        """Output variance is non-decreasing in F (Fig. 12's mechanism)."""
+        rng = np.random.default_rng(1)
+        noisy = rng.normal(0, 5, size=400)
+        stds = [
+            smooth_series(noisy, f=f)[50:].std()
+            for f in (1e-9, 1e-6, 1e-3, 1e0, 1e3)
+        ]
+        assert all(a <= b + 1e-9 for a, b in zip(stds, stds[1:]))
+
+    def test_constant_input_is_fixed_point(self):
+        smoothed = smooth_series(np.full(100, 7.0), f=1e-3)
+        assert np.allclose(smoothed, 7.0)
+
+    def test_smoothed_stays_in_data_hull(self):
+        rng = np.random.default_rng(2)
+        data = rng.uniform(10, 20, size=300)
+        smoothed = smooth_series(data, f=1e-4)
+        assert smoothed.min() >= 10 - 1e-9
+        assert smoothed.max() <= 20 + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(finite, min_size=2, max_size=50),
+    f=st.floats(min_value=1e-9, max_value=1e3),
+)
+def test_smoother_output_bounded_by_input_hull(values, f):
+    """A convex filter can never leave the convex hull of its inputs."""
+    smoothed = smooth_series(np.array(values), f=f)
+    assert smoothed.min() >= min(values) - 1e-6
+    assert smoothed.max() <= max(values) + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=st.lists(finite, min_size=2, max_size=40))
+def test_smoother_deterministic(values):
+    a = smooth_series(np.array(values), f=1e-5)
+    b = smooth_series(np.array(values), f=1e-5)
+    assert np.array_equal(a, b)

@@ -1,0 +1,130 @@
+"""Unit tests for the unscented Kalman filter."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.filters.ekf import ExtendedKalmanFilter, coordinated_turn_model
+from repro.filters.kalman import KalmanFilter
+from repro.filters.ukf import UnscentedKalmanFilter
+from tests.filters.test_ekf import linear_as_nonlinear
+
+
+class TestLinearAgreement:
+    def test_ukf_matches_kf_on_linear_system(self):
+        """For linear systems the unscented transform is exact, so the UKF
+        must agree with the covariance-form KF to numerical precision."""
+        model = linear_as_nonlinear()
+        ukf = UnscentedKalmanFilter(model, x0=np.array([0.0, 1.0]))
+        kf = KalmanFilter(
+            phi=np.array([[1.0, 1.0], [0.0, 1.0]]),
+            h=np.array([[1.0, 0.0]]),
+            q=np.eye(2) * 0.05,
+            r=np.eye(1) * 0.05,
+            x0=np.array([0.0, 1.0]),
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            z = rng.normal(size=1)
+            ukf.predict()
+            kf.predict()
+            ukf.update(z)
+            kf.update(z)
+            assert np.allclose(ukf.x, kf.x, atol=1e-6)
+            assert np.allclose(ukf.p, kf.p, atol=1e-6)
+
+
+class TestNonlinearTracking:
+    def test_tracks_coordinated_turn(self):
+        dt = 0.5
+        model = coordinated_turn_model(dt=dt, q=1e-4, r=0.01)
+        x_true = np.array([10.0, 0.0, 2.0, math.pi / 2, 0.1])
+        ukf = UnscentedKalmanFilter(
+            model,
+            x0=np.array([10.0, 0.0, 1.0, math.pi / 2, 0.0]),
+            p0=np.eye(5),
+        )
+        rng = np.random.default_rng(1)
+        errors = []
+        for _ in range(200):
+            x_true = model.f(x_true, 0)
+            z = model.h(x_true, 0) + rng.normal(0, 0.1, size=2)
+            ukf.predict()
+            ukf.update(z)
+            errors.append(np.linalg.norm(ukf.x[:2] - x_true[:2]))
+        assert np.mean(errors[-50:]) < 0.5
+
+    def test_competitive_with_ekf_on_sharp_turn(self):
+        """On an aggressive turn the UKF should be at least in the EKF's
+        ballpark (both converge; the UKF needs no Jacobians)."""
+        dt = 1.0
+        model = coordinated_turn_model(dt=dt, q=1e-4, r=0.01)
+        x0 = np.array([0.0, 0.0, 3.0, 0.0, 0.0])
+        x_true = np.array([0.0, 0.0, 3.0, 0.0, 0.35])  # sharp turn
+        ukf = UnscentedKalmanFilter(model, x0=x0.copy(), p0=np.eye(5))
+        ekf = ExtendedKalmanFilter(model, x0=x0.copy(), p0=np.eye(5))
+        ukf_err = ekf_err = 0.0
+        for _ in range(150):
+            x_true = model.f(x_true, 0)
+            z = model.h(x_true, 0)
+            for filt in (ukf, ekf):
+                filt.predict()
+                filt.update(z)
+            ukf_err += float(np.linalg.norm(ukf.x[:2] - x_true[:2]))
+            ekf_err += float(np.linalg.norm(ekf.x[:2] - x_true[:2]))
+        assert ukf_err < 2.0 * ekf_err
+
+
+class TestInterface:
+    def test_step_api(self):
+        model = coordinated_turn_model()
+        ukf = UnscentedKalmanFilter(model, x0=np.zeros(5))
+        record = ukf.step(np.array([0.1, 0.2]))
+        assert record.updated
+        assert record.k == 0
+        coasted = ukf.step()
+        assert not coasted.updated
+
+    def test_covariance_stays_symmetric_psd(self):
+        model = coordinated_turn_model(q=1e-3, r=0.1)
+        ukf = UnscentedKalmanFilter(
+            model, x0=np.array([0.0, 0.0, 1.0, 0.0, 0.0])
+        )
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            ukf.predict()
+            ukf.update(rng.normal(0, 1, size=2))
+            assert np.allclose(ukf.p, ukf.p.T)
+            assert np.linalg.eigvalsh(ukf.p).min() > -1e-8
+
+    def test_validation(self):
+        model = coordinated_turn_model()
+        with pytest.raises(DimensionError):
+            UnscentedKalmanFilter(model, x0=np.zeros(3))
+        ukf = UnscentedKalmanFilter(model, x0=np.zeros(5))
+        ukf.predict()
+        with pytest.raises(DimensionError):
+            ukf.update(np.zeros(3))
+
+    def test_copy_and_digest(self):
+        model = coordinated_turn_model()
+        ukf = UnscentedKalmanFilter(model, x0=np.zeros(5))
+        clone = ukf.copy()
+        ukf.predict()
+        assert clone.k == 0
+        assert ukf.state_digest()[0] == 1
+
+    def test_deterministic(self):
+        """Sigma-point arithmetic is deterministic -- mirrorable like the
+        linear filter."""
+        model = coordinated_turn_model()
+        a = UnscentedKalmanFilter(model, x0=np.zeros(5))
+        b = UnscentedKalmanFilter(model, x0=np.zeros(5))
+        for v in ([1.0, 2.0], [2.0, 2.5], [3.0, 2.0]):
+            a.predict()
+            a.update(np.array(v))
+            b.predict()
+            b.update(np.array(v))
+        assert a.state_digest() == b.state_digest()

@@ -1,0 +1,103 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.ascii_plot import render_series, render_sweep_table, sparkline
+from repro.metrics.compare import SweepTable
+from repro.metrics.evaluation import EvaluationResult
+
+
+class TestSparkline:
+    def test_length_matches_width(self):
+        line = sparkline(np.sin(np.linspace(0, 10, 500)), width=40)
+        assert len(line) == 40
+
+    def test_short_series_uncompressed(self):
+        line = sparkline(np.array([1.0, 2.0, 3.0]), width=40)
+        assert len(line) == 3
+
+    def test_constant_series_flat(self):
+        line = sparkline(np.full(100, 5.0), width=20)
+        assert set(line) == {" "}
+
+    def test_extremes_hit_extreme_glyphs(self):
+        line = sparkline(np.array([0.0, 1.0]))
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_empty_series(self):
+        assert sparkline(np.array([])) == ""
+
+
+class TestRenderSeries:
+    def test_contains_marks_and_legend(self):
+        xs = np.arange(1.0, 6.0)
+        chart = render_series(
+            {"alpha": (xs, xs), "beta": (xs, xs[::-1])},
+            x_label="delta",
+            y_label="pct",
+        )
+        assert "o=alpha" in chart
+        assert "x=beta" in chart
+        assert "delta" in chart
+        assert "pct" in chart
+
+    def test_monotone_series_renders_monotone(self):
+        xs = np.arange(1.0, 11.0)
+        chart = render_series({"up": (xs, xs)}, width=20, height=10)
+        rows = [line.split("|", 1)[1] for line in chart.splitlines() if "|" in line]
+        cols = [row.index("o") for row in rows if "o" in row]
+        # Higher rows (earlier lines) hold larger x positions.
+        assert cols == sorted(cols, reverse=True)
+
+    def test_log_x_axis_labels(self):
+        xs = np.array([1e-9, 1e-5, 1e-1])
+        chart = render_series(
+            {"s": (xs, np.array([1.0, 2.0, 3.0]))}, log_x=True, x_label="F"
+        )
+        assert "1e-09" in chart
+        assert "0.1" in chart
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            render_series(
+                {"s": (np.array([0.0, 1.0]), np.array([1.0, 2.0]))}, log_x=True
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_series({})
+
+    def test_too_many_series_rejected(self):
+        xs = np.array([1.0, 2.0])
+        series = {f"s{i}": (xs, xs) for i in range(9)}
+        with pytest.raises(ConfigurationError):
+            render_series(series)
+
+
+class TestRenderSweepTable:
+    def make_table(self):
+        table = SweepTable(
+            parameter="delta", values=[], metric="update_percentage"
+        )
+        for delta, (a, b) in [(1.0, (90, 30)), (10.0, (50, 10))]:
+            table.add_row(
+                delta,
+                [
+                    EvaluationResult(
+                        scheme=name, stream="s", readings=100, updates=v,
+                        update_fraction=v / 100, average_error=0.0,
+                        max_error=0.0, average_raw_error=0.0, payload_floats=0,
+                    )
+                    for name, v in [("caching", a), ("dkf", b)]
+                ],
+            )
+        return table
+
+    def test_renders_all_schemes(self):
+        chart = render_sweep_table(self.make_table())
+        assert "o=caching" in chart
+        assert "x=dkf" in chart
+        assert "%upd" in chart

@@ -1,0 +1,167 @@
+"""Unit tests for the evaluation metrics and trace collectors."""
+
+import numpy as np
+
+from repro.baselines.caching import CachedValueScheme
+from repro.dkf.config import DKFConfig
+from repro.dkf.session import DKFSession
+from repro.filters.models import constant_model, linear_model
+from repro.metrics.collectors import collect_trace
+from repro.metrics.compare import SweepTable, format_results, format_table
+from repro.metrics.evaluation import error_series, evaluate_scheme
+from repro.streams.base import stream_from_values
+
+
+def ramp(n=100, slope=2.0):
+    return stream_from_values(np.arange(n, dtype=float) * slope, name="ramp")
+
+
+class TestEvaluateScheme:
+    def test_update_percentage_definition(self):
+        """Paper Section 5: percentage = sent / readings."""
+        stream = ramp(100)
+        result = evaluate_scheme(CachedValueScheme.from_precision(3.0), stream)
+        assert result.readings == 100
+        assert result.update_fraction == result.updates / 100
+        assert result.update_percentage == 100 * result.update_fraction
+
+    def test_average_error_definition(self):
+        """Paper Section 5: average of per-step |source - server| summed
+        over components."""
+        stream = stream_from_values(np.array([0.0, 1.0, 2.0]), name="s")
+        scheme = CachedValueScheme.from_precision(10.0)
+        result = evaluate_scheme(scheme, stream)
+        # One update (priming at 0); errors are 0, 1, 2 -> mean 1.0.
+        assert result.updates == 1
+        assert np.isclose(result.average_error, 1.0)
+        assert np.isclose(result.max_error, 2.0)
+
+    def test_2d_error_sums_components(self):
+        """Section 5.1: total error = |dx| + |dy|."""
+        values = np.array([[0.0, 0.0], [1.0, 2.0]])
+        stream = stream_from_values(values, name="2d")
+        scheme = CachedValueScheme.from_precision(10.0, dims=2)
+        result = evaluate_scheme(scheme, stream)
+        assert np.isclose(result.max_error, 3.0)  # |1| + |2|
+
+    def test_raw_vs_smoothed_error(self, http_traffic_small):
+        cfg = DKFConfig(
+            model=constant_model(dims=1), delta=5.0, smoothing_f=1e-7
+        )
+        result = evaluate_scheme(DKFSession(cfg), http_traffic_small)
+        # Smoothed error obeys the bound; raw error is much larger because
+        # the answers track the smoothed stream.
+        assert result.average_error <= 5.0
+        assert result.average_raw_error > result.average_error
+
+    def test_suppression_percentage(self):
+        stream = ramp(100)
+        result = evaluate_scheme(CachedValueScheme.from_precision(3.0), stream)
+        assert np.isclose(
+            result.suppression_percentage, 100 - result.update_percentage
+        )
+
+    def test_reset_allows_reuse(self):
+        scheme = CachedValueScheme.from_precision(3.0)
+        first = evaluate_scheme(scheme, ramp(50))
+        second = evaluate_scheme(scheme, ramp(50))
+        assert first.updates == second.updates
+
+    def test_as_dict_round_trip(self):
+        result = evaluate_scheme(CachedValueScheme.from_precision(3.0), ramp(20))
+        d = result.as_dict()
+        assert d["scheme"] == result.scheme
+        assert d["updates"] == result.updates
+
+    def test_error_series_length(self):
+        series = error_series(CachedValueScheme.from_precision(3.0), ramp(42))
+        assert series.shape == (42,)
+
+
+class TestRunTrace:
+    def test_update_instants(self):
+        trace = collect_trace(CachedValueScheme.from_precision(0.5), ramp(10))
+        # Slope 2 > delta 0.5: every reading updates.
+        assert np.array_equal(trace.update_instants, np.arange(10))
+
+    def test_gaps_on_perfect_model(self):
+        cfg = DKFConfig(model=linear_model(dims=1, dt=1.0), delta=1.0)
+        trace = collect_trace(DKFSession(cfg), ramp(100))
+        # Slope acquired within a handful of updates, all near the start;
+        # the rest of the ramp is silent (the open-ended tail is not part
+        # of inter_update_gaps, so check the last update instant instead).
+        assert len(trace.update_instants) <= 10
+        assert trace.update_instants[-1] < 50
+
+    def test_value_series_shapes(self):
+        trace = collect_trace(CachedValueScheme.from_precision(1.0), ramp(30))
+        assert trace.server_values().shape == (30, 1)
+        assert trace.source_values().shape == (30, 1)
+        assert trace.raw_values().shape == (30, 1)
+
+    def test_summary_keys(self):
+        trace = collect_trace(CachedValueScheme.from_precision(1.0), ramp(30))
+        summary = trace.summary()
+        assert summary["steps"] == 30
+        assert 0 <= summary["update_percentage"] <= 100
+
+
+class TestSweepTable:
+    def make_results(self, names, value):
+        from repro.metrics.evaluation import EvaluationResult
+
+        return [
+            EvaluationResult(
+                scheme=n, stream="s", readings=10, updates=int(value),
+                update_fraction=value / 10, average_error=0.0, max_error=0.0,
+                average_raw_error=0.0, payload_floats=0,
+            )
+            for n in names
+        ]
+
+    def test_add_rows_and_column_access(self):
+        table = SweepTable(parameter="delta", values=[], metric="updates")
+        table.add_row(1.0, self.make_results(["a", "b"], 5))
+        table.add_row(2.0, self.make_results(["a", "b"], 3))
+        assert table.column("a") == [5, 3]
+        assert table.row(2.0) == {"a": 3, "b": 3}
+
+    def test_column_order_enforced(self):
+        import pytest
+
+        table = SweepTable(parameter="delta", values=[], metric="updates")
+        table.add_row(1.0, self.make_results(["a", "b"], 5))
+        with pytest.raises(ValueError):
+            table.add_row(2.0, self.make_results(["b", "a"], 3))
+
+    def test_format_table_renders(self):
+        table = SweepTable(parameter="delta", values=[], metric="updates")
+        table.add_row(1.0, self.make_results(["a"], 5))
+        text = format_table(table)
+        assert "delta" in text and "a" in text and "5" in text
+
+    def test_format_results_renders(self):
+        text = format_results(self.make_results(["scheme-x"], 5))
+        assert "scheme-x" in text
+
+    def test_format_empty_table_headers_only(self):
+        table = SweepTable(parameter="delta", values=[], metric="updates")
+        table.columns = ["a"]
+        text = format_table(table)
+        assert "delta" in text and "a" in text
+
+    def test_format_precision_applied(self):
+        table = SweepTable(parameter="delta", values=[], metric="update_fraction")
+        table.add_row(1.0, self.make_results(["a"], 3))
+        text = format_table(table, precision=4)
+        assert "0.3000" in text
+
+    def test_row_for_unknown_value_raises(self):
+        import pytest
+
+        table = SweepTable(parameter="delta", values=[], metric="updates")
+        table.add_row(1.0, self.make_results(["a"], 3))
+        with pytest.raises(ValueError):
+            table.row(99.0)
+        with pytest.raises(ValueError):
+            table.column("ghost")

@@ -1,0 +1,136 @@
+"""Unit tests for stream records, materialized streams and cursors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, StreamExhaustedError
+from repro.streams.base import (
+    MaterializedStream,
+    StreamCursor,
+    StreamRecord,
+    stream_from_values,
+)
+
+
+class TestStreamRecord:
+    def test_scalar_value_normalised_to_1d(self):
+        record = StreamRecord(k=0, timestamp=0.0, value=3.0)
+        assert record.value.shape == (1,)
+        assert record.dim == 1
+        assert record.scalar() == 3.0
+
+    def test_vector_value(self):
+        record = StreamRecord(k=1, timestamp=0.1, value=np.array([1.0, 2.0]))
+        assert record.dim == 2
+
+    def test_scalar_accessor_rejects_vectors(self):
+        record = StreamRecord(k=0, timestamp=0.0, value=np.array([1.0, 2.0]))
+        with pytest.raises(DimensionError):
+            record.scalar()
+
+    def test_rejects_2d_value(self):
+        with pytest.raises(DimensionError):
+            StreamRecord(k=0, timestamp=0.0, value=np.zeros((2, 2)))
+
+    def test_frozen(self):
+        record = StreamRecord(k=0, timestamp=0.0, value=1.0)
+        with pytest.raises(AttributeError):
+            record.k = 5
+
+
+class TestMaterializedStream:
+    def make(self, n=10, dim=2):
+        return stream_from_values(
+            np.arange(n * dim, dtype=float).reshape(n, dim),
+            name="test",
+            sampling_interval=0.5,
+        )
+
+    def test_length_and_dim(self):
+        stream = self.make()
+        assert len(stream) == 10
+        assert stream.dim == 2
+
+    def test_iteration_order(self):
+        stream = self.make(n=5, dim=1)
+        ks = [r.k for r in stream]
+        assert ks == [0, 1, 2, 3, 4]
+
+    def test_timestamps_use_interval(self):
+        stream = self.make(n=4)
+        assert np.allclose(stream.timestamps(), [0.0, 0.5, 1.0, 1.5])
+
+    def test_values_shape(self):
+        assert self.make().values().shape == (10, 2)
+
+    def test_component_extraction(self):
+        stream = self.make(n=3, dim=2)
+        assert np.allclose(stream.component(1), [1.0, 3.0, 5.0])
+
+    def test_component_out_of_range(self):
+        with pytest.raises(DimensionError):
+            self.make().component(5)
+
+    def test_slicing_returns_stream(self):
+        head = self.make()[:3]
+        assert isinstance(head, MaterializedStream)
+        assert len(head) == 3
+        assert head.name == "test"
+
+    def test_head(self):
+        assert len(self.make().head(4)) == 4
+
+    def test_indexing_returns_record(self):
+        assert self.make()[2].k == 2
+
+    def test_mixed_dims_rejected(self):
+        records = [
+            StreamRecord(k=0, timestamp=0.0, value=1.0),
+            StreamRecord(k=1, timestamp=1.0, value=np.array([1.0, 2.0])),
+        ]
+        with pytest.raises(DimensionError):
+            MaterializedStream(records)
+
+    def test_empty_stream(self):
+        stream = MaterializedStream([])
+        assert len(stream) == 0
+        assert stream.dim == 0
+        assert stream.summary()["length"] == 0
+
+    def test_summary_statistics(self):
+        stream = stream_from_values(np.array([1.0, 3.0]), name="s")
+        summary = stream.summary()
+        assert summary["mean"] == 2.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+
+class TestStreamFromValues:
+    def test_1d_promoted_to_column(self):
+        stream = stream_from_values(np.arange(5, dtype=float))
+        assert stream.dim == 1
+
+    def test_rejects_3d(self):
+        with pytest.raises(DimensionError):
+            stream_from_values(np.zeros((2, 2, 2)))
+
+    def test_start_time(self):
+        stream = stream_from_values(
+            np.arange(3, dtype=float), start_time=100.0, sampling_interval=2.0
+        )
+        assert np.allclose(stream.timestamps(), [100.0, 102.0, 104.0])
+
+
+class TestStreamCursor:
+    def test_sequential_access(self):
+        cursor = StreamCursor(stream_from_values(np.arange(3, dtype=float)))
+        assert cursor.next().k == 0
+        assert cursor.next().k == 1
+        assert not cursor.exhausted
+
+    def test_exhaustion_raises_and_flags(self):
+        cursor = StreamCursor(stream_from_values(np.arange(1, dtype=float)))
+        cursor.next()
+        with pytest.raises(StreamExhaustedError):
+            cursor.next()
+        assert cursor.exhausted

@@ -1,0 +1,102 @@
+"""Unit tests for noise and fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams.base import stream_from_values
+from repro.streams.noise import (
+    add_gaussian_noise,
+    add_spikes,
+    drop_records,
+    freeze_sensor,
+)
+
+
+@pytest.fixture
+def clean():
+    return stream_from_values(np.zeros(500), name="clean")
+
+
+class TestGaussianNoise:
+    def test_noise_scale(self, clean):
+        noisy = add_gaussian_noise(clean, std=2.0, seed=0)
+        assert np.isclose(noisy.component(0).std(), 2.0, rtol=0.15)
+
+    def test_zero_std_is_identity(self, clean):
+        noisy = add_gaussian_noise(clean, std=0.0, seed=0)
+        assert np.array_equal(noisy.values(), clean.values())
+
+    def test_name_annotated(self, clean):
+        assert "noise" in add_gaussian_noise(clean, 1.0, seed=0).name
+
+    def test_reproducible(self, clean):
+        a = add_gaussian_noise(clean, 1.0, seed=42)
+        b = add_gaussian_noise(clean, 1.0, seed=42)
+        assert np.array_equal(a.values(), b.values())
+
+    def test_negative_std_rejected(self, clean):
+        with pytest.raises(ConfigurationError):
+            add_gaussian_noise(clean, std=-1.0)
+
+
+class TestSpikes:
+    def test_spike_rate(self, clean):
+        spiked = add_spikes(clean, rate=0.1, magnitude=100.0, seed=1)
+        hit = np.sum(np.abs(spiked.component(0)) > 50.0)
+        assert 20 <= hit <= 90  # ~50 expected of 500
+
+    def test_magnitude(self, clean):
+        spiked = add_spikes(clean, rate=1.0, magnitude=7.0, seed=1)
+        assert np.allclose(np.abs(spiked.component(0)), 7.0)
+
+    def test_zero_rate_is_identity(self, clean):
+        spiked = add_spikes(clean, rate=0.0, magnitude=100.0, seed=1)
+        assert np.array_equal(spiked.values(), clean.values())
+
+    def test_rate_validated(self, clean):
+        with pytest.raises(ConfigurationError):
+            add_spikes(clean, rate=1.5, magnitude=1.0)
+
+
+class TestDropRecords:
+    def test_drop_rate(self, clean):
+        dropped = drop_records(clean, rate=0.2, seed=3)
+        assert 330 <= len(dropped) <= 460
+
+    def test_indices_preserved(self, clean):
+        dropped = drop_records(clean, rate=0.5, seed=3)
+        ks = [r.k for r in dropped]
+        assert ks == sorted(ks)
+        assert len(set(ks)) == len(ks)
+
+    def test_zero_rate_keeps_all(self, clean):
+        assert len(drop_records(clean, rate=0.0, seed=0)) == 500
+
+    def test_rate_validated(self, clean):
+        with pytest.raises(ConfigurationError):
+            drop_records(clean, rate=1.0)
+
+
+class TestFreezeSensor:
+    def test_frozen_window_repeats_value(self):
+        stream = stream_from_values(np.arange(20, dtype=float))
+        frozen = freeze_sensor(stream, start=5, length=10)
+        values = frozen.component(0)
+        assert np.allclose(values[5:15], 5.0)
+        assert np.allclose(values[15:], np.arange(15, 20))
+
+    def test_freeze_past_end_is_clipped(self):
+        stream = stream_from_values(np.arange(10, dtype=float))
+        frozen = freeze_sensor(stream, start=8, length=100)
+        assert np.allclose(frozen.component(0)[8:], 8.0)
+
+    def test_zero_length_is_identity(self):
+        stream = stream_from_values(np.arange(10, dtype=float))
+        frozen = freeze_sensor(stream, start=3, length=0)
+        assert np.array_equal(frozen.values(), stream.values())
+
+    def test_validation(self):
+        stream = stream_from_values(np.arange(5, dtype=float))
+        with pytest.raises(ConfigurationError):
+            freeze_sensor(stream, start=-1, length=2)

@@ -1,0 +1,102 @@
+"""Unit tests for trace replay, subsampling and CSV round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams.base import stream_from_values
+from repro.streams.replay import (
+    StreamReplayer,
+    load_stream_csv,
+    save_stream_csv,
+    subsample,
+)
+
+
+@pytest.fixture
+def stream():
+    return stream_from_values(
+        np.arange(20, dtype=float), name="seq", sampling_interval=2.0
+    )
+
+
+class TestSubsample:
+    def test_stride(self, stream):
+        sampled = subsample(stream, 5)
+        assert len(sampled) == 4
+        assert np.allclose(sampled.component(0), [0.0, 5.0, 10.0, 15.0])
+
+    def test_reindexes_densely(self, stream):
+        sampled = subsample(stream, 5)
+        assert [r.k for r in sampled] == [0, 1, 2, 3]
+
+    def test_interval_scales(self, stream):
+        assert subsample(stream, 4).sampling_interval == 8.0
+
+    def test_stride_one_is_identity(self, stream):
+        assert np.array_equal(subsample(stream, 1).values(), stream.values())
+
+    def test_validation(self, stream):
+        with pytest.raises(ConfigurationError):
+            subsample(stream, 0)
+
+
+class TestStreamReplayer:
+    def test_offset_and_limit(self, stream):
+        replayed = list(StreamReplayer(stream, offset=5, limit=3))
+        assert [r.k for r in replayed] == [5, 6, 7]
+
+    def test_stride(self, stream):
+        replayed = list(StreamReplayer(stream, stride=7))
+        assert [r.k for r in replayed] == [0, 7, 14]
+
+    def test_materialize(self, stream):
+        mat = StreamReplayer(stream, offset=2, limit=4).materialize()
+        assert len(mat) == 4
+
+    def test_unlimited(self, stream):
+        assert len(list(StreamReplayer(stream))) == 20
+
+    def test_validation(self, stream):
+        with pytest.raises(ConfigurationError):
+            StreamReplayer(stream, offset=-1)
+        with pytest.raises(ConfigurationError):
+            StreamReplayer(stream, limit=-1)
+        with pytest.raises(ConfigurationError):
+            StreamReplayer(stream, stride=0)
+
+
+class TestCsvRoundTrip:
+    def test_scalar_round_trip(self, stream, tmp_path):
+        path = tmp_path / "s.csv"
+        save_stream_csv(stream, path)
+        loaded = load_stream_csv(path, sampling_interval=2.0)
+        assert np.array_equal(loaded.values(), stream.values())
+        assert np.array_equal(loaded.timestamps(), stream.timestamps())
+
+    def test_vector_round_trip(self, tmp_path):
+        stream = stream_from_values(np.arange(12, dtype=float).reshape(6, 2))
+        path = tmp_path / "v.csv"
+        save_stream_csv(stream, path)
+        loaded = load_stream_csv(path)
+        assert loaded.dim == 2
+        assert np.array_equal(loaded.values(), stream.values())
+
+    def test_exact_float_preservation(self, tmp_path):
+        values = np.array([1.0 / 3.0, np.pi, 1e-300])
+        stream = stream_from_values(values)
+        path = tmp_path / "f.csv"
+        save_stream_csv(stream, path)
+        loaded = load_stream_csv(path)
+        assert np.array_equal(loaded.component(0), values)
+
+    def test_default_name_is_stem(self, stream, tmp_path):
+        path = tmp_path / "mystream.csv"
+        save_stream_csv(stream, path)
+        assert load_stream_csv(path).name == "mystream"
+
+    def test_headers_only_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("k,timestamp\n")
+        with pytest.raises(ConfigurationError):
+            load_stream_csv(path)

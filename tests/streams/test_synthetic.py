@@ -1,0 +1,136 @@
+"""Unit tests for the synthetic stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams.synthetic import (
+    bursty_count_series,
+    piecewise_linear_trajectory,
+    random_walk_series,
+    sinusoidal_series,
+)
+
+
+class TestPiecewiseLinearTrajectory:
+    def test_length_and_dim(self):
+        stream = piecewise_linear_trajectory(n=500, seed=1)
+        assert len(stream) == 500
+        assert stream.dim == 2
+
+    def test_deterministic_with_seed(self):
+        a = piecewise_linear_trajectory(n=200, seed=7)
+        b = piecewise_linear_trajectory(n=200, seed=7)
+        assert np.array_equal(a.values(), b.values())
+
+    def test_different_seeds_differ(self):
+        a = piecewise_linear_trajectory(n=200, seed=1)
+        b = piecewise_linear_trajectory(n=200, seed=2)
+        assert not np.array_equal(a.values(), b.values())
+
+    def test_speed_cap_respected(self):
+        dt = 0.1
+        stream = piecewise_linear_trajectory(n=1000, max_speed=100.0, dt=dt, seed=3)
+        speeds = np.linalg.norm(np.diff(stream.values(), axis=0), axis=1) / dt
+        assert speeds.max() <= 100.0 + 1e-9
+
+    def test_is_piecewise_linear(self):
+        """Within segments the second difference vanishes."""
+        stream = piecewise_linear_trajectory(
+            n=500, seed=5, min_segment=50, max_segment=60
+        )
+        accel = np.diff(stream.values(), axis=0, n=2)
+        zero_rows = np.sum(np.linalg.norm(accel, axis=1) < 1e-9)
+        # Manoeuvres happen at most every min_segment samples.
+        assert zero_rows > 0.8 * len(accel)
+
+    def test_start_position(self):
+        stream = piecewise_linear_trajectory(n=10, seed=1, start=(100.0, 200.0))
+        first_step = stream.values()[0] - np.array([100.0, 200.0])
+        assert np.linalg.norm(first_step) <= 500.0 * 0.1 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            piecewise_linear_trajectory(n=0)
+        with pytest.raises(ConfigurationError):
+            piecewise_linear_trajectory(n=10, max_speed=0.0)
+        with pytest.raises(ConfigurationError):
+            piecewise_linear_trajectory(n=10, min_segment=5, max_segment=2)
+
+
+class TestSinusoidalSeries:
+    def test_pure_sinusoid(self):
+        stream = sinusoidal_series(n=100, period=20, amplitude=5.0, mean=10.0)
+        values = stream.component(0)
+        assert np.isclose(values.mean(), 10.0, atol=0.5)
+        assert np.isclose(values.max(), 15.0, atol=0.1)
+
+    def test_period_detected_in_fft(self):
+        stream = sinusoidal_series(n=400, period=25, amplitude=1.0)
+        values = stream.component(0) - stream.component(0).mean()
+        spectrum = np.abs(np.fft.rfft(values))
+        peak_freq = np.fft.rfftfreq(400)[np.argmax(spectrum[1:]) + 1]
+        assert np.isclose(1.0 / peak_freq, 25.0, rtol=0.05)
+
+    def test_drift(self):
+        stream = sinusoidal_series(n=100, period=10, amplitude=0.0, drift_per_step=1.0)
+        assert np.allclose(np.diff(stream.component(0)), 1.0)
+
+    def test_noise_reproducible(self):
+        a = sinusoidal_series(n=50, period=10, noise_std=1.0, seed=4)
+        b = sinusoidal_series(n=50, period=10, noise_std=1.0, seed=4)
+        assert np.array_equal(a.values(), b.values())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sinusoidal_series(n=0, period=10)
+        with pytest.raises(ConfigurationError):
+            sinusoidal_series(n=10, period=0)
+
+
+class TestRandomWalk:
+    def test_zero_std_is_constant(self):
+        stream = random_walk_series(n=50, step_std=0.0, start=5.0)
+        assert np.allclose(stream.component(0), 5.0)
+
+    def test_steps_have_requested_scale(self):
+        stream = random_walk_series(n=5000, step_std=2.0, seed=0)
+        steps = np.diff(stream.component(0))
+        assert np.isclose(steps.std(), 2.0, rtol=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_walk_series(n=0)
+        with pytest.raises(ConfigurationError):
+            random_walk_series(n=5, step_std=-1.0)
+
+
+class TestBurstyCounts:
+    def test_non_negative_counts(self):
+        stream = bursty_count_series(n=1000, seed=2)
+        assert stream.component(0).min() >= 0
+
+    def test_bursts_raise_the_tail(self):
+        """With bursts enabled the distribution grows a heavy right tail."""
+        quiet = bursty_count_series(
+            n=2000, burst_probability=0.0, spike_probability=0.0, seed=1
+        )
+        bursty = bursty_count_series(
+            n=2000, burst_probability=0.05, spike_probability=0.01, seed=1
+        )
+        q99_quiet = np.percentile(quiet.component(0), 99)
+        q99_bursty = np.percentile(bursty.component(0), 99)
+        assert q99_bursty > 1.5 * q99_quiet
+
+    def test_reproducible(self):
+        a = bursty_count_series(n=300, seed=9)
+        b = bursty_count_series(n=300, seed=9)
+        assert np.array_equal(a.values(), b.values())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bursty_count_series(n=0)
+        with pytest.raises(ConfigurationError):
+            bursty_count_series(n=10, base_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            bursty_count_series(n=10, burst_min=5, burst_max=2)

@@ -1,0 +1,210 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.streams.base import stream_from_values
+from repro.streams.replay import save_stream_csv
+
+
+class TestParser:
+    def test_experiment_commands_exist(self):
+        parser = build_parser()
+        for name in ("example1", "example2", "example3", "table1"):
+            args = parser.parse_args([name])
+            assert args.command == name
+
+    def test_compare_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare"])
+
+    def test_compare_dataset_and_csv_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compare", "--dataset", "power-load", "--csv", "x.csv"]
+            )
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(
+            ["compare", "--dataset", "moving-object"]
+        )
+        assert args.delta == 3.0
+        assert args.model == "all"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCompareCommand:
+    def test_builtin_dataset(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "moving-object",
+                "--delta",
+                "3",
+                "--limit",
+                "300",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "caching" in out
+        assert "dkf-linear" in out
+        # 2-D stream: sinusoidal is skipped automatically under "all".
+        assert "dkf-sinusoidal" not in out
+
+    def test_scalar_dataset_includes_sinusoidal(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "power-load",
+                "--delta",
+                "50",
+                "--limit",
+                "400",
+            ]
+        )
+        assert code == 0
+        assert "dkf-sinusoidal" in capsys.readouterr().out
+
+    def test_csv_trace(self, tmp_path, capsys):
+        stream = stream_from_values(
+            np.arange(100, dtype=float) * 2.0, name="ramp"
+        )
+        path = tmp_path / "trace.csv"
+        save_stream_csv(stream, path)
+        code = main(
+            ["compare", "--csv", str(path), "--model", "linear", "--delta", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dkf-linear" in out
+
+    def test_single_model_selection(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "http-traffic",
+                "--model",
+                "constant",
+                "--limit",
+                "300",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dkf-constant" in out
+        assert "dkf-linear" not in out
+
+    def test_smoothing_flag(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "http-traffic",
+                "--model",
+                "linear",
+                "--smoothing-f",
+                "1e-7",
+                "--delta",
+                "10",
+                "--limit",
+                "300",
+            ]
+        )
+        assert code == 0
+
+    def test_inapplicable_model_fails_cleanly(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "moving-object",
+                "--model",
+                "sinusoidal",
+                "--limit",
+                "100",
+            ]
+        )
+        assert code == 1
+        assert "not applicable" in capsys.readouterr().err
+
+    def test_missing_csv_fails_cleanly(self, capsys):
+        code = main(["compare", "--csv", "/nonexistent/trace.csv"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestModuleEntrypoints:
+    def test_python_dash_m_repro(self):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "compare",
+                "--dataset",
+                "moving-object",
+                "--model",
+                "constant",
+                "--limit",
+                "100",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "dkf-constant" in result.stdout
+
+    def test_export_main_prints_files(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments import export
+
+        original = export.export_all
+        monkeypatch.setattr(
+            export,
+            "export_all",
+            lambda out_dir: original(
+                out_dir,
+                sizes={
+                    "moving-object": 150,
+                    "power-load": 150,
+                    "http-traffic": 150,
+                },
+            ),
+        )
+        code = export.main([str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig04_updates.csv" in out
+
+
+class TestExperimentCommands:
+    def test_table1_runs(self, capsys, monkeypatch):
+        # Shrink the matrix for test speed.
+        from repro.experiments import table1 as t1
+
+        original = t1.matrix
+        monkeypatch.setattr(
+            t1,
+            "matrix",
+            lambda sizes=None: original(
+                sizes={
+                    "moving-object": 200,
+                    "power-load": 200,
+                    "http-traffic": 200,
+                }
+            ),
+        )
+        code = main(["table1"])
+        assert code == 0
+        assert "caching" in capsys.readouterr().out

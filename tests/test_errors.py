@@ -1,0 +1,53 @@
+"""Sanity tests for the exception hierarchy: catchability contracts."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        leaves = [
+            errors.DimensionError,
+            errors.NotPositiveDefiniteError,
+            errors.DivergenceError,
+            errors.MirrorDesyncError,
+            errors.StaleSessionError,
+            errors.StreamExhaustedError,
+            errors.UnknownSourceError,
+            errors.DuplicateSourceError,
+            errors.ConfigurationError,
+        ]
+        for leaf in leaves:
+            assert issubclass(leaf, errors.ReproError), leaf
+
+    def test_filter_family(self):
+        for leaf in (
+            errors.DimensionError,
+            errors.NotPositiveDefiniteError,
+            errors.DivergenceError,
+        ):
+            assert issubclass(leaf, errors.FilterError)
+
+    def test_protocol_family(self):
+        assert issubclass(errors.MirrorDesyncError, errors.ProtocolError)
+        assert issubclass(errors.StaleSessionError, errors.ProtocolError)
+
+    def test_query_family(self):
+        assert issubclass(errors.UnknownSourceError, errors.QueryError)
+        assert issubclass(errors.DuplicateSourceError, errors.QueryError)
+
+    def test_stream_family(self):
+        assert issubclass(errors.StreamExhaustedError, errors.StreamError)
+
+    def test_base_catch_at_api_boundary(self):
+        """A caller catching ReproError sees library failures but not
+        foreign ones."""
+        with pytest.raises(errors.ReproError):
+            raise errors.MirrorDesyncError("boom")
+        with pytest.raises(ValueError):
+            # Foreign errors pass through untouched.
+            try:
+                raise ValueError("not ours")
+            except errors.ReproError:  # pragma: no cover
+                pytest.fail("ValueError must not be caught as ReproError")

@@ -1,0 +1,41 @@
+"""Smoke tests: every shipped example runs to completion.
+
+The examples are documentation that executes; breaking one silently would
+break the README's promises.  Each is run in-process via runpy with its
+dataset sizes left at the defaults (they are all laptop-fast).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_all_expected_examples_present():
+    assert {
+        "quickstart.py",
+        "vehicle_tracking.py",
+        "power_grid_monitoring.py",
+        "network_monitoring.py",
+        "multi_source_dsms.py",
+        "adaptive_sampling.py",
+    } <= set(EXAMPLES)
+
+
+def test_quickstart_reports_the_headline_saving(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "bandwidth saved" in out

@@ -1,0 +1,158 @@
+"""Cross-module integration tests: the pieces composed the way a
+deployment would compose them."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.caching import CachedValueScheme
+from repro.dkf.config import DKFConfig
+from repro.dkf.session import DKFSession
+from repro.dsms.engine import StreamEngine
+from repro.dsms.query import ContinuousQuery
+from repro.dsms.synopsis import KalmanSynopsis
+from repro.filters.models import constant_model, linear_model
+from repro.metrics.evaluation import evaluate_scheme
+from repro.streams.noise import add_spikes, drop_records, freeze_sensor
+from repro.streams.base import stream_from_values
+
+
+class TestEngineSessionEquivalence:
+    def test_single_source_engine_matches_standalone_session(
+        self, trajectory_small
+    ):
+        """The engine is plumbing: a one-source run must transmit exactly
+        the updates the standalone session transmits."""
+        config = DKFConfig(model=linear_model(dims=2, dt=0.1), delta=3.0)
+
+        session = DKFSession(config)
+        session.run(trajectory_small)
+
+        engine = StreamEngine()
+        engine.add_source(
+            "s0", linear_model(dims=2, dt=0.1), trajectory_small
+        )
+        engine.submit_query(ContinuousQuery("s0", delta=3.0, query_id="q"))
+        engine.run()
+
+        assert (
+            engine.server.stats("s0")["updates_received"]
+            == session.updates_sent
+        )
+        # Final answers agree bit-for-bit.
+        assert np.allclose(
+            engine.server.value("s0"), session.server.value("s0")
+        )
+
+    def test_synopsis_matches_session_update_count(self, power_load_small):
+        config = DKFConfig(model=linear_model(dims=1, dt=1.0), delta=50.0)
+        session = DKFSession(config)
+        sent = sum(d.sent for d in session.run(power_load_small))
+        synopsis = KalmanSynopsis(config)
+        stats = synopsis.ingest(power_load_small)
+        assert stats.stored_updates == sent
+
+
+class TestFaultInjection:
+    def test_spiky_stream_precision_still_guaranteed(self, trajectory_small):
+        """Sensor glitches cost updates, never correctness."""
+        spiky = add_spikes(trajectory_small, rate=0.02, magnitude=50.0, seed=9)
+        config = DKFConfig(model=linear_model(dims=2, dt=0.1), delta=3.0)
+        session = DKFSession(config, verify_mirror=True)
+        for decision in session.run(spiky):
+            error = np.max(np.abs(decision.server_value - decision.source_value))
+            assert error <= 3.0 + 1e-9
+
+    def test_spikes_cost_updates(self, trajectory_small):
+        config = DKFConfig(model=linear_model(dims=2, dt=0.1), delta=3.0)
+        clean_updates = evaluate_scheme(
+            DKFSession(config), trajectory_small
+        ).updates
+        spiky = add_spikes(trajectory_small, rate=0.05, magnitude=50.0, seed=9)
+        spiky_updates = evaluate_scheme(DKFSession(config), spiky).updates
+        assert spiky_updates > clean_updates
+
+    def test_smoothing_absorbs_spikes(self):
+        """With KF_c in the loop, rare spikes barely move the smoothed
+        stream, so they cost almost nothing."""
+        base = stream_from_values(np.full(500, 100.0), name="flat")
+        spiky = add_spikes(base, rate=0.02, magnitude=500.0, seed=3)
+        raw_cfg = DKFConfig(model=constant_model(dims=1), delta=5.0)
+        smooth_cfg = DKFConfig(
+            model=constant_model(dims=1), delta=5.0, smoothing_f=1e-7
+        )
+        raw_updates = evaluate_scheme(DKFSession(raw_cfg), spiky).updates
+        smooth_updates = evaluate_scheme(DKFSession(smooth_cfg), spiky).updates
+        assert smooth_updates < raw_updates / 3
+
+    def test_dropped_records_keep_lockstep(self, trajectory_small):
+        """Missing sampling instants (sensor dropouts) must not desync the
+        mirror pair -- both sides simply never see those instants."""
+        gappy = drop_records(trajectory_small, rate=0.2, seed=4)
+        config = DKFConfig(model=linear_model(dims=2, dt=0.1), delta=3.0)
+        session = DKFSession(config, verify_mirror=True)
+        for decision in session.run(gappy):
+            error = np.max(np.abs(decision.server_value - decision.source_value))
+            assert error <= 3.0 + 1e-9
+
+    def test_frozen_sensor_goes_silent_and_recovers(self):
+        """A stuck sensor looks like a constant stream: the DKF stops
+        transmitting (correctly -- the reported value *is* constant) and
+        picks up again when the fault clears."""
+        moving = stream_from_values(
+            np.arange(300, dtype=float) * 2.0, name="ramp"
+        )
+        frozen = freeze_sensor(moving, start=100, length=100)
+        config = DKFConfig(model=linear_model(dims=1, dt=1.0), delta=1.0)
+        session = DKFSession(config)
+        decisions = session.run(frozen)
+        # Mid-freeze (after the filter re-learns slope 0): silence.
+        mid_freeze = [d.sent for d in decisions[150:195]]
+        assert sum(mid_freeze) == 0
+        # After recovery the ramp resumes and transmissions come back.
+        post = [d.sent for d in decisions[200:240]]
+        assert sum(post) >= 1
+
+
+class TestSchemeContract:
+    """Every suppression scheme honours the common interface contract."""
+
+    @pytest.fixture
+    def schemes(self):
+        return [
+            CachedValueScheme.from_precision(3.0, dims=1),
+            DKFSession(DKFConfig(model=constant_model(dims=1), delta=3.0)),
+            DKFSession(
+                DKFConfig(
+                    model=linear_model(dims=1, dt=1.0),
+                    delta=3.0,
+                    smoothing_f=1e-5,
+                )
+            ),
+        ]
+
+    def test_first_decision_always_sends(self, schemes, ramp_stream):
+        for scheme in schemes:
+            scheme.reset()
+            assert scheme.observe(ramp_stream[0]).sent, scheme.name
+
+    def test_reset_restores_initial_behaviour(self, schemes, ramp_stream):
+        for scheme in schemes:
+            first = [d.sent for d in scheme.run(ramp_stream)]
+            scheme.reset()
+            second = [d.sent for d in scheme.run(ramp_stream)]
+            assert first == second, scheme.name
+
+    def test_decisions_echo_record_index(self, schemes, ramp_stream):
+        for scheme in schemes:
+            scheme.reset()
+            ks = [d.k for d in scheme.run(ramp_stream)]
+            assert ks == [r.k for r in ramp_stream], scheme.name
+
+    def test_payload_only_when_sent(self, schemes, ramp_stream):
+        for scheme in schemes:
+            scheme.reset()
+            for decision in scheme.run(ramp_stream):
+                if decision.sent:
+                    assert decision.payload_floats > 0, scheme.name
+                else:
+                    assert decision.payload_floats == 0, scheme.name

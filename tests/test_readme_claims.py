@@ -1,0 +1,32 @@
+"""Documentation regression: the README's quickstart numbers must hold.
+
+The README promises "~95% of readings sent" for caching and "~24%" for
+the linear DKF on the quickstart configuration; if a code change moves
+those numbers materially, the docs must be updated -- this test makes the
+drift loud.
+"""
+
+from repro import (
+    CachedValueScheme,
+    DKFConfig,
+    DKFSession,
+    evaluate_scheme,
+    linear_model,
+)
+from repro.datasets import moving_object_dataset
+
+
+def test_readme_quickstart_numbers():
+    stream = moving_object_dataset()
+    delta = 3.0
+    caching = evaluate_scheme(
+        CachedValueScheme.from_precision(delta, dims=2), stream
+    )
+    dkf = evaluate_scheme(
+        DKFSession(DKFConfig(model=linear_model(dims=2, dt=0.1), delta=delta)),
+        stream,
+    )
+    assert 90.0 <= caching.update_percentage <= 100.0  # "~95%"
+    assert 18.0 <= dkf.update_percentage <= 30.0  # "~24%"
+    saving = 1.0 - dkf.updates / caching.updates
+    assert saving >= 0.70  # "~75% bandwidth saved"

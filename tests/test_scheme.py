@@ -1,0 +1,77 @@
+"""Unit tests for the shared suppression-scheme interface."""
+
+import numpy as np
+import pytest
+
+from repro.scheme import SchemeDecision, SuppressionScheme
+from repro.streams.base import StreamRecord, stream_from_values
+
+
+class CountingScheme(SuppressionScheme):
+    """Minimal scheme used to exercise the ABC's concrete pieces."""
+
+    def __init__(self):
+        self.observed = 0
+
+    @property
+    def name(self):
+        return "counting"
+
+    def observe(self, record):
+        self.observed += 1
+        return SchemeDecision(
+            k=record.k,
+            sent=record.k == 0,
+            server_value=record.value.copy(),
+            source_value=record.value.copy(),
+            raw_value=record.value.copy(),
+        )
+
+    def reset(self):
+        self.observed = 0
+
+
+class TestSchemeDecision:
+    def test_defaults(self):
+        decision = SchemeDecision(
+            k=3,
+            sent=False,
+            server_value=np.array([1.0]),
+            source_value=np.array([1.0]),
+            raw_value=np.array([1.0]),
+        )
+        assert decision.payload_floats == 0
+        assert decision.prediction_error is None
+
+    def test_frozen(self):
+        decision = SchemeDecision(
+            k=0,
+            sent=True,
+            server_value=np.array([1.0]),
+            source_value=np.array([1.0]),
+            raw_value=np.array([1.0]),
+        )
+        with pytest.raises(AttributeError):
+            decision.sent = False
+
+
+class TestSuppressionScheme:
+    def test_run_visits_every_record_in_order(self):
+        scheme = CountingScheme()
+        stream = stream_from_values(np.arange(7, dtype=float))
+        decisions = scheme.run(stream)
+        assert scheme.observed == 7
+        assert [d.k for d in decisions] == list(range(7))
+
+    def test_abstract_methods_required(self):
+        with pytest.raises(TypeError):
+            SuppressionScheme()  # abstract
+
+    def test_run_on_iterables(self):
+        """run() accepts any record iterable, not just streams."""
+        scheme = CountingScheme()
+        records = [
+            StreamRecord(k=i, timestamp=float(i), value=float(i))
+            for i in range(3)
+        ]
+        assert len(scheme.run(records)) == 3
