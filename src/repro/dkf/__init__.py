@@ -4,12 +4,17 @@ between them, and end-to-end session drivers."""
 
 from repro.dkf.adaptive_sampling import AdaptiveSamplingSession
 from repro.dkf.bank_session import ModelBankSession
-from repro.dkf.config import DKFConfig
+from repro.dkf.config import DKFConfig, TransportPolicy
 from repro.dkf.protocol import (
+    CRC_BYTES,
+    AckMessage,
     Channel,
     ChannelStats,
+    HeartbeatMessage,
     ResyncMessage,
     UpdateMessage,
+    decode_message,
+    encode_message,
     periodic_loss,
     random_loss,
 )
@@ -18,18 +23,24 @@ from repro.dkf.session import DKFSession
 from repro.dkf.source import DKFSource, SourceStep
 
 __all__ = [
+    "AckMessage",
     "AdaptiveSamplingSession",
+    "CRC_BYTES",
     "Channel",
     "ChannelStats",
     "DKFConfig",
     "DKFServer",
     "DKFSession",
     "DKFSource",
+    "HeartbeatMessage",
     "ModelBankSession",
     "ResyncMessage",
     "ServerSourceState",
     "SourceStep",
+    "TransportPolicy",
     "UpdateMessage",
+    "decode_message",
+    "encode_message",
     "periodic_loss",
     "random_loss",
 ]

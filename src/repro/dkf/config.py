@@ -18,7 +18,66 @@ import numpy as np
 from repro.errors import ConfigurationError, DimensionError
 from repro.filters.models import StateSpaceModel
 
-__all__ = ["DKFConfig"]
+__all__ = ["DKFConfig", "TransportPolicy"]
+
+
+@dataclass(frozen=True)
+class TransportPolicy:
+    """Fault-tolerance knobs for one source's transport state machine.
+
+    These are deliberately separate from :class:`DKFConfig`: the DKF
+    parameters are agreed between the two filter endpoints, while the
+    transport policy only shapes *when* the source retransmits and how the
+    server judges liveness -- re-tuning it never requires reinstalling the
+    filters.
+
+    Attributes:
+        ack_timeout_ticks: Ticks the source waits for an ack before its
+            first retransmission.  Must exceed the link round-trip
+            (data latency + ack latency) or every message retransmits.
+        backoff_factor: Multiplier applied to the timeout after each
+            failed retransmission (exponential backoff).
+        max_backoff_ticks: Ceiling on the backed-off timeout, so a source
+            never goes fully silent between retries.
+        heartbeat_interval_ticks: Silence (no transmission) after which
+            the source emits a header-only heartbeat so the server can
+            tell suppression from death.
+        suspect_after_ticks: Server-side silence deadline; with no message
+            (update, resync or heartbeat) for this many ticks the source
+            is marked suspect and its query answers degraded.
+    """
+
+    ack_timeout_ticks: int = 8
+    backoff_factor: float = 2.0
+    max_backoff_ticks: int = 64
+    heartbeat_interval_ticks: int = 25
+    suspect_after_ticks: int = 60
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout_ticks < 1:
+            raise ConfigurationError("ack_timeout_ticks must be at least 1")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be at least 1")
+        if self.max_backoff_ticks < self.ack_timeout_ticks:
+            raise ConfigurationError(
+                "max_backoff_ticks must be at least ack_timeout_ticks"
+            )
+        if self.heartbeat_interval_ticks < 1:
+            raise ConfigurationError(
+                "heartbeat_interval_ticks must be at least 1"
+            )
+        if self.suspect_after_ticks < 1:
+            raise ConfigurationError("suspect_after_ticks must be at least 1")
+
+    def retry_timeout(self, attempt: int) -> int:
+        """The ack deadline (in ticks) for retransmission ``attempt``.
+
+        Attempt 0 is the original transmission; each further attempt
+        multiplies the base timeout by ``backoff_factor``, capped at
+        ``max_backoff_ticks``.
+        """
+        timeout = self.ack_timeout_ticks * self.backoff_factor**attempt
+        return max(1, min(int(timeout), self.max_backoff_ticks))
 
 
 @dataclass(frozen=True)

@@ -1,13 +1,23 @@
 """Wire protocol between a DKF source and the central server.
 
 Messages are tiny by design -- the whole point of the architecture is that
-*most sampling instants send nothing*.  Two message types exist:
+*most sampling instants send nothing*.  Four message types exist:
 
 * :class:`UpdateMessage` -- a measurement that escaped the precision bound,
   with a sequence number (loss detection) and an optional state digest
   (mirror verification).
 * :class:`ResyncMessage` -- a full filter-state snapshot, sent when the
   source learns a previous update was lost and the mirrors have diverged.
+* :class:`AckMessage` -- server-to-source cumulative acknowledgement; the
+  only way a source ever learns whether an update survived the link.  May
+  carry a resync request when the server detected a sequence gap.
+* :class:`HeartbeatMessage` -- a header-only liveness beacon the source
+  emits during long suppression silences, so the server can distinguish
+  "within delta" from "possibly dead".
+
+Every encoded message carries a CRC-32 trailer; receivers reject corrupt
+frames (:class:`~repro.errors.CorruptMessageError`) instead of risking a
+silently wrong decode.
 
 :class:`Channel` simulates the network link: it counts messages and bytes,
 and can inject loss for failure testing.  Sizes follow a simple fixed-width
@@ -17,14 +27,23 @@ convert traffic to joules.
 
 from __future__ import annotations
 
+import struct
+import zlib
 from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, CorruptMessageError
 
-__all__ = ["UpdateMessage", "ResyncMessage", "Channel", "ChannelStats"]
+__all__ = [
+    "UpdateMessage",
+    "ResyncMessage",
+    "AckMessage",
+    "HeartbeatMessage",
+    "Channel",
+    "ChannelStats",
+]
 
 #: Bytes per float in the simple wire encoding.
 FLOAT_BYTES = 8
@@ -34,6 +53,8 @@ INT_BYTES = 4
 HEADER_BYTES = 1 + 3 * INT_BYTES
 #: Bytes of the optional state digest carried by verified messages.
 DIGEST_BYTES = 8
+#: Bytes of the CRC-32 integrity trailer appended to every message.
+CRC_BYTES = 4
 
 
 @dataclass(frozen=True)
@@ -57,7 +78,7 @@ class UpdateMessage:
     @property
     def size_bytes(self) -> int:
         """Encoded size under the fixed-width wire format."""
-        size = HEADER_BYTES + self.value.shape[0] * FLOAT_BYTES
+        size = HEADER_BYTES + self.value.shape[0] * FLOAT_BYTES + CRC_BYTES
         if self.digest is not None:
             size += DIGEST_BYTES
         return size
@@ -93,7 +114,59 @@ class ResyncMessage:
         return (
             HEADER_BYTES
             + (n + cov_floats + self.value.shape[0]) * FLOAT_BYTES
+            + CRC_BYTES
         )
+
+
+@dataclass(frozen=True)
+class AckMessage:
+    """A cumulative acknowledgement (server -> source).
+
+    Attributes:
+        source_id: The source whose traffic is being acknowledged.
+        seq: The server's *next expected* sequence number; every sequence
+            number strictly below it is acknowledged, so the source drops
+            all pending-ack entries ``< seq``.
+        k: Server-side tick the ack was generated at (diagnostics).
+        resync_requested: True when the server detected a sequence gap and
+            needs a full state snapshot to heal.
+    """
+
+    source_id: str
+    seq: int
+    k: int
+    resync_requested: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        """Encoded size under the fixed-width wire format."""
+        return HEADER_BYTES + 1 + CRC_BYTES
+
+
+@dataclass(frozen=True)
+class HeartbeatMessage:
+    """A header-only liveness beacon (source -> server).
+
+    Sent when the suppression protocol has kept the source silent for a
+    configurable interval, so the server can tell a healthy-but-quiet
+    source from a dead one.  Carries no payload and needs no ack -- the
+    next heartbeat supersedes a lost one.
+
+    Attributes:
+        source_id: Originating source.
+        seq: The source's next unsent sequence number (diagnostics only;
+            heartbeats do not consume sequence numbers).
+        k: Sampling instant the beacon was emitted at.
+    """
+
+    source_id: str
+    seq: int
+    k: int
+
+    @property
+    def size_bytes(self) -> int:
+        """Encoded size under the fixed-width wire format."""
+        return HEADER_BYTES + CRC_BYTES
 
 
 @dataclass
@@ -171,11 +244,20 @@ def periodic_loss(period: int) -> Callable[[int], bool]:
 
 
 def random_loss(rate: float, seed: int = 0) -> Callable[[int], bool]:
-    """Loss function dropping messages i.i.d. with probability ``rate``."""
+    """Loss function dropping messages i.i.d. with probability ``rate``.
+
+    The decision for message ``index`` is derived deterministically from
+    ``(seed, index)`` -- never from call order -- so replays and repeated
+    queries of the same index always agree (required for deterministic
+    fault schedules and retransmission simulations).
+    """
     if not 0 <= rate < 1:
         raise ConfigurationError("rate must be in [0, 1)")
-    rng = np.random.default_rng(seed)
-    return lambda index: bool(rng.random() < rate)
+
+    def drop(index: int) -> bool:
+        return bool(np.random.default_rng((seed, index)).random() < rate)
+
+    return drop
 
 
 __all__ += ["periodic_loss", "random_loss", "FLOAT_BYTES", "HEADER_BYTES"]
@@ -188,16 +270,18 @@ __all__ += ["periodic_loss", "random_loss", "FLOAT_BYTES", "HEADER_BYTES"]
 # The fixed-width encoding the size accounting assumes, made real: a
 # 1-byte type tag, a 4-byte source-id hash, 4-byte seq and k, then the
 # payload floats (and, for resyncs, the state vector and the upper
-# triangle of the covariance).  Mirrors can run on microcontrollers, so
-# the format is deliberately trivial: network byte order, no varints, no
-# framing beyond the leading tag.
-
-import struct
-import zlib
+# triangle of the covariance), closed by a 4-byte CRC-32 of everything
+# before it.  Mirrors can run on microcontrollers, so the format is
+# deliberately trivial: network byte order, no varints, no framing beyond
+# the leading tag and the trailing checksum.
 
 _TAG_UPDATE = 0x01
 _TAG_UPDATE_DIGEST = 0x02
 _TAG_RESYNC = 0x03
+_TAG_ACK = 0x04
+_TAG_HEARTBEAT = 0x05
+
+WireMessage = UpdateMessage | ResyncMessage | AckMessage | HeartbeatMessage
 
 
 def _source_hash(source_id: str) -> int:
@@ -205,11 +289,18 @@ def _source_hash(source_id: str) -> int:
     return zlib.crc32(source_id.encode("utf-8")) & 0xFFFFFFFF
 
 
-def encode_message(message: UpdateMessage | ResyncMessage) -> bytes:
+def _seal(frame: bytes) -> bytes:
+    """Append the CRC-32 trailer to an encoded frame."""
+    return frame + struct.pack("!I", zlib.crc32(frame) & 0xFFFFFFFF)
+
+
+def encode_message(message: WireMessage) -> bytes:
     """Serialise a protocol message to its fixed-width wire form.
 
     The encoded length equals ``message.size_bytes`` exactly -- the size
-    accounting and the codec cannot drift apart (a test pins this).
+    accounting and the codec cannot drift apart (a test pins this).  The
+    final 4 bytes are a CRC-32 of the preceding frame; receivers verify it
+    before trusting any field.
 
     Note the header carries a *hash* of the source id, not the string; the
     receiver resolves it against its registration table
@@ -219,41 +310,68 @@ def encode_message(message: UpdateMessage | ResyncMessage) -> bytes:
         n = message.x.shape[0]
         m = message.value.shape[0]
         triangle = message.p[np.triu_indices(n)]
-        return struct.pack(
-            f"!BIII{n}d{triangle.shape[0]}d{m}d",
-            _TAG_RESYNC,
-            _source_hash(message.source_id),
-            message.seq,
-            message.k,
-            *message.x,
-            *triangle,
-            *message.value,
+        return _seal(
+            struct.pack(
+                f"!BIII{n}d{triangle.shape[0]}d{m}d",
+                _TAG_RESYNC,
+                _source_hash(message.source_id),
+                message.seq,
+                message.k,
+                *message.x,
+                *triangle,
+                *message.value,
+            )
+        )
+    if isinstance(message, AckMessage):
+        return _seal(
+            struct.pack(
+                "!BIIIB",
+                _TAG_ACK,
+                _source_hash(message.source_id),
+                message.seq,
+                message.k,
+                1 if message.resync_requested else 0,
+            )
+        )
+    if isinstance(message, HeartbeatMessage):
+        return _seal(
+            struct.pack(
+                "!BIII",
+                _TAG_HEARTBEAT,
+                _source_hash(message.source_id),
+                message.seq,
+                message.k,
+            )
         )
     m = message.value.shape[0]
     if message.digest is not None:
-        return struct.pack(
-            f"!BIII{m}d8s",
-            _TAG_UPDATE_DIGEST,
+        return _seal(
+            struct.pack(
+                f"!BIII{m}d8s",
+                _TAG_UPDATE_DIGEST,
+                _source_hash(message.source_id),
+                message.seq,
+                message.k,
+                *message.value,
+                message.digest,
+            )
+        )
+    return _seal(
+        struct.pack(
+            f"!BIII{m}d",
+            _TAG_UPDATE,
             _source_hash(message.source_id),
             message.seq,
             message.k,
             *message.value,
-            message.digest,
         )
-    return struct.pack(
-        f"!BIII{m}d",
-        _TAG_UPDATE,
-        _source_hash(message.source_id),
-        message.seq,
-        message.k,
-        *message.value,
     )
 
 
 def decode_message(
     data: bytes, source_ids: list[str], state_dim: int | None = None
-) -> UpdateMessage | ResyncMessage:
-    """Deserialise a wire message.
+) -> WireMessage:
+    """Deserialise a wire message, verifying its CRC-32 trailer first.
 
     Args:
         data: The encoded bytes.
@@ -264,12 +382,21 @@ def decode_message(
             triangle's size depends on it).
 
     Raises:
+        CorruptMessageError: When the CRC trailer does not match the body
+            (the frame was corrupted in flight; discard it).
         ConfigurationError: On unknown tags, unresolvable source hashes,
             or a resync without ``state_dim``.
     """
-    if len(data) < 13:
+    if len(data) < 13 + CRC_BYTES:
         raise ConfigurationError("message shorter than the fixed header")
-    tag, source_hash, seq, k = struct.unpack("!BIII", data[:13])
+    frame, trailer = data[:-CRC_BYTES], data[-CRC_BYTES:]
+    (crc,) = struct.unpack("!I", trailer)
+    if crc != (zlib.crc32(frame) & 0xFFFFFFFF):
+        raise CorruptMessageError(
+            f"CRC mismatch: trailer {crc:#010x}, "
+            f"computed {zlib.crc32(frame) & 0xFFFFFFFF:#010x}"
+        )
+    tag, source_hash, seq, k = struct.unpack("!BIII", frame[:13])
 
     matches = [s for s in source_ids if _source_hash(s) == source_hash]
     if len(matches) != 1:
@@ -277,7 +404,7 @@ def decode_message(
             f"source hash {source_hash:#x} resolves to {len(matches)} ids"
         )
     source_id = matches[0]
-    body = data[13:]
+    body = frame[13:]
 
     if tag == _TAG_UPDATE:
         values = np.array(struct.unpack(f"!{len(body) // 8}d", body))
@@ -310,7 +437,19 @@ def decode_message(
         return ResyncMessage(
             source_id=source_id, seq=seq, k=k, x=x, p=p, value=value
         )
+    if tag == _TAG_ACK:
+        (flags,) = struct.unpack("!B", body)
+        return AckMessage(
+            source_id=source_id,
+            seq=seq,
+            k=k,
+            resync_requested=bool(flags & 1),
+        )
+    if tag == _TAG_HEARTBEAT:
+        if body:
+            raise ConfigurationError("heartbeat carries no payload")
+        return HeartbeatMessage(source_id=source_id, seq=seq, k=k)
     raise ConfigurationError(f"unknown message tag {tag:#x}")
 
 
-__all__ += ["encode_message", "decode_message"]
+__all__ += ["encode_message", "decode_message", "CRC_BYTES"]

@@ -6,6 +6,25 @@ sources").  Every sampling instant the filter advances one prediction step;
 when an update message arrives the filter is corrected with the transmitted
 value.  Queries are answered from the filter's current estimate -- the
 *dynamic procedure cache* the paper contrasts with static value caching.
+
+Two delivery disciplines are supported:
+
+* **strict** (default): any sequence gap or digest mismatch raises
+  :class:`~repro.errors.MirrorDesyncError`.  This is the right mode for
+  in-process sessions and tests, where a gap is a bug.
+* **tolerant** (``strict=False``): gaps and duplicate retransmits are
+  *expected* consequences of a lossy link.  The server records them,
+  refuses to apply the unsafe correction, and requests a resync through
+  its ack outbox instead of raising into the delivery loop.
+
+With ``emit_acks=True`` the server queues a cumulative
+:class:`~repro.dkf.protocol.AckMessage` for every applied update/resync
+(and for ignored duplicates, so the sender can settle its pending buffer);
+the transport layer drains the outbox with :meth:`DKFServer.take_outbox`.
+The server also tracks per-source liveness: every received message
+(including heartbeats) refreshes a last-contact clock, and a source silent
+past its policy's ``suspect_after_ticks`` is marked suspect so query
+answers can degrade honestly instead of serving stale estimates as fresh.
 """
 
 from __future__ import annotations
@@ -14,8 +33,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.dkf.config import DKFConfig
-from repro.dkf.protocol import ResyncMessage, UpdateMessage
+from repro.dkf.config import DKFConfig, TransportPolicy
+from repro.dkf.protocol import (
+    AckMessage,
+    HeartbeatMessage,
+    ResyncMessage,
+    UpdateMessage,
+)
 from repro.errors import (
     DuplicateSourceError,
     MirrorDesyncError,
@@ -32,40 +56,76 @@ class ServerSourceState:
 
     Attributes:
         config: The installed DKF configuration.
+        transport: Liveness policy (silence deadline) for this source.
         filter: ``KF_s`` (None until the priming update arrives).
         answer: The server's current best value for the source.
         expected_seq: Next sequence number expected from the source.
         k: Last sampling instant the filter advanced to.
         updates_received: Number of update messages applied.
         resyncs_received: Number of resync snapshots applied.
+        heartbeats_received: Liveness beacons received.
+        gaps_detected: Sequence gaps observed (tolerant mode only).
+        duplicates_ignored: Stale retransmits discarded.
+        last_contact: Server clock at the last received message.
+        desynced: True between a detected gap/digest mismatch and the
+            healing resync.
     """
 
     config: DKFConfig
+    transport: TransportPolicy = field(default_factory=TransportPolicy)
     filter: KalmanFilter | None = None
     answer: np.ndarray | None = None
     expected_seq: int = 0
     k: int = -1
     updates_received: int = 0
     resyncs_received: int = 0
+    heartbeats_received: int = 0
+    gaps_detected: int = 0
+    duplicates_ignored: int = 0
+    last_contact: int = 0
     desynced: bool = field(default=False)
 
 
 class DKFServer:
-    """Central server holding one ``KF_s`` per registered source."""
+    """Central server holding one ``KF_s`` per registered source.
 
-    def __init__(self) -> None:
+    Args:
+        strict: When True (default) sequence gaps and digest mismatches
+            raise :class:`~repro.errors.MirrorDesyncError`; when False
+            they are tolerated and a resync is requested via the ack
+            outbox.
+        emit_acks: When True, every received update/resync (and ignored
+            duplicate) queues a cumulative ack in the outbox for the
+            transport layer to deliver back to the source.
+    """
+
+    def __init__(self, strict: bool = True, emit_acks: bool = False) -> None:
         self._sources: dict[str, ServerSourceState] = {}
+        self._strict = strict
+        self._emit_acks = emit_acks
+        self._outbox: list[AckMessage] = []
+        self._clock = 0
 
-    def register(self, source_id: str, config: DKFConfig) -> None:
+    def register(
+        self,
+        source_id: str,
+        config: DKFConfig,
+        transport: TransportPolicy | None = None,
+    ) -> None:
         """Install a DKF for a new source (done when a query arrives)."""
         if source_id in self._sources:
             raise DuplicateSourceError(f"source {source_id!r} already registered")
-        self._sources[source_id] = ServerSourceState(config=config)
+        self._sources[source_id] = ServerSourceState(
+            config=config,
+            transport=transport or TransportPolicy(),
+            last_contact=self._clock,
+        )
 
     def deregister(self, source_id: str) -> None:
         """Tear down the filter for a source whose queries ended."""
         self._state(source_id)
         del self._sources[source_id]
+        self._outbox = [a for a in self._outbox if a.source_id != source_id]
 
     def _state(self, source_id: str) -> ServerSourceState:
         try:
@@ -77,6 +137,16 @@ class DKFServer:
     def source_ids(self) -> list[str]:
         """Identifiers of all registered sources."""
         return list(self._sources)
+
+    @property
+    def clock(self) -> int:
+        """The server's wall clock (engine ticks); drives liveness."""
+        return self._clock
+
+    def advance_clock(self, tick: int) -> None:
+        """Move the liveness clock forward (monotonic; called per tick)."""
+        if tick > self._clock:
+            self._clock = tick
 
     def is_primed(self, source_id: str) -> bool:
         """Whether the priming update for ``source_id`` has arrived."""
@@ -97,21 +167,73 @@ class DKFServer:
         state.answer = state.filter.predict_measurement()
         return state.answer.copy()
 
-    def receive(self, message: UpdateMessage | ResyncMessage) -> np.ndarray:
-        """Apply an incoming message and return the refreshed answer."""
+    def receive(
+        self, message: UpdateMessage | ResyncMessage | HeartbeatMessage
+    ) -> np.ndarray | None:
+        """Apply an incoming message; returns the refreshed answer.
+
+        Heartbeats only refresh the liveness clock and return the current
+        answer (None before priming).  In tolerant mode an out-of-sequence
+        update is *not* applied; the return value is then the unchanged
+        answer.
+        """
+        if isinstance(message, HeartbeatMessage):
+            return self._receive_heartbeat(message)
         if isinstance(message, ResyncMessage):
             return self._receive_resync(message)
         return self._receive_update(message)
 
-    def _receive_update(self, message: UpdateMessage) -> np.ndarray:
-        state = self._state(message.source_id)
-        if message.seq != state.expected_seq:
-            state.desynced = True
-            raise MirrorDesyncError(
-                f"source {message.source_id!r}: expected seq "
-                f"{state.expected_seq}, got {message.seq} -- an update was "
-                "lost and no resync arrived"
+    def _touch(self, state: ServerSourceState) -> None:
+        state.last_contact = self._clock
+
+    def _enqueue_ack(
+        self, state: ServerSourceState, source_id: str, resync_requested: bool = False
+    ) -> None:
+        if not self._emit_acks:
+            return
+        self._outbox.append(
+            AckMessage(
+                source_id=source_id,
+                seq=state.expected_seq,
+                k=self._clock,
+                resync_requested=resync_requested,
             )
+        )
+
+    def _receive_heartbeat(self, message: HeartbeatMessage) -> np.ndarray | None:
+        state = self._state(message.source_id)
+        self._touch(state)
+        state.heartbeats_received += 1
+        return None if state.answer is None else state.answer.copy()
+
+    def _receive_update(self, message: UpdateMessage) -> np.ndarray | None:
+        state = self._state(message.source_id)
+        self._touch(state)
+        if message.seq < state.expected_seq:
+            if self._strict:
+                raise MirrorDesyncError(
+                    f"source {message.source_id!r}: expected seq "
+                    f"{state.expected_seq}, got stale seq {message.seq}"
+                )
+            # A stale retransmit that crossed with its ack: ignore, but
+            # re-ack so the sender can settle its pending buffer.
+            state.duplicates_ignored += 1
+            self._enqueue_ack(state, message.source_id)
+            return None if state.answer is None else state.answer.copy()
+        if message.seq > state.expected_seq:
+            # A gap: an earlier update is missing, so applying this
+            # correction would desync the filters.  Record the gap and ask
+            # for a full snapshot instead of raising into delivery.
+            state.desynced = True
+            state.gaps_detected += 1
+            if self._strict:
+                raise MirrorDesyncError(
+                    f"source {message.source_id!r}: expected seq "
+                    f"{state.expected_seq}, got {message.seq} -- an update "
+                    "was lost and no resync arrived"
+                )
+            self._enqueue_ack(state, message.source_id, resync_requested=True)
+            return None if state.answer is None else state.answer.copy()
         state.expected_seq = message.seq + 1
         if state.filter is None:
             state.filter = state.config.model.build_filter(
@@ -129,14 +251,19 @@ class DKFServer:
             local = state.filter.state_digest()[1][:8]
             if local != message.digest:
                 state.desynced = True
-                raise MirrorDesyncError(
-                    f"source {message.source_id!r}: state digest mismatch at "
-                    f"k={message.k}"
-                )
+                if self._strict:
+                    raise MirrorDesyncError(
+                        f"source {message.source_id!r}: state digest mismatch "
+                        f"at k={message.k}"
+                    )
+                self._enqueue_ack(state, message.source_id, resync_requested=True)
+                return state.answer.copy()
+        self._enqueue_ack(state, message.source_id)
         return state.answer.copy()
 
     def _receive_resync(self, message: ResyncMessage) -> np.ndarray:
         state = self._state(message.source_id)
+        self._touch(state)
         if state.filter is None:
             state.filter = state.config.model.build_filter(
                 message.value, p0_scale=state.config.p0_scale
@@ -147,7 +274,46 @@ class DKFServer:
         state.resyncs_received += 1
         state.desynced = False
         state.k = message.k
+        self._enqueue_ack(state, message.source_id)
         return state.answer.copy()
+
+    def take_outbox(self) -> list[AckMessage]:
+        """Drain and return the queued acks (transport layer hook)."""
+        out, self._outbox = self._outbox, []
+        return out
+
+    def liveness(self, source_id: str) -> dict[str, int | bool]:
+        """Liveness verdict for one source.
+
+        Returns a dict with ``staleness_ticks`` (server-clock ticks since
+        the last received message of any kind), ``suspect`` (True once the
+        silence exceeds the source's ``suspect_after_ticks`` deadline) and
+        ``last_contact``.
+        """
+        state = self._state(source_id)
+        staleness = max(0, self._clock - state.last_contact)
+        return {
+            "staleness_ticks": staleness,
+            "suspect": staleness > state.transport.suspect_after_ticks,
+            "last_contact": state.last_contact,
+        }
+
+    def confidence(self, source_id: str) -> float:
+        """Answer confidence in ``(0, 1]`` from the coasting covariance.
+
+        While a source is silent the filter coasts on predictions and its
+        a-priori covariance inflates; this maps the predicted-measurement
+        standard deviation onto ``delta / (delta + sigma)`` so a freshly
+        corrected filter scores near 1 and a long-coasting one decays
+        toward 0.  Returns 0.0 before priming.
+        """
+        state = self._state(source_id)
+        if state.filter is None:
+            return 0.0
+        innovation_cov = state.filter.innovation_covariance()
+        sigma = float(np.sqrt(max(np.max(np.diag(innovation_cov)), 0.0)))
+        delta = state.config.min_delta
+        return delta / (delta + sigma)
 
     def value(self, source_id: str) -> np.ndarray:
         """The server's current best value for a source (query answer)."""
@@ -178,6 +344,10 @@ class DKFServer:
         return {
             "updates_received": state.updates_received,
             "resyncs_received": state.resyncs_received,
+            "heartbeats_received": state.heartbeats_received,
+            "gaps_detected": state.gaps_detected,
+            "duplicates_ignored": state.duplicates_ignored,
             "desynced": state.desynced,
             "last_k": state.k,
+            "last_contact": state.last_contact,
         }

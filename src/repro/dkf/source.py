@@ -7,6 +7,14 @@ predict at every instant *without any communication* -- "this does not
 require any extra memory except for the usual matrices of the KF"
 (Section 1.1).  The source transmits only when that prediction errs by more
 than δ on some measured component.
+
+The source also owns the sender half of the fault-tolerant transport: a
+pending-ack buffer with timeout-driven, exponentially backed-off
+retransmission (a retransmission is always a full
+:class:`~repro.dkf.protocol.ResyncMessage`, because the mirror has moved on
+since the lost update was cut), plus heartbeat emission during long
+suppression silences.  The source never learns of a loss synchronously --
+only a missing ack reveals it.
 """
 
 from __future__ import annotations
@@ -15,8 +23,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.dkf.config import DKFConfig
-from repro.dkf.protocol import ResyncMessage, UpdateMessage
+from repro.dkf.config import DKFConfig, TransportPolicy
+from repro.dkf.protocol import (
+    AckMessage,
+    HeartbeatMessage,
+    ResyncMessage,
+    UpdateMessage,
+)
 from repro.errors import DimensionError
 from repro.filters.kalman import KalmanFilter
 from repro.filters.smoothing import VectorSmoother
@@ -42,6 +55,9 @@ class SourceStep:
         gated: True when the reading escaped δ but was classified as a
             sensor glitch by the innovation gate and deliberately not
             transmitted.
+        rejected: True when the reading was non-finite (NaN/inf sensor
+            fault) and discarded before touching either filter; the mirror
+            still advanced its prediction so lock-step is preserved.
     """
 
     k: int
@@ -51,6 +67,7 @@ class SourceStep:
     error: float | None
     message: UpdateMessage | None
     gated: bool = False
+    rejected: bool = False
 
 
 class DKFSource:
@@ -60,15 +77,28 @@ class DKFSource:
         source_id: Identifier shared with the server registration.
         config: The DKF configuration (model, δ, optional ``F``).
 
+    Args (continued):
+        transport: Retransmission/heartbeat policy.  Defaults to
+            :class:`~repro.dkf.config.TransportPolicy`'s defaults.
+
     Call :meth:`sample` once per sampling instant with the sensor reading.
-    If the returned step carries a message, hand it to the channel; if the
-    channel reports a send failure, call :meth:`resync_message` and deliver
-    the snapshot over the reliable path.
+    If the returned step carries a message, hand it to the link and tell
+    the transport via :meth:`note_sent`; each tick, call
+    :meth:`poll_transport` and send whatever it returns (timeout
+    retransmissions and heartbeats).  Deliver incoming acks to
+    :meth:`on_ack`.  The source only ever learns of a loss through a
+    missing ack.
     """
 
-    def __init__(self, source_id: str, config: DKFConfig) -> None:
+    def __init__(
+        self,
+        source_id: str,
+        config: DKFConfig,
+        transport: TransportPolicy | None = None,
+    ) -> None:
         self._source_id = source_id
         self._config = config
+        self._transport = transport or TransportPolicy()
         self._mirror: KalmanFilter | None = None
         self._smoother = (
             VectorSmoother(
@@ -85,6 +115,14 @@ class DKFSource:
         self._samples_seen = 0
         self._consecutive_gated = 0
         self._readings_gated = 0
+        self._readings_rejected = 0
+        self._last_value: np.ndarray | None = None
+        # Transport state: seq -> (ack deadline tick, retransmit attempt).
+        self._pending: dict[int, tuple[int, int]] = {}
+        self._resync_requested = False
+        self._last_send_tick = 0
+        self._retransmits = 0
+        self._heartbeats_sent = 0
 
     @property
     def source_id(self) -> str:
@@ -122,6 +160,31 @@ class DKFSource:
     def readings_gated(self) -> int:
         """Readings classified as glitches by the innovation gate."""
         return self._readings_gated
+
+    @property
+    def readings_rejected(self) -> int:
+        """Non-finite readings discarded before touching the filters."""
+        return self._readings_rejected
+
+    @property
+    def transport(self) -> TransportPolicy:
+        """The installed retransmission/heartbeat policy."""
+        return self._transport
+
+    @property
+    def pending_acks(self) -> int:
+        """Transmitted messages still awaiting an acknowledgement."""
+        return len(self._pending)
+
+    @property
+    def retransmits(self) -> int:
+        """Resync retransmissions triggered (timeouts + server requests)."""
+        return self._retransmits
+
+    @property
+    def heartbeats_sent(self) -> int:
+        """Liveness beacons emitted during suppression silences."""
+        return self._heartbeats_sent
 
     def _smooth(self, value: np.ndarray) -> np.ndarray:
         """Run the reading through ``KF_c`` when smoothing is configured.
@@ -161,7 +224,29 @@ class DKFSource:
         raw = record.value
         self._samples_seen += 1
         self._k = record.k
+
+        if not bool(np.all(np.isfinite(raw))):
+            # Sensor fault (NaN/inf): discard the reading before it can
+            # poison the smoother or the filters.  The mirror still
+            # advances one prediction step so it stays in lock-step with
+            # the server, which predicts every instant regardless.
+            self._readings_rejected += 1
+            prediction = None
+            if self._mirror is not None:
+                self._mirror.predict()
+                prediction = self._mirror.predict_measurement()
+            return SourceStep(
+                k=record.k,
+                raw_value=raw.copy(),
+                value=raw.copy(),
+                prediction=prediction,
+                error=None,
+                message=None,
+                rejected=True,
+            )
+
         value = self._smooth(raw)
+        self._last_value = value.copy()
 
         if self._mirror is None:
             self._mirror = self._config.model.build_filter(
@@ -248,8 +333,95 @@ class DKFSource:
         self._seq += 1
         return message
 
-    def reset(self) -> None:
-        """Forget all filter state; the next sample re-primes the pair."""
+    # Transport state machine ---------------------------------------------
+
+    def note_sent(self, message: UpdateMessage | ResyncMessage, now: int) -> None:
+        """Record a transmitted message in the pending-ack buffer.
+
+        Call this immediately after offering ``message`` to the link.  The
+        entry stays pending until an ack covering its sequence number
+        arrives (:meth:`on_ack`) or its deadline expires, at which point
+        :meth:`poll_transport` cuts a resync retransmission.
+        """
+        self._pending[message.seq] = (
+            now + self._transport.retry_timeout(0),
+            0,
+        )
+        self._last_send_tick = now
+
+    def on_ack(self, ack: AckMessage, now: int) -> None:
+        """Apply a cumulative acknowledgement from the server.
+
+        Every pending entry with a sequence number below ``ack.seq`` (the
+        server's next expected seq) is settled.  A ``resync_requested``
+        flag schedules an immediate snapshot on the next
+        :meth:`poll_transport`.
+        """
+        self._pending = {
+            seq: entry for seq, entry in self._pending.items() if seq >= ack.seq
+        }
+        if ack.resync_requested:
+            self._resync_requested = True
+
+    def poll_transport(
+        self, now: int
+    ) -> list[ResyncMessage | HeartbeatMessage]:
+        """Run one tick of the transport state machine.
+
+        Returns the messages the caller must offer to the link this tick:
+
+        * a :class:`~repro.dkf.protocol.ResyncMessage` when the oldest
+          pending-ack entry timed out (exponential backoff grows the next
+          deadline) or the server explicitly requested one -- the snapshot
+          supersedes every older pending message, so the buffer collapses
+          to the single resync entry;
+        * a :class:`~repro.dkf.protocol.HeartbeatMessage` when nothing is
+          pending and the source has been silent past the heartbeat
+          interval.
+        """
+        if self._mirror is None or self._last_value is None:
+            return []
+        retry_attempt = None
+        if self._pending:
+            oldest_deadline = min(d for d, _ in self._pending.values())
+            if oldest_deadline <= now:
+                retry_attempt = 1 + max(
+                    attempt for _, attempt in self._pending.values()
+                )
+        if self._resync_requested and retry_attempt is None:
+            retry_attempt = 0
+        if retry_attempt is not None:
+            message = self.resync_message(self._k, self._last_value)
+            self._pending.clear()
+            self._pending[message.seq] = (
+                now + self._transport.retry_timeout(retry_attempt),
+                retry_attempt,
+            )
+            self._resync_requested = False
+            self._retransmits += 1
+            self._last_send_tick = now
+            return [message]
+        if (
+            not self._pending
+            and now - self._last_send_tick
+            >= self._transport.heartbeat_interval_ticks
+        ):
+            heartbeat = HeartbeatMessage(
+                source_id=self._source_id, seq=self._seq, k=self._k
+            )
+            self._last_send_tick = now
+            self._heartbeats_sent += 1
+            return [heartbeat]
+        return []
+
+    def reset(self, now: int = 0) -> None:
+        """Forget all filter and transport state.
+
+        The next sample re-primes the pair.  After a crash/restart the
+        caller should prime the server with a resync snapshot (not a plain
+        update), because the server's expected sequence number survives
+        the source's death -- see ``StreamEngine``'s restart handling.
+        """
         self._mirror = None
         if self._smoother is not None:
             self._smoother.reset()
@@ -259,3 +431,10 @@ class DKFSource:
         self._samples_seen = 0
         self._consecutive_gated = 0
         self._readings_gated = 0
+        self._readings_rejected = 0
+        self._last_value = None
+        self._pending = {}
+        self._resync_requested = False
+        self._last_send_tick = now
+        self._retransmits = 0
+        self._heartbeats_sent = 0

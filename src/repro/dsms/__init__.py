@@ -9,6 +9,7 @@ from repro.dsms.aggregates import (
     answer_aggregate,
 )
 from repro.dsms.energy import EnergyModel, EnergyReport
+from repro.dsms.faults import FaultSchedule, GilbertElliottLoss
 from repro.dsms.history import HistoryStore
 from repro.dsms.engine import EngineReport, StreamEngine
 from repro.dsms.network import LinkConfig, LinkStats, NetworkFabric
@@ -26,6 +27,8 @@ __all__ = [
     "EnergyModel",
     "EnergyReport",
     "EngineReport",
+    "FaultSchedule",
+    "GilbertElliottLoss",
     "HistoryStore",
     "KalmanSynopsis",
     "LinkConfig",

@@ -6,23 +6,39 @@ The engine wires together every substrate in the library:
 * a :class:`~repro.dsms.registry.SourceRegistry` mapping queries to
   sources and deriving each source's effective δ and F;
 * one :class:`~repro.dkf.source.DKFSource` per registered source (the
-  sensor side) and a single shared :class:`~repro.dkf.server.DKFServer`;
-* a :class:`~repro.dsms.network.NetworkFabric` carrying updates, with
-  per-link latency/loss;
-* an :class:`~repro.dsms.energy.EnergyModel` for per-node joule totals.
+  sensor side) and a single shared :class:`~repro.dkf.server.DKFServer`
+  running in tolerant, ack-emitting mode;
+* a :class:`~repro.dsms.network.NetworkFabric` carrying updates *and*
+  acks, with per-direction latency/loss/corruption;
+* an :class:`~repro.dsms.energy.EnergyModel` for per-node joule totals;
+* optionally a :class:`~repro.dsms.faults.FaultSchedule` injecting source
+  crashes, sensor faults, burst loss and payload corruption.
+
+Loss recovery is *asymmetric-information realistic*: the engine never
+peeks at the link's verdict.  A source only learns an update died when its
+ack timeout expires, at which point it retransmits a full resync snapshot
+over the same lossy, latent link, backing off exponentially until an ack
+lands.  The server, for its part, detects sequence gaps and asks for a
+resync through the ack channel instead of raising into the delivery loop.
 
 Each call to :meth:`StreamEngine.step` advances every source by one
 sampling instant; :meth:`StreamEngine.answers` returns the current answer
-for every active query.
+for every active query, annotated with staleness, confidence and a
+``degraded`` flag once a source has been silent past its liveness
+deadline.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
+from repro.dkf.config import TransportPolicy
+from repro.dkf.protocol import AckMessage
 from repro.dkf.server import DKFServer
 from repro.dkf.source import DKFSource
 from repro.dsms.energy import EnergyModel, EnergyReport
+from repro.dsms.faults import FaultSchedule
 from repro.dsms.network import LinkConfig, NetworkFabric
 from repro.dsms.query import ContinuousQuery, QueryAnswer
 from repro.dsms.registry import SourceRegistry
@@ -42,6 +58,14 @@ class EngineReport:
         readings: Total sensor readings across sources.
         updates_sent: Total update messages offered by sources.
         bytes_delivered: Total bytes that crossed the network.
+        messages_lost: Data messages dropped by loss or corruption.
+        in_flight: Messages still queued on latent links (both
+            directions) when the report was cut.
+        retransmits: Resync retransmissions cut by ack timeouts or
+            server resync requests.
+        heartbeats: Liveness beacons offered by sources.
+        corrupted: Messages rejected by the receiver-side CRC check.
+        acks_delivered: Server-to-source acknowledgements delivered.
         per_source_energy: Energy report per source id.
     """
 
@@ -49,12 +73,34 @@ class EngineReport:
     readings: int
     updates_sent: int
     bytes_delivered: int
+    messages_lost: int
+    in_flight: int
+    retransmits: int
+    heartbeats: int
+    corrupted: int
+    acks_delivered: int
     per_source_energy: dict[str, EnergyReport]
 
     @property
     def total_energy_joules(self) -> float:
         """System-wide sensor energy across all sources."""
         return sum(r.total_joules for r in self.per_source_energy.values())
+
+
+def _either(
+    first,
+    second,
+):
+    """Compose two optional loss predicates with OR (fault layering)."""
+    if first is None:
+        return second
+    if second is None:
+        return first
+
+    def drop(index: int) -> bool:
+        return bool(first(index)) or bool(second(index))
+
+    return drop
 
 
 class StreamEngine:
@@ -67,14 +113,19 @@ class StreamEngine:
 
     def __init__(self, energy_model: EnergyModel | None = None) -> None:
         self.registry = SourceRegistry()
-        self._server = DKFServer()
-        self._fabric = NetworkFabric(deliver=self._server.receive)
+        self._server = DKFServer(strict=False, emit_acks=True)
+        self._fabric = NetworkFabric(
+            deliver=self._server.receive, deliver_ack=self._on_ack
+        )
         self._energy = energy_model or EnergyModel()
         self._sources: dict[str, DKFSource] = {}
         self._cursors: dict[str, StreamCursor] = {}
         self._links: dict[str, LinkConfig] = {}
+        self._transports: dict[str, TransportPolicy] = {}
         self._ticks = 0
         self._exhausted: set[str] = set()
+        self._faults: FaultSchedule | None = None
+        self._resync_prime: set[str] = set()
 
     @property
     def server(self) -> DKFServer:
@@ -87,9 +138,19 @@ class StreamEngine:
         return self._fabric
 
     @property
+    def sources(self) -> dict[str, DKFSource]:
+        """The installed source-side DKF endpoints (live objects)."""
+        return dict(self._sources)
+
+    @property
     def ticks(self) -> int:
         """Sampling instants processed so far."""
         return self._ticks
+
+    @property
+    def faults(self) -> FaultSchedule | None:
+        """The injected fault schedule, if any."""
+        return self._faults
 
     def add_source(
         self,
@@ -98,6 +159,7 @@ class StreamEngine:
         stream: MaterializedStream,
         link: LinkConfig | None = None,
         default_smoothing_r: float = 1.0,
+        transport: TransportPolicy | None = None,
     ) -> None:
         """Register a source, its model, its data stream and its link."""
         self.registry.register_source(
@@ -106,6 +168,32 @@ class StreamEngine:
         self._cursors[source_id] = StreamCursor(stream)
         self._fabric.add_link(source_id, link)
         self._links[source_id] = link or LinkConfig()
+        self._transports[source_id] = transport or TransportPolicy()
+
+    def inject_faults(self, schedule: FaultSchedule) -> None:
+        """Install a fault schedule; call after every ``add_source``.
+
+        Burst-loss and corruption faults are layered onto the affected
+        links (existing loss functions still apply -- the fabric drops a
+        message when *either* says so).  Crash and sensor faults are
+        consumed tick by tick inside :meth:`step`.
+        """
+        schedule.reset()
+        self._faults = schedule
+        for source_id in self._links:
+            loss = schedule.loss_fn(source_id)
+            corrupt = schedule.corrupt_fn(source_id)
+            if loss is None and corrupt is None:
+                continue
+            base = self._fabric.link_config(source_id)
+            self._fabric.reconfigure_link(
+                source_id,
+                dataclasses.replace(
+                    base,
+                    loss_fn=_either(base.loss_fn, loss),
+                    corrupt_fn=_either(base.corrupt_fn, corrupt),
+                ),
+            )
 
     def submit_query(self, query: ContinuousQuery) -> None:
         """Activate a continuous query, (re)installing the source's DKF.
@@ -130,47 +218,102 @@ class StreamEngine:
             if source_id in self._sources:
                 del self._sources[source_id]
                 self._server.deregister(source_id)
+                self._exhausted.discard(source_id)
+                self._resync_prime.discard(source_id)
             return
         config = descriptor.build_config()
         if self._sources[source_id].config != config:
             self._install(source_id, config)
 
     def _install(self, source_id: str, config) -> None:
-        self._sources[source_id] = DKFSource(source_id, config)
+        transport = self._transports.get(source_id) or TransportPolicy()
+        self._sources[source_id] = DKFSource(
+            source_id, config, transport=transport
+        )
         if source_id in self._server.source_ids:
             self._server.deregister(source_id)
-        self._server.register(source_id, config)
+        self._server.register(source_id, config, transport=transport)
+        self._resync_prime.discard(source_id)
+
+    def _on_ack(self, ack: AckMessage) -> None:
+        """Fabric callback: route a delivered ack to its source."""
+        source = self._sources.get(ack.source_id)
+        if source is not None:
+            source.on_ack(ack, self._ticks)
 
     def step(self) -> int:
         """Advance every queried source one sampling instant.
 
+        Per source: consume fault events (crash/restart, sensor faults),
+        take a reading, run the suppression decision, offer any update to
+        the link (ignoring the link's verdict -- only acks reveal fate),
+        then run the transport state machine (timeout retransmissions and
+        heartbeats).  Finally the fabric advances one tick, delivering due
+        messages, and the server's queued acks are sent back.
+
         Returns the number of sources that produced a reading (sources
-        whose streams are exhausted are skipped).
+        whose streams are exhausted or that are crashed are skipped).
         """
         processed = 0
+        now = self._ticks
         for source_id, source in self._sources.items():
-            if source_id in self._exhausted:
-                continue
-            cursor = self._cursors[source_id]
-            try:
-                record = cursor.next()
-            except StreamExhaustedError:
-                self._exhausted.add(source_id)
-                continue
-            self._server.tick(source_id, record.k)
-            step = source.sample(record)
-            if step.message is not None:
-                delivered = self._fabric.send(step.message)
-                if not delivered:
-                    resync = source.resync_message(record.k, step.value)
-                    self._fabric.send_resync(resync)
-            processed += 1
+            if self._faults is not None:
+                if self._faults.restarts_at(source_id, now):
+                    # Recovered from a crash: all state is gone.  The next
+                    # transmission must be a resync snapshot, because the
+                    # server's expected sequence number survived the crash
+                    # and a fresh seq-0 update would read as a stale
+                    # duplicate.
+                    source.reset(now)
+                    self._resync_prime.add(source_id)
+                if self._faults.is_down(source_id, now):
+                    # Sensor dead: no reading, no transport.  The server
+                    # keeps coasting so staleness and covariance grow.
+                    if self._server.is_primed(source_id):
+                        self._server.tick(source_id, now)
+                    if self._faults.is_terminal(source_id, now):
+                        self._exhausted.add(source_id)
+                    continue
+            if source_id not in self._exhausted:
+                cursor = self._cursors[source_id]
+                try:
+                    record = cursor.next()
+                except StreamExhaustedError:
+                    self._exhausted.add(source_id)
+                else:
+                    if self._faults is not None:
+                        record = self._faults.transform(source_id, now, record)
+                    self._server.tick(source_id, record.k)
+                    step = source.sample(record)
+                    message = step.message
+                    if message is not None:
+                        if source_id in self._resync_prime:
+                            self._resync_prime.discard(source_id)
+                            message = source.resync_message(
+                                record.k, step.value
+                            )
+                        self._fabric.send(message)
+                        source.note_sent(message, now)
+                    processed += 1
+            # Transport maintenance runs for every live source, even after
+            # its stream drained: pending retransmissions and heartbeats
+            # must not strand.
+            for message in source.poll_transport(now):
+                self._fabric.send(message)
         self._ticks += 1
+        self._server.advance_clock(self._ticks)
         self._fabric.advance(self._ticks)
+        for ack in self._server.take_outbox():
+            self._fabric.send_ack(ack)
         return processed
 
     def run(self, max_ticks: int | None = None) -> int:
         """Step until every stream is exhausted (or ``max_ticks``).
+
+        When the run ends because every stream drained, in-flight
+        messages are flushed (:meth:`NetworkFabric.drain`) so nothing is
+        silently stranded; a ``max_ticks`` cut leaves the fabric untouched
+        so the run can be resumed.
 
         Returns the number of ticks executed.
         """
@@ -181,16 +324,57 @@ class StreamEngine:
             if self.step() == 0 and len(self._exhausted) == len(self._sources):
                 break
             executed += 1
+        if self._sources and len(self._exhausted) == len(self._sources):
+            self._flush_in_flight()
         return executed
 
+    def settle(self, max_ticks: int = 256) -> int:
+        """Tick the transport until it quiesces (post-run grace period).
+
+        Keeps stepping (consuming no new readings once streams are
+        exhausted) until no message is in flight and no source is waiting
+        on an ack, or ``max_ticks`` elapse.  Use after :meth:`run` when a
+        test or deployment needs every retransmission resolved rather
+        than merely flushed.
+
+        Returns the number of grace ticks executed.
+        """
+        executed = 0
+        while executed < max_ticks:
+            pending = sum(s.pending_acks for s in self._sources.values())
+            if pending == 0 and self._fabric.total_in_flight() == 0:
+                break
+            self.step()
+            executed += 1
+        return executed
+
+    def _flush_in_flight(self) -> None:
+        """Deliver stranded in-flight traffic (and resulting acks)."""
+        while True:
+            drained = self._fabric.drain()
+            acks = self._server.take_outbox()
+            for ack in acks:
+                self._fabric.send_ack(ack)
+            if drained == 0 and not acks:
+                break
+
     def answers(self) -> list[QueryAnswer]:
-        """Current answers for every active query."""
+        """Current answers for every active query.
+
+        Each answer carries the liveness verdict for its source:
+        ``staleness_ticks`` since the server last heard anything,
+        ``confidence`` derived from the coasting filter's inflated
+        covariance, and ``degraded=True`` once the silence exceeded the
+        source's suspect deadline -- the honest "possibly dead" signal the
+        plain value cannot convey.
+        """
         out = []
         for query in self.registry.active_queries:
             source = self._sources.get(query.source_id)
             if source is None or not self._server.is_primed(query.source_id):
                 continue
             value = self._server.value(query.source_id)
+            live = self._server.liveness(query.source_id)
             out.append(
                 QueryAnswer(
                     query_id=query.query_id,
@@ -198,6 +382,9 @@ class StreamEngine:
                     k=self._server.stats(query.source_id)["last_k"],
                     value=tuple(float(v) for v in value),
                     precision=source.config.min_delta,
+                    staleness_ticks=int(live["staleness_ticks"]),
+                    confidence=self._server.confidence(query.source_id),
+                    degraded=bool(live["suspect"]),
                 )
             )
         return out
@@ -214,6 +401,10 @@ class StreamEngine:
         per_source_energy = {}
         readings = 0
         updates = 0
+        retransmits = 0
+        heartbeats = 0
+        corrupted = 0
+        acks_delivered = 0
         for source_id, source in self._sources.items():
             stats = self._fabric.stats_for(source_id)
             model = source.config.model
@@ -226,10 +417,20 @@ class StreamEngine:
             )
             readings += source.samples_seen
             updates += source.updates_sent
+            retransmits += source.retransmits
+            heartbeats += stats.heartbeats
+            corrupted += stats.corrupted
+            acks_delivered += stats.acks_delivered
         return EngineReport(
             ticks=self._ticks,
             readings=readings,
             updates_sent=updates,
             bytes_delivered=self._fabric.total_bytes(),
+            messages_lost=self._fabric.total_lost(),
+            in_flight=self._fabric.total_in_flight(),
+            retransmits=retransmits,
+            heartbeats=heartbeats,
+            corrupted=corrupted,
+            acks_delivered=acks_delivered,
             per_source_energy=per_source_energy,
         )

@@ -1,0 +1,367 @@
+"""Deterministic fault-injection harness for the stream engine.
+
+A :class:`FaultSchedule` scripts every failure the system is expected to
+survive, keyed to engine ticks and derived entirely from a seed -- two
+runs with equal schedules produce byte-identical behaviour, which is what
+makes soak tests and replays meaningful.
+
+Fault classes:
+
+* **Source crashes** -- the sensor node dies at a tick and (optionally)
+  restarts later, returning with amnesia: the engine re-primes the pair
+  through a resync snapshot because the server's sequence expectations
+  survived the crash.
+* **Sensor faults** -- readings are perturbed before the source logic
+  sees them: ``nan`` (non-finite garbage), ``stuck`` (the last pre-fault
+  reading repeats), ``dropout`` (the reading is lost; modelled as
+  non-finite so the source's rejection path handles it), ``spike``
+  (a large deterministic outlier is added).
+* **Burst loss** -- a two-state Gilbert-Elliott channel replaces i.i.d.
+  loss: long good spells punctuated by bursts where most messages die,
+  the pattern that actually defeats naive retry logic.
+* **Payload corruption** -- selected messages have one encoded bit
+  flipped in flight; the receiver's CRC-32 check rejects the frame, so
+  corruption degenerates to loss (exactly what a checksumming NIC does).
+
+The engine consumes the schedule via the narrow hook API at the bottom
+(:meth:`FaultSchedule.is_down`, :meth:`FaultSchedule.restarts_at`,
+:meth:`FaultSchedule.transform`, :meth:`FaultSchedule.loss_fn`,
+:meth:`FaultSchedule.corrupt_fn`), so alternative harnesses can drive the
+same schedule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.streams.base import StreamRecord
+
+__all__ = [
+    "CrashFault",
+    "SensorFault",
+    "GilbertElliottLoss",
+    "FaultSchedule",
+    "SENSOR_FAULT_KINDS",
+]
+
+#: Sensor fault kinds understood by :meth:`FaultSchedule.sensor`.
+SENSOR_FAULT_KINDS = ("nan", "stuck", "dropout", "spike")
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """A source-node crash window.
+
+    Attributes:
+        source_id: The crashing source.
+        at_tick: First tick the source is down.
+        restart_tick: Tick the source comes back (exclusive end of the
+            outage); None means it never restarts.
+    """
+
+    source_id: str
+    at_tick: int
+    restart_tick: int | None
+
+    def __post_init__(self) -> None:
+        if self.at_tick < 0:
+            raise ConfigurationError("at_tick must be non-negative")
+        if self.restart_tick is not None and self.restart_tick <= self.at_tick:
+            raise ConfigurationError("restart_tick must come after at_tick")
+
+    def covers(self, tick: int) -> bool:
+        """Whether the source is down at ``tick``."""
+        if tick < self.at_tick:
+            return False
+        return self.restart_tick is None or tick < self.restart_tick
+
+
+@dataclass(frozen=True)
+class SensorFault:
+    """A sensor malfunction window perturbing raw readings.
+
+    Attributes:
+        source_id: The faulty source.
+        kind: One of :data:`SENSOR_FAULT_KINDS`.
+        start_tick: First affected tick.
+        duration: Number of consecutive affected ticks.
+        magnitude: Spike amplitude (``spike`` kind only).
+    """
+
+    source_id: str
+    kind: str
+    start_tick: int
+    duration: int
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SENSOR_FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown sensor fault kind {self.kind!r}; "
+                f"expected one of {SENSOR_FAULT_KINDS}"
+            )
+        if self.start_tick < 0:
+            raise ConfigurationError("start_tick must be non-negative")
+        if self.duration < 1:
+            raise ConfigurationError("duration must be at least 1")
+        if self.kind == "spike" and self.magnitude == 0.0:
+            raise ConfigurationError("spike faults need a non-zero magnitude")
+
+    def covers(self, tick: int) -> bool:
+        """Whether the fault is active at ``tick``."""
+        return self.start_tick <= tick < self.start_tick + self.duration
+
+
+class GilbertElliottLoss:
+    """Two-state Markov burst-loss model (Gilbert-Elliott).
+
+    The channel alternates between a *good* state (loss probability
+    ``loss_good``, usually ~0) and a *bad* state (``loss_bad``, usually
+    near 1).  Transitions happen per message: ``p_enter`` is the
+    good-to-bad probability, ``p_exit`` bad-to-good.  Decisions are
+    derived from the seed and the message index alone -- the chain is
+    materialised lazily and memoised, so any query order yields the same
+    answers and replays are exact.
+
+    Args:
+        p_enter: Per-message probability of entering the bad state.
+        p_exit: Per-message probability of leaving the bad state.
+        loss_good: Loss probability while in the good state.
+        loss_bad: Loss probability while in the bad state.
+        seed: Seed for the chain's random draws.
+    """
+
+    def __init__(
+        self,
+        p_enter: float,
+        p_exit: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        for name, p in (
+            ("p_enter", p_enter),
+            ("p_exit", p_exit),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
+        self._p_enter = p_enter
+        self._p_exit = p_exit
+        self._loss_good = loss_good
+        self._loss_bad = loss_bad
+        self._rng = np.random.default_rng(seed)
+        self._decisions: list[bool] = []
+        self._bad = False
+
+    def _extend_to(self, index: int) -> None:
+        while len(self._decisions) <= index:
+            transition, drop = self._rng.random(2)
+            if self._bad:
+                if transition < self._p_exit:
+                    self._bad = False
+            elif transition < self._p_enter:
+                self._bad = True
+            rate = self._loss_bad if self._bad else self._loss_good
+            self._decisions.append(bool(drop < rate))
+
+    def __call__(self, index: int) -> bool:
+        """Whether message ``index`` is dropped."""
+        if index < 0:
+            raise ConfigurationError("message index must be non-negative")
+        self._extend_to(index)
+        return self._decisions[index]
+
+
+class FaultSchedule:
+    """A seeded, deterministic script of failures for one engine run.
+
+    Build the schedule declaratively (:meth:`crash`, :meth:`sensor`,
+    :meth:`burst_loss`, :meth:`corrupt`), hand it to
+    ``StreamEngine.inject_faults``, and run.  All randomness (burst-loss
+    chains, corruption picks, spike signs) derives from ``seed`` plus
+    stable per-fault identifiers, never from call order.
+
+    Args:
+        seed: Master seed all stochastic fault decisions derive from.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._crashes: list[CrashFault] = []
+        self._sensor_faults: list[SensorFault] = []
+        self._burst_loss: dict[str, tuple[float, float, float, float]] = {}
+        self._corrupt_rates: dict[str, float] = {}
+        self._loss_fns: dict[str, GilbertElliottLoss] = {}
+        self._stuck_values: dict[str, np.ndarray] = {}
+
+    @property
+    def seed(self) -> int:
+        """The master seed."""
+        return self._seed
+
+    def _subseed(self, tag: str) -> int:
+        """A stable per-fault seed derived from the master seed."""
+        return (self._seed << 32) ^ zlib.crc32(tag.encode("utf-8"))
+
+    # Declarative construction --------------------------------------------
+
+    def crash(
+        self, source_id: str, at: int, restart_at: int | None = None
+    ) -> "FaultSchedule":
+        """Schedule a source crash at tick ``at`` (restart optional)."""
+        self._crashes.append(
+            CrashFault(source_id=source_id, at_tick=at, restart_tick=restart_at)
+        )
+        return self
+
+    def sensor(
+        self,
+        source_id: str,
+        kind: str,
+        start: int,
+        duration: int,
+        magnitude: float = 0.0,
+    ) -> "FaultSchedule":
+        """Schedule a sensor fault window (see :class:`SensorFault`)."""
+        self._sensor_faults.append(
+            SensorFault(
+                source_id=source_id,
+                kind=kind,
+                start_tick=start,
+                duration=duration,
+                magnitude=magnitude,
+            )
+        )
+        return self
+
+    def burst_loss(
+        self,
+        source_id: str,
+        p_enter: float,
+        p_exit: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+    ) -> "FaultSchedule":
+        """Attach a Gilbert-Elliott burst-loss channel to a source's link."""
+        if source_id in self._burst_loss:
+            raise ConfigurationError(
+                f"burst loss already scheduled for {source_id!r}"
+            )
+        self._burst_loss[source_id] = (p_enter, p_exit, loss_good, loss_bad)
+        return self
+
+    def corrupt(self, source_id: str, rate: float) -> "FaultSchedule":
+        """Corrupt a fraction ``rate`` of a source's encoded messages."""
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1), got {rate}")
+        if source_id in self._corrupt_rates:
+            raise ConfigurationError(
+                f"corruption already scheduled for {source_id!r}"
+            )
+        self._corrupt_rates[source_id] = rate
+        return self
+
+    # Engine-facing hooks --------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear per-run state (stuck-value memory, burst-loss chains).
+
+        ``StreamEngine.inject_faults`` calls this, so a schedule can be
+        reused across runs and still produce identical behaviour.
+        """
+        self._stuck_values.clear()
+        self._loss_fns.clear()
+
+    def is_down(self, source_id: str, tick: int) -> bool:
+        """Whether the source is crashed at ``tick``."""
+        return any(
+            c.source_id == source_id and c.covers(tick) for c in self._crashes
+        )
+
+    def is_terminal(self, source_id: str, tick: int) -> bool:
+        """Whether the source is crashed at ``tick`` and never restarts."""
+        return any(
+            c.source_id == source_id and c.covers(tick) and c.restart_tick is None
+            for c in self._crashes
+        )
+
+    def restarts_at(self, source_id: str, tick: int) -> bool:
+        """Whether the source comes back from a crash exactly at ``tick``."""
+        return any(
+            c.source_id == source_id and c.restart_tick == tick
+            for c in self._crashes
+        )
+
+    def transform(
+        self, source_id: str, tick: int, record: StreamRecord
+    ) -> StreamRecord:
+        """Apply active sensor faults to a reading (engine hook).
+
+        Healthy readings additionally refresh the stuck-value memory so a
+        later ``stuck`` window repeats the last good reading.
+        """
+        value = record.value
+        faulted = False
+        for fault in self._sensor_faults:
+            if fault.source_id != source_id or not fault.covers(tick):
+                continue
+            faulted = True
+            if fault.kind in ("nan", "dropout"):
+                value = np.full_like(value, np.nan)
+            elif fault.kind == "stuck":
+                held = self._stuck_values.get(source_id)
+                if held is not None and held.shape == value.shape:
+                    value = held.copy()
+            elif fault.kind == "spike":
+                sign_seed = self._subseed(f"spike:{source_id}:{tick}")
+                sign = 1.0 if np.random.default_rng(sign_seed).random() < 0.5 else -1.0
+                value = value + sign * fault.magnitude
+        if not faulted:
+            self._stuck_values[source_id] = record.value.copy()
+            return record
+        return dataclasses.replace(record, value=value)
+
+    def loss_fn(self, source_id: str) -> Callable[[int], bool] | None:
+        """The burst-loss predicate for a source's link, if scheduled."""
+        params = self._burst_loss.get(source_id)
+        if params is None:
+            return None
+        if source_id not in self._loss_fns:
+            p_enter, p_exit, loss_good, loss_bad = params
+            self._loss_fns[source_id] = GilbertElliottLoss(
+                p_enter=p_enter,
+                p_exit=p_exit,
+                loss_good=loss_good,
+                loss_bad=loss_bad,
+                seed=self._subseed(f"burst:{source_id}"),
+            )
+        return self._loss_fns[source_id]
+
+    def corrupt_fn(self, source_id: str) -> Callable[[int], bool] | None:
+        """The corruption predicate for a source's link, if scheduled."""
+        rate = self._corrupt_rates.get(source_id)
+        if rate is None:
+            return None
+        subseed = self._subseed(f"corrupt:{source_id}")
+
+        def pick(index: int) -> bool:
+            return bool(np.random.default_rng((subseed, index)).random() < rate)
+
+        return pick
+
+    def describe(self) -> dict[str, int]:
+        """Summary counts of scheduled faults (logging aid)."""
+        return {
+            "crashes": len(self._crashes),
+            "sensor_faults": len(self._sensor_faults),
+            "burst_loss_links": len(self._burst_loss),
+            "corrupted_links": len(self._corrupt_rates),
+        }

@@ -1,10 +1,19 @@
 """Simulated network fabric for multi-source deployments.
 
 One :class:`NetworkFabric` carries the links between every remote source
-and the central server.  Each link wraps a
-:class:`~repro.dkf.protocol.Channel` with optional latency (delivery after
-a fixed number of ticks) and loss, and the fabric aggregates traffic
-accounting across links so the engine can report system-wide bandwidth.
+and the central server.  Each link wraps the data direction
+(source -> server: updates, resyncs, heartbeats) *and* the ack direction
+(server -> source), each with its own latency and loss, and the fabric
+aggregates traffic accounting across links so the engine can report
+system-wide bandwidth.
+
+Every message class is treated identically by the link: resyncs are just
+as mortal as updates (the seed's "reliable resync path" cheat is gone --
+recovery is the transport layer's job, via ack timeouts and
+retransmission).  Optional payload corruption round-trips a message
+through the real binary codec with one bit flipped; the receiver-side
+CRC-32 check rejects the frame and the fabric counts it as a loss, which
+is exactly what a real NIC would do.
 
 Latency model: a message sent at tick ``t`` with link latency ``L`` is
 delivered when :meth:`NetworkFabric.advance` reaches tick ``t + L``.
@@ -15,15 +24,27 @@ on a LAN) deliver synchronously inside ``send``.
 from __future__ import annotations
 
 import heapq
+import zlib
 from collections.abc import Callable
 from dataclasses import dataclass
 
-from repro.dkf.protocol import ResyncMessage, UpdateMessage
-from repro.errors import ConfigurationError, UnknownSourceError
+from repro.dkf.protocol import (
+    AckMessage,
+    HeartbeatMessage,
+    ResyncMessage,
+    UpdateMessage,
+    decode_message,
+    encode_message,
+)
+from repro.errors import (
+    ConfigurationError,
+    CorruptMessageError,
+    UnknownSourceError,
+)
 
 __all__ = ["LinkConfig", "NetworkFabric", "LinkStats"]
 
-Message = UpdateMessage | ResyncMessage
+Message = UpdateMessage | ResyncMessage | HeartbeatMessage
 
 
 @dataclass(frozen=True)
@@ -31,40 +52,72 @@ class LinkConfig:
     """Per-link parameters.
 
     Attributes:
-        latency_ticks: Delivery delay in engine ticks (0 = synchronous).
+        latency_ticks: Data-direction delivery delay in engine ticks
+            (0 = synchronous).
         loss_fn: Optional predicate ``(message_index) -> bool``; True
-            drops that update message (resyncs are never dropped).
+            drops that data message.  Applies to *every* data message --
+            updates, resyncs and heartbeats alike.
+        ack_latency_ticks: Delivery delay for the server -> source ack
+            direction.
+        ack_loss_fn: Optional loss predicate for the ack direction (its
+            index counter is independent of the data direction).
+        corrupt_fn: Optional predicate ``(message_index) -> bool``; True
+            flips one bit of that data message's encoded frame.  The
+            receiver's CRC check rejects the frame, so a corrupted message
+            is counted as both corrupted and lost.
     """
 
     latency_ticks: int = 0
     loss_fn: Callable[[int], bool] | None = None
+    ack_latency_ticks: int = 0
+    ack_loss_fn: Callable[[int], bool] | None = None
+    corrupt_fn: Callable[[int], bool] | None = None
 
     def __post_init__(self) -> None:
         if self.latency_ticks < 0:
             raise ConfigurationError("latency_ticks must be non-negative")
+        if self.ack_latency_ticks < 0:
+            raise ConfigurationError("ack_latency_ticks must be non-negative")
 
 
 @dataclass
 class LinkStats:
-    """Traffic counters for one link."""
+    """Traffic counters for one link (both directions)."""
 
     offered: int = 0
     delivered: int = 0
     lost: int = 0
+    corrupted: int = 0
     bytes_delivered: int = 0
     resyncs: int = 0
+    heartbeats: int = 0
+    acks_offered: int = 0
+    acks_delivered: int = 0
+    acks_lost: int = 0
     in_flight: int = 0
 
 
 class NetworkFabric:
-    """All source-to-server links plus global traffic accounting."""
+    """All source-to-server links plus global traffic accounting.
 
-    def __init__(self, deliver: Callable[[Message], None]) -> None:
+    Args:
+        deliver: Callback receiving each data-direction message (the
+            server's ``receive``).
+        deliver_ack: Optional callback receiving each ack-direction
+            message; without it, acks cannot be sent.
+    """
+
+    def __init__(
+        self,
+        deliver: Callable[[Message], None],
+        deliver_ack: Callable[[AckMessage], None] | None = None,
+    ) -> None:
         self._deliver = deliver
+        self._deliver_ack = deliver_ack
         self._links: dict[str, LinkConfig] = {}
         self._stats: dict[str, LinkStats] = {}
         self._tick = 0
-        self._queue: list[tuple[int, int, Message]] = []
+        self._queue: list[tuple[int, int, Message | AckMessage]] = []
         self._seq = 0  # Tie-breaker preserving FIFO order per delivery tick.
 
     def add_link(self, source_id: str, config: LinkConfig | None = None) -> None:
@@ -73,6 +126,19 @@ class NetworkFabric:
             raise ConfigurationError(f"link for {source_id!r} already exists")
         self._links[source_id] = config or LinkConfig()
         self._stats[source_id] = LinkStats()
+
+    def reconfigure_link(self, source_id: str, config: LinkConfig) -> None:
+        """Replace a link's parameters in place (fault injection hook).
+
+        Stats and in-flight messages are preserved; only the loss,
+        corruption and latency behaviour changes for subsequent sends.
+        """
+        self._link(source_id)
+        self._links[source_id] = config
+
+    def link_config(self, source_id: str) -> LinkConfig:
+        """The current parameters of one link."""
+        return self._link(source_id)[0]
 
     def _link(self, source_id: str) -> tuple[LinkConfig, LinkStats]:
         try:
@@ -87,38 +153,90 @@ class NetworkFabric:
         """The fabric clock (engine ticks)."""
         return self._tick
 
-    def send(self, message: UpdateMessage) -> bool:
-        """Offer an update over the sender's link.
+    def send(self, message: Message) -> bool:
+        """Offer a data-direction message over the sender's link.
 
         Returns True when the message was (or will be) delivered; False
-        when the loss function dropped it.
+        when the loss or corruption model dropped it.  Callers modelling a
+        *real* source must ignore the return value -- a sender only learns
+        of a drop through a missing ack.
         """
         config, stats = self._link(message.source_id)
+        index = stats.offered
         stats.offered += 1
-        if config.loss_fn is not None and config.loss_fn(stats.offered - 1):
+        if isinstance(message, ResyncMessage):
+            stats.resyncs += 1
+        elif isinstance(message, HeartbeatMessage):
+            stats.heartbeats += 1
+        if config.loss_fn is not None and config.loss_fn(index):
             stats.lost += 1
             return False
-        self._enqueue(message, config, stats)
+        if config.corrupt_fn is not None and config.corrupt_fn(index):
+            message_or_none = self._corrupt(message, index)
+            if message_or_none is None:
+                stats.corrupted += 1
+                stats.lost += 1
+                return False
+            message = message_or_none
+        self._enqueue(message, config.latency_ticks, stats)
         return True
 
-    def send_resync(self, message: ResyncMessage) -> None:
-        """Deliver a resync snapshot (reliable, never dropped)."""
+    def send_ack(self, message: AckMessage) -> bool:
+        """Offer an ack-direction message (server -> source)."""
         config, stats = self._link(message.source_id)
-        stats.offered += 1
-        stats.resyncs += 1
-        self._enqueue(message, config, stats)
+        if self._deliver_ack is None:
+            raise ConfigurationError(
+                "fabric has no ack delivery callback; pass deliver_ack"
+            )
+        index = stats.acks_offered
+        stats.acks_offered += 1
+        if config.ack_loss_fn is not None and config.ack_loss_fn(index):
+            stats.acks_lost += 1
+            return False
+        self._enqueue(message, config.ack_latency_ticks, stats)
+        return True
 
-    def _enqueue(self, message: Message, config: LinkConfig, stats: LinkStats) -> None:
-        if config.latency_ticks == 0:
-            stats.delivered += 1
-            stats.bytes_delivered += message.size_bytes
-            self._deliver(message)
+    def _corrupt(self, message: Message, index: int) -> Message | None:
+        """Flip one bit of the encoded frame and re-decode it.
+
+        The flipped bit position is derived deterministically from the
+        message index.  Because every frame ends in a CRC-32 trailer, the
+        decode fails (a single-bit error always trips a CRC) and the
+        receiver discards the frame -- returned as None.  In the
+        vanishingly unlikely event the decode survives, the (still intact)
+        decoded message is delivered.
+        """
+        data = bytearray(encode_message(message))
+        bit = zlib.crc32(f"corrupt:{index}".encode()) % (len(data) * 8)
+        data[bit // 8] ^= 1 << (bit % 8)
+        state_dim = (
+            message.x.shape[0] if isinstance(message, ResyncMessage) else None
+        )
+        try:
+            return decode_message(
+                bytes(data), [message.source_id], state_dim=state_dim
+            )
+        except CorruptMessageError:
+            return None
+
+    def _dispatch(self, message: Message | AckMessage) -> None:
+        stats = self._stats[message.source_id]
+        if isinstance(message, AckMessage):
+            stats.acks_delivered += 1
+            self._deliver_ack(message)
+            return
+        stats.delivered += 1
+        stats.bytes_delivered += message.size_bytes
+        self._deliver(message)
+
+    def _enqueue(
+        self, message: Message | AckMessage, latency: int, stats: LinkStats
+    ) -> None:
+        if latency == 0:
+            self._dispatch(message)
             return
         stats.in_flight += 1
-        heapq.heappush(
-            self._queue,
-            (self._tick + config.latency_ticks, self._seq, message),
-        )
+        heapq.heappush(self._queue, (self._tick + latency, self._seq, message))
         self._seq += 1
 
     def advance(self, to_tick: int | None = None) -> int:
@@ -137,13 +255,25 @@ class NetworkFabric:
         self._tick = target
         while self._queue and self._queue[0][0] <= self._tick:
             _due, _seq, message = heapq.heappop(self._queue)
-            stats = self._stats[message.source_id]
-            stats.in_flight -= 1
-            stats.delivered += 1
-            stats.bytes_delivered += message.size_bytes
-            self._deliver(message)
+            self._stats[message.source_id].in_flight -= 1
+            self._dispatch(message)
             delivered += 1
         return delivered
+
+    def drain(self) -> int:
+        """Deliver every queued message immediately, regardless of tick.
+
+        Call at the end of a run so messages still in flight are neither
+        silently stranded nor invisible in the report.  Returns the number
+        of messages flushed.
+        """
+        drained = 0
+        while self._queue:
+            _due, _seq, message = heapq.heappop(self._queue)
+            self._stats[message.source_id].in_flight -= 1
+            self._dispatch(message)
+            drained += 1
+        return drained
 
     def stats_for(self, source_id: str) -> LinkStats:
         """Traffic counters for one link."""
@@ -154,5 +284,13 @@ class NetworkFabric:
         return sum(s.bytes_delivered for s in self._stats.values())
 
     def total_messages(self) -> int:
-        """System-wide delivered messages across all links."""
+        """System-wide delivered data messages across all links."""
         return sum(s.delivered for s in self._stats.values())
+
+    def total_in_flight(self) -> int:
+        """Messages currently queued on latent links (both directions)."""
+        return sum(s.in_flight for s in self._stats.values())
+
+    def total_lost(self) -> int:
+        """System-wide dropped data messages (loss plus corruption)."""
+        return sum(s.lost for s in self._stats.values())

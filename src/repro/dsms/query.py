@@ -61,6 +61,19 @@ class QueryAnswer:
         value: The server's estimate (tuple of floats for stability).
         precision: The precision width the answer is guaranteed within
             (the source's installed δ, which is <= the query's Δ).
+        staleness_ticks: Server-clock ticks since the source was last
+            heard from (any message, heartbeats included).  Small values
+            are normal -- silence *is* the protocol -- but they are
+            bounded by the heartbeat interval while the source lives.
+        confidence: ``delta / (delta + sigma)`` where sigma is the
+            predicted-measurement standard deviation of the (possibly
+            coasting) server filter: near 1 right after a correction,
+            decaying toward 0 the longer the filter extrapolates
+            unchecked.
+        degraded: True once the source has been silent past its liveness
+            deadline -- the answer may still be the best available, but
+            the "within δ" guarantee no longer stands and the source may
+            be dead.
     """
 
     query_id: str
@@ -68,3 +81,6 @@ class QueryAnswer:
     k: int
     value: tuple[float, ...]
     precision: float
+    staleness_ticks: int = 0
+    confidence: float = 1.0
+    degraded: bool = False

@@ -51,6 +51,16 @@ class MirrorDesyncError(ProtocolError):
     """
 
 
+class CorruptMessageError(ProtocolError):
+    """An encoded message failed its CRC-32 integrity check.
+
+    Raised by :func:`repro.dkf.protocol.decode_message` when the trailer
+    CRC does not match the message body -- the receiver must discard the
+    message (it is indistinguishable from a loss) rather than risk applying
+    a silently wrong decode.
+    """
+
+
 class StaleSessionError(ProtocolError):
     """An operation was attempted on a session that has already finished."""
 

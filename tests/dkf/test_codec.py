@@ -1,17 +1,22 @@
 """Unit and property tests for the binary message codec."""
 
+import struct
+import zlib
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.dkf.protocol import (
+    AckMessage,
+    HeartbeatMessage,
     ResyncMessage,
     UpdateMessage,
     decode_message,
     encode_message,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, CorruptMessageError
 
 finite = st.floats(min_value=-1e12, max_value=1e12, allow_nan=False)
 
@@ -65,15 +70,42 @@ class TestRoundTrips:
         assert decoded.value.shape == (1,)
 
 
+class TestAckAndHeartbeat:
+    def test_ack_round_trip(self):
+        msg = AckMessage(source_id="s0", seq=12, k=30, resync_requested=True)
+        decoded = decode_message(encode_message(msg), ["s0"])
+        assert isinstance(decoded, AckMessage)
+        assert decoded.seq == 12 and decoded.k == 30
+        assert decoded.resync_requested is True
+
+    def test_ack_round_trip_without_resync_flag(self):
+        msg = AckMessage(source_id="s0", seq=0, k=0)
+        decoded = decode_message(encode_message(msg), ["s0"])
+        assert decoded.resync_requested is False
+
+    def test_heartbeat_round_trip(self):
+        msg = HeartbeatMessage(source_id="s0", seq=5, k=99)
+        decoded = decode_message(encode_message(msg), ["s0"])
+        assert isinstance(decoded, HeartbeatMessage)
+        assert decoded.seq == 5 and decoded.k == 99
+
+
 class TestSizeAccounting:
     def test_encoded_length_equals_size_bytes(self):
-        """The codec and the traffic accounting cannot drift apart."""
+        """The codec and the traffic accounting cannot drift apart.
+
+        ``size_bytes`` must equal the encoded length *including* the CRC-32
+        trailer, for every message class.
+        """
         for msg in (
             update(),
             update(values=(1.0,)),
             update(digest=b"abcdefgh"),
             resync(n=2, m=1),
             resync(n=5, m=2),
+            AckMessage(source_id="s0", seq=1, k=2),
+            AckMessage(source_id="s0", seq=1, k=2, resync_requested=True),
+            HeartbeatMessage(source_id="s0", seq=3, k=4),
         ):
             assert len(encode_message(msg)) == msg.size_bytes, msg
 
@@ -89,8 +121,16 @@ class TestErrors:
             decode_message(b"\x01\x02", ["s0"])
 
     def test_unknown_tag(self):
-        data = b"\x7f" + encode_message(update())[1:]
+        # Re-seal the CRC so the frame is *intact* but semantically alien:
+        # the decoder must reject the tag, not mistake it for corruption.
+        body = b"\x7f" + encode_message(update())[1:-4]
+        data = body + struct.pack("!I", zlib.crc32(body) & 0xFFFFFFFF)
         with pytest.raises(ConfigurationError):
+            decode_message(data, ["s0"])
+
+    def test_tampered_tag_without_reseal_is_corruption(self):
+        data = b"\x7f" + encode_message(update())[1:]
+        with pytest.raises(CorruptMessageError):
             decode_message(data, ["s0"])
 
     def test_resync_requires_state_dim(self):
@@ -137,3 +177,44 @@ def test_resync_round_trip_property(n, m, seed):
     assert np.allclose(decoded.p, msg.p, atol=1e-12)
     assert np.allclose(decoded.x, msg.x)
     assert len(encode_message(msg)) == msg.size_bytes
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(finite, min_size=1, max_size=4),
+    seq=st.integers(min_value=0, max_value=2**31 - 1),
+    bit=st.integers(min_value=0, max_value=10**9),
+    data=st.data(),
+)
+def test_corruption_never_decodes_silently(values, seq, bit, data):
+    """Flipping any single bit of any frame trips the CRC (satellite 6).
+
+    A corrupted frame must raise :class:`CorruptMessageError` -- never
+    decode to a wrong-but-plausible message the filters would then apply.
+    """
+    kind = data.draw(st.sampled_from(["update", "resync", "ack", "heartbeat"]))
+    if kind == "update":
+        msg = UpdateMessage(
+            source_id="s0", seq=seq, k=seq, value=np.array(values)
+        )
+        state_dim = None
+    elif kind == "resync":
+        n = len(values)
+        rng = np.random.default_rng(seq % 1000)
+        a = rng.normal(size=(n, n))
+        msg = ResyncMessage(
+            source_id="s0", seq=seq, k=seq, x=np.array(values), p=a @ a.T,
+            value=np.array(values[:1]),
+        )
+        state_dim = n
+    elif kind == "ack":
+        msg = AckMessage(source_id="s0", seq=seq, k=seq)
+        state_dim = None
+    else:
+        msg = HeartbeatMessage(source_id="s0", seq=seq, k=seq)
+        state_dim = None
+    frame = bytearray(encode_message(msg))
+    position = bit % (len(frame) * 8)
+    frame[position // 8] ^= 1 << (position % 8)
+    with pytest.raises(CorruptMessageError):
+        decode_message(bytes(frame), ["s0"], state_dim=state_dim)

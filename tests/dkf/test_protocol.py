@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.dkf.protocol import (
+    CRC_BYTES,
     DIGEST_BYTES,
     FLOAT_BYTES,
     HEADER_BYTES,
@@ -24,7 +25,10 @@ def update(seq=0, k=0, dim=2, digest=None):
 
 class TestMessageSizes:
     def test_update_size(self):
-        assert update(dim=2).size_bytes == HEADER_BYTES + 2 * FLOAT_BYTES
+        assert (
+            update(dim=2).size_bytes
+            == HEADER_BYTES + 2 * FLOAT_BYTES + CRC_BYTES
+        )
 
     def test_digest_adds_bytes(self):
         plain = update(dim=1)
@@ -41,7 +45,10 @@ class TestMessageSizes:
             value=np.zeros(2),
         )
         cov_floats = 4 * 5 // 2
-        assert msg.size_bytes == HEADER_BYTES + (4 + cov_floats + 2) * FLOAT_BYTES
+        assert (
+            msg.size_bytes
+            == HEADER_BYTES + (4 + cov_floats + 2) * FLOAT_BYTES + CRC_BYTES
+        )
 
     def test_resync_larger_than_update(self):
         resync = ResyncMessage(

@@ -1,0 +1,273 @@
+"""Tests for the fault-tolerant transport: ack/retransmit state machine,
+exponential backoff, heartbeats, and the server's tolerant delivery mode."""
+
+import numpy as np
+import pytest
+
+from repro.dkf.config import DKFConfig, TransportPolicy
+from repro.dkf.protocol import (
+    AckMessage,
+    HeartbeatMessage,
+    ResyncMessage,
+    UpdateMessage,
+)
+from repro.dkf.server import DKFServer
+from repro.dkf.source import DKFSource
+from repro.errors import ConfigurationError, MirrorDesyncError
+from repro.filters.models import constant_model
+from repro.streams.base import StreamRecord
+
+
+def config(delta=0.5):
+    return DKFConfig(model=constant_model(dims=1), delta=delta)
+
+
+def record(k, value):
+    return StreamRecord(k=k, timestamp=float(k), value=np.atleast_1d(float(value)))
+
+
+def update(seq, k, value=1.0):
+    return UpdateMessage(
+        source_id="s0", seq=seq, k=k, value=np.atleast_1d(float(value))
+    )
+
+
+class TestTransportPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = TransportPolicy(
+            ack_timeout_ticks=4, backoff_factor=2.0, max_backoff_ticks=64
+        )
+        assert policy.retry_timeout(0) == 4
+        assert policy.retry_timeout(1) == 8
+        assert policy.retry_timeout(2) == 16
+        assert policy.retry_timeout(3) == 32
+
+    def test_backoff_capped(self):
+        policy = TransportPolicy(
+            ack_timeout_ticks=4, backoff_factor=2.0, max_backoff_ticks=10
+        )
+        assert policy.retry_timeout(5) == 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TransportPolicy(ack_timeout_ticks=0)
+        with pytest.raises(ConfigurationError):
+            TransportPolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            TransportPolicy(ack_timeout_ticks=8, max_backoff_ticks=4)
+
+
+class TestSourceRetransmission:
+    def make_source(self, **policy):
+        defaults = dict(ack_timeout_ticks=4, heartbeat_interval_ticks=100)
+        defaults.update(policy)
+        return DKFSource("s0", config(), transport=TransportPolicy(**defaults))
+
+    def test_unacked_message_retransmits_as_resync(self):
+        source = self.make_source()
+        step = source.sample(record(0, 1.0))
+        source.note_sent(step.message, now=0)
+        assert source.pending_acks == 1
+        # Before the deadline: silence.
+        assert source.poll_transport(3) == []
+        # Deadline hit: a full snapshot goes out, not the stale update.
+        out = source.poll_transport(4)
+        assert len(out) == 1
+        assert isinstance(out[0], ResyncMessage)
+        assert source.retransmits == 1
+        assert source.pending_acks == 1  # the resync is itself pending
+
+    def test_ack_settles_pending(self):
+        source = self.make_source()
+        step = source.sample(record(0, 1.0))
+        source.note_sent(step.message, now=0)
+        source.on_ack(AckMessage(source_id="s0", seq=1, k=0), now=1)
+        assert source.pending_acks == 0
+        assert source.poll_transport(10) == []
+        assert source.retransmits == 0
+
+    def test_cumulative_ack_settles_older_entries(self):
+        source = self.make_source()
+        for k, value in enumerate([0.0, 5.0, 10.0]):
+            step = source.sample(record(k, value))
+            assert step.message is not None
+            source.note_sent(step.message, now=k)
+        assert source.pending_acks == 3
+        # One ack with next-expected=3 settles everything below it.
+        source.on_ack(AckMessage(source_id="s0", seq=3, k=2), now=3)
+        assert source.pending_acks == 0
+
+    def test_retransmission_backs_off(self):
+        source = self.make_source(ack_timeout_ticks=4, backoff_factor=2.0)
+        step = source.sample(record(0, 1.0))
+        source.note_sent(step.message, now=0)
+        assert len(source.poll_transport(4)) == 1  # attempt 1, next timeout 8
+        assert source.poll_transport(11) == []     # 4 + 8 = 12 not reached
+        assert len(source.poll_transport(12)) == 1  # attempt 2, next timeout 16
+        assert source.poll_transport(27) == []      # 12 + 16 = 28 not reached
+        assert len(source.poll_transport(28)) == 1
+        assert source.retransmits == 3
+
+    def test_server_requested_resync_is_immediate(self):
+        source = self.make_source()
+        source.sample(record(0, 1.0))
+        source.on_ack(
+            AckMessage(source_id="s0", seq=1, k=0, resync_requested=True),
+            now=1,
+        )
+        out = source.poll_transport(1)
+        assert len(out) == 1
+        assert isinstance(out[0], ResyncMessage)
+
+    def test_no_transport_before_priming(self):
+        source = self.make_source()
+        assert source.poll_transport(50) == []
+
+
+class TestHeartbeats:
+    def test_heartbeat_after_silence(self):
+        source = DKFSource(
+            "s0",
+            config(),
+            transport=TransportPolicy(
+                ack_timeout_ticks=4, heartbeat_interval_ticks=10
+            ),
+        )
+        step = source.sample(record(0, 1.0))
+        source.note_sent(step.message, now=0)
+        source.on_ack(AckMessage(source_id="s0", seq=1, k=0), now=1)
+        assert source.poll_transport(9) == []
+        out = source.poll_transport(10)
+        assert len(out) == 1
+        assert isinstance(out[0], HeartbeatMessage)
+        assert source.heartbeats_sent == 1
+        # The beacon resets the silence clock.
+        assert source.poll_transport(11) == []
+
+    def test_no_heartbeat_while_awaiting_ack(self):
+        """Pending retransmission state owns the link; no beacon interleaves."""
+        source = DKFSource(
+            "s0",
+            config(),
+            transport=TransportPolicy(
+                ack_timeout_ticks=50, heartbeat_interval_ticks=10
+            ),
+        )
+        step = source.sample(record(0, 1.0))
+        source.note_sent(step.message, now=0)
+        assert source.poll_transport(10) == []
+
+
+class TestTolerantServer:
+    def make_server(self):
+        server = DKFServer(strict=False, emit_acks=True)
+        server.register("s0", config())
+        return server
+
+    def test_in_order_update_acked(self):
+        server = self.make_server()
+        server.receive(update(0, 0))
+        acks = server.take_outbox()
+        assert len(acks) == 1
+        assert acks[0].seq == 1
+        assert not acks[0].resync_requested
+
+    def test_gap_requests_resync_instead_of_raising(self):
+        server = self.make_server()
+        server.receive(update(0, 0))
+        server.take_outbox()
+        server.tick("s0", 1)
+        answer = server.receive(update(2, 2, value=9.0))  # seq 1 lost
+        # The unsafe correction was NOT applied.
+        assert answer[0] != 9.0
+        assert server.stats("s0")["desynced"]
+        assert server.stats("s0")["gaps_detected"] == 1
+        acks = server.take_outbox()
+        assert len(acks) == 1
+        assert acks[0].resync_requested
+
+    def test_duplicate_retransmit_ignored_and_reacked(self):
+        server = self.make_server()
+        server.receive(update(0, 0))
+        server.tick("s0", 1)
+        server.receive(update(1, 1, value=2.0))
+        server.take_outbox()
+        # The same update arrives again (its ack was lost in flight).
+        server.receive(update(1, 1, value=2.0))
+        assert server.stats("s0")["duplicates_ignored"] == 1
+        assert not server.stats("s0")["desynced"]
+        acks = server.take_outbox()
+        assert len(acks) == 1
+        assert acks[0].seq == 2
+
+    def test_resync_heals_gap(self):
+        server = self.make_server()
+        server.receive(update(0, 0))
+        server.tick("s0", 1)
+        server.receive(update(2, 2))  # gap
+        assert server.stats("s0")["desynced"]
+        resync = ResyncMessage(
+            source_id="s0", seq=3, k=3, x=np.array([5.0]),
+            p=np.eye(1), value=np.array([5.0]),
+        )
+        server.receive(resync)
+        assert not server.stats("s0")["desynced"]
+        server.tick("s0", 4)
+        server.receive(update(4, 4, value=5.5))
+        assert server.value("s0")[0] == 5.5
+
+    def test_strict_mode_still_raises_on_gap(self):
+        server = DKFServer(strict=True)
+        server.register("s0", config())
+        server.receive(update(0, 0))
+        with pytest.raises(MirrorDesyncError):
+            server.receive(update(2, 2))
+
+    def test_strict_mode_still_raises_on_duplicate(self):
+        server = DKFServer(strict=True)
+        server.register("s0", config())
+        server.receive(update(0, 0))
+        with pytest.raises(MirrorDesyncError):
+            server.receive(update(0, 0))
+
+
+class TestLiveness:
+    def test_staleness_tracks_silence(self):
+        server = DKFServer(strict=False)
+        server.register(
+            "s0", config(), transport=TransportPolicy(suspect_after_ticks=5)
+        )
+        server.receive(update(0, 0))
+        assert server.liveness("s0")["staleness_ticks"] == 0
+        server.advance_clock(4)
+        live = server.liveness("s0")
+        assert live["staleness_ticks"] == 4
+        assert not live["suspect"]
+        server.advance_clock(6)
+        assert server.liveness("s0")["suspect"]
+
+    def test_heartbeat_refreshes_liveness(self):
+        server = DKFServer(strict=False)
+        server.register(
+            "s0", config(), transport=TransportPolicy(suspect_after_ticks=5)
+        )
+        server.receive(update(0, 0))
+        server.advance_clock(4)
+        server.receive(HeartbeatMessage(source_id="s0", seq=1, k=4))
+        server.advance_clock(8)
+        live = server.liveness("s0")
+        assert live["staleness_ticks"] == 4
+        assert not live["suspect"]
+        assert server.stats("s0")["heartbeats_received"] == 1
+
+    def test_confidence_decays_while_coasting(self):
+        server = DKFServer(strict=False)
+        server.register("s0", config())
+        assert server.confidence("s0") == 0.0
+        server.receive(update(0, 0))
+        fresh = server.confidence("s0")
+        assert 0.0 < fresh <= 1.0
+        for k in range(1, 30):
+            server.tick("s0", k)
+        coasted = server.confidence("s0")
+        assert coasted < fresh

