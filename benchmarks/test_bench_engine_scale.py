@@ -7,6 +7,7 @@ that the cost grows linearly (not worse) with the number of sources.
 """
 
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -14,9 +15,13 @@ from benchmarks.conftest import run_once, show
 from repro.dsms.engine import StreamEngine
 from repro.dsms.query import ContinuousQuery
 from repro.filters.models import linear_model
+from repro.obs import MetricsRegistry, build_snapshot, write_snapshot
 from repro.streams.base import stream_from_values
 
 TICKS = 300
+
+#: Perf trajectory artifact (``repro.obs/v1`` snapshot) at the repo root.
+SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine_scale.json"
 
 
 def _run_engine(num_sources: int) -> float:
@@ -51,6 +56,25 @@ def test_engine_scales_linearly_with_sources(benchmark):
             f"{per_reading:6.1f} us/reading"
         )
     show("Scalability: engine wall-clock vs source count", "\n".join(rows))
+
+    # Export the sweep through the telemetry snapshot schema so the perf
+    # trajectory accumulates in a tool-readable artifact.
+    registry = MetricsRegistry()
+    for n, seconds in timings.items():
+        labels = {"sources": str(n)}
+        registry.gauge("engine_run_seconds", labels).set(seconds)
+        registry.gauge("engine_us_per_reading", labels).set(
+            seconds / (n * TICKS) * 1e6
+        )
+    snapshot = build_snapshot(
+        registry,
+        meta={
+            "bench": "engine_scale",
+            "ticks_per_source": TICKS,
+            "source_counts": sorted(timings),
+        },
+    )
+    write_snapshot(SNAPSHOT_PATH, snapshot)
 
     # Per-reading cost must stay roughly flat as sources multiply --
     # linear total scaling (allow 4x headroom for cache effects and the

@@ -10,6 +10,9 @@ writing code::
     python -m repro table1               # Table 1 proxy matrix
     python -m repro compare --dataset moving-object --delta 3
     python -m repro compare --csv trace.csv --model linear --delta 1.5
+    python -m repro obs --record snap.json --events run.jsonl
+    python -m repro obs snap.json          # replay as ASCII dashboard
+    python -m repro obs snap.json --check  # schema validation only
 """
 
 from __future__ import annotations
@@ -94,6 +97,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=example2.OMEGA,
         help="sinusoidal model angular frequency",
     )
+
+    obs = sub.add_parser(
+        "obs", help="record or replay a telemetry snapshot dashboard"
+    )
+    obs.add_argument(
+        "snapshot",
+        nargs="?",
+        help="snapshot JSON to replay (omit with --record)",
+    )
+    obs.add_argument(
+        "--record",
+        metavar="PATH",
+        help="run a seeded burst-loss demo with telemetry and write the "
+        "snapshot here",
+    )
+    obs.add_argument(
+        "--events",
+        metavar="PATH",
+        help="with --record: also write the JSONL event log here",
+    )
+    obs.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the snapshot against the schema and exit",
+    )
+    obs.add_argument(
+        "--ticks", type=int, default=300, help="demo run length (--record)"
+    )
     return parser
 
 
@@ -148,6 +179,69 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _record_demo(args: argparse.Namespace) -> dict:
+    """Run the seeded burst-loss demo with telemetry and export artifacts."""
+    import numpy as np
+
+    from repro.dkf.config import TransportPolicy
+    from repro.dsms.engine import StreamEngine
+    from repro.dsms.faults import FaultSchedule
+    from repro.dsms.query import ContinuousQuery
+    from repro.obs import JsonlEventWriter, Telemetry, write_snapshot
+    from repro.streams.base import stream_from_values
+
+    ticks = args.ticks
+    telemetry = Telemetry()
+    writer = None
+    if args.events:
+        writer = JsonlEventWriter(args.events)
+        telemetry.bus.subscribe(writer)
+    engine = StreamEngine(telemetry=telemetry)
+    rng = np.random.default_rng(7)
+    values = np.cumsum(rng.normal(0.0, 1.0, size=ticks))
+    engine.add_source(
+        "s0",
+        linear_model(dims=1, dt=1.0),
+        stream_from_values(values, name="demo"),
+        transport=TransportPolicy(ack_timeout_ticks=4),
+    )
+    engine.submit_query(ContinuousQuery("s0", delta=1.0, query_id="q"))
+    engine.inject_faults(
+        FaultSchedule(seed=7)
+        .burst_loss("s0", p_enter=0.05, p_exit=0.3)
+        .corrupt("s0", rate=0.02)
+    )
+    engine.run()
+    engine.settle()
+    snapshot = engine.obs_snapshot(
+        {"name": "obs-demo", "seed": 7, "demo_ticks": ticks}
+    )
+    write_snapshot(args.record, snapshot)
+    if writer is not None:
+        writer.close()
+        print(f"wrote {writer.lines_written} events to {args.events}")
+    print(f"wrote snapshot to {args.record}")
+    return snapshot
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    from repro.obs import load_snapshot, render_dashboard, validate_snapshot
+
+    if args.record is None and args.snapshot is None:
+        print("error: need a snapshot path or --record", file=sys.stderr)
+        return 1
+    if args.record is not None:
+        snapshot = _record_demo(args)
+    else:
+        snapshot = load_snapshot(args.snapshot)
+    validate_snapshot(snapshot)
+    if args.check:
+        print("snapshot ok")
+        return 0
+    print(render_dashboard(snapshot))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -155,6 +249,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _EXPERIMENTS[args.command]()
         return 0
     try:
+        if args.command == "obs":
+            return _run_obs(args)
         return _run_compare(args)
     except (ConfigurationError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -281,6 +281,26 @@ _TAG_RESYNC = 0x03
 _TAG_ACK = 0x04
 _TAG_HEARTBEAT = 0x05
 
+# Optional telemetry span timers around encode/decode (+ CRC).  The codec
+# is module-level functions, so the hook is module-level too: the engine
+# installs its Telemetry's timers here when observation is on, and the
+# default (None) costs one global load and one branch per call.
+_CODEC_TIMERS = None
+
+
+def instrument_codec(timers) -> None:
+    """Install (or with None, remove) span timers around the codec.
+
+    Encode spans appear as ``codec.encode``, decode (including the CRC
+    check) as ``codec.decode``.  Last caller wins -- the codec is shared
+    by every fabric in the process.
+    """
+    global _CODEC_TIMERS
+    _CODEC_TIMERS = timers
+
+
+__all__ += ["instrument_codec"]
+
 WireMessage = UpdateMessage | ResyncMessage | AckMessage | HeartbeatMessage
 
 
@@ -306,6 +326,17 @@ def encode_message(message: WireMessage) -> bytes:
     receiver resolves it against its registration table
     (:func:`decode_message` therefore needs the candidate id list).
     """
+    timers = _CODEC_TIMERS
+    if timers is None:
+        return _encode(message)
+    timers.start("codec.encode")
+    try:
+        return _encode(message)
+    finally:
+        timers.stop("codec.encode")
+
+
+def _encode(message: WireMessage) -> bytes:
     if isinstance(message, ResyncMessage):
         n = message.x.shape[0]
         m = message.value.shape[0]
@@ -387,6 +418,19 @@ def decode_message(
         ConfigurationError: On unknown tags, unresolvable source hashes,
             or a resync without ``state_dim``.
     """
+    timers = _CODEC_TIMERS
+    if timers is None:
+        return _decode(data, source_ids, state_dim)
+    timers.start("codec.decode")
+    try:
+        return _decode(data, source_ids, state_dim)
+    finally:
+        timers.stop("codec.decode")
+
+
+def _decode(
+    data: bytes, source_ids: list[str], state_dim: int | None = None
+) -> WireMessage:
     if len(data) < 13 + CRC_BYTES:
         raise ConfigurationError("message shorter than the fixed header")
     frame, trailer = data[:-CRC_BYTES], data[-CRC_BYTES:]

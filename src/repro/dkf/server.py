@@ -46,6 +46,8 @@ from repro.errors import (
     UnknownSourceError,
 )
 from repro.filters.kalman import KalmanFilter
+from repro.obs.events import trace_id
+from repro.obs.telemetry import NULL_TELEMETRY
 
 __all__ = ["DKFServer", "ServerSourceState"]
 
@@ -97,12 +99,17 @@ class DKFServer:
         emit_acks: When True, every received update/resync (and ignored
             duplicate) queues a cumulative ack in the outbox for the
             transport layer to deliver back to the source.
+        telemetry: Optional :class:`~repro.obs.telemetry.Telemetry`; the
+            default no-op handle leaves apply/ack behaviour untouched.
     """
 
-    def __init__(self, strict: bool = True, emit_acks: bool = False) -> None:
+    def __init__(
+        self, strict: bool = True, emit_acks: bool = False, telemetry=None
+    ) -> None:
         self._sources: dict[str, ServerSourceState] = {}
         self._strict = strict
         self._emit_acks = emit_acks
+        self._tel = telemetry or NULL_TELEMETRY
         self._outbox: list[AckMessage] = []
         self._clock = 0
 
@@ -204,6 +211,10 @@ class DKFServer:
         state = self._state(message.source_id)
         self._touch(state)
         state.heartbeats_received += 1
+        if self._tel.enabled:
+            self._tel.emit(
+                "server.heartbeat", source_id=message.source_id, k=message.k
+            )
         return None if state.answer is None else state.answer.copy()
 
     def _receive_update(self, message: UpdateMessage) -> np.ndarray | None:
@@ -218,6 +229,14 @@ class DKFServer:
             # A stale retransmit that crossed with its ack: ignore, but
             # re-ack so the sender can settle its pending buffer.
             state.duplicates_ignored += 1
+            if self._tel.enabled:
+                self._tel.emit(
+                    "server.duplicate",
+                    source_id=message.source_id,
+                    trace=trace_id(message.source_id, message.seq),
+                    expected_seq=state.expected_seq,
+                )
+                self._tel.count("server_duplicates_total", message.source_id)
             self._enqueue_ack(state, message.source_id)
             return None if state.answer is None else state.answer.copy()
         if message.seq > state.expected_seq:
@@ -232,6 +251,15 @@ class DKFServer:
                     f"{state.expected_seq}, got {message.seq} -- an update "
                     "was lost and no resync arrived"
                 )
+            if self._tel.enabled:
+                self._tel.emit(
+                    "server.gap",
+                    source_id=message.source_id,
+                    trace=trace_id(message.source_id, message.seq),
+                    expected_seq=state.expected_seq,
+                    got_seq=message.seq,
+                )
+                self._tel.count("server_gaps_total", message.source_id)
             self._enqueue_ack(state, message.source_id, resync_requested=True)
             return None if state.answer is None else state.answer.copy()
         state.expected_seq = message.seq + 1
@@ -239,6 +267,8 @@ class DKFServer:
             state.filter = state.config.model.build_filter(
                 message.value, p0_scale=state.config.p0_scale
             )
+            if self._tel.enabled:
+                state.filter.instrument(self._tel.timers)
         else:
             state.filter.update(message.value)
         # The server now holds the true (possibly smoothed) reading, which
@@ -247,6 +277,14 @@ class DKFServer:
         state.answer = message.value.copy()
         state.updates_received += 1
         state.k = message.k
+        if self._tel.enabled:
+            self._tel.emit(
+                "server.apply",
+                source_id=message.source_id,
+                trace=trace_id(message.source_id, message.seq),
+                k=message.k,
+            )
+            self._tel.count("server_applies_total", message.source_id)
         if message.digest is not None:
             local = state.filter.state_digest()[1][:8]
             if local != message.digest:
@@ -256,6 +294,13 @@ class DKFServer:
                         f"source {message.source_id!r}: state digest mismatch "
                         f"at k={message.k}"
                     )
+                if self._tel.enabled:
+                    self._tel.emit(
+                        "server.desync",
+                        source_id=message.source_id,
+                        trace=trace_id(message.source_id, message.seq),
+                        k=message.k,
+                    )
                 self._enqueue_ack(state, message.source_id, resync_requested=True)
                 return state.answer.copy()
         self._enqueue_ack(state, message.source_id)
@@ -264,16 +309,28 @@ class DKFServer:
     def _receive_resync(self, message: ResyncMessage) -> np.ndarray:
         state = self._state(message.source_id)
         self._touch(state)
+        healed = state.desynced
         if state.filter is None:
             state.filter = state.config.model.build_filter(
                 message.value, p0_scale=state.config.p0_scale
             )
+            if self._tel.enabled:
+                state.filter.instrument(self._tel.timers)
         state.filter.set_state(message.x, message.p)
         state.answer = message.value.copy()
         state.expected_seq = message.seq + 1
         state.resyncs_received += 1
         state.desynced = False
         state.k = message.k
+        if self._tel.enabled:
+            self._tel.emit(
+                "server.resync_applied",
+                source_id=message.source_id,
+                trace=trace_id(message.source_id, message.seq),
+                k=message.k,
+                healed_desync=healed,
+            )
+            self._tel.count("server_resyncs_total", message.source_id)
         self._enqueue_ack(state, message.source_id)
         return state.answer.copy()
 

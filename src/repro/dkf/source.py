@@ -33,6 +33,8 @@ from repro.dkf.protocol import (
 from repro.errors import DimensionError
 from repro.filters.kalman import KalmanFilter
 from repro.filters.smoothing import VectorSmoother
+from repro.obs.events import trace_id
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.streams.base import StreamRecord
 
 __all__ = ["DKFSource", "SourceStep"]
@@ -80,6 +82,9 @@ class DKFSource:
     Args (continued):
         transport: Retransmission/heartbeat policy.  Defaults to
             :class:`~repro.dkf.config.TransportPolicy`'s defaults.
+        telemetry: Optional :class:`~repro.obs.telemetry.Telemetry`; the
+            default no-op handle keeps every decision byte-identical to
+            an unobserved source.
 
     Call :meth:`sample` once per sampling instant with the sensor reading.
     If the returned step carries a message, hand it to the link and tell
@@ -95,10 +100,12 @@ class DKFSource:
         source_id: str,
         config: DKFConfig,
         transport: TransportPolicy | None = None,
+        telemetry=None,
     ) -> None:
         self._source_id = source_id
         self._config = config
         self._transport = transport or TransportPolicy()
+        self._tel = telemetry or NULL_TELEMETRY
         self._mirror: KalmanFilter | None = None
         self._smoother = (
             VectorSmoother(
@@ -117,9 +124,16 @@ class DKFSource:
         self._readings_gated = 0
         self._readings_rejected = 0
         self._last_value: np.ndarray | None = None
-        # Transport state: seq -> (ack deadline tick, retransmit attempt).
-        self._pending: dict[int, tuple[int, int]] = {}
+        self._last_update_k: int | None = None
+        # Transport state: seq -> (ack deadline, retransmit attempt, sent
+        # tick).  The sent tick exists purely for ack-RTT telemetry.
+        self._pending: dict[int, tuple[int, int, int]] = {}
         self._resync_requested = False
+        # Seqs a server-requested resync supersedes: the cumulative ack
+        # that carried the request sweeps the pending buffer (including
+        # the frame the server never saw), so they are stashed here for
+        # the retransmit event's ``recovers`` field.
+        self._resync_gap_seqs: list[int] = []
         self._last_send_tick = 0
         self._retransmits = 0
         self._heartbeats_sent = 0
@@ -235,6 +249,11 @@ class DKFSource:
             if self._mirror is not None:
                 self._mirror.predict()
                 prediction = self._mirror.predict_measurement()
+            if self._tel.enabled:
+                self._tel.emit(
+                    "source.rejected", source_id=self._source_id, k=record.k
+                )
+                self._tel.count("readings_rejected_total", self._source_id)
             return SourceStep(
                 k=record.k,
                 raw_value=raw.copy(),
@@ -253,6 +272,17 @@ class DKFSource:
                 value, p0_scale=self._config.p0_scale
             )
             message = self._next_message(record.k, value)
+            if self._tel.enabled:
+                self._mirror.instrument(self._tel.timers)
+                self._last_update_k = record.k
+                self._tel.emit(
+                    "source.update",
+                    source_id=self._source_id,
+                    trace=trace_id(self._source_id, message.seq),
+                    k=record.k,
+                    priming=True,
+                )
+                self._tel.count("updates_sent_total", self._source_id)
             return SourceStep(
                 k=record.k,
                 raw_value=raw.copy(),
@@ -281,6 +311,8 @@ class DKFSource:
         else:
             self._consecutive_gated = 0
             message = None
+        if self._tel.enabled:
+            self._observe_decision(record.k, error, message, gated)
         return SourceStep(
             k=record.k,
             raw_value=raw.copy(),
@@ -290,6 +322,43 @@ class DKFSource:
             message=message,
             gated=gated,
         )
+
+    def _observe_decision(
+        self,
+        k: int,
+        error: float,
+        message: UpdateMessage | None,
+        gated: bool,
+    ) -> None:
+        """Record the suppression decision (telemetry-enabled runs only)."""
+        tel = self._tel
+        tel.observe("innovation_abs", error, self._source_id)
+        if message is not None:
+            if self._last_update_k is not None:
+                tel.observe(
+                    "inter_update_gap_ticks",
+                    k - self._last_update_k - 1,
+                    self._source_id,
+                )
+            self._last_update_k = k
+            tel.emit(
+                "source.update",
+                source_id=self._source_id,
+                trace=trace_id(self._source_id, message.seq),
+                k=k,
+                error=error,
+            )
+            tel.count("updates_sent_total", self._source_id)
+        elif gated:
+            tel.emit(
+                "source.gated", source_id=self._source_id, k=k, error=error
+            )
+            tel.count("readings_gated_total", self._source_id)
+        else:
+            tel.emit(
+                "source.suppressed", source_id=self._source_id, k=k, error=error
+            )
+            tel.count("readings_suppressed_total", self._source_id)
 
     def _should_gate(self, value: np.ndarray, prediction: np.ndarray) -> bool:
         """Glitch gate: classify an escaping reading as a sensor glitch.
@@ -346,6 +415,7 @@ class DKFSource:
         self._pending[message.seq] = (
             now + self._transport.retry_timeout(0),
             0,
+            now,
         )
         self._last_send_tick = now
 
@@ -357,6 +427,27 @@ class DKFSource:
         flag schedules an immediate snapshot on the next
         :meth:`poll_transport`.
         """
+        if self._tel.enabled:
+            settled = [
+                (seq, entry[2])
+                for seq, entry in self._pending.items()
+                if seq < ack.seq
+            ]
+            for seq, sent_tick in settled:
+                self._tel.observe(
+                    "ack_rtt_ticks", max(0, now - sent_tick), self._source_id
+                )
+            self._tel.emit(
+                "source.ack",
+                source_id=self._source_id,
+                ack_seq=ack.seq,
+                settled=[trace_id(self._source_id, seq) for seq, _ in settled],
+                resync_requested=ack.resync_requested,
+            )
+        if ack.resync_requested and self._tel.enabled:
+            self._resync_gap_seqs.extend(
+                seq for seq in self._pending if seq < ack.seq
+            )
         self._pending = {
             seq: entry for seq, entry in self._pending.items() if seq >= ack.seq
         }
@@ -382,24 +473,42 @@ class DKFSource:
         if self._mirror is None or self._last_value is None:
             return []
         retry_attempt = None
+        timed_out = False
         if self._pending:
-            oldest_deadline = min(d for d, _ in self._pending.values())
+            oldest_deadline = min(d for d, _, _ in self._pending.values())
             if oldest_deadline <= now:
+                timed_out = True
                 retry_attempt = 1 + max(
-                    attempt for _, attempt in self._pending.values()
+                    attempt for _, attempt, _ in self._pending.values()
                 )
         if self._resync_requested and retry_attempt is None:
             retry_attempt = 0
         if retry_attempt is not None:
+            recovers = sorted({*self._resync_gap_seqs, *self._pending})
+            self._resync_gap_seqs = []
             message = self.resync_message(self._k, self._last_value)
             self._pending.clear()
             self._pending[message.seq] = (
                 now + self._transport.retry_timeout(retry_attempt),
                 retry_attempt,
+                now,
             )
             self._resync_requested = False
             self._retransmits += 1
             self._last_send_tick = now
+            if self._tel.enabled:
+                self._tel.emit(
+                    "source.retransmit",
+                    source_id=self._source_id,
+                    trace=trace_id(self._source_id, message.seq),
+                    k=self._k,
+                    attempt=retry_attempt,
+                    reason="timeout" if timed_out else "resync_requested",
+                    recovers=[
+                        trace_id(self._source_id, seq) for seq in recovers
+                    ],
+                )
+                self._tel.count("retransmits_total", self._source_id)
             return [message]
         if (
             not self._pending
@@ -411,6 +520,11 @@ class DKFSource:
             )
             self._last_send_tick = now
             self._heartbeats_sent += 1
+            if self._tel.enabled:
+                self._tel.emit(
+                    "source.heartbeat", source_id=self._source_id, k=self._k
+                )
+                self._tel.count("heartbeats_total", self._source_id)
             return [heartbeat]
         return []
 
@@ -433,8 +547,10 @@ class DKFSource:
         self._readings_gated = 0
         self._readings_rejected = 0
         self._last_value = None
+        self._last_update_k = None
         self._pending = {}
         self._resync_requested = False
+        self._resync_gap_seqs = []
         self._last_send_tick = now
         self._retransmits = 0
         self._heartbeats_sent = 0

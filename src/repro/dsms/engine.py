@@ -34,7 +34,7 @@ import dataclasses
 from dataclasses import dataclass
 
 from repro.dkf.config import TransportPolicy
-from repro.dkf.protocol import AckMessage
+from repro.dkf.protocol import AckMessage, instrument_codec
 from repro.dkf.server import DKFServer
 from repro.dkf.source import DKFSource
 from repro.dsms.energy import EnergyModel, EnergyReport
@@ -42,8 +42,11 @@ from repro.dsms.faults import FaultSchedule
 from repro.dsms.network import LinkConfig, NetworkFabric
 from repro.dsms.query import ContinuousQuery, QueryAnswer
 from repro.dsms.registry import SourceRegistry
-from repro.errors import StreamExhaustedError, UnknownSourceError
+from repro.errors import ConfigurationError, StreamExhaustedError, UnknownSourceError
 from repro.filters.models import StateSpaceModel
+from repro.obs.events import trace_id
+from repro.obs.exporters import build_snapshot
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.streams.base import MaterializedStream, StreamCursor
 
 __all__ = ["StreamEngine", "EngineReport"]
@@ -56,13 +59,21 @@ class EngineReport:
     Attributes:
         ticks: Sampling instants processed.
         readings: Total sensor readings across sources.
-        updates_sent: Total update messages offered by sources.
+        updates_sent: Update messages offered on the wire over each
+            source's whole lifetime (counted at the fabric, so the
+            figure survives source restarts that wipe per-source
+            counters).  Disjoint from ``retransmits`` and
+            ``heartbeats``, so the traffic conservation law holds:
+            ``updates_sent + retransmits + heartbeats == delivered +
+            messages_lost + corrupted + in_flight``.
         bytes_delivered: Total bytes that crossed the network.
-        messages_lost: Data messages dropped by loss or corruption.
+        messages_lost: Data messages dropped by the loss model.
+            Disjoint from ``corrupted``.
         in_flight: Messages still queued on latent links (both
             directions) when the report was cut.
-        retransmits: Resync retransmissions cut by ack timeouts or
-            server resync requests.
+        retransmits: Resync snapshots offered on the wire -- ack-timeout
+            and server-requested retransmissions plus post-restart
+            re-priming.
         heartbeats: Liveness beacons offered by sources.
         corrupted: Messages rejected by the receiver-side CRC check.
         acks_delivered: Server-to-source acknowledgements delivered.
@@ -85,6 +96,29 @@ class EngineReport:
     def total_energy_joules(self) -> float:
         """System-wide sensor energy across all sources."""
         return sum(r.total_joules for r in self.per_source_energy.values())
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (nested ``EnergyReport``s included).
+
+        Round-trips exactly through :meth:`from_dict`; the snapshot
+        exporter embeds this under its ``meta`` when a run report rides
+        along with the telemetry.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        try:
+            energy = {
+                source_id: EnergyReport(**fields)
+                for source_id, fields in data["per_source_energy"].items()
+            }
+            return cls(**{**data, "per_source_energy": energy})
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"malformed EngineReport dict: {exc}"
+            ) from None
 
 
 def _either(
@@ -109,14 +143,32 @@ class StreamEngine:
     Args:
         energy_model: Energy accounting model (defaults shared by all
             sources).
+        telemetry: Optional :class:`~repro.obs.telemetry.Telemetry`
+            threaded through every component (fabric, sources, server,
+            fault schedule, filter hot paths).  The default
+            :class:`~repro.obs.telemetry.NullTelemetry` keeps a seeded
+            run byte-identical to an unobserved one.
     """
 
-    def __init__(self, energy_model: EnergyModel | None = None) -> None:
+    def __init__(
+        self,
+        energy_model: EnergyModel | None = None,
+        telemetry=None,
+    ) -> None:
         self.registry = SourceRegistry()
-        self._server = DKFServer(strict=False, emit_acks=True)
-        self._fabric = NetworkFabric(
-            deliver=self._server.receive, deliver_ack=self._on_ack
+        self._tel = telemetry or NULL_TELEMETRY
+        self._server = DKFServer(
+            strict=False, emit_acks=True, telemetry=self._tel
         )
+        self._fabric = NetworkFabric(
+            deliver=self._server.receive,
+            deliver_ack=self._on_ack,
+            telemetry=self._tel,
+        )
+        if self._tel.enabled:
+            # The codec is module-level, so its timers are too; the most
+            # recently built observed engine wins the hook.
+            instrument_codec(self._tel.timers)
         self._energy = energy_model or EnergyModel()
         self._sources: dict[str, DKFSource] = {}
         self._cursors: dict[str, StreamCursor] = {}
@@ -126,6 +178,7 @@ class StreamEngine:
         self._exhausted: set[str] = set()
         self._faults: FaultSchedule | None = None
         self._resync_prime: set[str] = set()
+        self._down_now: set[str] = set()
 
     @property
     def server(self) -> DKFServer:
@@ -151,6 +204,11 @@ class StreamEngine:
     def faults(self) -> FaultSchedule | None:
         """The injected fault schedule, if any."""
         return self._faults
+
+    @property
+    def telemetry(self):
+        """The telemetry handle (the no-op singleton when unobserved)."""
+        return self._tel
 
     def add_source(
         self,
@@ -179,6 +237,7 @@ class StreamEngine:
         consumed tick by tick inside :meth:`step`.
         """
         schedule.reset()
+        schedule.bind_telemetry(self._tel)
         self._faults = schedule
         for source_id in self._links:
             loss = schedule.loss_fn(source_id)
@@ -228,7 +287,7 @@ class StreamEngine:
     def _install(self, source_id: str, config) -> None:
         transport = self._transports.get(source_id) or TransportPolicy()
         self._sources[source_id] = DKFSource(
-            source_id, config, transport=transport
+            source_id, config, transport=transport, telemetry=self._tel
         )
         if source_id in self._server.source_ids:
             self._server.deregister(source_id)
@@ -254,8 +313,22 @@ class StreamEngine:
         Returns the number of sources that produced a reading (sources
         whose streams are exhausted or that are crashed are skipped).
         """
-        processed = 0
+        tel = self._tel
         now = self._ticks
+        tel.set_tick(now)
+        with tel.timers.span("engine.step"):
+            processed = self._step_sources(now)
+            self._ticks += 1
+            self._server.advance_clock(self._ticks)
+            self._fabric.advance(self._ticks)
+            for ack in self._server.take_outbox():
+                self._fabric.send_ack(ack)
+        return processed
+
+    def _step_sources(self, now: int) -> int:
+        """The per-source half of :meth:`step` (readings + transport)."""
+        tel = self._tel
+        processed = 0
         for source_id, source in self._sources.items():
             if self._faults is not None:
                 if self._faults.restarts_at(source_id, now):
@@ -266,9 +339,18 @@ class StreamEngine:
                     # duplicate.
                     source.reset(now)
                     self._resync_prime.add(source_id)
+                    self._down_now.discard(source_id)
+                    if tel.enabled:
+                        tel.emit("fault.restart", source_id=source_id)
+                        tel.count("restarts_total", source_id)
                 if self._faults.is_down(source_id, now):
                     # Sensor dead: no reading, no transport.  The server
                     # keeps coasting so staleness and covariance grow.
+                    if source_id not in self._down_now:
+                        self._down_now.add(source_id)
+                        if tel.enabled:
+                            tel.emit("fault.crash", source_id=source_id)
+                            tel.count("crashes_total", source_id)
                     if self._server.is_primed(source_id):
                         self._server.tick(source_id, now)
                     if self._faults.is_terminal(source_id, now):
@@ -292,6 +374,13 @@ class StreamEngine:
                             message = source.resync_message(
                                 record.k, step.value
                             )
+                            if tel.enabled:
+                                tel.emit(
+                                    "engine.resync_prime",
+                                    source_id=source_id,
+                                    trace=trace_id(source_id, message.seq),
+                                    k=record.k,
+                                )
                         self._fabric.send(message)
                         source.note_sent(message, now)
                     processed += 1
@@ -300,11 +389,6 @@ class StreamEngine:
             # must not strand.
             for message in source.poll_transport(now):
                 self._fabric.send(message)
-        self._ticks += 1
-        self._server.advance_clock(self._ticks)
-        self._fabric.advance(self._ticks)
-        for ack in self._server.take_outbox():
-            self._fabric.send_ack(ack)
         return processed
 
     def run(self, max_ticks: int | None = None) -> int:
@@ -318,14 +402,18 @@ class StreamEngine:
         Returns the number of ticks executed.
         """
         executed = 0
-        while max_ticks is None or executed < max_ticks:
-            if len(self._exhausted) == len(self._sources):
-                break
-            if self.step() == 0 and len(self._exhausted) == len(self._sources):
-                break
-            executed += 1
-        if self._sources and len(self._exhausted) == len(self._sources):
-            self._flush_in_flight()
+        with self._tel.timers.span("engine.run"):
+            while max_ticks is None or executed < max_ticks:
+                if len(self._exhausted) == len(self._sources):
+                    break
+                if (
+                    self.step() == 0
+                    and len(self._exhausted) == len(self._sources)
+                ):
+                    break
+                executed += 1
+            if self._sources and len(self._exhausted) == len(self._sources):
+                self._flush_in_flight()
         return executed
 
     def settle(self, max_ticks: int = 256) -> int:
@@ -375,6 +463,12 @@ class StreamEngine:
                 continue
             value = self._server.value(query.source_id)
             live = self._server.liveness(query.source_id)
+            if self._tel.enabled:
+                self._tel.observe(
+                    "staleness_at_answer_ticks",
+                    int(live["staleness_ticks"]),
+                    source_id=query.source_id,
+                )
             out.append(
                 QueryAnswer(
                     query_id=query.query_id,
@@ -416,8 +510,12 @@ class StreamEngine:
                 smoothing_steps=source.samples_seen if source.config.smoothed else 0,
             )
             readings += source.samples_seen
-            updates += source.updates_sent
-            retransmits += source.retransmits
+            # Offered-side traffic comes from the fabric ledger, not the
+            # source: DKFSource.reset() wipes its counters on a crash /
+            # restart, while LinkStats span the source's whole lifetime
+            # -- the conservation law must survive mid-run restarts.
+            updates += stats.offered - stats.resyncs - stats.heartbeats
+            retransmits += stats.resyncs
             heartbeats += stats.heartbeats
             corrupted += stats.corrupted
             acks_delivered += stats.acks_delivered
@@ -434,3 +532,14 @@ class StreamEngine:
             acks_delivered=acks_delivered,
             per_source_energy=per_source_energy,
         )
+
+    def obs_snapshot(self, meta: dict | None = None) -> dict:
+        """Telemetry snapshot of this run (``repro.obs/v1`` schema).
+
+        Merges the engine's traffic report into ``meta`` so a snapshot is
+        self-describing even when telemetry was disabled (counters empty).
+        """
+        merged = {"ticks": self._ticks, "report": self.report().to_dict()}
+        if meta:
+            merged.update(meta)
+        return build_snapshot(self._tel, meta=merged)

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.streams.base import StreamRecord
 
 __all__ = [
@@ -201,6 +202,16 @@ class FaultSchedule:
         self._corrupt_rates: dict[str, float] = {}
         self._loss_fns: dict[str, GilbertElliottLoss] = {}
         self._stuck_values: dict[str, np.ndarray] = {}
+        self._tel = NULL_TELEMETRY
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach a telemetry handle (the engine does this on inject).
+
+        Sensor-fault applications then emit ``fault.sensor`` events; the
+        engine itself emits the crash/restart events because only it
+        knows when a hook actually fired.
+        """
+        self._tel = telemetry or NULL_TELEMETRY
 
     @property
     def seed(self) -> int:
@@ -314,6 +325,14 @@ class FaultSchedule:
             if fault.source_id != source_id or not fault.covers(tick):
                 continue
             faulted = True
+            if self._tel.enabled:
+                self._tel.emit(
+                    "fault.sensor",
+                    source_id=source_id,
+                    kind=fault.kind,
+                    k=record.k,
+                )
+                self._tel.count("sensor_faults_total", source_id)
             if fault.kind in ("nan", "dropout"):
                 value = np.full_like(value, np.nan)
             elif fault.kind == "stuck":

@@ -12,8 +12,9 @@ as mortal as updates (the seed's "reliable resync path" cheat is gone --
 recovery is the transport layer's job, via ack timeouts and
 retransmission).  Optional payload corruption round-trips a message
 through the real binary codec with one bit flipped; the receiver-side
-CRC-32 check rejects the frame and the fabric counts it as a loss, which
-is exactly what a real NIC would do.
+CRC-32 check rejects the frame and the fabric counts it in the disjoint
+``corrupted`` bucket -- the frame never arrives, which is exactly what a
+real checksumming NIC would do.
 
 Latency model: a message sent at tick ``t`` with link latency ``L`` is
 delivered when :meth:`NetworkFabric.advance` reaches tick ``t + L``.
@@ -41,10 +42,31 @@ from repro.errors import (
     CorruptMessageError,
     UnknownSourceError,
 )
+from repro.obs.events import trace_id
+from repro.obs.telemetry import NULL_TELEMETRY
 
 __all__ = ["LinkConfig", "NetworkFabric", "LinkStats"]
 
 Message = UpdateMessage | ResyncMessage | HeartbeatMessage
+
+
+def _kind_of(message: Message | AckMessage) -> str:
+    """Short message-class tag carried by fabric telemetry events."""
+    if isinstance(message, UpdateMessage):
+        return "update"
+    if isinstance(message, ResyncMessage):
+        return "resync"
+    if isinstance(message, HeartbeatMessage):
+        return "heartbeat"
+    return "ack"
+
+
+def _trace_of(message: Message | AckMessage) -> str | None:
+    """Trace ID of a frame (heartbeats carry none -- their ``seq`` field
+    is the next *unsent* number and would collide with a real update)."""
+    if isinstance(message, HeartbeatMessage):
+        return None
+    return trace_id(message.source_id, message.seq)
 
 
 @dataclass(frozen=True)
@@ -63,8 +85,10 @@ class LinkConfig:
             index counter is independent of the data direction).
         corrupt_fn: Optional predicate ``(message_index) -> bool``; True
             flips one bit of that data message's encoded frame.  The
-            receiver's CRC check rejects the frame, so a corrupted message
-            is counted as both corrupted and lost.
+            receiver's CRC check rejects the frame, so the message never
+            arrives; it is counted as *corrupted* (a bucket disjoint from
+            ``lost``, so offered = delivered + lost + corrupted +
+            in_flight always balances).
     """
 
     latency_ticks: int = 0
@@ -105,15 +129,20 @@ class NetworkFabric:
             server's ``receive``).
         deliver_ack: Optional callback receiving each ack-direction
             message; without it, acks cannot be sent.
+        telemetry: Optional :class:`~repro.obs.telemetry.Telemetry`;
+            the default no-op handle leaves behaviour and performance
+            untouched.
     """
 
     def __init__(
         self,
         deliver: Callable[[Message], None],
         deliver_ack: Callable[[AckMessage], None] | None = None,
+        telemetry=None,
     ) -> None:
         self._deliver = deliver
         self._deliver_ack = deliver_ack
+        self._tel = telemetry or NULL_TELEMETRY
         self._links: dict[str, LinkConfig] = {}
         self._stats: dict[str, LinkStats] = {}
         self._tick = 0
@@ -170,12 +199,29 @@ class NetworkFabric:
             stats.heartbeats += 1
         if config.loss_fn is not None and config.loss_fn(index):
             stats.lost += 1
+            if self._tel.enabled:
+                self._tel.emit(
+                    "fabric.lost",
+                    source_id=message.source_id,
+                    trace=_trace_of(message),
+                    kind=_kind_of(message),
+                    k=message.k,
+                )
+                self._tel.count("fabric_lost_total", message.source_id)
             return False
         if config.corrupt_fn is not None and config.corrupt_fn(index):
             message_or_none = self._corrupt(message, index)
             if message_or_none is None:
                 stats.corrupted += 1
-                stats.lost += 1
+                if self._tel.enabled:
+                    self._tel.emit(
+                        "fabric.corrupted",
+                        source_id=message.source_id,
+                        trace=_trace_of(message),
+                        kind=_kind_of(message),
+                        k=message.k,
+                    )
+                    self._tel.count("fabric_corrupted_total", message.source_id)
                 return False
             message = message_or_none
         self._enqueue(message, config.latency_ticks, stats)
@@ -192,6 +238,12 @@ class NetworkFabric:
         stats.acks_offered += 1
         if config.ack_loss_fn is not None and config.ack_loss_fn(index):
             stats.acks_lost += 1
+            if self._tel.enabled:
+                self._tel.emit(
+                    "fabric.ack_lost",
+                    source_id=message.source_id,
+                    ack_seq=message.seq,
+                )
             return False
         self._enqueue(message, config.ack_latency_ticks, stats)
         return True
@@ -221,12 +273,34 @@ class NetworkFabric:
 
     def _dispatch(self, message: Message | AckMessage) -> None:
         stats = self._stats[message.source_id]
+        tel = self._tel
         if isinstance(message, AckMessage):
             stats.acks_delivered += 1
+            if tel.enabled:
+                tel.emit(
+                    "fabric.ack_delivered",
+                    source_id=message.source_id,
+                    ack_seq=message.seq,
+                    resync_requested=message.resync_requested,
+                )
             self._deliver_ack(message)
             return
         stats.delivered += 1
         stats.bytes_delivered += message.size_bytes
+        if tel.enabled:
+            tel.emit(
+                "fabric.delivered",
+                source_id=message.source_id,
+                trace=_trace_of(message),
+                kind=_kind_of(message),
+                k=message.k,
+                bytes=message.size_bytes,
+            )
+            tel.count("fabric_delivered_total", message.source_id)
+            tel.observe("frame_bytes", message.size_bytes, message.source_id)
+            with tel.timers.span("fabric.deliver"):
+                self._deliver(message)
+            return
         self._deliver(message)
 
     def _enqueue(
@@ -292,5 +366,18 @@ class NetworkFabric:
         return sum(s.in_flight for s in self._stats.values())
 
     def total_lost(self) -> int:
-        """System-wide dropped data messages (loss plus corruption)."""
+        """System-wide data messages dropped by the loss model.
+
+        Corruption is counted separately (:meth:`total_corrupted`); the
+        two buckets are disjoint so traffic conservation holds:
+        ``offered == delivered + lost + corrupted + in_flight``.
+        """
         return sum(s.lost for s in self._stats.values())
+
+    def total_corrupted(self) -> int:
+        """System-wide data messages rejected by the receiver-side CRC."""
+        return sum(s.corrupted for s in self._stats.values())
+
+    def total_offered(self) -> int:
+        """System-wide data messages offered across all links."""
+        return sum(s.offered for s in self._stats.values())

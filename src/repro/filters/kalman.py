@@ -110,6 +110,11 @@ class KalmanFilter:
     convenience method :meth:`step` does both.
     """
 
+    # Optional telemetry span timers (see :meth:`instrument`).  A class
+    # attribute so uninstrumented filters pay one attribute load and one
+    # ``is None`` branch per predict/update -- nothing else.
+    _timers = None
+
     def __init__(
         self,
         phi: MatrixLike,
@@ -196,6 +201,16 @@ class KalmanFilter:
         """A-priori covariance from the most recent prediction (copy)."""
         return self._p_prior.copy()
 
+    def instrument(self, timers) -> None:
+        """Attach span timers to the predict/correct hot paths.
+
+        ``timers`` is a :class:`~repro.obs.timing.SpanTimers` (or None to
+        detach).  The DKF endpoints call this when telemetry is enabled;
+        by default the filter carries no timers and the hot paths run at
+        seed speed.
+        """
+        self._timers = timers
+
     def phi_at(self, k: int) -> np.ndarray:
         """State transition matrix at time index ``k``."""
         return resolve_matrix(self._phi, k)
@@ -227,18 +242,26 @@ class KalmanFilter:
         Returns:
             The a-priori state estimate ``x^-`` (copy).
         """
-        phi = resolve_matrix(self._phi, self._k)
-        q = resolve_matrix(self._q, self._k)
-        self._x_prior = phi @ self._x
-        self._p_prior = phi @ self._p @ phi.T + q
-        # Coast by default: posterior mirrors the prior until update() runs.
-        self._x = self._x_prior.copy()
-        self._p = self._p_prior.copy()
-        self._k += 1
-        self._has_prior = True
-        if not np.all(np.isfinite(self._x)):
-            raise DivergenceError(f"state became non-finite at k={self._k}")
-        return self._x_prior.copy()
+        timers = self._timers
+        if timers is not None:
+            timers.start("kalman.predict")
+        try:
+            phi = resolve_matrix(self._phi, self._k)
+            q = resolve_matrix(self._q, self._k)
+            self._x_prior = phi @ self._x
+            self._p_prior = phi @ self._p @ phi.T + q
+            # Coast by default: posterior mirrors the prior until update()
+            # runs.
+            self._x = self._x_prior.copy()
+            self._p = self._p_prior.copy()
+            self._k += 1
+            self._has_prior = True
+            if not np.all(np.isfinite(self._x)):
+                raise DivergenceError(f"state became non-finite at k={self._k}")
+            return self._x_prior.copy()
+        finally:
+            if timers is not None:
+                timers.stop("kalman.predict")
 
     def predict_measurement(self) -> np.ndarray:
         """Predicted measurement ``H x`` for the current estimate.
@@ -262,27 +285,36 @@ class KalmanFilter:
         Returns:
             The a-posteriori state estimate (copy).
         """
-        z = np.atleast_1d(np.asarray(z, dtype=float)).reshape(-1)
-        if z.shape != (self._m,):
-            raise DimensionError(f"z must have shape ({self._m},), got {z.shape}")
-        if not np.all(np.isfinite(z)):
-            raise DivergenceError("measurement contains NaN or infinity")
-        k_idx = max(self._k - 1, 0)
-        h = resolve_matrix(self._h, k_idx)
-        r = resolve_matrix(self._r, k_idx)
+        timers = self._timers
+        if timers is not None:
+            timers.start("kalman.update")
+        try:
+            z = np.atleast_1d(np.asarray(z, dtype=float)).reshape(-1)
+            if z.shape != (self._m,):
+                raise DimensionError(
+                    f"z must have shape ({self._m},), got {z.shape}"
+                )
+            if not np.all(np.isfinite(z)):
+                raise DivergenceError("measurement contains NaN or infinity")
+            k_idx = max(self._k - 1, 0)
+            h = resolve_matrix(self._h, k_idx)
+            r = resolve_matrix(self._r, k_idx)
 
-        innovation = z - h @ self._x
-        s = h @ self._p @ h.T + r
-        # K = P H^T S^{-1}, solved without forming an explicit inverse.
-        gain = np.linalg.solve(s.T, (self._p @ h.T).T).T
+            innovation = z - h @ self._x
+            s = h @ self._p @ h.T + r
+            # K = P H^T S^{-1}, solved without forming an explicit inverse.
+            gain = np.linalg.solve(s.T, (self._p @ h.T).T).T
 
-        self._x = self._x + gain @ innovation
-        i_kh = np.eye(self._n) - gain @ h
-        self._p = i_kh @ self._p @ i_kh.T + gain @ r @ gain.T
-        self._p = 0.5 * (self._p + self._p.T)
-        if not np.all(np.isfinite(self._x)):
-            raise DivergenceError(f"state became non-finite at k={self._k}")
-        return self._x.copy()
+            self._x = self._x + gain @ innovation
+            i_kh = np.eye(self._n) - gain @ h
+            self._p = i_kh @ self._p @ i_kh.T + gain @ r @ gain.T
+            self._p = 0.5 * (self._p + self._p.T)
+            if not np.all(np.isfinite(self._x)):
+                raise DivergenceError(f"state became non-finite at k={self._k}")
+            return self._x.copy()
+        finally:
+            if timers is not None:
+                timers.stop("kalman.update")
 
     def step(self, z: np.ndarray | None = None) -> KalmanStep:
         """Run one full predict(-correct) cycle and return a step record.

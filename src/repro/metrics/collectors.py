@@ -79,21 +79,27 @@ class RunTrace:
         return np.diff(instants) - 1
 
     def summary(self) -> dict[str, float | int | str]:
-        """One-row digest of the run (counts, errors, gaps)."""
+        """One-row digest of the run (counts, errors, gaps).
+
+        Each derived series (``errors``, ``inter_update_gaps``,
+        ``sent_mask``) is materialized exactly once -- they re-walk the
+        decision list on every call, which adds up when summarizing the
+        experiment grids.
+        """
         errors = self.errors()
+        gaps = self.inter_update_gaps()
+        sent = self.sent_mask
         return {
             "scheme": self.scheme,
             "stream": self.stream,
             "steps": len(self.decisions),
-            "updates": int(self.sent_mask.sum()),
-            "update_percentage": 100.0 * float(self.sent_mask.mean())
+            "updates": int(sent.sum()),
+            "update_percentage": 100.0 * float(sent.mean())
             if len(self.decisions)
             else 0.0,
             "average_error": float(errors.mean()) if len(errors) else 0.0,
             "max_error": float(errors.max()) if len(errors) else 0.0,
-            "median_gap": float(np.median(self.inter_update_gaps()))
-            if len(self.inter_update_gaps())
-            else 0.0,
+            "median_gap": float(np.median(gaps)) if len(gaps) else 0.0,
         }
 
 

@@ -1,0 +1,66 @@
+"""Telemetry subsystem: traced events, metrics, span timers, exporters.
+
+The paper's whole argument is quantitative -- update counts, error-vs-δ
+and per-message cost decide whether the DKF beats caching -- yet a frozen
+end-of-run :class:`~repro.dsms.engine.EngineReport` cannot say *when*
+retransmits fired, *why* a resync was requested or *where* wall-clock
+time goes.  This package adds that window without perturbing the system
+under observation:
+
+* :mod:`repro.obs.events` -- a structured event bus with monotonic
+  tick-stamped events and trace-ID correlation, so one reading can be
+  followed from sensor to suppression decision to frame to fabric
+  delivery (or loss) to server apply to ack.
+* :mod:`repro.obs.metrics` -- a metrics registry of counters, gauges and
+  bounded histograms with per-source label support.
+* :mod:`repro.obs.timing` -- nestable ``perf_counter`` span timers with
+  near-zero overhead when disabled.
+* :mod:`repro.obs.telemetry` -- the single :class:`Telemetry` handle the
+  engine threads through every component; :class:`NullTelemetry` is the
+  default and keeps instrumented code byte-identical to uninstrumented.
+* :mod:`repro.obs.exporters` -- JSONL event log, Prometheus-style text
+  exposition, and the versioned JSON run-snapshot format behind the
+  repo's ``BENCH_*.json`` artifacts.
+* :mod:`repro.obs.dashboard` -- replays a snapshot as an ASCII dashboard
+  (``python -m repro obs <snapshot>``).
+"""
+
+from repro.obs.dashboard import render_dashboard
+from repro.obs.events import Event, EventBus, trace_id
+from repro.obs.exporters import (
+    SNAPSHOT_SCHEMA,
+    JsonlEventWriter,
+    build_snapshot,
+    load_snapshot,
+    prometheus_text,
+    validate_snapshot,
+    write_snapshot,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
+from repro.obs.timing import NULL_TIMERS, NullTimers, SpanStat, SpanTimers
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "trace_id",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanStat",
+    "SpanTimers",
+    "NullTimers",
+    "NULL_TIMERS",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "SNAPSHOT_SCHEMA",
+    "JsonlEventWriter",
+    "prometheus_text",
+    "build_snapshot",
+    "write_snapshot",
+    "load_snapshot",
+    "validate_snapshot",
+    "render_dashboard",
+]

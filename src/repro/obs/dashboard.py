@@ -1,0 +1,126 @@
+"""ASCII dashboard replay of a telemetry snapshot.
+
+``python -m repro obs <snapshot.json>`` calls :func:`render_dashboard`
+on a loaded snapshot: counters and gauges as aligned tables, histograms
+as bucket-count sparklines (reusing the figure-harness renderer from
+:mod:`repro.metrics.ascii_plot`), span timings sorted by total cost, and
+the event-name census.  Text-only, like every figure in this repo.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.ascii_plot import sparkline
+from repro.obs.exporters import validate_snapshot
+
+__all__ = ["render_dashboard"]
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def _series_name(row: dict) -> str:
+    return f"{row['name']}{_fmt_labels(row.get('labels', {}))}"
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f} ms"
+    return f"{seconds * 1e6:8.1f} us"
+
+
+def _table(rows: list[tuple[str, str]], indent: str = "  ") -> list[str]:
+    if not rows:
+        return [f"{indent}(none)"]
+    width = max(len(name) for name, _ in rows)
+    return [f"{indent}{name.ljust(width)}  {value}" for name, value in rows]
+
+
+def render_dashboard(snapshot: dict, width: int = 48) -> str:
+    """Render one snapshot as a multi-section ASCII dashboard."""
+    validate_snapshot(snapshot)
+    lines: list[str] = []
+
+    meta = snapshot["meta"]
+    title = str(meta.get("name", "telemetry snapshot"))
+    lines.append(f"=== {title} ===")
+    meta_rows = [
+        (str(k), str(v)) for k, v in sorted(meta.items()) if k != "name"
+    ]
+    if meta_rows:
+        lines.extend(_table(meta_rows))
+
+    lines.append("")
+    lines.append("-- counters --")
+    lines.extend(
+        _table(
+            [
+                (_series_name(row), str(row["value"]))
+                for row in snapshot["counters"]
+            ]
+        )
+    )
+
+    if snapshot["gauges"]:
+        lines.append("")
+        lines.append("-- gauges --")
+        lines.extend(
+            _table(
+                [
+                    (_series_name(row), f"{row['value']:g}")
+                    for row in snapshot["gauges"]
+                ]
+            )
+        )
+
+    if snapshot["histograms"]:
+        lines.append("")
+        lines.append("-- histograms (bucket counts, low -> high) --")
+        for row in snapshot["histograms"]:
+            spark = sparkline(np.array(row["counts"], dtype=float), width=width)
+            stats = (
+                f"n={row['count']}"
+                f" mean={row['sum'] / row['count']:.3g}"
+                f" min={row['min']:.3g} max={row['max']:.3g}"
+                if row["count"]
+                else "n=0"
+            )
+            lines.append(f"  {_series_name(row)}  {stats}")
+            lines.append(f"    |{spark}|")
+
+    if snapshot["spans"]:
+        lines.append("")
+        lines.append("-- spans (by total wall-clock) --")
+        span_rows = []
+        for row in sorted(
+            snapshot["spans"], key=lambda r: r["total_seconds"], reverse=True
+        ):
+            mean = row["total_seconds"] / row["count"] if row["count"] else 0.0
+            span_rows.append(
+                (
+                    row["name"],
+                    f"{_fmt_seconds(row['total_seconds'])} total, "
+                    f"{row['count']:7d} calls, {_fmt_seconds(mean)} mean",
+                )
+            )
+        lines.extend(_table(span_rows))
+
+    events = snapshot["events"]
+    if events["total"]:
+        lines.append("")
+        lines.append(f"-- events ({events['total']} emitted) --")
+        lines.extend(
+            _table(
+                [
+                    (name, str(count))
+                    for name, count in sorted(events["by_name"].items())
+                ]
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Structured event bus with tick stamps and trace-ID correlation.
+
+Every interesting transition in the pipeline -- a reading taken, an
+update suppressed, a frame lost, a resync cut, an ack applied -- becomes
+one :class:`Event`.  Events carry two clocks: the engine's *tick* (the
+simulated sampling instant, shared by every component) and a monotonic
+per-bus sequence number that totally orders events within a tick.
+
+Correlation uses trace IDs: every wire message is identified by
+``"<source_id>/<seq>"`` (see :func:`trace_id`), and every event about
+that message -- its creation, its delivery or loss, the retransmission
+that recovers it, the ack that settles it -- carries the same ID, so a
+single reading's journey is one ``grep`` over the JSONL log.  A
+retransmission gets a *new* trace ID (it is a new frame on the wire) and
+lists the IDs it supersedes in its ``recovers`` field.
+
+The bus keeps a bounded ring buffer (for snapshots and tests) plus
+per-name counts that never truncate; subscribers receive every event as
+it is emitted (the JSONL exporter is just a subscriber).
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Event", "EventBus", "trace_id"]
+
+
+def trace_id(source_id: str, seq: int) -> str:
+    """The canonical trace ID of wire message ``seq`` from ``source_id``."""
+    return f"{source_id}/{seq}"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One observed transition.
+
+    Attributes:
+        seq: Monotonic bus-wide sequence number (total order).
+        tick: Engine tick the event happened at.
+        name: Dotted event name (``source.update``, ``fabric.lost``, ...;
+            the taxonomy lives in docs/OBSERVABILITY.md).
+        source_id: Originating source, when the event is per-source.
+        trace_id: Wire-message correlation ID, when the event concerns a
+            specific frame.
+        fields: Free-form scalar payload (JSON-serialisable values only).
+    """
+
+    seq: int
+    tick: int
+    name: str
+    source_id: str | None = None
+    trace_id: str | None = None
+    fields: dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat JSON-ready form (the JSONL exporter's line payload)."""
+        out: dict[str, object] = {
+            "seq": self.seq,
+            "tick": self.tick,
+            "name": self.name,
+        }
+        if self.source_id is not None:
+            out["source_id"] = self.source_id
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.fields:
+            out.update(self.fields)
+        return out
+
+
+class EventBus:
+    """Collect and fan out :class:`Event` records.
+
+    Args:
+        buffer_size: Ring-buffer capacity; older events are discarded
+            once it fills (counts are never discarded).
+    """
+
+    def __init__(self, buffer_size: int = 65536) -> None:
+        if buffer_size < 1:
+            raise ConfigurationError("buffer_size must be at least 1")
+        self._buffer: deque[Event] = deque(maxlen=buffer_size)
+        self._subscribers: list[Callable[[Event], None]] = []
+        self._counts: _Counter[str] = _Counter()
+        self._seq = 0
+
+    @property
+    def total_emitted(self) -> int:
+        """Events emitted over the bus's lifetime (including evicted)."""
+        return self._seq
+
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        """Register a callback invoked synchronously for every event."""
+        self._subscribers.append(callback)
+
+    def emit(
+        self,
+        name: str,
+        tick: int,
+        source_id: str | None = None,
+        trace: str | None = None,
+        **fields: object,
+    ) -> Event:
+        """Create, buffer and fan out one event; returns it."""
+        event = Event(
+            seq=self._seq,
+            tick=tick,
+            name=name,
+            source_id=source_id,
+            trace_id=trace,
+            fields=fields,
+        )
+        self._seq += 1
+        self._counts[name] += 1
+        self._buffer.append(event)
+        for callback in self._subscribers:
+            callback(event)
+        return event
+
+    def events(self, name: str | None = None) -> list[Event]:
+        """Buffered events, optionally filtered by name (oldest first)."""
+        if name is None:
+            return list(self._buffer)
+        return [e for e in self._buffer if e.name == name]
+
+    def counts(self) -> dict[str, int]:
+        """Lifetime emission counts per event name."""
+        return dict(self._counts)
+
+    def clear(self) -> None:
+        """Drop buffered events and counts (subscribers are kept)."""
+        self._buffer.clear()
+        self._counts.clear()

@@ -1,0 +1,296 @@
+"""Telemetry exporters: JSONL event log, Prometheus text, JSON snapshot.
+
+Three ways out of the process:
+
+* :class:`JsonlEventWriter` -- subscribe it to an event bus and every
+  event becomes one JSON line, written as it happens (crash-safe logs).
+* :func:`prometheus_text` -- the metrics registry in Prometheus-style
+  text exposition, for scraping or eyeballing.
+* :func:`build_snapshot` / :func:`write_snapshot` -- the versioned JSON
+  run-snapshot (schema ``repro.obs/v1``) that freezes counters, gauges,
+  histograms, span timings and event counts.  This is the format behind
+  the repo's ``BENCH_*.json`` perf artifacts, and what ``python -m repro
+  obs <snapshot>`` replays as a dashboard.
+
+Every loader validates before trusting: :func:`validate_snapshot` raises
+:class:`~repro.errors.ConfigurationError` on anything malformed, and CI
+runs it against the snapshot exported from the test run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import IO
+
+from repro.errors import ConfigurationError
+from repro.obs.events import Event
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "JsonlEventWriter",
+    "prometheus_text",
+    "build_snapshot",
+    "write_snapshot",
+    "load_snapshot",
+    "validate_snapshot",
+]
+
+#: Version tag carried by every snapshot; bump on breaking layout change.
+SNAPSHOT_SCHEMA = "repro.obs/v1"
+
+
+def _json_default(value: object) -> object:
+    """Coerce numpy scalars (and other ``item()``-bearers) for json."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"not JSON-serialisable: {type(value).__name__}")
+
+
+def _finite_or_null(value: object) -> object:
+    """Replace non-finite floats with None (strict-JSON friendliness)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+class JsonlEventWriter:
+    """Stream events to a JSON-lines file as they are emitted.
+
+    Subscribe the instance to a bus (``bus.subscribe(writer)``); each
+    event becomes exactly one line.  Usable as a context manager.
+
+    Args:
+        path: Output file (truncated on open).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._handle: IO[str] | None = self._path.open("w", encoding="utf-8")
+        self.lines_written = 0
+
+    def __call__(self, event: Event) -> None:
+        """Write one event (the bus-subscriber entry point)."""
+        if self._handle is None:
+            raise ConfigurationError("event writer already closed")
+        self._handle.write(
+            json.dumps(event.as_dict(), default=_json_default) + "\n"
+        )
+        self.lines_written += 1
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlEventWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _label_suffix(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def prometheus_text(metrics: MetricsRegistry) -> str:
+    """Render a registry in Prometheus-style text exposition format.
+
+    Counters and gauges become single samples; histograms become the
+    conventional ``_bucket`` (cumulative, with ``le`` labels), ``_sum``
+    and ``_count`` series.
+    """
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for counter in metrics.counters():
+        type_line(counter.name, "counter")
+        lines.append(
+            f"{counter.name}{_label_suffix(dict(counter.labels))} {counter.value}"
+        )
+    for gauge in metrics.gauges():
+        type_line(gauge.name, "gauge")
+        lines.append(
+            f"{gauge.name}{_label_suffix(dict(gauge.labels))} {gauge.value:g}"
+        )
+    for hist in metrics.histograms():
+        type_line(hist.name, "histogram")
+        labels = dict(hist.labels)
+        cumulative = 0
+        for edge, bucket in zip(hist.edges, hist.counts):
+            cumulative += bucket
+            le = {**labels, "le": f"{edge:g}"}
+            lines.append(f"{hist.name}_bucket{_label_suffix(le)} {cumulative}")
+        le = {**labels, "le": "+Inf"}
+        lines.append(f"{hist.name}_bucket{_label_suffix(le)} {hist.count}")
+        lines.append(f"{hist.name}_sum{_label_suffix(labels)} {hist.sum:g}")
+        lines.append(f"{hist.name}_count{_label_suffix(labels)} {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+def build_snapshot(telemetry=None, meta: dict | None = None) -> dict:
+    """Freeze a telemetry handle (or bare registry) into a snapshot dict.
+
+    Args:
+        telemetry: A :class:`~repro.obs.telemetry.Telemetry`, or a bare
+            :class:`~repro.obs.metrics.MetricsRegistry` (the benchmark
+            exporters have no bus or timers), or None for an empty
+            snapshot carrying only ``meta``.
+        meta: Free-form run description (name, ticks, seed, ...).
+    """
+    metrics: MetricsRegistry | None = None
+    timers = None
+    bus = None
+    if isinstance(telemetry, MetricsRegistry):
+        metrics = telemetry
+    elif telemetry is not None:
+        metrics = telemetry.metrics
+        timers = telemetry.timers
+        bus = telemetry.bus
+    snapshot: dict = {
+        "schema": SNAPSHOT_SCHEMA,
+        "meta": dict(meta or {}),
+        "counters": [],
+        "gauges": [],
+        "histograms": [],
+        "spans": [],
+        "events": {"total": 0, "by_name": {}},
+    }
+    if metrics is not None:
+        snapshot["counters"] = [
+            {"name": c.name, "labels": dict(c.labels), "value": c.value}
+            for c in metrics.counters()
+        ]
+        snapshot["gauges"] = [
+            {"name": g.name, "labels": dict(g.labels), "value": g.value}
+            for g in metrics.gauges()
+        ]
+        snapshot["histograms"] = [
+            {
+                key: _finite_or_null(value)
+                for key, value in h.as_dict().items()
+            }
+            for h in metrics.histograms()
+        ]
+    if timers is not None:
+        snapshot["spans"] = [s.as_dict() for s in timers.stats()]
+    if bus is not None:
+        snapshot["events"] = {
+            "total": bus.total_emitted,
+            "by_name": bus.counts(),
+        }
+    return snapshot
+
+
+def validate_snapshot(snapshot: object) -> dict:
+    """Check a snapshot against the ``repro.obs/v1`` schema.
+
+    Returns the snapshot unchanged on success; raises
+    :class:`~repro.errors.ConfigurationError` naming the first problem
+    otherwise.  This is deliberately strict -- CI fails the build when an
+    exporter emits anything this function rejects.
+    """
+
+    def fail(reason: str):
+        raise ConfigurationError(f"invalid snapshot: {reason}")
+
+    if not isinstance(snapshot, dict):
+        fail(f"expected an object, got {type(snapshot).__name__}")
+    if snapshot.get("schema") != SNAPSHOT_SCHEMA:
+        fail(f"schema must be {SNAPSHOT_SCHEMA!r}, got {snapshot.get('schema')!r}")
+    if not isinstance(snapshot.get("meta"), dict):
+        fail("meta must be an object")
+    for section, value_type in (
+        ("counters", (int,)),
+        ("gauges", (int, float)),
+    ):
+        rows = snapshot.get(section)
+        if not isinstance(rows, list):
+            fail(f"{section} must be a list")
+        for row in rows:
+            if not isinstance(row, dict):
+                fail(f"{section} entries must be objects")
+            if not isinstance(row.get("name"), str):
+                fail(f"{section} entry missing string name")
+            if not isinstance(row.get("labels"), dict):
+                fail(f"{section} entry {row.get('name')!r} missing labels")
+            if not isinstance(row.get("value"), value_type) or isinstance(
+                row.get("value"), bool
+            ):
+                fail(
+                    f"{section} entry {row.get('name')!r} has non-numeric value"
+                )
+    rows = snapshot.get("histograms")
+    if not isinstance(rows, list):
+        fail("histograms must be a list")
+    for row in rows:
+        if not isinstance(row, dict) or not isinstance(row.get("name"), str):
+            fail("histogram entries must be objects with a string name")
+        edges = row.get("edges")
+        counts = row.get("counts")
+        if not isinstance(edges, list) or not isinstance(counts, list):
+            fail(f"histogram {row['name']!r} needs edges and counts lists")
+        if len(counts) != len(edges) + 1:
+            fail(
+                f"histogram {row['name']!r} needs len(edges)+1 counts, got "
+                f"{len(counts)} for {len(edges)} edges"
+            )
+        if not isinstance(row.get("count"), int):
+            fail(f"histogram {row['name']!r} missing integer count")
+        if sum(counts) != row["count"]:
+            fail(f"histogram {row['name']!r} bucket counts do not sum to count")
+    rows = snapshot.get("spans")
+    if not isinstance(rows, list):
+        fail("spans must be a list")
+    for row in rows:
+        if not isinstance(row, dict) or not isinstance(row.get("name"), str):
+            fail("span entries must be objects with a string name")
+        if not isinstance(row.get("count"), int):
+            fail(f"span {row['name']!r} missing integer count")
+        if not isinstance(row.get("total_seconds"), (int, float)):
+            fail(f"span {row['name']!r} missing total_seconds")
+    events = snapshot.get("events")
+    if not isinstance(events, dict):
+        fail("events must be an object")
+    if not isinstance(events.get("total"), int):
+        fail("events.total must be an integer")
+    if not isinstance(events.get("by_name"), dict):
+        fail("events.by_name must be an object")
+    return snapshot
+
+
+def write_snapshot(path: str | Path, snapshot: dict) -> Path:
+    """Validate and write a snapshot; returns the written path.
+
+    Writing re-parses the serialised form before committing, so a
+    snapshot that would not survive :func:`load_snapshot` never lands on
+    disk.
+    """
+    validate_snapshot(snapshot)
+    text = json.dumps(snapshot, indent=2, sort_keys=True, default=_json_default)
+    validate_snapshot(json.loads(text))
+    path = Path(path)
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def load_snapshot(path: str | Path) -> dict:
+    """Read and validate a snapshot file."""
+    try:
+        snapshot = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"snapshot is not valid JSON: {exc}") from None
+    return validate_snapshot(snapshot)

@@ -1,0 +1,191 @@
+"""Metrics registry: counters, gauges and bounded histograms with labels.
+
+Where the event bus answers *what happened when*, the registry answers
+*how much and how is it distributed*: innovation magnitudes, inter-update
+gaps, ack round-trips in ticks, staleness at answer time.  Instruments
+are identified by ``(name, labels)`` -- the same name with different
+``source`` labels yields independent series, which is how per-source
+breakdowns work without per-source registries.
+
+Histograms are *bounded*: a fixed bucket-edge vector is chosen at
+creation and only ``len(edges) + 1`` counts plus four scalars (count,
+sum, min, max) are kept, so memory never grows with the run.  The
+default edges suit tick- and magnitude-style quantities (1 .. 4096 in
+powers of two).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_EDGES"]
+
+#: Default histogram bucket upper bounds (powers of two; +inf implied).
+DEFAULT_EDGES: tuple[float, ...] = tuple(float(2**i) for i in range(13))
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _freeze_labels(labels: dict[str, str] | None) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    labels: Labels = ()
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ConfigurationError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    name: str
+    labels: Labels = ()
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Shift the gauge by ``delta``."""
+        self.value += float(delta)
+
+
+class Histogram:
+    """A bounded histogram over fixed bucket edges.
+
+    Args:
+        name: Metric name.
+        labels: Frozen label pairs.
+        edges: Strictly increasing bucket upper bounds; an implicit
+            +inf bucket catches everything above the last edge.
+    """
+
+    def __init__(
+        self, name: str, labels: Labels = (), edges: tuple[float, ...] | None = None
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        if edges is None:
+            edges = DEFAULT_EDGES
+        self.edges = tuple(float(e) for e in edges)
+        if not self.edges:
+            raise ConfigurationError("histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(self.edges, self.edges[1:])):
+            raise ConfigurationError("bucket edges must strictly increase")
+        self.counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.counts[bisect.bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready form used by the snapshot exporter."""
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """All instruments of one run, keyed by ``(name, labels)``.
+
+    The accessor methods create on first use, so instrumented code never
+    needs registration boilerplate; asking for an existing name with a
+    different instrument kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, Labels], Counter | Gauge | Histogram] = {}
+
+    def _get(
+        self,
+        kind: type,
+        name: str,
+        labels: dict[str, str] | None,
+        factory,
+    ):
+        key = (name, _freeze_labels(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory(key[1])
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, kind):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, labels: dict[str, str] | None = None) -> Counter:
+        """The counter ``(name, labels)``, created on first use."""
+        return self._get(Counter, name, labels, lambda lb: Counter(name, lb))
+
+    def gauge(self, name: str, labels: dict[str, str] | None = None) -> Gauge:
+        """The gauge ``(name, labels)``, created on first use."""
+        return self._get(Gauge, name, labels, lambda lb: Gauge(name, lb))
+
+    def histogram(
+        self,
+        name: str,
+        labels: dict[str, str] | None = None,
+        edges: tuple[float, ...] | None = None,
+    ) -> Histogram:
+        """The histogram ``(name, labels)``, created on first use."""
+        return self._get(
+            Histogram, name, labels, lambda lb: Histogram(name, lb, edges)
+        )
+
+    def counters(self) -> list[Counter]:
+        """All counters, in registration order."""
+        return [i for i in self._instruments.values() if isinstance(i, Counter)]
+
+    def gauges(self) -> list[Gauge]:
+        """All gauges, in registration order."""
+        return [i for i in self._instruments.values() if isinstance(i, Gauge)]
+
+    def histograms(self) -> list[Histogram]:
+        """All histograms, in registration order."""
+        return [i for i in self._instruments.values() if isinstance(i, Histogram)]
+
+    def __len__(self) -> int:
+        return len(self._instruments)

@@ -1,0 +1,128 @@
+"""The single telemetry handle threaded through the engine.
+
+One :class:`Telemetry` bundles the three observation channels -- event
+bus, metrics registry, span timers -- behind the narrow surface the
+instrumented components use: ``emit`` (an event), ``count`` / ``observe``
+/ ``gauge`` (metrics), ``timers`` (spans) and ``tick`` (the engine keeps
+it pointing at the current sampling instant so components never pass
+clocks around).
+
+:class:`NullTelemetry` is the default everywhere.  Its ``enabled`` flag
+is False and every method is a no-op, so instrumented code guards its
+event/metric construction with one attribute test and a disabled run
+executes the exact same filter/transport arithmetic as the seed --
+seeded :class:`~repro.dsms.engine.EngineReport` byte-identity is a
+tested invariant, not an aspiration.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import Event, EventBus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timing import NULL_TIMERS, NullTimers, SpanTimers
+
+__all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY"]
+
+
+class Telemetry:
+    """Live telemetry: events, metrics and timers share one handle.
+
+    Args:
+        buffer_size: Event-bus ring-buffer capacity.
+    """
+
+    enabled = True
+
+    def __init__(self, buffer_size: int = 65536) -> None:
+        self.bus = EventBus(buffer_size=buffer_size)
+        self.metrics = MetricsRegistry()
+        self.timers: SpanTimers | NullTimers = SpanTimers()
+        self.tick = 0
+
+    def set_tick(self, tick: int) -> None:
+        """Move the stamping clock (the engine calls this every step)."""
+        self.tick = tick
+
+    def emit(
+        self,
+        name: str,
+        source_id: str | None = None,
+        trace: str | None = None,
+        **fields: object,
+    ) -> Event | None:
+        """Emit one event stamped with the current tick."""
+        return self.bus.emit(
+            name, self.tick, source_id=source_id, trace=trace, **fields
+        )
+
+    def count(
+        self, name: str, source_id: str | None = None, amount: int = 1
+    ) -> None:
+        """Increment a counter (labelled by source when given)."""
+        labels = {"source": source_id} if source_id is not None else None
+        self.metrics.counter(name, labels).inc(amount)
+
+    def observe(
+        self, name: str, value: float, source_id: str | None = None
+    ) -> None:
+        """Record a histogram sample (labelled by source when given)."""
+        labels = {"source": source_id} if source_id is not None else None
+        self.metrics.histogram(name, labels).observe(value)
+
+    def gauge(
+        self, name: str, value: float, source_id: str | None = None
+    ) -> None:
+        """Set a gauge (labelled by source when given)."""
+        labels = {"source": source_id} if source_id is not None else None
+        self.metrics.gauge(name, labels).set(value)
+
+
+class NullTelemetry:
+    """Disabled telemetry: every operation is a no-op.
+
+    Instrumented call sites check ``telemetry.enabled`` before building
+    event payloads, so the disabled cost is one attribute load and one
+    branch; the hot-path timer hooks hold ``None`` and skip even that.
+    """
+
+    enabled = False
+    bus = None
+    metrics = None
+    timers: NullTimers = NULL_TIMERS
+    tick = 0
+
+    def set_tick(self, tick: int) -> None:
+        """No-op."""
+        return None
+
+    def emit(
+        self,
+        name: str,
+        source_id: str | None = None,
+        trace: str | None = None,
+        **fields: object,
+    ) -> None:
+        """No-op: the event is never built."""
+        return None
+
+    def count(
+        self, name: str, source_id: str | None = None, amount: int = 1
+    ) -> None:
+        """No-op."""
+        return None
+
+    def observe(
+        self, name: str, value: float, source_id: str | None = None
+    ) -> None:
+        """No-op."""
+        return None
+
+    def gauge(
+        self, name: str, value: float, source_id: str | None = None
+    ) -> None:
+        """No-op."""
+        return None
+
+
+#: Shared singleton default for every instrumented component.
+NULL_TELEMETRY = NullTelemetry()

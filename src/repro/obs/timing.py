@@ -1,0 +1,184 @@
+"""Span timers for the hot paths (``time.perf_counter``-based).
+
+A span is one timed region -- a Kalman predict, a codec encode, a whole
+engine tick.  Spans nest freely (the engine-tick span contains dozens of
+filter spans); each name accumulates count/total/min/max, bounded memory
+regardless of run length.
+
+The overhead contract matters more than the feature set: instrumented
+call sites guard with ``if timers is not None`` (or hold a
+:class:`NullTimers`), so a run without telemetry pays one attribute load
+and one ``is None`` test per hot-path call -- nothing else.  The
+acceptance bar is a < 5 % regression on the engine-scale benchmark with
+telemetry disabled.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SpanStat", "SpanTimers", "NullTimers", "NULL_TIMERS"]
+
+
+@dataclass
+class SpanStat:
+    """Accumulated wall-clock totals for one span name."""
+
+    name: str
+    count: int = 0
+    total_seconds: float = 0.0
+    min_seconds: float = math.inf
+    max_seconds: float = 0.0
+
+    def record(self, elapsed: float) -> None:
+        """Fold one span duration into the totals."""
+        self.count += 1
+        self.total_seconds += elapsed
+        if elapsed < self.min_seconds:
+            self.min_seconds = elapsed
+        if elapsed > self.max_seconds:
+            self.max_seconds = elapsed
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready form used by the snapshot exporter."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "min_seconds": self.min_seconds if self.count else None,
+            "max_seconds": self.max_seconds,
+        }
+
+
+class _Span:
+    """Context manager timing one region (returned by ``span``)."""
+
+    __slots__ = ("_timers", "_name")
+
+    def __init__(self, timers: "SpanTimers", name: str) -> None:
+        self._timers = timers
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        self._timers.start(self._name)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._timers.stop(self._name)
+
+
+class SpanTimers:
+    """Nestable named span timers with per-name accumulation.
+
+    Use either the context-manager form::
+
+        with timers.span("engine.step"):
+            ...
+
+    or, on the hottest paths where a ``with`` block costs too much, the
+    paired form::
+
+        timers.start("kalman.predict")
+        try:
+            ...
+        finally:
+            timers.stop("kalman.predict")
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._stats: dict[str, SpanStat] = {}
+        self._stack: list[tuple[str, float]] = []
+
+    def span(self, name: str) -> _Span:
+        """A context manager timing the enclosed region as ``name``."""
+        return _Span(self, name)
+
+    def start(self, name: str) -> None:
+        """Open a span; must be closed by a matching :meth:`stop`."""
+        self._stack.append((name, time.perf_counter()))
+
+    def stop(self, name: str) -> None:
+        """Close the innermost open span, which must be ``name``."""
+        if not self._stack or self._stack[-1][0] != name:
+            open_name = self._stack[-1][0] if self._stack else None
+            raise ConfigurationError(
+                f"span nesting violation: stopping {name!r} while "
+                f"{open_name!r} is innermost"
+            )
+        elapsed = time.perf_counter() - self._stack.pop()[1]
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = self._stats[name] = SpanStat(name)
+        stat.record(elapsed)
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    def stats(self) -> list[SpanStat]:
+        """Accumulated stats, most expensive first."""
+        return sorted(
+            self._stats.values(), key=lambda s: s.total_seconds, reverse=True
+        )
+
+    def get(self, name: str) -> SpanStat | None:
+        """The accumulated stat for one span name, if any."""
+        return self._stats.get(name)
+
+
+class NullTimers:
+    """Disabled timers: every operation is a no-op.
+
+    ``span`` returns a shared do-nothing context manager, so code written
+    against the ``with`` form needs no enabled-check at all; hot paths
+    that cannot afford even that should hold ``None`` instead and guard.
+    """
+
+    enabled = False
+
+    class _NullSpan:
+        __slots__ = ()
+
+        def __enter__(self) -> "NullTimers._NullSpan":
+            return self
+
+        def __exit__(self, *exc_info) -> None:
+            return None
+
+    _SPAN = _NullSpan()
+
+    def span(self, name: str) -> "NullTimers._NullSpan":
+        """Return the shared do-nothing span."""
+        return self._SPAN
+
+    def start(self, name: str) -> None:
+        """No-op."""
+        return None
+
+    def stop(self, name: str) -> None:
+        """No-op."""
+        return None
+
+    @property
+    def depth(self) -> int:
+        """Always 0: nothing is ever open."""
+        return 0
+
+    def stats(self) -> list[SpanStat]:
+        """Always empty: nothing was ever recorded."""
+        return []
+
+    def get(self, name: str) -> SpanStat | None:
+        """Always None: nothing was ever recorded."""
+        return None
+
+
+#: Shared singleton for the disabled case.
+NULL_TIMERS = NullTimers()

@@ -175,6 +175,131 @@ class TestRegistrationEdges:
         assert third_install is second_install  # loosened: keep filters
 
 
+class TestEngineReportSerde:
+    def run_report(self):
+        engine = make_engine(40)
+        engine.submit_query(ContinuousQuery("s0", delta=1.0, query_id="q"))
+        engine.run()
+        return engine.report()
+
+    def test_round_trip(self):
+        from repro.dsms.engine import EngineReport
+
+        report = self.run_report()
+        rebuilt = EngineReport.from_dict(report.to_dict())
+        assert rebuilt == report
+
+    def test_to_dict_is_json_serialisable(self):
+        import json
+
+        text = json.dumps(self.run_report().to_dict())
+        decoded = json.loads(text)
+        assert decoded["readings"] == 40
+        assert "s0" in decoded["per_source_energy"]
+
+    def test_from_dict_rejects_malformed(self):
+        from repro.dsms.engine import EngineReport
+        from repro.errors import ConfigurationError
+
+        good = self.run_report().to_dict()
+        bad = dict(good)
+        del bad["ticks"]
+        with pytest.raises(ConfigurationError):
+            EngineReport.from_dict(bad)
+        bad = dict(good)
+        bad["per_source_energy"] = {"s0": {"bogus_field": 1}}
+        with pytest.raises(ConfigurationError):
+            EngineReport.from_dict(bad)
+
+
+class TestTrafficConservation:
+    """offered == delivered + lost + corrupted + in_flight, always."""
+
+    def make_faulty_engine(self, latency=0):
+        from repro.dkf.config import TransportPolicy
+        from repro.dsms.faults import FaultSchedule
+
+        rng = np.random.default_rng(23)
+        engine = StreamEngine()
+        engine.add_source(
+            "s0",
+            linear_model(dims=1, dt=1.0),
+            stream_from_values(
+                np.cumsum(rng.normal(0.0, 1.0, size=250)), name="walk"
+            ),
+            transport=TransportPolicy(ack_timeout_ticks=4),
+            link=LinkConfig(latency_ticks=latency),
+        )
+        engine.submit_query(ContinuousQuery("s0", delta=1.0, query_id="q"))
+        engine.inject_faults(
+            FaultSchedule(seed=23)
+            .burst_loss("s0", p_enter=0.06, p_exit=0.3)
+            .corrupt("s0", rate=0.02)
+        )
+        return engine
+
+    def assert_conserved(self, engine):
+        report = engine.report()
+        delivered = sum(
+            engine.fabric.stats_for(sid).delivered for sid in engine.sources
+        )
+        offered = report.updates_sent + report.retransmits + report.heartbeats
+        assert offered == (
+            delivered
+            + report.messages_lost
+            + report.corrupted
+            + report.in_flight
+        )
+
+    def test_conserved_after_settled_run(self):
+        engine = self.make_faulty_engine()
+        engine.run()
+        engine.settle()
+        self.assert_conserved(engine)
+        assert engine.report().messages_lost > 0
+        assert engine.report().corrupted > 0
+
+    def test_conserved_mid_run_with_frames_in_flight(self):
+        # Data latency keeps frames in flight at the cut; acks stay
+        # instantaneous so in_flight counts only data messages.
+        engine = self.make_faulty_engine(latency=3)
+        engine.run(max_ticks=40)
+        assert engine.report().in_flight > 0
+        self.assert_conserved(engine)
+
+    def test_conserved_across_crash_and_restart(self):
+        # DKFSource.reset() wipes its own counters on restart; the report
+        # must keep counting offered traffic from the fabric ledger or
+        # the conservation law breaks mid-lifetime.
+        from repro.dkf.config import TransportPolicy
+        from repro.dsms.faults import FaultSchedule
+
+        rng = np.random.default_rng(23)
+        engine = StreamEngine()
+        engine.add_source(
+            "s0",
+            linear_model(dims=1, dt=1.0),
+            stream_from_values(
+                np.cumsum(rng.normal(0.0, 1.0, size=250)), name="walk"
+            ),
+            transport=TransportPolicy(ack_timeout_ticks=6),
+            link=LinkConfig(latency_ticks=1, ack_latency_ticks=1),
+        )
+        engine.submit_query(ContinuousQuery("s0", delta=1.0, query_id="q"))
+        engine.inject_faults(
+            FaultSchedule(seed=23)
+            .burst_loss("s0", p_enter=0.06, p_exit=0.3)
+            .crash("s0", at=120, restart_at=160)
+        )
+        engine.run()
+        engine.settle()
+        report = engine.report()
+        # Restart re-primes via resync, so retransmits include it.
+        assert report.retransmits > 0
+        assert report.messages_lost > 0
+        self.assert_conserved(engine)
+
+
 class TestLossyLinks:
     def test_lossy_link_recovers_via_resync(self):
         engine = StreamEngine()

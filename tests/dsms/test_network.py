@@ -135,7 +135,13 @@ class TestLossAndAccounting:
         assert fabric.total_bytes() == 2 * update().size_bytes
         assert fabric.total_messages() == 2
 
-    def test_corruption_counts_as_loss(self):
+    def test_corruption_is_disjoint_from_loss(self):
+        """A corrupted frame lands in ``corrupted``, never in ``lost``.
+
+        The buckets must stay disjoint so the traffic conservation law
+        ``offered == delivered + lost + corrupted + in_flight`` holds
+        without double counting.
+        """
         received = []
         fabric = NetworkFabric(deliver=received.append)
         fabric.add_link("s0", LinkConfig(corrupt_fn=lambda i: True))
@@ -143,7 +149,10 @@ class TestLossAndAccounting:
         assert not received
         stats = fabric.stats_for("s0")
         assert stats.corrupted == 1
-        assert stats.lost == 1
+        assert stats.lost == 0
+        assert fabric.total_corrupted() == 1
+        assert fabric.total_lost() == 0
+        assert fabric.total_offered() == 1
 
 
 class TestAckDirection:

@@ -1,0 +1,60 @@
+"""Tests for the per-step trace collectors."""
+
+import numpy as np
+
+from repro.metrics.collectors import RunTrace, collect_trace
+from repro.scheme import SchemeDecision
+
+
+def decision(k, sent, value=0.0):
+    v = np.array([value])
+    return SchemeDecision(
+        k=k, sent=sent, raw_value=v, source_value=v, server_value=v
+    )
+
+
+class TestEmptyTrace:
+    def test_summary_of_empty_trace(self):
+        trace = RunTrace(scheme="s", stream="t", decisions=[])
+        summary = trace.summary()
+        assert summary["steps"] == 0
+        assert summary["updates"] == 0
+        assert summary["update_percentage"] == 0.0
+        assert summary["average_error"] == 0.0
+        assert summary["max_error"] == 0.0
+        assert summary["median_gap"] == 0.0
+
+    def test_empty_series_shapes(self):
+        trace = RunTrace(scheme="s", stream="t", decisions=[])
+        assert len(trace) == 0
+        assert trace.errors().shape == (0,)
+        assert trace.sent_mask.shape == (0,)
+        assert trace.update_instants.shape == (0,)
+        assert trace.inter_update_gaps().shape == (0,)
+
+
+class TestSummaryConsistency:
+    def test_summary_matches_series(self):
+        decisions = [
+            decision(0, True),
+            decision(1, False),
+            decision(2, False),
+            decision(3, True),
+            decision(4, False),
+            decision(5, True),
+        ]
+        trace = RunTrace(scheme="s", stream="t", decisions=decisions)
+        summary = trace.summary()
+        assert summary["steps"] == 6
+        assert summary["updates"] == 3
+        assert summary["update_percentage"] == 50.0
+        # Gaps between instants (0, 3, 5) are 2 and 1 suppressed steps.
+        assert list(trace.inter_update_gaps()) == [2, 1]
+        assert summary["median_gap"] == 1.5
+
+    def test_single_update_has_no_gap(self):
+        trace = RunTrace(
+            scheme="s", stream="t", decisions=[decision(0, True)]
+        )
+        assert trace.inter_update_gaps().shape == (0,)
+        assert trace.summary()["median_gap"] == 0.0

@@ -1,0 +1,88 @@
+"""Tests for the structured event bus."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import Event, EventBus, trace_id
+
+
+class TestTraceId:
+    def test_format(self):
+        assert trace_id("s0", 7) == "s0/7"
+
+    def test_distinct_sources_distinct_ids(self):
+        assert trace_id("a", 1) != trace_id("b", 1)
+
+
+class TestEvent:
+    def test_as_dict_omits_absent_optionals(self):
+        event = Event(seq=0, tick=3, name="x")
+        assert event.as_dict() == {"seq": 0, "tick": 3, "name": "x"}
+
+    def test_as_dict_flattens_fields(self):
+        event = Event(
+            seq=1,
+            tick=0,
+            name="source.update",
+            source_id="s0",
+            trace_id="s0/4",
+            fields={"k": 4, "gated": False},
+        )
+        d = event.as_dict()
+        assert d["trace_id"] == "s0/4"
+        assert d["k"] == 4
+        assert d["gated"] is False
+
+    def test_frozen(self):
+        event = Event(seq=0, tick=0, name="x")
+        with pytest.raises(AttributeError):
+            event.name = "y"
+
+
+class TestEventBus:
+    def test_emit_orders_and_counts(self):
+        bus = EventBus()
+        bus.emit("a", tick=0)
+        bus.emit("b", tick=0)
+        bus.emit("a", tick=1)
+        assert [e.seq for e in bus.events()] == [0, 1, 2]
+        assert bus.counts() == {"a": 2, "b": 1}
+        assert bus.total_emitted == 3
+
+    def test_name_filter(self):
+        bus = EventBus()
+        bus.emit("a", tick=0)
+        bus.emit("b", tick=0)
+        assert [e.name for e in bus.events("a")] == ["a"]
+
+    def test_ring_buffer_bounded_but_counts_survive(self):
+        bus = EventBus(buffer_size=4)
+        for i in range(10):
+            bus.emit("tickle", tick=i)
+        assert len(bus.events()) == 4
+        assert [e.tick for e in bus.events()] == [6, 7, 8, 9]
+        assert bus.counts()["tickle"] == 10
+        assert bus.total_emitted == 10
+
+    def test_bad_buffer_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventBus(buffer_size=0)
+
+    def test_subscribers_see_every_event(self):
+        bus = EventBus(buffer_size=2)
+        seen = []
+        bus.subscribe(seen.append)
+        for i in range(5):
+            bus.emit("e", tick=i)
+        assert len(seen) == 5  # not truncated by the ring buffer
+
+    def test_clear_keeps_subscribers(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("e", tick=0)
+        bus.clear()
+        assert bus.events() == []
+        assert bus.counts() == {}
+        bus.emit("e", tick=1)
+        assert len(seen) == 2

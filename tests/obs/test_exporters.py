@@ -1,0 +1,208 @@
+"""Tests for the telemetry exporters (JSONL, Prometheus text, snapshot)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    SNAPSHOT_SCHEMA,
+    EventBus,
+    JsonlEventWriter,
+    MetricsRegistry,
+    Telemetry,
+    build_snapshot,
+    load_snapshot,
+    prometheus_text,
+    validate_snapshot,
+    write_snapshot,
+)
+
+
+class TestJsonlEventWriter:
+    def test_one_line_per_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus()
+        with JsonlEventWriter(path) as writer:
+            bus.subscribe(writer)
+            bus.emit("a", tick=0, source_id="s0", trace="s0/0", k=0)
+            bus.emit("b", tick=1)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["name"] == "a"
+        assert first["trace_id"] == "s0/0"
+        assert first["k"] == 0
+        assert writer.lines_written == 2
+
+    def test_numpy_scalars_serialised(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus()
+        with JsonlEventWriter(path) as writer:
+            bus.subscribe(writer)
+            bus.emit("a", tick=0, value=np.float64(1.5), n=np.int64(3))
+        row = json.loads(path.read_text())
+        assert row["value"] == 1.5
+        assert row["n"] == 3
+
+    def test_write_after_close_rejected(self, tmp_path):
+        writer = JsonlEventWriter(tmp_path / "e.jsonl")
+        writer.close()
+        writer.close()  # idempotent
+        bus = EventBus()
+        bus.subscribe(writer)
+        with pytest.raises(ConfigurationError):
+            bus.emit("a", tick=0)
+
+
+class TestPrometheusText:
+    def test_counters_and_gauges(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", {"source": "s0"}).inc(3)
+        reg.gauge("depth").set(1.5)
+        text = prometheus_text(reg)
+        assert "# TYPE hits counter" in text
+        assert 'hits{source="s0"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 1.5" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", edges=(1.0, 2.0))
+        for v in (0.5, 0.7, 1.5, 5.0):
+            h.observe(v)
+        text = prometheus_text(reg)
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="2"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert "lat_count 4" in text
+        assert "lat_sum 7.7" in text
+
+    def test_type_line_emitted_once_per_name(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", {"source": "a"}).inc()
+        reg.counter("hits", {"source": "b"}).inc()
+        text = prometheus_text(reg)
+        assert text.count("# TYPE hits counter") == 1
+
+
+class TestSnapshotRoundTrip:
+    def test_empty_snapshot_validates(self):
+        snapshot = build_snapshot(meta={"name": "empty"})
+        assert validate_snapshot(snapshot) is snapshot
+        assert snapshot["schema"] == SNAPSHOT_SCHEMA
+
+    def test_telemetry_snapshot_roundtrip(self, tmp_path):
+        tel = Telemetry()
+        tel.set_tick(3)
+        tel.emit("source.update", source_id="s0", trace="s0/0")
+        tel.count("updates_sent_total", "s0")
+        tel.observe("innovation_abs", 2.5, "s0")
+        with tel.timers.span("engine.step"):
+            pass
+        path = tmp_path / "snap.json"
+        write_snapshot(path, build_snapshot(tel, meta={"seed": 7}))
+        loaded = load_snapshot(path)
+        assert loaded["meta"] == {"seed": 7}
+        assert loaded["events"]["by_name"] == {"source.update": 1}
+        [counter] = loaded["counters"]
+        assert counter == {
+            "name": "updates_sent_total",
+            "labels": {"source": "s0"},
+            "value": 1,
+        }
+        [span] = loaded["spans"]
+        assert span["name"] == "engine.step"
+        assert span["count"] == 1
+
+    def test_empty_histogram_min_max_null_after_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.histogram("empty")
+        path = tmp_path / "snap.json"
+        write_snapshot(path, build_snapshot(reg))
+        [hist] = load_snapshot(path)["histograms"]
+        assert hist["min"] is None and hist["max"] is None
+
+    def test_registry_only_snapshot(self):
+        reg = MetricsRegistry()
+        reg.gauge("seconds", {"sources": "4"}).set(0.25)
+        snapshot = build_snapshot(reg, meta={"bench": "x"})
+        validate_snapshot(snapshot)
+        assert snapshot["gauges"][0]["value"] == 0.25
+        assert snapshot["events"]["total"] == 0
+
+
+class TestValidation:
+    def good(self):
+        return build_snapshot(meta={})
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ConfigurationError):
+            validate_snapshot([])
+
+    def test_rejects_wrong_schema(self):
+        bad = self.good()
+        bad["schema"] = "repro.obs/v0"
+        with pytest.raises(ConfigurationError, match="schema"):
+            validate_snapshot(bad)
+
+    def test_rejects_non_numeric_counter(self):
+        bad = self.good()
+        bad["counters"] = [{"name": "x", "labels": {}, "value": "many"}]
+        with pytest.raises(ConfigurationError, match="non-numeric"):
+            validate_snapshot(bad)
+
+    def test_rejects_bool_counter_value(self):
+        bad = self.good()
+        bad["counters"] = [{"name": "x", "labels": {}, "value": True}]
+        with pytest.raises(ConfigurationError, match="non-numeric"):
+            validate_snapshot(bad)
+
+    def test_rejects_histogram_count_shape_mismatch(self):
+        bad = self.good()
+        bad["histograms"] = [
+            {
+                "name": "h",
+                "labels": {},
+                "edges": [1.0, 2.0],
+                "counts": [0, 0],
+                "count": 0,
+                "sum": 0.0,
+                "min": None,
+                "max": None,
+            }
+        ]
+        with pytest.raises(ConfigurationError, match="len\\(edges\\)\\+1"):
+            validate_snapshot(bad)
+
+    def test_rejects_histogram_count_sum_mismatch(self):
+        bad = self.good()
+        bad["histograms"] = [
+            {
+                "name": "h",
+                "labels": {},
+                "edges": [1.0],
+                "counts": [1, 2],
+                "count": 4,
+                "sum": 0.0,
+                "min": None,
+                "max": None,
+            }
+        ]
+        with pytest.raises(ConfigurationError, match="sum"):
+            validate_snapshot(bad)
+
+    def test_write_snapshot_refuses_invalid(self, tmp_path):
+        bad = self.good()
+        bad["spans"] = [{"name": "s"}]  # missing count/total_seconds
+        path = tmp_path / "bad.json"
+        with pytest.raises(ConfigurationError):
+            write_snapshot(path, bad)
+        assert not path.exists()
+
+    def test_load_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "mangled.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_snapshot(path)

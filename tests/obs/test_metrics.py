@@ -1,0 +1,103 @@
+"""Tests for the metrics registry."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("n")
+        g.set(3.5)
+        g.add(-1.0)
+        assert g.value == 2.5
+
+
+class TestHistogram:
+    def test_bucketing_against_edges(self):
+        h = Histogram("n", edges=(1.0, 10.0, 100.0))
+        for v in (0.5, 1.0, 5.0, 10.0, 50.0, 1000.0):
+            h.observe(v)
+        # bisect_left: a value equal to an edge lands in that edge's bucket.
+        assert h.counts == [2, 2, 1, 1]
+        assert h.count == 6
+        assert h.min == 0.5
+        assert h.max == 1000.0
+
+    def test_mean_empty_is_zero(self):
+        assert Histogram("n").mean == 0.0
+
+    def test_as_dict_nulls_min_max_when_empty(self):
+        d = Histogram("n").as_dict()
+        assert d["min"] is None and d["max"] is None
+        assert sum(d["counts"]) == 0
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("n", edges=())
+        with pytest.raises(ConfigurationError):
+            Histogram("n", edges=(1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("n", edges=(2.0, 1.0))
+
+    def test_bounded_memory(self):
+        h = Histogram("n", edges=(1.0, 2.0))
+        for i in range(10_000):
+            h.observe(float(i))
+        assert len(h.counts) == 3
+        assert h.count == 10_000
+        assert math.isclose(h.sum, sum(range(10_000)))
+
+
+class TestMetricsRegistry:
+    def test_create_on_first_use_and_identity(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("hits", {"source": "s0"})
+        c1.inc()
+        c2 = reg.counter("hits", {"source": "s0"})
+        assert c2 is c1
+        assert c2.value == 1
+
+    def test_labels_partition_series(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", {"source": "a"}).inc()
+        reg.counter("hits", {"source": "b"}).inc(2)
+        values = {dict(c.labels)["source"]: c.value for c in reg.counters()}
+        assert values == {"a": 1, "b": 2}
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        g1 = reg.gauge("g", {"a": "1", "b": "2"})
+        g2 = reg.gauge("g", {"b": "2", "a": "1"})
+        assert g2 is g1
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+        with pytest.raises(ConfigurationError):
+            reg.histogram("x")
+
+    def test_listings_by_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.gauge("g")
+        reg.histogram("h")
+        assert [c.name for c in reg.counters()] == ["c"]
+        assert [g.name for g in reg.gauges()] == ["g"]
+        assert [h.name for h in reg.histograms()] == ["h"]
+        assert len(reg) == 3

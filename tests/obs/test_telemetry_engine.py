@@ -1,0 +1,170 @@
+"""End-to-end telemetry tests: the instrumented engine under faults.
+
+The two acceptance properties from the observability issue:
+
+* with :class:`~repro.obs.telemetry.NullTelemetry` (the default), seeded
+  fault runs produce byte-identical :class:`EngineReport` objects -- the
+  instrumentation must not perturb the system under observation;
+* with telemetry enabled, a burst-loss run yields a JSONL event log in
+  which every retransmit is traceable by trace ID back to the original
+  suppressed or lost frame it recovers.
+"""
+
+import json
+
+import numpy as np
+
+from repro.dkf.config import TransportPolicy
+from repro.dsms.engine import StreamEngine
+from repro.dsms.faults import FaultSchedule
+from repro.dsms.query import ContinuousQuery
+from repro.filters.models import linear_model
+from repro.obs import (
+    JsonlEventWriter,
+    Telemetry,
+    render_dashboard,
+    validate_snapshot,
+)
+from repro.streams.base import stream_from_values
+
+
+def walk(n=300, seed=11):
+    rng = np.random.default_rng(seed)
+    return stream_from_values(
+        np.cumsum(rng.normal(0.0, 1.0, size=n)), name="walk"
+    )
+
+
+def burst_schedule():
+    return (
+        FaultSchedule(seed=3)
+        .crash("s0", at=120, restart_at=150)
+        .burst_loss("s0", p_enter=0.05, p_exit=0.25)
+    )
+
+
+def build_engine(telemetry=None, n=300):
+    engine = StreamEngine(telemetry=telemetry)
+    engine.add_source(
+        "s0",
+        linear_model(dims=1, dt=1.0),
+        walk(n),
+        transport=TransportPolicy(ack_timeout_ticks=4),
+    )
+    engine.submit_query(ContinuousQuery("s0", delta=1.0, query_id="q"))
+    engine.inject_faults(burst_schedule())
+    return engine
+
+
+def run(engine):
+    engine.run()
+    engine.settle()
+    return engine
+
+
+class TestNullTelemetryInvariance:
+    def test_seeded_fault_runs_byte_identical(self):
+        first = run(build_engine()).report()
+        second = run(build_engine()).report()
+        assert first == second
+        assert first.to_dict() == second.to_dict()
+
+    def test_enabled_telemetry_does_not_perturb_the_run(self):
+        plain = run(build_engine()).report()
+        traced = run(build_engine(telemetry=Telemetry())).report()
+        assert plain == traced
+
+
+class TestRetransmitTraceability:
+    def test_every_retransmit_traceable_in_jsonl(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        telemetry = Telemetry()
+        with JsonlEventWriter(path) as writer:
+            telemetry.bus.subscribe(writer)
+            engine = run(build_engine(telemetry=telemetry))
+        assert engine.report().retransmits > 0
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        # Trace IDs are born when a frame is first offered to the wire.
+        frame_births = {
+            r["trace_id"]
+            for r in rows
+            if r["name"]
+            in ("source.update", "engine.resync_prime", "source.retransmit")
+        }
+        retransmits = [r for r in rows if r["name"] == "source.retransmit"]
+        assert retransmits
+        for retransmit in retransmits:
+            if retransmit["reason"] == "timeout":
+                # An ack timeout always recovers concrete unacked frames.
+                assert retransmit["recovers"], "retransmit recovers nothing"
+            # A server-requested resync may recover nothing when the
+            # request arrived on a stale ack (the gap already healed).
+            for recovered in retransmit["recovers"]:
+                assert recovered in frame_births
+        assert any(r["recovers"] for r in retransmits)
+        # Lost frames are traceable too: a fabric.lost trace is one that
+        # some earlier event introduced.
+        for lost in (r for r in rows if r["name"] == "fabric.lost"):
+            if lost.get("trace_id") is not None:
+                assert lost["trace_id"] in frame_births
+
+    def test_crash_and_restart_events_emitted(self, tmp_path):
+        telemetry = Telemetry()
+        run(build_engine(telemetry=telemetry))
+        counts = telemetry.bus.counts()
+        assert counts.get("fault.crash") == 1
+        assert counts.get("fault.restart") == 1
+        # The restart forces a resync-primed first transmission.
+        assert counts.get("engine.resync_prime", 0) >= 1
+
+    def test_heartbeats_carry_no_trace(self):
+        telemetry = Telemetry()
+        engine = StreamEngine(telemetry=telemetry)
+        values = np.zeros(60)
+        engine.add_source(
+            "s0",
+            linear_model(dims=1, dt=1.0),
+            stream_from_values(values, name="flat"),
+            transport=TransportPolicy(
+                ack_timeout_ticks=8, heartbeat_interval_ticks=5
+            ),
+        )
+        engine.submit_query(ContinuousQuery("s0", delta=5.0, query_id="q"))
+        run(engine)
+        beats = telemetry.bus.events("source.heartbeat")
+        assert beats
+        assert all(b.trace_id is None for b in beats)
+
+
+class TestRunArtifacts:
+    def test_snapshot_validates_and_renders(self):
+        telemetry = Telemetry()
+        engine = run(build_engine(telemetry=telemetry))
+        snapshot = engine.obs_snapshot({"name": "fault-run"})
+        validate_snapshot(snapshot)
+        text = render_dashboard(snapshot)
+        assert "fault-run" in text
+        assert "updates_sent_total" in text
+        assert "engine.step" in text
+        assert "source.retransmit" in text
+
+    def test_expected_metric_families_present(self):
+        telemetry = Telemetry()
+        engine = run(build_engine(telemetry=telemetry))
+        engine.answers()  # observes staleness at answer time
+        names = {h.name for h in telemetry.metrics.histograms()}
+        assert {
+            "innovation_abs",
+            "inter_update_gap_ticks",
+            "ack_rtt_ticks",
+            "frame_bytes",
+            "staleness_at_answer_ticks",
+        } <= names
+        spans = {s.name for s in telemetry.timers.stats()}
+        assert {
+            "engine.run",
+            "engine.step",
+            "kalman.predict",
+            "kalman.update",
+            "fabric.deliver",
+        } <= spans

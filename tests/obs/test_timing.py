@@ -1,0 +1,114 @@
+"""Tests for the span timers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.filters.models import linear_model
+from repro.obs import NULL_TIMERS, NullTimers, SpanTimers
+
+
+def build_filter():
+    return linear_model(dims=1, dt=1.0).build_filter(np.array([0.0]))
+
+
+class TestSpanTimers:
+    def test_context_manager_records(self):
+        timers = SpanTimers()
+        with timers.span("work"):
+            pass
+        stat = timers.get("work")
+        assert stat.count == 1
+        assert stat.total_seconds >= 0.0
+        assert stat.min_seconds <= stat.max_seconds
+
+    def test_nesting(self):
+        timers = SpanTimers()
+        with timers.span("outer"):
+            assert timers.depth == 1
+            with timers.span("inner"):
+                assert timers.depth == 2
+        assert timers.depth == 0
+        assert timers.get("outer").count == 1
+        assert timers.get("inner").count == 1
+        # The outer span encloses the inner one.
+        assert (
+            timers.get("outer").total_seconds
+            >= timers.get("inner").total_seconds
+        )
+
+    def test_paired_form_accumulates(self):
+        timers = SpanTimers()
+        for _ in range(3):
+            timers.start("hot")
+            timers.stop("hot")
+        assert timers.get("hot").count == 3
+
+    def test_mismatched_stop_raises(self):
+        timers = SpanTimers()
+        timers.start("a")
+        with pytest.raises(ConfigurationError):
+            timers.stop("b")
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(ConfigurationError):
+            SpanTimers().stop("ghost")
+
+    def test_stats_sorted_by_total(self):
+        timers = SpanTimers()
+        with timers.span("cheap"):
+            pass
+        with timers.span("dear"):
+            for _ in range(1000):
+                pass
+        names = [s.name for s in timers.stats()]
+        assert set(names) == {"cheap", "dear"}
+        totals = [s.total_seconds for s in timers.stats()]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_exception_still_closes_span(self):
+        timers = SpanTimers()
+        with pytest.raises(ValueError):
+            with timers.span("risky"):
+                raise ValueError("boom")
+        assert timers.depth == 0
+        assert timers.get("risky").count == 1
+
+
+class TestNullTimers:
+    def test_all_noop(self):
+        with NULL_TIMERS.span("x"):
+            pass
+        NULL_TIMERS.start("x")
+        NULL_TIMERS.stop("y")  # no stack, no violation
+        assert NULL_TIMERS.depth == 0
+        assert NULL_TIMERS.stats() == []
+        assert NULL_TIMERS.get("x") is None
+        assert not NullTimers.enabled
+
+
+class TestKalmanInstrumentation:
+    def test_uninstrumented_filter_carries_no_timers(self):
+        kf = build_filter()
+        kf.predict()
+        assert kf._timers is None  # noqa: SLF001
+
+    def test_instrumented_filter_times_predict_and_update(self):
+        timers = SpanTimers()
+        kf = build_filter()
+        kf.instrument(timers)
+        kf.predict()
+        kf.update(np.array([1.0]))
+        assert timers.get("kalman.predict").count == 1
+        assert timers.get("kalman.update").count == 1
+
+    def test_instrumentation_does_not_change_estimates(self):
+        plain = build_filter()
+        timed = build_filter()
+        timed.instrument(SpanTimers())
+        for value in (1.0, 2.1, 2.9, 4.2):
+            for kf in (plain, timed):
+                kf.predict()
+                kf.update(np.array([value]))
+        assert np.array_equal(plain.x, timed.x)
+        assert np.array_equal(plain.p, timed.p)

@@ -141,6 +141,51 @@ class TestCompareCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestObsCommand:
+    def test_record_then_replay(self, tmp_path, capsys):
+        snap = tmp_path / "snap.json"
+        events = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "obs",
+                "--record",
+                str(snap),
+                "--events",
+                str(events),
+                "--ticks",
+                "120",
+            ]
+        )
+        assert code == 0
+        assert snap.exists() and events.exists()
+        capsys.readouterr()
+        code = main(["obs", str(snap)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "obs-demo" in out
+        assert "-- counters --" in out
+        assert "-- spans (by total wall-clock) --" in out
+
+    def test_check_mode(self, tmp_path, capsys):
+        snap = tmp_path / "snap.json"
+        assert main(["obs", "--record", str(snap), "--ticks", "80"]) == 0
+        capsys.readouterr()
+        assert main(["obs", str(snap), "--check"]) == 0
+        assert "snapshot ok" in capsys.readouterr().out
+
+    def test_invalid_snapshot_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "wrong"}')
+        code = main(["obs", str(bad), "--check"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_arguments_fail_cleanly(self, capsys):
+        code = main(["obs"])
+        assert code == 1
+        assert "need a snapshot path" in capsys.readouterr().err
+
+
 class TestModuleEntrypoints:
     def test_python_dash_m_repro(self):
         import subprocess
