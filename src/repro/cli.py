@@ -13,6 +13,8 @@ writing code::
     python -m repro obs --record snap.json --events run.jsonl
     python -m repro obs snap.json          # replay as ASCII dashboard
     python -m repro obs snap.json --check  # schema validation only
+    python -m repro chaos                  # seeded kill-and-recover drill
+    python -m repro chaos --out chaos-out --max-recovery-ticks 50
 """
 
 from __future__ import annotations
@@ -125,6 +127,48 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument(
         "--ticks", type=int, default=300, help="demo run length (--record)"
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded crash drill: burst loss, sensor faults, a server "
+        "kill, checkpoint/WAL recovery, and a recovery report",
+    )
+    chaos.add_argument(
+        "--ticks", type=int, default=400, help="total run length"
+    )
+    chaos.add_argument("--seed", type=int, default=7, help="scenario seed")
+    chaos.add_argument(
+        "--crash-at",
+        type=int,
+        default=225,
+        help="tick the server dies (default mid-checkpoint-interval so "
+        "recovery must replay a WAL tail)",
+    )
+    chaos.add_argument(
+        "--recover-after",
+        type=int,
+        default=10,
+        help="downtime ticks before recovery runs",
+    )
+    chaos.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=50,
+        help="checkpoint cadence in ticks",
+    )
+    chaos.add_argument(
+        "--max-recovery-ticks",
+        type=int,
+        default=50,
+        help="recovery bound: every stream must be back within its δ of "
+        "the true value this many ticks after recover() (exit 1 "
+        "otherwise)",
+    )
+    chaos.add_argument(
+        "--out",
+        default="chaos-out",
+        help="artifact directory (checkpoint + WAL + snapshot + report)",
+    )
     return parser
 
 
@@ -224,6 +268,170 @@ def _record_demo(args: argparse.Namespace) -> dict:
     return snapshot
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    """Seeded kill-and-recover drill with a pass/fail recovery bound."""
+    import json
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.dkf.config import TransportPolicy
+    from repro.dsms.engine import StreamEngine
+    from repro.dsms.faults import FaultSchedule
+    from repro.dsms.query import ContinuousQuery
+    from repro.obs import Telemetry, write_snapshot
+    from repro.resilience import (
+        OverloadPolicy,
+        ResilienceConfig,
+        RestartPolicy,
+        WatchdogPolicy,
+    )
+    from repro.streams.base import stream_from_values
+
+    ticks = args.ticks
+    crash_at = args.crash_at
+    recover_at = crash_at + args.recover_after
+    if not 0 < crash_at < ticks or recover_at >= ticks:
+        raise ConfigurationError(
+            "need 0 < crash-at and crash-at + recover-after < ticks"
+        )
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    rng = np.random.default_rng(args.seed)
+    truth = {
+        "hi": np.cumsum(rng.normal(0.4, 1.0, size=ticks)),
+        "mid": np.cumsum(rng.normal(-0.2, 1.2, size=ticks)),
+        "lo": np.cumsum(rng.normal(0.0, 0.8, size=ticks)),
+    }
+    deltas = {"hi": 1.0, "mid": 1.5, "lo": 2.0}
+    priorities = {"hi": 2, "mid": 1, "lo": 0}
+
+    telemetry = Telemetry()
+    engine = StreamEngine(
+        telemetry=telemetry,
+        resilience=ResilienceConfig(
+            checkpoint_dir=str(out / "checkpoint"),
+            checkpoint_every=args.checkpoint_every,
+            watchdog=WatchdogPolicy(),
+            restart=RestartPolicy(),
+            overload=OverloadPolicy(inbox_capacity=32, drain_per_tick=4,
+                                    cooldown_ticks=8),
+        ),
+    )
+    for source_id in ("hi", "mid", "lo"):
+        engine.add_source(
+            source_id,
+            linear_model(dims=1, dt=1.0),
+            stream_from_values(truth[source_id], name=source_id),
+            transport=TransportPolicy(ack_timeout_ticks=4),
+            priority=priorities[source_id],
+        )
+        engine.submit_query(
+            ContinuousQuery(
+                source_id,
+                delta=deltas[source_id],
+                query_id=f"q-{source_id}",
+            )
+        )
+    engine.inject_faults(
+        FaultSchedule(seed=args.seed)
+        .burst_loss("hi", p_enter=0.05, p_exit=0.3)
+        .sensor("mid", "nan", start=80, duration=12)
+        .sensor("lo", "spike", start=120, duration=6, magnitude=40.0)
+        .crash("lo", at=150, restart_at=160)
+    )
+
+    recovery_summary = None
+    recovered_within = None
+    for _ in range(ticks):
+        tick = engine.ticks
+        if tick == crash_at:
+            engine.crash_server()
+            print(f"[tick {tick}] server crashed")
+        if tick == recover_at:
+            recovery_summary = engine.recover()
+            print(
+                f"[tick {tick}] server recovered: "
+                f"{recovery_summary['restored_sources']} sources restored, "
+                f"{recovery_summary['wal_replayed']} WAL records replayed, "
+                f"{recovery_summary['resync_requests']} resyncs requested"
+            )
+        engine.step()
+        if recovery_summary is not None and recovered_within is None:
+            answers = {a.source_id: a for a in engine.answers()}
+            if len(answers) == len(truth) and all(
+                abs(a.value[0] - truth[sid][engine.ticks - 1])
+                <= a.precision + 1e-9
+                for sid, a in answers.items()
+            ):
+                recovered_within = engine.ticks - recover_at
+    engine.settle()
+
+    counters = {
+        c.name: c.value
+        for c in telemetry.metrics.counters()
+        if not c.labels
+    }
+    for c in telemetry.metrics.counters():
+        if c.labels:
+            counters[c.name] = counters.get(c.name, 0) + c.value
+    resilience = engine.resilience_report()
+    report = {
+        "seed": args.seed,
+        "ticks": engine.ticks,
+        "crash_at": crash_at,
+        "recover_at": recover_at,
+        "recovery": recovery_summary,
+        "recovered_within_ticks": recovered_within,
+        "max_recovery_ticks": args.max_recovery_ticks,
+        "watchdog_trips": counters.get("watchdog_trips_total", 0),
+        "checkpoint_writes": counters.get("checkpoint_writes_total", 0),
+        "wal_records": counters.get("wal_records_total", 0),
+        "resilience": resilience,
+        "traffic": engine.report().to_dict(),
+    }
+    (out / "report.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    write_snapshot(
+        str(out / "snapshot.json"),
+        engine.obs_snapshot({"name": "chaos", "seed": args.seed}),
+    )
+
+    print("\n=== chaos recovery report ===")
+    print(f"checkpoints written : {report['checkpoint_writes']}")
+    print(f"WAL records logged  : {report['wal_records']}")
+    print(f"watchdog trips      : {report['watchdog_trips']}")
+    if recovery_summary is not None:
+        print(f"WAL records replayed: {recovery_summary['wal_replayed']}")
+        print(f"resyncs requested   : {recovery_summary['resync_requests']}")
+        print(
+            "dropped while down  : "
+            f"{recovery_summary['dropped_while_down']}"
+        )
+    shed = resilience.get("overload", {})
+    widened = {s: v for s, v in shed.items() if v["widened_ticks"]}
+    if widened:
+        for source_id, account in sorted(widened.items()):
+            print(
+                f"shed on {source_id:<12}: {account['widened_ticks']} ticks "
+                f"widened, {account['shed_error']:.2f} bounded extra error"
+            )
+    print(f"artifacts           : {out}/")
+    if recovered_within is None:
+        print(
+            f"FAIL: streams never re-converged within delta after recovery"
+        )
+        return 1
+    verdict = "ok" if recovered_within <= args.max_recovery_ticks else "FAIL"
+    print(
+        f"recovered within    : {recovered_within} ticks "
+        f"(bound {args.max_recovery_ticks}) -> {verdict}"
+    )
+    return 0 if verdict == "ok" else 1
+
+
 def _run_obs(args: argparse.Namespace) -> int:
     from repro.obs import load_snapshot, render_dashboard, validate_snapshot
 
@@ -251,6 +459,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         if args.command == "obs":
             return _run_obs(args)
+        if args.command == "chaos":
+            return _run_chaos(args)
         return _run_compare(args)
     except (ConfigurationError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -29,6 +29,7 @@ answers can degrade honestly instead of serving stale estimates as fresh.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -68,9 +69,15 @@ class ServerSourceState:
         heartbeats_received: Liveness beacons received.
         gaps_detected: Sequence gaps observed (tolerant mode only).
         duplicates_ignored: Stale retransmits discarded.
+        rejected_nonfinite: Messages refused because their payload
+            carried NaN/Inf values (never applied to the filter).
         last_contact: Server clock at the last received message.
         desynced: True between a detected gap/digest mismatch and the
             healing resync.
+        last_nis: Normalised innovation squared of the last applied
+            update (health tracking only; None otherwise).
+        nis_window: Sliding window of recent NIS values feeding the
+            divergence watchdog (None unless health tracking is on).
     """
 
     config: DKFConfig
@@ -84,8 +91,11 @@ class ServerSourceState:
     heartbeats_received: int = 0
     gaps_detected: int = 0
     duplicates_ignored: int = 0
+    rejected_nonfinite: int = 0
     last_contact: int = 0
     desynced: bool = field(default=False)
+    last_nis: float | None = None
+    nis_window: deque[float] | None = None
 
 
 class DKFServer:
@@ -101,10 +111,20 @@ class DKFServer:
             transport layer to deliver back to the source.
         telemetry: Optional :class:`~repro.obs.telemetry.Telemetry`; the
             default no-op handle leaves apply/ack behaviour untouched.
+        track_health: When True, every applied update additionally
+            records its normalised innovation squared (NIS) in a bounded
+            per-source window for the divergence watchdog.  Off by
+            default so unwatched servers pay nothing.
+        nis_window: Sliding-window length for the NIS health signal.
     """
 
     def __init__(
-        self, strict: bool = True, emit_acks: bool = False, telemetry=None
+        self,
+        strict: bool = True,
+        emit_acks: bool = False,
+        telemetry=None,
+        track_health: bool = False,
+        nis_window: int = 16,
     ) -> None:
         self._sources: dict[str, ServerSourceState] = {}
         self._strict = strict
@@ -112,6 +132,8 @@ class DKFServer:
         self._tel = telemetry or NULL_TELEMETRY
         self._outbox: list[AckMessage] = []
         self._clock = 0
+        self._track_health = track_health
+        self._nis_window = nis_window
 
     def register(
         self,
@@ -126,13 +148,26 @@ class DKFServer:
             config=config,
             transport=transport or TransportPolicy(),
             last_contact=self._clock,
+            nis_window=(
+                deque(maxlen=self._nis_window) if self._track_health else None
+            ),
         )
 
     def deregister(self, source_id: str) -> None:
-        """Tear down the filter for a source whose queries ended."""
+        """Tear down the filter for a source whose queries ended.
+
+        Every trace of the source is purged: its filter state, any of
+        its acks still queued in the outbox (a late-delivered ack for a
+        dead stream would confuse a reused source id), and its telemetry
+        gauges (a point-in-time gauge for a gone stream is stale
+        telemetry; lifetime counters and histograms are kept -- they
+        remain true).
+        """
         self._state(source_id)
         del self._sources[source_id]
         self._outbox = [a for a in self._outbox if a.source_id != source_id]
+        if self._tel.enabled:
+            self._tel.clear_source(source_id)
 
     def _state(self, source_id: str) -> ServerSourceState:
         try:
@@ -217,9 +252,55 @@ class DKFServer:
             )
         return None if state.answer is None else state.answer.copy()
 
+    def _reject_nonfinite(
+        self, state: ServerSourceState, message: UpdateMessage | ResyncMessage
+    ) -> np.ndarray | None:
+        """Refuse a message whose payload carries NaN/Inf.
+
+        The frame is treated as if it never arrived -- ``expected_seq``
+        does not advance -- and the ack carries a resync request so the
+        (sane) mirror state overwrites whatever the sender thought it
+        was reporting.  No non-finite value ever reaches the filter or
+        the cached answer.
+        """
+        state.rejected_nonfinite += 1
+        if self._tel.enabled:
+            self._tel.emit(
+                "server.rejected",
+                source_id=message.source_id,
+                trace=trace_id(message.source_id, message.seq),
+                k=message.k,
+            )
+            self._tel.count("server_rejected_total", message.source_id)
+        self._enqueue_ack(state, message.source_id, resync_requested=True)
+        return None if state.answer is None else state.answer.copy()
+
+    def _observe_nis(
+        self, state: ServerSourceState, value: np.ndarray
+    ) -> None:
+        """Record the normalised innovation squared of an incoming update.
+
+        Computed against the *pre-correction* filter (the textbook NIS:
+        ``y^T S^-1 y`` with ``y = z - H x^-``), whose expectation under a
+        healthy filter is the measurement dimension.  A runaway NIS is
+        the watchdog's earliest divergence signal.
+        """
+        if not self._track_health or state.filter is None:
+            return
+        innovation = value - state.filter.predict_measurement()
+        s = state.filter.innovation_covariance()
+        try:
+            nis = float(innovation @ np.linalg.solve(s, innovation))
+        except np.linalg.LinAlgError:
+            nis = float("inf")
+        state.last_nis = nis
+        state.nis_window.append(nis)
+
     def _receive_update(self, message: UpdateMessage) -> np.ndarray | None:
         state = self._state(message.source_id)
         self._touch(state)
+        if not bool(np.all(np.isfinite(message.value))):
+            return self._reject_nonfinite(state, message)
         if message.seq < state.expected_seq:
             if self._strict:
                 raise MirrorDesyncError(
@@ -270,6 +351,7 @@ class DKFServer:
             if self._tel.enabled:
                 state.filter.instrument(self._tel.timers)
         else:
+            self._observe_nis(state, message.value)
             state.filter.update(message.value)
         # The server now holds the true (possibly smoothed) reading, which
         # is a strictly better answer for this instant than the blended
@@ -306,9 +388,15 @@ class DKFServer:
         self._enqueue_ack(state, message.source_id)
         return state.answer.copy()
 
-    def _receive_resync(self, message: ResyncMessage) -> np.ndarray:
+    def _receive_resync(self, message: ResyncMessage) -> np.ndarray | None:
         state = self._state(message.source_id)
         self._touch(state)
+        if not bool(
+            np.all(np.isfinite(message.x))
+            and np.all(np.isfinite(message.p))
+            and np.all(np.isfinite(message.value))
+        ):
+            return self._reject_nonfinite(state, message)
         healed = state.desynced
         if state.filter is None:
             state.filter = state.config.model.build_filter(
@@ -322,6 +410,11 @@ class DKFServer:
         state.resyncs_received += 1
         state.desynced = False
         state.k = message.k
+        if state.nis_window is not None:
+            # The snapshot replaced the filter state wholesale; stale NIS
+            # samples would describe a filter that no longer exists.
+            state.nis_window.clear()
+            state.last_nis = None
         if self._tel.enabled:
             self._tel.emit(
                 "server.resync_applied",
@@ -404,7 +497,155 @@ class DKFServer:
             "heartbeats_received": state.heartbeats_received,
             "gaps_detected": state.gaps_detected,
             "duplicates_ignored": state.duplicates_ignored,
+            "rejected_nonfinite": state.rejected_nonfinite,
             "desynced": state.desynced,
             "last_k": state.k,
             "last_contact": state.last_contact,
+            "expected_seq": state.expected_seq,
         }
+
+    # Health and recovery hooks -------------------------------------------
+
+    def health_view(self, source_id: str) -> dict[str, object]:
+        """Raw material for a watchdog health check (live references).
+
+        Returns ``x``/``p`` (copies; None before priming), the NIS
+        window as a list, and ``staleness_ticks``.
+        """
+        state = self._state(source_id)
+        return {
+            "x": None if state.filter is None else state.filter.x,
+            "p": None if state.filter is None else state.filter.p,
+            "nis_window": list(state.nis_window or ()),
+            "staleness_ticks": max(0, self._clock - state.last_contact),
+        }
+
+    def filter_clock(self, source_id: str) -> int:
+        """The source filter's discrete clock (-1 before priming).
+
+        Recovery compares this against the mirror's clock to decide how
+        many catch-up prediction steps a restored filter needs.
+        """
+        state = self._state(source_id)
+        return -1 if state.filter is None else state.filter.k
+
+    def reprime(self, source_id: str) -> None:
+        """Re-prime a suspect filter: fresh covariance, sane state.
+
+        The watchdog's second escalation rung.  When the state vector is
+        still finite the covariance is reset to the configured ``P0``
+        (the estimate survives, but its confidence restarts from scratch
+        so the next updates dominate).  A non-finite state is rebuilt
+        from the last finite answer (or zeros) -- the subsequent forced
+        resync then overwrites it with the mirror's truth.
+        """
+        state = self._state(source_id)
+        if state.filter is None:
+            return
+        model = state.config.model
+        p0 = np.eye(model.state_dim) * state.config.p0_scale
+        x = state.filter.x
+        if bool(np.all(np.isfinite(x))):
+            state.filter.set_state(x, p0)
+        else:
+            if state.answer is not None and bool(
+                np.all(np.isfinite(state.answer))
+            ):
+                z0 = np.asarray(state.answer, dtype=float)
+            else:
+                z0 = np.zeros(model.measurement_dim)
+            clock = state.filter.k
+            state.filter = model.build_filter(
+                z0, p0_scale=state.config.p0_scale
+            )
+            state.filter.set_clock(clock)
+            if self._tel.enabled:
+                state.filter.instrument(self._tel.timers)
+            if state.answer is None or not bool(
+                np.all(np.isfinite(state.answer))
+            ):
+                state.answer = state.filter.predict_measurement()
+        if state.nis_window is not None:
+            state.nis_window.clear()
+            state.last_nis = None
+
+    def export_source_state(self, source_id: str) -> dict[str, object]:
+        """Checkpoint-friendly snapshot of one source's full state.
+
+        Everything :meth:`import_source_state` needs to rebuild the
+        ``ServerSourceState`` bit-for-bit: protocol counters, sequence
+        expectations, the cached answer, and the filter's ``(x, P, k)``.
+        JSON-serialisable (ndarrays become nested lists).
+        """
+        state = self._state(source_id)
+        return {
+            "expected_seq": state.expected_seq,
+            "k": state.k,
+            "last_contact": state.last_contact,
+            "updates_received": state.updates_received,
+            "resyncs_received": state.resyncs_received,
+            "heartbeats_received": state.heartbeats_received,
+            "gaps_detected": state.gaps_detected,
+            "duplicates_ignored": state.duplicates_ignored,
+            "rejected_nonfinite": state.rejected_nonfinite,
+            "desynced": bool(state.desynced),
+            "answer": (
+                None if state.answer is None else state.answer.tolist()
+            ),
+            "filter": (
+                None
+                if state.filter is None
+                else {
+                    "x": state.filter.x.tolist(),
+                    "p": state.filter.p.tolist(),
+                    "k": state.filter.k,
+                }
+            ),
+        }
+
+    def import_source_state(
+        self, source_id: str, data: dict[str, object]
+    ) -> None:
+        """Restore a source's state from :meth:`export_source_state` output.
+
+        The source must already be registered (recovery re-registers
+        from the engine's configs first); this overwrites the fresh
+        state with the checkpointed one, rebuilding the filter at its
+        checkpointed clock so time-varying models resume exactly.
+        """
+        state = self._state(source_id)
+        try:
+            state.expected_seq = int(data["expected_seq"])
+            state.k = int(data["k"])
+            state.last_contact = int(data["last_contact"])
+            state.updates_received = int(data["updates_received"])
+            state.resyncs_received = int(data["resyncs_received"])
+            state.heartbeats_received = int(data["heartbeats_received"])
+            state.gaps_detected = int(data["gaps_detected"])
+            state.duplicates_ignored = int(data["duplicates_ignored"])
+            state.rejected_nonfinite = int(data.get("rejected_nonfinite", 0))
+            state.desynced = bool(data["desynced"])
+            answer = data["answer"]
+            state.answer = (
+                None if answer is None else np.asarray(answer, dtype=float)
+            )
+            filter_state = data["filter"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MirrorDesyncError(
+                f"malformed checkpoint state for source {source_id!r}: {exc}"
+            ) from None
+        if filter_state is None:
+            state.filter = None
+            return
+        model = state.config.model
+        flt = model.build_filter(
+            np.zeros(model.measurement_dim), p0_scale=state.config.p0_scale
+        )
+        flt.set_state(
+            np.asarray(filter_state["x"], dtype=float),
+            np.asarray(filter_state["p"], dtype=float),
+        )
+        flt.set_clock(int(filter_state["k"]))
+        if self._tel.enabled:
+            flt.instrument(self._tel.timers)
+        state.filter = flt

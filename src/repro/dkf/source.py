@@ -30,7 +30,7 @@ from repro.dkf.protocol import (
     ResyncMessage,
     UpdateMessage,
 )
-from repro.errors import DimensionError
+from repro.errors import ConfigurationError, DimensionError
 from repro.filters.kalman import KalmanFilter
 from repro.filters.smoothing import VectorSmoother
 from repro.obs.events import trace_id
@@ -137,6 +137,10 @@ class DKFSource:
         self._last_send_tick = 0
         self._retransmits = 0
         self._heartbeats_sent = 0
+        # Overload-shedding hook: a scale > 1 widens the effective δ so
+        # the source transmits less under server pressure.  1.0 keeps the
+        # arithmetic byte-identical to an unscaled source.
+        self._delta_scale = 1.0
 
     @property
     def source_id(self) -> str:
@@ -159,6 +163,15 @@ class DKFSource:
         if self._mirror is None:
             raise DimensionError("source not primed yet")
         return self._mirror
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next transmitted message will carry.
+
+        The recovery path compares this against the server's expected
+        sequence to decide whether a post-restore resync is needed.
+        """
+        return self._seq
 
     @property
     def updates_sent(self) -> int:
@@ -199,6 +212,38 @@ class DKFSource:
     def heartbeats_sent(self) -> int:
         """Liveness beacons emitted during suppression silences."""
         return self._heartbeats_sent
+
+    @property
+    def delta_scale(self) -> float:
+        """Current overload widening factor on the effective δ (>= 1)."""
+        return self._delta_scale
+
+    @property
+    def effective_min_delta(self) -> float:
+        """Tightest per-component width after overload widening."""
+        return self._config.min_delta * self._delta_scale
+
+    def set_delta_scale(self, scale: float) -> None:
+        """Widen (or restore) the effective δ by ``scale``.
+
+        The supervisor's overload controller calls this to shed load:
+        with a wider δ the suppression test passes more often and the
+        source transmits less.  The mirror/server lock-step is untouched
+        -- δ only gates the *transmission decision*, never the filter
+        arithmetic -- so scaling up and back down is always safe.
+        """
+        if scale < 1.0:
+            raise ConfigurationError(
+                f"delta scale must be at least 1, got {scale}"
+            )
+        self._delta_scale = float(scale)
+
+    def _effective_delta_vector(self) -> np.ndarray:
+        """Per-component widths after overload widening."""
+        widths = self._config.delta_vector()
+        if self._delta_scale != 1.0:
+            widths = widths * self._delta_scale
+        return widths
 
     def _smooth(self, value: np.ndarray) -> np.ndarray:
         """Run the reading through ``KF_c`` when smoothing is configured.
@@ -297,7 +342,7 @@ class DKFSource:
         abs_errors = np.abs(prediction - value)
         error = float(np.max(abs_errors))
         gated = False
-        if bool(np.any(abs_errors > self._config.delta_vector())):
+        if bool(np.any(abs_errors > self._effective_delta_vector())):
             if self._should_gate(value, prediction):
                 # Glitch: skip both the transmission and the correction,
                 # so the mirror and the server coast identically.
@@ -377,7 +422,7 @@ class DKFSource:
             self._consecutive_gated = 0
             return False
         abs_errors = np.abs(value - prediction)
-        if bool(np.any(abs_errors > factor * self._config.delta_vector())):
+        if bool(np.any(abs_errors > factor * self._effective_delta_vector())):
             self._consecutive_gated += 1
             self._readings_gated += 1
             return True
@@ -453,6 +498,17 @@ class DKFSource:
         }
         if ack.resync_requested:
             self._resync_requested = True
+
+    def request_resync(self) -> None:
+        """Schedule an immediate mirror-state snapshot.
+
+        The next :meth:`poll_transport` cuts a
+        :class:`~repro.dkf.protocol.ResyncMessage` regardless of pending
+        timeouts.  The server-side divergence watchdog and the engine's
+        recovery path use this to overwrite a suspect ``KF_s`` with the
+        mirror's exact state.
+        """
+        self._resync_requested = True
 
     def poll_transport(
         self, now: int

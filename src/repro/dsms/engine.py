@@ -33,8 +33,15 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.dkf.config import TransportPolicy
-from repro.dkf.protocol import AckMessage, instrument_codec
+from repro.dkf.protocol import (
+    AckMessage,
+    ResyncMessage,
+    UpdateMessage,
+    instrument_codec,
+)
 from repro.dkf.server import DKFServer
 from repro.dkf.source import DKFSource
 from repro.dsms.energy import EnergyModel, EnergyReport
@@ -47,6 +54,14 @@ from repro.filters.models import StateSpaceModel
 from repro.obs.events import trace_id
 from repro.obs.exporters import build_snapshot
 from repro.obs.telemetry import NULL_TELEMETRY
+from repro.resilience.checkpoint import CHECKPOINT_SCHEMA, CheckpointStore
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.supervisor import (
+    BoundedInbox,
+    OverloadController,
+    StreamSupervisor,
+)
+from repro.resilience.watchdog import DivergenceWatchdog
 from repro.streams.base import MaterializedStream, StreamCursor
 
 __all__ = ["StreamEngine", "EngineReport"]
@@ -148,20 +163,43 @@ class StreamEngine:
             fault schedule, filter hot paths).  The default
             :class:`~repro.obs.telemetry.NullTelemetry` keeps a seeded
             run byte-identical to an unobserved one.
+        resilience: Optional
+            :class:`~repro.resilience.config.ResilienceConfig` enabling
+            checkpoint/WAL durability, the divergence watchdog, restart
+            supervision and overload shedding.  When None (the default)
+            the engine runs the exact pre-resilience delivery path --
+            messages go straight from the fabric into the server -- so a
+            seeded run stays byte-identical to one built before this
+            subsystem existed.
     """
 
     def __init__(
         self,
         energy_model: EnergyModel | None = None,
         telemetry=None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         self.registry = SourceRegistry()
         self._tel = telemetry or NULL_TELEMETRY
+        self._resilience = resilience
+        if resilience is not None:
+            resilience.validate()
+        self._track_health = (
+            resilience is not None and resilience.watchdog is not None
+        )
         self._server = DKFServer(
-            strict=False, emit_acks=True, telemetry=self._tel
+            strict=False,
+            emit_acks=True,
+            telemetry=self._tel,
+            track_health=self._track_health,
         )
         self._fabric = NetworkFabric(
-            deliver=self._server.receive,
+            # The resilient deliver path must survive the server object
+            # being replaced on recovery, so it routes through a wrapper
+            # instead of binding the server's method directly.
+            deliver=(
+                self._server.receive if resilience is None else self._deliver
+            ),
             deliver_ack=self._on_ack,
             telemetry=self._tel,
         )
@@ -174,11 +212,39 @@ class StreamEngine:
         self._cursors: dict[str, StreamCursor] = {}
         self._links: dict[str, LinkConfig] = {}
         self._transports: dict[str, TransportPolicy] = {}
+        self._priorities: dict[str, int] = {}
         self._ticks = 0
         self._exhausted: set[str] = set()
         self._faults: FaultSchedule | None = None
         self._resync_prime: set[str] = set()
         self._down_now: set[str] = set()
+        # Resilience state (all inert when the guards are disabled).
+        self._server_down = False
+        self._replaying = False
+        self._dropped_while_down = 0
+        self._recoveries = 0
+        self._restart_pending: set[str] = set()
+        self._ckpt: CheckpointStore | None = None
+        self._watchdog: DivergenceWatchdog | None = None
+        self._supervisor: StreamSupervisor | None = None
+        self._overload: OverloadController | None = None
+        self._inbox: BoundedInbox | None = None
+        if resilience is not None:
+            if resilience.checkpoint_dir is not None:
+                self._ckpt = CheckpointStore(resilience.checkpoint_dir)
+            if resilience.watchdog is not None:
+                self._watchdog = DivergenceWatchdog(
+                    resilience.watchdog, telemetry=self._tel
+                )
+            if resilience.restart is not None:
+                self._supervisor = StreamSupervisor(
+                    resilience.restart, telemetry=self._tel
+                )
+            if resilience.overload is not None:
+                self._overload = OverloadController(
+                    resilience.overload, telemetry=self._tel
+                )
+                self._inbox = BoundedInbox(resilience.overload.inbox_capacity)
 
     @property
     def server(self) -> DKFServer:
@@ -210,6 +276,99 @@ class StreamEngine:
         """The telemetry handle (the no-op singleton when unobserved)."""
         return self._tel
 
+    @property
+    def resilience(self) -> ResilienceConfig | None:
+        """The installed resilience configuration, if any."""
+        return self._resilience
+
+    @property
+    def server_down(self) -> bool:
+        """Whether :meth:`crash_server` killed the server process."""
+        return self._server_down
+
+    @property
+    def checkpoint_store(self) -> CheckpointStore | None:
+        """The durable checkpoint + WAL pair (None when disabled)."""
+        return self._ckpt
+
+    @property
+    def watchdog(self) -> DivergenceWatchdog | None:
+        """The divergence watchdog (None when disabled)."""
+        return self._watchdog
+
+    @property
+    def supervisor(self) -> StreamSupervisor | None:
+        """The restart supervisor (None when disabled)."""
+        return self._supervisor
+
+    @property
+    def overload(self) -> OverloadController | None:
+        """The overload controller (None when disabled)."""
+        return self._overload
+
+    # Resilient delivery path ---------------------------------------------
+
+    def _deliver(self, message):
+        """Fabric deliver callback when resilience is enabled.
+
+        While the server is down every delivery is dropped on the floor
+        (the fabric already counted it delivered, which is what a dead
+        process does to packets that reach its host).  With an overload
+        policy the message lands in the bounded inbox and is processed at
+        the drain rate; otherwise it is applied synchronously.
+        """
+        if self._server_down:
+            self._dropped_while_down += 1
+            return None
+        if self._inbox is not None:
+            if not self._inbox.offer(message):
+                if self._tel.enabled:
+                    self._tel.emit(
+                        "shed.drop",
+                        source_id=message.source_id,
+                        depth=self._inbox.depth,
+                    )
+                    self._tel.count("inbox_dropped_total", message.source_id)
+            return None
+        return self._apply_message(message)
+
+    def _apply_message(self, message):
+        """Hand one message to the server, WAL-logging what it applies."""
+        server = self._server
+        if (
+            self._ckpt is None
+            or self._replaying
+            or isinstance(message, AckMessage)
+            or not isinstance(message, (UpdateMessage, ResyncMessage))
+            or message.source_id not in server.source_ids
+        ):
+            return server.receive(message)
+        source_id = message.source_id
+        before = server.stats(source_id)
+        result = server.receive(message)
+        after = server.stats(source_id)
+        applied = (
+            after["updates_received"] > before["updates_received"]
+            or after["resyncs_received"] > before["resyncs_received"]
+        )
+        if applied:
+            record = {
+                "kind": (
+                    "resync" if isinstance(message, ResyncMessage) else "update"
+                ),
+                "source_id": source_id,
+                "seq": int(message.seq),
+                "k": int(message.k),
+                "value": message.value.tolist(),
+            }
+            if isinstance(message, ResyncMessage):
+                record["x"] = message.x.tolist()
+                record["p"] = message.p.tolist()
+            self._ckpt.wal_append(record)
+            if self._tel.enabled:
+                self._tel.count("wal_records_total", source_id)
+        return result
+
     def add_source(
         self,
         source_id: str,
@@ -218,8 +377,15 @@ class StreamEngine:
         link: LinkConfig | None = None,
         default_smoothing_r: float = 1.0,
         transport: TransportPolicy | None = None,
+        priority: int = 0,
     ) -> None:
-        """Register a source, its model, its data stream and its link."""
+        """Register a source, its model, its data stream and its link.
+
+        ``priority`` only matters under an overload policy: when the
+        server inbox backs up, the shedding controller widens the δ of
+        the *lowest*-priority streams first, so higher numbers keep their
+        precision longest.
+        """
         self.registry.register_source(
             source_id, model, default_smoothing_r=default_smoothing_r
         )
@@ -227,6 +393,7 @@ class StreamEngine:
         self._fabric.add_link(source_id, link)
         self._links[source_id] = link or LinkConfig()
         self._transports[source_id] = transport or TransportPolicy()
+        self._priorities[source_id] = priority
 
     def inject_faults(self, schedule: FaultSchedule) -> None:
         """Install a fault schedule; call after every ``add_source``.
@@ -279,6 +446,11 @@ class StreamEngine:
                 self._server.deregister(source_id)
                 self._exhausted.discard(source_id)
                 self._resync_prime.discard(source_id)
+                self._restart_pending.discard(source_id)
+                if self._watchdog is not None:
+                    self._watchdog.deregister(source_id)
+                if self._overload is not None:
+                    self._overload.deregister(source_id)
             return
         config = descriptor.build_config()
         if self._sources[source_id].config != config:
@@ -293,6 +465,14 @@ class StreamEngine:
             self._server.deregister(source_id)
         self._server.register(source_id, config, transport=transport)
         self._resync_prime.discard(source_id)
+        if self._watchdog is not None:
+            self._watchdog.register(source_id)
+        if self._overload is not None:
+            self._overload.register(
+                source_id,
+                self._priorities.get(source_id, 0),
+                config.min_delta,
+            )
 
     def _on_ack(self, ack: AckMessage) -> None:
         """Fabric callback: route a delivered ack to its source."""
@@ -319,11 +499,70 @@ class StreamEngine:
         with tel.timers.span("engine.step"):
             processed = self._step_sources(now)
             self._ticks += 1
-            self._server.advance_clock(self._ticks)
+            if not self._server_down:
+                self._server.advance_clock(self._ticks)
             self._fabric.advance(self._ticks)
-            for ack in self._server.take_outbox():
-                self._fabric.send_ack(ack)
+            self._drain_inbox()
+            if not self._server_down:
+                for ack in self._server.take_outbox():
+                    self._fabric.send_ack(ack)
+            self._run_watchdog()
+            self._maybe_checkpoint()
         return processed
+
+    def _drain_inbox(self) -> None:
+        """Process the bounded inbox at the configured drain rate."""
+        if self._inbox is None or self._overload is None:
+            return
+        if not self._server_down:
+            for message in self._inbox.drain(
+                self._overload.policy.drain_per_tick
+            ):
+                self._apply_message(message)
+        depth = self._inbox.depth
+        if self._tel.enabled:
+            self._tel.gauge("inbox_depth", depth)
+        for source_id, scale in self._overload.step(self._ticks, depth).items():
+            source = self._sources.get(source_id)
+            if source is not None:
+                source.set_delta_scale(scale)
+
+    def _run_watchdog(self) -> None:
+        """Health-check every primed stream and apply escalations."""
+        if self._watchdog is None or self._server_down:
+            return
+        for source_id, source in self._sources.items():
+            if (
+                source_id not in self._server.source_ids
+                or not self._server.is_primed(source_id)
+            ):
+                continue
+            action = self._watchdog.check(
+                source_id, self._ticks, self._server.health_view(source_id)
+            )
+            if action is None:
+                continue
+            if action == "resync":
+                if source.primed:
+                    source.request_resync()
+            elif action == "reprime":
+                self._server.reprime(source_id)
+                if source.primed:
+                    source.request_resync()
+            # "quarantine" needs no mechanism here: answers() reads the
+            # watchdog's rung and flags the stream untrustworthy.
+
+    def _maybe_checkpoint(self) -> None:
+        """Write a periodic snapshot when the cadence says so."""
+        if (
+            self._resilience is None
+            or not self._resilience.checkpoint_every
+            or self._ckpt is None
+            or self._server_down
+        ):
+            return
+        if self._ticks % self._resilience.checkpoint_every == 0:
+            self.checkpoint()
 
     def _step_sources(self, now: int) -> int:
         """The per-source half of :meth:`step` (readings + transport)."""
@@ -331,19 +570,35 @@ class StreamEngine:
         processed = 0
         for source_id, source in self._sources.items():
             if self._faults is not None:
-                if self._faults.restarts_at(source_id, now):
+                if (
+                    self._faults.restarts_at(source_id, now)
+                    or source_id in self._restart_pending
+                ):
                     # Recovered from a crash: all state is gone.  The next
                     # transmission must be a resync snapshot, because the
                     # server's expected sequence number survived the crash
                     # and a fresh seq-0 update would read as a stale
-                    # duplicate.
-                    source.reset(now)
-                    self._resync_prime.add(source_id)
-                    self._down_now.discard(source_id)
-                    if tel.enabled:
-                        tel.emit("fault.restart", source_id=source_id)
-                        tel.count("restarts_total", source_id)
-                if self._faults.is_down(source_id, now):
+                    # duplicate.  Under a restart policy the supervisor
+                    # may defer the restart (backoff or exhausted budget),
+                    # in which case the source stays down and the request
+                    # is retried next tick.
+                    if (
+                        self._supervisor is None
+                        or self._supervisor.request_restart(source_id, now)
+                    ):
+                        self._restart_pending.discard(source_id)
+                        source.reset(now)
+                        self._resync_prime.add(source_id)
+                        self._down_now.discard(source_id)
+                        if tel.enabled:
+                            tel.emit("fault.restart", source_id=source_id)
+                            tel.count("restarts_total", source_id)
+                    else:
+                        self._restart_pending.add(source_id)
+                if (
+                    self._faults.is_down(source_id, now)
+                    or source_id in self._restart_pending
+                ):
                     # Sensor dead: no reading, no transport.  The server
                     # keeps coasting so staleness and covariance grow.
                     if source_id not in self._down_now:
@@ -351,7 +606,10 @@ class StreamEngine:
                         if tel.enabled:
                             tel.emit("fault.crash", source_id=source_id)
                             tel.count("crashes_total", source_id)
-                    if self._server.is_primed(source_id):
+                    if (
+                        not self._server_down
+                        and self._server.is_primed(source_id)
+                    ):
                         self._server.tick(source_id, now)
                     if self._faults.is_terminal(source_id, now):
                         self._exhausted.add(source_id)
@@ -365,8 +623,14 @@ class StreamEngine:
                 else:
                     if self._faults is not None:
                         record = self._faults.transform(source_id, now, record)
-                    self._server.tick(source_id, record.k)
+                    if not self._server_down:
+                        self._server.tick(source_id, record.k)
                     step = source.sample(record)
+                    if self._watchdog is not None:
+                        if step.rejected:
+                            self._watchdog.note_rejection(source_id)
+                        else:
+                            self._watchdog.note_accepted(source_id)
                     message = step.message
                     if message is not None:
                         if source_id in self._resync_prime:
@@ -440,7 +704,12 @@ class StreamEngine:
         """Deliver stranded in-flight traffic (and resulting acks)."""
         while True:
             drained = self._fabric.drain()
-            acks = self._server.take_outbox()
+            if self._inbox is not None and not self._server_down:
+                for message in self._inbox.drain(self._inbox.depth):
+                    self._apply_message(message)
+            acks = (
+                [] if self._server_down else self._server.take_outbox()
+            )
             for ack in acks:
                 self._fabric.send_ack(ack)
             if drained == 0 and not acks:
@@ -475,10 +744,19 @@ class StreamEngine:
                     source_id=query.source_id,
                     k=self._server.stats(query.source_id)["last_k"],
                     value=tuple(float(v) for v in value),
-                    precision=source.config.min_delta,
+                    # The honest precision bound: overload shedding may
+                    # have widened the effective δ (scale 1.0 leaves the
+                    # figure bit-identical to the configured width).
+                    precision=source.effective_min_delta,
                     staleness_ticks=int(live["staleness_ticks"]),
                     confidence=self._server.confidence(query.source_id),
-                    degraded=bool(live["suspect"]),
+                    # While the server process is down, clients read the
+                    # cached last-known answer -- always degraded.
+                    degraded=bool(live["suspect"]) or self._server_down,
+                    quarantined=(
+                        self._watchdog is not None
+                        and self._watchdog.is_quarantined(query.source_id)
+                    ),
                 )
             )
         return out
@@ -489,6 +767,232 @@ class StreamEngine:
             if candidate.query_id == query_id:
                 return candidate
         raise UnknownSourceError(f"no answer available for query {query_id!r}")
+
+    # Crash recovery -------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Snapshot the full server filter bank to durable storage.
+
+        Writes one atomic ``repro.ckpt-v1`` snapshot (per-source state
+        vector, covariance, clock and sequence expectations) and
+        truncates the WAL it supersedes.  Returns the framed size in
+        bytes.
+
+        Raises:
+            ConfigurationError: When no checkpoint directory is
+                configured or the server is down.
+        """
+        if self._ckpt is None:
+            raise ConfigurationError(
+                "checkpointing requires a ResilienceConfig with a "
+                "checkpoint_dir"
+            )
+        if self._server_down:
+            raise ConfigurationError("cannot checkpoint a dead server")
+        snapshot = {
+            "schema": CHECKPOINT_SCHEMA,
+            "tick": self._ticks,
+            "server_clock": self._server.clock,
+            "sources": {
+                source_id: self._server.export_source_state(source_id)
+                for source_id in self._server.source_ids
+            },
+            "meta": {"recoveries": self._recoveries},
+        }
+        size = self._ckpt.save(snapshot)
+        if self._tel.enabled:
+            self._tel.emit(
+                "checkpoint.write",
+                bytes=size,
+                sources=len(snapshot["sources"]),
+            )
+            self._tel.count("checkpoint_writes_total")
+            self._tel.gauge("checkpoint_bytes", size)
+        return size
+
+    def crash_server(self) -> int:
+        """Kill the central server process mid-run.
+
+        Every in-memory filter dies with it; only the checkpoint and WAL
+        survive.  Until :meth:`recover`, deliveries are dropped on the
+        floor (the fabric still counts them delivered -- that is what
+        happens to packets that reach a dead host), sources keep
+        sampling and their un-acked messages age toward retransmission,
+        and :meth:`answers` serves the cached last-known values flagged
+        ``degraded``.  Returns the number of queued inbox messages lost.
+
+        Raises:
+            ConfigurationError: When resilience is not enabled (the
+                non-resilient engine has no recovery path, so a crash
+                would just be a broken simulation).
+        """
+        if self._resilience is None:
+            raise ConfigurationError(
+                "crash_server requires a ResilienceConfig"
+            )
+        if self._server_down:
+            return 0
+        self._server_down = True
+        lost = self._inbox.clear() if self._inbox is not None else 0
+        if self._tel.enabled:
+            self._tel.emit(
+                "server.crash", inbox_lost=lost
+            )
+            self._tel.count("server_crashes_total")
+        return lost
+
+    def recover(self) -> dict[str, int]:
+        """Rebuild the server from the last checkpoint plus WAL replay.
+
+        The recovery handshake:
+
+        1. a fresh server registers every installed source (configs live
+           in the engine, not the dead process);
+        2. the checkpoint restores each source's ``(x, P, k)``, counters
+           and sequence expectations;
+        3. the WAL tail replays every update/resync applied since the
+           snapshot, interleaving the prediction steps the original run
+           performed (the filter arithmetic is deterministic, so replay
+           reconstructs the exact pre-crash estimates);
+        4. each filter rolls forward to the present (it predicted
+           nothing while dead, its mirror predicted every tick);
+        5. sources whose sequence numbers advanced past what the
+           restored server expects are asked for a resync snapshot --
+           the same message that heals a lossy link heals a reborn
+           server.
+
+        Returns a summary dict (``restored_sources``, ``wal_replayed``,
+        ``resync_requests``, ``dropped_while_down``).
+        """
+        if self._resilience is None:
+            raise ConfigurationError("recover requires a ResilienceConfig")
+        dropped = self._dropped_while_down
+        self._server = DKFServer(
+            strict=False,
+            emit_acks=True,
+            telemetry=self._tel,
+            track_health=self._track_health,
+        )
+        self._server_down = False
+        self._dropped_while_down = 0
+        for source_id, source in self._sources.items():
+            self._server.register(
+                source_id,
+                source.config,
+                transport=self._transports.get(source_id) or TransportPolicy(),
+            )
+        snapshot = self._ckpt.load() if self._ckpt is not None else None
+        restored = 0
+        if snapshot is not None:
+            for source_id, data in snapshot["sources"].items():
+                if source_id in self._server.source_ids:
+                    self._server.import_source_state(source_id, data)
+                    restored += 1
+        replayed = self._replay_wal() if self._ckpt is not None else 0
+        # Roll each restored filter forward to the present: the mirror
+        # predicted once per sampled instant while the server was dead.
+        for source_id, source in self._sources.items():
+            if not self._server.is_primed(source_id) or not source.primed:
+                continue
+            behind = source.mirror.k - self._server.filter_clock(source_id)
+            last_k = int(self._server.stats(source_id)["last_k"])
+            for i in range(max(0, behind)):
+                self._server.tick(source_id, last_k + i + 1)
+        self._server.advance_clock(self._ticks)
+        # Replay re-derived acks for messages whose originals were acked
+        # before the crash; re-sending them would be duplicate traffic.
+        self._server.take_outbox()
+        resyncs = 0
+        for source_id, source in self._sources.items():
+            if not source.primed:
+                continue
+            if (
+                source.next_seq
+                != self._server.stats(source_id)["expected_seq"]
+            ):
+                source.request_resync()
+                resyncs += 1
+        self._recoveries += 1
+        if self._tel.enabled:
+            self._tel.emit(
+                "recovery.replay",
+                restored_sources=restored,
+                wal_replayed=replayed,
+                resync_requests=resyncs,
+                dropped_while_down=dropped,
+            )
+            self._tel.count("recoveries_total")
+        return {
+            "restored_sources": restored,
+            "wal_replayed": replayed,
+            "resync_requests": resyncs,
+            "dropped_while_down": dropped,
+        }
+
+    def _replay_wal(self) -> int:
+        """Apply the WAL tail to a freshly restored server."""
+        self._replaying = True
+        count = 0
+        try:
+            for record in self._ckpt.wal_records():
+                source_id = record.get("source_id")
+                if source_id not in self._server.source_ids:
+                    continue
+                k = int(record["k"])
+                last_k = int(self._server.stats(source_id)["last_k"])
+                # Interleave the prediction steps the original run
+                # performed between the previous applied message and
+                # this one (one per sampled instant).
+                for t in range(last_k + 1, k + 1):
+                    self._server.tick(source_id, t)
+                # The live run delivered this message while the server
+                # clock sat at its sampling instant (zero-latency links
+                # deliver inside the same step), so replay matches that
+                # clock exactly -- last_contact comes out bit-identical.
+                self._server.advance_clock(k)
+                if record["kind"] == "resync":
+                    message = ResyncMessage(
+                        source_id=source_id,
+                        seq=int(record["seq"]),
+                        k=k,
+                        x=np.asarray(record["x"], dtype=float),
+                        p=np.asarray(record["p"], dtype=float),
+                        value=np.asarray(record["value"], dtype=float),
+                    )
+                else:
+                    message = UpdateMessage(
+                        source_id=source_id,
+                        seq=int(record["seq"]),
+                        k=k,
+                        value=np.asarray(record["value"], dtype=float),
+                    )
+                self._server.receive(message)
+                count += 1
+        finally:
+            self._replaying = False
+        return count
+
+    def resilience_report(self) -> dict[str, object]:
+        """Summary of every resilience guard's activity this run."""
+        report: dict[str, object] = {
+            "enabled": self._resilience is not None,
+            "recoveries": self._recoveries,
+            "server_down": self._server_down,
+            "dropped_while_down": self._dropped_while_down,
+        }
+        if self._inbox is not None:
+            report["inbox"] = {
+                "depth": self._inbox.depth,
+                "accepted": self._inbox.accepted,
+                "dropped": self._inbox.dropped,
+            }
+        if self._watchdog is not None:
+            report["watchdog"] = self._watchdog.report()
+        if self._supervisor is not None:
+            report["supervisor"] = self._supervisor.report()
+        if self._overload is not None:
+            report["overload"] = self._overload.report()
+        return report
 
     def report(self) -> EngineReport:
         """System-wide traffic and energy summary."""
@@ -540,6 +1044,8 @@ class StreamEngine:
         self-describing even when telemetry was disabled (counters empty).
         """
         merged = {"ticks": self._ticks, "report": self.report().to_dict()}
+        if self._resilience is not None:
+            merged["resilience"] = self.resilience_report()
         if meta:
             merged.update(meta)
         return build_snapshot(self._tel, meta=merged)

@@ -74,6 +74,11 @@ class QueryAnswer:
             deadline -- the answer may still be the best available, but
             the "within δ" guarantee no longer stands and the source may
             be dead.
+        quarantined: True while the divergence watchdog holds the stream
+            on its top escalation rung: the estimate failed health checks
+            (non-finite state, covariance damage, NIS runaway) that
+            remediation has not yet cured, so the value must not be
+            trusted even when it looks plausible.
     """
 
     query_id: str
@@ -84,3 +89,4 @@ class QueryAnswer:
     staleness_ticks: int = 0
     confidence: float = 1.0
     degraded: bool = False
+    quarantined: bool = False

@@ -37,6 +37,19 @@ class DivergenceError(FilterError):
     """
 
 
+class NonFiniteMeasurementError(DivergenceError):
+    """A measurement handed to the filter contains NaN or infinity.
+
+    Raised by :meth:`repro.filters.kalman.KalmanFilter.update` *before*
+    the correction touches any filter state, so a faulty sensor reading
+    (e.g. the ``nan`` mode of :class:`repro.dsms.faults.SensorFault`) can
+    never poison the estimate.  Subclasses :class:`DivergenceError` so
+    existing handlers keep working; new code should catch this type to
+    distinguish "bad input, filter still sane" from "filter already
+    diverged".
+    """
+
+
 class ProtocolError(ReproError):
     """Base class for violations of the dual-filter (DKF) protocol."""
 
@@ -87,3 +100,18 @@ class DuplicateSourceError(QueryError):
 
 class ConfigurationError(ReproError):
     """A user-supplied configuration value is invalid (e.g. negative δ)."""
+
+
+class ResilienceError(ReproError):
+    """Base class for errors in the crash-recovery subsystem."""
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint or WAL file is missing, torn, or fails validation.
+
+    Raised by :class:`repro.resilience.checkpoint.CheckpointStore` when a
+    snapshot's CRC-32 trailer does not match its body, the schema marker
+    is unknown, or a restore is attempted with no checkpoint on disk.
+    Torn *WAL tails* do not raise -- replay simply stops at the first
+    bad record, because a torn tail is the expected shape of a crash.
+    """

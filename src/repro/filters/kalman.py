@@ -32,7 +32,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import DimensionError, DivergenceError, NotPositiveDefiniteError
+from repro.errors import (
+    ConfigurationError,
+    DimensionError,
+    DivergenceError,
+    NonFiniteMeasurementError,
+    NotPositiveDefiniteError,
+)
 
 MatrixLike = np.ndarray | Callable[[int], np.ndarray]
 
@@ -295,7 +301,11 @@ class KalmanFilter:
                     f"z must have shape ({self._m},), got {z.shape}"
                 )
             if not np.all(np.isfinite(z)):
-                raise DivergenceError("measurement contains NaN or infinity")
+                # Reject before touching any state: the caller can discard
+                # the reading and the filter remains usable.
+                raise NonFiniteMeasurementError(
+                    "measurement contains NaN or infinity"
+                )
             k_idx = max(self._k - 1, 0)
             h = resolve_matrix(self._h, k_idx)
             r = resolve_matrix(self._r, k_idx)
@@ -385,6 +395,17 @@ class KalmanFilter:
         self._x = x.copy()
         if p is not None:
             self._p = check_covariance(p, "P")
+
+    def set_clock(self, k: int) -> None:
+        """Move the filter's discrete clock (checkpoint restore only).
+
+        Time-varying models resolve ``phi``/``H``/``Q``/``R`` from the
+        clock, so a filter rebuilt from a checkpoint must resume at the
+        checkpointed index for its arithmetic to stay deterministic.
+        """
+        if k < 0:
+            raise ConfigurationError("filter clock must be non-negative")
+        self._k = int(k)
 
     def copy(self) -> "KalmanFilter":
         """Deep copy of the filter, including its clock and covariances.

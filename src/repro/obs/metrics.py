@@ -175,6 +175,30 @@ class MetricsRegistry:
             Histogram, name, labels, lambda lb: Histogram(name, lb, edges)
         )
 
+    def drop_labeled(
+        self,
+        label_key: str,
+        label_value: str,
+        kinds: tuple[type, ...] = (Gauge,),
+    ) -> int:
+        """Remove instruments carrying ``label_key=label_value``.
+
+        Only instruments of the given ``kinds`` are dropped (gauges by
+        default: they are point-in-time readings that turn into stale
+        lies once their subject is gone, while counters and histograms
+        are lifetime totals that remain true).  Returns the number of
+        instruments removed.
+        """
+        doomed = [
+            key
+            for key, instrument in self._instruments.items()
+            if isinstance(instrument, kinds)
+            and (str(label_key), str(label_value)) in key[1]
+        ]
+        for key in doomed:
+            del self._instruments[key]
+        return len(doomed)
+
     def counters(self) -> list[Counter]:
         """All counters, in registration order."""
         return [i for i in self._instruments.values() if isinstance(i, Counter)]

@@ -76,6 +76,16 @@ class Telemetry:
         labels = {"source": source_id} if source_id is not None else None
         self.metrics.gauge(name, labels).set(value)
 
+    def clear_source(self, source_id: str) -> int:
+        """Drop the gauges labelled with a deregistered source.
+
+        Counters and histograms survive (they are lifetime totals), but a
+        gauge for a source that no longer exists would keep reporting its
+        final value forever -- stale telemetry masquerading as live.
+        Returns the number of instruments removed.
+        """
+        return self.metrics.drop_labeled("source", source_id)
+
 
 class NullTelemetry:
     """Disabled telemetry: every operation is a no-op.
@@ -122,6 +132,10 @@ class NullTelemetry:
     ) -> None:
         """No-op."""
         return None
+
+    def clear_source(self, source_id: str) -> int:
+        """No-op (nothing was ever recorded)."""
+        return 0
 
 
 #: Shared singleton default for every instrumented component.

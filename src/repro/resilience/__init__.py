@@ -1,0 +1,51 @@
+"""Crash recovery, divergence detection and overload shedding.
+
+The adaptive-δ protocol keeps the *steady state* cheap; this package
+keeps the system *alive* when the steady state breaks: a durable
+checkpoint + WAL pair for the server filter bank
+(:mod:`repro.resilience.checkpoint`), a per-stream divergence watchdog
+with an escalation ladder (:mod:`repro.resilience.watchdog`), and a
+supervisor that meters crash-loop restarts and sheds load by widening
+δ under inbox pressure (:mod:`repro.resilience.supervisor`).  All three
+are opt-in via :class:`repro.resilience.config.ResilienceConfig`.
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointStore,
+    validate_checkpoint,
+)
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.supervisor import (
+    BoundedInbox,
+    OverloadController,
+    OverloadPolicy,
+    RestartPolicy,
+    StreamSupervisor,
+)
+from repro.resilience.watchdog import (
+    HEALTHY,
+    QUARANTINED,
+    REPRIMED,
+    RESYNCING,
+    DivergenceWatchdog,
+    WatchdogPolicy,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointStore",
+    "validate_checkpoint",
+    "ResilienceConfig",
+    "BoundedInbox",
+    "OverloadController",
+    "OverloadPolicy",
+    "RestartPolicy",
+    "StreamSupervisor",
+    "DivergenceWatchdog",
+    "WatchdogPolicy",
+    "HEALTHY",
+    "RESYNCING",
+    "REPRIMED",
+    "QUARANTINED",
+]

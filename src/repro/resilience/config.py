@@ -1,0 +1,56 @@
+"""Top-level resilience configuration handed to the engine.
+
+One frozen object selects which of the three guards run and how the
+checkpoint cadence works.  Every field defaults to "off": a
+``ResilienceConfig()`` with no arguments enables nothing, and an engine
+built without one runs the exact pre-resilience delivery path (seeded
+byte-identity is a tested invariant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.resilience.supervisor import OverloadPolicy, RestartPolicy
+from repro.resilience.watchdog import WatchdogPolicy
+
+__all__ = ["ResilienceConfig"]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Which resilience guards to run, and their policies.
+
+    Attributes:
+        checkpoint_dir: Directory for the checkpoint + WAL pair; None
+            disables durability entirely.
+        checkpoint_every: Write a snapshot every N ticks (0 disables;
+            requires ``checkpoint_dir``).
+        watchdog: Divergence watchdog policy, or None to disable.
+        restart: Crash-loop restart policy, or None to restart sources
+            immediately as the fault schedule dictates.
+        overload: Bounded-inbox and δ-widening policy, or None for an
+            unbounded synchronous inbox.
+    """
+
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 0
+    watchdog: WatchdogPolicy | None = None
+    restart: RestartPolicy | None = None
+    overload: OverloadPolicy | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ConfigurationError` on bad combos."""
+        if self.checkpoint_every < 0:
+            raise ConfigurationError("checkpoint_every must be non-negative")
+        if self.checkpoint_every and self.checkpoint_dir is None:
+            raise ConfigurationError(
+                "checkpoint_every requires a checkpoint_dir"
+            )
+        if self.watchdog is not None:
+            self.watchdog.validate()
+        if self.restart is not None:
+            self.restart.validate()
+        if self.overload is not None:
+            self.overload.validate()

@@ -1,0 +1,301 @@
+"""Per-stream divergence watchdog with escalating remediation.
+
+A Kalman filter fails quietly: a mis-applied resync, an unstable model
+or a poisoned covariance keeps producing numbers long after they stop
+meaning anything.  The watchdog inspects every primed server filter once
+per tick and scores a small battery of health checks:
+
+* non-finite state vector;
+* covariance trouble -- asymmetry beyond tolerance, non-finite entries,
+  a negative eigenvalue (not PSD), or trace above a ceiling (unbounded
+  uncertainty growth);
+* NIS runaway -- the normalized innovation squared ``y^T S^-1 y`` has
+  expectation equal to the measurement dimension for a healthy filter;
+  a single sample above a hard limit or a full-window mean above the
+  threshold marks model/estimate disagreement;
+* staleness past a limit (the stream went silent);
+* a run of consecutive non-finite sensor readings (the reject counters
+  feed in from the endpoints).
+
+Failures escalate through a per-stream ladder with a grace period
+between rungs, so one bad tick never jumps straight to quarantine::
+
+    HEALTHY --trip--> RESYNCING --trip--> REPRIMED --trip--> QUARANTINED
+       ^                  |                   |                   |
+       +---- hysteresis: `hysteresis_ticks` consecutive clean checks
+
+The watchdog only *decides*; the engine applies the actions (ask the
+mirror for a resync, re-prime the server covariance, flag answers as
+quarantined).  Exits from any non-healthy rung require a full hysteresis
+window of clean checks, so a stream flapping around a threshold cannot
+oscillate in and out of quarantine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.obs.telemetry import NULL_TELEMETRY
+
+__all__ = [
+    "WatchdogPolicy",
+    "DivergenceWatchdog",
+    "HEALTHY",
+    "RESYNCING",
+    "REPRIMED",
+    "QUARANTINED",
+]
+
+#: Health-ladder rungs (strings so they serialise and read well in events).
+HEALTHY = "healthy"
+RESYNCING = "resyncing"
+REPRIMED = "reprimed"
+QUARANTINED = "quarantined"
+
+_LADDER = (HEALTHY, RESYNCING, REPRIMED, QUARANTINED)
+_ACTIONS = {RESYNCING: "resync", REPRIMED: "reprime", QUARANTINED: "quarantine"}
+
+
+@dataclass(frozen=True)
+class WatchdogPolicy:
+    """Thresholds and pacing for the divergence watchdog.
+
+    Attributes:
+        nis_threshold: Windowed-mean NIS above this trips (a healthy
+            filter's NIS has mean = measurement dimension, so ~9 is far
+            out for the low-dimensional streams this engine runs).
+        nis_hard_limit: A single NIS sample above this trips immediately
+            (catches one-shot spikes the windowed mean would dilute).
+        trace_ceiling: Covariance trace above this counts as unbounded
+            uncertainty growth.
+        staleness_limit: Ticks of server-side silence before a trip.
+        reject_limit: Consecutive non-finite readings before a trip.
+        escalation_grace_ticks: Minimum ticks between escalations, so a
+            remediation gets a chance to land before the next rung.
+        hysteresis_ticks: Consecutive clean checks required to step back
+            to healthy from any rung (including quarantine).
+        symmetry_tol: Relative tolerance for the symmetry check.
+        psd_tol: Eigenvalues above ``-psd_tol`` still count as PSD.
+    """
+
+    nis_threshold: float = 9.0
+    nis_hard_limit: float = 64.0
+    trace_ceiling: float = 1e6
+    staleness_limit: int = 50
+    reject_limit: int = 3
+    escalation_grace_ticks: int = 8
+    hysteresis_ticks: int = 12
+    symmetry_tol: float = 1e-6
+    psd_tol: float = 1e-9
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ConfigurationError` on bad values."""
+        if self.nis_threshold <= 0 or self.nis_hard_limit <= 0:
+            raise ConfigurationError("NIS thresholds must be positive")
+        if self.trace_ceiling <= 0:
+            raise ConfigurationError("trace ceiling must be positive")
+        if self.staleness_limit < 1:
+            raise ConfigurationError("staleness limit must be at least 1")
+        if self.reject_limit < 1:
+            raise ConfigurationError("reject limit must be at least 1")
+        if self.escalation_grace_ticks < 1 or self.hysteresis_ticks < 1:
+            raise ConfigurationError(
+                "grace and hysteresis windows must be at least 1 tick"
+            )
+
+
+@dataclass
+class _StreamHealth:
+    """Mutable per-stream ladder state."""
+
+    status: str = HEALTHY
+    healthy_streak: int = 0
+    consecutive_rejects: int = 0
+    last_action_tick: int | None = None
+    trips: int = 0
+    faults_seen: list[str] = field(default_factory=list)
+
+
+class DivergenceWatchdog:
+    """Run the health battery each tick and walk the escalation ladder.
+
+    Args:
+        policy: Thresholds and pacing.
+        telemetry: Observability handle; the default no-op keeps the
+            checks silent (decisions are unchanged either way).
+    """
+
+    def __init__(
+        self, policy: WatchdogPolicy | None = None, telemetry=None
+    ) -> None:
+        self._policy = policy or WatchdogPolicy()
+        self._policy.validate()
+        self._tel = telemetry or NULL_TELEMETRY
+        self._streams: dict[str, _StreamHealth] = {}
+
+    @property
+    def policy(self) -> WatchdogPolicy:
+        """The installed policy."""
+        return self._policy
+
+    def register(self, source_id: str) -> None:
+        """Start tracking a stream (idempotent)."""
+        self._streams.setdefault(source_id, _StreamHealth())
+
+    def deregister(self, source_id: str) -> None:
+        """Forget a stream whose queries ended."""
+        self._streams.pop(source_id, None)
+
+    def status(self, source_id: str) -> str:
+        """Current ladder rung for a stream (healthy when untracked)."""
+        state = self._streams.get(source_id)
+        return HEALTHY if state is None else state.status
+
+    def is_quarantined(self, source_id: str) -> bool:
+        """Whether a stream sits on the top rung."""
+        return self.status(source_id) == QUARANTINED
+
+    def note_rejection(self, source_id: str) -> None:
+        """Record one non-finite sensor reading (endpoint reject)."""
+        self.register(source_id)
+        self._streams[source_id].consecutive_rejects += 1
+
+    def note_accepted(self, source_id: str) -> None:
+        """Record a finite reading, ending any reject run."""
+        state = self._streams.get(source_id)
+        if state is not None:
+            state.consecutive_rejects = 0
+
+    # Health battery ------------------------------------------------------
+
+    def _covariance_faults(self, p: np.ndarray) -> list[str]:
+        faults: list[str] = []
+        if not bool(np.all(np.isfinite(p))):
+            return ["covariance_nonfinite"]
+        scale = max(1.0, float(np.abs(p).max()))
+        if float(np.abs(p - p.T).max()) > self._policy.symmetry_tol * scale:
+            faults.append("covariance_asymmetric")
+        else:
+            eigenvalues = np.linalg.eigvalsh(0.5 * (p + p.T))
+            if float(eigenvalues.min()) < -self._policy.psd_tol * scale:
+                faults.append("covariance_not_psd")
+        if float(np.trace(p)) > self._policy.trace_ceiling:
+            faults.append("covariance_trace_ceiling")
+        return faults
+
+    def _faults(self, state: _StreamHealth, view: dict) -> list[str]:
+        faults: list[str] = []
+        x = view.get("x")
+        if x is not None and not bool(np.all(np.isfinite(x))):
+            faults.append("state_nonfinite")
+        p = view.get("p")
+        if p is not None:
+            faults.extend(self._covariance_faults(np.asarray(p, dtype=float)))
+        window = view.get("nis_window") or []
+        if window:
+            if float(window[-1]) > self._policy.nis_hard_limit:
+                faults.append("nis_spike")
+            elif (
+                len(window) >= 4
+                and float(np.mean(window)) > self._policy.nis_threshold
+            ):
+                faults.append("nis_runaway")
+        staleness = int(view.get("staleness_ticks", 0))
+        if staleness > self._policy.staleness_limit:
+            faults.append("stale")
+        if state.consecutive_rejects >= self._policy.reject_limit:
+            faults.append("rejected_readings")
+        return faults
+
+    # Ladder --------------------------------------------------------------
+
+    def check(self, source_id: str, tick: int, view: dict) -> str | None:
+        """Score one stream's health and return the action to apply.
+
+        Args:
+            source_id: Stream under inspection.
+            tick: Current engine tick.
+            view: Output of ``DKFServer.health_view`` (``x``, ``p``,
+                ``nis_window``, ``staleness_ticks``).
+
+        Returns:
+            ``"resync"``, ``"reprime"``, ``"quarantine"`` when a trip
+            escalates the ladder, else None (healthy, within hysteresis,
+            or inside the escalation grace period).
+        """
+        self.register(source_id)
+        state = self._streams[source_id]
+        faults = self._faults(state, view)
+
+        if not faults:
+            state.healthy_streak += 1
+            if (
+                state.status != HEALTHY
+                and state.healthy_streak >= self._policy.hysteresis_ticks
+            ):
+                was_quarantined = state.status == QUARANTINED
+                state.status = HEALTHY
+                state.faults_seen = []
+                if self._tel.enabled:
+                    if was_quarantined:
+                        self._tel.emit(
+                            "quarantine.exit", source_id=source_id
+                        )
+                        self._tel.count("quarantine_exits_total", source_id)
+                    else:
+                        self._tel.emit(
+                            "watchdog.recovered",
+                            source_id=source_id,
+                        )
+            return None
+
+        state.healthy_streak = 0
+        state.faults_seen = faults
+        if (
+            state.last_action_tick is not None
+            and tick - state.last_action_tick
+            < self._policy.escalation_grace_ticks
+        ):
+            return None
+        if state.status == QUARANTINED:
+            # Already at the top rung: nothing further to escalate to.
+            state.last_action_tick = tick
+            return None
+
+        next_rung = _LADDER[_LADDER.index(state.status) + 1]
+        state.status = next_rung
+        state.last_action_tick = tick
+        state.trips += 1
+        action = _ACTIONS[next_rung]
+        if self._tel.enabled:
+            self._tel.emit(
+                "watchdog.trip",
+                source_id=source_id,
+                faults=list(faults),
+                action=action,
+                rung=next_rung,
+            )
+            self._tel.count("watchdog_trips_total", source_id)
+            if next_rung == QUARANTINED:
+                self._tel.emit(
+                    "quarantine.enter",
+                    source_id=source_id,
+                    faults=list(faults),
+                )
+                self._tel.count("quarantines_total", source_id)
+        return action
+
+    def report(self) -> dict[str, dict[str, object]]:
+        """Per-stream ladder summary (status, trips, live faults)."""
+        return {
+            source_id: {
+                "status": state.status,
+                "trips": state.trips,
+                "healthy_streak": state.healthy_streak,
+                "faults": list(state.faults_seen),
+            }
+            for source_id, state in self._streams.items()
+        }

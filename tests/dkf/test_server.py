@@ -178,3 +178,96 @@ class TestForecast:
         server.register("s0", config())
         with pytest.raises(UnknownSourceError):
             server.forecast("s0", 3)
+
+
+class TestNonFiniteRejection:
+    def primed_server(self, **kwargs):
+        server = DKFServer(emit_acks=True, **kwargs)
+        server.register("s0", config())
+        server.receive(update(0, 0, [5.0]))
+        server.take_outbox()
+        return server
+
+    def test_nan_update_never_reaches_the_answer(self):
+        server = self.primed_server()
+        server.tick("s0", 1)
+        answer = server.receive(update(1, 1, [np.nan]))
+        assert np.all(np.isfinite(answer))
+        assert np.all(np.isfinite(server.value("s0")))
+
+    def test_rejected_frame_does_not_advance_sequence(self):
+        server = self.primed_server()
+        server.tick("s0", 1)
+        server.receive(update(1, 1, [np.inf]))
+        stats = server.stats("s0")
+        assert stats["expected_seq"] == 1
+        assert stats["rejected_nonfinite"] == 1
+        assert stats["updates_received"] == 1  # only the priming update
+
+    def test_rejection_ack_requests_resync(self):
+        server = self.primed_server()
+        server.tick("s0", 1)
+        server.receive(update(1, 1, [np.nan]))
+        acks = server.take_outbox()
+        assert acks
+        assert acks[-1].resync_requested
+
+    def test_nonfinite_resync_payload_rejected(self):
+        server = self.primed_server()
+        server.tick("s0", 1)
+        message = ResyncMessage(
+            source_id="s0",
+            seq=1,
+            k=1,
+            x=np.array([np.nan]),
+            p=np.array([[1.0]]),
+            value=np.array([5.0]),
+        )
+        server.receive(message)
+        assert server.stats("s0")["rejected_nonfinite"] == 1
+        assert np.all(np.isfinite(server.value("s0")))
+
+
+class TestDeregisterLeaks:
+    def test_deregister_purges_queued_acks(self):
+        server = DKFServer(emit_acks=True)
+        server.register("s0", config())
+        server.register("s1", config())
+        server.receive(update(0, 0, [1.0]))
+        server.receive(
+            UpdateMessage(
+                source_id="s1", seq=0, k=0, value=np.array([2.0])
+            )
+        )
+        server.deregister("s0")
+        remaining = server.take_outbox()
+        assert all(a.source_id != "s0" for a in remaining)
+        assert any(a.source_id == "s1" for a in remaining)
+
+    def test_deregister_drops_source_gauges(self):
+        from repro.obs.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        server = DKFServer(emit_acks=True, telemetry=telemetry)
+        server.register("s0", config())
+        server.receive(update(0, 0, [1.0]))
+        telemetry.gauge("answer_value", 1.0, "s0")
+        telemetry.count("updates_total", "s0")
+
+        def gauges_for(source_id):
+            return [
+                g
+                for g in telemetry.metrics.gauges()
+                if ("source", source_id) in g.labels
+            ]
+
+        assert gauges_for("s0")
+        server.deregister("s0")
+        assert gauges_for("s0") == []
+        # Lifetime counters survive: they remain true after teardown.
+        counters = [
+            c
+            for c in telemetry.metrics.counters()
+            if ("source", "s0") in c.labels
+        ]
+        assert counters

@@ -357,3 +357,46 @@ class TestSetState:
     def test_rejects_bad_shape(self):
         with pytest.raises(DimensionError):
             scalar_filter().set_state(np.array([1.0, 2.0]))
+
+
+class TestNonFiniteMeasurements:
+    def test_nan_measurement_raises_typed_error(self):
+        from repro.errors import NonFiniteMeasurementError
+
+        kf = scalar_filter()
+        kf.predict()
+        with pytest.raises(NonFiniteMeasurementError):
+            kf.update(np.array([np.nan]))
+
+    def test_inf_measurement_raises_typed_error(self):
+        from repro.errors import NonFiniteMeasurementError
+
+        kf = scalar_filter()
+        kf.predict()
+        with pytest.raises(NonFiniteMeasurementError):
+            kf.update(np.array([np.inf]))
+
+    def test_rejected_measurement_leaves_state_untouched(self):
+        from repro.errors import NonFiniteMeasurementError
+
+        kf = scalar_filter()
+        kf.predict()
+        kf.update(np.array([1.0]))
+        kf.predict()
+        x_before = kf.x.copy()
+        p_before = kf.p.copy()
+        k_before = kf.k
+        with pytest.raises(NonFiniteMeasurementError):
+            kf.update(np.array([np.nan]))
+        assert np.array_equal(kf.x, x_before)
+        assert np.array_equal(kf.p, p_before)
+        assert kf.k == k_before
+        # The filter keeps working after the reject.
+        kf.update(np.array([1.1]))
+        assert np.all(np.isfinite(kf.x))
+
+    def test_nonfinite_is_a_divergence_error(self):
+        # Callers catching the broad divergence family keep working.
+        from repro.errors import NonFiniteMeasurementError
+
+        assert issubclass(NonFiniteMeasurementError, DivergenceError)

@@ -1,0 +1,165 @@
+"""Unit tests for the checkpoint store and write-ahead log."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointStore,
+    validate_checkpoint,
+)
+
+
+def snapshot(tick=10, clock=10):
+    return {
+        "schema": CHECKPOINT_SCHEMA,
+        "tick": tick,
+        "server_clock": clock,
+        "sources": {
+            "s0": {
+                "expected_seq": 4,
+                "k": 9,
+                "last_contact": 8,
+                "desynced": False,
+                "answer": [1.5],
+                "filter": {"x": [1.5], "p": [[0.25]], "k": 9},
+            }
+        },
+        "meta": {"recoveries": 0},
+    }
+
+
+class TestValidation:
+    def test_accepts_well_formed(self):
+        validate_checkpoint(snapshot())
+
+    def test_rejects_wrong_schema(self):
+        bad = snapshot()
+        bad["schema"] = "repro.ckpt-v999"
+        with pytest.raises(CheckpointError):
+            validate_checkpoint(bad)
+
+    def test_rejects_missing_top_level_key(self):
+        for key in ("schema", "tick", "server_clock", "sources"):
+            bad = snapshot()
+            del bad[key]
+            with pytest.raises(CheckpointError):
+                validate_checkpoint(bad)
+
+    def test_rejects_malformed_source(self):
+        bad = snapshot()
+        del bad["sources"]["s0"]["expected_seq"]
+        with pytest.raises(CheckpointError):
+            validate_checkpoint(bad)
+        bad = snapshot()
+        del bad["sources"]["s0"]["filter"]["p"]
+        with pytest.raises(CheckpointError):
+            validate_checkpoint(bad)
+
+    def test_unprimed_filter_may_be_null(self):
+        ok = snapshot()
+        ok["sources"]["s0"]["filter"] = None
+        validate_checkpoint(ok)
+
+
+class TestSnapshotRoundTrip:
+    def test_save_load_round_trips(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        original = snapshot()
+        size = store.save(original)
+        assert size > 0
+        assert store.load() == original
+
+    def test_load_without_checkpoint_returns_none(self, tmp_path):
+        assert CheckpointStore(tmp_path).load() is None
+
+    def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(snapshot())
+        assert not (tmp_path / "checkpoint.ckpt.tmp").exists()
+        assert store.checkpoint_path.exists()
+
+    def test_newer_snapshot_replaces_older(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(snapshot(tick=10))
+        store.save(snapshot(tick=20))
+        assert store.load()["tick"] == 20
+
+    def test_save_rejects_invalid_snapshot(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(CheckpointError):
+            store.save({"schema": CHECKPOINT_SCHEMA})
+        assert not store.checkpoint_path.exists()
+
+
+class TestSnapshotCorruption:
+    def test_flipped_payload_byte_fails_crc(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(snapshot())
+        blob = bytearray(store.checkpoint_path.read_bytes())
+        blob[20] ^= 0xFF
+        store.checkpoint_path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="CRC"):
+            store.load()
+
+    def test_truncated_file_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(snapshot())
+        blob = store.checkpoint_path.read_bytes()
+        store.checkpoint_path.write_bytes(blob[:-6])
+        with pytest.raises(CheckpointError, match="truncated"):
+            store.load()
+
+    def test_wrong_magic_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.checkpoint_path.write_bytes(b"NOTACKPT" + b"\x00" * 16)
+        with pytest.raises(CheckpointError, match="framed"):
+            store.load()
+
+
+class TestWriteAheadLog:
+    def test_append_and_read_back_in_order(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for seq in range(5):
+            store.wal_append(
+                {"kind": "update", "source_id": "s0", "seq": seq}
+            )
+        records = store.wal_records()
+        assert [r["seq"] for r in records] == [0, 1, 2, 3, 4]
+
+    def test_torn_tail_stops_replay_without_raising(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for seq in range(3):
+            store.wal_append({"kind": "update", "seq": seq})
+        store.close()
+        # Simulate the process dying mid-append: a half-written line.
+        with open(store.wal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "update", "seq": 3, "cr')
+        assert [r["seq"] for r in store.wal_records()] == [0, 1, 2]
+
+    def test_bit_flip_mid_log_discards_the_rest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for seq in range(4):
+            store.wal_append({"kind": "update", "seq": seq})
+        store.close()
+        lines = store.wal_path.read_text().splitlines()
+        corrupted = json.loads(lines[1])
+        corrupted["seq"] = 99  # payload no longer matches its crc
+        lines[1] = json.dumps(corrupted, sort_keys=True)
+        store.wal_path.write_text("\n".join(lines) + "\n")
+        # Everything from the corrupt record on is untrustworthy.
+        assert [r["seq"] for r in store.wal_records()] == [0]
+
+    def test_snapshot_truncates_the_wal(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.wal_append({"kind": "update", "seq": 0})
+        store.save(snapshot())
+        assert store.wal_records() == []
+        # The WAL stays usable after truncation.
+        store.wal_append({"kind": "update", "seq": 1})
+        assert [r["seq"] for r in store.wal_records()] == [1]
+
+    def test_missing_wal_reads_as_empty(self, tmp_path):
+        assert CheckpointStore(tmp_path).wal_records() == []

@@ -1,0 +1,148 @@
+"""Property-based invariants for resilient runs.
+
+Two system-wide laws must survive any seeded combination of link faults,
+sensor faults and a mid-run server crash/recovery:
+
+* every primed server covariance stays symmetric and positive
+  semi-definite at every tick (the watchdog checks this online; here we
+  assert it offline with independent numerics);
+* the PR 1 traffic conservation law -- ``offered == delivered + lost +
+  corrupted + in_flight`` -- holds across the crash, the downtime and
+  the recovery (a dead server *receives* messages in the fabric's
+  ledger and then drops them; the books must still balance).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dkf.config import TransportPolicy
+from repro.dsms.engine import StreamEngine
+from repro.dsms.faults import FaultSchedule
+from repro.dsms.network import LinkConfig
+from repro.dsms.query import ContinuousQuery
+from repro.filters.models import linear_model
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.watchdog import WatchdogPolicy
+from repro.streams.base import stream_from_values
+
+
+def build_engine(seed, tmp_path, checkpoint_every=40, latency=0, n=220):
+    rng = np.random.default_rng(seed)
+    engine = StreamEngine(
+        resilience=ResilienceConfig(
+            checkpoint_dir=tmp_path / f"ckpt-{seed}",
+            checkpoint_every=checkpoint_every,
+            watchdog=WatchdogPolicy(),
+        )
+    )
+    for index, source_id in enumerate(("a", "b")):
+        engine.add_source(
+            source_id,
+            linear_model(dims=1, dt=1.0),
+            stream_from_values(
+                np.cumsum(rng.normal(0.0, 1.0 + index, size=n)),
+                name=source_id,
+            ),
+            transport=TransportPolicy(ack_timeout_ticks=4),
+            link=LinkConfig(latency_ticks=latency),
+        )
+        engine.submit_query(
+            ContinuousQuery(source_id, delta=1.0, query_id=f"q-{source_id}")
+        )
+    return engine
+
+
+def assert_covariances_healthy(engine):
+    for source_id in engine.server.source_ids:
+        if not engine.server.is_primed(source_id):
+            continue
+        p = np.asarray(engine.server.health_view(source_id)["p"])
+        assert np.all(np.isfinite(p)), f"{source_id}: non-finite covariance"
+        assert np.allclose(p, p.T, atol=1e-8), f"{source_id}: asymmetric"
+        eigenvalues = np.linalg.eigvalsh(0.5 * (p + p.T))
+        assert eigenvalues.min() >= -1e-9, f"{source_id}: not PSD"
+
+
+def assert_traffic_conserved(engine):
+    report = engine.report()
+    delivered = sum(
+        engine.fabric.stats_for(sid).delivered for sid in engine.sources
+    )
+    offered = report.updates_sent + report.retransmits + report.heartbeats
+    assert offered == (
+        delivered
+        + report.messages_lost
+        + report.corrupted
+        + report.in_flight
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    crash_at=st.integers(min_value=30, max_value=120),
+    down_for=st.integers(min_value=1, max_value=20),
+    loss=st.floats(min_value=0.0, max_value=0.1),
+)
+def test_invariants_across_crash_and_faults(
+    seed, crash_at, down_for, loss, tmp_path_factory
+):
+    tmp_path = tmp_path_factory.mktemp("props")
+    engine = build_engine(seed, tmp_path)
+    engine.inject_faults(
+        FaultSchedule(seed=seed)
+        .burst_loss("a", p_enter=loss, p_exit=0.4)
+        .sensor("b", "nan", start=crash_at + 5, duration=6)
+        .corrupt("a", rate=loss / 2)
+    )
+    recover_at = crash_at + down_for
+    for tick in range(200):
+        if tick == crash_at:
+            engine.crash_server()
+        if tick == recover_at:
+            engine.recover()
+        engine.step()
+        if not engine.server_down:
+            assert_covariances_healthy(engine)
+        assert_traffic_conserved(engine)
+    engine.settle()
+    assert_traffic_conserved(engine)
+    assert engine.resilience_report()["recoveries"] == 1
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    latency=st.integers(min_value=0, max_value=3),
+)
+def test_conservation_with_latent_links_and_crash(
+    seed, latency, tmp_path_factory
+):
+    # Latency keeps frames in flight across the crash boundary; the
+    # ledger must count them exactly once wherever they land.
+    tmp_path = tmp_path_factory.mktemp("latent")
+    engine = build_engine(seed, tmp_path, latency=latency)
+    for tick in range(150):
+        if tick == 70:
+            engine.crash_server()
+        if tick == 80:
+            engine.recover()
+        engine.step()
+        assert_traffic_conserved(engine)
+    engine.settle()
+    assert_traffic_conserved(engine)
+
+
+@pytest.mark.parametrize("seed", [1, 17])
+def test_long_run_covariances_stay_psd(seed, tmp_path):
+    engine = build_engine(seed, tmp_path, n=400)
+    engine.inject_faults(
+        FaultSchedule(seed=seed)
+        .sensor("a", "spike", start=90, duration=5, magnitude=200.0)
+        .sensor("b", "stuck", start=150, duration=30)
+    )
+    for _ in range(380):
+        engine.step()
+        assert_covariances_healthy(engine)

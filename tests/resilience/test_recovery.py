@@ -1,0 +1,259 @@
+"""Engine-level crash/recovery, watchdog integration and byte-identity."""
+
+import numpy as np
+import pytest
+
+from repro.dkf.config import TransportPolicy
+from repro.dsms.engine import StreamEngine
+from repro.dsms.faults import FaultSchedule
+from repro.dsms.query import ContinuousQuery
+from repro.errors import ConfigurationError
+from repro.filters.models import linear_model
+from repro.obs.telemetry import Telemetry
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.watchdog import WatchdogPolicy
+from repro.streams.base import stream_from_values
+
+
+def walk(n=400, seed=11):
+    rng = np.random.default_rng(seed)
+    return stream_from_values(
+        np.cumsum(rng.normal(0.0, 1.0, size=n)), name="walk"
+    )
+
+
+def build_engine(resilience=None, telemetry=None, n=400, faults=None):
+    engine = StreamEngine(telemetry=telemetry, resilience=resilience)
+    engine.add_source(
+        "s0",
+        linear_model(dims=1, dt=1.0),
+        walk(n),
+        transport=TransportPolicy(ack_timeout_ticks=4),
+    )
+    engine.submit_query(ContinuousQuery("s0", delta=1.0, query_id="q"))
+    if faults is not None:
+        engine.inject_faults(faults)
+    return engine
+
+
+class TestDisabledResilienceIsInert:
+    def test_resilient_run_matches_plain_run_exactly(self, tmp_path):
+        plain = build_engine()
+        plain.run()
+        plain.settle()
+        config = ResilienceConfig(
+            checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_every=50,
+            watchdog=WatchdogPolicy(),
+        )
+        guarded = build_engine(resilience=config)
+        guarded.run()
+        guarded.settle()
+        # The guards observe; they must not perturb a healthy run.
+        assert plain.report() == guarded.report()
+        assert plain.answer("q").value == guarded.answer("q").value
+
+    def test_crash_requires_resilience(self):
+        engine = build_engine()
+        with pytest.raises(ConfigurationError):
+            engine.crash_server()
+        with pytest.raises(ConfigurationError):
+            engine.recover()
+
+    def test_checkpoint_requires_directory(self):
+        engine = build_engine(resilience=ResilienceConfig())
+        with pytest.raises(ConfigurationError):
+            engine.checkpoint()
+
+
+class TestCrashRecovery:
+    def make(self, tmp_path, telemetry=None, checkpoint_every=50, n=400):
+        config = ResilienceConfig(
+            checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_every=checkpoint_every,
+            watchdog=WatchdogPolicy(),
+        )
+        return build_engine(resilience=config, telemetry=telemetry, n=n)
+
+    def test_replay_reconstructs_exact_pre_crash_state(self, tmp_path):
+        engine = self.make(tmp_path)
+        # Stop mid-checkpoint-interval so recovery must replay a WAL tail.
+        engine.run(max_ticks=120)
+        before = engine.server.export_source_state("s0")
+        assert engine.checkpoint_store.wal_records(), "no WAL tail to replay"
+        engine.crash_server()
+        summary = engine.recover()
+        assert summary["restored_sources"] == 1
+        assert summary["wal_replayed"] > 0
+        after = engine.server.export_source_state("s0")
+        # Deterministic arithmetic: snapshot + replay is bit-identical.
+        assert after == before
+
+    def test_reconverges_within_delta_after_downtime(self, tmp_path):
+        telemetry = Telemetry()
+        engine = self.make(tmp_path, telemetry=telemetry)
+        engine.run(max_ticks=120)
+        engine.crash_server()
+        for _ in range(10):  # sources keep sampling into a dead server
+            engine.step()
+        assert engine.answer("q").degraded
+        engine.recover()
+        truth = walk().values()[:, 0]
+        recovered_within = None
+        for extra in range(50):
+            engine.step()
+            answer = engine.answer("q")
+            err = abs(answer.value[0] - truth[engine.ticks - 1])
+            if err <= answer.precision + 1e-9:
+                recovered_within = extra + 1
+                break
+        assert recovered_within is not None, "never re-converged"
+        assert recovered_within <= 50
+        names = telemetry.bus.counts()
+        assert names.get("server.crash") == 1
+        assert names.get("recovery.replay") == 1
+
+    def test_recovery_event_carries_replay_and_resync_counts(self, tmp_path):
+        telemetry = Telemetry()
+        engine = self.make(tmp_path, telemetry=telemetry)
+        engine.run(max_ticks=120)
+        engine.crash_server()
+        for _ in range(10):
+            engine.step()
+        summary = engine.recover()
+        events = [
+            e for e in telemetry.bus.events() if e.name == "recovery.replay"
+        ]
+        assert len(events) == 1
+        fields = events[0].fields
+        assert fields["wal_replayed"] == summary["wal_replayed"]
+        assert fields["resync_requests"] == summary["resync_requests"]
+        # Ten ticks of updates sent into a dead server.
+        assert summary["dropped_while_down"] > 0
+        # The advanced source sequence forces a healing resync.
+        assert summary["resync_requests"] >= 1
+
+    def test_periodic_checkpoints_written_by_run(self, tmp_path):
+        telemetry = Telemetry()
+        engine = self.make(tmp_path, telemetry=telemetry, checkpoint_every=25)
+        engine.run(max_ticks=100)
+        counts = telemetry.bus.counts()
+        assert counts.get("checkpoint.write", 0) >= 3
+        assert engine.checkpoint_store.load() is not None
+
+    def test_double_crash_recovers_from_same_checkpoint(self, tmp_path):
+        engine = self.make(tmp_path)
+        engine.run(max_ticks=120)
+        engine.crash_server()
+        first = engine.recover()
+        # Crash again before any new checkpoint: the same snapshot plus
+        # the same (untruncated) WAL must restore again.
+        engine.crash_server()
+        second = engine.recover()
+        assert second["restored_sources"] == 1
+        assert second["wal_replayed"] >= first["wal_replayed"]
+
+    def test_crash_is_idempotent(self, tmp_path):
+        engine = self.make(tmp_path)
+        engine.run(max_ticks=60)
+        engine.crash_server()
+        assert engine.crash_server() == 0
+        assert engine.server_down
+
+    def test_answers_survive_downtime_as_degraded_cache(self, tmp_path):
+        engine = self.make(tmp_path)
+        engine.run(max_ticks=60)
+        value_before = engine.answer("q").value
+        engine.crash_server()
+        engine.step()
+        answer = engine.answer("q")
+        assert answer.degraded
+        assert answer.value == value_before
+
+    def test_resilience_report_counts_recoveries(self, tmp_path):
+        engine = self.make(tmp_path)
+        engine.run(max_ticks=60)
+        engine.crash_server()
+        engine.recover()
+        report = engine.resilience_report()
+        assert report["enabled"] is True
+        assert report["recoveries"] == 1
+        assert report["server_down"] is False
+
+
+class TestWatchdogIntegration:
+    def make(self, faults, policy=None, n=300):
+        config = ResilienceConfig(
+            watchdog=policy
+            or WatchdogPolicy(
+                escalation_grace_ticks=4, hysteresis_ticks=8
+            ),
+        )
+        telemetry = Telemetry()
+        engine = build_engine(
+            resilience=config, telemetry=telemetry, n=n, faults=faults
+        )
+        return engine, telemetry
+
+    def test_nan_fault_never_reaches_server_value(self):
+        faults = FaultSchedule(seed=3).sensor(
+            "s0", "nan", start=50, duration=20
+        )
+        engine, _ = self.make(faults)
+        for _ in range(120):
+            engine.step()
+            if engine.server.is_primed("s0"):
+                assert np.all(np.isfinite(engine.server.value("s0")))
+        assert engine.sources["s0"].readings_rejected >= 20
+
+    def test_spike_fault_trips_the_watchdog(self):
+        faults = FaultSchedule(seed=3).sensor(
+            "s0", "spike", start=60, duration=8, magnitude=500.0
+        )
+        engine, telemetry = self.make(faults)
+        for _ in range(150):
+            engine.step()
+        counts = telemetry.bus.counts()
+        assert counts.get("watchdog.trip", 0) >= 1
+        trips = [
+            e for e in telemetry.bus.events() if e.name == "watchdog.trip"
+        ]
+        assert any("nis" in fault for e in trips for fault in e.fields["faults"])
+
+    def test_silent_stream_trips_stale_and_recovers(self):
+        faults = FaultSchedule(seed=3).crash("s0", at=60, restart_at=110)
+        policy = WatchdogPolicy(
+            staleness_limit=15, escalation_grace_ticks=4, hysteresis_ticks=8
+        )
+        engine, telemetry = self.make(faults, policy=policy)
+        for _ in range(280):
+            engine.step()
+        trips = [
+            e for e in telemetry.bus.events() if e.name == "watchdog.trip"
+        ]
+        assert trips
+        assert any("stale" in e.fields["faults"] for e in trips)
+        # The restart re-primes the server; hysteresis restores health.
+        assert engine.watchdog.status("s0") == "healthy"
+
+    def test_quarantine_flags_answers_and_exits_by_hysteresis(self):
+        # A long NaN burst marches the ladder to quarantine via the
+        # consecutive-reject counter, then clean readings walk it back.
+        faults = FaultSchedule(seed=3).sensor(
+            "s0", "nan", start=40, duration=80
+        )
+        policy = WatchdogPolicy(
+            reject_limit=3, escalation_grace_ticks=2, hysteresis_ticks=6
+        )
+        engine, telemetry = self.make(faults, policy=policy)
+        saw_quarantined_answer = False
+        for _ in range(280):
+            engine.step()
+            if engine.answer("q").quarantined:
+                saw_quarantined_answer = True
+        counts = telemetry.bus.counts()
+        assert counts.get("quarantine.enter", 0) >= 1
+        assert saw_quarantined_answer
+        assert counts.get("quarantine.exit", 0) >= 1
+        assert engine.watchdog.status("s0") == "healthy"
+        assert not engine.answer("q").quarantined

@@ -1,0 +1,202 @@
+"""Unit tests for restart budgets, the bounded inbox and load shedding."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience.supervisor import (
+    BoundedInbox,
+    OverloadController,
+    OverloadPolicy,
+    RestartPolicy,
+    StreamSupervisor,
+)
+
+
+class TestRestartPolicy:
+    def test_defaults_valid(self):
+        RestartPolicy().validate()
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            RestartPolicy(max_restarts=0).validate()
+        with pytest.raises(ConfigurationError):
+            RestartPolicy(backoff_factor=0.5).validate()
+
+
+class TestStreamSupervisor:
+    def test_first_restart_granted_immediately(self):
+        sup = StreamSupervisor(RestartPolicy())
+        assert sup.request_restart("s0", tick=5) is True
+
+    def test_backoff_defers_then_grants(self):
+        sup = StreamSupervisor(
+            RestartPolicy(base_backoff_ticks=4, backoff_factor=2.0)
+        )
+        assert sup.request_restart("s0", 0) is True
+        # First grant charges the base backoff: 4 ticks of deferral.
+        for tick in range(1, 4):
+            assert sup.request_restart("s0", tick) is False
+        assert sup.request_restart("s0", 4) is True
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RestartPolicy(
+            max_restarts=10,
+            window_ticks=10_000,
+            base_backoff_ticks=4,
+            backoff_factor=2.0,
+            max_backoff_ticks=16,
+        )
+        sup = StreamSupervisor(policy)
+        tick = 0
+        gaps = []
+        for _ in range(5):
+            while not sup.request_restart("s0", tick):
+                tick += 1
+            gaps.append(tick)
+            tick += 1
+        deltas = [b - a for a, b in zip(gaps, gaps[1:])]
+        # base=4: successive backoffs are 4, 8, 16, then capped at 16.
+        assert deltas == [4, 8, 16, 16]
+
+    def test_window_budget_denies_then_slides_open(self):
+        policy = RestartPolicy(
+            max_restarts=2,
+            window_ticks=50,
+            base_backoff_ticks=0,
+            max_backoff_ticks=0,
+        )
+        sup = StreamSupervisor(policy)
+        assert sup.request_restart("s0", 0)
+        assert sup.request_restart("s0", 1)
+        assert not sup.request_restart("s0", 2)  # budget exhausted
+        assert not sup.request_restart("s0", 49)
+        # Tick 50: the restart at tick 0 ages out of the window.
+        assert sup.request_restart("s0", 50)
+
+    def test_streams_metered_independently(self):
+        policy = RestartPolicy(max_restarts=1, window_ticks=100)
+        sup = StreamSupervisor(policy)
+        assert sup.request_restart("a", 0)
+        assert sup.request_restart("b", 0)
+        assert not sup.request_restart("a", 10)
+
+    def test_report_counts_grants_and_denials(self):
+        sup = StreamSupervisor(RestartPolicy(base_backoff_ticks=8))
+        sup.request_restart("s0", 0)
+        sup.request_restart("s0", 1)
+        report = sup.report()["s0"]
+        assert report["granted"] == 1
+        assert report["denied"] == 1
+
+
+class TestBoundedInbox:
+    def test_tail_drops_over_capacity(self):
+        inbox = BoundedInbox(capacity=2)
+        assert inbox.offer("a") and inbox.offer("b")
+        assert inbox.offer("c") is False
+        assert inbox.depth == 2
+        assert inbox.dropped == 1
+        assert inbox.accepted == 2
+
+    def test_drain_preserves_fifo_order(self):
+        inbox = BoundedInbox(capacity=8)
+        for item in "abcd":
+            inbox.offer(item)
+        assert inbox.drain(3) == ["a", "b", "c"]
+        assert inbox.drain(3) == ["d"]
+        assert inbox.drain(3) == []
+
+    def test_clear_counts_the_loss(self):
+        inbox = BoundedInbox(capacity=8)
+        inbox.offer("a")
+        inbox.offer("b")
+        assert inbox.clear() == 2
+        assert inbox.depth == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            BoundedInbox(0)
+
+
+class TestOverloadController:
+    def make(self, **overrides):
+        base = dict(
+            inbox_capacity=100,
+            drain_per_tick=10,
+            high_watermark=0.5,
+            low_watermark=0.1,
+            widen_factor=2.0,
+            max_widen=8.0,
+            cooldown_ticks=1,
+        )
+        base.update(overrides)
+        ctl = OverloadController(OverloadPolicy(**base))
+        ctl.register("hi", priority=2, base_min_delta=1.0)
+        ctl.register("mid", priority=1, base_min_delta=1.0)
+        ctl.register("lo", priority=0, base_min_delta=2.0)
+        return ctl
+
+    def test_widens_lowest_priority_first(self):
+        ctl = self.make()
+        changes = ctl.step(tick=0, depth=80)
+        assert changes == {"lo": 2.0}
+        changes = ctl.step(tick=1, depth=80)
+        # "lo" still has headroom, so it keeps absorbing the widening.
+        assert changes == {"lo": 4.0}
+
+    def test_escalates_to_next_priority_when_saturated(self):
+        ctl = self.make(max_widen=2.0)
+        assert ctl.step(0, 80) == {"lo": 2.0}
+        assert ctl.step(1, 80) == {"mid": 2.0}
+        assert ctl.step(2, 80) == {"hi": 2.0}
+        # Everyone saturated: nothing left to widen.
+        assert ctl.step(3, 80) == {}
+
+    def test_restores_lifo_when_pressure_clears(self):
+        ctl = self.make(max_widen=2.0)
+        ctl.step(0, 80)  # widens lo
+        ctl.step(1, 80)  # widens mid
+        assert ctl.step(2, 5) == {"mid": 1.0}
+        assert ctl.step(3, 5) == {"lo": 1.0}
+        assert ctl.scale("lo") == 1.0 and ctl.scale("mid") == 1.0
+
+    def test_cooldown_paces_adjustments(self):
+        ctl = self.make(cooldown_ticks=5)
+        assert ctl.step(0, 80) == {"lo": 2.0}
+        for tick in range(1, 5):
+            assert ctl.step(tick, 80) == {}
+        assert ctl.step(5, 80) == {"lo": 4.0}
+
+    def test_mid_band_pressure_changes_nothing(self):
+        ctl = self.make()
+        ctl.step(0, 80)
+        # Between the watermarks: hold position.
+        assert ctl.step(1, 30) == {}
+        assert ctl.scale("lo") == 2.0
+
+    def test_shed_error_account_is_exact(self):
+        ctl = self.make()
+        ctl.step(0, 80)  # lo -> scale 2.0, then charged for this tick
+        ctl.step(1, 30)  # holding: charged again
+        ctl.step(2, 30)
+        report = ctl.report()["lo"]
+        # Three widened ticks at (2.0 - 1.0) * base delta 2.0 each.
+        assert report["widened_ticks"] == 3
+        assert report["shed_error"] == pytest.approx(6.0)
+        assert ctl.report()["hi"]["shed_error"] == 0.0
+
+    def test_deregister_removes_from_stack(self):
+        ctl = self.make(max_widen=2.0)
+        ctl.step(0, 80)  # widens lo
+        ctl.deregister("lo")
+        assert ctl.scale("lo") == 1.0
+        # Restore must not resurrect the departed stream.
+        assert ctl.step(1, 5) == {}
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            OverloadPolicy(low_watermark=0.6, high_watermark=0.5).validate()
+        with pytest.raises(ConfigurationError):
+            OverloadPolicy(widen_factor=1.0).validate()
+        with pytest.raises(ConfigurationError):
+            OverloadPolicy(max_widen=1.5, widen_factor=2.0).validate()

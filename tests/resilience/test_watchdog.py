@@ -1,0 +1,182 @@
+"""Unit tests for the divergence watchdog's battery and ladder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience.watchdog import (
+    HEALTHY,
+    QUARANTINED,
+    REPRIMED,
+    RESYNCING,
+    DivergenceWatchdog,
+    WatchdogPolicy,
+)
+
+
+def healthy_view():
+    return {
+        "x": np.array([1.0]),
+        "p": np.array([[0.5]]),
+        "nis_window": [0.4, 0.8, 1.1, 0.6],
+        "staleness_ticks": 0,
+    }
+
+
+def fast_policy(**overrides):
+    base = dict(escalation_grace_ticks=1, hysteresis_ticks=3)
+    base.update(overrides)
+    return WatchdogPolicy(**base)
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            WatchdogPolicy(nis_threshold=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            WatchdogPolicy(staleness_limit=0).validate()
+        with pytest.raises(ConfigurationError):
+            WatchdogPolicy(hysteresis_ticks=0).validate()
+
+    def test_defaults_are_valid(self):
+        WatchdogPolicy().validate()
+
+
+class TestFaultBattery:
+    def check_faults(self, view, policy=None):
+        dog = DivergenceWatchdog(policy or fast_policy())
+        dog.register("s0")
+        dog.check("s0", 0, view)
+        return dog.report()["s0"]["faults"]
+
+    def test_healthy_view_reports_no_faults(self):
+        dog = DivergenceWatchdog(fast_policy())
+        assert dog.check("s0", 0, healthy_view()) is None
+        assert dog.status("s0") == HEALTHY
+
+    def test_nan_state_trips(self):
+        view = healthy_view()
+        view["x"] = np.array([np.nan])
+        assert "state_nonfinite" in self.check_faults(view)
+
+    def test_nonfinite_covariance_trips(self):
+        view = healthy_view()
+        view["p"] = np.array([[np.inf]])
+        assert "covariance_nonfinite" in self.check_faults(view)
+
+    def test_asymmetric_covariance_trips(self):
+        view = healthy_view()
+        view["p"] = np.array([[1.0, 0.5], [0.0, 1.0]])
+        view["x"] = np.array([0.0, 0.0])
+        assert "covariance_asymmetric" in self.check_faults(view)
+
+    def test_negative_eigenvalue_trips(self):
+        view = healthy_view()
+        # Symmetric but indefinite: eigenvalues 3 and -1.
+        view["p"] = np.array([[1.0, 2.0], [2.0, 1.0]])
+        view["x"] = np.array([0.0, 0.0])
+        assert "covariance_not_psd" in self.check_faults(view)
+
+    def test_trace_ceiling_trips(self):
+        view = healthy_view()
+        view["p"] = np.array([[2e6]])
+        assert "covariance_trace_ceiling" in self.check_faults(view)
+
+    def test_single_nis_spike_trips(self):
+        view = healthy_view()
+        view["nis_window"] = [0.5, 100.0]
+        assert "nis_spike" in self.check_faults(view)
+
+    def test_windowed_nis_runaway_trips(self):
+        view = healthy_view()
+        view["nis_window"] = [12.0, 15.0, 11.0, 14.0]
+        assert "nis_runaway" in self.check_faults(view)
+
+    def test_short_window_does_not_trip_runaway(self):
+        view = healthy_view()
+        # Above the mean threshold but below the hard limit, only three
+        # samples: not enough evidence for the windowed check.
+        view["nis_window"] = [12.0, 15.0, 11.0]
+        assert self.check_faults(view) == []
+
+    def test_staleness_trips(self):
+        view = healthy_view()
+        view["staleness_ticks"] = 60
+        assert "stale" in self.check_faults(view)
+
+    def test_reject_run_trips_and_acceptance_clears(self):
+        dog = DivergenceWatchdog(fast_policy())
+        for _ in range(3):
+            dog.note_rejection("s0")
+        dog.check("s0", 0, healthy_view())
+        assert "rejected_readings" in dog.report()["s0"]["faults"]
+        dog2 = DivergenceWatchdog(fast_policy())
+        dog2.note_rejection("s0")
+        dog2.note_rejection("s0")
+        dog2.note_accepted("s0")
+        dog2.note_rejection("s0")
+        assert dog2.check("s0", 0, healthy_view()) is None
+
+
+class TestEscalationLadder:
+    def bad_view(self):
+        view = healthy_view()
+        view["x"] = np.array([np.nan])
+        return view
+
+    def test_ladder_walks_one_rung_per_grace_window(self):
+        dog = DivergenceWatchdog(fast_policy(escalation_grace_ticks=2))
+        assert dog.check("s0", 0, self.bad_view()) == "resync"
+        assert dog.status("s0") == RESYNCING
+        # Tick 1 is inside the grace window: no further escalation.
+        assert dog.check("s0", 1, self.bad_view()) is None
+        assert dog.check("s0", 2, self.bad_view()) == "reprime"
+        assert dog.status("s0") == REPRIMED
+        assert dog.check("s0", 4, self.bad_view()) == "quarantine"
+        assert dog.is_quarantined("s0")
+        # Top rung: nothing further to escalate to.
+        assert dog.check("s0", 6, self.bad_view()) is None
+        assert dog.status("s0") == QUARANTINED
+
+    def test_hysteresis_exits_quarantine_after_clean_window(self):
+        dog = DivergenceWatchdog(fast_policy(hysteresis_ticks=3))
+        tick = 0
+        while not dog.is_quarantined("s0"):
+            dog.check("s0", tick, self.bad_view())
+            tick += 1
+        # Two clean checks are not enough; the third restores health.
+        dog.check("s0", tick, healthy_view())
+        dog.check("s0", tick + 1, healthy_view())
+        assert dog.is_quarantined("s0")
+        dog.check("s0", tick + 2, healthy_view())
+        assert dog.status("s0") == HEALTHY
+
+    def test_flapping_stream_cannot_exit(self):
+        dog = DivergenceWatchdog(fast_policy(hysteresis_ticks=3))
+        tick = 0
+        while not dog.is_quarantined("s0"):
+            dog.check("s0", tick, self.bad_view())
+            tick += 1
+        for _ in range(6):
+            dog.check("s0", tick, healthy_view())
+            tick += 1
+            dog.check("s0", tick, self.bad_view())
+            tick += 1
+        assert dog.is_quarantined("s0")
+
+    def test_recovery_resets_ladder_to_bottom(self):
+        dog = DivergenceWatchdog(fast_policy(hysteresis_ticks=2))
+        dog.check("s0", 0, self.bad_view())
+        assert dog.status("s0") == RESYNCING
+        dog.check("s0", 1, healthy_view())
+        dog.check("s0", 2, healthy_view())
+        assert dog.status("s0") == HEALTHY
+        # A later trip starts from the first rung again.
+        assert dog.check("s0", 10, self.bad_view()) == "resync"
+
+    def test_deregister_forgets_state(self):
+        dog = DivergenceWatchdog(fast_policy())
+        dog.check("s0", 0, self.bad_view())
+        dog.deregister("s0")
+        assert dog.status("s0") == HEALTHY
+        assert "s0" not in dog.report()

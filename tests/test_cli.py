@@ -253,3 +253,49 @@ class TestExperimentCommands:
         code = main(["table1"])
         assert code == 0
         assert "caching" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    def test_chaos_defaults_parse(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.ticks == 400
+        assert args.crash_at == 225
+        assert args.checkpoint_every == 50
+
+    def test_chaos_drill_recovers_and_writes_artifacts(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        out = tmp_path / "chaos"
+        code = main(
+            [
+                "chaos",
+                "--ticks", "160",
+                "--crash-at", "70",
+                "--recover-after", "5",
+                "--checkpoint-every", "30",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "recovered within" in printed
+        report = json.loads((out / "report.json").read_text())
+        assert report["recovery"]["restored_sources"] >= 1
+        assert report["recovered_within_ticks"] is not None
+        assert (out / "snapshot.json").exists()
+        assert (out / "checkpoint" / "checkpoint.ckpt").exists()
+        assert (out / "checkpoint" / "wal.jsonl").exists()
+
+    def test_chaos_rejects_bad_crash_timing(self, tmp_path, capsys):
+        code = main(
+            [
+                "chaos",
+                "--ticks", "50",
+                "--crash-at", "60",
+                "--out", str(tmp_path / "x"),
+            ]
+        )
+        assert code != 0
+        assert "crash-at" in capsys.readouterr().err
