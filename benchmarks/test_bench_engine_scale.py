@@ -1,13 +1,22 @@
-"""Scalability bench: the server's per-source filter cost.
+"""Scalability bench: scalar per-source cost, and the batch-engine advantage.
 
 The paper assumes "having multiple Kalman Filters at the main server does
-not affect the performance significantly" (Section 3.1).  This bench runs
-the engine with growing source counts and reports throughput, pinning
-that the cost grows linearly (not worse) with the number of sources.
+not affect the performance significantly" (Section 3.1).  The first bench
+runs the scalar engine with growing source counts and pins that the cost
+grows linearly (not worse), with a second sweep recording the overhead of
+durability (``checkpoint_every=100`` plus the WAL; target under 10%).
 
-A second sweep re-runs the engine with durability enabled
-(``checkpoint_every=100`` plus the WAL) and records the overhead of the
-crash-recovery machinery; the target is under 10% at that cadence.
+The second bench races the scalar engine against the vectorized
+:class:`~repro.scale.engine.BatchStreamEngine` at 64/256/1024 sources and
+asserts the batch engine is at least 5x cheaper per reading at 1024 --
+the scale layer's acceptance gate.
+
+Both benches export through the ``repro.obs/v1`` snapshot schema into
+``BENCH_engine_scale.json`` at the repo root.  The exporting run is
+instrumented with a real :class:`~repro.obs.Telemetry` handle so the
+artifact carries live counters, spans and events alongside the sweep
+gauges (an earlier revision exported a bare registry and shipped dead
+``counters``/``events`` keys).
 """
 
 import time
@@ -19,19 +28,28 @@ from benchmarks.conftest import run_once, show
 from repro.dsms.engine import StreamEngine
 from repro.dsms.query import ContinuousQuery
 from repro.filters.models import linear_model
-from repro.obs import MetricsRegistry, build_snapshot, write_snapshot
+from repro.obs import Telemetry, build_snapshot, write_snapshot
 from repro.resilience.config import ResilienceConfig
+from repro.scale.engine import BatchStreamEngine
 from repro.streams.base import stream_from_values
 
 TICKS = 300
+SCALAR_SWEEP = (1, 4, 16, 64)
+BATCH_SWEEP = (64, 256, 1024)
+MIN_BATCH_SPEEDUP = 5.0
 
 #: Perf trajectory artifact (``repro.obs/v1`` snapshot) at the repo root.
 SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine_scale.json"
 
+#: Sweep results accumulated across the tests in this module so one
+#: artifact write can carry everything (tests still pass standalone --
+#: the exporter includes whatever ran).
+_RESULTS: dict[str, dict[int, float]] = {}
 
-def _run_engine(num_sources: int, resilience=None) -> float:
+
+def _build_engine(cls, num_sources: int, **engine_kw):
     rng = np.random.default_rng(42)
-    engine = StreamEngine(resilience=resilience)
+    engine = cls(**engine_kw)
     for i in range(num_sources):
         values = np.cumsum(rng.normal(0, 1.0, size=TICKS))
         engine.add_source(
@@ -42,35 +60,31 @@ def _run_engine(num_sources: int, resilience=None) -> float:
         engine.submit_query(
             ContinuousQuery(f"s{i}", delta=2.0, query_id=f"q{i}")
         )
+    return engine
+
+
+def _run_engine(num_sources: int, cls=StreamEngine, **engine_kw) -> float:
+    engine = _build_engine(cls, num_sources, **engine_kw)
     start = time.perf_counter()
     engine.run()
     return time.perf_counter() - start
 
 
-def _scaling_sweep():
-    return {n: _run_engine(n) for n in (1, 4, 16, 64)}
-
-
-def _checkpointed_sweep(tmp_root):
-    timings = {}
-    for n in (1, 4, 16, 64):
-        config = ResilienceConfig(
-            checkpoint_dir=tmp_root / f"ckpt-{n}", checkpoint_every=100
-        )
-        timings[n] = _run_engine(n, resilience=config)
-    return timings
-
-
 def test_engine_scales_linearly_with_sources(benchmark, tmp_path):
     def sweep():
-        return {
-            "plain": _scaling_sweep(),
-            "checkpointed": _checkpointed_sweep(tmp_path),
-        }
+        plain = {n: _run_engine(n) for n in SCALAR_SWEEP}
+        checkpointed = {}
+        for n in SCALAR_SWEEP:
+            config = ResilienceConfig(
+                checkpoint_dir=tmp_path / f"ckpt-{n}", checkpoint_every=100
+            )
+            checkpointed[n] = _run_engine(n, resilience=config)
+        return {"plain": plain, "checkpointed": checkpointed}
 
     sweeps = run_once(benchmark, sweep)
     timings = sweeps["plain"]
     checkpointed = sweeps["checkpointed"]
+    _RESULTS.update(sweeps)
     rows = []
     for n, seconds in timings.items():
         per_reading = seconds / (n * TICKS) * 1e6
@@ -81,32 +95,6 @@ def test_engine_scales_linearly_with_sources(benchmark, tmp_path):
             f"checkpointing {overhead:+5.1f}%"
         )
     show("Scalability: engine wall-clock vs source count", "\n".join(rows))
-
-    # Export the sweep through the telemetry snapshot schema so the perf
-    # trajectory accumulates in a tool-readable artifact.
-    registry = MetricsRegistry()
-    for variant, sweep_timings in sweeps.items():
-        for n, seconds in sweep_timings.items():
-            labels = {"sources": str(n), "variant": variant}
-            registry.gauge("engine_run_seconds", labels).set(seconds)
-            registry.gauge("engine_us_per_reading", labels).set(
-                seconds / (n * TICKS) * 1e6
-            )
-    for n in timings:
-        registry.gauge(
-            "checkpoint_overhead_pct", {"sources": str(n)}
-        ).set((checkpointed[n] / timings[n] - 1.0) * 100.0)
-    snapshot = build_snapshot(
-        registry,
-        meta={
-            "bench": "engine_scale",
-            "ticks_per_source": TICKS,
-            "source_counts": sorted(timings),
-            "variants": sorted(sweeps),
-            "checkpoint_every": 100,
-        },
-    )
-    write_snapshot(SNAPSHOT_PATH, snapshot)
 
     # Per-reading cost must stay roughly flat as sources multiply --
     # linear total scaling (allow 4x headroom for cache effects and the
@@ -122,3 +110,87 @@ def test_engine_scales_linearly_with_sources(benchmark, tmp_path):
     assert checkpointed[64] < 1.10 * timings[64]
     for n in timings:
         assert checkpointed[n] < 1.50 * timings[n]
+
+
+def _instrumented_pass(tmp_path) -> Telemetry:
+    """A small engine run carrying live telemetry for the artifact.
+
+    Checkpoints fire counters, the server fires protocol events, and the
+    span timers trace the tick loop -- so the exported snapshot proves
+    the whole observability pipe, not just the gauges.
+    """
+    telemetry = Telemetry()
+    engine = _build_engine(
+        StreamEngine,
+        8,
+        telemetry=telemetry,
+        resilience=ResilienceConfig(
+            checkpoint_dir=tmp_path / "obs-ckpt", checkpoint_every=50
+        ),
+    )
+    engine.run()
+    return telemetry
+
+
+def test_batch_engine_scale_advantage(benchmark, tmp_path):
+    def sweep():
+        scalar = {n: _run_engine(n) for n in BATCH_SWEEP}
+        batch = {n: _run_engine(n, cls=BatchStreamEngine) for n in BATCH_SWEEP}
+        return {"scalar": scalar, "batch": batch}
+
+    sweeps = run_once(benchmark, sweep)
+    scalar, batch = sweeps["scalar"], sweeps["batch"]
+    _RESULTS["scalar_vs_batch"] = scalar
+    _RESULTS["batch"] = batch
+    rows = []
+    speedups = {}
+    for n in BATCH_SWEEP:
+        speedups[n] = scalar[n] / batch[n]
+        rows.append(
+            f"  {n:5d} sources: scalar {scalar[n] * 1e3:9.1f} ms, "
+            f"batch {batch[n] * 1e3:7.1f} ms "
+            f"({batch[n] / (n * TICKS) * 1e6:5.2f} us/reading), "
+            f"speedup {speedups[n]:5.1f}x"
+        )
+    show("Batch engine vs scalar engine", "\n".join(rows))
+
+    telemetry = _instrumented_pass(tmp_path)
+    registry = telemetry.metrics
+    for variant, timings in _RESULTS.items():
+        for n, seconds in timings.items():
+            labels = {"sources": str(n), "variant": variant}
+            registry.gauge("engine_run_seconds", labels).set(seconds)
+            registry.gauge("engine_us_per_reading", labels).set(
+                seconds / (n * TICKS) * 1e6
+            )
+    plain = _RESULTS.get("plain", {})
+    checkpointed = _RESULTS.get("checkpointed", {})
+    for n in plain:
+        registry.gauge(
+            "checkpoint_overhead_pct", {"sources": str(n)}
+        ).set((checkpointed[n] / plain[n] - 1.0) * 100.0)
+    for n, speedup in speedups.items():
+        registry.gauge(
+            "batch_speedup_x", {"sources": str(n)}
+        ).set(speedup)
+    snapshot = build_snapshot(
+        telemetry,
+        meta={
+            "bench": "engine_scale",
+            "ticks_per_source": TICKS,
+            "source_counts": sorted(set(SCALAR_SWEEP) | set(BATCH_SWEEP)),
+            "variants": sorted(_RESULTS),
+            "checkpoint_every": 100,
+            "min_batch_speedup": MIN_BATCH_SPEEDUP,
+        },
+    )
+    # The artifact must carry a live pipeline end to end: sweep gauges,
+    # run counters and protocol events (dead keys were a bug).
+    assert snapshot["gauges"], "sweep gauges missing from snapshot"
+    assert snapshot["counters"], "instrumented run produced no counters"
+    assert snapshot["events"]["total"] > 0, "event bus captured nothing"
+    write_snapshot(SNAPSHOT_PATH, snapshot)
+
+    # Acceptance gate: at 1024 sources the batch engine is >=5x cheaper
+    # per reading than running 1024 scalar filter pairs.
+    assert speedups[1024] >= MIN_BATCH_SPEEDUP, speedups

@@ -1,0 +1,101 @@
+"""Micro-benchmark: memoised multi-step prediction (`predict_k`).
+
+The server consults ``H phi^steps x`` whenever it evaluates whether a δ
+bound will still hold ``steps`` ticks out (staleness scoring, forecast
+answers, DRS planning).  ``predict_k`` jumps there through the
+``phi_power`` cache in one multiply; the naive alternatives re-walk the
+horizon (``forecast``) or re-exponentiate the transition matrix every
+call.  This bench times all three at a typical planning horizon and
+asserts the memoised form wins by at least 2x.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once, show
+from repro.filters.kalman import phi_power
+from repro.filters.models import linear_model
+
+HORIZON = 32
+CALLS = 2000
+
+
+def _primed_filter():
+    model = linear_model(dims=2, dt=0.1)
+    kf = model.build_filter(np.zeros(2))
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        kf.predict()
+        kf.update(rng.normal(size=2))
+    return kf
+
+
+def test_bench_predict_k_memoized(benchmark):
+    """One cached endpoint prediction at the planning horizon."""
+    kf = _primed_filter()
+    kf.predict_k(HORIZON)  # warm the phi_power cache
+    benchmark(kf.predict_k, HORIZON)
+
+
+def test_bench_predict_k_vs_naive(benchmark):
+    """Memoised endpoint vs looped horizon vs per-call matrix_power."""
+    kf = _primed_filter()
+    phi = np.asarray(kf.phi_at(0), dtype=float)
+    h = kf.h_at(0)
+    kf.predict_k(HORIZON)  # warm the cache
+
+    def timed(fn):
+        t0 = time.perf_counter()
+        for _ in range(CALLS):
+            fn()
+        return (time.perf_counter() - t0) / CALLS * 1e6
+
+    def naive_power():
+        return h @ np.linalg.matrix_power(phi, HORIZON) @ kf.x
+
+    def looped():
+        return kf.forecast(HORIZON)[-1]
+
+    def measure():
+        return {
+            "memoized_us": timed(lambda: kf.predict_k(HORIZON)),
+            "looped_us": timed(looped),
+            "matrix_power_us": timed(naive_power),
+        }
+
+    out = run_once(benchmark, measure)
+    np.testing.assert_allclose(
+        kf.predict_k(HORIZON), naive_power(), atol=1e-9, rtol=0
+    )
+    np.testing.assert_allclose(
+        kf.predict_k(HORIZON), looped(), atol=1e-9, rtol=0
+    )
+    speedup_loop = out["looped_us"] / out["memoized_us"]
+    speedup_power = out["matrix_power_us"] / out["memoized_us"]
+    show(
+        f"predict_k horizon={HORIZON} ({CALLS} calls each)",
+        "\n".join(
+            [
+                f"memoized     {out['memoized_us']:8.2f} us/call",
+                f"loop horizon {out['looped_us']:8.2f} us/call"
+                f"  ({speedup_loop:.1f}x slower)",
+                f"matrix_power {out['matrix_power_us']:8.2f} us/call"
+                f"  ({speedup_power:.1f}x slower)",
+            ]
+        ),
+    )
+    assert speedup_loop >= 2.0, out
+    assert speedup_power >= 2.0, out
+
+
+def test_bench_phi_power_sweep(benchmark):
+    """A 1..K horizon sweep costs K multiplies total, not O(K^2)."""
+    phi = linear_model(dims=2, dt=0.05).phi
+
+    def sweep():
+        for k in range(1, HORIZON + 1):
+            phi_power(phi, k)
+
+    sweep()  # warm: later rounds hit the cache at every k
+    benchmark(sweep)

@@ -15,6 +15,9 @@ writing code::
     python -m repro obs snap.json --check  # schema validation only
     python -m repro chaos                  # seeded kill-and-recover drill
     python -m repro chaos --out chaos-out --max-recovery-ticks 50
+    python -m repro chaos --batch          # same drill on the batch engine
+    python -m repro scale                  # scalar vs batch engine race
+    python -m repro scale --sources 64 1024 --min-speedup 5
 """
 
 from __future__ import annotations
@@ -169,6 +172,47 @@ def build_parser() -> argparse.ArgumentParser:
         default="chaos-out",
         help="artifact directory (checkpoint + WAL + snapshot + report)",
     )
+    chaos.add_argument(
+        "--batch",
+        action="store_true",
+        help="run the drill on the vectorized BatchStreamEngine (its "
+        "synchronous transport has no server inbox, so overload "
+        "shedding is skipped)",
+    )
+
+    scale = sub.add_parser(
+        "scale",
+        help="race the vectorized batch engine against the scalar engine "
+        "over growing source counts",
+    )
+    scale.add_argument(
+        "--sources",
+        type=int,
+        nargs="+",
+        default=[64, 256, 1024],
+        help="source counts to sweep (default: 64 256 1024)",
+    )
+    scale.add_argument(
+        "--ticks", type=int, default=300, help="ticks per source"
+    )
+    scale.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="batch-engine worker processes (0 = inline)",
+    )
+    scale.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="exit 1 unless the batch engine beats the scalar engine by "
+        "this factor at the largest sweep point",
+    )
+    scale.add_argument(
+        "--out",
+        default=None,
+        help="write the sweep as a repro.obs/v1 snapshot JSON here",
+    )
     return parser
 
 
@@ -308,17 +352,33 @@ def _run_chaos(args: argparse.Namespace) -> int:
     priorities = {"hi": 2, "mid": 1, "lo": 0}
 
     telemetry = Telemetry()
-    engine = StreamEngine(
-        telemetry=telemetry,
-        resilience=ResilienceConfig(
-            checkpoint_dir=str(out / "checkpoint"),
-            checkpoint_every=args.checkpoint_every,
-            watchdog=WatchdogPolicy(),
-            restart=RestartPolicy(),
-            overload=OverloadPolicy(inbox_capacity=32, drain_per_tick=4,
-                                    cooldown_ticks=8),
-        ),
-    )
+    if args.batch:
+        from repro.scale.engine import BatchStreamEngine
+
+        # The batch transport applies deliveries synchronously -- there
+        # is no server inbox to shed from, so the drill runs without the
+        # overload policy.
+        engine = BatchStreamEngine(
+            telemetry=telemetry,
+            resilience=ResilienceConfig(
+                checkpoint_dir=str(out / "checkpoint"),
+                checkpoint_every=args.checkpoint_every,
+                watchdog=WatchdogPolicy(),
+                restart=RestartPolicy(),
+            ),
+        )
+    else:
+        engine = StreamEngine(
+            telemetry=telemetry,
+            resilience=ResilienceConfig(
+                checkpoint_dir=str(out / "checkpoint"),
+                checkpoint_every=args.checkpoint_every,
+                watchdog=WatchdogPolicy(),
+                restart=RestartPolicy(),
+                overload=OverloadPolicy(inbox_capacity=32, drain_per_tick=4,
+                                        cooldown_ticks=8),
+            ),
+        )
     for source_id in ("hi", "mid", "lo"):
         engine.add_source(
             source_id,
@@ -432,6 +492,107 @@ def _run_chaos(args: argparse.Namespace) -> int:
     return 0 if verdict == "ok" else 1
 
 
+def _run_scale(args: argparse.Namespace) -> int:
+    """Race the scalar engine against the batch engine, gate on speedup."""
+    import time
+
+    import numpy as np
+
+    from repro.dsms.engine import StreamEngine
+    from repro.dsms.query import ContinuousQuery
+    from repro.scale.engine import BatchStreamEngine
+    from repro.streams.base import stream_from_values
+
+    counts = sorted(set(args.sources))
+    if any(n < 1 for n in counts):
+        raise ConfigurationError("source counts must be positive")
+    if args.ticks < 1:
+        raise ConfigurationError("ticks must be positive")
+
+    def run(cls, n, **kw):
+        rng = np.random.default_rng(42)
+        engine = cls(**kw)
+        model = linear_model(dims=1, dt=1.0)
+        for i in range(n):
+            values = np.cumsum(rng.normal(0.0, 1.0, size=args.ticks))
+            engine.add_source(
+                f"s{i}", model, stream_from_values(values, name=f"s{i}")
+            )
+            engine.submit_query(
+                ContinuousQuery(f"s{i}", delta=2.0, query_id=f"q{i}")
+            )
+        start = time.perf_counter()
+        engine.run()
+        elapsed = time.perf_counter() - start
+        return elapsed, engine.report()
+
+    results = []
+    for n in counts:
+        scalar_s, scalar_report = run(StreamEngine, n)
+        batch_s, batch_report = run(
+            BatchStreamEngine, n, workers=args.workers
+        )
+        if batch_report.updates_sent != scalar_report.updates_sent:
+            print(
+                f"error: at {n} sources the batch engine sent "
+                f"{batch_report.updates_sent} updates but the scalar "
+                f"engine sent {scalar_report.updates_sent}",
+                file=sys.stderr,
+            )
+            return 1
+        results.append((n, scalar_s, batch_s, scalar_s / batch_s))
+        n_, ss, bs, sp = results[-1]
+        print(
+            f"{n_:6d} sources: scalar {ss * 1e3:9.1f} ms  "
+            f"batch {bs * 1e3:8.1f} ms  "
+            f"({bs / (n_ * args.ticks) * 1e6:5.2f} us/reading)  "
+            f"speedup {sp:5.1f}x"
+        )
+
+    if args.out:
+        from repro.obs import MetricsRegistry, build_snapshot, write_snapshot
+
+        registry = MetricsRegistry()
+        for n, scalar_s, batch_s, speedup in results:
+            for variant, seconds in (("scalar", scalar_s), ("batch", batch_s)):
+                labels = {"sources": str(n), "variant": variant}
+                registry.gauge("engine_run_seconds", labels).set(seconds)
+                registry.gauge("engine_us_per_reading", labels).set(
+                    seconds / (n * args.ticks) * 1e6
+                )
+            registry.gauge("batch_speedup_x", {"sources": str(n)}).set(
+                speedup
+            )
+        write_snapshot(
+            args.out,
+            build_snapshot(
+                registry,
+                meta={
+                    "bench": "cli_scale",
+                    "ticks_per_source": args.ticks,
+                    "source_counts": counts,
+                    "workers": args.workers,
+                    "min_speedup": args.min_speedup,
+                },
+            ),
+        )
+        print(f"wrote snapshot to {args.out}")
+
+    largest, _, _, speedup = results[-1]
+    if speedup < args.min_speedup:
+        print(
+            f"FAIL: batch speedup {speedup:.1f}x at {largest} sources is "
+            f"below the {args.min_speedup:.1f}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok: batch speedup {speedup:.1f}x at {largest} sources "
+        f"(floor {args.min_speedup:.1f}x)"
+    )
+    return 0
+
+
 def _run_obs(args: argparse.Namespace) -> int:
     from repro.obs import load_snapshot, render_dashboard, validate_snapshot
 
@@ -461,6 +622,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_obs(args)
         if args.command == "chaos":
             return _run_chaos(args)
+        if args.command == "scale":
+            return _run_scale(args)
         return _run_compare(args)
     except (ConfigurationError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

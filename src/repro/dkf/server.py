@@ -488,6 +488,20 @@ class DKFServer:
             )
         return state.filter.forecast(steps)
 
+    def predict_k(self, source_id: str, steps: int) -> np.ndarray:
+        """Measurement prediction ``steps`` instants ahead (endpoint only).
+
+        The cheap form of :meth:`forecast` for δ checks: constant-model
+        filters jump straight to ``H phi^steps x`` through the memoised
+        power cache instead of looping the whole horizon.
+        """
+        state = self._state(source_id)
+        if state.filter is None:
+            raise UnknownSourceError(
+                f"source {source_id!r} has not delivered its priming update"
+            )
+        return state.filter.predict_k(steps)
+
     def stats(self, source_id: str) -> dict[str, int | bool]:
         """Per-source protocol counters (for the engine's reporting)."""
         state = self._state(source_id)

@@ -311,6 +311,22 @@ class FaultSchedule:
             for c in self._crashes
         )
 
+    def crash_sources(self) -> set[str]:
+        """Source ids with a crash/restart fault scheduled.
+
+        The batch engine consults crash state per tick only for these
+        rows, so a mostly-healthy shard pays no per-row Python cost.
+        """
+        return {c.source_id for c in self._crashes}
+
+    def sensor_sources(self) -> set[str]:
+        """Source ids with at least one sensor fault scheduled.
+
+        Rows outside this set skip the per-reading :meth:`transform`
+        call entirely on the batch engine's bulk read path.
+        """
+        return {f.source_id for f in self._sensor_faults}
+
     def transform(
         self, source_id: str, tick: int, record: StreamRecord
     ) -> StreamRecord:

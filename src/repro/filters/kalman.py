@@ -42,7 +42,58 @@ from repro.errors import (
 
 MatrixLike = np.ndarray | Callable[[int], np.ndarray]
 
-__all__ = ["KalmanFilter", "KalmanStep", "resolve_matrix", "check_covariance"]
+__all__ = [
+    "KalmanFilter",
+    "KalmanStep",
+    "resolve_matrix",
+    "check_covariance",
+    "phi_power",
+]
+
+#: Memoised transition-matrix powers keyed by ``(phi bytes, shape, k)``.
+#: The server-side multi-step prediction (``predict_k``, the vector bank's
+#: ``forecast_k``) asks for the same ``F^k`` for every stream sharing a
+#: model, so recomputing the power per call is pure waste on the hot path.
+_PHI_POWER_CACHE: dict[tuple[bytes, tuple[int, ...], int], np.ndarray] = {}
+#: Cache ceiling: distinct (model, horizon) pairs are few in practice, but
+#: a runaway sweep must not grow the cache without bound.
+_PHI_POWER_CACHE_MAX = 512
+
+
+def phi_power(phi: np.ndarray, k: int) -> np.ndarray:
+    """Memoised ``phi ** k`` (matrix power) for a constant transition matrix.
+
+    The cache is keyed by the matrix bytes and the exponent, so every
+    filter (and every stream in a vectorised bank) sharing a model reuses
+    one computation.  Powers are built incrementally from the largest
+    cached power of the same matrix, so a sweep over horizons 1..K costs
+    K multiplications total instead of O(K^2).
+    """
+    if k < 0:
+        raise ConfigurationError("matrix power exponent must be non-negative")
+    phi = np.asarray(phi, dtype=float)
+    if k == 0:
+        return np.eye(phi.shape[0])
+    if k == 1:
+        return phi
+    key = (phi.tobytes(), phi.shape, k)
+    cached = _PHI_POWER_CACHE.get(key)
+    if cached is not None:
+        return cached
+    # Build up from the largest smaller cached power (usually k-1).
+    best_k, best = 1, phi
+    for exponent in range(k - 1, 1, -1):
+        hit = _PHI_POWER_CACHE.get((key[0], key[1], exponent))
+        if hit is not None:
+            best_k, best = exponent, hit
+            break
+    result = best
+    for _ in range(k - best_k):
+        result = result @ phi
+    if len(_PHI_POWER_CACHE) >= _PHI_POWER_CACHE_MAX:
+        _PHI_POWER_CACHE.clear()
+    _PHI_POWER_CACHE[key] = result
+    return result
 
 
 def resolve_matrix(m: MatrixLike, k: int) -> np.ndarray:
@@ -374,6 +425,36 @@ class KalmanFilter:
             x = resolve_matrix(self._phi, k_idx) @ x
             out[i] = resolve_matrix(self._h, k_idx) @ x
         return out
+
+    def predict_k(self, steps: int) -> np.ndarray:
+        """Measurement prediction ``steps`` cycles ahead, without mutation.
+
+        Unlike :meth:`forecast` (which returns the whole horizon and always
+        loops), this returns only the endpoint ``H phi^steps x`` and, for
+        constant transition matrices, jumps there in a single multiply
+        using the memoised :func:`phi_power` cache -- the shape the server
+        hot path wants when checking whether a source's δ bound will hold
+        ``steps`` ticks out.
+
+        Time-varying models cannot reuse powers (``phi_k`` differs per
+        step) and fall back to the per-step loop.
+
+        Returns:
+            Predicted measurement of shape ``(m,)`` at ``k + steps - 1``
+            (``steps=0`` returns the current predicted measurement).
+        """
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        if steps == 0:
+            return self.predict_measurement()
+        if callable(self._phi):
+            x = self._x.copy()
+            for i in range(steps):
+                x = resolve_matrix(self._phi, self._k + i) @ x
+        else:
+            x = phi_power(np.asarray(self._phi, dtype=float), steps) @ self._x
+        h = resolve_matrix(self._h, self._k + steps - 1)
+        return h @ x
 
     def innovation_covariance(self) -> np.ndarray:
         """Innovation covariance ``S = H P H^T + R`` at the current step."""

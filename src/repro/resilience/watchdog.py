@@ -229,6 +229,21 @@ class DivergenceWatchdog:
         self.register(source_id)
         state = self._streams[source_id]
         faults = self._faults(state, view)
+        return self.apply_faults(source_id, tick, faults)
+
+    def apply_faults(
+        self, source_id: str, tick: int, faults: list[str]
+    ) -> str | None:
+        """Walk the escalation ladder for an externally scored battery.
+
+        :meth:`check` computes the battery from a per-stream health view
+        and delegates here; the vectorized bank engine computes the same
+        battery for a whole shard in a few array reductions and feeds the
+        per-row fault lists straight in.  Semantics (hysteresis, grace,
+        rung order, telemetry) are identical either way.
+        """
+        self.register(source_id)
+        state = self._streams[source_id]
 
         if not faults:
             state.healthy_streak += 1

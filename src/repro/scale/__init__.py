@@ -1,0 +1,23 @@
+"""Vectorized filter-bank scale layer.
+
+Stacks N homogeneous DKF stream pairs into batched numpy state
+(:class:`~repro.scale.vector_bank.VectorKalmanBank`), partitions them
+into shards by model signature (:class:`~repro.scale.shard.ShardRouter`)
+and drives everything through a scalar-API-compatible engine
+(:class:`~repro.scale.engine.BatchStreamEngine`).  See docs/SCALING.md.
+"""
+
+from repro.scale.engine import BatchStreamEngine
+from repro.scale.pool import WorkerPool
+from repro.scale.shard import ShardRouter, ShardRuntime, model_signature
+from repro.scale.vector_bank import VectorKalmanBank, require_static_model
+
+__all__ = [
+    "BatchStreamEngine",
+    "WorkerPool",
+    "ShardRouter",
+    "ShardRuntime",
+    "model_signature",
+    "VectorKalmanBank",
+    "require_static_model",
+]

@@ -1,0 +1,73 @@
+"""Worker pool: step independent shards in parallel processes.
+
+Shards are self-contained -- each owns its rows' streams, filter banks
+and transport state, and a clean (fault-free, lossless, resilience-off)
+run exchanges nothing between shards.  That makes the tick loop
+embarrassingly parallel at shard granularity: ship each shard to a
+worker, step it ``steps`` times, ship it back.
+
+Determinism contract: a shard's trajectory depends only on its initial
+state and the tick range, never on scheduling.  ``Pool.map`` preserves
+input order, so the pooled result list is positionally identical to the
+inline one and every counter, estimate and answer is bit-equal
+regardless of worker count.  (The property test in
+``tests/scale/test_pool.py`` pins inline == pooled.)
+
+The pool prefers ``fork`` (cheap, inherits the parent's loaded numpy)
+and falls back to ``spawn`` where fork is unavailable.  If dispatch
+fails entirely -- unpicklable model initializer, restricted sandbox --
+the shards are stepped inline; with fork the parent's objects were
+never mutated by a worker, so the fallback is always safe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from repro.scale.shard import ShardRuntime
+
+__all__ = ["WorkerPool", "run_shard"]
+
+
+def run_shard(payload: tuple[ShardRuntime, int, int]) -> ShardRuntime:
+    """Step one shard ``steps`` ticks from tick ``t0`` (worker entry).
+
+    Module-level so it pickles under both fork and spawn start methods.
+    Acks flush once per step, matching the engine's inline loop.
+    """
+    shard, t0, steps = payload
+    for i in range(steps):
+        shard.step(t0 + i)
+        shard.flush_acks()
+    return shard
+
+
+class WorkerPool:
+    """Map shards over worker processes (or inline when ``workers<=1``)."""
+
+    def __init__(self, workers: int = 0) -> None:
+        self.workers = max(0, int(workers))
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this pool would actually spawn processes."""
+        return self.workers > 1
+
+    def run(
+        self, shards: list[ShardRuntime], t0: int, steps: int
+    ) -> list[ShardRuntime]:
+        """Advance every shard ``steps`` ticks; returns them in order."""
+        payloads = [(shard, t0, steps) for shard in shards]
+        if not self.parallel or len(shards) < 2:
+            return [run_shard(p) for p in payloads]
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            ctx = multiprocessing.get_context("spawn")
+        try:
+            with ctx.Pool(min(self.workers, len(shards))) as pool:
+                return pool.map(run_shard, payloads)
+        except Exception:
+            # Dispatch failed (pickling, sandbox limits). The parent's
+            # shard objects are untouched, so stepping inline is safe.
+            return [run_shard(p) for p in payloads]

@@ -1,0 +1,139 @@
+"""Multi-step endpoint prediction (`predict_k`) and the `phi_power` cache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.filters.kalman import (
+    _PHI_POWER_CACHE,
+    phi_power,
+)
+from repro.filters.models import linear_model, sinusoidal_model
+
+
+def _primed_filter(model=None, seed=0, warm=20):
+    model = model or linear_model(dims=2, dt=0.5)
+    rng = np.random.default_rng(seed)
+    kf = model.build_filter(rng.normal(size=model.measurement_dim))
+    for _ in range(warm):
+        kf.predict()
+        kf.update(rng.normal(0.0, 2.0, size=model.measurement_dim))
+    return kf
+
+
+def test_phi_power_matches_matrix_power():
+    phi = linear_model(dims=2, dt=0.3).phi
+    for k in range(0, 20):
+        np.testing.assert_allclose(
+            phi_power(phi, k),
+            np.linalg.matrix_power(phi, k),
+            atol=1e-12,
+            rtol=0,
+        )
+
+
+def test_phi_power_identity_and_base_cases():
+    phi = np.array([[1.0, 2.0], [0.0, 1.0]])
+    np.testing.assert_array_equal(phi_power(phi, 0), np.eye(2))
+    assert phi_power(phi, 1) is phi or (phi_power(phi, 1) == phi).all()
+    with pytest.raises(ConfigurationError):
+        phi_power(phi, -1)
+
+
+def test_phi_power_caches_per_matrix_and_exponent():
+    phi = np.array([[1.0, 0.125], [0.0, 1.0]])  # unlikely to collide
+    key = (phi.tobytes(), phi.shape, 7)
+    _PHI_POWER_CACHE.pop(key, None)
+    first = phi_power(phi, 7)
+    assert _PHI_POWER_CACHE.get(key) is first  # stored
+    assert phi_power(phi, 7) is first  # served from cache
+
+
+def test_phi_power_builds_incrementally():
+    """Power k reuses the cached k-1 (one extra multiply, same values)."""
+    phi = np.array([[1.0, 0.0625], [0.0, 1.0]])
+    for k in range(2, 40):
+        np.testing.assert_allclose(
+            phi_power(phi, k),
+            np.linalg.matrix_power(phi, k),
+            atol=1e-9,
+            rtol=0,
+        )
+
+
+def test_predict_k_zero_is_predict_measurement():
+    kf = _primed_filter()
+    np.testing.assert_array_equal(kf.predict_k(0), kf.predict_measurement())
+
+
+def test_predict_k_matches_forecast_endpoint():
+    kf = _primed_filter()
+    for steps in (1, 3, 10, 32):
+        horizon = kf.forecast(steps)
+        np.testing.assert_allclose(
+            kf.predict_k(steps), horizon[-1], atol=1e-9, rtol=0
+        )
+
+
+def test_predict_k_does_not_mutate_filter():
+    kf = _primed_filter()
+    x, p, k = kf.x, kf.p, kf.k
+    kf.predict_k(16)
+    np.testing.assert_array_equal(kf.x, x)
+    np.testing.assert_array_equal(kf.p, p)
+    assert kf.k == k
+
+
+def test_predict_k_negative_steps_rejected():
+    kf = _primed_filter()
+    with pytest.raises(ValueError):
+        kf.predict_k(-1)
+
+
+def test_predict_k_time_varying_falls_back_to_loop():
+    model = sinusoidal_model(omega=0.2, theta=0.1)
+    rng = np.random.default_rng(4)
+    kf = model.build_filter(rng.normal(size=model.measurement_dim))
+    for _ in range(10):
+        kf.predict()
+        kf.update(rng.normal(size=model.measurement_dim))
+    for steps in (1, 5, 12):
+        np.testing.assert_allclose(
+            kf.predict_k(steps), kf.forecast(steps)[-1], atol=1e-9, rtol=0
+        )
+
+
+def test_server_predict_k_endpoint():
+    """The DKF server exposes the memoised endpoint form."""
+    from repro.dkf.config import DKFConfig
+    from repro.dkf.server import DKFServer
+    from repro.dkf.source import DKFSource
+    from repro.errors import UnknownSourceError
+    from repro.streams.base import StreamRecord
+
+    model = linear_model(dims=1)
+    config = DKFConfig(model=model, delta=1.0)
+    server = DKFServer()
+    server.register("s0", config)
+    with pytest.raises(UnknownSourceError):
+        server.predict_k("s0", 3)
+    source = DKFSource("s0", config)
+    rng = np.random.default_rng(8)
+    vals = np.cumsum(rng.normal(0.3, 1.0, 30))
+    for k, v in enumerate(vals):
+        server.advance_clock(k)
+        if server.is_primed("s0"):
+            server.tick("s0", k)
+        step = source.sample(
+            StreamRecord(k=k, timestamp=float(k), value=np.atleast_1d(v))
+        )
+        if step.message is not None:
+            server.receive(step.message)
+    np.testing.assert_allclose(
+        server.predict_k("s0", 6), server.forecast("s0", 6)[-1],
+        atol=1e-9, rtol=0,
+    )
+    state_filter = server._state("s0").filter
+    np.testing.assert_array_equal(
+        server.predict_k("s0", 0), state_filter.predict_measurement()
+    )

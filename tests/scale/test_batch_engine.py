@@ -1,0 +1,278 @@
+"""BatchStreamEngine vs StreamEngine: report equality on clean runs.
+
+The batch engine must be a drop-in for the scalar engine on every
+supported workload.  These tests run both engines over the same seeded
+64-source corpus and require identical reports, identical per-source
+server stats, identical transmission ledgers and answers within 1e-9 --
+the PR's acceptance bar.  The remaining tests pin the deliberate API
+differences: features the synchronous batch transport cannot honour
+raise :class:`ConfigurationError` with guidance instead of silently
+degrading.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dkf.config import DKFConfig, TransportPolicy
+from repro.dsms.engine import StreamEngine
+from repro.dsms.network import LinkConfig
+from repro.dsms.query import ContinuousQuery
+from repro.errors import ConfigurationError
+from repro.filters.models import linear_model, sinusoidal_model
+from repro.resilience.config import OverloadPolicy, ResilienceConfig
+from repro.scale.engine import BatchStreamEngine
+from repro.streams.base import stream_from_values
+
+N_SOURCES = 64
+TICKS = 200
+
+
+def _corpus(n=N_SOURCES, ticks=TICKS, seed=42):
+    rng = np.random.default_rng(seed)
+    return {
+        f"s{i:03d}": np.cumsum(rng.normal(0.1 * (i % 5 - 2), 1.0, ticks))
+        for i in range(n)
+    }
+
+
+def _build(cls, corpus, delta=1.5, **kw):
+    model = linear_model(dims=1)
+    eng = cls(**kw)
+    for sid, vals in corpus.items():
+        eng.add_source(sid, model, stream_from_values(vals, name=sid))
+    for sid in corpus:
+        eng.submit_query(
+            ContinuousQuery(source_id=sid, delta=delta, query_id=f"q-{sid}")
+        )
+    return eng
+
+
+@pytest.fixture(scope="module")
+def engines():
+    corpus = _corpus()
+    scalar = _build(StreamEngine, corpus)
+    batch = _build(BatchStreamEngine, corpus)
+    executed = (scalar.run(), batch.run())
+    return scalar, batch, executed
+
+
+def test_run_accounting_matches(engines):
+    scalar, batch, (ea, eb) = engines
+    assert ea == eb
+    assert scalar.ticks == batch.ticks
+
+
+def test_reports_identical(engines):
+    scalar, batch, _ = engines
+    ra, rb = scalar.report().to_dict(), batch.report().to_dict()
+    energy_a = ra.pop("per_source_energy")
+    energy_b = rb.pop("per_source_energy")
+    assert ra == rb
+    assert energy_a == energy_b
+    assert rb["updates_sent"] > 0
+    assert rb["updates_sent"] < rb["readings"]  # δ suppression is active
+
+
+def test_server_stats_identical(engines):
+    scalar, batch, _ = engines
+    for sid in _corpus():
+        assert scalar.server.stats(sid) == batch.stats(sid)
+
+
+def test_answers_within_tolerance(engines):
+    scalar, batch, _ = engines
+    ans_a = {a.query_id: a for a in scalar.answers()}
+    ans_b = {a.query_id: a for a in batch.answers()}
+    assert set(ans_a) == set(ans_b) and len(ans_a) == N_SOURCES
+    for qid, a in ans_a.items():
+        b = ans_b[qid]
+        delta = np.abs(np.array(a.value) - np.array(b.value)).max()
+        assert delta <= 1e-9
+        assert abs(a.confidence - b.confidence) <= 1e-9
+        for field in (
+            "source_id",
+            "k",
+            "precision",
+            "staleness_ticks",
+            "degraded",
+            "quarantined",
+        ):
+            assert getattr(a, field) == getattr(b, field), (qid, field)
+
+
+def test_value_and_forecast_match_server(engines):
+    scalar, batch, _ = engines
+    for sid in list(_corpus())[:8]:
+        np.testing.assert_allclose(
+            batch.value(sid), scalar.server.value(sid), atol=1e-9, rtol=0
+        )
+        np.testing.assert_allclose(
+            batch.forecast(sid, 5),
+            scalar.server.forecast(sid, 5),
+            atol=1e-9,
+            rtol=0,
+        )
+        assert abs(
+            batch.confidence(sid) - scalar.server.confidence(sid)
+        ) <= 1e-9
+
+
+def test_transport_policy_parity():
+    """Non-default ack timeouts route rows down the slow path; results hold."""
+    corpus = _corpus(n=8, ticks=120, seed=3)
+    model = linear_model(dims=1)
+
+    def build(cls):
+        eng = cls()
+        for sid, vals in corpus.items():
+            eng.add_source(
+                sid,
+                model,
+                stream_from_values(vals, name=sid),
+                transport=TransportPolicy(ack_timeout_ticks=4),
+            )
+            eng.submit_query(
+                ContinuousQuery(source_id=sid, delta=1.0, query_id=f"q-{sid}")
+            )
+        return eng
+
+    a, b = build(StreamEngine), build(BatchStreamEngine)
+    a.run()
+    b.run()
+    assert a.report().to_dict() == b.report().to_dict()
+    for sid in corpus:
+        assert a.server.stats(sid) == b.stats(sid)
+
+
+def test_retire_and_resubmit_parity():
+    corpus = _corpus(n=4, ticks=150, seed=9)
+    model = linear_model(dims=1)
+
+    def drive(cls):
+        eng = _build(cls, corpus, delta=1.0)
+        for _ in range(50):
+            eng.step()
+        eng.retire_query("q-s001")
+        for _ in range(40):
+            eng.step()
+        eng.submit_query(
+            ContinuousQuery(source_id="s001", delta=1.0, query_id="q2-s001")
+        )
+        eng.run()
+        return eng
+
+    a, b = drive(StreamEngine), drive(BatchStreamEngine)
+    assert a.report().to_dict() == b.report().to_dict()
+    ans_a = {x.query_id: x for x in a.answers()}
+    ans_b = {x.query_id: x for x in b.answers()}
+    assert set(ans_a) == set(ans_b)
+    for qid in ans_a:
+        np.testing.assert_allclose(
+            np.array(ans_a[qid].value),
+            np.array(ans_b[qid].value),
+            atol=1e-9,
+            rtol=0,
+        )
+
+
+def test_sharding_by_model_signature():
+    eng = BatchStreamEngine()
+    m1 = linear_model(dims=1)
+    m2 = linear_model(dims=2)
+    rng = np.random.default_rng(0)
+    for i in range(4):
+        sid = f"a{i}"
+        eng.add_source(sid, m1, stream_from_values(rng.normal(size=50), name=sid))
+        eng.submit_query(ContinuousQuery(source_id=sid, delta=1.0))
+    for i in range(3):
+        sid = f"b{i}"
+        eng.add_source(sid, m2, stream_from_values(rng.normal(size=(50, 2)), name=sid))
+        eng.submit_query(ContinuousQuery(source_id=sid, delta=1.0))
+    assert len(eng.shards) == 2
+    assert sorted(len(s.ids) for s in eng.shards) == [3, 4]
+    eng.run()
+    report = eng.report()
+    assert report.readings == 4 * 50 + 3 * 50
+
+
+# ----------------------------------------------------------------------
+# Deliberate API differences: loud errors, not silent degradation
+# ----------------------------------------------------------------------
+
+
+def _one_source_engine(**kw):
+    eng = BatchStreamEngine(**kw)
+    eng.add_source(
+        "s0", linear_model(dims=1), stream_from_values(np.zeros(10), name="s0")
+    )
+    return eng
+
+
+def test_rejects_latent_links():
+    eng = BatchStreamEngine()
+    with pytest.raises(ConfigurationError, match="synchronous"):
+        eng.add_source(
+            "s0",
+            linear_model(dims=1),
+            stream_from_values(np.zeros(10), name="s0"),
+            link=LinkConfig(latency_ticks=2),
+        )
+
+
+def test_rejects_time_varying_models():
+    eng = BatchStreamEngine()
+    eng.add_source(
+        "s0",
+        sinusoidal_model(omega=0.2, theta=0.0),
+        stream_from_values(np.zeros(10), name="s0"),
+    )
+    with pytest.raises(ConfigurationError, match="time-varying"):
+        eng.submit_query(ContinuousQuery(source_id="s0", delta=1.0))
+
+
+def test_rejects_smoothing_queries():
+    eng = _one_source_engine()
+    with pytest.raises(ConfigurationError, match="smoothing"):
+        eng.submit_query(
+            ContinuousQuery(source_id="s0", delta=1.0, smoothing_f=0.5)
+        )
+
+
+def test_rejects_scalar_only_config_flags():
+    model = linear_model(dims=1)
+    with pytest.raises(ConfigurationError, match="mirror"):
+        BatchStreamEngine._validate_config(
+            DKFConfig(model=model, delta=1.0, check_mirror=True)
+        )
+    with pytest.raises(ConfigurationError, match="outlier"):
+        BatchStreamEngine._validate_config(
+            DKFConfig(model=model, delta=1.0, outlier_gate_factor=4.0)
+        )
+
+
+def test_rejects_overload_policy():
+    res = ResilienceConfig(
+        overload=OverloadPolicy(
+            inbox_capacity=32, drain_per_tick=4, cooldown_ticks=8
+        )
+    )
+    with pytest.raises(ConfigurationError, match="overload"):
+        BatchStreamEngine(resilience=res)
+
+
+def test_scalar_object_accessors_raise_with_guidance():
+    eng = _one_source_engine()
+    for attr in ("server", "fabric", "sources"):
+        with pytest.raises(ConfigurationError):
+            getattr(eng, attr)
+
+
+def test_scale_report_shape():
+    corpus = _corpus(n=8, ticks=30, seed=1)
+    eng = _build(BatchStreamEngine, corpus)
+    eng.run()
+    rep = eng.scale_report()
+    assert sum(s["rows"] for s in rep["shards"]) == 8
+    assert len(rep["shards"]) >= 1
+    assert rep["rebalances"] == 0
+    assert rep["workers"] == 0

@@ -1,0 +1,114 @@
+"""Worker-pool determinism: pooled runs are bit-equal to inline runs.
+
+The contract (see ``repro.scale.pool``): a shard's trajectory depends
+only on its initial state and the tick range, so mapping shards over
+worker processes must change nothing observable -- not one counter, not
+one answer bit.
+"""
+
+import numpy as np
+
+from repro.dsms.query import ContinuousQuery
+from repro.filters.models import constant_model, linear_model
+from repro.scale.engine import BatchStreamEngine
+from repro.scale.pool import WorkerPool, run_shard
+from repro.streams.base import stream_from_values
+
+TICKS = 150
+
+
+def _build(workers=0):
+    """Two model signatures -> two shards, so the pool has real work."""
+    eng = BatchStreamEngine(workers=workers)
+    rng = np.random.default_rng(13)
+    m1, m2 = linear_model(dims=1), constant_model()
+    for i in range(6):
+        sid = f"lin{i}"
+        vals = np.cumsum(rng.normal(0.2, 1.0, TICKS))
+        eng.add_source(sid, m1, stream_from_values(vals, name=sid))
+        eng.submit_query(
+            ContinuousQuery(source_id=sid, delta=1.5, query_id=f"q-{sid}")
+        )
+    for i in range(6):
+        sid = f"con{i}"
+        vals = 5.0 + rng.normal(0.0, 0.5, TICKS)
+        eng.add_source(sid, m2, stream_from_values(vals, name=sid))
+        eng.submit_query(
+            ContinuousQuery(source_id=sid, delta=0.8, query_id=f"q-{sid}")
+        )
+    return eng
+
+
+def test_parallel_flag():
+    assert not WorkerPool(0).parallel
+    assert not WorkerPool(1).parallel
+    assert WorkerPool(2).parallel
+    assert WorkerPool(-3).workers == 0
+
+
+def test_pooled_run_matches_inline():
+    inline, pooled = _build(workers=0), _build(workers=2)
+    assert len(pooled.shards) == 2
+    ei, ep = inline.run(), pooled.run()
+    assert ei == ep
+    assert inline.ticks == pooled.ticks
+    assert inline.report().to_dict() == pooled.report().to_dict()
+    for sid in list(inline._where):
+        assert inline.stats(sid) == pooled.stats(sid)
+    ans_i = {a.query_id: a for a in inline.answers()}
+    ans_p = {a.query_id: a for a in pooled.answers()}
+    assert set(ans_i) == set(ans_p)
+    for qid, a in ans_i.items():
+        b = ans_p[qid]
+        np.testing.assert_array_equal(np.array(a.value), np.array(b.value))
+        assert a.confidence == b.confidence
+        assert a.k == b.k
+
+
+def test_pooled_run_respects_max_ticks():
+    inline, pooled = _build(workers=0), _build(workers=2)
+    assert inline.run(max_ticks=40) == pooled.run(max_ticks=40) == 40
+    assert inline.ticks == pooled.ticks == 40
+    assert inline.report().to_dict() == pooled.report().to_dict()
+    # Finish the runs; the tail must agree too.
+    assert inline.run() == pooled.run()
+    assert inline.report().to_dict() == pooled.report().to_dict()
+
+
+def test_run_shard_is_engine_step_loop():
+    """run_shard (the worker entry) replays the engine's inline loop."""
+    a, b = _build(), _build()
+    shard_a = a.shards[0]
+    shard_b = b.shards[0]
+    for t in range(30):
+        shard_a.step(t)
+        shard_a.flush_acks()
+    out = run_shard((shard_b, 0, 30))
+    assert out is shard_b
+    np.testing.assert_array_equal(shard_a.server.x, shard_b.server.x)
+    np.testing.assert_array_equal(shard_a.updates_sent, shard_b.updates_sent)
+    np.testing.assert_array_equal(shard_a.pos, shard_b.pos)
+
+
+def test_single_shard_runs_inline():
+    """<2 shards never pays process dispatch, whatever the worker count."""
+    pool = WorkerPool(workers=8)
+    eng = _build()
+    shard = eng.shards[0]
+    (out,) = pool.run([shard], 0, 10)
+    assert out is shard  # same object => inline path
+
+
+def test_pool_falls_back_inline_when_dispatch_fails(monkeypatch):
+    import multiprocessing
+
+    class RefusingContext:
+        def Pool(self, *args, **kwargs):
+            raise RuntimeError("dispatch refused")
+
+    monkeypatch.setattr(
+        multiprocessing, "get_context", lambda *a, **k: RefusingContext()
+    )
+    inline, pooled = _build(workers=0), _build(workers=2)
+    assert inline.run() == pooled.run()
+    assert inline.report().to_dict() == pooled.report().to_dict()

@@ -1,0 +1,196 @@
+"""Property tests: VectorKalmanBank rows == independent scalar filters.
+
+The bank's whole value proposition is that a row is bit-for-bit (well,
+ULP-for-ULP) the same filter as a scalar :class:`KalmanFilter`, just
+dispatched once per bank instead of once per stream.  The long-haul
+property test drives 32 rows and 32 scalar twins through 500 seeded
+ticks with a random masked update pattern -- every tick predicts all
+rows but corrects only a random subset, exactly the shape the δ
+suppression protocol produces -- and pins state, covariance and gain
+within 1e-10.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    NonFiniteMeasurementError,
+    NotPositiveDefiniteError,
+)
+from repro.filters.models import constant_model, linear_model, sinusoidal_model
+from repro.scale.vector_bank import VectorKalmanBank, require_static_model
+
+ROWS = 32
+TICKS = 500
+TOL = 1e-10
+
+
+def _scalar_gain(twin):
+    """K = P^- H^T S^-1 from the twin's current prior (static models)."""
+    h, r, p = twin.h_at(0), twin.r_at(0), twin.p
+    s = h @ p @ h.T + r
+    return np.linalg.solve(s.T, (p @ h.T).T).T
+
+
+def _bank_and_twins(model, rng, rows=ROWS):
+    bank = VectorKalmanBank(model)
+    twins = []
+    z0 = rng.normal(0.0, 5.0, size=(rows, model.measurement_dim))
+    for i in range(rows):
+        bank.add_row()
+        twins.append(model.build_filter(z0[i]))
+    bank.prime(np.arange(rows), z0)
+    return bank, twins
+
+
+def test_rejects_time_varying_models():
+    model = sinusoidal_model(omega=0.26, theta=0.0)
+    with pytest.raises(ConfigurationError):
+        require_static_model(model)
+    with pytest.raises(ConfigurationError):
+        VectorKalmanBank(model)
+
+
+def test_prime_matches_build_filter():
+    rng = np.random.default_rng(11)
+    model = linear_model(dims=2, dt=0.5)
+    bank, twins = _bank_and_twins(model, rng, rows=8)
+    for i, twin in enumerate(twins):
+        np.testing.assert_allclose(bank.x_row(i), twin.x, atol=0)
+        np.testing.assert_allclose(bank.p_row(i), twin.p, atol=0)
+        assert bank.k_row(i) == twin.k == 0
+
+
+@pytest.mark.parametrize(
+    "model",
+    [
+        constant_model(),
+        linear_model(dims=1, dt=1.0),
+        linear_model(dims=2, dt=0.1),
+    ],
+    ids=["constant", "linear-1d", "linear-2d"],
+)
+def test_masked_long_haul_parity(model):
+    """500 ticks, random masked updates: state/cov/gain within 1e-10."""
+    rng = np.random.default_rng(99)
+    bank, twins = _bank_and_twins(model, rng)
+    all_rows = np.arange(ROWS)
+    m = model.measurement_dim
+    for _ in range(TICKS):
+        bank.predict(all_rows)
+        for twin in twins:
+            twin.predict()
+        mask = rng.random(ROWS) < 0.4
+        rows = np.flatnonzero(mask)
+        if rows.size == 0:
+            continue
+        z = rng.normal(0.0, 3.0, size=(rows.size, m))
+        gains = bank.update(rows, z)
+        for j, i in enumerate(rows):
+            scalar_gain = _scalar_gain(twins[i])
+            twins[i].update(z[j])
+            np.testing.assert_allclose(
+                gains[j], scalar_gain, atol=TOL, rtol=0
+            )
+        for i in range(ROWS):
+            np.testing.assert_allclose(
+                bank.x_row(i), twins[i].x, atol=TOL, rtol=0
+            )
+            np.testing.assert_allclose(
+                bank.p_row(i), twins[i].p, atol=TOL, rtol=0
+            )
+    assert all(bank.k_row(i) == twins[i].k for i in range(ROWS))
+
+
+def test_set_state_resync_parity():
+    """Mid-run resync (set_state) keeps rows glued to their twins."""
+    rng = np.random.default_rng(5)
+    model = linear_model(dims=1)
+    bank, twins = _bank_and_twins(model, rng, rows=4)
+    rows = np.arange(4)
+    for tick in range(60):
+        bank.predict(rows)
+        for twin in twins:
+            twin.predict()
+        if tick == 30:
+            x_new = rng.normal(size=(4, model.state_dim))
+            p_new = np.stack([np.eye(model.state_dim) * 2.5] * 4)
+            bank.set_state(rows, x_new, p_new)
+            for i, twin in enumerate(twins):
+                twin.set_state(x_new[i], p_new[i])
+        z = rng.normal(0.0, 2.0, size=(4, model.measurement_dim))
+        bank.update(rows, z)
+        for i, twin in enumerate(twins):
+            twin.update(z[i])
+    for i, twin in enumerate(twins):
+        np.testing.assert_allclose(bank.x_row(i), twin.x, atol=TOL, rtol=0)
+        np.testing.assert_allclose(bank.p_row(i), twin.p, atol=TOL, rtol=0)
+
+
+def test_set_state_rejects_indefinite_covariance():
+    model = linear_model(dims=1)
+    bank = VectorKalmanBank(model)
+    bank.add_row()
+    bad_p = np.diag([1.0, -1.0])[None]
+    with pytest.raises(NotPositiveDefiniteError):
+        bank.set_state(np.array([0]), np.zeros((1, 2)), bad_p)
+
+
+def test_update_rejects_non_finite_measurements():
+    rng = np.random.default_rng(3)
+    model = linear_model(dims=1)
+    bank, _ = _bank_and_twins(model, rng, rows=2)
+    z = np.array([[1.0], [np.nan]])
+    with pytest.raises(NonFiniteMeasurementError):
+        bank.update(np.array([0, 1]), z)
+
+
+def test_forecast_k_matches_scalar_predict_k():
+    rng = np.random.default_rng(21)
+    model = linear_model(dims=2, dt=0.2)
+    bank, twins = _bank_and_twins(model, rng, rows=6)
+    rows = np.arange(6)
+    z = rng.normal(size=(6, model.measurement_dim))
+    bank.predict(rows)
+    bank.update(rows, z)
+    for twin, zi in zip(twins, z):
+        twin.predict()
+        twin.update(zi)
+    for steps in (0, 1, 7, 32):
+        fc = bank.forecast_k(rows, steps)
+        for i, twin in enumerate(twins):
+            np.testing.assert_allclose(
+                fc[i], twin.predict_k(steps), atol=TOL, rtol=0
+            )
+
+
+def test_export_import_round_trip():
+    rng = np.random.default_rng(17)
+    model = linear_model(dims=1)
+    bank, _ = _bank_and_twins(model, rng, rows=3)
+    rows = np.arange(3)
+    bank.predict(rows)
+    bank.update(rows, rng.normal(size=(3, 1)))
+    payload = bank.export_row(1)
+    other = VectorKalmanBank(model)
+    for _ in range(3):
+        other.add_row()
+    other.import_row(1, payload)
+    np.testing.assert_allclose(other.x_row(1), bank.x_row(1), atol=0)
+    np.testing.assert_allclose(other.p_row(1), bank.p_row(1), atol=0)
+    assert other.k_row(1) == bank.k_row(1)
+    assert other.export_row(0) is None  # unprimed rows export nothing
+
+
+def test_take_rows_preserves_state():
+    rng = np.random.default_rng(29)
+    model = linear_model(dims=1)
+    bank, _ = _bank_and_twins(model, rng, rows=6)
+    rows = np.arange(6)
+    bank.predict(rows)
+    bank.update(rows, rng.normal(size=(6, 1)))
+    half = bank.take_rows(np.array([1, 3, 5]))
+    for new_i, old in enumerate((1, 3, 5)):
+        np.testing.assert_allclose(half.x_row(new_i), bank.x_row(old), atol=0)
+        np.testing.assert_allclose(half.p_row(new_i), bank.p_row(old), atol=0)
