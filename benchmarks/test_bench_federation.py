@@ -1,0 +1,144 @@
+"""Federation bench: query latency and consensus error vs peer count.
+
+Sweeps a :class:`~repro.federation.FederatedCluster` over 1/3/5 peers on
+one seeded workload and records (a) the wall-clock cost of an
+``answers()`` sweep -- the paper's query path, now with per-answer
+consensus bookkeeping -- and (b) the consensus error bound replica banks
+advertise, which should stay a small multiple of the per-tick drift
+rather than growing with the fleet.
+
+Exports through the ``repro.obs/v1`` snapshot schema into
+``BENCH_federation.json`` at the repo root, same as the engine-scale
+bench.  The exporting run is instrumented with a live telemetry handle
+so the artifact carries real federation counters and events alongside
+the sweep gauges.
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import run_once, show
+from repro.dsms.query import ContinuousQuery
+from repro.federation import FederatedCluster, FederationConfig
+from repro.filters.models import constant_model
+from repro.obs import Telemetry, build_snapshot, write_snapshot
+from repro.streams.base import stream_from_values
+
+TICKS = 200
+STREAMS = 8
+PEER_SWEEP = (1, 3, 5)
+ANSWER_CALLS = 200
+
+#: Perf trajectory artifact (``repro.obs/v1`` snapshot) at the repo root.
+SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_federation.json"
+
+
+def _build_cluster(peers: int, telemetry=None) -> FederatedCluster:
+    rng = np.random.default_rng(42)
+    cluster = FederatedCluster(
+        FederationConfig(
+            peers=peers,
+            replication=min(1, peers - 1),
+            consensus_every=8,
+        ),
+        telemetry=telemetry,
+    )
+    for i in range(STREAMS):
+        values = np.cumsum(rng.normal(0.0, 0.4, size=TICKS))
+        cluster.add_source(
+            f"s{i}",
+            constant_model(q=0.2, r=1.0),
+            stream_from_values(values, name=f"s{i}"),
+        )
+        cluster.submit_query(
+            ContinuousQuery(f"s{i}", delta=1.0, query_id=f"q{i}")
+        )
+    return cluster
+
+
+def _sweep_point(peers: int) -> dict[str, float]:
+    cluster = _build_cluster(peers)
+    start = time.perf_counter()
+    cluster.run()
+    run_seconds = time.perf_counter() - start
+    cluster.settle()
+    start = time.perf_counter()
+    for _ in range(ANSWER_CALLS):
+        answers = cluster.answers()
+    answer_seconds = (time.perf_counter() - start) / ANSWER_CALLS
+    assert len(answers) == STREAMS
+    # The replica-side consensus bound: query every non-home holder.
+    replica_bounds = [
+        a.consensus_error
+        for pid in cluster.peers
+        for a in cluster.answers(pid)
+        if a.consensus_error > 0.0
+    ]
+    return {
+        "run_seconds": run_seconds,
+        "answer_us": answer_seconds * 1e6,
+        "max_consensus_error": max(replica_bounds, default=0.0),
+        "mean_consensus_error": (
+            float(np.mean(replica_bounds)) if replica_bounds else 0.0
+        ),
+    }
+
+
+def test_federation_scale(benchmark):
+    def sweep():
+        return {peers: _sweep_point(peers) for peers in PEER_SWEEP}
+
+    results = run_once(benchmark, sweep)
+    rows = []
+    for peers, point in results.items():
+        rows.append(
+            f"  {peers} peers: run {point['run_seconds'] * 1e3:8.1f} ms, "
+            f"answers() {point['answer_us']:7.1f} us/call, "
+            f"consensus err mean {point['mean_consensus_error']:.3f} "
+            f"max {point['max_consensus_error']:.3f}"
+        )
+    show("Federation: query latency and consensus error vs peers", "\n".join(rows))
+
+    # A fresh instrumented pass (3 peers) so the artifact carries live
+    # federation counters and events, not just sweep gauges.
+    telemetry = Telemetry()
+    cluster = _build_cluster(3, telemetry=telemetry)
+    cluster.run()
+    cluster.settle()
+    registry = telemetry.metrics
+    for peers, point in results.items():
+        labels = {"peers": str(peers)}
+        registry.gauge("fed_run_seconds", labels).set(point["run_seconds"])
+        registry.gauge("fed_answer_us", labels).set(point["answer_us"])
+        registry.gauge("fed_consensus_error_mean", labels).set(
+            point["mean_consensus_error"]
+        )
+        registry.gauge("fed_consensus_error_max", labels).set(
+            point["max_consensus_error"]
+        )
+    snapshot = build_snapshot(
+        telemetry,
+        meta={
+            "bench": "federation",
+            "ticks": TICKS,
+            "streams": STREAMS,
+            "peer_counts": list(PEER_SWEEP),
+            "answer_calls": ANSWER_CALLS,
+        },
+    )
+    assert snapshot["gauges"], "sweep gauges missing from snapshot"
+    assert snapshot["events"]["total"] > 0, "event bus captured nothing"
+    write_snapshot(SNAPSHOT_PATH, snapshot)
+
+    # Shape gates: single-peer degenerates to the engine (no consensus
+    # error at all), and the replica bound stays a small multiple of the
+    # per-tick drift at every fleet size rather than growing with it.
+    assert results[1]["max_consensus_error"] == 0.0
+    for peers in PEER_SWEEP[1:]:
+        assert results[peers]["max_consensus_error"] < 25.0
+    # The query path must stay cheap: an answers() sweep over every
+    # stream is microseconds-per-stream work, not milliseconds.
+    for peers, point in results.items():
+        assert point["answer_us"] < 50_000.0, (peers, point)

@@ -179,6 +179,19 @@ def build_parser() -> argparse.ArgumentParser:
         "synchronous transport has no server inbox, so overload "
         "shedding is skipped)",
     )
+    chaos.add_argument(
+        "--federation",
+        action="store_true",
+        help="run the federated drill instead: a peer cluster survives a "
+        "server kill (failover re-homes every stream) and a network "
+        "partition (both halves answer, deterministic reconcile on heal)",
+    )
+    chaos.add_argument(
+        "--peers",
+        type=int,
+        default=3,
+        help="peer count for --federation (default 3)",
+    )
 
     scale = sub.add_parser(
         "scale",
@@ -492,6 +505,207 @@ def _run_chaos(args: argparse.Namespace) -> int:
     return 0 if verdict == "ok" else 1
 
 
+def _run_chaos_federation(args: argparse.Namespace) -> int:
+    """Federated chaos drill: peer kill + partition, zero stream loss.
+
+    One seeded scenario, two hard gates:
+
+    * **Crash**: the busiest peer dies mid-run.  Every stream it homed
+      must be re-homed (failover visible in telemetry) and every final
+      answer must sit within its advertised ``precision +
+      consensus_error`` of the stream's true final value.
+    * **Partition**: a later cut isolates one peer.  Both halves must
+      keep answering their streams, and a second identical run must
+      produce bit-identical final answers (deterministic reconcile).
+    """
+    import json
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.dsms.faults import FaultSchedule
+    from repro.dsms.query import ContinuousQuery
+    from repro.federation import FederatedCluster, FederationConfig
+    from repro.obs import Telemetry, build_snapshot, write_snapshot
+    from repro.streams.base import stream_from_values
+
+    ticks = args.ticks
+    if args.peers < 3:
+        raise ConfigurationError("the federated drill needs at least 3 peers")
+    crash_at = ticks // 4
+    restart_at = ticks // 2
+    cut_at = (ticks * 5) // 8
+    heal_at = (ticks * 7) // 8
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    n_streams = max(6, 2 * args.peers)
+    rng = np.random.default_rng(args.seed)
+    truth = {
+        f"s{i}": np.cumsum(rng.normal(0.0, 0.4, size=ticks))
+        for i in range(n_streams)
+    }
+
+    def build(telemetry=None):
+        cluster = FederatedCluster(
+            FederationConfig(
+                peers=args.peers, replication=1, consensus_every=8
+            ),
+            telemetry=telemetry,
+        )
+        for sid, values in truth.items():
+            cluster.add_source(
+                sid, constant_model(q=0.2, r=1.0),
+                stream_from_values(values, name=sid),
+            )
+            cluster.submit_query(
+                ContinuousQuery(sid, delta=1.0, query_id=f"q-{sid}")
+            )
+        homes = {sid: cluster.home_of(sid) for sid in truth}
+        counts = {p: sum(1 for h in homes.values() if h == p)
+                  for p in cluster.peers}
+        victim = max(sorted(counts), key=lambda p: counts[p])
+        # Isolate a *surviving* peer for the partition leg, its homed
+        # sources on its side of the cut (split-brain, not starvation).
+        others = [p for p in sorted(cluster.peers) if p != victim]
+        island = others[0]
+        island_side = {island} | {
+            s for s, h in homes.items() if h == island
+        }
+        far_side = (set(cluster.peers) | set(truth)) - island_side
+        cluster.inject_faults(
+            FaultSchedule(seed=args.seed)
+            .crash(victim, at=crash_at, restart_at=restart_at)
+            .partition(island_side, far_side, at=cut_at, heal_at=heal_at)
+        )
+        return cluster, victim, island
+
+    def drill(telemetry=None):
+        cluster, victim, island = build(telemetry)
+        mid_partition = None
+        for _ in range(ticks):
+            cluster.step()
+            if cluster.ticks == (cut_at + heal_at) // 2:
+                mid_partition = {
+                    "island": sorted(
+                        a.source_id for a in cluster.answers(island)
+                    ),
+                    # The mainland answers as a *side*: any alive peer
+                    # over there may hold the serving bank (the restarted
+                    # victim's healed replicas included).
+                    "mainland": sorted(
+                        {
+                            a.source_id
+                            for p, node in cluster.peers.items()
+                            if p != island and node.alive
+                            for a in cluster.answers(p)
+                        }
+                    ),
+                }
+        cluster.run()
+        cluster.settle()
+        finals = sorted(
+            (a.source_id, a.value, a.precision, a.consensus_error)
+            for a in cluster.answers()
+        )
+        return cluster, victim, island, mid_partition, finals
+
+    telemetry = Telemetry()
+    cluster, victim, island, mid_partition, finals = drill(telemetry)
+    report = cluster.report()
+    orphans = sorted(
+        s for s in truth
+        if cluster._home_epoch[s] > 0
+    )
+    failures: list[str] = []
+
+    answered = {row[0] for row in finals}
+    missing = sorted(set(truth) - answered)
+    if missing:
+        failures.append(f"streams lost (no final answer): {missing}")
+    if report.failovers == 0:
+        failures.append("peer kill produced no failovers")
+    for sid, value, precision, consensus_error in finals:
+        err = abs(value[0] - truth[sid][-1])
+        bound = precision + consensus_error + 1e-9
+        if err > bound:
+            failures.append(
+                f"{sid}: final error {err:.4f} exceeds advertised "
+                f"bound {bound:.4f}"
+            )
+    if mid_partition is None:
+        failures.append("drill never sampled the partition window")
+    else:
+        island_homes = {
+            s for s in truth if cluster.home_of(s) == island
+        }
+        if not island_homes <= set(mid_partition["island"]):
+            failures.append(
+                "isolated half stopped answering its own streams: "
+                f"{sorted(island_homes - set(mid_partition['island']))}"
+            )
+        if set(mid_partition["mainland"]) != set(truth):
+            failures.append(
+                "mainland half lost streams mid-partition: "
+                f"{sorted(set(truth) - set(mid_partition['mainland']))}"
+            )
+    counters: dict[str, int] = {}
+    for c in telemetry.metrics.counters():
+        counters[c.name] = counters.get(c.name, 0) + c.value
+    if not counters.get("fed_failovers_total"):
+        failures.append("failovers invisible in telemetry counters")
+
+    _, _, _, _, finals_again = drill()
+    if finals != finals_again:
+        failures.append("re-run after heal was not bit-identical")
+
+    drill_report = {
+        "seed": args.seed,
+        "ticks": cluster.ticks,
+        "peers": args.peers,
+        "victim": victim,
+        "island": island,
+        "crash_at": crash_at,
+        "restart_at": restart_at,
+        "cut_at": cut_at,
+        "heal_at": heal_at,
+        "streams": sorted(truth),
+        "re_homed": orphans,
+        "mid_partition": mid_partition,
+        "failures": failures,
+        "federation": report.to_dict(),
+    }
+    (out / "federation-report.json").write_text(
+        json.dumps(drill_report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    write_snapshot(
+        str(out / "federation-snapshot.json"),
+        build_snapshot(
+            telemetry,
+            meta={"name": "chaos-federation", "seed": args.seed,
+                  "peers": args.peers},
+        ),
+    )
+
+    print("\n=== federated chaos report ===")
+    print(f"peers               : {args.peers} (killed {victim}, "
+          f"isolated {island})")
+    print(f"failovers           : {report.failovers} "
+          f"(re-homed: {', '.join(orphans) or 'none'})")
+    print(f"re-home latencies   : {list(report.rehome_latency_ticks)}")
+    print(f"consensus rounds    : {report.consensus_rounds}")
+    print(f"split-brain ticks   : {report.split_brain_ticks}")
+    print(f"dropped at dead peer: {report.dropped_at_dead_peer}")
+    print(f"artifacts           : {out}/")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"ok: {len(truth)} streams survived the kill and the partition")
+    return 0
+
+
 def _run_scale(args: argparse.Namespace) -> int:
     """Race the scalar engine against the batch engine, gate on speedup."""
     import time
@@ -621,6 +835,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "obs":
             return _run_obs(args)
         if args.command == "chaos":
+            if args.federation:
+                return _run_chaos_federation(args)
             return _run_chaos(args)
         if args.command == "scale":
             return _run_scale(args)

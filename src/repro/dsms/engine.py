@@ -64,7 +64,12 @@ from repro.resilience.supervisor import (
 from repro.resilience.watchdog import DivergenceWatchdog
 from repro.streams.base import MaterializedStream, StreamCursor
 
-__all__ = ["StreamEngine", "EngineReport"]
+__all__ = ["StreamEngine", "EngineReport", "SERVER_NODE"]
+
+#: Node id of the central server in partition fault schedules: a
+#: :meth:`FaultSchedule.partition` side containing this name cuts the
+#: named sources off from the server (data *and* ack directions).
+SERVER_NODE = "server"
 
 
 @dataclass(frozen=True)
@@ -216,6 +221,7 @@ class StreamEngine:
         self._ticks = 0
         self._exhausted: set[str] = set()
         self._faults: FaultSchedule | None = None
+        self._latency_overrides: dict[str, tuple[int, int]] = {}
         self._resync_prime: set[str] = set()
         self._down_now: set[str] = set()
         # Resilience state (all inert when the guards are disabled).
@@ -406,19 +412,37 @@ class StreamEngine:
         schedule.reset()
         schedule.bind_telemetry(self._tel)
         self._faults = schedule
+        partitioned = (
+            schedule.partitioned_nodes() if schedule.has_partitions() else set()
+        )
         for source_id in self._links:
             loss = schedule.loss_fn(source_id)
             corrupt = schedule.corrupt_fn(source_id)
-            if loss is None and corrupt is None:
+            sever = None
+            if source_id in partitioned:
+                # Severed at send: a frame offered while the cut is active
+                # is dropped (counted lost), in both directions.  The
+                # fabric gate below holds frames already in the pipe.
+                def sever(_index: int, _sid: str = source_id) -> bool:
+                    return schedule.link_severed(_sid, SERVER_NODE)
+
+            if loss is None and corrupt is None and sever is None:
                 continue
             base = self._fabric.link_config(source_id)
             self._fabric.reconfigure_link(
                 source_id,
                 dataclasses.replace(
                     base,
-                    loss_fn=_either(base.loss_fn, loss),
+                    loss_fn=_either(_either(base.loss_fn, loss), sever),
+                    ack_loss_fn=_either(base.ack_loss_fn, sever),
                     corrupt_fn=_either(base.corrupt_fn, corrupt),
                 ),
+            )
+        if partitioned:
+            self._fabric.set_gate(
+                lambda link_id, tick: not schedule.link_severed(
+                    link_id, SERVER_NODE, tick
+                )
             )
 
     def submit_query(self, query: ContinuousQuery) -> None:
@@ -497,6 +521,9 @@ class StreamEngine:
         now = self._ticks
         tel.set_tick(now)
         with tel.timers.span("engine.step"):
+            if self._faults is not None:
+                self._faults.observe_tick(now)
+                self._apply_latency_overrides(now)
             processed = self._step_sources(now)
             self._ticks += 1
             if not self._server_down:
@@ -509,6 +536,35 @@ class StreamEngine:
             self._run_watchdog()
             self._maybe_checkpoint()
         return processed
+
+    def _apply_latency_overrides(self, now: int) -> None:
+        """Apply/clear asymmetric-link latency windows (fault hook).
+
+        Reconfigures only when the set of active overrides changed, so
+        runs without asymmetric faults pay a single set lookup per tick.
+        """
+        if not self._faults.asymmetric_links():
+            return
+        overrides = {
+            sid: extras
+            for sid, extras in self._faults.latency_overrides(now).items()
+            if sid in self._links
+        }
+        if overrides == self._latency_overrides:
+            return
+        for source_id in set(self._latency_overrides) | set(overrides):
+            base = self._links[source_id]
+            data_extra, ack_extra = overrides.get(source_id, (0, 0))
+            current = self._fabric.link_config(source_id)
+            self._fabric.reconfigure_link(
+                source_id,
+                dataclasses.replace(
+                    current,
+                    latency_ticks=base.latency_ticks + data_extra,
+                    ack_latency_ticks=base.ack_latency_ticks + ack_extra,
+                ),
+            )
+        self._latency_overrides = overrides
 
     def _drain_inbox(self) -> None:
         """Process the bounded inbox at the configured drain rate."""

@@ -46,13 +46,19 @@ from repro.streams.base import StreamRecord
 __all__ = [
     "CrashFault",
     "SensorFault",
+    "NetworkPartitionFault",
+    "AsymmetricLinkFault",
     "GilbertElliottLoss",
     "FaultSchedule",
     "SENSOR_FAULT_KINDS",
+    "LINK_FAULT_DIRECTIONS",
 ]
 
 #: Sensor fault kinds understood by :meth:`FaultSchedule.sensor`.
 SENSOR_FAULT_KINDS = ("nan", "stuck", "dropout", "spike")
+
+#: Directions an asymmetric link fault can slow.
+LINK_FAULT_DIRECTIONS = ("data", "ack", "both")
 
 
 @dataclass(frozen=True)
@@ -117,6 +123,103 @@ class SensorFault:
     def covers(self, tick: int) -> bool:
         """Whether the fault is active at ``tick``."""
         return self.start_tick <= tick < self.start_tick + self.duration
+
+
+@dataclass(frozen=True)
+class NetworkPartitionFault:
+    """A network partition splitting the node set into two islands.
+
+    Nodes are engine-level endpoints: source ids and the server (the
+    scalar engine's server is the node ``"server"``), or federation peer
+    ids.  While the partition is active, any link whose two endpoints sit
+    on opposite sides is *severed*: frames offered to it are dropped
+    (counted ``lost``), and frames already in the pipe are held in place
+    -- still ``in_flight`` -- until the partition heals.  Nodes on the
+    same side, or not mentioned at all, are unaffected.
+
+    Attributes:
+        side_a: Node ids on one side of the cut.
+        side_b: Node ids on the other side.
+        at_tick: First tick the partition is active.
+        heal_tick: Tick the partition heals (exclusive end); None means
+            it never heals.
+    """
+
+    side_a: frozenset[str]
+    side_b: frozenset[str]
+    at_tick: int
+    heal_tick: int | None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "side_a", frozenset(self.side_a))
+        object.__setattr__(self, "side_b", frozenset(self.side_b))
+        if not self.side_a or not self.side_b:
+            raise ConfigurationError("both partition sides must be non-empty")
+        if self.side_a & self.side_b:
+            raise ConfigurationError(
+                f"partition sides overlap: {sorted(self.side_a & self.side_b)}"
+            )
+        if self.at_tick < 0:
+            raise ConfigurationError("at_tick must be non-negative")
+        if self.heal_tick is not None and self.heal_tick <= self.at_tick:
+            raise ConfigurationError("heal_tick must come after at_tick")
+
+    def covers(self, tick: int) -> bool:
+        """Whether the partition is active at ``tick``."""
+        if tick < self.at_tick:
+            return False
+        return self.heal_tick is None or tick < self.heal_tick
+
+    def severs(self, node_a: str, node_b: str) -> bool:
+        """Whether a link between the two nodes crosses the cut."""
+        return (node_a in self.side_a and node_b in self.side_b) or (
+            node_a in self.side_b and node_b in self.side_a
+        )
+
+
+@dataclass(frozen=True)
+class AsymmetricLinkFault:
+    """A one-directional slow-link window (congestion, bad route).
+
+    Adds ``extra_latency_ticks`` to one direction of one link for a
+    window of ticks; the reverse direction keeps its configured latency,
+    which is exactly the asymmetry that defeats RTT-symmetric timeout
+    tuning.  Frames already in flight keep their original delivery time
+    (the extra latency applies at send), so the fault is drain-safe.
+
+    Attributes:
+        link_id: The fabric link key (a source id, or a directed peer
+            link id in a federation).
+        extra_latency_ticks: Added delivery delay while active.
+        at_tick: First affected tick.
+        duration: Number of consecutive affected ticks.
+        direction: ``"data"``, ``"ack"`` or ``"both"``.
+    """
+
+    link_id: str
+    extra_latency_ticks: int
+    at_tick: int
+    duration: int
+    direction: str = "data"
+
+    def __post_init__(self) -> None:
+        if self.extra_latency_ticks < 1:
+            raise ConfigurationError(
+                "extra_latency_ticks must be at least 1"
+            )
+        if self.at_tick < 0:
+            raise ConfigurationError("at_tick must be non-negative")
+        if self.duration < 1:
+            raise ConfigurationError("duration must be at least 1")
+        if self.direction not in LINK_FAULT_DIRECTIONS:
+            raise ConfigurationError(
+                f"unknown link fault direction {self.direction!r}; "
+                f"expected one of {LINK_FAULT_DIRECTIONS}"
+            )
+
+    def covers(self, tick: int) -> bool:
+        """Whether the fault is active at ``tick``."""
+        return self.at_tick <= tick < self.at_tick + self.duration
 
 
 class GilbertElliottLoss:
@@ -202,6 +305,9 @@ class FaultSchedule:
         self._corrupt_rates: dict[str, float] = {}
         self._loss_fns: dict[str, GilbertElliottLoss] = {}
         self._stuck_values: dict[str, np.ndarray] = {}
+        self._partitions: list[NetworkPartitionFault] = []
+        self._asymmetric: list[AsymmetricLinkFault] = []
+        self._now = 0
         self._tel = NULL_TELEMETRY
 
     def bind_telemetry(self, telemetry) -> None:
@@ -269,6 +375,50 @@ class FaultSchedule:
         self._burst_loss[source_id] = (p_enter, p_exit, loss_good, loss_bad)
         return self
 
+    def partition(
+        self,
+        side_a,
+        side_b,
+        at: int,
+        heal_at: int | None = None,
+    ) -> "FaultSchedule":
+        """Schedule a network partition between two node sets.
+
+        Nodes are source ids plus the server node (``"server"`` in the
+        single-server engines) or federation peer ids.  The cut severs
+        every link crossing it from tick ``at`` until ``heal_at``
+        (never, when None).
+        """
+        self._partitions.append(
+            NetworkPartitionFault(
+                side_a=frozenset(side_a),
+                side_b=frozenset(side_b),
+                at_tick=at,
+                heal_tick=heal_at,
+            )
+        )
+        return self
+
+    def asymmetric_link(
+        self,
+        link_id: str,
+        extra_latency_ticks: int,
+        at: int,
+        duration: int,
+        direction: str = "data",
+    ) -> "FaultSchedule":
+        """Schedule a one-directional slow-link window on one link."""
+        self._asymmetric.append(
+            AsymmetricLinkFault(
+                link_id=link_id,
+                extra_latency_ticks=extra_latency_ticks,
+                at_tick=at,
+                duration=duration,
+                direction=direction,
+            )
+        )
+        return self
+
     def corrupt(self, source_id: str, rate: float) -> "FaultSchedule":
         """Corrupt a fraction ``rate`` of a source's encoded messages."""
         if not 0.0 <= rate < 1.0:
@@ -290,6 +440,77 @@ class FaultSchedule:
         """
         self._stuck_values.clear()
         self._loss_fns.clear()
+        self._now = 0
+
+    def observe_tick(self, tick: int) -> None:
+        """Advance the schedule's clock (engines call this every step).
+
+        Time-dependent link faults -- partitions, asymmetric windows --
+        are evaluated against this clock when a loss predicate offers no
+        tick of its own (fabric loss functions only see a message index).
+        """
+        if tick > self._now:
+            self._now = tick
+
+    @property
+    def now(self) -> int:
+        """The schedule's current clock (last observed engine tick)."""
+        return self._now
+
+    def has_partitions(self) -> bool:
+        """Whether any partition fault is scheduled."""
+        return bool(self._partitions)
+
+    def partitioned_nodes(self) -> set[str]:
+        """Every node id named by a scheduled partition."""
+        nodes: set[str] = set()
+        for fault in self._partitions:
+            nodes |= fault.side_a | fault.side_b
+        return nodes
+
+    def link_severed(
+        self, node_a: str, node_b: str, tick: int | None = None
+    ) -> bool:
+        """Whether the ``node_a``--``node_b`` link crosses an active cut.
+
+        ``tick`` defaults to the schedule clock (:meth:`observe_tick`).
+        """
+        when = self._now if tick is None else tick
+        return any(
+            f.covers(when) and f.severs(node_a, node_b)
+            for f in self._partitions
+        )
+
+    def partition_active(self, tick: int | None = None) -> bool:
+        """Whether any partition is active at ``tick`` (default: now)."""
+        when = self._now if tick is None else tick
+        return any(f.covers(when) for f in self._partitions)
+
+    def asymmetric_links(self) -> set[str]:
+        """Link ids with at least one asymmetric window scheduled."""
+        return {f.link_id for f in self._asymmetric}
+
+    def latency_overrides(
+        self, tick: int | None = None
+    ) -> dict[str, tuple[int, int]]:
+        """Active extra latency per link at ``tick`` (default: now).
+
+        Returns ``{link_id: (data_extra, ack_extra)}`` with the extras of
+        overlapping windows summed per direction.  Links with no active
+        window are absent, so an empty dict means "all links nominal".
+        """
+        when = self._now if tick is None else tick
+        overrides: dict[str, tuple[int, int]] = {}
+        for fault in self._asymmetric:
+            if not fault.covers(when):
+                continue
+            data, ack = overrides.get(fault.link_id, (0, 0))
+            if fault.direction in ("data", "both"):
+                data += fault.extra_latency_ticks
+            if fault.direction in ("ack", "both"):
+                ack += fault.extra_latency_ticks
+            overrides[fault.link_id] = (data, ack)
+        return overrides
 
     def is_down(self, source_id: str, tick: int) -> bool:
         """Whether the source is crashed at ``tick``."""
@@ -399,4 +620,6 @@ class FaultSchedule:
             "sensor_faults": len(self._sensor_faults),
             "burst_loss_links": len(self._burst_loss),
             "corrupted_links": len(self._corrupt_rates),
+            "partitions": len(self._partitions),
+            "asymmetric_links": len(self._asymmetric),
         }

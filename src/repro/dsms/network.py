@@ -148,6 +148,23 @@ class NetworkFabric:
         self._tick = 0
         self._queue: list[tuple[int, int, Message | AckMessage]] = []
         self._seq = 0  # Tie-breaker preserving FIFO order per delivery tick.
+        self._gate_fn: Callable[[str, int], bool] | None = None
+
+    def set_gate(self, gate_fn: Callable[[str, int], bool] | None) -> None:
+        """Install a link up/down gate (``(link_id, tick) -> up``).
+
+        A *downed* link holds frames that are already in the pipe: on
+        :meth:`advance` a due frame whose link is down is re-queued for
+        the next tick instead of delivered, and :meth:`drain` leaves it
+        queued (still counted ``in_flight``) rather than teleporting it
+        across a severed link.  Frames *sent* into a downed link are the
+        caller's concern (layer a loss predicate for that); the gate only
+        governs deliveries.  Pass None to remove the gate.
+        """
+        self._gate_fn = gate_fn
+
+    def _link_up(self, link_id: str) -> bool:
+        return self._gate_fn is None or self._gate_fn(link_id, self._tick)
 
     def add_link(self, source_id: str, config: LinkConfig | None = None) -> None:
         """Attach a link for a source."""
@@ -327,26 +344,44 @@ class NetworkFabric:
             raise ConfigurationError("cannot advance the clock backwards")
         delivered = 0
         self._tick = target
+        held: list[tuple[int, int, Message | AckMessage]] = []
         while self._queue and self._queue[0][0] <= self._tick:
-            _due, _seq, message = heapq.heappop(self._queue)
+            _due, seq, message = heapq.heappop(self._queue)
+            if not self._link_up(message.source_id):
+                # The link is severed: the frame stays in the pipe (and in
+                # the in_flight count) until the partition heals.
+                held.append((self._tick + 1, seq, message))
+                continue
             self._stats[message.source_id].in_flight -= 1
             self._dispatch(message)
             delivered += 1
+        for entry in held:
+            heapq.heappush(self._queue, entry)
         return delivered
 
-    def drain(self) -> int:
+    def drain(self, force: bool = False) -> int:
         """Deliver every queued message immediately, regardless of tick.
 
         Call at the end of a run so messages still in flight are neither
-        silently stranded nor invisible in the report.  Returns the number
-        of messages flushed.
+        silently stranded nor invisible in the report.  Frames queued on a
+        link the gate reports *down* are retained (still counted
+        ``in_flight``) unless ``force=True`` -- draining them through a
+        severed link would fabricate deliveries the network never made,
+        breaking the conservation law's honesty even while its arithmetic
+        balanced.  Returns the number of messages flushed.
         """
         drained = 0
+        held: list[tuple[int, int, Message | AckMessage]] = []
         while self._queue:
-            _due, _seq, message = heapq.heappop(self._queue)
+            due, seq, message = heapq.heappop(self._queue)
+            if not force and not self._link_up(message.source_id):
+                held.append((due, seq, message))
+                continue
             self._stats[message.source_id].in_flight -= 1
             self._dispatch(message)
             drained += 1
+        for entry in held:
+            heapq.heappush(self._queue, entry)
         return drained
 
     def stats_for(self, source_id: str) -> LinkStats:

@@ -79,6 +79,14 @@ class QueryAnswer:
             (non-finite state, covariance damage, NIS runaway) that
             remediation has not yet cured, so the value must not be
             trusted even when it looks plausible.
+        consensus_error: Additional error bound contributed by federated
+            consensus: the answer is guaranteed within
+            ``precision + consensus_error`` of the source's true value.
+            0.0 on single-server engines (the answer is the home
+            filter's own estimate) and on federation answers served
+            directly by a fresh home; positive when the serving peer's
+            estimate was fused from, or proxied across, peer replicas
+            whose views may disagree.
     """
 
     query_id: str
@@ -90,3 +98,4 @@ class QueryAnswer:
     confidence: float = 1.0
     degraded: bool = False
     quarantined: bool = False
+    consensus_error: float = 0.0

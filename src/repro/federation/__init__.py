@@ -1,0 +1,39 @@
+"""Multi-server federation: consensus fusion with partition tolerance.
+
+A :class:`~repro.federation.cluster.FederatedCluster` runs N peer
+servers, each holding its own DKF filter bank.  Every source is *homed*
+on one peer (rendezvous hashing) and replicated to ``k`` further peers;
+a periodic diffusion consensus round fuses the overlapping estimates in
+information form, and the disagreement it measures becomes an honest
+``consensus_error`` bound on every answer.  Peer heartbeats, failover
+re-homing and split-brain handling make losing a server degrade service
+instead of dropping streams.
+
+See ``docs/FEDERATION.md`` for the architecture and failure-mode
+semantics, and ``docs/PROTOCOL.md`` section 8 for the peer wire formats.
+"""
+
+from repro.federation.cluster import FederatedCluster, FederationReport
+from repro.federation.config import FederationConfig
+from repro.federation.consensus import (
+    ConsensusRoundInfo,
+    fuse_information,
+    information_form,
+    staleness_drift,
+    zhat_spread,
+)
+from repro.federation.graph import PeerGraph
+from repro.federation.peer import PeerNode
+
+__all__ = [
+    "FederatedCluster",
+    "FederationReport",
+    "FederationConfig",
+    "PeerGraph",
+    "PeerNode",
+    "ConsensusRoundInfo",
+    "information_form",
+    "fuse_information",
+    "zhat_spread",
+    "staleness_drift",
+]

@@ -1,0 +1,77 @@
+"""Configuration for a federated cluster of peer servers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dsms.network import LinkConfig
+from repro.errors import ConfigurationError
+from repro.resilience.config import FailoverPolicy
+
+__all__ = ["FederationConfig", "PEER_TOPOLOGIES"]
+
+#: Peer-graph topologies understood by :class:`FederationConfig`.
+PEER_TOPOLOGIES = ("full", "ring")
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """Shape and timing of a federated cluster.
+
+    Attributes:
+        peers: Number of peer servers (ids ``p0..p{N-1}``).
+        replication: Replica count ``k`` -- each source's update stream
+            is forwarded from its home peer to its ``k`` rendezvous
+            successors.  Capped by ``peers - 1``.
+        topology: Peer graph shape (:data:`PEER_TOPOLOGIES`): ``full``
+            connects every pair, ``ring`` each peer to its two ring
+            neighbours.  Replication and consensus both travel along
+            graph edges only.
+        consensus_every: Ticks between consensus rounds (0 disables
+            fusion; answers then carry only the replication spread).
+        heartbeat_every: Ticks between peer-to-peer heartbeats.
+        failover: When heartbeat silence re-homes a dead peer's
+            sources (see :class:`~repro.resilience.config.FailoverPolicy`).
+        peer_link: Link parameters for every directed peer link
+            (latency, loss).  Defaults to a 1-tick LAN hop -- peer links
+            are *never* synchronous, so peer failures and partitions
+            have a pipe to strand frames in.
+    """
+
+    peers: int = 3
+    replication: int = 1
+    topology: str = "full"
+    consensus_every: int = 8
+    heartbeat_every: int = 4
+    failover: FailoverPolicy = field(default_factory=FailoverPolicy)
+    peer_link: LinkConfig = field(
+        default_factory=lambda: LinkConfig(latency_ticks=1)
+    )
+
+    def __post_init__(self) -> None:
+        if self.peers < 1:
+            raise ConfigurationError("a federation needs at least 1 peer")
+        if not 0 <= self.replication <= self.peers - 1:
+            raise ConfigurationError(
+                f"replication must be in [0, peers-1], got {self.replication}"
+            )
+        if self.topology not in PEER_TOPOLOGIES:
+            raise ConfigurationError(
+                f"unknown topology {self.topology!r}; "
+                f"expected one of {PEER_TOPOLOGIES}"
+            )
+        if self.consensus_every < 0:
+            raise ConfigurationError("consensus_every must be non-negative")
+        if self.heartbeat_every < 1:
+            raise ConfigurationError("heartbeat_every must be at least 1")
+        if self.peer_link.latency_ticks < 1:
+            raise ConfigurationError(
+                "peer links need at least 1 tick of latency (a synchronous "
+                "peer link could not hold frames across a partition)"
+            )
+        self.failover.validate()
+
+    @property
+    def peer_ids(self) -> list[str]:
+        """The peer identifiers, in canonical order."""
+        return [f"p{i}" for i in range(self.peers)]

@@ -1,0 +1,169 @@
+"""Peer graph: topology, rendezvous placement and consensus weights.
+
+Placement uses rendezvous (highest-random-weight) hashing: every peer
+scores ``crc32(peer "|" source)`` and the ranking by descending score is
+the source's home (rank 0) and replica chain (ranks 1..k).  Rendezvous
+hashing gives minimal disruption -- removing a peer re-homes only the
+sources it owned, each to its next-ranked survivor -- and needs no
+coordination state beyond the peer list itself.
+
+Consensus weights are Metropolis-Hastings over the peer graph:
+``w_ij = 1 / (1 + max(deg_i, deg_j))`` for each edge, self-weight the
+remainder.  Metropolis weights are doubly stochastic on any undirected
+graph, which is what makes repeated diffusion averaging converge to the
+uniform average (the diffusion-DKF stability condition).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PeerGraph", "peer_link_id"]
+
+
+def peer_link_id(from_peer: str, to_peer: str) -> str:
+    """The fabric key of the directed link ``from_peer -> to_peer``."""
+    return f"{from_peer}>{to_peer}"
+
+
+class PeerGraph:
+    """An undirected peer graph with placement and weight queries.
+
+    Args:
+        peer_ids: Peer identifiers, in canonical order.
+        topology: ``"full"`` or ``"ring"``.
+    """
+
+    def __init__(self, peer_ids: list[str], topology: str = "full") -> None:
+        if len(set(peer_ids)) != len(peer_ids):
+            raise ConfigurationError("peer ids must be unique")
+        if not peer_ids:
+            raise ConfigurationError("a peer graph needs at least one peer")
+        self._peers = list(peer_ids)
+        self._topology = topology
+        self._neighbors: dict[str, list[str]] = {p: [] for p in peer_ids}
+        n = len(peer_ids)
+        if topology == "full":
+            for a in peer_ids:
+                self._neighbors[a] = [b for b in peer_ids if b != a]
+        elif topology == "ring":
+            for i, a in enumerate(peer_ids):
+                if n == 1:
+                    continue
+                around = {peer_ids[(i - 1) % n], peer_ids[(i + 1) % n]}
+                around.discard(a)
+                self._neighbors[a] = sorted(around)
+        else:
+            raise ConfigurationError(f"unknown topology {topology!r}")
+
+    @property
+    def peer_ids(self) -> list[str]:
+        """The peers, in canonical order."""
+        return list(self._peers)
+
+    @property
+    def topology(self) -> str:
+        """The configured topology name."""
+        return self._topology
+
+    def neighbors(self, peer_id: str) -> list[str]:
+        """Direct neighbours of one peer (sorted, excludes itself)."""
+        try:
+            return list(self._neighbors[peer_id])
+        except KeyError:
+            raise ConfigurationError(f"unknown peer {peer_id!r}") from None
+
+    def degree(self, peer_id: str) -> int:
+        """Number of direct neighbours."""
+        return len(self.neighbors(peer_id))
+
+    # Placement ------------------------------------------------------------
+
+    @staticmethod
+    def _score(peer_id: str, source_id: str) -> tuple[int, str]:
+        # The peer id is the tie-breaker so equal-CRC collisions (never
+        # seen in practice) still rank deterministically.
+        return (
+            zlib.crc32(f"{peer_id}|{source_id}".encode("utf-8")),
+            peer_id,
+        )
+
+    def rank(self, source_id: str) -> list[str]:
+        """Every peer, ranked by rendezvous score for ``source_id``."""
+        return sorted(
+            self._peers,
+            key=lambda p: self._score(p, source_id),
+            reverse=True,
+        )
+
+    def home(self, source_id: str) -> str:
+        """The source's home peer (rank 0)."""
+        return self.rank(source_id)[0]
+
+    def replicas(
+        self, source_id: str, k: int, home: str | None = None
+    ) -> list[str]:
+        """The source's ``k`` replica peers.
+
+        Replicas are drawn from the home's direct *neighbours* (frames
+        are forwarded over single links, never relayed), ranked by their
+        rendezvous score for the source.  On a full mesh this is exactly
+        ranks 1..k; on sparser topologies it is the best-ranked adjacent
+        peers.  ``home`` defaults to the source's rendezvous home -- pass
+        the current home after a failover so the new replica chain hangs
+        off the new ingress.
+        """
+        home = self.home(source_id) if home is None else home
+        adjacent = set(self.neighbors(home))
+        return [
+            p for p in self.rank(source_id) if p in adjacent
+        ][:k]
+
+    # Consensus weights ----------------------------------------------------
+
+    def metropolis_weights(self, peer_id: str) -> dict[str, float]:
+        """Metropolis-Hastings weights for one peer's neighbourhood.
+
+        Returns ``{neighbor: w}`` plus the peer's own self-weight under
+        its own id; the weights sum to 1.
+        """
+        weights: dict[str, float] = {}
+        deg_i = self.degree(peer_id)
+        for other in self.neighbors(peer_id):
+            weights[other] = 1.0 / (1.0 + max(deg_i, self.degree(other)))
+        weights[peer_id] = 1.0 - sum(weights.values())
+        return weights
+
+    # Reachability ---------------------------------------------------------
+
+    def components(self, link_up) -> list[set[str]]:
+        """Connected components under a link predicate.
+
+        Args:
+            link_up: ``(peer_a, peer_b) -> bool``; False removes the
+                edge (both directions -- components model *mutual*
+                reachability, the split-brain question).
+
+        Returns the components as sets, largest first (ties broken by
+        smallest member, so the ordering is deterministic).
+        """
+        seen: set[str] = set()
+        components: list[set[str]] = []
+        for start in self._peers:
+            if start in seen:
+                continue
+            component = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for neighbor in self._neighbors[node]:
+                    if neighbor in component:
+                        continue
+                    if link_up(node, neighbor) and link_up(neighbor, node):
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            seen |= component
+            components.append(component)
+        return sorted(components, key=lambda c: (-len(c), min(c)))

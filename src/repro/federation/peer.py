@@ -1,0 +1,167 @@
+"""One federation peer: a DKF filter bank plus federation-local state.
+
+A peer wraps a tolerant, ack-emitting :class:`~repro.dkf.server.DKFServer`
+(the same bank a single-server engine runs) and layers the federation
+concerns beside it: which streams it homes versus replicates, what it
+believes about every stream's current home (an epoch-versioned view),
+when it last heard each neighbour, and what its last consensus round
+measured.  Crashing a peer destroys the bank -- restart rejoins with
+amnesia at a higher epoch, exactly like a crashed source."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dkf.config import DKFConfig, TransportPolicy
+from repro.dkf.server import DKFServer
+from repro.federation.consensus import ConsensusRoundInfo
+from repro.obs.telemetry import NULL_TELEMETRY
+
+__all__ = ["PeerNode", "HomeView"]
+
+
+@dataclass(frozen=True)
+class HomeView:
+    """One peer's epoch-versioned belief about a stream's home.
+
+    Attributes:
+        home: The peer currently believed to home the stream.
+        epoch: Home epoch; every failover increments it, and a claim is
+            adopted only when its epoch is strictly higher, so competing
+            or replayed claims converge identically on every peer.
+    """
+
+    home: str
+    epoch: int = 0
+
+
+class PeerNode:
+    """One peer server in a federated cluster.
+
+    Args:
+        peer_id: The peer's identifier (``"p0"``...).
+        telemetry: Optional telemetry handle shared with the cluster.
+    """
+
+    def __init__(self, peer_id: str, telemetry=None) -> None:
+        self.peer_id = peer_id
+        self._tel = telemetry or NULL_TELEMETRY
+        self.server = self._build_server()
+        self.alive = True
+        #: Restart epoch: bumped every time the peer rejoins after a crash.
+        self.epoch = 0
+        #: Streams this peer holds a bank for, with their configs --
+        #: survives crashes (configs live cluster-side in reality; the
+        #: peer keeps them so rejoin can re-register without the bank).
+        self.configs: dict[str, DKFConfig] = {}
+        self.transports: dict[str, TransportPolicy] = {}
+        #: tick each neighbour was last heard from (heartbeat or frame).
+        self.last_heard: dict[str, int] = {}
+        #: last known restart epoch per neighbour.
+        self.peer_epochs: dict[str, int] = {}
+        #: epoch-versioned home belief per stream.
+        self.home_view: dict[str, HomeView] = {}
+        #: what the last applied consensus round measured, per stream.
+        self.consensus: dict[str, ConsensusRoundInfo] = {}
+        #: shares collected for the round in progress:
+        #: stream -> sender peer -> share.
+        self.round_shares: dict[str, dict[str, object]] = {}
+        self.crashes = 0
+        self.consensus_rounds_applied = 0
+
+    def _build_server(self) -> DKFServer:
+        return DKFServer(strict=False, emit_acks=True, telemetry=self._tel)
+
+    # Bank management ------------------------------------------------------
+
+    def install(
+        self,
+        stream_id: str,
+        config: DKFConfig,
+        transport: TransportPolicy | None = None,
+    ) -> None:
+        """(Re)register a stream's filter in this peer's bank."""
+        transport = transport or TransportPolicy()
+        self.configs[stream_id] = config
+        self.transports[stream_id] = transport
+        if stream_id in self.server.source_ids:
+            self.server.deregister(stream_id)
+        self.server.register(stream_id, config, transport=transport)
+
+    def uninstall(self, stream_id: str) -> None:
+        """Drop a stream's filter and every federation trace of it."""
+        self.configs.pop(stream_id, None)
+        self.transports.pop(stream_id, None)
+        self.home_view.pop(stream_id, None)
+        self.consensus.pop(stream_id, None)
+        self.round_shares.pop(stream_id, None)
+        if stream_id in self.server.source_ids:
+            self.server.deregister(stream_id)
+
+    def last_applied_seq(self, stream_id: str) -> int:
+        """Highest stream sequence this bank has applied (-1 when none).
+
+        ``expected_seq`` is the *next* sequence the bank will accept, so
+        the last applied one is that minus one; a bank that never heard
+        the stream reports -1 and loses every freshness comparison.
+        """
+        if stream_id not in self.server.source_ids:
+            return -1
+        return int(self.server.stats(stream_id)["expected_seq"]) - 1
+
+    # Crash / rejoin -------------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill the peer: the in-memory bank dies with the process."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashes += 1
+
+    def rejoin(self, tick: int) -> None:
+        """Restart with amnesia: fresh bank, higher epoch.
+
+        Every stream this peer knew is re-registered unprimed; replica
+        resyncs and (for re-homed streams) source retransmissions fill
+        the bank back in.  Liveness memory restarts at the rejoin tick
+        so the reborn peer does not instantly declare everyone dead.
+        """
+        if self.alive:
+            return
+        self.alive = True
+        self.epoch += 1
+        self.server = self._build_server()
+        for stream_id, config in self.configs.items():
+            self.server.register(
+                stream_id, config, transport=self.transports[stream_id]
+            )
+        self.last_heard = {peer: tick for peer in self.last_heard}
+        self.consensus.clear()
+        self.round_shares.clear()
+
+    # Liveness -------------------------------------------------------------
+
+    def note_heard(self, peer_id: str, tick: int, epoch: int | None = None) -> None:
+        """Record traffic from a neighbour (heartbeat or any frame)."""
+        previous = self.last_heard.get(peer_id)
+        if previous is None or tick > previous:
+            self.last_heard[peer_id] = tick
+        if epoch is not None:
+            self.peer_epochs[peer_id] = max(
+                epoch, self.peer_epochs.get(peer_id, 0)
+            )
+
+    def silence(self, peer_id: str, now: int) -> int:
+        """Ticks since the neighbour was last heard (``now`` if never)."""
+        heard = self.last_heard.get(peer_id)
+        return now if heard is None else max(0, now - heard)
+
+    # Home view ------------------------------------------------------------
+
+    def adopt_claim(self, stream_id: str, home: str, epoch: int) -> bool:
+        """Adopt a re-home claim when its epoch is strictly newer."""
+        current = self.home_view.get(stream_id)
+        if current is not None and epoch <= current.epoch:
+            return False
+        self.home_view[stream_id] = HomeView(home=home, epoch=epoch)
+        return True

@@ -1,0 +1,384 @@
+"""Peer-to-peer wire protocol for the federation layer.
+
+Peer frames travel over the same :class:`~repro.dsms.network.NetworkFabric`
+as source traffic; the fabric keys links by ``message.source_id``, so
+every peer frame carries its *directed link id* (``"p0>p1"``) in that
+slot and exposes the stream or peer it concerns through its own fields.
+Four frame types exist:
+
+* :class:`ReplicaFrame` -- the home peer forwarding one source message
+  (update or resync) to a replica peer, payload nested verbatim.
+* :class:`ConsensusShare` -- one peer's information-form estimate
+  ``(Y, y)`` of one stream for a diffusion consensus round, plus its
+  predicted measurement (the disagreement material for the error bound).
+* :class:`PeerHeartbeat` -- peer liveness beacon with a restart epoch.
+* :class:`RehomeClaim` -- the failover announcement: "stream s is now
+  homed on me, at epoch e, having seen sequence numbers through q".
+
+The codec mirrors the source protocol exactly: fixed-width fields in
+network byte order, a 1-byte tag, CRC-32 ids for strings resolved
+against the receiver's registration tables, and a CRC-32 trailer over
+the whole frame -- a corrupt peer frame is rejected, never half-decoded.
+Encoded length always equals ``size_bytes`` (a test pins this).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dkf.protocol import (
+    CRC_BYTES,
+    FLOAT_BYTES,
+    INT_BYTES,
+    ResyncMessage,
+    UpdateMessage,
+    decode_message,
+    encode_message,
+)
+from repro.errors import ConfigurationError, CorruptMessageError
+
+__all__ = [
+    "ReplicaFrame",
+    "ConsensusShare",
+    "PeerHeartbeat",
+    "RehomeClaim",
+    "PeerFrame",
+    "encode_peer_frame",
+    "decode_peer_frame",
+    "PEER_HEADER_BYTES",
+]
+
+#: Fixed per-frame header: type tag + link id hash + seq + k.
+PEER_HEADER_BYTES = 1 + 3 * INT_BYTES
+
+_TAG_REPLICA = 0x10
+_TAG_CONSENSUS = 0x11
+_TAG_PEER_HEARTBEAT = 0x12
+_TAG_REHOME = 0x13
+
+
+def _hash32(name: str) -> int:
+    """Stable 32-bit id hash (same algorithm as the source codec)."""
+    return zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF
+
+
+def _seal(frame: bytes) -> bytes:
+    """Append the CRC-32 trailer."""
+    return frame + struct.pack("!I", zlib.crc32(frame) & 0xFFFFFFFF)
+
+
+def _resolve(hash_value: int, candidates: list[str], what: str) -> str:
+    matches = [c for c in candidates if _hash32(c) == hash_value]
+    if len(matches) != 1:
+        raise ConfigurationError(
+            f"{what} hash {hash_value:#x} resolves to {len(matches)} ids"
+        )
+    return matches[0]
+
+
+@dataclass(frozen=True)
+class ReplicaFrame:
+    """One source message forwarded home -> replica (nested verbatim).
+
+    Attributes:
+        link_id: Directed peer link the frame travels on.
+        seq: Per-link frame counter (diagnostics; replica ordering comes
+            from the nested payload's own sequence number).
+        k: Sampling instant of the nested payload.
+        payload: The forwarded update or resync, exactly as the home
+            received it.
+    """
+
+    link_id: str
+    seq: int
+    k: int
+    payload: UpdateMessage | ResyncMessage
+
+    @property
+    def source_id(self) -> str:
+        """The fabric link key (peer frames ride source-keyed links)."""
+        return self.link_id
+
+    @property
+    def stream_id(self) -> str:
+        """The stream the nested payload belongs to."""
+        return self.payload.source_id
+
+    @property
+    def size_bytes(self) -> int:
+        """Encoded size: header + length prefix + nested frame + CRC."""
+        return (
+            PEER_HEADER_BYTES + INT_BYTES + self.payload.size_bytes + CRC_BYTES
+        )
+
+
+@dataclass(frozen=True)
+class ConsensusShare:
+    """One peer's information-form estimate of one stream (peer -> peer).
+
+    Attributes:
+        link_id: Directed peer link the share travels on.
+        seq: Per-link frame counter.
+        k: Tick the share was cut at.
+        stream_id: The stream the estimate concerns.
+        round_index: Consensus round this share belongs to; receivers
+            fuse only shares of the round they are collecting.
+        y: Information matrix ``P^-1`` (symmetric, ``n x n``).
+        yv: Information vector ``P^-1 x`` (``n``,).
+        zhat: The sharer's predicted measurement (``m``,) -- the
+            disagreement material behind the consensus error bound.
+        last_seq: Highest stream sequence the sharer has applied
+            (freshness; drives failover promotion ordering).
+        staleness: Sharer-side ticks since it last heard the stream.
+    """
+
+    link_id: str
+    seq: int
+    k: int
+    stream_id: str
+    round_index: int
+    y: np.ndarray
+    yv: np.ndarray
+    zhat: np.ndarray
+    last_seq: int
+    staleness: int
+
+    @property
+    def source_id(self) -> str:
+        """The fabric link key."""
+        return self.link_id
+
+    @property
+    def size_bytes(self) -> int:
+        """Encoded size under the fixed-width wire format."""
+        n = self.yv.shape[0]
+        m = self.zhat.shape[0]
+        triangle = n * (n + 1) // 2
+        return (
+            PEER_HEADER_BYTES
+            + 4 * INT_BYTES  # stream hash, round, last_seq, staleness
+            + 2  # state and measurement dims
+            + (triangle + n + m) * FLOAT_BYTES
+            + CRC_BYTES
+        )
+
+
+@dataclass(frozen=True)
+class PeerHeartbeat:
+    """Peer liveness beacon (peer -> peer).
+
+    Attributes:
+        link_id: Directed peer link.
+        seq: Per-link frame counter.
+        k: Tick the beacon was emitted at.
+        peer_id: The emitting peer.
+        epoch: The emitter's restart epoch -- a jump tells receivers the
+            peer died and rejoined with amnesia since they last looked.
+    """
+
+    link_id: str
+    seq: int
+    k: int
+    peer_id: str
+    epoch: int
+
+    @property
+    def source_id(self) -> str:
+        """The fabric link key."""
+        return self.link_id
+
+    @property
+    def size_bytes(self) -> int:
+        """Encoded size under the fixed-width wire format."""
+        return PEER_HEADER_BYTES + 2 * INT_BYTES + CRC_BYTES
+
+
+@dataclass(frozen=True)
+class RehomeClaim:
+    """Failover announcement: a stream has a new home (peer -> peer).
+
+    Attributes:
+        link_id: Directed peer link.
+        seq: Per-link frame counter.
+        k: Tick the claim was cut at.
+        stream_id: The re-homed stream.
+        new_home: The claiming peer.
+        epoch: Home epoch of the claim; receivers adopt the claim only
+            when it exceeds their current epoch for the stream, so
+            duplicate or stale claims reconcile deterministically.
+        last_seq: Highest stream sequence the claimant had applied when
+            it promoted itself (diagnostics / tie audit).
+    """
+
+    link_id: str
+    seq: int
+    k: int
+    stream_id: str
+    new_home: str
+    epoch: int
+    last_seq: int
+
+    @property
+    def source_id(self) -> str:
+        """The fabric link key."""
+        return self.link_id
+
+    @property
+    def size_bytes(self) -> int:
+        """Encoded size under the fixed-width wire format."""
+        return PEER_HEADER_BYTES + 4 * INT_BYTES + CRC_BYTES
+
+
+PeerFrame = ReplicaFrame | ConsensusShare | PeerHeartbeat | RehomeClaim
+
+
+def encode_peer_frame(frame: PeerFrame) -> bytes:
+    """Serialise a peer frame; encoded length equals ``size_bytes``."""
+    header = struct.pack(
+        "!BIII",
+        _tag_of(frame),
+        _hash32(frame.link_id),
+        frame.seq,
+        frame.k,
+    )
+    if isinstance(frame, ReplicaFrame):
+        inner = encode_message(frame.payload)
+        return _seal(header + struct.pack("!I", len(inner)) + inner)
+    if isinstance(frame, ConsensusShare):
+        n = frame.yv.shape[0]
+        m = frame.zhat.shape[0]
+        triangle = frame.y[np.triu_indices(n)]
+        body = struct.pack(
+            f"!IIIIBB{triangle.shape[0]}d{n}d{m}d",
+            _hash32(frame.stream_id),
+            frame.round_index,
+            frame.last_seq,
+            frame.staleness,
+            n,
+            m,
+            *triangle,
+            *frame.yv,
+            *frame.zhat,
+        )
+        return _seal(header + body)
+    if isinstance(frame, PeerHeartbeat):
+        return _seal(
+            header + struct.pack("!II", _hash32(frame.peer_id), frame.epoch)
+        )
+    return _seal(
+        header
+        + struct.pack(
+            "!IIII",
+            _hash32(frame.stream_id),
+            _hash32(frame.new_home),
+            frame.epoch,
+            frame.last_seq,
+        )
+    )
+
+
+def _tag_of(frame: PeerFrame) -> int:
+    if isinstance(frame, ReplicaFrame):
+        return _TAG_REPLICA
+    if isinstance(frame, ConsensusShare):
+        return _TAG_CONSENSUS
+    if isinstance(frame, PeerHeartbeat):
+        return _TAG_PEER_HEARTBEAT
+    if isinstance(frame, RehomeClaim):
+        return _TAG_REHOME
+    raise ConfigurationError(f"not a peer frame: {type(frame).__name__}")
+
+
+def decode_peer_frame(
+    data: bytes,
+    link_ids: list[str],
+    stream_ids: list[str],
+    peer_ids: list[str],
+    state_dim: int | None = None,
+) -> PeerFrame:
+    """Deserialise a peer frame, verifying its CRC-32 trailer first.
+
+    Args:
+        data: The encoded bytes.
+        link_ids: Known directed peer link ids (header resolution).
+        stream_ids: Registered stream ids (replica/consensus/rehome
+            resolution; also resolves the nested payload's source).
+        peer_ids: Known peer ids (heartbeat/rehome resolution).
+        state_dim: Required to decode a nested resync payload.
+
+    Raises:
+        CorruptMessageError: When the CRC trailer does not match.
+        ConfigurationError: On unknown tags or unresolvable id hashes.
+    """
+    if len(data) < PEER_HEADER_BYTES + CRC_BYTES:
+        raise ConfigurationError("peer frame shorter than the fixed header")
+    frame, trailer = data[:-CRC_BYTES], data[-CRC_BYTES:]
+    (crc,) = struct.unpack("!I", trailer)
+    if crc != (zlib.crc32(frame) & 0xFFFFFFFF):
+        raise CorruptMessageError(
+            f"CRC mismatch: trailer {crc:#010x}, "
+            f"computed {zlib.crc32(frame) & 0xFFFFFFFF:#010x}"
+        )
+    tag, link_hash, seq, k = struct.unpack(
+        "!BIII", frame[:PEER_HEADER_BYTES]
+    )
+    link_id = _resolve(link_hash, link_ids, "link")
+    body = frame[PEER_HEADER_BYTES:]
+
+    if tag == _TAG_REPLICA:
+        (inner_len,) = struct.unpack("!I", body[:INT_BYTES])
+        inner = body[INT_BYTES : INT_BYTES + inner_len]
+        if len(inner) != inner_len:
+            raise ConfigurationError("replica frame truncated")
+        payload = decode_message(inner, stream_ids, state_dim=state_dim)
+        if not isinstance(payload, (UpdateMessage, ResyncMessage)):
+            raise ConfigurationError(
+                "replica frames carry updates or resyncs only"
+            )
+        return ReplicaFrame(link_id=link_id, seq=seq, k=k, payload=payload)
+    if tag == _TAG_CONSENSUS:
+        head = struct.unpack("!IIIIBB", body[: 4 * INT_BYTES + 2])
+        stream_hash, round_index, last_seq, staleness, n, m = head
+        floats = body[4 * INT_BYTES + 2 :]
+        triangle = n * (n + 1) // 2
+        parts = struct.unpack(f"!{triangle + n + m}d", floats)
+        y = np.zeros((n, n))
+        y[np.triu_indices(n)] = parts[:triangle]
+        y = y + np.triu(y, 1).T
+        return ConsensusShare(
+            link_id=link_id,
+            seq=seq,
+            k=k,
+            stream_id=_resolve(stream_hash, stream_ids, "stream"),
+            round_index=round_index,
+            y=y,
+            yv=np.array(parts[triangle : triangle + n]),
+            zhat=np.array(parts[triangle + n :]),
+            last_seq=last_seq,
+            staleness=staleness,
+        )
+    if tag == _TAG_PEER_HEARTBEAT:
+        peer_hash, epoch = struct.unpack("!II", body)
+        return PeerHeartbeat(
+            link_id=link_id,
+            seq=seq,
+            k=k,
+            peer_id=_resolve(peer_hash, peer_ids, "peer"),
+            epoch=epoch,
+        )
+    if tag == _TAG_REHOME:
+        stream_hash, home_hash, epoch, last_seq = struct.unpack("!IIII", body)
+        return RehomeClaim(
+            link_id=link_id,
+            seq=seq,
+            k=k,
+            stream_id=_resolve(stream_hash, stream_ids, "stream"),
+            new_home=_resolve(home_hash, peer_ids, "peer"),
+            epoch=epoch,
+            last_seq=last_seq,
+        )
+    raise ConfigurationError(f"unknown peer frame tag {tag:#x}")

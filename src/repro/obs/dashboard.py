@@ -42,6 +42,42 @@ def _table(rows: list[tuple[str, str]], indent: str = "  ") -> list[str]:
     return [f"{indent}{name.ljust(width)}  {value}" for name, value in rows]
 
 
+def _federation_rows(snapshot: dict) -> list[tuple[str, str]]:
+    """Aggregate ``fed_*`` series into a compact federation summary.
+
+    Counters are summed across labels (per-stream/per-peer splits stay
+    visible in the generic sections); histograms show count/mean/max so
+    re-home latency and consensus residual read at a glance.  Empty when
+    the snapshot carries no federation telemetry, so single-server
+    dashboards are unchanged.
+    """
+    rows: list[tuple[str, str]] = []
+    totals: dict[str, int] = {}
+    for row in snapshot["counters"]:
+        name = row["name"]
+        if name.startswith("fed_"):
+            totals[name] = totals.get(name, 0) + int(row["value"])
+    for name in sorted(totals):
+        rows.append((name, str(totals[name])))
+    hists: dict[str, tuple[int, float, float]] = {}
+    for row in snapshot["histograms"]:
+        name = row["name"]
+        if not name.startswith("fed_") or not row["count"]:
+            continue
+        count, total, peak = hists.get(name, (0, 0.0, float("-inf")))
+        hists[name] = (
+            count + row["count"],
+            total + row["sum"],
+            max(peak, row["max"]),
+        )
+    for name in sorted(hists):
+        count, total, peak = hists[name]
+        rows.append(
+            (name, f"n={count} mean={total / count:.3g} max={peak:.3g}")
+        )
+    return rows
+
+
 def render_dashboard(snapshot: dict, width: int = 48) -> str:
     """Render one snapshot as a multi-section ASCII dashboard."""
     validate_snapshot(snapshot)
@@ -93,6 +129,12 @@ def render_dashboard(snapshot: dict, width: int = 48) -> str:
             )
             lines.append(f"  {_series_name(row)}  {stats}")
             lines.append(f"    |{spark}|")
+
+    federation_rows = _federation_rows(snapshot)
+    if federation_rows:
+        lines.append("")
+        lines.append("-- federation --")
+        lines.extend(_table(federation_rows))
 
     if snapshot["spans"]:
         lines.append("")

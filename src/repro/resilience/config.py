@@ -15,7 +15,48 @@ from repro.errors import ConfigurationError
 from repro.resilience.supervisor import OverloadPolicy, RestartPolicy
 from repro.resilience.watchdog import WatchdogPolicy
 
-__all__ = ["ResilienceConfig"]
+__all__ = ["ResilienceConfig", "FailoverPolicy"]
+
+
+@dataclass(frozen=True)
+class FailoverPolicy:
+    """When a federation peer's death re-homes its sources.
+
+    A peer is *suspect* after ``suspect_after_ticks`` of heartbeat
+    silence and *dead* after ``confirm_ticks`` more -- the extra
+    confirmation window keeps one delayed heartbeat from triggering a
+    spurious mass re-home.  Actual re-homes are additionally paced by a
+    :class:`~repro.resilience.supervisor.StreamSupervisor` running
+    ``restart`` (windowed budget plus exponential backoff), so a
+    flapping peer cannot thrash its sources between homes.
+
+    Attributes:
+        suspect_after_ticks: Heartbeat silence before a peer is suspect.
+        confirm_ticks: Further silence before the peer is declared dead
+            and its sources become eligible for re-homing.
+        restart: Budget/backoff pacing for per-source re-homes; None
+            applies the supervisor's defaults.
+    """
+
+    suspect_after_ticks: int = 12
+    confirm_ticks: int = 4
+    restart: RestartPolicy | None = None
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ConfigurationError` on bad values."""
+        if self.suspect_after_ticks < 1:
+            raise ConfigurationError(
+                "suspect_after_ticks must be at least 1"
+            )
+        if self.confirm_ticks < 0:
+            raise ConfigurationError("confirm_ticks must be non-negative")
+        if self.restart is not None:
+            self.restart.validate()
+
+    @property
+    def dead_after_ticks(self) -> int:
+        """Total silence after which a peer is declared dead."""
+        return self.suspect_after_ticks + self.confirm_ticks
 
 
 @dataclass(frozen=True)

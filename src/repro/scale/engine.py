@@ -274,6 +274,13 @@ class BatchStreamEngine:
 
     def inject_faults(self, schedule: FaultSchedule) -> None:
         """Install a fault schedule; call after every ``add_source``."""
+        if schedule.has_partitions() or schedule.asymmetric_links():
+            raise ConfigurationError(
+                "partition and asymmetric-link faults are scalar-only; "
+                "the batch transport is synchronous and has no link "
+                "pipeline to sever — use the scalar StreamEngine or a "
+                "FederatedCluster"
+            )
         schedule.reset()
         schedule.bind_telemetry(self._tel)
         self._faults = schedule

@@ -285,3 +285,213 @@ class TestFaultSoak:
         assert np.allclose(server_filter.p, mirror.p)
         # The untouched source was never disturbed.
         assert not engine.server.stats("calm")["desynced"]
+
+
+class TestPartitionValidation:
+    def test_empty_side_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule().partition(set(), {"server"}, at=10)
+
+    def test_overlapping_sides_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule().partition({"s0", "s1"}, {"s1"}, at=10)
+
+    def test_heal_before_cut_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule().partition({"s0"}, {"server"}, at=10, heal_at=10)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule().partition({"s0"}, {"server"}, at=-1)
+
+
+class TestPartitionPredicates:
+    def schedule(self):
+        return FaultSchedule().partition(
+            {"s0", "s1"}, {"server"}, at=10, heal_at=20
+        )
+
+    def test_link_severed_follows_the_schedule_clock(self):
+        schedule = self.schedule()
+        assert not schedule.link_severed("s0", "server")
+        schedule.observe_tick(10)
+        assert schedule.link_severed("s0", "server")
+        assert schedule.partition_active()
+        schedule.observe_tick(20)
+        assert not schedule.link_severed("s0", "server")
+        assert not schedule.partition_active()
+
+    def test_explicit_tick_overrides_the_clock(self):
+        schedule = self.schedule()
+        assert schedule.link_severed("s0", "server", tick=15)
+        assert not schedule.link_severed("s0", "server", tick=9)
+
+    def test_only_cross_cut_links_severed(self):
+        schedule = self.schedule()
+        schedule.observe_tick(15)
+        # Same side: unaffected.  Unmentioned nodes: unaffected.
+        assert not schedule.link_severed("s0", "s1")
+        assert not schedule.link_severed("s9", "server")
+        # The cut is symmetric.
+        assert schedule.link_severed("server", "s1")
+
+    def test_partitioned_nodes_and_describe(self):
+        schedule = self.schedule().asymmetric_link(
+            "s0", extra_latency_ticks=3, at=5, duration=4
+        )
+        assert schedule.has_partitions()
+        assert schedule.partitioned_nodes() == {"s0", "s1", "server"}
+        described = schedule.describe()
+        assert described["partitions"] == 1
+        assert described["asymmetric_links"] == 1
+
+
+class TestAsymmetricLinkValidation:
+    def test_zero_extra_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule().asymmetric_link("s0", 0, at=0, duration=5)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule().asymmetric_link("s0", 2, at=0, duration=0)
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule().asymmetric_link(
+                "s0", 2, at=0, duration=5, direction="sideways"
+            )
+
+
+class TestAsymmetricLinkWindows:
+    def test_override_active_only_inside_the_window(self):
+        schedule = FaultSchedule().asymmetric_link(
+            "s0", 4, at=10, duration=5, direction="data"
+        )
+        assert schedule.latency_overrides(9) == {}
+        assert schedule.latency_overrides(10) == {"s0": (4, 0)}
+        assert schedule.latency_overrides(14) == {"s0": (4, 0)}
+        assert schedule.latency_overrides(15) == {}
+        assert schedule.asymmetric_links() == {"s0"}
+
+    def test_direction_selects_data_or_ack(self):
+        ack = FaultSchedule().asymmetric_link(
+            "s0", 3, at=0, duration=2, direction="ack"
+        )
+        assert ack.latency_overrides(0) == {"s0": (0, 3)}
+        both = FaultSchedule().asymmetric_link(
+            "s0", 3, at=0, duration=2, direction="both"
+        )
+        assert both.latency_overrides(0) == {"s0": (3, 3)}
+
+    def test_overlapping_windows_sum_per_direction(self):
+        schedule = (
+            FaultSchedule()
+            .asymmetric_link("s0", 2, at=0, duration=10, direction="data")
+            .asymmetric_link("s0", 5, at=5, duration=10, direction="both")
+        )
+        assert schedule.latency_overrides(2) == {"s0": (2, 0)}
+        assert schedule.latency_overrides(7) == {"s0": (7, 5)}
+        assert schedule.latency_overrides(12) == {"s0": (5, 5)}
+
+
+class TestEnginePartition:
+    """Scalar-engine integration: a source<->server cut drops offered
+    frames (lost), holds piped frames (in_flight) and heals cleanly."""
+
+    def partitioned_engine(self, n=120, heal_at=80, latency=3):
+        from repro.dsms.network import LinkConfig
+
+        engine = StreamEngine()
+        engine.add_source(
+            "s0",
+            linear_model(dims=1, dt=1.0),
+            ramp(n),
+            link=LinkConfig(latency_ticks=latency),
+            transport=TransportPolicy(
+                ack_timeout_ticks=4,
+                heartbeat_interval_ticks=8,
+                suspect_after_ticks=10,
+            ),
+        )
+        engine.submit_query(ContinuousQuery("s0", delta=0.5, query_id="q"))
+        engine.inject_faults(
+            FaultSchedule().partition(
+                {"s0"}, {"server"}, at=40, heal_at=heal_at
+            )
+        )
+        return engine
+
+    def test_cut_loses_offered_frames_and_heals(self):
+        engine = self.partitioned_engine()
+        degraded_seen = False
+        for _ in range(120):
+            engine.step()
+            if 45 <= engine.ticks < 80:
+                degraded_seen = degraded_seen or engine.answer("q").degraded
+        engine.settle()
+        report = engine.report()
+        assert degraded_seen
+        assert report.messages_lost > 0
+        # The healed link carries nothing stranded.
+        assert report.in_flight == 0
+        # After heal the stream re-converges and the answer is honest.
+        assert not engine.server.stats("s0")["desynced"]
+        assert not engine.answer("q").degraded
+
+    def test_permanent_cut_reports_stranded_frames_in_flight(self):
+        """Satellite 2: frames in the pipe when the drill ends are
+        reported ``in_flight``, never silently dropped by settle()."""
+        engine = self.partitioned_engine(n=60, heal_at=None, latency=8)
+        engine.run()
+        engine.settle()
+        report = engine.report()
+        assert report.in_flight > 0
+        offered = report.updates_sent + report.retransmits + report.heartbeats
+        delivered = offered - (
+            report.messages_lost + report.corrupted + report.in_flight
+        )
+        assert delivered >= 0
+        assert report.messages_lost > 0
+
+    def test_partition_drill_is_deterministic(self):
+        first = self.partitioned_engine()
+        first.run()
+        first.settle()
+        second = self.partitioned_engine()
+        second.run()
+        second.settle()
+        assert first.report() == second.report()
+
+
+class TestEngineAsymmetricLink:
+    def asymmetric_engine(self, direction):
+        engine = StreamEngine()
+        engine.add_source(
+            "s0",
+            linear_model(dims=1, dt=1.0),
+            ramp(160),
+            transport=TransportPolicy(ack_timeout_ticks=4),
+        )
+        engine.submit_query(ContinuousQuery("s0", delta=0.5, query_id="q"))
+        if direction is not None:
+            engine.inject_faults(
+                FaultSchedule().asymmetric_link(
+                    "s0", 12, at=40, duration=40, direction=direction
+                )
+            )
+        engine.run()
+        engine.settle()
+        return engine.report()
+
+    def test_slow_ack_path_triggers_retransmits(self):
+        """Delaying only the ack direction defeats the RTT-symmetric
+        ack timeout: sources retransmit updates that actually arrived."""
+        baseline = self.asymmetric_engine(None)
+        slow_acks = self.asymmetric_engine("ack")
+        assert slow_acks.retransmits > baseline.retransmits
+
+    def test_data_direction_leaves_ack_latency_alone(self):
+        baseline = self.asymmetric_engine(None)
+        slow_data = self.asymmetric_engine("data")
+        # Delivery still completes (drain-safe) -- no stranded frames.
+        assert slow_data.in_flight == baseline.in_flight == 0

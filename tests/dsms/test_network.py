@@ -233,3 +233,68 @@ class TestLossLatencyInteraction:
             "ResyncMessage",
         ]
         assert [m.seq for m in received] == [0, 2]
+
+
+class TestLinkGate:
+    """Satellite 2 (federation PR): a downed link *holds* frames already
+    in the pipe -- they stay ``in_flight``, are never teleported across
+    the cut by ``drain()``, and the conservation law keeps balancing."""
+
+    def gated_fabric(self, received, down):
+        fabric = NetworkFabric(deliver=received.append)
+        fabric.add_link("s0", LinkConfig(latency_ticks=2))
+        fabric.set_gate(lambda link_id, tick: link_id not in down)
+        return fabric
+
+    def test_downed_link_holds_due_frames(self):
+        received = []
+        down = {"s0"}
+        fabric = self.gated_fabric(received, down)
+        fabric.send(update())
+        fabric.advance(2)
+        fabric.advance(3)
+        assert not received
+        assert fabric.stats_for("s0").in_flight == 1
+        down.clear()  # the partition heals
+        fabric.advance(4)
+        assert len(received) == 1
+        assert fabric.stats_for("s0").in_flight == 0
+
+    def test_drain_retains_frames_on_severed_links(self):
+        received = []
+        fabric = self.gated_fabric(received, down={"s0"})
+        fabric.send(update())
+        assert fabric.drain() == 0
+        assert not received
+        stats = fabric.stats_for("s0")
+        # The frame is reported in flight, not silently dropped: the
+        # conservation law balances with the frame still in the pipe.
+        assert stats.in_flight == 1
+        assert stats.offered == (
+            stats.delivered + stats.lost + stats.corrupted + stats.in_flight
+        )
+
+    def test_force_drain_flushes_severed_links(self):
+        received = []
+        fabric = self.gated_fabric(received, down={"s0"})
+        fabric.send(update())
+        assert fabric.drain(force=True) == 1
+        assert len(received) == 1
+        assert fabric.stats_for("s0").in_flight == 0
+
+    def test_gate_only_affects_named_links(self):
+        received = []
+        fabric = self.gated_fabric(received, down={"other"})
+        fabric.send(update())
+        fabric.advance(2)
+        assert len(received) == 1
+
+    def test_removing_the_gate_releases_held_frames(self):
+        received = []
+        fabric = self.gated_fabric(received, down={"s0"})
+        fabric.send(update())
+        fabric.advance(2)
+        assert not received
+        fabric.set_gate(None)
+        fabric.advance(3)
+        assert len(received) == 1

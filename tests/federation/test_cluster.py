@@ -1,0 +1,202 @@
+"""Tests for the federated cluster facade: placement, replication,
+consensus bookkeeping and the traffic conservation law."""
+
+import numpy as np
+import pytest
+
+from repro.dsms.query import ContinuousQuery
+from repro.errors import ConfigurationError
+from repro.federation import FederatedCluster, FederationConfig
+from repro.filters.models import constant_model
+from repro.streams.base import stream_from_values
+
+
+def workload(n_streams=6, ticks=160, seed=2024):
+    rng = np.random.default_rng(seed)
+    return {
+        f"s{i}": np.cumsum(rng.normal(0.0, 0.4, size=ticks))
+        for i in range(n_streams)
+    }
+
+
+def build_cluster(truth, peers=3, replication=1, telemetry=None, **cfg):
+    cluster = FederatedCluster(
+        FederationConfig(peers=peers, replication=replication, **cfg),
+        telemetry=telemetry,
+    )
+    for sid, values in truth.items():
+        cluster.add_source(
+            sid,
+            constant_model(q=0.2, r=1.0),
+            stream_from_values(values, name=sid),
+        )
+        cluster.submit_query(ContinuousQuery(sid, delta=1.0, query_id=f"q-{sid}"))
+    return cluster
+
+
+def finals(cluster):
+    return sorted(
+        (a.source_id, a.value, a.precision, a.consensus_error)
+        for a in cluster.answers()
+    )
+
+
+class TestConfigValidation:
+    def test_replication_capped_by_peers(self):
+        with pytest.raises(ConfigurationError):
+            FederationConfig(peers=3, replication=3)
+
+    def test_synchronous_peer_links_rejected(self):
+        from repro.dsms.network import LinkConfig
+
+        with pytest.raises(ConfigurationError):
+            FederationConfig(peer_link=LinkConfig(latency_ticks=0))
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FederationConfig(topology="torus")
+
+
+class TestPlacement:
+    def test_homes_match_rendezvous_ranking(self):
+        truth = workload()
+        cluster = build_cluster(truth)
+        for sid in truth:
+            assert cluster.home_of(sid) == cluster.graph.home(sid)
+            assert cluster.replicas_of(sid) == cluster.graph.replicas(sid, 1)
+
+    def test_replica_holds_a_primed_bank(self):
+        truth = workload(n_streams=4)
+        cluster = build_cluster(truth)
+        cluster.run()
+        cluster.settle()
+        for sid in truth:
+            for replica in cluster.replicas_of(sid):
+                server = cluster.peer(replica).server
+                assert sid in server.source_ids
+                assert server.is_primed(sid)
+
+    def test_source_id_colliding_with_link_syntax_rejected(self):
+        cluster = build_cluster({})
+        with pytest.raises(ConfigurationError):
+            cluster.add_source(
+                "a>b",
+                constant_model(q=0.2, r=1.0),
+                stream_from_values(np.zeros(4), name="bad"),
+            )
+
+    def test_source_id_colliding_with_peer_id_rejected(self):
+        cluster = build_cluster({})
+        with pytest.raises(ConfigurationError):
+            cluster.add_source(
+                "p0",
+                constant_model(q=0.2, r=1.0),
+                stream_from_values(np.zeros(4), name="bad"),
+            )
+
+
+class TestHealthyRun:
+    def test_every_query_answered_within_bound(self):
+        truth = workload()
+        cluster = build_cluster(truth)
+        cluster.run()
+        cluster.settle()
+        answers = {a.source_id: a for a in cluster.answers()}
+        assert set(answers) == set(truth)
+        for sid, answer in answers.items():
+            # A live home serves its own lock-step filter: no consensus
+            # widening, and the estimate sits within the installed δ.
+            assert answer.consensus_error == 0.0
+            assert not answer.degraded
+            err = abs(answer.value[0] - truth[sid][-1])
+            assert err <= answer.precision + 1e-9
+
+    def test_conservation_law_on_both_fabrics(self):
+        cluster = build_cluster(workload())
+        cluster.run()
+        cluster.settle()
+        report = cluster.report()
+        assert report.source_offered == (
+            report.source_delivered + report.source_lost
+            + report.source_corrupted + report.source_in_flight
+        )
+        assert report.peer_offered == (
+            report.peer_delivered + report.peer_lost
+            + report.peer_corrupted + report.peer_in_flight
+        )
+        assert report.peer_offered > 0  # replication actually happened
+
+    def test_consensus_rounds_run_on_cadence(self):
+        cluster = build_cluster(workload(), consensus_every=8)
+        cluster.run()
+        cluster.settle()
+        assert cluster.report().consensus_rounds > 0
+
+    def test_consensus_can_be_disabled(self):
+        truth = workload(n_streams=4)
+        cluster = build_cluster(truth, consensus_every=0)
+        cluster.run()
+        cluster.settle()
+        assert cluster.report().consensus_rounds == 0
+        assert {a.source_id for a in cluster.answers()} == set(truth)
+
+    def test_replica_answers_carry_honest_widening(self):
+        truth = workload(n_streams=4)
+        cluster = build_cluster(truth)
+        cluster.run()
+        cluster.settle()
+        for sid in truth:
+            replica = cluster.replicas_of(sid)[0]
+            answer = cluster.answer(f"q-{sid}", peer_id=replica)
+            assert answer.consensus_error > 0.0
+            assert answer.degraded  # not the home: guarantee is wider
+            err = abs(answer.value[0] - truth[sid][-1])
+            assert err <= answer.precision + answer.consensus_error + 1e-9
+
+    def test_proxied_answers_add_one_hop_of_drift(self):
+        truth = workload(n_streams=4)
+        cluster = build_cluster(truth, replication=0)
+        cluster.run()
+        cluster.settle()
+        for sid in truth:
+            home = cluster.home_of(sid)
+            other = next(p for p in cluster.peers if p != home)
+            direct = cluster.answer(f"q-{sid}", peer_id=home)
+            proxied = cluster.answer(f"q-{sid}", peer_id=other)
+            assert proxied.value == direct.value
+            assert proxied.consensus_error > direct.consensus_error
+
+
+class TestSinglePeerDegeneratesToEngine:
+    def test_one_peer_no_consensus_error(self):
+        truth = workload(n_streams=3)
+        cluster = build_cluster(truth, peers=1, replication=0)
+        cluster.run()
+        cluster.settle()
+        answers = cluster.answers()
+        assert len(answers) == len(truth)
+        assert all(a.consensus_error == 0.0 for a in answers)
+        assert cluster.report().peer_offered == 0
+
+
+class TestDeterminism:
+    def test_identical_builds_identical_outcomes(self):
+        truth = workload()
+        first = build_cluster(truth)
+        first.run()
+        first.settle()
+        second = build_cluster(truth)
+        second.run()
+        second.settle()
+        assert finals(first) == finals(second)
+        assert first.report() == second.report()
+
+    def test_report_round_trips_to_dict(self):
+        cluster = build_cluster(workload(n_streams=3))
+        cluster.run()
+        cluster.settle()
+        report = cluster.report().to_dict()
+        assert report["peers"] == 3
+        assert sorted(report) == sorted(
+            type(cluster.report()).__dataclass_fields__
+        )

@@ -1,0 +1,128 @@
+"""Tests for information-form consensus fusion primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.federation import (
+    ConsensusRoundInfo,
+    fuse_information,
+    information_form,
+    staleness_drift,
+    zhat_spread,
+)
+from repro.filters.models import constant_model, linear_model
+
+
+def filter_with(x, p, model=None):
+    model = model or constant_model(q=0.2, r=1.0)
+    flt = model.build_filter(np.zeros(model.measurement_dim))
+    flt.set_state(np.atleast_1d(x), np.atleast_2d(p))
+    return flt
+
+
+class TestInformationForm:
+    def test_round_trips_through_fusion(self):
+        flt = filter_with([2.5], [[0.8]])
+        x, p = fuse_information([information_form(flt)])
+        assert np.allclose(x, flt.x)
+        assert np.allclose(p, flt.p)
+
+    def test_round_trips_multidimensional(self):
+        model = linear_model(dims=1, dt=1.0)
+        flt = model.build_filter(np.zeros(model.measurement_dim))
+        flt.set_state(
+            np.array([1.0, -0.5]), np.array([[2.0, 0.3], [0.3, 1.0]])
+        )
+        x, p = fuse_information([information_form(flt)])
+        assert np.allclose(x, flt.x)
+        assert np.allclose(p, flt.p)
+
+    def test_singular_covariance_rejected(self):
+        flt = filter_with([1.0], [[0.0]])
+        with pytest.raises(ConfigurationError):
+            information_form(flt)
+
+
+class TestFuseInformation:
+    def test_identical_estimates_fuse_to_themselves(self):
+        pair = information_form(filter_with([3.0], [[0.5]]))
+        x, p = fuse_information([pair, pair, pair])
+        assert np.allclose(x, [3.0])
+        assert np.allclose(p, [[0.5]])
+
+    def test_certainty_weighted_average(self):
+        """A tight estimate dominates the information average: the fused
+        mean lands closer to it than the arithmetic midpoint."""
+        tight = information_form(filter_with([0.0], [[0.1]]))
+        loose = information_form(filter_with([10.0], [[10.0]]))
+        x, _p = fuse_information([tight, loose])
+        assert x[0] < 5.0
+
+    def test_weights_are_normalised_defensively(self):
+        pairs = [
+            information_form(filter_with([1.0], [[1.0]])),
+            information_form(filter_with([3.0], [[1.0]])),
+        ]
+        halved = fuse_information(pairs, weights=[0.25, 0.25])
+        uniform = fuse_information(pairs, weights=[0.5, 0.5])
+        assert np.allclose(halved[0], uniform[0])
+        assert np.allclose(halved[1], uniform[1])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fuse_information([])
+
+    def test_mismatched_weights_rejected(self):
+        pair = information_form(filter_with([1.0], [[1.0]]))
+        with pytest.raises(ConfigurationError):
+            fuse_information([pair], weights=[0.5, 0.5])
+
+    def test_non_positive_weight_sum_rejected(self):
+        pair = information_form(filter_with([1.0], [[1.0]]))
+        with pytest.raises(ConfigurationError):
+            fuse_information([pair, pair], weights=[0.0, 0.0])
+
+
+class TestZhatSpread:
+    def test_single_participant_has_no_disagreement(self):
+        assert zhat_spread([np.array([4.0])]) == 0.0
+        assert zhat_spread([]) == 0.0
+
+    def test_spread_is_max_component_range(self):
+        zhats = [
+            np.array([1.0, 5.0]),
+            np.array([1.5, 2.0]),
+            np.array([0.5, 3.0]),
+        ]
+        assert zhat_spread(zhats) == pytest.approx(3.0)
+
+    def test_agreeing_participants_spread_zero(self):
+        z = np.array([2.0])
+        assert zhat_spread([z, z.copy(), z.copy()]) == 0.0
+
+
+class TestStalenessDrift:
+    def test_constant_model_drift_is_sqrt_q(self):
+        drift = staleness_drift(constant_model(q=0.2, r=1.0))
+        assert drift == pytest.approx(np.sqrt(0.2))
+
+    def test_drift_is_nonnegative_for_linear_model(self):
+        assert staleness_drift(linear_model(dims=1, dt=1.0)) >= 0.0
+
+
+class TestConsensusRoundInfo:
+    def test_bound_grows_with_staleness(self):
+        info = ConsensusRoundInfo(
+            round_index=3, at_tick=40, participants=2,
+            residual=0.5, best_last_seq=39,
+        )
+        assert info.bound(40, drift_per_tick=0.1) == pytest.approx(0.5)
+        assert info.bound(45, drift_per_tick=0.1) == pytest.approx(1.0)
+
+    def test_bound_never_credits_the_future(self):
+        info = ConsensusRoundInfo(
+            round_index=0, at_tick=10, participants=3,
+            residual=0.25, best_last_seq=9,
+        )
+        assert info.bound(5, drift_per_tick=1.0) == pytest.approx(0.25)

@@ -1,0 +1,168 @@
+"""Failover drill: killing one peer of three loses zero streams.
+
+The acceptance scenario from the federation issue: a 3-peer cluster
+takes a mid-run peer kill; every stream homed on the victim must be
+re-homed to the freshest replica, every final answer must sit within
+its advertised ``precision + consensus_error`` of the truth, and the
+failover must be visible in telemetry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsms.faults import FaultSchedule
+from repro.dsms.query import ContinuousQuery
+from repro.federation import FederatedCluster, FederationConfig
+from repro.filters.models import constant_model
+from repro.obs import Telemetry
+from repro.streams.base import stream_from_values
+
+TICKS = 240
+CRASH_AT = 60
+RESTART_AT = 120
+
+
+def workload(n_streams=6, seed=2024):
+    rng = np.random.default_rng(seed)
+    return {
+        f"s{i}": np.cumsum(rng.normal(0.0, 0.4, size=TICKS))
+        for i in range(n_streams)
+    }
+
+
+def build(truth, telemetry=None, restart_at=RESTART_AT):
+    cluster = FederatedCluster(
+        FederationConfig(peers=3, replication=1, consensus_every=8),
+        telemetry=telemetry,
+    )
+    for sid, values in truth.items():
+        cluster.add_source(
+            sid,
+            constant_model(q=0.2, r=1.0),
+            stream_from_values(values, name=sid),
+        )
+        cluster.submit_query(ContinuousQuery(sid, delta=1.0, query_id=f"q-{sid}"))
+    homes = {sid: cluster.home_of(sid) for sid in truth}
+    counts = {p: sum(1 for h in homes.values() if h == p) for p in cluster.peers}
+    victim = max(sorted(counts), key=lambda p: counts[p])
+    schedule = FaultSchedule(seed=7).crash(
+        victim, at=CRASH_AT, restart_at=restart_at
+    )
+    cluster.inject_faults(schedule)
+    return cluster, victim
+
+
+class TestCrashFailover:
+    @pytest.fixture(scope="class")
+    def drill(self):
+        truth = workload()
+        telemetry = Telemetry()
+        cluster, victim = build(truth, telemetry=telemetry)
+        orphans = sorted(
+            sid for sid in truth if cluster.home_of(sid) == victim
+        )
+        replicas_before = {sid: cluster.replicas_of(sid) for sid in orphans}
+        cluster.run()
+        cluster.settle()
+        return {
+            "truth": truth,
+            "cluster": cluster,
+            "victim": victim,
+            "orphans": orphans,
+            "replicas_before": replicas_before,
+            "telemetry": telemetry,
+        }
+
+    def test_zero_streams_lost(self, drill):
+        answered = {a.source_id for a in drill["cluster"].answers()}
+        assert answered == set(drill["truth"])
+
+    def test_orphans_rehomed_off_the_victim(self, drill):
+        assert drill["orphans"], "drill victim homed no streams"
+        cluster, victim = drill["cluster"], drill["victim"]
+        for sid in drill["orphans"]:
+            assert cluster.home_of(sid) != victim
+
+    def test_promotion_went_to_a_pre_crash_replica(self, drill):
+        """With k=1 the only warm bank is the replica: promotion must
+        pick it rather than re-priming a cold rendezvous survivor."""
+        cluster = drill["cluster"]
+        for sid in drill["orphans"]:
+            assert cluster.home_of(sid) in drill["replicas_before"][sid]
+
+    def test_failovers_counted_with_latency(self, drill):
+        report = drill["cluster"].report()
+        assert report.failovers >= len(drill["orphans"])
+        assert report.peer_crashes >= 1
+        assert len(report.rehome_latency_ticks) >= 1
+        assert all(t >= 0 for t in report.rehome_latency_ticks)
+
+    def test_final_answers_within_advertised_bound(self, drill):
+        truth = drill["truth"]
+        for a in drill["cluster"].answers():
+            err = abs(a.value[0] - truth[a.source_id][-1])
+            assert err <= a.precision + a.consensus_error + 1e-9, a.source_id
+
+    def test_victim_rejoined_at_higher_epoch(self, drill):
+        victim = drill["cluster"].peer(drill["victim"])
+        assert victim.alive
+        assert victim.epoch >= 1
+        assert victim.crashes == 1
+
+    def test_no_failback_after_restart(self, drill):
+        """Re-homing is sticky: the restarted victim rejoins as a
+        replica-capable peer but does not steal its old streams back."""
+        cluster, victim = drill["cluster"], drill["victim"]
+        assert all(
+            cluster.home_of(sid) != victim for sid in drill["orphans"]
+        )
+
+    def test_failover_visible_in_telemetry(self, drill):
+        counters: dict[str, int] = {}
+        for counter in drill["telemetry"].metrics.counters():
+            counters[counter.name] = counters.get(counter.name, 0) + counter.value
+        assert counters.get("fed_failovers_total", 0) >= 1
+        assert counters.get("fed_peer_crashes_total", 0) >= 1
+        assert counters.get("fed_peer_rejoins_total", 0) >= 1
+
+    def test_conservation_law_survives_the_crash(self, drill):
+        report = drill["cluster"].report()
+        assert report.source_offered == (
+            report.source_delivered + report.source_lost
+            + report.source_corrupted + report.source_in_flight
+        )
+        assert report.peer_offered == (
+            report.peer_delivered + report.peer_lost
+            + report.peer_corrupted + report.peer_in_flight
+        )
+
+
+class TestTerminalCrash:
+    def test_dead_forever_peer_still_fails_over(self):
+        """A peer that never restarts: its streams re-home and answer;
+        frames racing into the dead host are counted, not vanished."""
+        truth = workload(n_streams=6, seed=9)
+        cluster, victim = build(truth, restart_at=None)
+        cluster.run()
+        cluster.settle()
+        answered = {a.source_id for a in cluster.answers()}
+        assert answered == set(truth)
+        report = cluster.report()
+        assert report.failovers >= 1
+        assert all(cluster.home_of(sid) != victim for sid in truth)
+        assert report.dropped_at_dead_peer >= 0
+
+
+class TestFailoverDeterminism:
+    def test_same_seed_same_story(self):
+        truth = workload()
+        first, _ = build(truth)
+        first.run()
+        first.settle()
+        second, _ = build(truth)
+        second.run()
+        second.settle()
+        assert first.report() == second.report()
+        a = sorted((x.source_id, x.value, x.consensus_error) for x in first.answers())
+        b = sorted((x.source_id, x.value, x.consensus_error) for x in second.answers())
+        assert a == b

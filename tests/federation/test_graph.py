@@ -1,0 +1,156 @@
+"""Tests for the peer graph: topology, rendezvous placement, weights."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.federation import PeerGraph
+from repro.federation.graph import peer_link_id
+
+
+def full(n=3):
+    return PeerGraph([f"p{i}" for i in range(n)], topology="full")
+
+
+def ring(n=5):
+    return PeerGraph([f"p{i}" for i in range(n)], topology="ring")
+
+
+class TestConstruction:
+    def test_duplicate_peers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeerGraph(["p0", "p0"])
+
+    def test_empty_peer_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeerGraph([])
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeerGraph(["p0"], topology="torus")
+
+    def test_unknown_peer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            full().neighbors("ghost")
+
+    def test_full_mesh_neighbors(self):
+        graph = full(4)
+        for peer in graph.peer_ids:
+            assert sorted(graph.neighbors(peer)) == sorted(
+                p for p in graph.peer_ids if p != peer
+            )
+
+    def test_ring_neighbors_are_adjacent(self):
+        graph = ring(5)
+        assert graph.neighbors("p0") == ["p1", "p4"]
+        assert graph.neighbors("p2") == ["p1", "p3"]
+        assert all(graph.degree(p) == 2 for p in graph.peer_ids)
+
+    def test_single_peer_ring_has_no_neighbors(self):
+        assert PeerGraph(["p0"], topology="ring").neighbors("p0") == []
+
+    def test_peer_link_id_is_directed(self):
+        assert peer_link_id("p0", "p1") == "p0>p1"
+        assert peer_link_id("p0", "p1") != peer_link_id("p1", "p0")
+
+
+class TestRendezvousPlacement:
+    def test_ranking_is_deterministic_across_instances(self):
+        a, b = full(5), full(5)
+        for sid in ("s0", "s1", "temp-sensor-7"):
+            assert a.rank(sid) == b.rank(sid)
+            assert a.home(sid) == a.rank(sid)[0]
+
+    def test_placement_spreads_across_peers(self):
+        graph = full(3)
+        homes = {graph.home(f"s{i}") for i in range(32)}
+        assert homes == set(graph.peer_ids)
+
+    def test_removing_a_peer_rehomes_only_its_sources(self):
+        """The rendezvous property: survivors keep every placement."""
+        before = full(5)
+        after = PeerGraph([f"p{i}" for i in range(5) if i != 2])
+        for i in range(64):
+            sid = f"s{i}"
+            if before.home(sid) != "p2":
+                assert after.home(sid) == before.home(sid)
+            else:
+                # Orphans land on their next-ranked survivor.
+                survivors = [p for p in before.rank(sid) if p != "p2"]
+                assert after.home(sid) == survivors[0]
+
+    def test_full_mesh_replicas_are_next_ranks(self):
+        graph = full(4)
+        for i in range(16):
+            sid = f"s{i}"
+            assert graph.replicas(sid, 2) == graph.rank(sid)[1:3]
+
+    def test_ring_replicas_are_neighbors_of_home(self):
+        """Frames are forwarded over single links, never relayed -- so a
+        replica must be directly adjacent to the home peer."""
+        graph = ring(6)
+        for i in range(24):
+            sid = f"s{i}"
+            neighbors = set(graph.neighbors(graph.home(sid)))
+            assert set(graph.replicas(sid, 2)) <= neighbors
+
+    def test_replicas_respect_home_override(self):
+        """After failover the replica chain hangs off the new home."""
+        graph = ring(6)
+        new_home = "p3"
+        chain = graph.replicas("s0", 2, home=new_home)
+        assert set(chain) <= set(graph.neighbors(new_home))
+
+
+class TestMetropolisWeights:
+    @pytest.mark.parametrize("graph", [full(3), full(5), ring(5), ring(7)])
+    def test_weights_sum_to_one(self, graph):
+        for peer in graph.peer_ids:
+            weights = graph.metropolis_weights(peer)
+            assert abs(sum(weights.values()) - 1.0) < 1e-12
+            assert peer in weights
+
+    @pytest.mark.parametrize("graph", [full(4), ring(6)])
+    def test_weight_matrix_is_doubly_stochastic(self, graph):
+        """Metropolis weights are symmetric across edges, so column sums
+        equal row sums equal 1 -- the diffusion stability condition."""
+        rows = {p: graph.metropolis_weights(p) for p in graph.peer_ids}
+        for a in graph.peer_ids:
+            for b in graph.neighbors(a):
+                assert rows[a][b] == rows[b][a]
+            column = sum(rows[b].get(a, 0.0) for b in graph.peer_ids)
+            assert abs(column - 1.0) < 1e-12
+
+
+class TestComponents:
+    def test_all_links_up_is_one_component(self):
+        graph = full(4)
+        components = graph.components(lambda a, b: True)
+        assert components == [set(graph.peer_ids)]
+
+    def test_severed_peer_forms_its_own_island(self):
+        graph = full(4)
+
+        def link_up(a, b):
+            return "p3" not in (a, b)
+
+        components = graph.components(link_up)
+        assert components == [{"p0", "p1", "p2"}, {"p3"}]
+
+    def test_asymmetric_cut_still_splits(self):
+        """Components model mutual reachability: a one-way link does not
+        join two islands."""
+        graph = full(2)
+        components = graph.components(lambda a, b: (a, b) == ("p0", "p1"))
+        assert components == [{"p0"}, {"p1"}]
+
+    def test_ordering_is_deterministic(self):
+        graph = ring(6)
+
+        def link_up(a, b):
+            return {a, b} not in ({"p0", "p1"}, {"p3", "p4"})
+
+        first = graph.components(link_up)
+        second = graph.components(link_up)
+        assert first == second
+        sizes = [len(c) for c in first]
+        assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,121 @@
+"""Oracle property (satellite 3): crash -> failover -> heal leaves every
+stream's fused estimate within its *reported* ``precision +
+consensus_error`` of a never-crashed single-server oracle fed the same
+seeded workload.
+
+The single-server :class:`~repro.dsms.engine.StreamEngine` is the
+oracle: no peers, no faults, a perfect network.  The federated cluster
+must advertise bounds honest enough to cover whatever the crash and the
+re-homing cost it -- the check is against the *reported* bound, so an
+optimistic consensus_error fails the suite, not just a bad estimate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsms.engine import StreamEngine
+from repro.dsms.faults import FaultSchedule
+from repro.dsms.query import ContinuousQuery
+from repro.federation import FederatedCluster, FederationConfig
+from repro.filters.models import constant_model
+from repro.streams.base import stream_from_values
+
+TICKS = 300
+
+
+def workload(n_streams=6, seed=10):
+    return {
+        f"s{i}": np.cumsum(
+            np.random.default_rng(seed + i).normal(0.0, 0.3, size=TICKS)
+        )
+        for i in range(n_streams)
+    }
+
+
+def populate(system, truth):
+    for sid, values in truth.items():
+        system.add_source(
+            sid,
+            constant_model(q=0.2, r=1.0),
+            stream_from_values(values, name=sid),
+        )
+        system.submit_query(ContinuousQuery(sid, delta=1.0, query_id=f"q-{sid}"))
+    return system
+
+
+def oracle_answers(truth):
+    engine = populate(StreamEngine(), truth)
+    engine.run()
+    engine.settle()
+    return {a.source_id: a for a in engine.answers()}
+
+
+class TestOracleProperty:
+    @pytest.fixture(scope="class")
+    def truth(self):
+        return workload()
+
+    @pytest.fixture(scope="class")
+    def oracle(self, truth):
+        return oracle_answers(truth)
+
+    def federated(self, truth, schedule=None):
+        cluster = populate(
+            FederatedCluster(
+                FederationConfig(peers=3, replication=1, consensus_every=8)
+            ),
+            truth,
+        )
+        if schedule is not None:
+            cluster.inject_faults(schedule)
+        cluster.run()
+        cluster.settle()
+        return cluster
+
+    def assert_covered(self, cluster, oracle):
+        answers = {a.source_id: a for a in cluster.answers()}
+        assert set(answers) == set(oracle)
+        for sid, fed in answers.items():
+            gap = abs(fed.value[0] - oracle[sid].value[0])
+            bound = fed.precision + fed.consensus_error + 1e-9
+            assert gap <= bound, (
+                f"{sid}: federated answer strays {gap:.4f} from the "
+                f"oracle, advertised bound only {bound:.4f}"
+            )
+
+    def test_healthy_cluster_matches_oracle(self, truth, oracle):
+        """No faults: every home runs the same lock-step protocol as the
+        single server, so the answers agree to the bit -- consensus
+        fusion must never contaminate a live home's filter."""
+        cluster = self.federated(truth)
+        answers = {a.source_id: a for a in cluster.answers()}
+        for sid, fed in answers.items():
+            assert fed.value == oracle[sid].value
+            assert fed.consensus_error == 0.0
+
+    def test_crash_failover_heal_stays_within_reported_bound(self, truth, oracle):
+        cluster = self.federated(
+            truth,
+            FaultSchedule(seed=7).crash("p0", at=100, restart_at=200),
+        )
+        assert cluster.report().failovers >= 1
+        self.assert_covered(cluster, oracle)
+
+    def test_crash_plus_partition_stays_within_reported_bound(self, truth, oracle):
+        """The CI drill shape: a kill and a later cut on one run."""
+        schedule = (
+            FaultSchedule(seed=7)
+            .crash("p0", at=75, restart_at=150)
+            .partition({"p1"}, {"p0", "p2"}, at=190, heal_at=250)
+        )
+        cluster = self.federated(truth, schedule)
+        report = cluster.report()
+        assert report.failovers >= 1
+        assert report.split_brain_ticks > 0
+        self.assert_covered(cluster, oracle)
+
+    def test_terminal_crash_still_covered(self, truth, oracle):
+        cluster = self.federated(
+            truth, FaultSchedule(seed=7).crash("p1", at=120)
+        )
+        self.assert_covered(cluster, oracle)

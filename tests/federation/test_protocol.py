@@ -1,0 +1,160 @@
+"""Tests for the peer-to-peer wire codec (tags 0x10-0x13)."""
+
+import numpy as np
+import pytest
+
+from repro.dkf.protocol import ResyncMessage, UpdateMessage
+from repro.errors import ConfigurationError, CorruptMessageError
+from repro.federation.protocol import (
+    ConsensusShare,
+    PeerHeartbeat,
+    RehomeClaim,
+    ReplicaFrame,
+    decode_peer_frame,
+    encode_peer_frame,
+)
+
+LINKS = ["p0>p1", "p1>p0", "p0>p2"]
+STREAMS = ["s0", "s1"]
+PEERS = ["p0", "p1", "p2"]
+
+
+def decode(data, state_dim=None):
+    return decode_peer_frame(
+        data, link_ids=LINKS, stream_ids=STREAMS, peer_ids=PEERS,
+        state_dim=state_dim,
+    )
+
+
+def replica_frame(payload=None):
+    payload = payload or UpdateMessage(
+        source_id="s0", seq=7, k=12, value=np.array([3.25])
+    )
+    return ReplicaFrame(link_id="p0>p1", seq=4, k=12, payload=payload)
+
+
+def consensus_share(n=2, m=1):
+    y = np.arange(1, n * n + 1, dtype=float).reshape(n, n)
+    y = (y + y.T) / 2.0  # symmetric, as P^-1 always is
+    return ConsensusShare(
+        link_id="p1>p0",
+        seq=9,
+        k=40,
+        stream_id="s1",
+        round_index=5,
+        y=y,
+        yv=np.linspace(-1.0, 1.0, n),
+        zhat=np.full(m, 0.125),
+        last_seq=31,
+        staleness=2,
+    )
+
+
+class TestRoundTrip:
+    def test_replica_update_round_trips(self):
+        frame = replica_frame()
+        out = decode(encode_peer_frame(frame))
+        assert isinstance(out, ReplicaFrame)
+        assert (out.link_id, out.seq, out.k) == ("p0>p1", 4, 12)
+        assert out.stream_id == "s0"
+        payload = out.payload
+        assert isinstance(payload, UpdateMessage)
+        assert (payload.source_id, payload.seq, payload.k) == ("s0", 7, 12)
+        assert np.array_equal(payload.value, frame.payload.value)
+
+    def test_replica_resync_round_trips(self):
+        payload = ResyncMessage(
+            source_id="s1", seq=3, k=8,
+            x=np.array([1.0, -2.0]),
+            p=np.array([[2.0, 0.5], [0.5, 1.0]]),
+            value=np.array([0.75]),
+        )
+        out = decode(
+            encode_peer_frame(replica_frame(payload)), state_dim=2
+        )
+        assert isinstance(out.payload, ResyncMessage)
+        assert np.array_equal(out.payload.x, payload.x)
+        assert np.array_equal(out.payload.p, payload.p)
+
+    def test_consensus_share_round_trips(self):
+        frame = consensus_share()
+        out = decode(encode_peer_frame(frame))
+        assert isinstance(out, ConsensusShare)
+        assert out.stream_id == "s1"
+        assert out.round_index == 5
+        assert out.last_seq == 31
+        assert out.staleness == 2
+        assert np.allclose(out.y, frame.y)
+        assert np.allclose(out.yv, frame.yv)
+        assert np.allclose(out.zhat, frame.zhat)
+
+    def test_heartbeat_round_trips(self):
+        frame = PeerHeartbeat(
+            link_id="p0>p2", seq=1, k=16, peer_id="p0", epoch=3
+        )
+        out = decode(encode_peer_frame(frame))
+        assert out == frame
+
+    def test_rehome_claim_round_trips(self):
+        frame = RehomeClaim(
+            link_id="p1>p0", seq=2, k=90, stream_id="s0",
+            new_home="p1", epoch=1, last_seq=88,
+        )
+        out = decode(encode_peer_frame(frame))
+        assert out == frame
+
+
+class TestSizeAccounting:
+    @pytest.mark.parametrize(
+        "frame",
+        [
+            replica_frame(),
+            consensus_share(),
+            consensus_share(n=3, m=2),
+            PeerHeartbeat(link_id="p0>p1", seq=0, k=0, peer_id="p2", epoch=0),
+            RehomeClaim(
+                link_id="p0>p2", seq=0, k=0, stream_id="s0",
+                new_home="p2", epoch=2, last_seq=10,
+            ),
+        ],
+    )
+    def test_encoded_length_equals_size_bytes(self, frame):
+        assert len(encode_peer_frame(frame)) == frame.size_bytes
+
+
+class TestRejection:
+    def test_bit_flip_anywhere_is_rejected(self):
+        encoded = bytearray(encode_peer_frame(consensus_share()))
+        for position in range(0, len(encoded), 7):
+            flipped = bytearray(encoded)
+            flipped[position] ^= 0x40
+            with pytest.raises(CorruptMessageError):
+                decode(bytes(flipped))
+
+    def test_truncated_frame_is_rejected(self):
+        encoded = encode_peer_frame(
+            PeerHeartbeat(link_id="p0>p1", seq=0, k=0, peer_id="p0", epoch=0)
+        )
+        with pytest.raises((ConfigurationError, CorruptMessageError)):
+            decode(encoded[:6])
+
+    def test_unresolvable_stream_hash_is_rejected(self):
+        encoded = encode_peer_frame(replica_frame())
+        with pytest.raises(ConfigurationError):
+            decode_peer_frame(
+                encoded, link_ids=LINKS, stream_ids=[], peer_ids=PEERS
+            )
+
+    def test_unresolvable_link_hash_is_rejected(self):
+        encoded = encode_peer_frame(replica_frame())
+        with pytest.raises(ConfigurationError):
+            decode_peer_frame(
+                encoded, link_ids=["px>py"], stream_ids=STREAMS,
+                peer_ids=PEERS,
+            )
+
+    def test_non_peer_frame_rejected_at_encode(self):
+        with pytest.raises(ConfigurationError):
+            encode_peer_frame(
+                UpdateMessage(source_id="s0", seq=0, k=0, value=np.zeros(1))
+            )

@@ -223,3 +223,34 @@ def _build_plain(truth, **kw):
             ContinuousQuery(source_id=sid, delta=DELTAS[sid], query_id=f"q-{sid}")
         )
     return eng
+
+
+class TestLinkFaultsAreScalarOnly:
+    """The batch transport is synchronous: there is no link pipeline to
+    sever or slow, so partition/asymmetric schedules must be rejected
+    loudly instead of silently doing nothing."""
+
+    def _engine(self):
+        eng = BatchStreamEngine()
+        eng.add_source(
+            "s0", MODEL, stream_from_values(np.zeros(8), name="s0")
+        )
+        eng.submit_query(ContinuousQuery("s0", delta=1.0, query_id="q"))
+        return eng
+
+    def test_partition_schedule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._engine().inject_faults(
+                FaultSchedule().partition({"s0"}, {"server"}, at=10)
+            )
+
+    def test_asymmetric_schedule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._engine().inject_faults(
+                FaultSchedule().asymmetric_link("s0", 3, at=0, duration=5)
+            )
+
+    def test_plain_schedules_still_accepted(self):
+        self._engine().inject_faults(
+            FaultSchedule().crash("s0", at=2, restart_at=4)
+        )
