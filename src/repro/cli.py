@@ -13,11 +13,17 @@ writing code::
     python -m repro obs --record snap.json --events run.jsonl
     python -m repro obs snap.json          # replay as ASCII dashboard
     python -m repro obs snap.json --check  # schema validation only
+    python -m repro obs --record snap.json --watch --every 60
+    python -m repro obs --events run.jsonl --trace s0/41   # causal tree
+    python -m repro slo snap.json          # SLO alert + health report
+    python -m repro slo --demo --strict
     python -m repro chaos                  # seeded kill-and-recover drill
     python -m repro chaos --out chaos-out --max-recovery-ticks 50
     python -m repro chaos --batch          # same drill on the batch engine
+    python -m repro chaos --federation     # peer kill + partition drill
     python -m repro scale                  # scalar vs batch engine race
     python -m repro scale --sources 64 1024 --min-speedup 5
+    python -m repro benchdiff BENCH_engine_scale.json fresh.json
 """
 
 from __future__ import annotations
@@ -120,7 +126,8 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument(
         "--events",
         metavar="PATH",
-        help="with --record: also write the JSONL event log here",
+        help="with --record: also write the JSONL event log here; with "
+        "--trace: the JSONL event log to reconstruct the trace from",
     )
     obs.add_argument(
         "--check",
@@ -129,6 +136,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs.add_argument(
         "--ticks", type=int, default=300, help="demo run length (--record)"
+    )
+    obs.add_argument(
+        "--watch",
+        action="store_true",
+        help="with --record: render live dashboard frames as the demo runs",
+    )
+    obs.add_argument(
+        "--every",
+        type=int,
+        default=60,
+        help="with --watch: ticks between dashboard frames (default 60)",
+    )
+    obs.add_argument(
+        "--trace",
+        metavar="ID",
+        help="render one trace's causal tree from an --events JSONL log "
+        "('all' lists the trace IDs present)",
+    )
+
+    slo = sub.add_parser(
+        "slo",
+        help="SLO alert and health-watcher report from a v2 snapshot",
+    )
+    slo.add_argument(
+        "snapshot",
+        nargs="?",
+        help="snapshot JSON to report on (omit with --demo)",
+    )
+    slo.add_argument(
+        "--demo",
+        action="store_true",
+        help="run the seeded burst-loss demo with the default SLO rules "
+        "and health watchers installed, then report on it",
+    )
+    slo.add_argument(
+        "--ticks", type=int, default=300, help="demo run length (--demo)"
+    )
+    slo.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any alert fired (or is still firing)",
     )
 
     chaos = sub.add_parser(
@@ -224,7 +272,22 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument(
         "--out",
         default=None,
-        help="write the sweep as a repro.obs/v1 snapshot JSON here",
+        help="write the sweep as a repro.obs/v2 snapshot JSON here",
+    )
+
+    benchdiff = sub.add_parser(
+        "benchdiff",
+        help="compare two bench snapshots and gate on throughput "
+        "regression (baseline may be a v1 artifact; it migrates on load)",
+    )
+    benchdiff.add_argument("baseline", help="committed baseline snapshot")
+    benchdiff.add_argument("fresh", help="freshly produced snapshot")
+    benchdiff.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="fail when any shared throughput gauge regresses by more "
+        "than this fraction (default 0.25)",
     )
     return parser
 
@@ -280,23 +343,23 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _record_demo(args: argparse.Namespace) -> dict:
-    """Run the seeded burst-loss demo with telemetry and export artifacts."""
+def _build_demo_engine(ticks: int, telemetry):
+    """The seeded burst-loss demo engine (shared by obs/slo demos).
+
+    One linear stream, bursty loss plus rare corruption, with the
+    default health watchers and SLO rules installed -- enough traffic
+    for every v2 snapshot section to carry real data.
+    """
     import numpy as np
 
     from repro.dkf.config import TransportPolicy
     from repro.dsms.engine import StreamEngine
     from repro.dsms.faults import FaultSchedule
     from repro.dsms.query import ContinuousQuery
-    from repro.obs import JsonlEventWriter, Telemetry, write_snapshot
     from repro.streams.base import stream_from_values
 
-    ticks = args.ticks
-    telemetry = Telemetry()
-    writer = None
-    if args.events:
-        writer = JsonlEventWriter(args.events)
-        telemetry.bus.subscribe(writer)
+    telemetry.health.install_defaults()
+    telemetry.slo.install_defaults()
     engine = StreamEngine(telemetry=telemetry)
     rng = np.random.default_rng(7)
     values = np.cumsum(rng.normal(0.0, 1.0, size=ticks))
@@ -312,11 +375,33 @@ def _record_demo(args: argparse.Namespace) -> dict:
         .burst_loss("s0", p_enter=0.05, p_exit=0.3)
         .corrupt("s0", rate=0.02)
     )
-    engine.run()
+    return engine
+
+
+def _record_demo(args: argparse.Namespace) -> dict:
+    """Run the seeded burst-loss demo with telemetry and export artifacts."""
+    from repro.obs import JsonlEventWriter, Telemetry, write_snapshot
+    from repro.obs.dashboard import render_dashboard
+
+    ticks = args.ticks
+    telemetry = Telemetry()
+    writer = None
+    if args.events:
+        writer = JsonlEventWriter(args.events)
+        telemetry.bus.subscribe(writer)
+    engine = _build_demo_engine(ticks, telemetry)
+    meta = {"name": "obs-demo", "seed": 7, "demo_ticks": ticks}
+    if getattr(args, "watch", False):
+        frame_every = max(1, args.every)
+        for _ in range(ticks):
+            engine.step()
+            if engine.ticks % frame_every == 0:
+                print(render_dashboard(engine.obs_snapshot(meta)))
+                print(f"\n[watch] tick {engine.ticks}/{ticks}\n")
+    else:
+        engine.run()
     engine.settle()
-    snapshot = engine.obs_snapshot(
-        {"name": "obs-demo", "seed": 7, "demo_ticks": ticks}
-    )
+    snapshot = engine.obs_snapshot(meta)
     write_snapshot(args.record, snapshot)
     if writer is not None:
         writer.close()
@@ -365,6 +450,8 @@ def _run_chaos(args: argparse.Namespace) -> int:
     priorities = {"hi": 2, "mid": 1, "lo": 0}
 
     telemetry = Telemetry()
+    telemetry.health.install_defaults()
+    telemetry.slo.install_defaults()
     if args.batch:
         from repro.scale.engine import BatchStreamEngine
 
@@ -471,6 +558,19 @@ def _run_chaos(args: argparse.Namespace) -> int:
         str(out / "snapshot.json"),
         engine.obs_snapshot({"name": "chaos", "seed": args.seed}),
     )
+    (out / "slo-report.json").write_text(
+        json.dumps(
+            {
+                "slo": telemetry.slo.report(),
+                "health": telemetry.health.report(),
+                "faults": {"crash_at": crash_at, "recover_at": recover_at},
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
 
     print("\n=== chaos recovery report ===")
     print(f"checkpoints written : {report['checkpoint_writes']}")
@@ -546,7 +646,7 @@ def _run_chaos_federation(args: argparse.Namespace) -> int:
         for i in range(n_streams)
     }
 
-    def build(telemetry=None):
+    def build(telemetry=None, faults=True):
         cluster = FederatedCluster(
             FederationConfig(
                 peers=args.peers, replication=1, consensus_every=8
@@ -573,18 +673,23 @@ def _run_chaos_federation(args: argparse.Namespace) -> int:
             s for s, h in homes.items() if h == island
         }
         far_side = (set(cluster.peers) | set(truth)) - island_side
-        cluster.inject_faults(
-            FaultSchedule(seed=args.seed)
-            .crash(victim, at=crash_at, restart_at=restart_at)
-            .partition(island_side, far_side, at=cut_at, heal_at=heal_at)
-        )
+        if faults:
+            cluster.inject_faults(
+                FaultSchedule(seed=args.seed)
+                .crash(victim, at=crash_at, restart_at=restart_at)
+                .partition(island_side, far_side, at=cut_at, heal_at=heal_at)
+            )
         return cluster, victim, island
 
-    def drill(telemetry=None):
-        cluster, victim, island = build(telemetry)
+    def drill(telemetry=None, faults=True):
+        cluster, victim, island = build(telemetry, faults)
         mid_partition = None
         for _ in range(ticks):
             cluster.step()
+            # Serve every query once per tick: answers feed the
+            # staleness and consensus-error health series (a pure read
+            # when telemetry is disabled, so bit-identity holds).
+            cluster.answers()
             if cluster.ticks == (cut_at + heal_at) // 2:
                 mid_partition = {
                     "island": sorted(
@@ -611,6 +716,8 @@ def _run_chaos_federation(args: argparse.Namespace) -> int:
         return cluster, victim, island, mid_partition, finals
 
     telemetry = Telemetry()
+    telemetry.health.install_defaults(federation=True)
+    telemetry.slo.install_defaults(federation=True)
     cluster, victim, island, mid_partition, finals = drill(telemetry)
     report = cluster.report()
     orphans = sorted(
@@ -655,9 +762,70 @@ def _run_chaos_federation(args: argparse.Namespace) -> int:
     if not counters.get("fed_failovers_total"):
         failures.append("failovers invisible in telemetry counters")
 
+    # SLO lifecycle gates: the partition must push at least one alert
+    # through pending -> firing inside the fault window, and the heal
+    # must resolve it before the run ends.
+    slo_alerts = telemetry.slo.alerts
+    fired_in_partition = sorted(
+        name
+        for name, alert in slo_alerts.items()
+        if alert.fired_between(cut_at, heal_at)
+    )
+    if not fired_in_partition:
+        failures.append(
+            "no SLO alert fired during the partition window "
+            f"[{cut_at}, {heal_at}]"
+        )
+    resolved_after_heal = sorted(
+        name
+        for name in fired_in_partition
+        if slo_alerts[name].resolved_after(heal_at)
+    )
+    if fired_in_partition and not resolved_after_heal:
+        failures.append(
+            "no partition-window alert resolved after the heal at "
+            f"{heal_at}"
+        )
+    # Health gate: a Kalman watcher must flag an injected fault within
+    # 50 ticks of its onset.
+    anomaly_ticks = sorted(
+        e.tick for e in telemetry.bus.events("health.anomaly")
+    )
+    detection_window = 50
+    flagged_fast = any(
+        start <= t <= start + detection_window
+        for start in (crash_at, cut_at)
+        for t in anomaly_ticks
+    )
+    if not flagged_fast:
+        failures.append(
+            "no health watcher flagged the crash or the partition within "
+            f"{detection_window} ticks (anomalies at {anomaly_ticks})"
+        )
+
     _, _, _, _, finals_again = drill()
     if finals != finals_again:
         failures.append("re-run after heal was not bit-identical")
+
+    # Clean-run gate: the same cluster without injected faults must stay
+    # silent -- zero anomaly events, zero alerts fired.
+    clean_tel = Telemetry()
+    clean_tel.health.install_defaults(federation=True)
+    clean_tel.slo.install_defaults(federation=True)
+    drill(clean_tel, faults=False)
+    clean_anomalies = clean_tel.health.total_anomalies
+    clean_fired = sorted(
+        name
+        for name, alert in clean_tel.slo.alerts.items()
+        if alert.fired_between(0, ticks)
+    )
+    if clean_anomalies:
+        failures.append(
+            f"clean run produced {clean_anomalies} health anomalies "
+            "(watchers must stay silent without faults)"
+        )
+    if clean_fired:
+        failures.append(f"clean run fired SLO alerts: {clean_fired}")
 
     drill_report = {
         "seed": args.seed,
@@ -687,6 +855,28 @@ def _run_chaos_federation(args: argparse.Namespace) -> int:
                   "peers": args.peers},
         ),
     )
+    slo_report = {
+        "windows": {
+            "crash_at": crash_at,
+            "restart_at": restart_at,
+            "cut_at": cut_at,
+            "heal_at": heal_at,
+            "detection_window": detection_window,
+        },
+        "slo": telemetry.slo.report(),
+        "health": telemetry.health.report(),
+        "anomaly_ticks": anomaly_ticks,
+        "fired_during_partition": fired_in_partition,
+        "resolved_after_heal": resolved_after_heal,
+        "clean_run": {
+            "anomalies": clean_anomalies,
+            "alerts_fired": clean_fired,
+        },
+    }
+    (out / "slo-report.json").write_text(
+        json.dumps(slo_report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
 
     print("\n=== federated chaos report ===")
     print(f"peers               : {args.peers} (killed {victim}, "
@@ -697,6 +887,15 @@ def _run_chaos_federation(args: argparse.Namespace) -> int:
     print(f"consensus rounds    : {report.consensus_rounds}")
     print(f"split-brain ticks   : {report.split_brain_ticks}")
     print(f"dropped at dead peer: {report.dropped_at_dead_peer}")
+    print(f"alerts fired in cut : {', '.join(fired_in_partition) or 'none'}")
+    print(
+        f"resolved after heal : {', '.join(resolved_after_heal) or 'none'}"
+    )
+    print(f"anomaly ticks       : {anomaly_ticks or 'none'}")
+    print(
+        f"clean run           : {clean_anomalies} anomalies, "
+        f"{len(clean_fired)} alerts fired"
+    )
     print(f"artifacts           : {out}/")
     if failures:
         for failure in failures:
@@ -810,6 +1009,23 @@ def _run_scale(args: argparse.Namespace) -> int:
 def _run_obs(args: argparse.Namespace) -> int:
     from repro.obs import load_snapshot, render_dashboard, validate_snapshot
 
+    if args.trace is not None and args.record is None:
+        # Post-mortem trace view: rebuild one update's causal tree from
+        # an exported JSONL event log.
+        from repro.obs import read_jsonl_events, render_trace, trace_ids
+
+        if args.events is None:
+            print("error: --trace needs --events <run.jsonl>", file=sys.stderr)
+            return 1
+        events = read_jsonl_events(args.events)
+        if args.trace == "all":
+            ids = trace_ids(events)
+            for tid in ids:
+                print(tid)
+            print(f"({len(ids)} traces in {args.events})")
+            return 0
+        print(render_trace(events, args.trace))
+        return 0
     if args.record is None and args.snapshot is None:
         print("error: need a snapshot path or --record", file=sys.stderr)
         return 1
@@ -821,7 +1037,166 @@ def _run_obs(args: argparse.Namespace) -> int:
     if args.check:
         print("snapshot ok")
         return 0
+    if args.trace is not None:
+        # --record --events --trace: trace from the just-written log.
+        from repro.obs import read_jsonl_events, render_trace
+
+        if args.events is None:
+            print("error: --trace needs --events <run.jsonl>", file=sys.stderr)
+            return 1
+        print(render_trace(read_jsonl_events(args.events), args.trace))
+        return 0
     print(render_dashboard(snapshot))
+    return 0
+
+
+def _format_slo_report(snapshot: dict) -> tuple[str, bool]:
+    """Render the alerts/health sections; returns (text, any_fired)."""
+    lines: list[str] = []
+    rules = snapshot.get("alerts", {}).get("rules", [])
+    watchers = snapshot.get("health", {}).get("watchers", [])
+    any_fired = False
+    lines.append("=== SLO report ===")
+    if not rules:
+        lines.append("(no SLO rules installed)")
+    for rule in rules:
+        fired = [t for t in rule["transitions"] if t["to"] == "firing"]
+        resolved = [t for t in rule["transitions"] if t["to"] == "resolved"]
+        if fired or rule["state"] == "firing":
+            any_fired = True
+        status = rule["state"].upper() if rule["state"] != "ok" else "ok"
+        lines.append(
+            f"{rule['name']} ({rule['kind']}, objective "
+            f"{rule['objective']:g}): {status}"
+        )
+        if fired:
+            ticks = ", ".join(str(t["tick"]) for t in fired)
+            lines.append(f"  fired at tick(s): {ticks}")
+        if resolved:
+            ticks = ", ".join(str(t["tick"]) for t in resolved)
+            lines.append(f"  resolved at tick(s): {ticks}")
+        last = rule.get("last")
+        if last:
+            pairs = " ".join(f"{k}={v:g}" for k, v in sorted(last.items()))
+            lines.append(f"  last evaluation: {pairs}")
+    lines.append("")
+    lines.append("=== health watchers ===")
+    if not watchers:
+        lines.append("(no health watchers installed)")
+    for w in watchers:
+        if w["anomalies"]:
+            lines.append(
+                f"{w['name']} <- {w['metric']} ({w['signal']}): "
+                f"{w['anomalies']} anomalies, first @tick "
+                f"{w['first_anomaly_tick']}, last @tick "
+                f"{w['last_anomaly_tick']}"
+            )
+        else:
+            lines.append(
+                f"{w['name']} <- {w['metric']} ({w['signal']}): clean"
+            )
+    return "\n".join(lines), any_fired
+
+
+def _run_slo(args: argparse.Namespace) -> int:
+    from repro.obs import Telemetry, load_snapshot
+
+    if args.demo:
+        telemetry = Telemetry()
+        engine = _build_demo_engine(args.ticks, telemetry)
+        engine.run()
+        engine.settle()
+        snapshot = engine.obs_snapshot(
+            {"name": "slo-demo", "seed": 7, "demo_ticks": args.ticks}
+        )
+    elif args.snapshot is None:
+        print("error: need a snapshot path or --demo", file=sys.stderr)
+        return 1
+    else:
+        snapshot = load_snapshot(args.snapshot)
+    text, any_fired = _format_slo_report(snapshot)
+    print(text)
+    if args.strict and any_fired:
+        print("strict: at least one alert fired", file=sys.stderr)
+        return 1
+    return 0
+
+
+#: Bench gauges gated by ``repro benchdiff``; regression direction per name.
+_BENCH_LOWER_IS_BETTER = (
+    "engine_run_seconds",
+    "engine_us_per_reading",
+    "fed_run_seconds",
+    "fed_answer_us",
+)
+_BENCH_HIGHER_IS_BETTER = ("batch_speedup_x",)
+
+
+def _run_benchdiff(args: argparse.Namespace) -> int:
+    """Gate a fresh bench snapshot against a committed baseline."""
+    from repro.obs import load_snapshot
+
+    if not 0.0 < args.max_regression:
+        raise ConfigurationError("--max-regression must be positive")
+
+    def throughput_gauges(path: str) -> dict[tuple, float]:
+        snapshot = load_snapshot(path)
+        gauges: dict[tuple, float] = {}
+        for row in snapshot["gauges"]:
+            name = row["name"]
+            if (
+                name in _BENCH_LOWER_IS_BETTER
+                or name in _BENCH_HIGHER_IS_BETTER
+            ):
+                key = (name, tuple(sorted(row["labels"].items())))
+                gauges[key] = float(row["value"])
+        return gauges
+
+    baseline = throughput_gauges(args.baseline)
+    fresh = throughput_gauges(args.fresh)
+    shared = sorted(set(baseline) & set(fresh))
+    if not shared:
+        print(
+            "error: the snapshots share no throughput gauges "
+            f"({args.baseline} has {len(baseline)}, "
+            f"{args.fresh} has {len(fresh)})",
+            file=sys.stderr,
+        )
+        return 1
+    only_baseline = sorted(set(baseline) - set(fresh))
+    for name, labels in only_baseline:
+        label_text = ",".join(f"{k}={v}" for k, v in labels)
+        print(f"note: {name}{{{label_text}}} absent from the fresh run")
+
+    regressions: list[str] = []
+    for key in shared:
+        name, labels = key
+        base, new = baseline[key], fresh[key]
+        if base <= 0:
+            continue
+        if name in _BENCH_LOWER_IS_BETTER:
+            change = (new - base) / base
+        else:
+            change = (base - new) / base
+        label_text = ",".join(f"{k}={v}" for k, v in labels)
+        verdict = "REGRESSED" if change > args.max_regression else "ok"
+        print(
+            f"{name}{{{label_text}}}: baseline {base:.4g} -> {new:.4g} "
+            f"({change:+.1%} worse) {verdict}"
+        )
+        if change > args.max_regression:
+            regressions.append(f"{name}{{{label_text}}}")
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} gauge(s) regressed beyond "
+            f"{args.max_regression:.0%}: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok: {len(shared)} shared throughput gauges within "
+        f"{args.max_regression:.0%} of baseline"
+    )
     return 0
 
 
@@ -834,6 +1209,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         if args.command == "obs":
             return _run_obs(args)
+        if args.command == "slo":
+            return _run_slo(args)
+        if args.command == "benchdiff":
+            return _run_benchdiff(args)
         if args.command == "chaos":
             if args.federation:
                 return _run_chaos_federation(args)

@@ -1094,10 +1094,12 @@ class StreamEngine:
         )
 
     def obs_snapshot(self, meta: dict | None = None) -> dict:
-        """Telemetry snapshot of this run (``repro.obs/v1`` schema).
+        """Telemetry snapshot of this run (``repro.obs/v2`` schema).
 
         Merges the engine's traffic report into ``meta`` so a snapshot is
         self-describing even when telemetry was disabled (counters empty).
+        Building the snapshot flushes the final tick into the metric
+        history, so the exported series cover the whole run.
         """
         merged = {"ticks": self._ticks, "report": self.report().to_dict()}
         if self._resilience is not None:

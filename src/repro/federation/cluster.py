@@ -72,6 +72,7 @@ from repro.federation.protocol import (
     ReplicaFrame,
 )
 from repro.filters.models import StateSpaceModel
+from repro.obs.events import trace_id
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.resilience.supervisor import StreamSupervisor
 from repro.streams.base import MaterializedStream, StreamCursor
@@ -645,6 +646,16 @@ class FederatedCluster:
             # Frame raced a retire/failover; nothing holds the bank.
             self._dropped_at_dead_peer += 1
             return
+        if self._tel.enabled and isinstance(
+            message, (UpdateMessage, ResyncMessage)
+        ):
+            self._tel.emit(
+                "federation.ingress",
+                source_id=source_id,
+                trace=trace_id(source_id, message.seq),
+                home=home,
+                lag_ticks=self._ticks - message.k,
+            )
         peer.server.receive(message)
         if isinstance(message, (UpdateMessage, ResyncMessage)):
             for replica in self._replicas[source_id]:
@@ -662,9 +673,18 @@ class FederatedCluster:
             return
         seq = self._peer_seq[link]
         self._peer_seq[link] = seq + 1
-        self._peer_fabric.send(
-            ReplicaFrame(link_id=link, seq=seq, k=payload.k, payload=payload)
+        frame = ReplicaFrame(
+            link_id=link, seq=seq, k=payload.k, payload=payload
         )
+        if self._tel.enabled:
+            self._tel.emit(
+                "federation.replica_forward",
+                source_id=frame.stream_id,
+                trace=frame.trace_id,
+                home=home,
+                replica=replica,
+            )
+        self._peer_fabric.send(frame)
 
     def _deliver_peer_frame(self, frame) -> None:
         """Peer fabric deliver: dispatch one peer frame at its receiver."""
@@ -679,6 +699,14 @@ class FederatedCluster:
         peer.note_heard(sender, self._ticks)
         if isinstance(frame, ReplicaFrame):
             if frame.stream_id in peer.server.source_ids:
+                if self._tel.enabled:
+                    self._tel.emit(
+                        "federation.replica_apply",
+                        source_id=frame.stream_id,
+                        trace=frame.trace_id,
+                        replica=receiver,
+                        lag_ticks=self._ticks - frame.k,
+                    )
                 peer.server.receive(frame.payload)
             return
         if isinstance(frame, ConsensusShare):
@@ -863,6 +891,7 @@ class FederatedCluster:
             self._tel.emit(
                 "federation.failover",
                 source_id=source_id,
+                trace=f"rehome/{source_id}/{epoch}",
                 old_home=old_home,
                 new_home=new_home,
                 epoch=epoch,
@@ -889,6 +918,10 @@ class FederatedCluster:
                     self._tel.emit(
                         "federation.rehome_complete",
                         source_id=source_id,
+                        trace=(
+                            f"rehome/{source_id}/"
+                            f"{self._home_epoch[source_id]}"
+                        ),
                         home=peer.peer_id,
                         latency_ticks=latency,
                     )
@@ -1029,6 +1062,15 @@ class FederatedCluster:
             peer.consensus_rounds_applied += 1
             self._consensus_rounds += 1
             if self._tel.enabled:
+                self._tel.emit(
+                    "federation.consensus_fuse",
+                    source_id=stream,
+                    trace=f"consensus/{round_index}/{stream}",
+                    peer=peer.peer_id,
+                    round_index=round_index,
+                    participants=len(participants),
+                    residual=residual,
+                )
                 self._tel.observe(
                     "fed_consensus_residual", residual, stream
                 )
@@ -1077,7 +1119,9 @@ class FederatedCluster:
             serving = self._serving_peer(stream)
             if serving is None:
                 return None
-            return self._bank_answer(query, source, serving, home_id)
+            return self._bank_answer(
+                query, source, serving, home_id, record=True
+            )
         peer = self.peer(peer_id)
         if not peer.alive:
             return None
@@ -1134,6 +1178,7 @@ class FederatedCluster:
         source: DKFSource,
         peer: PeerNode,
         home_id: str,
+        record: bool = False,
     ) -> QueryAnswer | None:
         stream = query.source_id
         if not peer.server.is_primed(stream):
@@ -1165,6 +1210,19 @@ class FederatedCluster:
             and self._faults.partition_active(self._ticks)
         ):
             degraded = degraded or not self._peers[home_id].alive
+        if record and self._tel.enabled:
+            # Answer-side health feed: the staleness histogram drives the
+            # p99-staleness SLO, the gauge drives the consensus-error
+            # bound rule and its Kalman watcher.  Only the default
+            # serving view records -- per-peer diagnostic views would
+            # report a replica's honest-but-wide bound as if it were the
+            # answer the system served.
+            self._tel.observe(
+                "staleness_at_answer_ticks",
+                int(live["staleness_ticks"]),
+                stream,
+            )
+            self._tel.gauge("consensus_error", float(consensus_error), stream)
         return QueryAnswer(
             query_id=query.query_id,
             source_id=stream,

@@ -40,6 +40,7 @@ from repro.dkf.protocol import (
     encode_message,
 )
 from repro.errors import ConfigurationError, CorruptMessageError
+from repro.obs.events import trace_id
 
 __all__ = [
     "ReplicaFrame",
@@ -109,6 +110,15 @@ class ReplicaFrame:
         return self.payload.source_id
 
     @property
+    def trace_id(self) -> str:
+        """The nested update's trace ID, derived -- never re-encoded.
+
+        The payload travels verbatim, so the forward hop correlates with
+        the source's original send without widening the wire format.
+        """
+        return trace_id(self.payload.source_id, self.payload.seq)
+
+    @property
     def size_bytes(self) -> int:
         """Encoded size: header + length prefix + nested frame + CRC."""
         return (
@@ -151,6 +161,11 @@ class ConsensusShare:
     def source_id(self) -> str:
         """The fabric link key."""
         return self.link_id
+
+    @property
+    def trace_id(self) -> str:
+        """Synthetic trace correlating every share of one fusion round."""
+        return f"consensus/{self.round_index}/{self.stream_id}"
 
     @property
     def size_bytes(self) -> int:
@@ -221,6 +236,11 @@ class RehomeClaim:
     new_home: str
     epoch: int
     last_seq: int
+
+    @property
+    def trace_id(self) -> str:
+        """Synthetic trace correlating one stream's failover re-home."""
+        return f"rehome/{self.stream_id}/{self.epoch}"
 
     @property
     def source_id(self) -> str:

@@ -20,7 +20,16 @@ under observation:
   default and keeps instrumented code byte-identical to uninstrumented.
 * :mod:`repro.obs.exporters` -- JSONL event log, Prometheus-style text
   exposition, and the versioned JSON run-snapshot format behind the
-  repo's ``BENCH_*.json`` artifacts.
+  repo's ``BENCH_*.json`` artifacts (``repro.obs/v2``; v1 files migrate
+  on load).
+* :mod:`repro.obs.history` -- bounded per-(name,labels) time series
+  sampled each tick behind the registry, queryable by window.
+* :mod:`repro.obs.health` -- Kalman health watchers: the repo's own
+  filter pointed at the system's health series, NIS-scored anomalies.
+* :mod:`repro.obs.slo` -- declarative SLO rules with multi-window
+  burn-rate alerting and a pending/firing/resolved lifecycle.
+* :mod:`repro.obs.trace` -- causal-tree reconstruction of one update's
+  journey across federation hops, with per-hop timing.
 * :mod:`repro.obs.dashboard` -- replays a snapshot as an ASCII dashboard
   (``python -m repro obs <snapshot>``).
 """
@@ -29,16 +38,47 @@ from repro.obs.dashboard import render_dashboard
 from repro.obs.events import Event, EventBus, trace_id
 from repro.obs.exporters import (
     SNAPSHOT_SCHEMA,
+    SNAPSHOT_SCHEMA_V1,
     JsonlEventWriter,
     build_snapshot,
     load_snapshot,
+    migrate_snapshot,
     prometheus_text,
     validate_snapshot,
     write_snapshot,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.health import (
+    DEFAULT_WATCHERS,
+    FEDERATION_WATCHERS,
+    HealthMonitor,
+    HealthWatcher,
+    WatcherSpec,
+)
+from repro.obs.history import MetricHistory, Series
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantile_from_counts,
+)
+from repro.obs.slo import (
+    DEFAULT_RULES,
+    FEDERATION_RULES,
+    SLOAlert,
+    SLOEngine,
+    SLORule,
+)
 from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
 from repro.obs.timing import NULL_TIMERS, NullTimers, SpanStat, SpanTimers
+from repro.obs.trace import (
+    TraceHop,
+    build_trace,
+    collect_trace,
+    read_jsonl_events,
+    render_trace,
+    trace_ids,
+)
 
 __all__ = [
     "Event",
@@ -48,6 +88,25 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "quantile_from_counts",
+    "MetricHistory",
+    "Series",
+    "WatcherSpec",
+    "HealthWatcher",
+    "HealthMonitor",
+    "DEFAULT_WATCHERS",
+    "FEDERATION_WATCHERS",
+    "SLORule",
+    "SLOAlert",
+    "SLOEngine",
+    "DEFAULT_RULES",
+    "FEDERATION_RULES",
+    "TraceHop",
+    "collect_trace",
+    "trace_ids",
+    "build_trace",
+    "render_trace",
+    "read_jsonl_events",
     "SpanStat",
     "SpanTimers",
     "NullTimers",
@@ -56,11 +115,13 @@ __all__ = [
     "NullTelemetry",
     "NULL_TELEMETRY",
     "SNAPSHOT_SCHEMA",
+    "SNAPSHOT_SCHEMA_V1",
     "JsonlEventWriter",
     "prometheus_text",
     "build_snapshot",
     "write_snapshot",
     "load_snapshot",
+    "migrate_snapshot",
     "validate_snapshot",
     "render_dashboard",
 ]

@@ -3,8 +3,11 @@
 ``python -m repro obs <snapshot.json>`` calls :func:`render_dashboard`
 on a loaded snapshot: counters and gauges as aligned tables, histograms
 as bucket-count sparklines (reusing the figure-harness renderer from
-:mod:`repro.metrics.ascii_plot`), span timings sorted by total cost, and
-the event-name census.  Text-only, like every figure in this repo.
+:mod:`repro.metrics.ascii_plot`) with p50/p95/p99 estimates, SLO alert
+states with their transition history, health-watcher anomaly summaries,
+metric-history trend sparklines, span timings sorted by total cost, and
+the event-name census (with a loud warning when the event ring buffer
+wrapped).  Text-only, like every figure in this repo.
 """
 
 from __future__ import annotations
@@ -120,13 +123,21 @@ def render_dashboard(snapshot: dict, width: int = 48) -> str:
         lines.append("-- histograms (bucket counts, low -> high) --")
         for row in snapshot["histograms"]:
             spark = sparkline(np.array(row["counts"], dtype=float), width=width)
-            stats = (
-                f"n={row['count']}"
-                f" mean={row['sum'] / row['count']:.3g}"
-                f" min={row['min']:.3g} max={row['max']:.3g}"
-                if row["count"]
-                else "n=0"
-            )
+            if row["count"]:
+                stats = (
+                    f"n={row['count']}"
+                    f" mean={row['sum'] / row['count']:.3g}"
+                    f" min={row['min']:.3g} max={row['max']:.3g}"
+                )
+                quantiles = " ".join(
+                    f"{q}={row[q]:.3g}"
+                    for q in ("p50", "p95", "p99")
+                    if isinstance(row.get(q), (int, float))
+                )
+                if quantiles:
+                    stats = f"{stats} {quantiles}"
+            else:
+                stats = "n=0"
             lines.append(f"  {_series_name(row)}  {stats}")
             lines.append(f"    |{spark}|")
 
@@ -135,6 +146,74 @@ def render_dashboard(snapshot: dict, width: int = 48) -> str:
         lines.append("")
         lines.append("-- federation --")
         lines.extend(_table(federation_rows))
+
+    alerts = snapshot.get("alerts", {}).get("rules", [])
+    if alerts:
+        lines.append("")
+        lines.append("-- slo alerts --")
+        alert_rows = []
+        for rule in alerts:
+            state = rule["state"].upper() if rule["state"] != "ok" else "ok"
+            fired = sum(
+                1 for t in rule["transitions"] if t["to"] == "firing"
+            )
+            history = " -> ".join(
+                f"{t['to']}@{t['tick']}" for t in rule["transitions"][-4:]
+            )
+            detail = f"[{state}] objective={rule['objective']:g}"
+            if fired:
+                detail += f" fired x{fired}"
+            if history:
+                detail += f"  ({history})"
+            alert_rows.append((f"{rule['name']} ({rule['kind']})", detail))
+        lines.extend(_table(alert_rows))
+
+    watchers = snapshot.get("health", {}).get("watchers", [])
+    flagged = [w for w in watchers if w["anomalies"]]
+    if watchers:
+        lines.append("")
+        lines.append(
+            f"-- health watchers ({len(watchers)} installed, "
+            f"{len(flagged)} flagged) --"
+        )
+        watcher_rows = []
+        for w in watchers:
+            if w["anomalies"]:
+                detail = (
+                    f"{w['anomalies']} anomalies "
+                    f"(first @{w['first_anomaly_tick']}, "
+                    f"last @{w['last_anomaly_tick']})"
+                )
+            else:
+                detail = "clean"
+            watcher_rows.append((f"{w['name']} <- {w['metric']}", detail))
+        lines.extend(_table(watcher_rows))
+
+    history_series = snapshot.get("history", {}).get("series", [])
+    trend_rows = [
+        row
+        for row in history_series
+        if row["kind"] in ("gauge", "counter") and len(row["values"]) >= 8
+    ]
+    if trend_rows:
+        lines.append("")
+        lines.append(
+            f"-- history ({len(history_series)} series sampled; "
+            "trends, oldest -> newest) --"
+        )
+        for row in trend_rows[:16]:
+            values = np.array(row["values"], dtype=float)
+            if row["kind"] == "counter":
+                values = np.diff(values, prepend=values[0])
+            spark = sparkline(values, width=width)
+            lines.append(
+                f"  {_series_name(row)}  "
+                f"last={row['values'][-1]:g} "
+                f"[{row['ticks'][0]}..{row['ticks'][-1]}]"
+            )
+            lines.append(f"    |{spark}|")
+        if len(trend_rows) > 16:
+            lines.append(f"  ... and {len(trend_rows) - 16} more series")
 
     if snapshot["spans"]:
         lines.append("")
@@ -156,7 +235,16 @@ def render_dashboard(snapshot: dict, width: int = 48) -> str:
     events = snapshot["events"]
     if events["total"]:
         lines.append("")
-        lines.append(f"-- events ({events['total']} emitted) --")
+        dropped = events.get("dropped", 0)
+        header = f"-- events ({events['total']} emitted"
+        if dropped:
+            header += f", {dropped} dropped from the ring buffer"
+        lines.append(header + ") --")
+        if dropped:
+            lines.append(
+                "  WARNING: the event buffer wrapped; the buffered window "
+                f"is missing the oldest {dropped} events"
+            )
         lines.extend(
             _table(
                 [

@@ -89,11 +89,23 @@ class EventBus:
         self._subscribers: list[Callable[[Event], None]] = []
         self._counts: _Counter[str] = _Counter()
         self._seq = 0
+        self._dropped = 0
 
     @property
     def total_emitted(self) -> int:
         """Events emitted over the bus's lifetime (including evicted)."""
         return self._seq
+
+    @property
+    def total_dropped(self) -> int:
+        """Events evicted from the ring buffer (wrapped, not lost counts).
+
+        Subscribers still saw every one of these, and per-name counts
+        keep them; only the buffered copy behind :meth:`events` (and the
+        snapshot's event census) is gone.  Non-zero means the buffer
+        wrapped and buffered-event consumers saw a truncated window.
+        """
+        return self._dropped
 
     def subscribe(self, callback: Callable[[Event], None]) -> None:
         """Register a callback invoked synchronously for every event."""
@@ -118,6 +130,8 @@ class EventBus:
         )
         self._seq += 1
         self._counts[name] += 1
+        if len(self._buffer) == self._buffer.maxlen:
+            self._dropped += 1
         self._buffer.append(event)
         for callback in self._subscribers:
             callback(event)
@@ -137,3 +151,4 @@ class EventBus:
         """Drop buffered events and counts (subscribers are kept)."""
         self._buffer.clear()
         self._counts.clear()
+        self._dropped = 0

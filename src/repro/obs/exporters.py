@@ -7,14 +7,18 @@ Three ways out of the process:
 * :func:`prometheus_text` -- the metrics registry in Prometheus-style
   text exposition, for scraping or eyeballing.
 * :func:`build_snapshot` / :func:`write_snapshot` -- the versioned JSON
-  run-snapshot (schema ``repro.obs/v1``) that freezes counters, gauges,
-  histograms, span timings and event counts.  This is the format behind
-  the repo's ``BENCH_*.json`` perf artifacts, and what ``python -m repro
-  obs <snapshot>`` replays as a dashboard.
+  run-snapshot (schema ``repro.obs/v2``) that freezes counters, gauges,
+  histograms, span timings, event counts, the sampled metric history,
+  SLO alert states and health-watcher summaries.  This is the format
+  behind the repo's ``BENCH_*.json`` perf artifacts, and what ``python
+  -m repro obs <snapshot>`` replays as a dashboard.
 
 Every loader validates before trusting: :func:`validate_snapshot` raises
 :class:`~repro.errors.ConfigurationError` on anything malformed, and CI
 runs it against the snapshot exported from the test run.
+:func:`load_snapshot` migrates ``repro.obs/v1`` files in place (the new
+sections are additive), so pre-PR-7 artifacts -- the committed BENCH
+baselines included -- keep loading.
 """
 
 from __future__ import annotations
@@ -30,16 +34,28 @@ from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "SNAPSHOT_SCHEMA",
+    "SNAPSHOT_SCHEMA_V1",
     "JsonlEventWriter",
     "prometheus_text",
     "build_snapshot",
     "write_snapshot",
     "load_snapshot",
+    "migrate_snapshot",
     "validate_snapshot",
 ]
 
 #: Version tag carried by every snapshot; bump on breaking layout change.
-SNAPSHOT_SCHEMA = "repro.obs/v1"
+SNAPSHOT_SCHEMA = "repro.obs/v2"
+
+#: The PR-2 schema (no history/alerts/health); still loadable.
+SNAPSHOT_SCHEMA_V1 = "repro.obs/v1"
+
+#: Empty values for the sections v2 added over v1.
+_V2_SECTION_DEFAULTS: dict[str, dict] = {
+    "history": {"every": 1, "capacity": 0, "samples": 0, "series": []},
+    "alerts": {"rules": []},
+    "health": {"watchers": []},
+}
 
 
 def _json_default(value: object) -> object:
@@ -94,10 +110,22 @@ class JsonlEventWriter:
         self.close()
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the exposition-format spec: ``\\``, ``"`` and newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _label_suffix(labels: dict[str, str]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
+    )
     return "{" + inner + "}"
 
 
@@ -157,6 +185,12 @@ def build_snapshot(telemetry=None, meta: dict | None = None) -> dict:
     if isinstance(telemetry, MetricsRegistry):
         metrics = telemetry
     elif telemetry is not None:
+        # Close the current tick first -- set_tick only samples a tick
+        # once the next one starts, so without this flush the final
+        # tick's history/health/SLO state would be missing.
+        sample_now = getattr(telemetry, "sample_now", None)
+        if sample_now is not None:
+            sample_now()
         metrics = telemetry.metrics
         timers = telemetry.timers
         bus = telemetry.bus
@@ -167,7 +201,10 @@ def build_snapshot(telemetry=None, meta: dict | None = None) -> dict:
         "gauges": [],
         "histograms": [],
         "spans": [],
-        "events": {"total": 0, "by_name": {}},
+        "events": {"total": 0, "by_name": {}, "dropped": 0},
+        "history": dict(_V2_SECTION_DEFAULTS["history"]),
+        "alerts": dict(_V2_SECTION_DEFAULTS["alerts"]),
+        "health": dict(_V2_SECTION_DEFAULTS["health"]),
     }
     if metrics is not None:
         snapshot["counters"] = [
@@ -191,12 +228,22 @@ def build_snapshot(telemetry=None, meta: dict | None = None) -> dict:
         snapshot["events"] = {
             "total": bus.total_emitted,
             "by_name": bus.counts(),
+            "dropped": bus.total_dropped,
         }
+    history = getattr(telemetry, "history", None)
+    if history is not None:
+        snapshot["history"] = history.as_dict()
+    slo = getattr(telemetry, "slo", None)
+    if slo is not None:
+        snapshot["alerts"] = slo.report()
+    health = getattr(telemetry, "health", None)
+    if health is not None:
+        snapshot["health"] = health.report()
     return snapshot
 
 
 def validate_snapshot(snapshot: object) -> dict:
-    """Check a snapshot against the ``repro.obs/v1`` schema.
+    """Check a snapshot against the ``repro.obs/v2`` schema.
 
     Returns the snapshot unchanged on success; raises
     :class:`~repro.errors.ConfigurationError` naming the first problem
@@ -269,7 +316,85 @@ def validate_snapshot(snapshot: object) -> dict:
         fail("events.total must be an integer")
     if not isinstance(events.get("by_name"), dict):
         fail("events.by_name must be an object")
+    if not isinstance(events.get("dropped", 0), int):
+        fail("events.dropped must be an integer")
+    history = snapshot.get("history")
+    if not isinstance(history, dict):
+        fail("history must be an object")
+    if not isinstance(history.get("series"), list):
+        fail("history.series must be a list")
+    for row in history["series"]:
+        if not isinstance(row, dict) or not isinstance(row.get("name"), str):
+            fail("history series must be objects with a string name")
+        if row.get("kind") not in ("counter", "gauge", "histogram"):
+            fail(
+                f"history series {row.get('name')!r} has unknown kind "
+                f"{row.get('kind')!r}"
+            )
+        ticks = row.get("ticks")
+        values = row.get("values")
+        if not isinstance(ticks, list) or not isinstance(values, list):
+            fail(f"history series {row['name']!r} needs ticks and values")
+        if len(ticks) != len(values):
+            fail(
+                f"history series {row['name']!r} ticks/values length "
+                "mismatch"
+            )
+        if row["kind"] == "histogram" and len(
+            row.get("sums", [])
+        ) != len(ticks):
+            fail(
+                f"history series {row['name']!r} needs one sum per tick"
+            )
+    alerts = snapshot.get("alerts")
+    if not isinstance(alerts, dict) or not isinstance(
+        alerts.get("rules"), list
+    ):
+        fail("alerts must be an object with a rules list")
+    for row in alerts["rules"]:
+        if not isinstance(row, dict) or not isinstance(row.get("name"), str):
+            fail("alert rules must be objects with a string name")
+        if row.get("state") not in ("ok", "pending", "firing"):
+            fail(
+                f"alert {row.get('name')!r} has unknown state "
+                f"{row.get('state')!r}"
+            )
+        if not isinstance(row.get("transitions"), list):
+            fail(f"alert {row['name']!r} needs a transitions list")
+    health = snapshot.get("health")
+    if not isinstance(health, dict) or not isinstance(
+        health.get("watchers"), list
+    ):
+        fail("health must be an object with a watchers list")
+    for row in health["watchers"]:
+        if not isinstance(row, dict) or not isinstance(row.get("name"), str):
+            fail("health watchers must be objects with a string name")
+        if not isinstance(row.get("anomalies"), int):
+            fail(f"health watcher {row['name']!r} missing anomaly count")
     return snapshot
+
+
+def migrate_snapshot(snapshot: dict) -> dict:
+    """Upgrade a ``repro.obs/v1`` snapshot to v2 (copy; v2 passes through).
+
+    The v2 additions are purely additive -- history, alerts and health
+    sections plus the events drop count -- so migration fills them with
+    empty values and retags the schema.  Anything that is neither v1 nor
+    v2 is returned unchanged for :func:`validate_snapshot` to reject
+    with its usual diagnostics.
+    """
+    if not isinstance(snapshot, dict):
+        return snapshot
+    if snapshot.get("schema") != SNAPSHOT_SCHEMA_V1:
+        return snapshot
+    migrated = dict(snapshot)
+    migrated["schema"] = SNAPSHOT_SCHEMA
+    events = migrated.get("events")
+    if isinstance(events, dict) and "dropped" not in events:
+        migrated["events"] = {**events, "dropped": 0}
+    for section, default in _V2_SECTION_DEFAULTS.items():
+        migrated.setdefault(section, json.loads(json.dumps(default)))
+    return migrated
 
 
 def write_snapshot(path: str | Path, snapshot: dict) -> Path:
@@ -288,9 +413,9 @@ def write_snapshot(path: str | Path, snapshot: dict) -> Path:
 
 
 def load_snapshot(path: str | Path) -> dict:
-    """Read and validate a snapshot file."""
+    """Read, migrate (v1 -> v2) and validate a snapshot file."""
     try:
         snapshot = json.loads(Path(path).read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise ConfigurationError(f"snapshot is not valid JSON: {exc}") from None
-    return validate_snapshot(snapshot)
+    return validate_snapshot(migrate_snapshot(snapshot))

@@ -1,0 +1,308 @@
+"""Kalman health watchers: the system watches itself with its own filter.
+
+The paper's argument is that a Kalman filter is a cheap, principled
+predictor of a stream's next value; this module points that predictor at
+the *system's own health series*.  Each :class:`HealthWatcher` runs one
+scalar random-walk :class:`~repro.filters.kalman.KalmanFilter` over a
+derived per-tick signal (ack round-trip, server inbox depth, shed error,
+consensus residual, answer staleness, fabric loss rate) and scores every
+new point by its normalised innovation squared -- the same NIS statistic
+the PR-3 divergence watchdog applies to stream filters, applied here to
+the machinery around them.
+
+Anomaly rule: after a ``warmup`` of samples, a point whose NIS
+``innovation^2 / S`` exceeds ``z_threshold^2`` is anomalous.  The
+measurement noise ``R`` is adapted online (an EWMA of squared
+innovations with a floor), so a series that is flat in a clean
+deterministic run scores zero anomalies by construction -- its
+innovations are zero -- while a regime change (a peer dies, a partition
+opens) produces an innovation far outside the learned band within a
+tick or two of the signal moving.  A ``cooldown`` keeps one fault from
+emitting an anomaly every tick: the filter re-learns the new regime
+(the spike inflates the EWMA) while the cooldown holds.
+
+The :class:`HealthMonitor` owns the watcher set, derives each signal
+from the live :class:`~repro.obs.metrics.MetricsRegistry` once per tick
+(driven by ``Telemetry.set_tick``), emits ``health.anomaly`` events and
+``health_anomalies_total`` counters, and summarises itself into the
+``health`` section of a ``repro.obs/v2`` snapshot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+__all__ = [
+    "WatcherSpec",
+    "HealthWatcher",
+    "HealthMonitor",
+    "DEFAULT_WATCHERS",
+    "FEDERATION_WATCHERS",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class WatcherSpec:
+    """Declarative description of one health watcher.
+
+    Attributes:
+        name: Watcher name (``health.anomaly`` events carry it).
+        metric: Registry metric the signal derives from.
+        signal: How the scalar per-tick signal is derived, across every
+            label set of ``metric``:
+
+            * ``gauge`` -- sum of current gauge values.
+            * ``gauge_max`` -- max of current gauge values.
+            * ``rate`` -- counter increase since the previous tick.
+            * ``hist_mean`` -- mean of the histogram samples observed
+              since the previous tick (ticks with no new samples are
+              skipped, not treated as zero).
+        q: Process noise of the random-walk model -- how fast the
+            watcher's idea of "normal" is allowed to drift.
+        r_floor: Lower bound on the adapted measurement noise; sets the
+            minimum innovation magnitude worth calling anomalous, in the
+            signal's own units (squared).
+        warmup: Samples consumed before scoring starts.
+        z_threshold: Anomaly when ``|innovation| / sqrt(S)`` exceeds it.
+        cooldown: Ticks to hold after an anomaly before another can fire.
+    """
+
+    name: str
+    metric: str
+    signal: str = "gauge"
+    q: float = 0.05
+    r_floor: float = 1.0
+    warmup: int = 16
+    z_threshold: float = 6.0
+    cooldown: int = 8
+
+
+class HealthWatcher:
+    """One adaptive scalar filter + NIS scorer over a derived signal."""
+
+    def __init__(self, spec: WatcherSpec) -> None:
+        self.spec = spec
+        self._flt = None
+        self._r_hat = spec.r_floor
+        self._seen = 0
+        self._cooldown_until: int | None = None
+        # Signal-derivation state (cumulative baselines).
+        self._last_total: float | None = None
+        self._last_count: float | None = None
+        self._last_sum: float | None = None
+        # Outcome summary.
+        self.anomalies = 0
+        self.first_anomaly_tick: int | None = None
+        self.last_anomaly_tick: int | None = None
+        self.last_value: float | None = None
+        self.last_z: float | None = None
+
+    # Filtering ----------------------------------------------------------
+
+    def _build_filter(self, z0: float):
+        from repro.filters.kalman import KalmanFilter
+
+        spec = self.spec
+        return KalmanFilter(
+            phi=np.array([[1.0]]),
+            h=np.array([[1.0]]),
+            q=np.array([[spec.q]]),
+            r=lambda _k: np.array([[max(spec.r_floor, self._r_hat)]]),
+            x0=np.array([z0]),
+            p0=np.array([[max(spec.r_floor, 1.0) * 10.0]]),
+        )
+
+    def score(self, tick: int, value: float) -> dict | None:
+        """Consume one signal point; returns anomaly fields or None."""
+        if not math.isfinite(value):
+            return None
+        self.last_value = value
+        if self._flt is None:
+            self._flt = self._build_filter(value)
+        flt = self._flt
+        flt.predict()
+        predicted = float(flt.predict_measurement()[0])
+        s = float(flt.innovation_covariance()[0, 0])
+        innovation = value - predicted
+        z = innovation / math.sqrt(s) if s > 0 else 0.0
+        self.last_z = z
+        # Adapt R after scoring: the EWMA of squared innovations is the
+        # learned noise band; a spike inflates it, which is exactly the
+        # re-learning that lets one regime change fire once, not forever.
+        alpha = 0.1
+        self._r_hat = (1 - alpha) * self._r_hat + alpha * innovation**2
+        flt.update(np.array([value]))
+        self._seen += 1
+        spec = self.spec
+        if self._seen <= spec.warmup:
+            return None
+        if (
+            self._cooldown_until is not None
+            and tick < self._cooldown_until
+        ):
+            return None
+        if z * z <= spec.z_threshold**2:
+            return None
+        self._cooldown_until = tick + spec.cooldown
+        self.anomalies += 1
+        if self.first_anomaly_tick is None:
+            self.first_anomaly_tick = tick
+        self.last_anomaly_tick = tick
+        return {
+            "watcher": spec.name,
+            "metric": spec.metric,
+            "value": value,
+            "predicted": predicted,
+            "z": round(z, 3),
+            "nis": round(z * z, 3),
+        }
+
+    # Signal derivation ----------------------------------------------------
+
+    def derive(self, registry) -> float | None:
+        """The current signal point, or None when nothing new arrived."""
+        spec = self.spec
+        if spec.signal in ("gauge", "gauge_max"):
+            values = [
+                g.value for g in registry.gauges() if g.name == spec.metric
+            ]
+            if not values:
+                return None
+            return max(values) if spec.signal == "gauge_max" else sum(values)
+        if spec.signal == "rate":
+            total = float(
+                sum(
+                    c.value
+                    for c in registry.counters()
+                    if c.name == spec.metric
+                )
+            )
+            last = self._last_total
+            self._last_total = total
+            if last is None:
+                return None
+            return total - last
+        if spec.signal == "hist_mean":
+            count = 0.0
+            total = 0.0
+            for h in registry.histograms():
+                if h.name == spec.metric:
+                    count += h.count
+                    total += h.sum
+            last_count, last_sum = self._last_count, self._last_sum
+            self._last_count, self._last_sum = count, total
+            if last_count is None or count <= last_count:
+                return None
+            return (total - last_sum) / (count - last_count)
+        raise ValueError(f"unknown watcher signal {spec.signal!r}")
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready summary (the snapshot ``health.watchers`` entry)."""
+        return {
+            "name": self.spec.name,
+            "metric": self.spec.metric,
+            "signal": self.spec.signal,
+            "anomalies": self.anomalies,
+            "first_anomaly_tick": self.first_anomaly_tick,
+            "last_anomaly_tick": self.last_anomaly_tick,
+        }
+
+
+#: Watchers every instrumented engine benefits from.
+DEFAULT_WATCHERS: tuple[WatcherSpec, ...] = (
+    WatcherSpec(
+        name="ack_rtt", metric="ack_rtt_ticks", signal="hist_mean",
+        q=0.05, r_floor=1.0,
+    ),
+    WatcherSpec(
+        name="inbox_depth", metric="inbox_depth", signal="gauge",
+        q=0.05, r_floor=1.0,
+    ),
+    WatcherSpec(
+        name="shed_error", metric="shed_error", signal="gauge",
+        q=0.05, r_floor=1.0,
+    ),
+    WatcherSpec(
+        name="staleness", metric="staleness_at_answer_ticks",
+        signal="hist_mean", q=0.05, r_floor=1.0,
+    ),
+    WatcherSpec(
+        name="delivery_loss", metric="fabric_lost_total", signal="rate",
+        q=0.05, r_floor=0.5,
+    ),
+)
+
+#: Extra watchers for federated clusters.
+FEDERATION_WATCHERS: tuple[WatcherSpec, ...] = (
+    WatcherSpec(
+        name="consensus_error", metric="fed_consensus_residual",
+        signal="hist_mean", q=0.02, r_floor=0.25,
+    ),
+)
+
+
+class HealthMonitor:
+    """The watcher set behind one telemetry handle.
+
+    Args:
+        telemetry: The owning :class:`~repro.obs.telemetry.Telemetry`;
+            anomalies are emitted on its bus and counted in its registry.
+    """
+
+    def __init__(self, telemetry) -> None:
+        self._tel = telemetry
+        self._watchers: dict[str, HealthWatcher] = {}
+
+    def watch(self, spec: WatcherSpec) -> HealthWatcher:
+        """Install (or replace) one watcher."""
+        watcher = HealthWatcher(spec)
+        self._watchers[spec.name] = watcher
+        return watcher
+
+    def install_defaults(self, federation: bool = False) -> None:
+        """Install the standard watcher set (plus federation extras)."""
+        for spec in DEFAULT_WATCHERS:
+            self.watch(spec)
+        if federation:
+            for spec in FEDERATION_WATCHERS:
+                self.watch(spec)
+
+    @property
+    def watchers(self) -> dict[str, HealthWatcher]:
+        """The installed watchers (live objects)."""
+        return dict(self._watchers)
+
+    @property
+    def total_anomalies(self) -> int:
+        """Anomalies across every watcher."""
+        return sum(w.anomalies for w in self._watchers.values())
+
+    def observe(self, tick: int) -> None:
+        """Derive every signal and score it (called once per tick)."""
+        if not self._watchers:
+            return
+        tel = self._tel
+        registry = tel.metrics
+        for watcher in self._watchers.values():
+            value = watcher.derive(registry)
+            if value is None:
+                continue
+            anomaly = watcher.score(tick, value)
+            if anomaly is not None:
+                tel.emit("health.anomaly", **anomaly)
+                tel.metrics.counter(
+                    "health_anomalies_total",
+                    {"watcher": watcher.spec.name},
+                ).inc()
+
+    def report(self) -> dict[str, object]:
+        """The snapshot ``health`` section."""
+        return {
+            "watchers": [
+                self._watchers[name].as_dict()
+                for name in sorted(self._watchers)
+            ],
+        }

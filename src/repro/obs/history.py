@@ -1,0 +1,317 @@
+"""Per-(name,labels) ring-buffer time series sampled behind the registry.
+
+The registry (:mod:`repro.obs.metrics`) holds *current* values; this
+module remembers how they got there.  A :class:`MetricHistory` snapshots
+every instrument once per engine tick (the :class:`~repro.obs.telemetry.
+Telemetry` handle drives it from ``set_tick``), keeping a bounded ring
+of ``(tick, value)`` points per series so the self-monitoring layer --
+Kalman health watchers, SLO burn rates, the dashboard's trend section --
+can ask windowed questions: *what was the loss rate over the last 16
+ticks, what is the p99 of staleness over the last minute of simulated
+time, when did the inbox depth start climbing?*
+
+Sampling semantics per instrument kind:
+
+* **counters** store the cumulative value; windowed *deltas* and *rates*
+  are derived on query, so a counter series is also a rate series.
+* **gauges** store the point-in-time value.
+* **histograms** store cumulative ``count``/``sum`` plus the cumulative
+  bucket-count vector, so windowed means *and* windowed quantiles (via
+  :func:`~repro.obs.metrics.quantile_from_counts` on bucket deltas) both
+  work without keeping raw samples.
+
+Memory is bounded: ``capacity`` points per series (default 1024), each a
+handful of floats -- a histogram series additionally keeps one bucket
+tuple per point.  The exported form (``MetricHistory.as_dict``, the
+``history`` section of a ``repro.obs/v2`` snapshot) carries the scalar
+series only; bucket vectors stay in memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    Labels,
+    MetricsRegistry,
+    quantile_from_counts,
+)
+
+__all__ = ["MetricHistory", "Series"]
+
+
+class Series:
+    """One instrument's sampled trajectory.
+
+    Attributes:
+        name: Metric name.
+        labels: Frozen label pairs (registry key).
+        kind: ``counter`` / ``gauge`` / ``histogram``.
+        ticks: Sample ticks, oldest first.
+        values: Scalar per sample -- cumulative value (counter), level
+            (gauge) or cumulative sample count (histogram).
+    """
+
+    __slots__ = (
+        "name", "labels", "kind", "ticks", "values", "sums", "buckets",
+        "edges", "minimum", "maximum",
+    )
+
+    def __init__(
+        self, name: str, labels: Labels, kind: str, capacity: int
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.kind = kind
+        self.ticks: deque[int] = deque(maxlen=capacity)
+        self.values: deque[float] = deque(maxlen=capacity)
+        # Histogram extras (None for counters/gauges).
+        self.sums: deque[float] | None = None
+        self.buckets: deque[tuple[int, ...]] | None = None
+        self.edges: tuple[float, ...] | None = None
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+        if kind == "histogram":
+            self.sums = deque(maxlen=capacity)
+            self.buckets = deque(maxlen=capacity)
+
+    def window(self, width: int, now: int) -> list[tuple[int, float]]:
+        """The ``(tick, value)`` points with ``now - width < tick <= now``."""
+        lo = now - width
+        return [
+            (t, v)
+            for t, v in zip(self.ticks, self.values)
+            if lo < t <= now
+        ]
+
+    def value_at_or_before(self, tick: int) -> float | None:
+        """The most recent sampled value with ``tick' <= tick``."""
+        best = None
+        for t, v in zip(self.ticks, self.values):
+            if t > tick:
+                break
+            best = v
+        return best
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready scalar form (bucket vectors stay in memory)."""
+        out: dict[str, object] = {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "kind": self.kind,
+            "ticks": list(self.ticks),
+            "values": [float(v) for v in self.values],
+        }
+        if self.sums is not None:
+            out["sums"] = [float(s) for s in self.sums]
+        return out
+
+
+class MetricHistory:
+    """Bounded time-series store over a :class:`MetricsRegistry`.
+
+    Args:
+        capacity: Ring size per series, in samples.
+        every: Sample cadence in ticks (1 = every tick).  Coarser
+            cadences trade window resolution for memory and per-tick
+            cost on very long runs.
+    """
+
+    def __init__(self, capacity: int = 1024, every: int = 1) -> None:
+        if capacity < 2:
+            raise ConfigurationError("history capacity must be at least 2")
+        if every < 1:
+            raise ConfigurationError("history cadence must be at least 1")
+        self.capacity = capacity
+        self.every = every
+        self._series: dict[tuple[str, Labels], Series] = {}
+        self.samples_taken = 0
+        self.last_tick: int | None = None
+
+    # Sampling ---------------------------------------------------------
+
+    def sample(self, tick: int, registry: MetricsRegistry) -> None:
+        """Record every instrument's current value, stamped ``tick``."""
+        if self.last_tick is not None and tick <= self.last_tick:
+            return
+        if self.every > 1 and self.samples_taken and (
+            tick - self.last_tick < self.every
+        ):
+            return
+        self.last_tick = tick
+        self.samples_taken += 1
+        for counter in registry.counters():
+            series = self._get(counter.name, counter.labels, "counter")
+            series.ticks.append(tick)
+            series.values.append(float(counter.value))
+        for gauge in registry.gauges():
+            series = self._get(gauge.name, gauge.labels, "gauge")
+            series.ticks.append(tick)
+            series.values.append(float(gauge.value))
+        for hist in registry.histograms():
+            series = self._get(hist.name, hist.labels, "histogram")
+            series.ticks.append(tick)
+            series.values.append(float(hist.count))
+            series.sums.append(float(hist.sum))
+            series.buckets.append(tuple(hist.counts))
+            series.edges = hist.edges
+            if hist.count:
+                series.minimum = hist.min
+                series.maximum = hist.max
+
+    def _get(self, name: str, labels: Labels, kind: str) -> Series:
+        key = (name, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = Series(name, labels, kind, self.capacity)
+            self._series[key] = series
+        return series
+
+    # Lookup -----------------------------------------------------------
+
+    def series(
+        self, name: str, labels: dict[str, str] | None = None
+    ) -> Series | None:
+        """One exact series, or None."""
+        frozen: Labels = tuple(
+            sorted((str(k), str(v)) for k, v in (labels or {}).items())
+        )
+        return self._series.get((name, frozen))
+
+    def matching(self, name: str) -> list[Series]:
+        """Every series with this metric name, across all label sets."""
+        return [s for (n, _), s in self._series.items() if n == name]
+
+    def names(self) -> list[str]:
+        """Distinct metric names with history, sorted."""
+        return sorted({n for n, _ in self._series})
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    # Windowed queries ---------------------------------------------------
+
+    def delta(self, name: str, width: int, now: int) -> float:
+        """Cumulative-value increase over the window, summed across labels.
+
+        For counters this is "events in the last ``width`` ticks"; for
+        histograms it is "samples observed in the window".  A series that
+        only appeared inside the window contributes its full value.
+        """
+        total = 0.0
+        lo = now - width
+        for series in self.matching(name):
+            if not series.ticks:
+                continue
+            end = series.value_at_or_before(now)
+            if end is None:
+                continue
+            start = series.value_at_or_before(lo)
+            total += end - (start if start is not None else 0.0)
+        return total
+
+    def rate(self, name: str, width: int, now: int) -> float:
+        """Per-tick increase over the window (delta / width)."""
+        if width < 1:
+            raise ConfigurationError("rate window must be at least 1 tick")
+        return self.delta(name, width, now) / width
+
+    def gauge_extreme(
+        self, name: str, width: int, now: int, mode: str = "max"
+    ) -> float | None:
+        """Max (or min) of every matching gauge point in the window."""
+        points: list[float] = []
+        for series in self.matching(name):
+            points.extend(v for _, v in series.window(width, now))
+        if not points:
+            return None
+        return max(points) if mode == "max" else min(points)
+
+    def mean_in_window(self, name: str, width: int, now: int) -> float | None:
+        """Windowed mean of a histogram's *new* samples (across labels)."""
+        lo = now - width
+        count = 0.0
+        total = 0.0
+        for series in self.matching(name):
+            if series.sums is None or not series.ticks:
+                continue
+            c_end = series.value_at_or_before(now)
+            if c_end is None:
+                continue
+            c_start = series.value_at_or_before(lo) or 0.0
+            s_end = s_start = None
+            for t, s in zip(series.ticks, series.sums):
+                if t <= lo:
+                    s_start = s
+                if t <= now:
+                    s_end = s
+            count += c_end - c_start
+            total += (s_end or 0.0) - (s_start or 0.0)
+        if count <= 0:
+            return None
+        return total / count
+
+    def quantile(
+        self, name: str, q: float, width: int, now: int
+    ) -> float | None:
+        """Windowed quantile of a histogram's new samples (across labels).
+
+        Sums per-series bucket deltas over the window, then interpolates
+        -- the same estimator :meth:`Histogram.quantile` uses on lifetime
+        counts, applied to just the window's arrivals.
+        """
+        lo = now - width
+        merged: list[int] | None = None
+        edges: tuple[float, ...] | None = None
+        sample_min: float | None = None
+        sample_max: float | None = None
+        for series in self.matching(name):
+            if series.buckets is None or not series.ticks:
+                continue
+            end = start = None
+            for t, b in zip(series.ticks, series.buckets):
+                if t <= lo:
+                    start = b
+                if t <= now:
+                    end = b
+            if end is None:
+                continue
+            if edges is None:
+                edges = series.edges
+                merged = [0] * len(end)
+            elif series.edges != edges or len(end) != len(merged):
+                continue  # incompatible bucket layouts never merge
+            for i, c in enumerate(end):
+                merged[i] += c - (start[i] if start is not None else 0)
+            if series.minimum is not None:
+                sample_min = (
+                    series.minimum
+                    if sample_min is None
+                    else min(sample_min, series.minimum)
+                )
+            if series.maximum is not None:
+                sample_max = (
+                    series.maximum
+                    if sample_max is None
+                    else max(sample_max, series.maximum)
+                )
+        if merged is None or edges is None:
+            return None
+        return quantile_from_counts(
+            edges, merged, q, lo=sample_min, hi=sample_max
+        )
+
+    # Export -------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, object]:
+        """The snapshot ``history`` section (scalar series only)."""
+        return {
+            "every": self.every,
+            "capacity": self.capacity,
+            "samples": self.samples_taken,
+            "series": [
+                series.as_dict()
+                for key, series in sorted(self._series.items())
+            ],
+        }

@@ -22,7 +22,14 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_EDGES"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_EDGES",
+    "quantile_from_counts",
+]
 
 #: Default histogram bucket upper bounds (powers of two; +inf implied).
 DEFAULT_EDGES: tuple[float, ...] = tuple(float(2**i) for i in range(13))
@@ -34,6 +41,51 @@ def _freeze_labels(labels: dict[str, str] | None) -> Labels:
     if not labels:
         return ()
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def quantile_from_counts(
+    edges: tuple[float, ...] | list[float],
+    counts: list[int],
+    q: float,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> float | None:
+    """Estimate the ``q``-quantile of a bucketed sample.
+
+    ``counts`` has one entry per edge plus the +inf overflow bucket,
+    exactly the :class:`Histogram` layout.  The estimate interpolates
+    linearly within the bucket holding the target rank; ``lo``/``hi``
+    (the observed min/max, when known) clamp the first and overflow
+    buckets, whose true extent the edges cannot bound.  Returns None for
+    an empty sample.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total <= 0:
+        return None
+    target = q * total
+    cumulative = 0
+    for index, bucket in enumerate(counts):
+        if bucket == 0:
+            continue
+        if cumulative + bucket >= target:
+            lower = edges[index - 1] if index > 0 else (
+                lo if lo is not None else edges[0]
+            )
+            upper = edges[index] if index < len(edges) else (
+                hi if hi is not None else edges[-1]
+            )
+            lower = float(min(lower, upper))
+            fraction = (target - cumulative) / bucket
+            estimate = lower + fraction * (float(upper) - lower)
+            if lo is not None:
+                estimate = max(estimate, float(lo))
+            if hi is not None:
+                estimate = min(estimate, float(hi))
+            return estimate
+        cumulative += bucket
+    return float(hi) if hi is not None else float(edges[-1])
 
 
 @dataclass
@@ -112,6 +164,16 @@ class Histogram:
         """Sample mean (0.0 when empty)."""
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile (bucket interpolation; None if empty)."""
+        return quantile_from_counts(
+            self.edges,
+            self.counts,
+            q,
+            lo=self.min if self.count else None,
+            hi=self.max if self.count else None,
+        )
+
     def as_dict(self) -> dict[str, object]:
         """JSON-ready form used by the snapshot exporter."""
         return {
@@ -123,6 +185,9 @@ class Histogram:
             "sum": self.sum,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -1,0 +1,310 @@
+"""Declarative SLOs over metric history, with burn-rate alerting.
+
+An :class:`SLORule` states an objective over the metrics the engine
+already records -- "at least 97% of offered frames deliver", "p99 answer
+staleness stays under 8 ticks", "the advertised consensus error stays
+under 2.0" -- and the :class:`SLOEngine` evaluates every rule once per
+tick against the :class:`~repro.obs.history.MetricHistory` windows.
+
+Ratio rules use the classic multi-window burn rate: the error rate over
+a *short* and a *long* window, each normalised by the error budget
+``1 - objective``.  A breach requires **both** windows to burn faster
+than ``burn_threshold`` -- the long window filters blips, the short
+window makes recovery visible quickly (once the incident stops, the
+short window cools first and the alert can resolve without waiting for
+the long window to age out).  Quantile and bound rules compare a
+windowed statistic directly against the objective.
+
+Alerts live a pending -> firing -> resolved lifecycle on the event bus:
+
+* first breach: ``ok -> pending`` (``slo.pending`` event);
+* breached ``for_ticks`` consecutively: ``pending -> firing``
+  (``slo.firing`` event, ``slo_alerts_total`` counter);
+* clean ``clear_ticks`` consecutively: ``-> resolved`` (``slo.resolved``
+  event), then back to ``ok`` for the next incident.
+
+Every transition is recorded with its tick, so a chaos drill can assert
+*when* alerts fired relative to the injected faults, not just whether.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SLORule",
+    "SLOAlert",
+    "SLOEngine",
+    "DEFAULT_RULES",
+    "FEDERATION_RULES",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class SLORule:
+    """One declarative service-level objective.
+
+    Attributes:
+        name: Rule name (alert events carry it).
+        kind: ``ratio`` (good vs bad counters), ``quantile`` (histogram
+            quantile bound) or ``bound`` (gauge/histogram level bound).
+        objective: Target -- minimum good fraction for ``ratio``, upper
+            bound for ``quantile``/``bound``.
+        good: Counter name of successes (``ratio``).
+        bad: Counter names of failures (``ratio``).
+        metric: Histogram (``quantile``) or gauge (``bound``) name.
+        q: Quantile for ``quantile`` rules.
+        short_window: Fast window, in ticks.
+        long_window: Slow window, in ticks (``ratio`` only).
+        burn_threshold: Burn-rate multiple that counts as a breach
+            (``ratio`` only; 1.0 = burning the budget exactly).
+        for_ticks: Consecutive breached ticks before pending -> firing.
+        clear_ticks: Consecutive clean ticks before -> resolved.
+    """
+
+    name: str
+    kind: str
+    objective: float
+    good: str | None = None
+    bad: tuple[str, ...] = ()
+    metric: str | None = None
+    q: float = 0.99
+    short_window: int = 16
+    long_window: int = 64
+    burn_threshold: float = 2.0
+    for_ticks: int = 4
+    clear_ticks: int = 16
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ratio", "quantile", "bound"):
+            raise ConfigurationError(f"unknown SLO kind {self.kind!r}")
+        if self.kind == "ratio" and (self.good is None or not self.bad):
+            raise ConfigurationError(
+                f"ratio rule {self.name!r} needs good and bad counters"
+            )
+        if self.kind == "ratio" and not 0.0 < self.objective < 1.0:
+            raise ConfigurationError(
+                f"ratio objective must be in (0, 1), got {self.objective}"
+            )
+        if self.kind in ("quantile", "bound") and self.metric is None:
+            raise ConfigurationError(
+                f"{self.kind} rule {self.name!r} needs a metric"
+            )
+        if self.short_window < 1 or self.long_window < self.short_window:
+            raise ConfigurationError(
+                f"rule {self.name!r} needs 1 <= short_window <= long_window"
+            )
+
+
+class SLOAlert:
+    """One rule's alert state machine."""
+
+    def __init__(self, rule: SLORule) -> None:
+        self.rule = rule
+        self.state = "ok"
+        self.breach_streak = 0
+        self.clear_streak = 0
+        self.transitions: list[dict[str, object]] = []
+        self.last_breach: dict[str, float] | None = None
+        self.last_values: dict[str, float] = {}
+
+    def _transition(self, to: str, tick: int, tel) -> None:
+        entry = {"tick": tick, "from": self.state, "to": to}
+        if len(self.transitions) < 512:
+            self.transitions.append(entry)
+        self.state = to if to != "resolved" else "ok"
+        event = {
+            "pending": "slo.pending",
+            "firing": "slo.firing",
+            "resolved": "slo.resolved",
+        }.get(to)
+        if event is not None:
+            tel.emit(
+                event,
+                rule=self.rule.name,
+                kind=self.rule.kind,
+                objective=self.rule.objective,
+                **{k: round(v, 6) for k, v in self.last_values.items()},
+            )
+            if to == "firing":
+                tel.metrics.counter(
+                    "slo_alerts_total", {"rule": self.rule.name}
+                ).inc()
+
+    def observe(self, breached: bool, tick: int, tel) -> None:
+        """Advance the lifecycle one tick."""
+        if breached:
+            self.breach_streak += 1
+            self.clear_streak = 0
+            if self.state == "ok":
+                self._transition("pending", tick, tel)
+            if (
+                self.state == "pending"
+                and self.breach_streak >= self.rule.for_ticks
+            ):
+                self._transition("firing", tick, tel)
+        else:
+            self.breach_streak = 0
+            self.clear_streak += 1
+            if (
+                self.state in ("pending", "firing")
+                and self.clear_streak >= self.rule.clear_ticks
+            ):
+                self._transition("resolved", tick, tel)
+
+    def fired_between(self, start: int, end: int) -> bool:
+        """Whether a pending->firing transition landed in [start, end]."""
+        return any(
+            t["to"] == "firing" and start <= t["tick"] <= end
+            for t in self.transitions
+        )
+
+    def resolved_after(self, tick: int) -> bool:
+        """Whether a firing->resolved transition landed after ``tick``."""
+        return any(
+            t["to"] == "resolved" and t["from"] == "firing"
+            and t["tick"] > tick
+            for t in self.transitions
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready form (the snapshot ``alerts.rules`` entry)."""
+        rule = self.rule
+        out: dict[str, object] = {
+            "name": rule.name,
+            "kind": rule.kind,
+            "objective": rule.objective,
+            "state": self.state,
+            "transitions": list(self.transitions),
+        }
+        if self.last_values:
+            out["last"] = {
+                k: round(v, 6) for k, v in self.last_values.items()
+            }
+        return out
+
+
+#: Rules every instrumented engine benefits from.
+DEFAULT_RULES: tuple[SLORule, ...] = (
+    SLORule(
+        name="delivery-ratio",
+        kind="ratio",
+        objective=0.95,
+        good="fabric_delivered_total",
+        bad=("fabric_lost_total", "fabric_corrupted_total"),
+        burn_threshold=2.0,
+    ),
+    # Healthy answers can legitimately trail by up to the source heartbeat
+    # cadence (25 ticks) under delta-suppression, so the objective sits just
+    # above that cap: a breach means answers are older than any heartbeat
+    # round-trip should allow.
+    SLORule(
+        name="staleness-p99",
+        kind="quantile",
+        metric="staleness_at_answer_ticks",
+        q=0.99,
+        objective=30.0,
+        short_window=32,
+    ),
+)
+
+#: Extra rules for federated clusters.
+FEDERATION_RULES: tuple[SLORule, ...] = (
+    SLORule(
+        name="consensus-error-bound",
+        kind="bound",
+        metric="consensus_error",
+        objective=2.0,
+        short_window=32,
+    ),
+)
+
+
+class SLOEngine:
+    """Evaluates the installed rules against metric history every tick.
+
+    Args:
+        telemetry: The owning :class:`~repro.obs.telemetry.Telemetry`
+            (history to read, bus and registry to alert on).
+    """
+
+    def __init__(self, telemetry) -> None:
+        self._tel = telemetry
+        self._alerts: dict[str, SLOAlert] = {}
+
+    def add_rule(self, rule: SLORule) -> SLOAlert:
+        """Install (or replace) one rule."""
+        alert = SLOAlert(rule)
+        self._alerts[rule.name] = alert
+        return alert
+
+    def install_defaults(self, federation: bool = False) -> None:
+        """Install the standard rule set (plus federation extras)."""
+        for rule in DEFAULT_RULES:
+            self.add_rule(rule)
+        if federation:
+            for rule in FEDERATION_RULES:
+                self.add_rule(rule)
+
+    @property
+    def alerts(self) -> dict[str, SLOAlert]:
+        """The installed alerts (live objects)."""
+        return dict(self._alerts)
+
+    # Evaluation -----------------------------------------------------------
+
+    def _burn(self, rule: SLORule, width: int, now: int) -> float:
+        history = self._tel.history
+        bad = sum(history.delta(name, width, now) for name in rule.bad)
+        good = history.delta(rule.good, width, now)
+        total = good + bad
+        if total <= 0:
+            return 0.0
+        error_rate = bad / total
+        return error_rate / (1.0 - rule.objective)
+
+    def _breached(self, rule: SLORule, now: int, alert: SLOAlert) -> bool:
+        history = self._tel.history
+        if rule.kind == "ratio":
+            burn_short = self._burn(rule, rule.short_window, now)
+            burn_long = self._burn(rule, rule.long_window, now)
+            alert.last_values = {
+                "burn_short": burn_short,
+                "burn_long": burn_long,
+            }
+            return (
+                burn_short > rule.burn_threshold
+                and burn_long > rule.burn_threshold
+            )
+        if rule.kind == "quantile":
+            value = history.quantile(
+                rule.metric, rule.q, rule.short_window, now
+            )
+            if value is None:
+                return False
+            alert.last_values = {"value": value}
+            return value > rule.objective
+        value = history.gauge_extreme(rule.metric, rule.short_window, now)
+        if value is None:
+            return False
+        alert.last_values = {"value": value}
+        return value > rule.objective
+
+    def evaluate(self, tick: int) -> None:
+        """Score every rule at ``tick`` and advance its alert."""
+        if not self._alerts:
+            return
+        for alert in self._alerts.values():
+            breached = self._breached(alert.rule, tick, alert)
+            alert.observe(breached, tick, self._tel)
+
+    def report(self) -> dict[str, object]:
+        """The snapshot ``alerts`` section."""
+        return {
+            "rules": [
+                self._alerts[name].as_dict()
+                for name in sorted(self._alerts)
+            ],
+        }

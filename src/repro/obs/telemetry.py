@@ -7,6 +7,17 @@ instrumented components use: ``emit`` (an event), ``count`` / ``observe``
 it pointing at the current sampling instant so components never pass
 clocks around).
 
+Since PR 7 the live handle also owns the self-monitoring layer: a
+:class:`~repro.obs.history.MetricHistory` that samples every instrument
+once per tick, a :class:`~repro.obs.health.HealthMonitor` of Kalman
+watchers over derived health signals, and an
+:class:`~repro.obs.slo.SLOEngine` evaluating burn-rate alerts over the
+history windows.  All three ride the clock: ``set_tick`` observes the
+tick boundary whenever the engine moves the clock, so instrumented
+components never call them directly.  Watchers and SLO rules are empty
+by default -- ``telemetry.health.install_defaults()`` /
+``telemetry.slo.install_defaults()`` opt in.
+
 :class:`NullTelemetry` is the default everywhere.  Its ``enabled`` flag
 is False and every method is a no-op, so instrumented code guards its
 event/metric construction with one attribute test and a disabled run
@@ -18,7 +29,10 @@ tested invariant, not an aspiration.
 from __future__ import annotations
 
 from repro.obs.events import Event, EventBus
+from repro.obs.health import HealthMonitor
+from repro.obs.history import MetricHistory
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOEngine
 from repro.obs.timing import NULL_TIMERS, NullTimers, SpanTimers
 
 __all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY"]
@@ -29,19 +43,58 @@ class Telemetry:
 
     Args:
         buffer_size: Event-bus ring-buffer capacity.
+        history: Time-series store behind the registry; defaults to a
+            fresh :class:`~repro.obs.history.MetricHistory` (1024-sample
+            rings, sampled every tick).
     """
 
     enabled = True
 
-    def __init__(self, buffer_size: int = 65536) -> None:
+    def __init__(
+        self,
+        buffer_size: int = 65536,
+        history: MetricHistory | None = None,
+    ) -> None:
         self.bus = EventBus(buffer_size=buffer_size)
         self.metrics = MetricsRegistry()
         self.timers: SpanTimers | NullTimers = SpanTimers()
         self.tick = 0
+        self.history = history or MetricHistory()
+        self.health = HealthMonitor(self)
+        self.slo = SLOEngine(self)
+        self._last_observed: int | None = None
 
     def set_tick(self, tick: int) -> None:
-        """Move the stamping clock (the engine calls this every step)."""
+        """Move the stamping clock (the engine calls this every step).
+
+        Moving the clock closes the previous tick: the history store
+        samples every instrument's end-of-tick value, health watchers
+        score the new points, and the SLO engine re-evaluates its rules.
+        """
+        if tick != self.tick and self._last_observed != self.tick:
+            self._observe_tick(self.tick)
         self.tick = tick
+
+    def sample_now(self) -> None:
+        """Close the current tick explicitly (end-of-run flush).
+
+        ``set_tick`` only observes a tick once the *next* one starts, so
+        the final tick of a run would otherwise never reach the history
+        store.  Snapshot builders call this before exporting.
+        """
+        if self._last_observed != self.tick:
+            self._observe_tick(self.tick)
+
+    def _observe_tick(self, tick: int) -> None:
+        self._last_observed = tick
+        dropped = self.bus.total_dropped
+        if dropped:
+            counter = self.metrics.counter("events_dropped_total")
+            if dropped > counter.value:
+                counter.inc(dropped - counter.value)
+        self.history.sample(tick, self.metrics)
+        self.health.observe(tick)
+        self.slo.evaluate(tick)
 
     def emit(
         self,
@@ -98,10 +151,17 @@ class NullTelemetry:
     enabled = False
     bus = None
     metrics = None
+    history = None
+    health = None
+    slo = None
     timers: NullTimers = NULL_TIMERS
     tick = 0
 
     def set_tick(self, tick: int) -> None:
+        """No-op."""
+        return None
+
+    def sample_now(self) -> None:
         """No-op."""
         return None
 

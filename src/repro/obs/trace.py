@@ -1,0 +1,191 @@
+"""Causal-tree reconstruction from trace-correlated events.
+
+Every wire message already carries a trace ID (``"<source_id>/<seq>"``,
+:func:`~repro.obs.events.trace_id`), and PR 7 extends the correlation
+across federation hops: the ingress peer, every replica forward and
+apply, consensus fusion and failover re-home all emit events carrying
+either the update's own trace or a synthetic federation trace
+(``consensus/<round>/<stream>``, ``rehome/<stream>/<epoch>``).  This
+module turns a bag of events back into the update's journey:
+
+    source s3 emits seq 41
+      -> fabric delivers to home p1 (+1 tick)
+      -> p1 applies, forwards to replica p2
+      -> p2 applies the replica frame (+1 tick)
+      -> ack returns to s3 (+2 ticks)
+
+The functions work on any event iterable -- a live bus's buffered
+events, or :func:`read_jsonl_events` over an exported event log -- so a
+trace can be reconstructed post-mortem from CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.obs.events import Event
+
+__all__ = [
+    "TraceHop",
+    "collect_trace",
+    "trace_ids",
+    "build_trace",
+    "render_trace",
+    "read_jsonl_events",
+]
+
+#: Canonical causal order of hop kinds sharing one tick: a frame is
+#: emitted before the fabric carries it, carried before the ingress
+#: routes it, routed before replicas see it, applied before acked.
+_STAGE_ORDER = {
+    "source.update": 0,
+    "source.retransmit": 0,
+    "source.suppressed": 0,
+    "fabric.lost": 1,
+    "fabric.corrupted": 1,
+    "fabric.delivered": 1,
+    "federation.ingress": 2,
+    "server.apply": 3,
+    "server.resync_applied": 3,
+    "federation.replica_forward": 4,
+    "federation.replica_apply": 5,
+    "federation.consensus_fuse": 6,
+    "federation.failover": 6,
+    "federation.rehome_complete": 7,
+    "fabric.ack_delivered": 8,
+    "source.ack": 9,
+}
+
+
+class TraceHop:
+    """One event on a trace, with timing relative to the hop before it.
+
+    Attributes:
+        event: The underlying event.
+        dt: Ticks since the previous hop on the same trace (0 for the
+            root hop).
+    """
+
+    __slots__ = ("event", "dt")
+
+    def __init__(self, event: Event, dt: int) -> None:
+        self.event = event
+        self.dt = dt
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready form."""
+        out = self.event.as_dict()
+        out["dt_ticks"] = self.dt
+        return out
+
+
+def _as_event(raw: Event | dict) -> Event:
+    if isinstance(raw, Event):
+        return raw
+    fields = {
+        k: v
+        for k, v in raw.items()
+        if k not in ("seq", "tick", "name", "source_id", "trace_id")
+    }
+    return Event(
+        seq=int(raw["seq"]),
+        tick=int(raw["tick"]),
+        name=str(raw["name"]),
+        source_id=raw.get("source_id"),
+        trace_id=raw.get("trace_id"),
+        fields=fields,
+    )
+
+
+def _sort_key(event: Event) -> tuple[int, int, int]:
+    return (event.tick, _STAGE_ORDER.get(event.name, 5), event.seq)
+
+
+def collect_trace(events, trace: str) -> list[Event]:
+    """Every event carrying ``trace``, in causal order."""
+    matched = [
+        _as_event(e)
+        for e in events
+        if (e.trace_id if isinstance(e, Event) else e.get("trace_id"))
+        == trace
+    ]
+    return sorted(matched, key=_sort_key)
+
+
+def trace_ids(events) -> list[str]:
+    """Distinct trace IDs present, ordered by first appearance."""
+    seen: dict[str, None] = {}
+    for e in events:
+        tid = e.trace_id if isinstance(e, Event) else e.get("trace_id")
+        if tid is not None and tid not in seen:
+            seen[tid] = None
+    return list(seen)
+
+
+def build_trace(events, trace: str) -> list[TraceHop]:
+    """The trace's hops with per-hop tick deltas (empty if unknown)."""
+    ordered = collect_trace(events, trace)
+    hops: list[TraceHop] = []
+    previous: int | None = None
+    for event in ordered:
+        dt = 0 if previous is None else event.tick - previous
+        hops.append(TraceHop(event, dt))
+        previous = event.tick
+    return hops
+
+
+def _hop_detail(event: Event) -> str:
+    skip = ("recovers",)
+    parts = []
+    for key, value in event.fields.items():
+        if key in skip:
+            continue
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def render_trace(events, trace: str) -> str:
+    """One trace as an indented ASCII causal tree with hop timing."""
+    hops = build_trace(events, trace)
+    if not hops:
+        return f"trace {trace}: no events"
+    lines = [f"trace {trace} ({len(hops)} hops)"]
+    for index, hop in enumerate(hops):
+        event = hop.event
+        timing = f"+{hop.dt}" if index else " @"
+        arrow = "└─" if index == len(hops) - 1 else "├─"
+        detail = _hop_detail(event)
+        subject = f" [{event.source_id}]" if event.source_id else ""
+        lines.append(
+            f"  {arrow} tick {event.tick:>5} ({timing:>3}t) "
+            f"{event.name}{subject}"
+            + (f"  {detail}" if detail else "")
+        )
+    return "\n".join(lines)
+
+
+def read_jsonl_events(path: str | Path) -> list[dict]:
+    """Parse a :class:`~repro.obs.exporters.JsonlEventWriter` log."""
+    out: list[dict] = []
+    for lineno, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{path}:{lineno}: not valid JSON ({exc})"
+            ) from None
+        if not isinstance(record, dict):
+            raise ConfigurationError(
+                f"{path}:{lineno}: event lines must be objects"
+            )
+        out.append(record)
+    return out

@@ -388,6 +388,12 @@ class OverloadController:
                     self._tel.gauge(
                         "shed_delta_scale", state.scale, source_id
                     )
+                    # Cumulative shed error as a gauge: the health
+                    # watcher tracks its level, so a shedding episode
+                    # registers as a ramp against a flat prediction.
+                    self._tel.gauge(
+                        "shed_error", state.shed_error, source_id
+                    )
         return changes
 
     def report(self) -> dict[str, dict[str, float]]:

@@ -935,7 +935,7 @@ class BatchStreamEngine:
         )
 
     def obs_snapshot(self, meta: dict | None = None) -> dict:
-        """Telemetry snapshot of this run (``repro.obs/v1`` schema)."""
+        """Telemetry snapshot of this run (``repro.obs/v2`` schema)."""
         merged = {
             "ticks": self._ticks,
             "report": self.report().to_dict(),

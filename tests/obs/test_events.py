@@ -86,3 +86,28 @@ class TestEventBus:
         assert bus.counts() == {}
         bus.emit("e", tick=1)
         assert len(seen) == 2
+
+
+class TestDroppedTracking:
+    def test_no_drops_before_wrap(self):
+        bus = EventBus(buffer_size=4)
+        for i in range(4):
+            bus.emit("e", tick=i)
+        assert bus.total_dropped == 0
+
+    def test_wrap_counts_evicted_events(self):
+        bus = EventBus(buffer_size=4)
+        for i in range(10):
+            bus.emit("e", tick=i)
+        assert bus.total_dropped == 6
+        assert bus.total_emitted == 10
+        assert len(bus.events()) == 4
+
+    def test_clear_resets_drop_count(self):
+        bus = EventBus(buffer_size=2)
+        for i in range(5):
+            bus.emit("e", tick=i)
+        bus.clear()
+        assert bus.total_dropped == 0
+        bus.emit("e", tick=9)
+        assert bus.total_dropped == 0

@@ -206,3 +206,70 @@ class TestValidation:
         path.write_text("{not json")
         with pytest.raises(ConfigurationError, match="not valid JSON"):
             load_snapshot(path)
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_and_newline_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "hits", {"path": 'C:\\tmp\\"logs"\nnext'}
+        ).inc()
+        text = prometheus_text(reg)
+        line = next(ln for ln in text.splitlines() if ln.startswith("hits{"))
+        assert line == 'hits{path="C:\\\\tmp\\\\\\"logs\\"\\nnext"} 1'
+        # The escaped exposition stays one physical line.
+        assert "\n" not in line
+
+    def test_plain_values_untouched(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", {"source": "s0"}).inc()
+        assert 'hits{source="s0"} 1' in prometheus_text(reg)
+
+
+class TestV2Sections:
+    def test_bare_registry_snapshot_gets_empty_sections(self):
+        snapshot = build_snapshot(MetricsRegistry())
+        assert snapshot["schema"] == SNAPSHOT_SCHEMA
+        assert snapshot["history"]["series"] == []
+        assert snapshot["alerts"]["rules"] == []
+        assert snapshot["health"]["watchers"] == []
+        assert snapshot["events"]["dropped"] == 0
+
+    def test_telemetry_snapshot_flushes_final_tick(self):
+        tel = Telemetry()
+        tel.count("hits")
+        tel.set_tick(5)
+        tel.count("hits")
+        snapshot = build_snapshot(tel)
+        # Tick 5 itself was sampled (sample_now), not just ticks < 5.
+        [series] = [
+            s for s in snapshot["history"]["series"] if s["name"] == "hits"
+        ]
+        assert series["ticks"][-1] == 5
+        assert series["values"][-1] == 2.0
+
+    def test_dropped_events_surface_in_snapshot(self):
+        tel = Telemetry(buffer_size=2)
+        for tick in range(5):
+            tel.set_tick(tick)
+            tel.emit("noisy")
+        snapshot = build_snapshot(tel)
+        assert snapshot["events"]["dropped"] == 3
+        names = {c["name"] for c in snapshot["counters"]}
+        assert "events_dropped_total" in names
+
+    def test_validate_rejects_bad_history_series(self):
+        snapshot = build_snapshot(MetricsRegistry())
+        snapshot["history"]["series"] = [
+            {"name": "x", "kind": "gauge", "ticks": [1, 2], "values": [1.0]}
+        ]
+        with pytest.raises(ConfigurationError, match="history"):
+            validate_snapshot(snapshot)
+
+    def test_validate_rejects_bad_alert_state(self):
+        snapshot = build_snapshot(MetricsRegistry())
+        snapshot["alerts"]["rules"] = [
+            {"name": "r", "state": "panicking", "transitions": []}
+        ]
+        with pytest.raises(ConfigurationError, match="state"):
+            validate_snapshot(snapshot)

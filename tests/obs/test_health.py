@@ -1,0 +1,172 @@
+"""Tests for the Kalman health watchers."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_WATCHERS,
+    FEDERATION_WATCHERS,
+    HealthWatcher,
+    MetricsRegistry,
+    Telemetry,
+    WatcherSpec,
+)
+
+
+def spec(**overrides):
+    base = dict(
+        name="w", metric="m", signal="gauge", q=0.05, r_floor=1.0,
+        warmup=8, z_threshold=6.0, cooldown=8,
+    )
+    base.update(overrides)
+    return WatcherSpec(**base)
+
+
+class TestHealthWatcher:
+    def test_flat_signal_never_fires(self):
+        watcher = HealthWatcher(spec())
+        for tick in range(200):
+            assert watcher.score(tick, 5.0) is None
+        assert watcher.anomalies == 0
+
+    def test_warmup_suppresses_early_shocks(self):
+        watcher = HealthWatcher(spec(warmup=10))
+        assert watcher.score(0, 0.0) is None
+        # A huge jump inside warmup must not fire.
+        assert watcher.score(1, 1e6) is None
+        assert watcher.anomalies == 0
+
+    def test_step_change_fires_once_then_cools_down(self):
+        watcher = HealthWatcher(spec(warmup=8, cooldown=50))
+        for tick in range(30):
+            watcher.score(tick, 1.0)
+        anomaly = watcher.score(30, 100.0)
+        assert anomaly is not None
+        assert anomaly["watcher"] == "w"
+        assert anomaly["nis"] > 36.0
+        assert watcher.first_anomaly_tick == 30
+        # Cooldown holds even if the new regime stays shocking.
+        assert watcher.score(31, 200.0) is None
+        assert watcher.anomalies == 1
+
+    def test_relearns_new_regime_after_shift(self):
+        watcher = HealthWatcher(spec(warmup=8, cooldown=4))
+        for tick in range(30):
+            watcher.score(tick, 1.0)
+        watcher.score(30, 50.0)
+        # After the cooldown the filter has re-learned the regime: a
+        # steady 50.0 is the new normal and must not keep firing.
+        fired_again = [
+            tick for tick in range(31, 80)
+            if watcher.score(tick, 50.0) is not None
+        ]
+        assert fired_again == []
+
+    def test_non_finite_values_skipped(self):
+        watcher = HealthWatcher(spec(warmup=0))
+        assert watcher.score(0, math.nan) is None
+        assert watcher.score(1, math.inf) is None
+        assert watcher._seen == 0
+
+    def test_as_dict_summary(self):
+        watcher = HealthWatcher(spec())
+        out = watcher.as_dict()
+        assert out == {
+            "name": "w",
+            "metric": "m",
+            "signal": "gauge",
+            "anomalies": 0,
+            "first_anomaly_tick": None,
+            "last_anomaly_tick": None,
+        }
+
+
+class TestSignalDerivation:
+    def test_gauge_sums_and_gauge_max_maxes(self):
+        reg = MetricsRegistry()
+        reg.gauge("m", {"source": "a"}).set(2.0)
+        reg.gauge("m", {"source": "b"}).set(5.0)
+        assert HealthWatcher(spec(signal="gauge")).derive(reg) == 7.0
+        assert HealthWatcher(spec(signal="gauge_max")).derive(reg) == 5.0
+
+    def test_gauge_none_when_metric_absent(self):
+        assert HealthWatcher(spec()).derive(MetricsRegistry()) is None
+
+    def test_rate_is_per_call_counter_delta(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("m")
+        watcher = HealthWatcher(spec(signal="rate"))
+        counter.inc(3)
+        assert watcher.derive(reg) is None  # first call sets the baseline
+        counter.inc(4)
+        assert watcher.derive(reg) == 4.0
+        assert watcher.derive(reg) == 0.0
+
+    def test_hist_mean_covers_new_samples_only(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("m")
+        watcher = HealthWatcher(spec(signal="hist_mean"))
+        h.observe(100.0)
+        assert watcher.derive(reg) is None  # baseline
+        h.observe(2.0)
+        h.observe(4.0)
+        assert watcher.derive(reg) == 3.0
+        assert watcher.derive(reg) is None  # nothing new arrived
+
+    def test_unknown_signal_rejected(self):
+        watcher = HealthWatcher(spec(signal="fft"))
+        with pytest.raises(ValueError):
+            watcher.derive(MetricsRegistry())
+
+
+class TestHealthMonitor:
+    def test_install_defaults(self):
+        tel = Telemetry()
+        tel.health.install_defaults()
+        assert set(tel.health.watchers) == {
+            w.name for w in DEFAULT_WATCHERS
+        }
+        tel.health.install_defaults(federation=True)
+        assert "consensus_error" in tel.health.watchers
+        assert {w.name for w in FEDERATION_WATCHERS} <= set(
+            tel.health.watchers
+        )
+
+    def test_anomaly_reaches_bus_and_counter(self):
+        tel = Telemetry()
+        tel.health.watch(spec(metric="depth", warmup=4, cooldown=2))
+        gauge = tel.metrics.gauge("depth")
+        for tick in range(30):
+            gauge.set(1.0 if tick < 25 else 500.0)
+            tel.set_tick(tick)
+        tel.sample_now()
+        assert tel.health.total_anomalies >= 1
+        events = tel.bus.events("health.anomaly")
+        assert events and events[0].fields["watcher"] == "w"
+        [counter] = [
+            c for c in tel.metrics.counters()
+            if c.name == "health_anomalies_total"
+        ]
+        assert counter.value == tel.health.total_anomalies
+
+    def test_report_sorted_by_name(self):
+        tel = Telemetry()
+        tel.health.watch(spec(name="zeta"))
+        tel.health.watch(spec(name="alpha"))
+        names = [w["name"] for w in tel.health.report()["watchers"]]
+        assert names == ["alpha", "zeta"]
+
+    def test_clean_default_run_has_zero_anomalies(self):
+        # The acceptance bar: defaults installed, steady traffic, no
+        # faults -> not a single anomaly event.
+        tel = Telemetry()
+        tel.health.install_defaults()
+        for tick in range(120):
+            tel.count("fabric_lost_total", "s0", amount=0)
+            tel.observe("ack_rtt_ticks", 2.0, "s0")
+            tel.observe("staleness_at_answer_ticks", 1.0, "s0")
+            tel.set_tick(tick)
+        tel.sample_now()
+        assert tel.health.total_anomalies == 0
+        assert tel.bus.events("health.anomaly") == []

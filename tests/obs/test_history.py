@@ -1,0 +1,193 @@
+"""Tests for the ring-buffer metric history store."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricHistory, MetricsRegistry
+
+
+def sampled(registry, ticks, *, history=None):
+    history = history or MetricHistory()
+    for tick in ticks:
+        history.sample(tick, registry)
+    return history
+
+
+class TestSampling:
+    def test_counter_series_stores_cumulative_values(self):
+        reg = MetricsRegistry()
+        hist = MetricHistory()
+        counter = reg.counter("hits", {"source": "s0"})
+        for tick in range(1, 4):
+            counter.inc(tick)
+            hist.sample(tick, reg)
+        series = hist.series("hits", {"source": "s0"})
+        assert series.kind == "counter"
+        assert list(series.ticks) == [1, 2, 3]
+        assert list(series.values) == [1.0, 3.0, 6.0]
+
+    def test_gauge_series_stores_levels(self):
+        reg = MetricsRegistry()
+        hist = MetricHistory()
+        gauge = reg.gauge("depth")
+        for tick, level in enumerate((2.0, 5.0, 1.0)):
+            gauge.set(level)
+            hist.sample(tick, reg)
+        assert list(hist.series("depth").values) == [2.0, 5.0, 1.0]
+
+    def test_histogram_series_keeps_count_sum_buckets(self):
+        reg = MetricsRegistry()
+        hist = MetricHistory()
+        h = reg.histogram("lat", edges=(1.0, 2.0))
+        h.observe(0.5)
+        hist.sample(0, reg)
+        h.observe(1.5)
+        hist.sample(1, reg)
+        series = hist.series("lat")
+        assert list(series.values) == [1.0, 2.0]
+        assert list(series.sums) == [0.5, 2.0]
+        assert list(series.buckets) == [(1, 0, 0), (1, 1, 0)]
+        assert series.edges == (1.0, 2.0)
+        assert series.minimum == 0.5 and series.maximum == 1.5
+
+    def test_non_advancing_tick_is_skipped(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        hist = sampled(reg, [3, 3, 2])
+        assert hist.samples_taken == 1
+        assert list(hist.series("c").ticks) == [3]
+
+    def test_cadence_skips_intermediate_ticks(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        hist = MetricHistory(every=4)
+        for tick in range(12):
+            hist.sample(tick, reg)
+        assert list(hist.series("c").ticks) == [0, 4, 8]
+
+    def test_ring_is_bounded(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+        hist = MetricHistory(capacity=8)
+        for tick in range(100):
+            counter.inc()
+            hist.sample(tick, reg)
+        series = hist.series("c")
+        assert len(series.ticks) == 8
+        assert list(series.ticks) == list(range(92, 100))
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricHistory(capacity=1)
+        with pytest.raises(ConfigurationError):
+            MetricHistory(every=0)
+
+
+class TestLookup:
+    def test_matching_spans_label_sets(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", {"source": "a"}).inc()
+        reg.counter("hits", {"source": "b"}).inc()
+        reg.counter("other").inc()
+        hist = sampled(reg, [0])
+        assert len(hist.matching("hits")) == 2
+        assert hist.names() == ["hits", "other"]
+        assert len(hist) == 3
+
+    def test_series_miss_returns_none(self):
+        assert MetricHistory().series("nope") is None
+
+
+class TestWindowedQueries:
+    def test_delta_is_increase_inside_window(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+        hist = MetricHistory()
+        for tick in range(10):
+            counter.inc(2)
+            hist.sample(tick, reg)
+        # Window (5, 9]: cumulative went 12 -> 20.
+        assert hist.delta("c", 4, 9) == 8.0
+        assert hist.rate("c", 4, 9) == 2.0
+
+    def test_delta_sums_across_label_sets(self):
+        reg = MetricsRegistry()
+        a = reg.counter("c", {"source": "a"})
+        b = reg.counter("c", {"source": "b"})
+        hist = MetricHistory()
+        for tick in range(4):
+            a.inc()
+            b.inc(2)
+            hist.sample(tick, reg)
+        assert hist.delta("c", 2, 3) == 6.0
+
+    def test_series_born_inside_window_contributes_fully(self):
+        reg = MetricsRegistry()
+        hist = MetricHistory()
+        hist.sample(0, reg)
+        reg.counter("late").inc(7)
+        hist.sample(5, reg)
+        assert hist.delta("late", 3, 5) == 7.0
+
+    def test_rate_rejects_empty_window(self):
+        with pytest.raises(ConfigurationError):
+            MetricHistory().rate("c", 0, 10)
+
+    def test_gauge_extreme_max_and_min(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("depth")
+        hist = MetricHistory()
+        for tick, level in enumerate((1.0, 9.0, 4.0)):
+            gauge.set(level)
+            hist.sample(tick, reg)
+        assert hist.gauge_extreme("depth", 10, 2) == 9.0
+        assert hist.gauge_extreme("depth", 10, 2, mode="min") == 1.0
+        # Window excludes every point -> no answer.
+        assert hist.gauge_extreme("depth", 1, 99) is None
+
+    def test_mean_in_window_uses_new_samples_only(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        hist = MetricHistory()
+        h.observe(100.0)
+        hist.sample(0, reg)
+        h.observe(2.0)
+        h.observe(4.0)
+        hist.sample(1, reg)
+        # Window (0, 1]: only the two new samples count.
+        assert hist.mean_in_window("lat", 1, 1) == 3.0
+        # No new samples in (1, 2] -> None, not zero.
+        hist.sample(2, reg)
+        assert hist.mean_in_window("lat", 1, 2) is None
+
+    def test_quantile_over_window_bucket_deltas(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", edges=(1.0, 2.0, 4.0, 8.0))
+        hist = MetricHistory()
+        h.observe(100.0)  # pre-window outlier
+        hist.sample(0, reg)
+        for value in (1.5, 1.6, 1.7, 1.8):
+            h.observe(value)
+        hist.sample(1, reg)
+        q99 = hist.quantile("lat", 0.99, 1, 1)
+        # The window only saw the (1, 2] bucket; the old outlier is gone.
+        assert q99 is not None and q99 <= 2.0
+
+    def test_quantile_none_without_histogram_data(self):
+        assert MetricHistory().quantile("lat", 0.99, 8, 10) is None
+
+
+class TestExport:
+    def test_as_dict_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h").observe(1.0)
+        hist = sampled(reg, [0, 1])
+        out = hist.as_dict()
+        assert out["samples"] == 2
+        assert out["every"] == 1
+        names = {s["name"] for s in out["series"]}
+        assert names == {"c", "h"}
+        h_row = next(s for s in out["series"] if s["name"] == "h")
+        assert h_row["sums"] == [1.0, 1.0]
+        assert "buckets" not in h_row  # bucket vectors stay in memory

@@ -5,7 +5,13 @@ import math
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantile_from_counts,
+)
 
 
 class TestCounter:
@@ -101,3 +107,59 @@ class TestMetricsRegistry:
         assert [g.name for g in reg.gauges()] == ["g"]
         assert [h.name for h in reg.histograms()] == ["h"]
         assert len(reg) == 3
+
+
+class TestQuantiles:
+    def test_uniform_bucket_interpolation(self):
+        # 100 samples spread evenly over (0, 10] with edges every 1.0:
+        # the estimator should land near the exact quantiles.
+        h = Histogram("n", edges=tuple(float(i) for i in range(1, 11)))
+        for i in range(100):
+            h.observe(i / 10.0 + 0.05)
+        assert abs(h.quantile(0.50) - 5.0) < 0.6
+        assert abs(h.quantile(0.95) - 9.5) < 0.6
+        assert abs(h.quantile(0.99) - 9.9) < 0.6
+
+    def test_quantile_clamped_by_observed_extremes(self):
+        h = Histogram("n", edges=(10.0, 100.0))
+        h.observe(42.0)
+        # One sample: every quantile is that sample, not a bucket bound.
+        assert h.quantile(0.0) == 42.0
+        assert h.quantile(0.5) == 42.0
+        assert h.quantile(1.0) == 42.0
+
+    def test_overflow_bucket_uses_observed_max(self):
+        h = Histogram("n", edges=(1.0, 2.0))
+        for v in (0.5, 1.5, 950.0):
+            h.observe(v)
+        assert h.quantile(0.99) <= 950.0
+
+    def test_empty_histogram_quantile_is_none(self):
+        assert Histogram("n").quantile(0.5) is None
+
+    def test_bad_q_rejected(self):
+        h = Histogram("n")
+        h.observe(1.0)
+        with pytest.raises(ConfigurationError):
+            h.quantile(1.5)
+        with pytest.raises(ConfigurationError):
+            quantile_from_counts((1.0,), [1, 0], -0.1)
+
+    def test_as_dict_carries_quantile_estimates(self):
+        h = Histogram("n", edges=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        d = h.as_dict()
+        assert d["p50"] is not None
+        assert d["p50"] <= d["p95"] <= d["p99"] <= d["max"]
+
+    def test_as_dict_quantiles_null_when_empty(self):
+        d = Histogram("n").as_dict()
+        assert d["p50"] is None and d["p95"] is None and d["p99"] is None
+
+    def test_monotone_in_q(self):
+        h = Histogram("n")
+        for v in (1, 3, 3, 7, 20, 500, 900):
+            h.observe(float(v))
+        values = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.99, 1.0)]
+        assert values == sorted(values)

@@ -1,0 +1,188 @@
+"""Tests for the declarative SLO engine and burn-rate alert lifecycle."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    DEFAULT_RULES,
+    FEDERATION_RULES,
+    SLOAlert,
+    SLORule,
+    Telemetry,
+)
+
+
+def ratio_rule(**overrides):
+    base = dict(
+        name="delivery",
+        kind="ratio",
+        objective=0.9,
+        good="good_total",
+        bad=("bad_total",),
+        short_window=4,
+        long_window=8,
+        burn_threshold=1.0,
+        for_ticks=2,
+        clear_ticks=3,
+    )
+    base.update(overrides)
+    return SLORule(**base)
+
+
+class TestRuleValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            SLORule(name="x", kind="vibes", objective=1.0)
+
+    def test_ratio_needs_good_and_bad(self):
+        with pytest.raises(ConfigurationError, match="good and bad"):
+            SLORule(name="x", kind="ratio", objective=0.9)
+
+    def test_ratio_objective_must_be_fractional(self):
+        with pytest.raises(ConfigurationError, match="objective"):
+            ratio_rule(objective=1.0)
+
+    def test_quantile_and_bound_need_metric(self):
+        for kind in ("quantile", "bound"):
+            with pytest.raises(ConfigurationError, match="metric"):
+                SLORule(name="x", kind=kind, objective=5.0)
+
+    def test_window_ordering(self):
+        with pytest.raises(ConfigurationError, match="short_window"):
+            ratio_rule(short_window=16, long_window=8)
+
+    def test_default_rule_sets_are_valid(self):
+        assert {r.name for r in DEFAULT_RULES} == {
+            "delivery-ratio", "staleness-p99",
+        }
+        assert {r.name for r in FEDERATION_RULES} == {
+            "consensus-error-bound",
+        }
+
+
+class TestAlertLifecycle:
+    def run_alert(self, breaches, rule=None):
+        tel = Telemetry()
+        alert = SLOAlert(rule or ratio_rule())
+        for tick, breached in enumerate(breaches):
+            alert.observe(breached, tick, tel)
+        return tel, alert
+
+    def test_pending_then_firing_then_resolved(self):
+        tel, alert = self.run_alert(
+            [False, True, True, True, False, False, False]
+        )
+        assert [t["to"] for t in alert.transitions] == [
+            "pending", "firing", "resolved",
+        ]
+        assert [t["tick"] for t in alert.transitions] == [1, 2, 6]
+        assert alert.state == "ok"  # resolved resets for the next incident
+        assert [e.name for e in tel.bus.events()] == [
+            "slo.pending", "slo.firing", "slo.resolved",
+        ]
+        [counter] = tel.metrics.counters()
+        assert counter.name == "slo_alerts_total"
+        assert counter.value == 1
+
+    def test_blip_resolves_from_pending_without_firing(self):
+        _, alert = self.run_alert([True] + [False] * 5)
+        assert [t["to"] for t in alert.transitions] == [
+            "pending", "resolved",
+        ]
+
+    def test_breach_streak_resets_on_clean_tick(self):
+        # for_ticks=2 with alternating breaches never reaches firing.
+        _, alert = self.run_alert([True, False, True, False, True, False])
+        assert not any(t["to"] == "firing" for t in alert.transitions)
+
+    def test_fired_between_and_resolved_after(self):
+        _, alert = self.run_alert(
+            [True, True, True] + [False] * 4
+        )
+        assert alert.fired_between(0, 2)
+        assert not alert.fired_between(3, 99)
+        assert alert.resolved_after(2)
+        assert not alert.resolved_after(50)
+
+    def test_as_dict_shape(self):
+        _, alert = self.run_alert([True, True])
+        out = alert.as_dict()
+        assert out["name"] == "delivery"
+        assert out["state"] == "firing"
+        assert "last" not in out  # no engine evaluated burn values here
+        assert len(out["transitions"]) == 2
+
+
+class TestSLOEngine:
+    def drive(self, tel, good_per_tick, bad_per_tick, ticks, start=0):
+        for tick in range(start, start + ticks):
+            if good_per_tick:
+                tel.count("good_total", amount=good_per_tick)
+            if bad_per_tick:
+                tel.count("bad_total", amount=bad_per_tick)
+            tel.set_tick(tick + 1)
+
+    def test_ratio_rule_fires_and_resolves_on_real_history(self):
+        tel = Telemetry()
+        alert = tel.slo.add_rule(ratio_rule())
+        self.drive(tel, good_per_tick=10, bad_per_tick=0, ticks=20)
+        assert alert.state == "ok"
+        # Heavy losses: burn far above threshold in both windows.
+        self.drive(tel, good_per_tick=5, bad_per_tick=5, ticks=10, start=20)
+        assert any(t["to"] == "firing" for t in alert.transitions)
+        assert alert.last_values["burn_short"] > 1.0
+        # Clean traffic again: the short window cools, alert resolves.
+        self.drive(tel, good_per_tick=10, bad_per_tick=0, ticks=20, start=30)
+        assert alert.resolved_after(20)
+
+    def test_ratio_burn_zero_without_traffic(self):
+        tel = Telemetry()
+        alert = tel.slo.add_rule(ratio_rule())
+        for tick in range(10):
+            tel.set_tick(tick)
+        tel.sample_now()
+        assert alert.state == "ok"
+        assert alert.transitions == []
+
+    def test_quantile_rule_breaches_on_windowed_p99(self):
+        tel = Telemetry()
+        rule = SLORule(
+            name="lat-p99", kind="quantile", metric="lat_ticks",
+            q=0.99, objective=10.0, short_window=4,
+            for_ticks=1, clear_ticks=2,
+        )
+        alert = tel.slo.add_rule(rule)
+        for tick in range(10):
+            tel.observe("lat_ticks", 2.0)
+            tel.set_tick(tick + 1)
+        assert alert.state == "ok"
+        for tick in range(10, 14):
+            tel.observe("lat_ticks", 500.0)
+            tel.set_tick(tick + 1)
+        assert any(t["to"] == "firing" for t in alert.transitions)
+
+    def test_bound_rule_tracks_gauge_extreme(self):
+        tel = Telemetry()
+        rule = SLORule(
+            name="depth-bound", kind="bound", metric="depth",
+            objective=8.0, short_window=4, for_ticks=1, clear_ticks=2,
+        )
+        alert = tel.slo.add_rule(rule)
+        for tick in range(6):
+            tel.gauge("depth", 3.0)
+            tel.set_tick(tick + 1)
+        assert alert.state == "ok"
+        tel.gauge("depth", 20.0)
+        tel.set_tick(7)
+        tel.gauge("depth", 20.0)
+        tel.set_tick(8)
+        assert alert.state == "firing"
+
+    def test_install_defaults_and_report(self):
+        tel = Telemetry()
+        tel.slo.install_defaults(federation=True)
+        report = tel.slo.report()
+        names = [r["name"] for r in report["rules"]]
+        assert names == sorted(names)
+        assert "consensus-error-bound" in names
+        assert all(r["state"] == "ok" for r in report["rules"])

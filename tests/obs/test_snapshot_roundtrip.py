@@ -1,0 +1,174 @@
+"""Snapshot round-trip on a real federation run, plus v1 -> v2 migration.
+
+The satellite contract: ``build_snapshot -> write_snapshot ->
+load_snapshot -> validate_snapshot`` survives a federated run with the
+self-monitoring layer installed, and pre-PR-7 ``repro.obs/v1`` files
+(the committed BENCH baselines included) keep loading via the additive
+migration.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.dsms.query import ContinuousQuery
+from repro.errors import ConfigurationError
+from repro.federation import FederatedCluster, FederationConfig
+from repro.filters.models import constant_model
+from repro.obs import (
+    SNAPSHOT_SCHEMA,
+    SNAPSHOT_SCHEMA_V1,
+    Telemetry,
+    build_snapshot,
+    load_snapshot,
+    migrate_snapshot,
+    validate_snapshot,
+    write_snapshot,
+)
+from repro.streams.base import stream_from_values
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def federated_run(ticks=80, n_streams=4, seed=11):
+    tel = Telemetry()
+    tel.health.install_defaults(federation=True)
+    tel.slo.install_defaults(federation=True)
+    cluster = FederatedCluster(
+        FederationConfig(peers=3, replication=2), telemetry=tel
+    )
+    rng = np.random.default_rng(seed)
+    for i in range(n_streams):
+        sid = f"s{i}"
+        values = np.cumsum(rng.normal(0.0, 0.4, size=ticks))
+        cluster.add_source(
+            sid, constant_model(q=0.2, r=1.0),
+            stream_from_values(values, name=sid),
+        )
+        cluster.submit_query(
+            ContinuousQuery(sid, delta=1.0, query_id=f"q-{sid}")
+        )
+    cluster.run()
+    cluster.answers()
+    return tel, cluster
+
+
+class TestFederationRoundTrip:
+    def test_full_cycle_preserves_v2_sections(self, tmp_path):
+        tel, _ = federated_run()
+        snapshot = build_snapshot(tel, meta={"run": "federation"})
+        path = tmp_path / "federation-snapshot.json"
+        write_snapshot(path, snapshot)
+        loaded = load_snapshot(path)
+        assert validate_snapshot(loaded) is loaded
+        assert loaded["schema"] == SNAPSHOT_SCHEMA
+        assert loaded["meta"] == {"run": "federation"}
+        # History sampled the run: federation counters have trajectories.
+        series_names = {s["name"] for s in loaded["history"]["series"]}
+        assert "fabric_delivered_total" in series_names
+        assert loaded["history"]["samples"] > 0
+        # Self-monitoring sections round-trip with their installed sets.
+        rule_names = {r["name"] for r in loaded["alerts"]["rules"]}
+        assert "delivery-ratio" in rule_names
+        assert "consensus-error-bound" in rule_names
+        watcher_names = {w["name"] for w in loaded["health"]["watchers"]}
+        assert "consensus_error" in watcher_names
+        # A clean federated run must not trip the self-monitoring layer.
+        assert all(
+            w["anomalies"] == 0 for w in loaded["health"]["watchers"]
+        )
+        assert all(
+            r["state"] == "ok" for r in loaded["alerts"]["rules"]
+        )
+        assert loaded["events"]["dropped"] == 0
+
+    def test_snapshot_json_is_plain_data(self, tmp_path):
+        tel, _ = federated_run(ticks=40, n_streams=2)
+        path = tmp_path / "snap.json"
+        write_snapshot(path, build_snapshot(tel))
+        raw = json.loads(path.read_text())  # no custom decoder needed
+        assert raw["schema"] == SNAPSHOT_SCHEMA
+
+
+def v1_fixture(**overrides):
+    """A minimal hand-rolled pre-PR-7 snapshot."""
+    snapshot = {
+        "schema": SNAPSHOT_SCHEMA_V1,
+        "meta": {"seed": 7},
+        "counters": [
+            {"name": "updates_sent_total", "labels": {}, "value": 3}
+        ],
+        "gauges": [],
+        "histograms": [
+            {
+                "name": "ack_rtt_ticks",
+                "labels": {"source": "s0"},
+                "edges": [1.0, 2.0],
+                "counts": [1, 1, 0],
+                "count": 2,
+                "sum": 2.5,
+                "min": 0.5,
+                "max": 2.0,
+                "mean": 1.25,
+            }
+        ],
+        "spans": [],
+        "events": {"total": 5, "by_name": {"source.update": 5}},
+    }
+    snapshot.update(overrides)
+    return snapshot
+
+
+class TestV1Migration:
+    def test_migrate_adds_sections_and_retags(self):
+        migrated = migrate_snapshot(v1_fixture())
+        assert migrated["schema"] == SNAPSHOT_SCHEMA
+        assert migrated["history"]["series"] == []
+        assert migrated["alerts"]["rules"] == []
+        assert migrated["health"]["watchers"] == []
+        assert migrated["events"]["dropped"] == 0
+        assert validate_snapshot(migrated) is migrated
+
+    def test_migrate_does_not_mutate_the_original(self):
+        original = v1_fixture()
+        migrate_snapshot(original)
+        assert original["schema"] == SNAPSHOT_SCHEMA_V1
+        assert "history" not in original
+
+    def test_migrate_passes_v2_through_untouched(self):
+        snapshot = build_snapshot(meta={})
+        assert migrate_snapshot(snapshot) is snapshot
+
+    def test_load_snapshot_migrates_v1_files(self, tmp_path):
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(v1_fixture()))
+        loaded = load_snapshot(path)
+        assert loaded["schema"] == SNAPSHOT_SCHEMA
+        [hist] = loaded["histograms"]
+        assert "p99" not in hist  # migration is additive, not recomputed
+
+    def test_migration_preserves_old_payload(self, tmp_path):
+        path = tmp_path / "v1.json"
+        fixture = v1_fixture()
+        path.write_text(json.dumps(fixture))
+        loaded = load_snapshot(path)
+        assert loaded["counters"] == fixture["counters"]
+        assert loaded["events"]["by_name"] == {"source.update": 5}
+
+    @pytest.mark.parametrize(
+        "name", ["BENCH_engine_scale.json", "BENCH_federation.json"]
+    )
+    def test_committed_bench_baselines_still_load(self, name):
+        path = REPO_ROOT / name
+        assert json.loads(path.read_text())["schema"] == SNAPSHOT_SCHEMA_V1
+        loaded = load_snapshot(path)
+        assert loaded["schema"] == SNAPSHOT_SCHEMA
+        assert loaded["gauges"]  # throughput gauges survive migration
+
+    def test_unknown_schema_still_rejected(self, tmp_path):
+        path = tmp_path / "v0.json"
+        path.write_text(json.dumps(v1_fixture(schema="repro.obs/v0")))
+        with pytest.raises(ConfigurationError, match="schema"):
+            load_snapshot(path)

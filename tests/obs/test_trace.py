@@ -1,0 +1,117 @@
+"""Tests for causal-tree trace reconstruction."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Event,
+    build_trace,
+    collect_trace,
+    read_jsonl_events,
+    render_trace,
+    trace_ids,
+)
+
+
+def event(seq, tick, name, trace="s0/1", source_id="s0", **fields):
+    return Event(
+        seq=seq, tick=tick, name=name, source_id=source_id,
+        trace_id=trace, fields=fields,
+    )
+
+
+def federation_hop_events():
+    """One update's journey, deliberately emitted out of causal order."""
+    return [
+        event(3, 11, "server.apply"),
+        event(1, 10, "fabric.delivered"),
+        event(0, 10, "source.update", k=10),
+        event(2, 11, "federation.ingress", peer="p1"),
+        event(4, 12, "federation.replica_apply", peer="p2"),
+        event(5, 13, "fabric.ack_delivered"),
+        event(6, 9, "source.update", trace="s9/7", source_id="s9"),
+    ]
+
+
+class TestCollect:
+    def test_filters_by_trace_and_orders_causally(self):
+        ordered = collect_trace(federation_hop_events(), "s0/1")
+        assert [e.name for e in ordered] == [
+            "source.update",
+            "fabric.delivered",
+            "federation.ingress",
+            "server.apply",
+            "federation.replica_apply",
+            "fabric.ack_delivered",
+        ]
+
+    def test_same_tick_ties_break_on_stage_order(self):
+        # Emission order says apply-then-deliver; causality disagrees.
+        events = [
+            event(0, 5, "server.apply"),
+            event(1, 5, "fabric.delivered"),
+            event(2, 5, "source.update"),
+        ]
+        ordered = collect_trace(events, "s0/1")
+        assert [e.name for e in ordered] == [
+            "source.update", "fabric.delivered", "server.apply",
+        ]
+
+    def test_accepts_plain_dicts_from_jsonl(self):
+        rows = [e.as_dict() for e in federation_hop_events()]
+        ordered = collect_trace(rows, "s0/1")
+        assert len(ordered) == 6
+        assert all(isinstance(e, Event) for e in ordered)
+
+    def test_trace_ids_ordered_by_first_appearance(self):
+        assert trace_ids(federation_hop_events()) == ["s0/1", "s9/7"]
+
+
+class TestBuildAndRender:
+    def test_hops_carry_tick_deltas(self):
+        hops = build_trace(federation_hop_events(), "s0/1")
+        assert [h.dt for h in hops] == [0, 0, 1, 0, 1, 1]
+        assert hops[0].as_dict()["dt_ticks"] == 0
+
+    def test_unknown_trace_is_empty(self):
+        assert build_trace(federation_hop_events(), "nope/0") == []
+        assert "no events" in render_trace([], "nope/0")
+
+    def test_render_shows_every_hop_with_timing(self):
+        text = render_trace(federation_hop_events(), "s0/1")
+        assert text.startswith("trace s0/1 (6 hops)")
+        assert "source.update [s0]  k=10" in text
+        assert "( +1t) federation.ingress" in text
+        assert text.count("├─") == 5
+        assert text.count("└─") == 1
+
+
+class TestReadJsonl:
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        rows = [e.as_dict() for e in federation_hop_events()]
+        path.write_text("\n".join(json.dumps(r) for r in rows) + "\n")
+        loaded = read_jsonl_events(path)
+        assert len(loaded) == len(rows)
+        assert [e.name for e in collect_trace(loaded, "s9/7")] == [
+            "source.update"
+        ]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"seq": 0, "tick": 1, "name": "a"}\n\n')
+        assert len(read_jsonl_events(path)) == 1
+
+    def test_bad_json_names_the_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"seq": 0, "tick": 1, "name": "a"}\n{oops\n')
+        with pytest.raises(ConfigurationError, match=":2:"):
+            read_jsonl_events(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ConfigurationError, match="objects"):
+            read_jsonl_events(path)

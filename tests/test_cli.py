@@ -299,3 +299,124 @@ class TestChaosCommand:
         )
         assert code != 0
         assert "crash-at" in capsys.readouterr().err
+
+
+class TestSloCommand:
+    def test_demo_prints_report(self, capsys):
+        code = main(["slo", "--demo", "--ticks", "150"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "=== SLO report ===" in out
+        assert "delivery-ratio" in out
+        assert "=== health watchers ===" in out
+
+    def test_replay_from_snapshot(self, tmp_path, capsys):
+        snap = tmp_path / "snap.json"
+        assert main(["obs", "--record", str(snap), "--ticks", "120"]) == 0
+        capsys.readouterr()
+        code = main(["slo", str(snap)])
+        assert code == 0
+        assert "staleness-p99" in capsys.readouterr().out
+
+    def test_strict_fails_when_an_alert_fired(self, capsys):
+        # The burst-loss demo reliably trips the delivery-ratio alert.
+        code = main(["slo", "--demo", "--ticks", "300", "--strict"])
+        assert code == 1
+        assert "at least one alert fired" in capsys.readouterr().err
+
+    def test_missing_arguments_fail_cleanly(self, capsys):
+        code = main(["slo"])
+        assert code == 1
+        assert "need a snapshot path" in capsys.readouterr().err
+
+
+class TestTraceView:
+    def test_trace_tree_from_recorded_events(self, tmp_path, capsys):
+        snap = tmp_path / "snap.json"
+        events = tmp_path / "run.jsonl"
+        assert (
+            main(
+                [
+                    "obs", "--record", str(snap),
+                    "--events", str(events), "--ticks", "100",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["obs", "--events", str(events), "--trace", "all"]) == 0
+        listing = capsys.readouterr().out
+        first = listing.strip().splitlines()[0]
+        assert "/" in first
+        assert main(["obs", "--events", str(events), "--trace", first]) == 0
+        tree = capsys.readouterr().out
+        assert f"trace {first}" in tree
+        assert "source.update" in tree
+
+    def test_trace_without_events_fails_cleanly(self, capsys):
+        code = main(["obs", "--trace", "s0/1"])
+        assert code == 1
+        assert "--events" in capsys.readouterr().err
+
+
+class TestBenchdiffCommand:
+    def write_bench(self, path, us_per_reading, speedup=10.0):
+        import json
+
+        from repro.obs import MetricsRegistry, build_snapshot
+
+        reg = MetricsRegistry()
+        reg.gauge(
+            "engine_us_per_reading", {"sources": "64"}
+        ).set(us_per_reading)
+        reg.gauge("batch_speedup_x", {"sources": "64"}).set(speedup)
+        path.write_text(json.dumps(build_snapshot(reg, meta={})))
+
+    def test_within_budget_passes(self, tmp_path, capsys):
+        base, fresh = tmp_path / "base.json", tmp_path / "fresh.json"
+        self.write_bench(base, 100.0)
+        self.write_bench(fresh, 110.0)
+        code = main(["benchdiff", str(base), str(fresh)])
+        assert code == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_regression_fails(self, tmp_path, capsys):
+        base, fresh = tmp_path / "base.json", tmp_path / "fresh.json"
+        self.write_bench(base, 100.0)
+        self.write_bench(fresh, 160.0)
+        code = main(["benchdiff", str(base), str(fresh)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "FAIL" in err and "engine_us_per_reading" in err
+
+    def test_higher_is_better_direction(self, tmp_path, capsys):
+        base, fresh = tmp_path / "base.json", tmp_path / "fresh.json"
+        self.write_bench(base, 100.0, speedup=10.0)
+        self.write_bench(fresh, 100.0, speedup=5.0)  # speedup halved
+        code = main(["benchdiff", str(base), str(fresh)])
+        assert code == 1
+        assert "batch_speedup_x" in capsys.readouterr().err
+
+    def test_no_shared_gauges_fails_cleanly(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import MetricsRegistry, build_snapshot
+
+        base, fresh = tmp_path / "base.json", tmp_path / "fresh.json"
+        self.write_bench(base, 100.0)
+        fresh.write_text(
+            json.dumps(build_snapshot(MetricsRegistry(), meta={}))
+        )
+        code = main(["benchdiff", str(base), str(fresh)])
+        assert code == 1
+        assert "share no throughput gauges" in capsys.readouterr().err
+
+    def test_committed_baselines_self_compare(self, capsys):
+        from pathlib import Path
+
+        baseline = str(
+            Path(__file__).resolve().parents[1] / "BENCH_engine_scale.json"
+        )
+        code = main(["benchdiff", baseline, baseline])
+        assert code == 0
+        assert "within 25%" in capsys.readouterr().out
