@@ -1,0 +1,24 @@
+"""Predictive autoscaling: the engine's own filters run the engine.
+
+The subsystem closes ROADMAP item 2: per-signal Kalman load models
+(:mod:`~repro.autoscale.forecast`), a DRS-style queueing planner
+(:mod:`~repro.autoscale.planner`), engine-side controllers that actuate
+plans through the existing overload / shard / pool machinery
+(:mod:`~repro.autoscale.controller`), and the seeded surge drill that
+proves the loop holds its SLO (:mod:`~repro.autoscale.drill`).
+"""
+
+from repro.autoscale.config import AutoscalePolicy
+from repro.autoscale.controller import InboxAutoscaler, ShardAutoscaler
+from repro.autoscale.forecast import Forecast, LoadForecaster
+from repro.autoscale.planner import QueueingPlanner, ResourcePlan
+
+__all__ = [
+    "AutoscalePolicy",
+    "Forecast",
+    "LoadForecaster",
+    "QueueingPlanner",
+    "ResourcePlan",
+    "InboxAutoscaler",
+    "ShardAutoscaler",
+]

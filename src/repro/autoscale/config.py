@@ -1,0 +1,124 @@
+"""Autoscaler configuration: one frozen policy object.
+
+:class:`AutoscalePolicy` is the single knob bundle both engines accept.
+Like :class:`~repro.resilience.config.ResilienceConfig`, a default
+instance is conservative -- forecasting runs every ``control_interval``
+ticks, surges boost the process noise for a bounded window, and the
+planner may take at most a couple of actions per interval -- and
+``validate()`` rejects nonsense up front rather than letting a bad knob
+silently disable the control loop.
+
+The knobs split into three groups (see ``docs/AUTOSCALE.md``):
+
+* **Forecast** -- ``model`` / ``horizon_ticks`` / ``confidence_z``
+  shape the per-signal Kalman load models and the honest upper bound
+  the planner consumes; ``surge_z`` / ``q_boost`` / ``boost_ticks``
+  are the innovation-driven regime-change response.
+* **Plan** -- the watermark fractions and per-interval action caps
+  that turn a forecast into δ-widening / restore steps (scalar
+  engine) or split / merge / pool-resize decisions (batch engine).
+* **Actuate** -- worker-pool bounds for the batch engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AutoscalePolicy"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Knobs for the predictive autoscaler.
+
+    Attributes:
+        control_interval: Ticks between plan evaluations.
+        horizon_ticks: Forecast lookahead, in ticks.  The planner acts
+            on the *predicted* state this far ahead, which is exactly
+            the lead time it buys over the reactive controller.
+        model: Load-model kind -- ``"rw"`` (random walk, the default:
+            honest for noisy count-like signals) or ``"cv"`` (constant
+            velocity; tracks ramps but extrapolates trend, so its
+            long-horizon intervals are far wider on jittery data).
+        confidence_z: Width of the one-sided prediction interval the
+            planner consumes (upper bound = mean + z·σ).  Honest
+            planning uses the bound, not the point forecast.
+        surge_z: Innovation z-score that flags a regime change.
+        q_boost: Process-noise multiplier while a surge is active --
+            the filter re-learns the new level fast instead of
+            low-passing it away.
+        boost_ticks: How long one surge detection keeps Q boosted.
+        warmup_ticks: Observations consumed before forecasts are
+            trusted (the planner stays passive during warmup).
+        widen_per_interval: Max δ-widening steps per control interval.
+        restore_per_interval: Max restore steps per control interval.
+        plan_high: Predicted inbox fill fraction that triggers
+            proactive widening (scalar engine).
+        plan_low: Predicted fill fraction below which restores run.
+        split_headroom: Split a shard when its predicted step latency
+            exceeds ``split_headroom × latency_budget_us``.
+        merge_headroom: Merge two sibling shards when their combined
+            predicted latency stays under
+            ``merge_headroom × latency_budget_us``.
+        min_workers: Worker-pool floor (batch engine).
+        max_workers: Worker-pool ceiling (batch engine).
+    """
+
+    control_interval: int = 4
+    horizon_ticks: int = 8
+    model: str = "rw"
+    confidence_z: float = 1.0
+    surge_z: float = 2.5
+    q_boost: float = 32.0
+    boost_ticks: int = 12
+    warmup_ticks: int = 16
+    widen_per_interval: int = 2
+    restore_per_interval: int = 2
+    plan_high: float = 0.5
+    plan_low: float = 0.1
+    split_headroom: float = 1.0
+    merge_headroom: float = 0.35
+    min_workers: int = 0
+    max_workers: int = 8
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.ConfigurationError` on bad values."""
+        if self.control_interval < 1:
+            raise ConfigurationError("control interval must be >= 1 tick")
+        if self.horizon_ticks < 1:
+            raise ConfigurationError("forecast horizon must be >= 1 tick")
+        if self.model not in ("rw", "cv"):
+            raise ConfigurationError(
+                f"unknown load model {self.model!r} (want 'rw' or 'cv')"
+            )
+        if self.confidence_z < 0:
+            raise ConfigurationError("confidence_z must be non-negative")
+        if self.surge_z <= 0:
+            raise ConfigurationError("surge_z must be positive")
+        if self.q_boost < 1.0:
+            raise ConfigurationError("q_boost must be at least 1")
+        if self.boost_ticks < 1:
+            raise ConfigurationError("boost_ticks must be >= 1")
+        if self.warmup_ticks < 1:
+            raise ConfigurationError("warmup_ticks must be >= 1")
+        if self.widen_per_interval < 1 or self.restore_per_interval < 1:
+            raise ConfigurationError(
+                "per-interval action caps must be at least 1"
+            )
+        if not 0.0 < self.plan_low < self.plan_high <= 1.0:
+            raise ConfigurationError(
+                "plan watermarks must satisfy 0 < low < high <= 1"
+            )
+        if self.split_headroom <= 0 or self.merge_headroom <= 0:
+            raise ConfigurationError("headroom fractions must be positive")
+        if self.merge_headroom >= self.split_headroom:
+            raise ConfigurationError(
+                "merge_headroom must sit below split_headroom "
+                "(hysteresis keeps split/merge from flapping)"
+            )
+        if self.min_workers < 0 or self.max_workers < self.min_workers:
+            raise ConfigurationError(
+                "need 0 <= min_workers <= max_workers"
+            )

@@ -1,0 +1,296 @@
+"""Autoscale controllers: close the forecast→plan→actuate loop.
+
+Two controllers share the forecasters and planner but drive different
+actuators:
+
+* :class:`InboxAutoscaler` (scalar engine) forecasts the server-inbox
+  arrival rate and hands δ-widening / restore schedules to the existing
+  :class:`~repro.resilience.supervisor.OverloadController` *before* the
+  inbox crosses its watermark -- the controller's exact shed-error
+  account and LIFO restore discipline are reused verbatim, so the audit
+  trail is one ledger whether shedding was planned or reactive.
+* :class:`ShardAutoscaler` (batch engine) forecasts per-shard step
+  latency and plans shard splits, state-preserving merges and
+  worker-pool resizes; the engine owns the actual router surgery.
+
+Both keep a bounded plan trace (every control interval's inputs and
+decisions) and emit ``autoscale.*`` events/metrics through the
+telemetry handle, so ``forecast vs. actual`` is inspectable after any
+run.
+"""
+
+from __future__ import annotations
+
+from repro.autoscale.config import AutoscalePolicy
+from repro.autoscale.forecast import LoadForecaster
+from repro.autoscale.planner import QueueingPlanner, ResourcePlan
+from repro.obs.telemetry import NULL_TELEMETRY
+
+__all__ = ["InboxAutoscaler", "ShardAutoscaler"]
+
+#: Hard cap on retained trace entries (a control interval each).
+_TRACE_MAX = 4096
+
+
+class _TraceMixin:
+    """Shared bounded plan trace + telemetry emission."""
+
+    def _init_trace(self, telemetry) -> None:
+        self._tel = telemetry or NULL_TELEMETRY
+        self._trace: list[dict] = []
+        self._plans = 0
+
+    def _record(self, entry: dict) -> None:
+        self._plans += 1
+        if len(self._trace) < _TRACE_MAX:
+            self._trace.append(entry)
+
+    def trace(self) -> list[dict]:
+        """Every recorded control-interval decision, in order."""
+        return list(self._trace)
+
+
+class InboxAutoscaler(_TraceMixin):
+    """Predictive δ-widening for the scalar engine's bounded inbox.
+
+    Args:
+        policy: Autoscale knobs.
+        overload: The engine's overload controller (the actuator; its
+            shed ledger covers planned and reactive widening alike).
+        telemetry: Observability handle.
+
+    The engine calls :meth:`control` once per tick from its inbox-drain
+    step, before the reactive controller runs.  Most ticks only feed
+    the forecaster; every ``control_interval`` ticks a plan is made and
+    actuated.  Returns ``{source_id: scale}`` changes to apply.
+    """
+
+    def __init__(
+        self, policy: AutoscalePolicy, overload, telemetry=None
+    ) -> None:
+        policy.validate()
+        self.policy = policy
+        self._overload = overload
+        self._planner = QueueingPlanner(policy)
+        self._arrival = LoadForecaster("inbox_arrival", policy, q=0.05)
+        self._depth = LoadForecaster("inbox_depth", policy, q=0.1)
+        self._last_offered: int | None = None
+        self._init_trace(telemetry)
+
+    @property
+    def arrival(self) -> LoadForecaster:
+        """The arrival-rate load model (live object)."""
+        return self._arrival
+
+    def control(self, tick: int, *, depth: int, offered: int) -> dict[str, float]:
+        """Observe this tick's load; plan and actuate on the interval.
+
+        Args:
+            tick: Current engine tick.
+            depth: Inbox depth after this tick's drain.
+            offered: Cumulative messages offered to the inbox
+                (accepted + dropped -- the true arrival count).
+        """
+        arrival = (
+            0.0 if self._last_offered is None
+            else float(offered - self._last_offered)
+        )
+        had_baseline = self._last_offered is not None
+        self._last_offered = offered
+        tel = self._tel
+        if had_baseline:
+            was_boosted = self._arrival.boosted
+            self._arrival.observe(tick, arrival)
+            self._depth.observe(tick, float(depth))
+            if self._arrival.boosted and not was_boosted:
+                if tel.enabled:
+                    tel.emit(
+                        "autoscale.surge",
+                        signal="inbox_arrival",
+                        value=arrival,
+                        z=round(self._arrival.last_z or 0.0, 3),
+                    )
+                    tel.count("autoscale_surges_total")
+            if tel.enabled:
+                tel.gauge("autoscale_arrival_rate", arrival)
+                if self._arrival.last_predicted is not None:
+                    tel.gauge(
+                        "autoscale_forecast_error",
+                        abs(arrival - self._arrival.last_predicted),
+                    )
+        # Surge interrupt: while the regime-change boost is active the
+        # control loop runs every tick instead of waiting out the
+        # interval -- each tick of planning delay during a surge is a
+        # tick of unplanned tail-dropping at the inbox.  The need
+        # credit keeps the hot loop from over-asking.
+        if tick % self.policy.control_interval != 0 and not self._arrival.boosted:
+            return {}
+        if not self._arrival.warmed:
+            return {}
+        forecast = self._arrival.forecast()
+        if forecast is None:
+            return {}
+        policy = self._overload.policy
+        ledger = self._overload.ledger()
+        plan = self._planner.plan_inbox(
+            tick,
+            depth=depth,
+            capacity=policy.inbox_capacity,
+            drain_per_tick=policy.drain_per_tick,
+            arrival=forecast,
+            streams=len(self._overload.report()),
+            widened=ledger["widen_steps"] - ledger["restore_steps"],
+            surging=self._arrival.boosted,
+        )
+        changes = self._actuate(tick, plan)
+        self._record(
+            {
+                "tick": tick,
+                "widen_steps": plan.widen_steps,
+                "restore_steps": plan.restore_steps,
+                "changes": dict(changes),
+                **plan.reason,
+            }
+        )
+        if tel.enabled:
+            tel.gauge(
+                "autoscale_predicted_depth",
+                float(plan.reason.get("predicted_depth", 0.0)),
+            )
+            if plan.acts:
+                tel.emit(
+                    "autoscale.plan",
+                    widen=plan.widen_steps,
+                    restore=plan.restore_steps,
+                    **{
+                        k: v for k, v in plan.reason.items()
+                        if not isinstance(v, dict)
+                    },
+                )
+                tel.count("autoscale_plans_total")
+        return changes
+
+    def _actuate(self, tick: int, plan: ResourcePlan) -> dict[str, float]:
+        changes: dict[str, float] = {}
+        if plan.widen_steps:
+            # No act-and-wait hold here: the planner already credits
+            # outstanding steps against the need, so a repeated ask
+            # means the forecast genuinely grew -- delaying it just
+            # hands the work to the reactive backstop (which widens
+            # later, drops more, and charges the same ledger).
+            changes.update(
+                self._overload.plan_widen(tick, plan.widen_steps)
+            )
+            if self._tel.enabled and changes:
+                self._tel.count(
+                    "autoscale_widen_planned_total", amount=len(changes)
+                )
+        elif plan.restore_steps:
+            changes.update(
+                self._overload.plan_restore(tick, plan.restore_steps)
+            )
+            if self._tel.enabled and changes:
+                self._tel.count(
+                    "autoscale_restore_planned_total", amount=len(changes)
+                )
+        return changes
+
+    def report(self) -> dict[str, object]:
+        """Audit summary: forecaster state, plan counts, shed ledger."""
+        return {
+            "plans": self._plans,
+            "arrival": self._arrival.as_dict(),
+            "depth": self._depth.as_dict(),
+            "ledger": self._overload.ledger(),
+        }
+
+
+class ShardAutoscaler(_TraceMixin):
+    """Predictive split/merge/pool-resize planning for the batch engine.
+
+    The engine feeds :meth:`note` one latency sample per shard per tick
+    and calls :meth:`control` once per tick; on the control interval it
+    gets back a :class:`~repro.autoscale.planner.ResourcePlan` to
+    actuate (the engine owns the router surgery and pool handle).
+    """
+
+    def __init__(self, policy: AutoscalePolicy, telemetry=None) -> None:
+        policy.validate()
+        self.policy = policy
+        self._planner = QueueingPlanner(policy)
+        self._models: dict[str, LoadForecaster] = {}
+        self._init_trace(telemetry)
+
+    def forget(self, shard_id: str) -> None:
+        """Drop the model of a shard that split or merged away."""
+        self._models.pop(shard_id, None)
+
+    def note(self, tick: int, shard_id: str, step_us: float) -> None:
+        """Record one shard-step latency sample."""
+        model = self._models.get(shard_id)
+        if model is None:
+            model = LoadForecaster(
+                f"shard:{shard_id}", self.policy, q=1.0
+            )
+            self._models[shard_id] = model
+        model.observe(tick, step_us)
+
+    def control(
+        self,
+        tick: int,
+        *,
+        budget_us: float,
+        rows: dict[str, int],
+        signatures: dict[str, object],
+        workers: int,
+    ) -> ResourcePlan | None:
+        """The interval's plan, or None off-interval / before warmup."""
+        if tick % self.policy.control_interval != 0:
+            return None
+        predictions = {
+            sid: fc
+            for sid, model in self._models.items()
+            if sid in rows and model.warmed
+            and (fc := model.forecast()) is not None
+        }
+        if not predictions:
+            return None
+        plan = self._planner.plan_shards(
+            tick,
+            budget_us=budget_us,
+            predictions=predictions,
+            rows=rows,
+            signatures=signatures,
+            current_workers=workers,
+        )
+        self._record(
+            {
+                "tick": tick,
+                "splits": list(plan.split_shards),
+                "merges": [list(p) for p in plan.merge_pairs],
+                "workers": plan.workers,
+                **{
+                    k: v for k, v in plan.reason.items()
+                    if not isinstance(v, dict)
+                },
+            }
+        )
+        if self._tel.enabled and plan.acts:
+            self._tel.emit(
+                "autoscale.plan",
+                splits=len(plan.split_shards),
+                merges=len(plan.merge_pairs),
+                workers=plan.workers,
+            )
+            self._tel.count("autoscale_plans_total")
+        return plan
+
+    def report(self) -> dict[str, object]:
+        """Audit summary: per-shard forecaster state + plan count."""
+        return {
+            "plans": self._plans,
+            "shards": {
+                sid: model.as_dict()
+                for sid, model in sorted(self._models.items())
+            },
+        }

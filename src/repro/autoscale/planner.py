@@ -1,0 +1,254 @@
+"""Queueing planner: forecasts + SLO in, resource plan out.
+
+The planning model is DRS ("Dynamic Resource Scheduling for Real-Time
+Analytics over Fast Streams", arXiv:1501.03610) shrunk to this engine's
+two resource pools:
+
+* **Server inbox (scalar engine).**  The server is one bounded queue
+  drained at ``μ = drain_per_tick``.  With predicted arrivals
+  ``λ̂`` (the forecaster's upper bound), the depth ``h`` ticks out is
+  ``d̂ = max(0, d + (λ̂ − μ)·h)``.  When ``d̂`` crosses the planning
+  high watermark the plan asks for δ-widening steps *now* -- shedding
+  starts before the queue actually backs up, which is the entire
+  advantage over the reactive controller.  When both the current and
+  the predicted depth sit under the low watermark the plan asks for
+  restore steps.  How many widening steps: enough that, assuming each
+  step sheds roughly its share of offered load (``λ̂ / streams`` per
+  fully-widened stream), the predicted surplus ``λ̂ − μ`` is covered --
+  capped by the per-interval action budget, so one bad forecast cannot
+  slam every stream to max widening.
+
+* **Shards and workers (batch engine).**  Each shard is a queue whose
+  service time per tick is its forecast step latency.  A shard whose
+  predicted latency (upper bound) exceeds ``split_headroom × budget``
+  splits; two sibling shards whose *combined* predicted latency stays
+  under ``merge_headroom × budget`` merge back (the hysteresis gap
+  between the two headrooms prevents flapping).  The worker target is
+  the queueing-theory floor ``⌈Σ service / budget⌉``: the fewest
+  parallel lanes that keep per-lane work inside the latency budget.
+
+Plans are data (:class:`ResourcePlan`); the engine-side controllers in
+:mod:`repro.autoscale.controller` actuate them and own the audit trail.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.autoscale.config import AutoscalePolicy
+from repro.autoscale.forecast import Forecast
+
+__all__ = ["ResourcePlan", "QueueingPlanner"]
+
+
+@dataclass(frozen=True)
+class ResourcePlan:
+    """One control interval's resource decision (audit-ready).
+
+    Attributes:
+        tick: Tick the plan was made.
+        widen_steps: δ-widening steps to hand the overload controller.
+        restore_steps: Restore steps to hand the overload controller.
+        split_shards: Shard ids whose predicted latency blows the budget.
+        merge_pairs: Sibling shard-id pairs to merge back together.
+        workers: Worker-pool target (None = leave unchanged).
+        reason: Planner inputs that produced the decision (forecast
+            bounds, predicted depth, per-shard predictions) -- this is
+            what lands in the autoscale trace.
+    """
+
+    tick: int
+    widen_steps: int = 0
+    restore_steps: int = 0
+    split_shards: tuple[str, ...] = ()
+    merge_pairs: tuple[tuple[str, str], ...] = ()
+    workers: int | None = None
+    reason: dict = field(default_factory=dict)
+
+    @property
+    def acts(self) -> bool:
+        """Whether the plan changes anything at all."""
+        return bool(
+            self.widen_steps
+            or self.restore_steps
+            or self.split_shards
+            or self.merge_pairs
+            or self.workers is not None
+        )
+
+
+class QueueingPlanner:
+    """Stateless forecast→plan translation under one policy."""
+
+    def __init__(self, policy: AutoscalePolicy) -> None:
+        policy.validate()
+        self._policy = policy
+
+    @property
+    def policy(self) -> AutoscalePolicy:
+        """The installed policy."""
+        return self._policy
+
+    # Scalar engine: inbox pressure → δ-widening schedule ------------------
+
+    def plan_inbox(
+        self,
+        tick: int,
+        *,
+        depth: int,
+        capacity: int,
+        drain_per_tick: int,
+        arrival: Forecast,
+        streams: int,
+        widened: int,
+        surging: bool = False,
+    ) -> ResourcePlan:
+        """Plan δ-widening/restores from the arrival-rate forecast.
+
+        Args:
+            tick: Current tick.
+            depth: Current inbox depth.
+            capacity: Inbox hard cap.
+            drain_per_tick: Server drain rate μ.
+            arrival: Forecast of the per-tick arrival rate λ.
+            streams: Registered stream count (shed-share denominator).
+            widened: δ-widening steps currently outstanding (widen −
+                restore).  Already-applied steps count against the
+                need, so the planner asks only for the *remaining*
+                shortfall instead of re-widening every interval while
+                earlier steps are still taking effect.
+            surging: Whether the forecaster's surge detector is active.
+                During a confirmed regime change the point forecast
+                lags by construction (the filter is still re-learning
+                the level), so sizing switches to the upper bound;
+                in steady state the mean keeps the planner from
+                shedding against its own uncertainty.
+        """
+        policy = self._policy
+        z = policy.confidence_z
+        lam_hi = max(0.0, arrival.upper(z))
+        lam_lo = max(0.0, arrival.lower(z))
+        horizon = max(1, arrival.horizon)
+        predicted = max(
+            0.0, depth + (lam_hi - drain_per_tick) * horizon
+        )
+        predicted_lo = max(
+            0.0, depth + (lam_lo - drain_per_tick) * horizon
+        )
+        reason = {
+            "depth": depth,
+            "arrival_upper": round(lam_hi, 4),
+            "arrival_lower": round(lam_lo, 4),
+            "predicted_depth": round(predicted, 2),
+            "drain": drain_per_tick,
+        }
+        high = policy.plan_high * capacity
+        low = policy.plan_low * capacity
+        if predicted >= high:
+            # Trigger on the honest upper bound (never miss a surge);
+            # size on the point forecast (never shed against mere
+            # uncertainty -- the surge boost has already re-learned the
+            # level by the time sizing matters).  Steps to cover the
+            # expected surplus, assuming one widening step sheds about
+            # one stream's share of the offered load.  Outstanding
+            # steps are credited: they are already shedding (or about
+            # to), and double-counting them is how a planner slams the
+            # whole fleet to max widening on one bad interval.
+            lam = max(0.0, arrival.mean)
+            share = lam / max(1, streams)
+            surplus = lam - drain_per_tick
+            # Demand has two parts: the rate surplus (λ̂ − μ) and the
+            # standing backlog, which must drain within one horizon or
+            # the inbox sits pinned above the reactive watermark and
+            # the backstop widens forever.  The backlog term shrinks as
+            # the queue drains, so the ask is self-limiting.
+            backlog = max(0.0, depth - low) / horizon
+            demand = surplus + backlog
+            need = (
+                1 if share <= 0 or demand <= 0
+                else math.ceil(demand / share)
+            )
+            need -= max(0, widened)
+            reason["need"] = need
+            if need > 0:
+                return ResourcePlan(
+                    tick,
+                    widen_steps=min(policy.widen_per_interval, need),
+                    reason=reason,
+                )
+            return ResourcePlan(tick, reason=reason)
+        if widened and depth <= low and predicted_lo <= low:
+            return ResourcePlan(
+                tick,
+                restore_steps=policy.restore_per_interval,
+                reason=reason,
+            )
+        return ResourcePlan(tick, reason=reason)
+
+    # Batch engine: shard latency → split / merge / pool size --------------
+
+    def plan_shards(
+        self,
+        tick: int,
+        *,
+        budget_us: float,
+        predictions: dict[str, Forecast],
+        rows: dict[str, int],
+        signatures: dict[str, object],
+        current_workers: int,
+    ) -> ResourcePlan:
+        """Plan splits, merges and the worker target from latency forecasts.
+
+        Args:
+            tick: Current tick.
+            budget_us: The per-step shard latency budget (the SLO).
+            predictions: Per-shard step-latency forecasts, µs.
+            rows: Per-shard row counts (a 1-row shard cannot split).
+            signatures: Per-shard model signature (only same-signature
+                shards may merge).
+            current_workers: Current pool size (for the no-op check).
+        """
+        policy = self._policy
+        z = policy.confidence_z
+        upper = {
+            sid: max(0.0, fc.upper(z)) for sid, fc in predictions.items()
+        }
+        splits = tuple(
+            sid
+            for sid, hi in sorted(upper.items())
+            if hi > policy.split_headroom * budget_us and rows.get(sid, 0) >= 2
+        )
+        # Greedy same-signature pairing for merges, smallest load first,
+        # skipping anything already queued to split this interval.
+        merge_limit = policy.merge_headroom * budget_us
+        by_sig: dict[object, list[str]] = {}
+        for sid in sorted(upper, key=lambda s: (upper[s], s)):
+            if sid in splits:
+                continue
+            by_sig.setdefault(signatures.get(sid), []).append(sid)
+        merges: list[tuple[str, str]] = []
+        for group in by_sig.values():
+            while len(group) >= 2:
+                a, b = group[0], group[1]
+                if upper[a] + upper[b] <= merge_limit:
+                    merges.append((a, b))
+                    group = group[2:]
+                else:
+                    break
+        total = sum(upper.values())
+        lanes = max(1, math.ceil(total / budget_us)) if budget_us > 0 else 1
+        target = min(policy.max_workers, max(policy.min_workers, lanes))
+        return ResourcePlan(
+            tick,
+            split_shards=splits,
+            merge_pairs=tuple(merges),
+            workers=None if target == current_workers else target,
+            reason={
+                "budget_us": budget_us,
+                "total_predicted_us": round(total, 1),
+                "per_shard_upper_us": {
+                    sid: round(v, 1) for sid, v in sorted(upper.items())
+                },
+            },
+        )

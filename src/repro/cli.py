@@ -21,6 +21,7 @@ writing code::
     python -m repro chaos --out chaos-out --max-recovery-ticks 50
     python -m repro chaos --batch          # same drill on the batch engine
     python -m repro chaos --federation     # peer kill + partition drill
+    python -m repro chaos --surge          # load x3 mid-run, autoscaler gated
     python -m repro scale                  # scalar vs batch engine race
     python -m repro scale --sources 64 1024 --min-speedup 5
     python -m repro benchdiff BENCH_engine_scale.json fresh.json
@@ -239,6 +240,39 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=3,
         help="peer count for --federation (default 3)",
+    )
+    chaos.add_argument(
+        "--surge",
+        action="store_true",
+        help="run the load-surge drill instead: offered load triples "
+        "mid-run; the predictive autoscaler must hold the latency SLO "
+        "with a lower audited δ-shed error than the reactive-only "
+        "baseline (same seed, exit 1 on any gate failure)",
+    )
+    chaos.add_argument(
+        "--surge-start",
+        type=int,
+        default=80,
+        help="first tick of the surge (--surge only)",
+    )
+    chaos.add_argument(
+        "--surge-len",
+        type=int,
+        default=80,
+        help="surge duration in ticks (--surge only)",
+    )
+    chaos.add_argument(
+        "--load-factor",
+        type=float,
+        default=3.0,
+        help="offered-load multiplier during the surge (--surge only)",
+    )
+    chaos.add_argument(
+        "--settle-window",
+        type=int,
+        default=64,
+        help="ticks after the surge by which the shed ledger must "
+        "balance and the SLO must resolve (--surge only)",
     )
 
     scale = sub.add_parser(
@@ -905,6 +939,100 @@ def _run_chaos_federation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_chaos_surge(args: argparse.Namespace) -> int:
+    """Load-surge drill: predictive vs reactive δ-shedding, gated.
+
+    Runs :func:`repro.autoscale.drill.compare_surge_drill` -- the same
+    seeded scenario twice, once with the predictive autoscaler armed and
+    once with reactive overload control only -- and writes three
+    artifacts into ``--out``:
+
+    * ``report.json`` -- both runs plus the acceptance gates;
+    * ``slo-report.json`` -- the enabled run's SLO/alert state (pure
+      tick-indexed control flow, so two runs with the same ``--seed``
+      produce byte-identical files);
+    * ``autoscale-trace.json`` -- every control-interval decision the
+      planner made, with the forecast inputs that produced it.
+
+    Exit 1 when any gate fails.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.autoscale.drill import compare_surge_drill
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    comparison = compare_surge_drill(
+        args.seed,
+        ticks=args.ticks,
+        surge_start=args.surge_start,
+        surge_len=args.surge_len,
+        load_factor=args.load_factor,
+        settle_window=args.settle_window,
+    )
+    enabled = comparison["enabled"]
+    disabled = comparison["disabled"]
+    gates = comparison["gates"]
+
+    (out / "report.json").write_text(
+        json.dumps(comparison, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    (out / "slo-report.json").write_text(
+        json.dumps(
+            {
+                "seed": comparison["seed"],
+                "slo": enabled["slo"],
+                "gates": gates,
+                "surge": {
+                    "start": enabled["surge_start"],
+                    "end": enabled["surge_end"],
+                    "load_factor": comparison["load_factor"],
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    (out / "autoscale-trace.json").write_text(
+        json.dumps(
+            (enabled["autoscale"] or {}).get("trace", []),
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    print("=== surge drill (predictive vs reactive) ===")
+    print(
+        f"offered rate        : calm {enabled['calm_rate']:.2f}/tick -> "
+        f"surge {enabled['surge_rate']:.2f}/tick "
+        f"(x{enabled['surge_rate'] / max(enabled['calm_rate'], 1e-9):.1f})"
+    )
+    for label, run in (("predictive", enabled), ("reactive  ", disabled)):
+        ledger = run["ledger"]
+        print(
+            f"{label}          : shed error {run['shed_error_total']:8.1f}, "
+            f"drops {run['inbox_dropped']:4d}, "
+            f"widen steps {ledger['widen_steps']:3d}, "
+            f"settle {run['settle_ticks']} ticks"
+        )
+    saved = disabled["shed_error_total"] - enabled["shed_error_total"]
+    print(
+        f"prediction saved    : {saved:.1f} bounded error "
+        f"({saved / max(disabled['shed_error_total'], 1e-9):.0%} of the "
+        "reactive total)"
+    )
+    print(f"artifacts           : {out}/")
+    for gate, passed in sorted(gates.items()):
+        print(f"gate {gate:<20}: {'ok' if passed else 'FAIL'}")
+    return 0 if comparison["passed"] else 1
+
+
 def _run_scale(args: argparse.Namespace) -> int:
     """Race the scalar engine against the batch engine, gate on speedup."""
     import time
@@ -1128,6 +1256,9 @@ _BENCH_LOWER_IS_BETTER = (
     "engine_us_per_reading",
     "fed_run_seconds",
     "fed_answer_us",
+    "surge_shed_error",
+    "surge_inbox_drops",
+    "surge_settle_ticks",
 )
 _BENCH_HIGHER_IS_BETTER = ("batch_speedup_x",)
 
@@ -1214,6 +1345,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command == "benchdiff":
             return _run_benchdiff(args)
         if args.command == "chaos":
+            if args.surge:
+                return _run_chaos_surge(args)
             if args.federation:
                 return _run_chaos_federation(args)
             return _run_chaos(args)

@@ -35,6 +35,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.autoscale.config import AutoscalePolicy
+from repro.autoscale.controller import InboxAutoscaler
 from repro.dkf.config import TransportPolicy
 from repro.dkf.protocol import (
     AckMessage,
@@ -176,6 +178,12 @@ class StreamEngine:
             messages go straight from the fabric into the server -- so a
             seeded run stays byte-identical to one built before this
             subsystem existed.
+        autoscale: Optional
+            :class:`~repro.autoscale.config.AutoscalePolicy` arming the
+            predictive control loop: a Kalman forecast of the inbox
+            arrival rate hands δ-widening schedules to the overload
+            controller *before* the watermark is crossed.  Requires an
+            overload policy (the actuator and shed ledger).
     """
 
     def __init__(
@@ -183,6 +191,7 @@ class StreamEngine:
         energy_model: EnergyModel | None = None,
         telemetry=None,
         resilience: ResilienceConfig | None = None,
+        autoscale: AutoscalePolicy | None = None,
     ) -> None:
         self.registry = SourceRegistry()
         self._tel = telemetry or NULL_TELEMETRY
@@ -251,6 +260,18 @@ class StreamEngine:
                     resilience.overload, telemetry=self._tel
                 )
                 self._inbox = BoundedInbox(resilience.overload.inbox_capacity)
+        self._autoscaler: InboxAutoscaler | None = None
+        if autoscale is not None:
+            autoscale.validate()
+            if self._overload is None:
+                raise ConfigurationError(
+                    "predictive autoscaling widens delta through the "
+                    "overload controller; pass a ResilienceConfig with an "
+                    "overload policy alongside the autoscale policy"
+                )
+            self._autoscaler = InboxAutoscaler(
+                autoscale, self._overload, telemetry=self._tel
+            )
 
     @property
     def server(self) -> DKFServer:
@@ -312,6 +333,16 @@ class StreamEngine:
         """The overload controller (None when disabled)."""
         return self._overload
 
+    @property
+    def inbox(self) -> BoundedInbox | None:
+        """The bounded server inbox (None when overload is disabled)."""
+        return self._inbox
+
+    @property
+    def autoscaler(self) -> InboxAutoscaler | None:
+        """The predictive autoscaler (None when disabled)."""
+        return self._autoscaler
+
     # Resilient delivery path ---------------------------------------------
 
     def _deliver(self, message):
@@ -328,6 +359,8 @@ class StreamEngine:
             return None
         if self._inbox is not None:
             if not self._inbox.offer(message):
+                if self._overload is not None:
+                    self._overload.charge_drop(message.source_id)
                 if self._tel.enabled:
                     self._tel.emit(
                         "shed.drop",
@@ -578,7 +611,20 @@ class StreamEngine:
         depth = self._inbox.depth
         if self._tel.enabled:
             self._tel.gauge("inbox_depth", depth)
-        for source_id, scale in self._overload.step(self._ticks, depth).items():
+        # The predictive loop runs first: planned widening stamps the
+        # reactive cooldown, so the controller below stays a backstop
+        # for whatever the forecast missed.
+        if self._autoscaler is not None:
+            planned = self._autoscaler.control(
+                self._ticks,
+                depth=depth,
+                offered=self._inbox.accepted + self._inbox.dropped,
+            )
+            self._apply_scales(planned)
+        self._apply_scales(self._overload.step(self._ticks, depth))
+
+    def _apply_scales(self, changes: dict[str, float]) -> None:
+        for source_id, scale in changes.items():
             source = self._sources.get(source_id)
             if source is not None:
                 source.set_delta_scale(scale)
@@ -1048,6 +1094,9 @@ class StreamEngine:
             report["supervisor"] = self._supervisor.report()
         if self._overload is not None:
             report["overload"] = self._overload.report()
+            report["shed_ledger"] = self._overload.ledger()
+        if self._autoscaler is not None:
+            report["autoscale"] = self._autoscaler.report()
         return report
 
     def report(self) -> EngineReport:

@@ -258,10 +258,12 @@ class BoundedInbox:
 class _ShedState:
     priority: int
     base_min_delta: float
-    order: int
     scale: float = 1.0
     shed_error: float = 0.0
     widened_ticks: int = 0
+    widen_steps: int = 0
+    restore_steps: int = 0
+    dropped_updates: int = 0
 
 
 class OverloadController:
@@ -286,7 +288,6 @@ class OverloadController:
         self._streams: dict[str, _ShedState] = {}
         self._widen_stack: list[str] = []
         self._last_change_tick: int | None = None
-        self._order = 0
 
     @property
     def policy(self) -> OverloadPolicy:
@@ -303,9 +304,8 @@ class OverloadController:
             existing.base_min_delta = base_min_delta
             return
         self._streams[source_id] = _ShedState(
-            priority=priority, base_min_delta=base_min_delta, order=self._order
+            priority=priority, base_min_delta=base_min_delta
         )
-        self._order += 1
 
     def deregister(self, source_id: str) -> None:
         """Forget a stream whose queries ended."""
@@ -318,15 +318,119 @@ class OverloadController:
         return 1.0 if state is None else state.scale
 
     def _widen_candidate(self) -> str | None:
-        """Lowest-priority stream with widening headroom (deterministic)."""
+        """Least-widened stream with headroom, lowest priority first.
+
+        Widening spreads breadth-first across the whole fleet (lowest
+        current scale first): doubling a fresh stream's δ costs ``δ``
+        per tick and sheds about half that stream's traffic, while
+        re-doubling an already widened one charges twice as much for
+        half the shed.  Priority orders streams *within* a scale band
+        -- the low-priority streams take each round of pain first --
+        but never forces a band to max widening while fresh streams
+        idle.  Remaining ties break on the stream id, never on
+        registration order, so the widen sequence -- and therefore the
+        LIFO restore sequence -- is identical across runs that register
+        the same streams in any order.
+        """
         candidates = [
-            (state.priority, state.order, source_id)
+            (state.scale, state.priority, source_id)
             for source_id, state in self._streams.items()
             if state.scale < self._policy.max_widen
         ]
         if not candidates:
             return None
         return min(candidates)[2]
+
+    def _widen_one(self, tick: int, pressure: float, planned: bool):
+        """Widen the best candidate one step; returns (id, scale) or None."""
+        source_id = self._widen_candidate()
+        if source_id is None:
+            return None
+        state = self._streams[source_id]
+        state.scale = min(
+            state.scale * self._policy.widen_factor, self._policy.max_widen
+        )
+        state.widen_steps += 1
+        if source_id not in self._widen_stack:
+            self._widen_stack.append(source_id)
+        self._last_change_tick = tick
+        if self._tel.enabled:
+            self._tel.emit(
+                "shed.widen",
+                source_id=source_id,
+                scale=state.scale,
+                pressure=round(pressure, 4),
+                planned=planned,
+            )
+            self._tel.count("shed_widenings_total", source_id)
+        return source_id, state.scale
+
+    def _restore_one(self, tick: int, pressure: float, planned: bool):
+        """Unwind the newest widening one step; returns (id, scale) or None.
+
+        LIFO over the widen stack: the stream widened most recently is
+        the first restored, and because widening order is deterministic
+        (priority, then stream id), so is the restore order.
+        """
+        if not self._widen_stack:
+            return None
+        source_id = self._widen_stack[-1]
+        state = self._streams[source_id]
+        state.scale = max(1.0, state.scale / self._policy.widen_factor)
+        state.restore_steps += 1
+        if state.scale <= 1.0 + 1e-12:
+            state.scale = 1.0
+            self._widen_stack.pop()
+        self._last_change_tick = tick
+        if self._tel.enabled:
+            self._tel.emit(
+                "shed.restore",
+                source_id=source_id,
+                scale=state.scale,
+                pressure=round(pressure, 4),
+                planned=planned,
+            )
+            self._tel.count("shed_restores_total", source_id)
+        return source_id, state.scale
+
+    def charge_drop(self, source_id: str) -> None:
+        """Charge one tail-dropped update to the shed account.
+
+        Widening is *planned* shedding: the server coasts inside a
+        known ``scale·δ`` envelope and the per-tick charge is exact.  A
+        tail-drop is *unplanned* shedding -- the source only sent the
+        update because its reading escaped that envelope, and until gap
+        detection and retransmission repair the loss the server serves
+        answers with **no** valid precision bound at all.  That is
+        strictly worse than the worst degradation this controller would
+        ever plan, so each drop is charged at the planned worst case,
+        ``max_widen · δ_base``.  Keeping both kinds of shedding in one
+        ledger is what makes "total δ-shed error" comparable across
+        control strategies: a controller that never widens but lets the
+        inbox drop is not error-free, it is unaudited.
+        """
+        state = self._streams.get(source_id)
+        if state is None:
+            return
+        state.dropped_updates += 1
+        state.shed_error += self._policy.max_widen * state.base_min_delta
+
+    def _charge(self) -> None:
+        """Charge every widened stream one tick of exact shed error."""
+        for source_id, state in self._streams.items():
+            if state.scale > 1.0:
+                state.shed_error += (state.scale - 1.0) * state.base_min_delta
+                state.widened_ticks += 1
+                if self._tel.enabled:
+                    self._tel.gauge(
+                        "shed_delta_scale", state.scale, source_id
+                    )
+                    # Cumulative shed error as a gauge: the health
+                    # watcher tracks its level, so a shedding episode
+                    # registers as a ramp against a flat prediction.
+                    self._tel.gauge(
+                        "shed_error", state.shed_error, source_id
+                    )
 
     def step(self, tick: int, depth: int) -> dict[str, float]:
         """Run one pressure evaluation; returns δ-scale changes to apply.
@@ -343,58 +447,69 @@ class OverloadController:
             or tick - self._last_change_tick >= policy.cooldown_ticks
         )
         if pressure >= policy.high_watermark and cooled:
-            source_id = self._widen_candidate()
-            if source_id is not None:
-                state = self._streams[source_id]
-                state.scale = min(
-                    state.scale * policy.widen_factor, policy.max_widen
-                )
-                if source_id not in self._widen_stack:
-                    self._widen_stack.append(source_id)
-                self._last_change_tick = tick
-                changes[source_id] = state.scale
-                if self._tel.enabled:
-                    self._tel.emit(
-                        "shed.widen",
-                        source_id=source_id,
-                        scale=state.scale,
-                        pressure=round(pressure, 4),
-                    )
-                    self._tel.count("shed_widenings_total", source_id)
+            changed = self._widen_one(tick, pressure, planned=False)
+            if changed is not None:
+                changes[changed[0]] = changed[1]
         elif pressure <= policy.low_watermark and cooled and self._widen_stack:
-            source_id = self._widen_stack[-1]
-            state = self._streams[source_id]
-            state.scale = max(1.0, state.scale / policy.widen_factor)
-            if state.scale <= 1.0 + 1e-12:
-                state.scale = 1.0
-                self._widen_stack.pop()
-            self._last_change_tick = tick
-            changes[source_id] = state.scale
-            if self._tel.enabled:
-                self._tel.emit(
-                    "shed.restore",
-                    source_id=source_id,
-                    scale=state.scale,
-                    pressure=round(pressure, 4),
-                )
-                self._tel.count("shed_restores_total", source_id)
-        # Exact shed-error account: each widened tick costs the answer up
-        # to (scale - 1) * delta_base of extra per-component error.
-        for source_id, state in self._streams.items():
-            if state.scale > 1.0:
-                state.shed_error += (state.scale - 1.0) * state.base_min_delta
-                state.widened_ticks += 1
-                if self._tel.enabled:
-                    self._tel.gauge(
-                        "shed_delta_scale", state.scale, source_id
-                    )
-                    # Cumulative shed error as a gauge: the health
-                    # watcher tracks its level, so a shedding episode
-                    # registers as a ramp against a flat prediction.
-                    self._tel.gauge(
-                        "shed_error", state.shed_error, source_id
-                    )
+            changed = self._restore_one(tick, pressure, planned=False)
+            if changed is not None:
+                changes[changed[0]] = changed[1]
+        self._charge()
         return changes
+
+    def plan_widen(self, tick: int, steps: int) -> dict[str, float]:
+        """Apply up to ``steps`` planner-ordered widening steps *now*.
+
+        The autoscaler's handoff: planned widening is not gated by the
+        reactive cooldown (the planner paces itself by control
+        interval), but it stamps the cooldown clock so the reactive
+        loop does not immediately pile a second adjustment on top.
+        Accounting is identical to reactive widening -- same stack,
+        same shed-error charge, same events (flagged ``planned``).
+        """
+        changes: dict[str, float] = {}
+        for _ in range(max(0, steps)):
+            changed = self._widen_one(tick, 0.0, planned=True)
+            if changed is None:
+                break
+            changes[changed[0]] = changed[1]
+        return changes
+
+    def plan_restore(self, tick: int, steps: int) -> dict[str, float]:
+        """Apply up to ``steps`` planner-ordered LIFO restore steps now."""
+        changes: dict[str, float] = {}
+        for _ in range(max(0, steps)):
+            changed = self._restore_one(tick, 0.0, planned=True)
+            if changed is None:
+                break
+            changes[changed[0]] = changed[1]
+        return changes
+
+    def ledger(self) -> dict[str, object]:
+        """Conservation view of the shed account.
+
+        ``balanced`` is True exactly when every widening step has been
+        matched by a restore step and no stream is left widened -- the
+        surge-drill invariant (shed == restored after the surge).
+        """
+        widen_steps = sum(s.widen_steps for s in self._streams.values())
+        restore_steps = sum(s.restore_steps for s in self._streams.values())
+        outstanding = sum(
+            1 for s in self._streams.values() if s.scale > 1.0
+        )
+        return {
+            "widen_steps": widen_steps,
+            "restore_steps": restore_steps,
+            "outstanding": outstanding,
+            "stack": list(self._widen_stack),
+            "dropped_updates": sum(
+                s.dropped_updates for s in self._streams.values()
+            ),
+            "shed_error_total": sum(
+                s.shed_error for s in self._streams.values()
+            ),
+            "balanced": widen_steps == restore_steps and outstanding == 0,
+        }
 
     def report(self) -> dict[str, dict[str, float]]:
         """Per-stream shedding account (scale, ticks widened, error)."""
@@ -403,6 +518,7 @@ class OverloadController:
                 "scale": state.scale,
                 "widened_ticks": state.widened_ticks,
                 "shed_error": state.shed_error,
+                "dropped_updates": state.dropped_updates,
                 "priority": state.priority,
             }
             for source_id, state in self._streams.items()

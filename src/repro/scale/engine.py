@@ -45,6 +45,8 @@ import time
 
 import numpy as np
 
+from repro.autoscale.config import AutoscalePolicy
+from repro.autoscale.controller import ShardAutoscaler
 from repro.dkf.config import TransportPolicy
 from repro.dsms.energy import EnergyModel
 from repro.dsms.engine import EngineReport
@@ -61,7 +63,7 @@ from repro.resilience.config import ResilienceConfig
 from repro.resilience.supervisor import StreamSupervisor
 from repro.resilience.watchdog import DivergenceWatchdog
 from repro.scale.pool import WorkerPool
-from repro.scale.shard import ShardRouter, ShardRuntime
+from repro.scale.shard import ShardRouter, ShardRuntime, model_signature
 from repro.streams.base import MaterializedStream
 
 __all__ = ["BatchStreamEngine"]
@@ -97,6 +99,13 @@ class BatchStreamEngine:
             (``0``/``1`` = inline).
         latency_budget_us: Per-step shard latency budget; when a shard's
             EMA exceeds it the shard splits in two (None disables).
+        autoscale: Optional
+            :class:`~repro.autoscale.config.AutoscalePolicy` arming the
+            predictive control loop: Kalman forecasts of per-shard step
+            latency drive shard splits, state-preserving merges and
+            worker-pool resizes ahead of the budget, with the reactive
+            EMA split as backstop.  Requires ``latency_budget_us`` (the
+            SLO the planner sizes against).
     """
 
     def __init__(
@@ -107,6 +116,7 @@ class BatchStreamEngine:
         max_shard_rows: int = 4096,
         workers: int = 0,
         latency_budget_us: float | None = None,
+        autoscale: AutoscalePolicy | None = None,
     ) -> None:
         self.registry = SourceRegistry()
         self._tel = telemetry or NULL_TELEMETRY
@@ -129,6 +139,19 @@ class BatchStreamEngine:
         self._latency_budget_us = latency_budget_us
         self._shard_ema_us: dict[str, float] = {}
         self._rebalances = 0
+        self._merges = 0
+        self._autoscaler: ShardAutoscaler | None = None
+        if autoscale is not None:
+            autoscale.validate()
+            if latency_budget_us is None:
+                raise ConfigurationError(
+                    "the shard autoscaler plans against the per-step "
+                    "latency budget; pass latency_budget_us alongside "
+                    "the autoscale policy"
+                )
+            self._autoscaler = ShardAutoscaler(
+                autoscale, telemetry=self._tel
+            )
 
         self._energy = energy_model or EnergyModel()
         self._where: dict[str, tuple[ShardRuntime, int]] = {}
@@ -206,6 +229,11 @@ class BatchStreamEngine:
     def shards(self) -> list[ShardRuntime]:
         """Live shard runtimes (read-only view for tests and tooling)."""
         return list(self._router.shards)
+
+    @property
+    def autoscaler(self) -> ShardAutoscaler | None:
+        """The predictive shard autoscaler, if armed."""
+        return self._autoscaler
 
     @property
     def server(self):
@@ -428,6 +456,7 @@ class BatchStreamEngine:
             self._run_watchdog()
             self._maybe_checkpoint()
             self._maybe_rebalance()
+            self._maybe_autoscale(now)
         return processed
 
     def _all_exhausted(self) -> bool:
@@ -480,6 +509,35 @@ class BatchStreamEngine:
         steps = full if max_ticks is None else min(full, max_ticks)
         if steps <= 0:
             return 0
+        if self._autoscaler is None:
+            self._pooled_chunk(steps)
+        else:
+            # The predictive control loop must keep running while the
+            # pool does the stepping -- otherwise the autoscaler's own
+            # pool resize would disarm it (run() takes this path as
+            # soon as workers > 1).  Chunk the run so each chunk ends
+            # on a control tick, note the workers' per-step timings,
+            # then plan exactly as the inline loop would.
+            interval = self._autoscaler.policy.control_interval
+            executed = 0
+            while executed < steps:
+                # Next tick on which the inline loop would plan (the
+                # control fires after stepping tick c, c % interval == 0).
+                lag = self._ticks % interval
+                control = self._ticks + (interval - lag if lag else 0)
+                chunk = min(steps - executed, control + 1 - self._ticks)
+                self._pooled_chunk(chunk)
+                executed += chunk
+                now = self._ticks - 1
+                for shard in self._router.shards:
+                    if shard.last_step_us is not None:
+                        self._note_latency(shard, shard.last_step_us)
+                self._maybe_autoscale(now)
+        self._server_clock = self._ticks
+        return steps if steps < full else full - 1
+
+    def _pooled_chunk(self, steps: int) -> None:
+        """One pooled dispatch: advance every shard ``steps`` ticks."""
         self._router.shards[:] = self._pool.run(
             self._router.shards, self._ticks, steps
         )
@@ -488,8 +546,6 @@ class BatchStreamEngine:
             for source_id, row in shard.index.items():
                 self._where[source_id] = (shard, row)
         self._ticks += steps
-        self._server_clock = self._ticks
-        return steps if steps < full else full - 1
 
     def settle(self, max_ticks: int = 256) -> int:
         """Step until the transport goes quiet (no pending acks)."""
@@ -570,6 +626,8 @@ class BatchStreamEngine:
             micros if prev is None
             else (1 - _EMA_ALPHA) * prev + _EMA_ALPHA * micros
         )
+        if self._autoscaler is not None:
+            self._autoscaler.note(self._ticks, shard.shard_id, micros)
 
     def _maybe_rebalance(self) -> None:
         if self._latency_budget_us is None:
@@ -598,9 +656,96 @@ class BatchStreamEngine:
                 )
                 self._tel.count("shard_splits_total")
 
+    def _split_shard(self, shard: ShardRuntime, ema: float) -> None:
+        """Replace ``shard`` with its halves (shared split bookkeeping)."""
+        low, high = shard.split()
+        self._router.replace(shard, (low, high))
+        self._shard_ema_us.pop(shard.shard_id, None)
+        self._shard_ema_us[low.shard_id] = ema / 2
+        self._shard_ema_us[high.shard_id] = ema / 2
+        if self._autoscaler is not None:
+            self._autoscaler.forget(shard.shard_id)
+        for part in (low, high):
+            for source_id, row in part.index.items():
+                self._where[source_id] = (part, row)
+
+    def _maybe_autoscale(self, now: int) -> None:
+        """Run the predictive control loop (split/merge/pool resize)."""
+        if self._autoscaler is None:
+            return
+        plan = self._autoscaler.control(
+            now,
+            budget_us=self._latency_budget_us,
+            rows={s.shard_id: s.rows for s in self._router.shards},
+            signatures={
+                s.shard_id: model_signature(s.model)
+                for s in self._router.shards
+            },
+            workers=self._pool.workers,
+        )
+        if plan is None:
+            return
+        by_id = {s.shard_id: s for s in self._router.shards}
+        for shard_id in plan.split_shards:
+            shard = by_id.get(shard_id)
+            # A reactive rebalance may have raced the plan; stale ids
+            # are skipped rather than actuated blind.
+            if shard is None or shard.rows < 2:
+                continue
+            ema = self._shard_ema_us.get(shard_id) or 0.0
+            self._split_shard(shard, ema)
+            self._rebalances += 1
+            if self._tel.enabled:
+                self._tel.emit(
+                    "scale.rebalance",
+                    shard=shard_id,
+                    rows=shard.rows,
+                    ema_us=ema,
+                    planned=True,
+                )
+                self._tel.count("shard_splits_total")
+        by_id = {s.shard_id: s for s in self._router.shards}
+        for first_id, second_id in plan.merge_pairs:
+            first = by_id.get(first_id)
+            second = by_id.get(second_id)
+            if first is None or second is None or first is second:
+                continue
+            if first.rows + second.rows > self._router.max_shard_rows:
+                continue
+            merged = self._router.combine(first, second)
+            by_id.pop(first_id, None)
+            by_id.pop(second_id, None)
+            by_id[merged.shard_id] = merged
+            emas = [
+                self._shard_ema_us.pop(sid, None)
+                for sid in (first_id, second_id)
+            ]
+            known = [e for e in emas if e is not None]
+            if known:
+                self._shard_ema_us[merged.shard_id] = sum(known)
+            self._autoscaler.forget(first_id)
+            self._autoscaler.forget(second_id)
+            for source_id, row in merged.index.items():
+                self._where[source_id] = (merged, row)
+            self._merges += 1
+            if self._tel.enabled:
+                self._tel.emit(
+                    "scale.merge",
+                    first=first_id,
+                    second=second_id,
+                    merged=merged.shard_id,
+                    rows=merged.rows,
+                )
+                self._tel.count("shard_merges_total")
+        if plan.workers is not None:
+            self._pool.resize(plan.workers)
+            if self._tel.enabled:
+                self._tel.emit("scale.pool_resize", workers=plan.workers)
+                self._tel.gauge("autoscale_workers", plan.workers)
+
     def scale_report(self) -> dict[str, object]:
         """Shard layout, latency estimates and rebalance count."""
-        return {
+        report: dict[str, object] = {
             "shards": [
                 {
                     "shard_id": s.shard_id,
@@ -611,8 +756,12 @@ class BatchStreamEngine:
                 for s in self._router.shards
             ],
             "rebalances": self._rebalances,
+            "merges": self._merges,
             "workers": self._pool.workers,
         }
+        if self._autoscaler is not None:
+            report["autoscale"] = self._autoscaler.report()
+        return report
 
     # ------------------------------------------------------------------
     # Answers and per-source lookups

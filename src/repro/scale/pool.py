@@ -23,6 +23,7 @@ never mutated by a worker, so the fallback is always safe.
 from __future__ import annotations
 
 import multiprocessing
+import time
 
 from repro.scale.shard import ShardRuntime
 
@@ -36,9 +37,14 @@ def run_shard(payload: tuple[ShardRuntime, int, int]) -> ShardRuntime:
     Acks flush once per step, matching the engine's inline loop.
     """
     shard, t0, steps = payload
+    started = time.perf_counter()
     for i in range(steps):
         shard.step(t0 + i)
         shard.flush_acks()
+    if steps > 0:
+        shard.last_step_us = (
+            (time.perf_counter() - started) / steps * 1e6
+        )
     return shard
 
 
@@ -52,6 +58,18 @@ class WorkerPool:
     def parallel(self) -> bool:
         """Whether this pool would actually spawn processes."""
         return self.workers > 1
+
+    def resize(self, workers: int) -> int:
+        """Grow or shrink the pool (autoscaler actuation); returns it.
+
+        Workers are spawned per :meth:`run` call, so a resize takes
+        effect on the next run with zero teardown cost.  Determinism is
+        unaffected: a shard's trajectory depends only on its initial
+        state and tick range, never on how many processes stepped the
+        batch (``tests/scale/test_pool.py`` pins inline == pooled).
+        """
+        self.workers = max(0, int(workers))
+        return self.workers
 
     def run(
         self, shards: list[ShardRuntime], t0: int, steps: int

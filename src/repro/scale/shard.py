@@ -129,6 +129,10 @@ class ShardRuntime:
         self.sensor_rows: set[int] = set()
         self.restart_pending: set[int] = set()
         self.dropped_while_down = 0
+        # Mean per-step wall time of the last pooled chunk, µs; stamped
+        # by the worker so the parent's autoscaler can keep its latency
+        # models fed across process boundaries.
+        self.last_step_us: float | None = None
         self._ack_queue: list[tuple[int, int, bool]] = []
         self._padded: np.ndarray | None = None
         self._pad_ts: np.ndarray | None = None
@@ -956,6 +960,91 @@ class ShardRuntime:
         high = self.subset(np.arange(cut, self.rows), f"{self.shard_id}b")
         return low, high
 
+    def merge(
+        self, other: "ShardRuntime", shard_id: str | None = None
+    ) -> "ShardRuntime":
+        """State-preserving inverse of :meth:`split`.
+
+        Returns a new runtime holding this shard's rows followed by
+        ``other``'s, with every piece of per-row state -- filter banks,
+        transport counters, pending retransmission buffers, NIS
+        windows, fault predicates, crash/sensor/restart sets, queued
+        acks -- carried across verbatim (row indices renumbered).  A
+        merged shard continues exactly where the two parts left off,
+        including rows mid-way through slow-path loss recovery.
+        """
+        if other is self:
+            raise ConfigurationError("cannot merge a shard with itself")
+        if model_signature(self.model) != model_signature(other.model):
+            raise ConfigurationError(
+                "cannot merge shards with different model signatures"
+            )
+        if self.track_health != other.track_health:
+            raise ConfigurationError(
+                "cannot merge shards with different health tracking"
+            )
+        overlap = self.index.keys() & other.index.keys()
+        if overlap:
+            raise ConfigurationError(
+                f"duplicate rows across merge: {sorted(overlap)}"
+            )
+        out = ShardRuntime(
+            shard_id or f"{self.shard_id}+{other.shard_id}",
+            self.model,
+            self.track_health,
+        )
+        out.mirror = self.mirror.concat(other.mirror)
+        out.server = self.server.concat(other.server)
+        out.dropped_while_down = (
+            self.dropped_while_down + other.dropped_while_down
+        )
+        base = 0
+        for part in (self, other):
+            for old in range(part.rows):
+                new_i = base + old
+                out.ids.append(part.ids[old])
+                out.index[part.ids[old]] = new_i
+                out.policies.append(part.policies[old])
+                out.configs.append(part.configs[old])
+                out.streams.append(part.streams[old])
+                out.stream_ts.append(part.stream_ts[old])
+                out.pending.append(dict(part.pending[old]))
+                out.nis_windows.append(
+                    deque(part.nis_windows[old], maxlen=NIS_WINDOW)
+                    if part.nis_windows[old] is not None
+                    else None
+                )
+                if old in part.loss_fns:
+                    out.loss_fns[new_i] = part.loss_fns[old]
+                if old in part.corrupt_fns:
+                    out.corrupt_fns[new_i] = part.corrupt_fns[old]
+                if old in part.crash_rows:
+                    out.crash_rows.add(new_i)
+                if old in part.sensor_rows:
+                    out.sensor_rows.add(new_i)
+                if old in part.restart_pending:
+                    out.restart_pending.add(new_i)
+            out._ack_queue.extend(
+                (row + base, seq, ok) for row, seq, ok in part._ack_queue
+            )
+            base += part.rows
+        for name in _ROW_INTS:
+            setattr(
+                out, name,
+                np.concatenate(
+                    [getattr(self, name), getattr(other, name)]
+                ).astype(np.int64),
+            )
+        for name in _ROW_BOOLS:
+            setattr(
+                out, name,
+                np.concatenate([getattr(self, name), getattr(other, name)]),
+            )
+        out.delta = np.concatenate([self.delta, other.delta])
+        out.last_value = np.concatenate([self.last_value, other.last_value])
+        out.answer = np.concatenate([self.answer, other.answer])
+        return out
+
 
 class ShardRouter:
     """Partition streams into shards by model signature (DRS placement).
@@ -997,6 +1086,29 @@ class ShardRouter:
         """Swap a split shard for its halves (rebalance bookkeeping)."""
         idx = self.shards.index(old)
         self.shards[idx : idx + 1] = list(parts)
-        sig = model_signature(old.model)
-        # Future placements go to the last open shard of this signature.
-        self._open[sig] = idx + len(parts) - 1
+        # Replacing one shard with several shifts every later shard's
+        # index, so the whole open-shard map is rebuilt (last shard of
+        # each signature wins -- future placements go there).
+        self._reindex()
+
+    def combine(
+        self, first: ShardRuntime, second: ShardRuntime
+    ) -> ShardRuntime:
+        """Merge two sibling shards back into one (scale-down).
+
+        The merged runtime takes ``first``'s slot; ``second``'s slot is
+        removed.  Returns the merged shard.
+        """
+        merged = first.merge(second)
+        idx = self.shards.index(first)
+        self.shards[idx] = merged
+        self.shards.remove(second)
+        self._reindex()
+        return merged
+
+    def _reindex(self) -> None:
+        """Rebuild the signature -> open-shard index after surgery."""
+        self._open = {
+            model_signature(shard.model): i
+            for i, shard in enumerate(self.shards)
+        }

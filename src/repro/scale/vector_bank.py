@@ -187,6 +187,27 @@ class VectorKalmanBank:
         out._p0_scale = self._p0_scale[rows].copy()
         return out
 
+    def concat(self, other: "VectorKalmanBank") -> "VectorKalmanBank":
+        """New bank with this bank's rows followed by ``other``'s.
+
+        The inverse of :meth:`take_rows` (shard merging).  Both banks
+        must run byte-identical model matrices -- the same condition
+        :func:`~repro.scale.shard.model_signature` enforces for shard
+        placement.
+        """
+        for name in ("_phi", "_h", "_q", "_r"):
+            if not np.array_equal(getattr(self, name), getattr(other, name)):
+                raise ConfigurationError(
+                    "cannot concat banks with different model matrices"
+                )
+        out = VectorKalmanBank(self._model)
+        out._x = np.concatenate([self._x, other._x])
+        out._p = np.concatenate([self._p, other._p])
+        out._k = np.concatenate([self._k, other._k])
+        out._primed = np.concatenate([self._primed, other._primed])
+        out._p0_scale = np.concatenate([self._p0_scale, other._p0_scale])
+        return out
+
     # ------------------------------------------------------------------
     # Core cycle (masked)
     # ------------------------------------------------------------------

@@ -1,0 +1,46 @@
+"""AutoscalePolicy validation: every knob rejects nonsense up front."""
+
+import dataclasses
+
+import pytest
+
+from repro.autoscale import AutoscalePolicy
+from repro.errors import ConfigurationError
+
+
+def test_defaults_validate():
+    AutoscalePolicy().validate()
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"control_interval": 0},
+        {"horizon_ticks": 0},
+        {"model": "arima"},
+        {"confidence_z": -0.1},
+        {"surge_z": 0.0},
+        {"q_boost": 0.5},
+        {"boost_ticks": 0},
+        {"warmup_ticks": 0},
+        {"widen_per_interval": 0},
+        {"restore_per_interval": 0},
+        {"plan_low": 0.0},
+        {"plan_low": 0.6, "plan_high": 0.5},
+        {"plan_high": 1.5},
+        {"split_headroom": 0.0},
+        {"merge_headroom": 0.0},
+        # Hysteresis: merge must sit strictly below split.
+        {"merge_headroom": 1.0, "split_headroom": 1.0},
+        {"min_workers": -1},
+        {"min_workers": 4, "max_workers": 2},
+    ],
+)
+def test_rejects_bad_knobs(overrides):
+    with pytest.raises(ConfigurationError):
+        dataclasses.replace(AutoscalePolicy(), **overrides).validate()
+
+
+def test_policy_is_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        AutoscalePolicy().control_interval = 2

@@ -1,0 +1,152 @@
+"""Inbox / shard autoscalers: the closed forecast→plan→actuate loop."""
+
+import dataclasses
+
+from repro.autoscale import AutoscalePolicy, InboxAutoscaler, ShardAutoscaler
+from repro.resilience import OverloadPolicy
+from repro.resilience.supervisor import OverloadController
+
+
+def make_policy(**overrides):
+    base = dict(
+        control_interval=4,
+        warmup_ticks=8,
+        surge_z=2.5,
+        boost_ticks=8,
+    )
+    base.update(overrides)
+    return dataclasses.replace(AutoscalePolicy(), **base)
+
+
+def make_overload(streams=8, **overrides):
+    base = dict(
+        inbox_capacity=16,
+        drain_per_tick=7,
+        high_watermark=0.5,
+        low_watermark=0.1,
+        cooldown_ticks=8,
+    )
+    base.update(overrides)
+    ctl = OverloadController(OverloadPolicy(**base))
+    for i in range(streams):
+        ctl.register(f"s{i}", priority=i % 3, base_min_delta=1.0)
+    return ctl
+
+
+def drive(scaler, rates, *, depth=0, start=0):
+    """Feed per-tick arrival counts; returns all actuated changes."""
+    offered = 0
+    changes = {}
+    for tick, rate in enumerate(rates, start=start):
+        offered += rate
+        changes.update(scaler.control(tick, depth=depth, offered=offered))
+    return changes
+
+
+class TestInboxAutoscaler:
+    def test_calm_load_never_widens(self):
+        overload = make_overload()
+        scaler = InboxAutoscaler(make_policy(), overload)
+        drive(scaler, [2] * 60)
+        assert overload.ledger()["widen_steps"] == 0
+
+    def test_widens_before_the_inbox_fills(self):
+        """A sustained arrival surplus triggers planned widening while
+        the inbox still has headroom (depth stays below the reactive
+        watermark the whole time)."""
+        overload = make_overload()
+        scaler = InboxAutoscaler(make_policy(), overload)
+        drive(scaler, [2] * 30)
+        drive(scaler, [12] * 20, depth=4, start=30)
+        ledger = overload.ledger()
+        assert ledger["widen_steps"] > 0
+        # Every step is accounted for by a planner trace entry.
+        assert ledger["widen_steps"] == sum(
+            len(entry["changes"])
+            for entry in scaler.trace()
+            if entry["widen_steps"]
+        )
+
+    def test_surge_interrupt_plans_off_interval(self):
+        """A fresh surge detection must not wait out the control
+        interval -- the plan lands on the detection tick."""
+        overload = make_overload()
+        scaler = InboxAutoscaler(
+            make_policy(control_interval=16), overload
+        )
+        drive(scaler, [2] * 33)
+        # Surge lands mid-interval (tick 33, next planned eval is 48).
+        drive(scaler, [14] * 4, depth=6, start=33)
+        ticks = [e["tick"] for e in scaler.trace() if e["widen_steps"]]
+        assert ticks and ticks[0] < 48
+        assert ticks[0] % 16 != 0
+
+    def test_restores_after_load_clears(self):
+        overload = make_overload()
+        scaler = InboxAutoscaler(make_policy(), overload)
+        drive(scaler, [2] * 30)
+        drive(scaler, [12] * 20, depth=4, start=30)
+        assert overload.ledger()["widen_steps"] > 0
+        drive(scaler, [1] * 60, depth=0, start=50)
+        ledger = overload.ledger()
+        assert ledger["balanced"]
+        assert ledger["restore_steps"] == ledger["widen_steps"]
+
+    def test_report_carries_forecaster_and_ledger(self):
+        overload = make_overload()
+        scaler = InboxAutoscaler(make_policy(), overload)
+        drive(scaler, [2] * 20)
+        report = scaler.report()
+        assert report["arrival"]["name"] == "inbox_arrival"
+        assert report["ledger"]["balanced"]
+
+    def test_trace_is_bounded_per_interval(self):
+        overload = make_overload()
+        scaler = InboxAutoscaler(make_policy(control_interval=4), overload)
+        drive(scaler, [2] * 41)
+        # Interval 4 over ticks 0..40 → at most 11 plan evaluations,
+        # and the first few are swallowed by warmup.
+        assert 1 <= len(scaler.trace()) <= 11
+
+
+class TestShardAutoscaler:
+    def feed(self, scaler, shard_us, ticks, start=0):
+        plan = None
+        for tick in range(start, start + ticks):
+            for sid, us in shard_us.items():
+                scaler.note(tick, sid, us)
+            got = scaler.control(
+                tick,
+                budget_us=100.0,
+                rows={sid: 8 for sid in shard_us},
+                signatures={sid: "sig" for sid in shard_us},
+                workers=1,
+            )
+            if got is not None and got.acts:
+                plan = got
+        return plan
+
+    def test_no_plan_before_warmup(self):
+        scaler = ShardAutoscaler(make_policy(warmup_ticks=16))
+        plan = self.feed(scaler, {"a": 50.0}, ticks=8)
+        assert plan is None
+
+    def test_hot_shard_planned_for_split(self):
+        scaler = ShardAutoscaler(make_policy())
+        plan = self.feed(scaler, {"a": 400.0, "b": 50.0}, ticks=24)
+        assert plan is not None
+        assert "a" in plan.split_shards
+        assert ("a", "b") not in plan.merge_pairs
+
+    def test_cold_siblings_planned_for_merge(self):
+        scaler = ShardAutoscaler(make_policy())
+        plan = self.feed(scaler, {"a": 5.0, "b": 6.0}, ticks=24)
+        assert plan is not None
+        assert plan.merge_pairs == (("a", "b"),)
+
+    def test_forget_drops_the_model(self):
+        scaler = ShardAutoscaler(make_policy())
+        self.feed(scaler, {"a": 50.0}, ticks=24)
+        assert "a" in scaler.report()["shards"]
+        scaler.forget("a")
+        assert "a" not in scaler.report()["shards"]

@@ -1,0 +1,66 @@
+"""Surge drill: determinism, gates, and the headline acceptance claim."""
+
+from repro.autoscale import AutoscalePolicy
+from repro.autoscale.drill import compare_surge_drill, run_surge_drill
+
+SMALL = dict(ticks=150, sources=12, surge_start=60, surge_len=40)
+
+
+def test_same_seed_same_trajectory():
+    a = run_surge_drill(3, **SMALL, autoscale=AutoscalePolicy())
+    b = run_surge_drill(3, **SMALL, autoscale=AutoscalePolicy())
+    assert a.as_dict() == b.as_dict()
+
+
+def test_different_seeds_differ():
+    a = run_surge_drill(3, **SMALL)
+    b = run_surge_drill(4, **SMALL)
+    assert a.traffic != b.traffic
+
+
+def test_surge_multiplies_offered_load():
+    result = run_surge_drill(7, **SMALL)
+    assert result.surge_rate >= 2.0 * result.calm_rate
+
+
+def test_drops_are_charged_to_the_ledger():
+    # Full-width fleet: 12 sources never saturate the inbox.
+    result = run_surge_drill(
+        7, ticks=150, sources=24, surge_start=60, surge_len=40
+    )  # reactive only
+    assert result.inbox_dropped > 0
+    assert result.ledger["dropped_updates"] == result.inbox_dropped
+    assert result.shed_error_total > 0
+
+
+def test_autoscale_payload_carries_plans_and_trace():
+    result = run_surge_drill(7, **SMALL, autoscale=AutoscalePolicy())
+    assert result.autoscale is not None
+    assert result.autoscale["plans"] > 0
+    assert result.autoscale["trace"], "control decisions missing"
+    assert result.autoscale["ledger"]["widen_steps"] > 0
+
+
+def test_compare_reports_every_gate():
+    comparison = compare_surge_drill(7, **SMALL)
+    assert set(comparison["gates"]) == {
+        "surge_offered",
+        "slo_held",
+        "ledger_balanced",
+        "shed_error_reduced",
+        "fewer_drops",
+    }
+
+
+def test_acceptance_default_drill_passes_all_gates():
+    """The PR's headline claim: offered load triples mid-run, the
+    autoscaler holds the SLO, the shed ledger balances, and the audited
+    δ-shed error lands strictly below the reactive-only baseline."""
+    comparison = compare_surge_drill(7)
+    assert comparison["passed"], comparison["gates"]
+    enabled = comparison["enabled"]
+    disabled = comparison["disabled"]
+    assert enabled["ledger"]["balanced"]
+    assert enabled["shed_error_total"] < disabled["shed_error_total"]
+    assert enabled["inbox_dropped"] < disabled["inbox_dropped"]
+    assert enabled["settle_ticks"] < disabled["settle_ticks"]

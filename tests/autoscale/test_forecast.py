@@ -1,0 +1,137 @@
+"""Load forecaster: tracking, surge boost, honest intervals."""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.autoscale import AutoscalePolicy, LoadForecaster
+
+
+def make_policy(**overrides):
+    base = dict(warmup_ticks=4, surge_z=2.5, q_boost=32.0, boost_ticks=6)
+    base.update(overrides)
+    return dataclasses.replace(AutoscalePolicy(), **base)
+
+
+def drive(forecaster, values, start=0):
+    z = None
+    for tick, value in enumerate(values, start=start):
+        z = forecaster.observe(tick, float(value))
+    return z
+
+
+class TestObservation:
+    def test_unwarmed_until_enough_points(self):
+        fc = LoadForecaster("sig", make_policy(warmup_ticks=4))
+        for tick in range(3):
+            fc.observe(tick, 5.0)
+            assert not fc.warmed
+        fc.observe(3, 5.0)
+        assert fc.warmed
+
+    def test_no_forecast_before_any_data(self):
+        fc = LoadForecaster("sig", make_policy())
+        assert fc.forecast() is None
+
+    def test_tracks_steady_level(self):
+        fc = LoadForecaster("sig", make_policy())
+        rng = np.random.default_rng(0)
+        drive(fc, 5.0 + rng.normal(0.0, 0.2, size=60))
+        forecast = fc.forecast()
+        assert forecast.mean == pytest.approx(5.0, abs=0.5)
+
+    def test_non_finite_points_are_skipped(self):
+        fc = LoadForecaster("sig", make_policy())
+        drive(fc, [5.0] * 10)
+        assert fc.observe(10, float("nan")) is None
+        assert fc.observe(11, float("inf")) is None
+        # The filter state is untouched by the bad points.
+        assert fc.forecast().mean == pytest.approx(5.0, abs=0.2)
+
+
+class TestSurgeBoost:
+    def test_level_jump_arms_the_boost(self):
+        fc = LoadForecaster("sig", make_policy())
+        rng = np.random.default_rng(1)
+        drive(fc, 2.0 + rng.normal(0.0, 0.1, size=30))
+        assert not fc.boosted
+        fc.observe(30, 20.0)
+        assert fc.boosted
+        assert fc.surges == 1
+        assert fc.last_surge_tick == 30
+
+    def test_boost_snaps_to_the_new_level(self):
+        """With the Q boost the filter re-learns the level in ~2 points
+        instead of low-passing the regime change away."""
+        fc = LoadForecaster("sig", make_policy())
+        rng = np.random.default_rng(2)
+        drive(fc, 2.0 + rng.normal(0.0, 0.1, size=30))
+        for tick in range(30, 33):
+            fc.observe(tick, 20.0)
+        assert fc.forecast().mean == pytest.approx(20.0, rel=0.15)
+
+    def test_boost_expires_after_boost_ticks(self):
+        fc = LoadForecaster("sig", make_policy(boost_ticks=5))
+        rng = np.random.default_rng(3)
+        drive(fc, 2.0 + rng.normal(0.0, 0.1, size=30))
+        fc.observe(30, 20.0)
+        assert fc.boosted
+        for tick in range(31, 40):
+            fc.observe(tick, 20.0)
+        assert not fc.boosted
+
+    def test_no_surge_detection_during_warmup(self):
+        fc = LoadForecaster("sig", make_policy(warmup_ticks=16))
+        fc.observe(0, 2.0)
+        fc.observe(1, 50.0)
+        assert fc.surges == 0
+        assert not fc.boosted
+
+
+class TestForecast:
+    def test_interval_widens_with_horizon(self):
+        fc = LoadForecaster("sig", make_policy())
+        rng = np.random.default_rng(4)
+        drive(fc, 5.0 + rng.normal(0.0, 0.3, size=40))
+        near, far = fc.forecast(1), fc.forecast(16)
+        assert far.sigma > near.sigma
+        assert near.upper(1.0) > near.mean > near.lower(1.0)
+
+    def test_zero_horizon_is_current_state(self):
+        fc = LoadForecaster("sig", make_policy())
+        drive(fc, [5.0] * 20)
+        assert fc.forecast(0).mean == pytest.approx(5.0, abs=0.1)
+
+    def test_negative_horizon_rejected(self):
+        fc = LoadForecaster("sig", make_policy())
+        fc.observe(0, 1.0)
+        with pytest.raises(ValueError):
+            fc.forecast(-1)
+
+    def test_cv_model_extrapolates_ramps(self):
+        fc = LoadForecaster("sig", make_policy(model="cv"))
+        drive(fc, [float(v) for v in range(40)])  # slope 1/tick
+        forecast = fc.forecast(8)
+        assert forecast.mean == pytest.approx(47.0, abs=2.0)
+
+    def test_rw_model_holds_level(self):
+        fc = LoadForecaster("sig", make_policy(model="rw"))
+        drive(fc, [float(v) for v in range(40)])
+        # Random walk carries its level flat across the horizon -- no
+        # trend extrapolation, unlike the cv model on the same ramp.
+        assert fc.forecast(8).mean == pytest.approx(
+            fc.forecast(0).mean, abs=1e-9
+        )
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        fc = LoadForecaster("sig", make_policy())
+        drive(fc, [5.0] * 20)
+        payload = fc.as_dict()
+        assert payload["name"] == "sig"
+        assert payload["seen"] == 20
+        assert math.isfinite(payload["forecast_mean"])
+        json.dumps(payload)

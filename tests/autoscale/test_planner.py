@@ -1,0 +1,187 @@
+"""Queueing planner: forecast + watermarks in, resource plan out."""
+
+import dataclasses
+
+from repro.autoscale import AutoscalePolicy, Forecast, QueueingPlanner
+
+
+def make_planner(**overrides):
+    return QueueingPlanner(
+        dataclasses.replace(AutoscalePolicy(), **overrides)
+    )
+
+
+def flat(mean, sigma=0.1, horizon=8):
+    return Forecast(mean=mean, sigma=sigma, horizon=horizon)
+
+
+class TestPlanInbox:
+    def kwargs(self, **overrides):
+        base = dict(
+            depth=0,
+            capacity=16,
+            drain_per_tick=7,
+            arrival=flat(2.0),
+            streams=24,
+            widened=0,
+        )
+        base.update(overrides)
+        return base
+
+    def test_calm_forecast_is_a_noop(self):
+        plan = make_planner().plan_inbox(0, **self.kwargs())
+        assert not plan.acts
+        assert plan.reason["predicted_depth"] == 0.0
+
+    def test_widens_when_predicted_depth_crosses_high(self):
+        # λ̂ = 10 vs μ = 7: depth ~ 24 one horizon out, >> high (8).
+        plan = make_planner().plan_inbox(
+            0, **self.kwargs(arrival=flat(10.0))
+        )
+        assert plan.widen_steps == 2  # capped by widen_per_interval
+        assert plan.reason["need"] > 2
+
+    def test_need_sized_on_surplus_over_share(self):
+        # surplus 3/tick, share 10/24 ≈ 0.42 → ceil(3/0.42) = 8 steps.
+        plan = make_planner(widen_per_interval=16).plan_inbox(
+            0, **self.kwargs(arrival=flat(10.0))
+        )
+        assert plan.reason["need"] == 8
+        assert plan.widen_steps == 8
+
+    def test_outstanding_steps_credit_the_need(self):
+        plan = make_planner(widen_per_interval=16).plan_inbox(
+            0, **self.kwargs(arrival=flat(10.0), widened=6)
+        )
+        assert plan.reason["need"] == 2
+        assert plan.widen_steps == 2
+
+    def test_fully_credited_need_is_a_noop(self):
+        plan = make_planner().plan_inbox(
+            0, **self.kwargs(arrival=flat(10.0), widened=12)
+        )
+        assert plan.widen_steps == 0
+        assert plan.reason["need"] < 0
+
+    def test_backlog_demands_widening_even_at_rate_balance(self):
+        """λ̂ == μ but the queue stands deep: the backlog must drain
+        within one horizon or the inbox sits pinned above the reactive
+        watermark forever."""
+        plan = make_planner(widen_per_interval=16).plan_inbox(
+            0, **self.kwargs(arrival=flat(7.0), depth=12)
+        )
+        assert plan.widen_steps > 0
+
+    def test_trigger_uses_upper_bound(self):
+        # Point forecast is calm; the honest upper bound is not.
+        uncertain = Forecast(mean=6.0, sigma=4.0, horizon=8)
+        plan = make_planner().plan_inbox(
+            0, **self.kwargs(arrival=uncertain)
+        )
+        # Triggered (upper = 10 > μ), but sized on the mean (6 < μ,
+        # no surplus, no backlog) → minimum ask of one step.
+        assert plan.widen_steps == 1
+        assert plan.reason["need"] == 1
+
+    def test_restores_when_forecast_and_depth_clear_low(self):
+        plan = make_planner().plan_inbox(
+            0, **self.kwargs(arrival=flat(1.0), depth=0, widened=4)
+        )
+        assert plan.restore_steps == 2  # restore_per_interval
+
+    def test_no_restore_while_depth_holds(self):
+        plan = make_planner().plan_inbox(
+            0, **self.kwargs(arrival=flat(1.0), depth=6, widened=4)
+        )
+        assert plan.restore_steps == 0
+
+    def test_nothing_to_restore_is_a_noop(self):
+        plan = make_planner().plan_inbox(
+            0, **self.kwargs(arrival=flat(1.0), depth=0, widened=0)
+        )
+        assert not plan.acts
+
+
+class TestPlanShards:
+    def kwargs(self, **overrides):
+        base = dict(
+            budget_us=100.0,
+            predictions={"a": flat(50.0), "b": flat(60.0)},
+            rows={"a": 8, "b": 8},
+            signatures={"a": "sig", "b": "sig"},
+            current_workers=2,
+        )
+        base.update(overrides)
+        return base
+
+    def test_within_budget_is_a_noop(self):
+        plan = make_planner(min_workers=2, max_workers=2).plan_shards(
+            0, **self.kwargs()
+        )
+        assert not plan.split_shards
+        assert not plan.merge_pairs
+
+    def test_splits_shard_over_headroom(self):
+        plan = make_planner().plan_shards(
+            0, **self.kwargs(predictions={"a": flat(150.0), "b": flat(60.0)})
+        )
+        assert plan.split_shards == ("a",)
+
+    def test_single_row_shard_never_splits(self):
+        plan = make_planner().plan_shards(
+            0,
+            **self.kwargs(
+                predictions={"a": flat(150.0), "b": flat(60.0)},
+                rows={"a": 1, "b": 8},
+            ),
+        )
+        assert not plan.split_shards
+
+    def test_merges_same_signature_under_headroom(self):
+        plan = make_planner().plan_shards(
+            0, **self.kwargs(predictions={"a": flat(10.0), "b": flat(12.0)})
+        )
+        assert plan.merge_pairs == (("a", "b"),)
+
+    def test_never_merges_across_signatures(self):
+        plan = make_planner().plan_shards(
+            0,
+            **self.kwargs(
+                predictions={"a": flat(10.0), "b": flat(12.0)},
+                signatures={"a": "sig1", "b": "sig2"},
+            ),
+        )
+        assert not plan.merge_pairs
+
+    def test_hysteresis_band_holds_position(self):
+        # Combined 70 < split (100) but > merge (35): do nothing.
+        plan = make_planner().plan_shards(
+            0, **self.kwargs(predictions={"a": flat(30.0), "b": flat(40.0)})
+        )
+        assert not plan.split_shards and not plan.merge_pairs
+
+    def test_worker_target_is_ceiling_of_total_over_budget(self):
+        plan = make_planner().plan_shards(
+            0,
+            **self.kwargs(
+                predictions={"a": flat(150.0), "b": flat(160.0)},
+                current_workers=1,
+            ),
+        )
+        assert plan.workers == 4  # ceil(310/100) with headroom for σ
+
+    def test_worker_target_clamped_to_policy_bounds(self):
+        plan = make_planner(max_workers=2).plan_shards(
+            0,
+            **self.kwargs(
+                predictions={"a": flat(500.0), "b": flat(500.0)},
+                current_workers=1,
+            ),
+        )
+        assert plan.workers == 2
+
+    def test_matching_worker_count_omitted_from_plan(self):
+        plan = make_planner().plan_shards(
+            0, **self.kwargs(current_workers=2)
+        )
+        assert plan.workers is None

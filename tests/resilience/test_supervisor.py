@@ -140,9 +140,14 @@ class TestOverloadController:
         ctl = self.make()
         changes = ctl.step(tick=0, depth=80)
         assert changes == {"lo": 2.0}
-        changes = ctl.step(tick=1, depth=80)
-        # "lo" still has headroom, so it keeps absorbing the widening.
-        assert changes == {"lo": 4.0}
+        # Breadth before depth: the next rounds widen the fresh
+        # streams (priority order) instead of re-doubling "lo" --
+        # a first doubling sheds twice the traffic per unit of
+        # charged error that a re-doubling does.
+        assert ctl.step(tick=1, depth=80) == {"mid": 2.0}
+        assert ctl.step(tick=2, depth=80) == {"hi": 2.0}
+        # Whole fleet at scale 2: only now does "lo" deepen.
+        assert ctl.step(tick=3, depth=80) == {"lo": 4.0}
 
     def test_escalates_to_next_priority_when_saturated(self):
         ctl = self.make(max_widen=2.0)
@@ -165,7 +170,7 @@ class TestOverloadController:
         assert ctl.step(0, 80) == {"lo": 2.0}
         for tick in range(1, 5):
             assert ctl.step(tick, 80) == {}
-        assert ctl.step(5, 80) == {"lo": 4.0}
+        assert ctl.step(5, 80) == {"mid": 2.0}
 
     def test_mid_band_pressure_changes_nothing(self):
         ctl = self.make()
@@ -200,3 +205,123 @@ class TestOverloadController:
             OverloadPolicy(widen_factor=1.0).validate()
         with pytest.raises(ConfigurationError):
             OverloadPolicy(max_widen=1.5, widen_factor=2.0).validate()
+
+
+class TestWidenOrderDeterminism:
+    """Regression lock: widen/restore ordering under priority ties.
+
+    The widen sequence must be a pure function of (scale, priority,
+    stream id) -- never of registration order -- and restores must
+    unwind LIFO within each widening round.
+    """
+
+    def make(self, ids, priorities=None):
+        ctl = OverloadController(
+            OverloadPolicy(
+                inbox_capacity=100,
+                drain_per_tick=10,
+                high_watermark=0.5,
+                low_watermark=0.1,
+                widen_factor=2.0,
+                max_widen=8.0,
+                cooldown_ticks=1,
+            )
+        )
+        for i, source_id in enumerate(ids):
+            ctl.register(
+                source_id,
+                priority=0 if priorities is None else priorities[i],
+                base_min_delta=1.0,
+            )
+        return ctl
+
+    def test_priority_ties_break_by_stream_id(self):
+        ctl = self.make(["zeta", "alpha", "mid"])
+        assert ctl.step(0, 80) == {"alpha": 2.0}
+        assert ctl.step(1, 80) == {"mid": 2.0}
+        assert ctl.step(2, 80) == {"zeta": 2.0}
+
+    def test_order_independent_of_registration(self):
+        forward = self.make(["a", "b", "c"])
+        backward = self.make(["c", "b", "a"])
+        for tick in range(3):
+            assert forward.step(tick, 80) == backward.step(tick, 80)
+
+    def test_lifo_restore_within_priority(self):
+        ctl = self.make(["a", "b", "c"])
+        for tick in range(3):
+            ctl.step(tick, 80)  # widens a, b, c in id order
+        # Pressure clears: restore order is the exact reverse.
+        assert ctl.step(3, 2) == {"c": 1.0}
+        assert ctl.step(4, 2) == {"b": 1.0}
+        assert ctl.step(5, 2) == {"a": 1.0}
+        assert ctl.ledger()["balanced"]
+
+    def test_breadth_across_priority_bands(self):
+        # Low priority leads each round, but a band is never driven to
+        # max widening while fresh streams idle at scale 1.
+        ctl = self.make(["p0", "p1"], priorities=[0, 1])
+        assert ctl.step(0, 80) == {"p0": 2.0}
+        assert ctl.step(1, 80) == {"p1": 2.0}
+        assert ctl.step(2, 80) == {"p0": 4.0}
+
+
+class TestShedAccount:
+    def make(self):
+        ctl = OverloadController(
+            OverloadPolicy(
+                inbox_capacity=100,
+                drain_per_tick=10,
+                high_watermark=0.5,
+                low_watermark=0.1,
+                widen_factor=2.0,
+                max_widen=8.0,
+                cooldown_ticks=1,
+            )
+        )
+        ctl.register("a", priority=0, base_min_delta=1.5)
+        ctl.register("b", priority=1, base_min_delta=1.0)
+        return ctl
+
+    def test_charge_drop_bills_the_planned_worst_case(self):
+        """An unplanned tail-drop voids the precision bound entirely,
+        so it is charged at ``max_widen * base δ`` -- never cheaper
+        than the worst planned widening."""
+        ctl = self.make()
+        ctl.charge_drop("a")
+        ctl.charge_drop("a")
+        ctl.charge_drop("b")
+        ledger = ctl.ledger()
+        assert ledger["dropped_updates"] == 3
+        assert ledger["shed_error_total"] == pytest.approx(
+            2 * 8.0 * 1.5 + 8.0 * 1.0
+        )
+        assert ctl.report()["a"]["dropped_updates"] == 2
+
+    def test_charge_drop_unknown_stream_is_a_noop(self):
+        ctl = self.make()
+        ctl.charge_drop("ghost")
+        assert ctl.ledger()["dropped_updates"] == 0
+
+    def test_drops_do_not_unbalance_the_ledger(self):
+        # The conservation invariant is about widen/restore steps;
+        # drop charges add error but never leave anything widened.
+        ctl = self.make()
+        ctl.charge_drop("a")
+        assert ctl.ledger()["balanced"]
+
+    def test_planned_widen_charges_like_reactive(self):
+        ctl = self.make()
+        changes = ctl.plan_widen(0, 1)
+        assert changes == {"a": 2.0}
+        ctl.step(1, 30)  # mid-band: hold and charge the widened tick
+        account = ctl.report()["a"]
+        assert account["widened_ticks"] == 1
+        assert account["shed_error"] == pytest.approx(1.5)
+
+    def test_plan_restore_unwinds_lifo(self):
+        ctl = self.make()
+        ctl.plan_widen(0, 2)  # widens a then b
+        assert ctl.plan_restore(1, 1) == {"b": 1.0}
+        assert ctl.plan_restore(2, 1) == {"a": 1.0}
+        assert ctl.ledger()["balanced"]

@@ -185,6 +185,107 @@ def test_router_replace_after_split():
     assert router.place(model) in parts
 
 
+def _lossy_shard(rows=6, ticks=120, seed=9, lost=frozenset(range(12, 17))):
+    """A shard whose row 1 drops a burst of frames mid-run.
+
+    The loss predicate receives the per-row offered-frame index, so the
+    burst lands while updates are in flight and the row goes through
+    the full slow-path recovery arc: gap detection, desync, resync.
+    """
+    shard = _shard(rows=rows, ticks=ticks, seed=seed)
+    shard.set_link_faults(
+        shard.index["s1"], lambda index: index in lost, None
+    )
+    return shard
+
+
+def test_split_mid_loss_recovery_matches_unsplit_control():
+    """Splitting while a row is desynced must lose nothing: the halves,
+    driven onward, end exactly where the unsplit control ends."""
+    whole = _lossy_shard()
+    forked = _lossy_shard()
+    _drive(whole, 24)  # inside the loss burst: retransmissions pending
+    _drive(forked, 24)
+    assert forked.lost[forked.index["s1"]] > 0, "burst never fired"
+    low, high = forked.split()
+    lossy_part = low if "s1" in low.index else high
+    # The loss predicate travels with the row (indices renumbered).
+    assert lossy_part.lossy[lossy_part.index["s1"]]
+    for t in range(24, 120):
+        whole.step(t)
+        whole.flush_acks()
+        for part in (low, high):
+            part.step(t)
+            part.flush_acks()
+    for sid in whole.ids:
+        part = low if sid in low.index else high
+        row_w, row_p = whole.index[sid], part.index[sid]
+        np.testing.assert_array_equal(
+            whole.server.x_row(row_w), part.server.x_row(row_p)
+        )
+        # No update lost or double-applied anywhere on the recovery
+        # path: sequence space, retransmit and resync counters agree.
+        assert whole.expected_seq[row_w] == part.expected_seq[row_p]
+        assert whole.updates_sent[row_w] == part.updates_sent[row_p]
+        assert whole.link_resyncs[row_w] == part.link_resyncs[row_p]
+        assert whole.gaps_detected[row_w] == part.gaps_detected[row_p]
+        assert (
+            whole.duplicates_ignored[row_w]
+            == part.duplicates_ignored[row_p]
+        )
+    # Recovery actually completed: the lossy row re-synced.
+    assert not whole.desynced[whole.index["s1"]]
+
+
+def test_merge_mid_loss_recovery_matches_unsplit_control():
+    """merge() is the state-preserving inverse of split() even for rows
+    mid-way through slow-path loss recovery."""
+    whole = _lossy_shard()
+    forked = _lossy_shard()
+    _drive(whole, 24)
+    _drive(forked, 24)
+    low, high = forked.split()
+    # Drive the halves apart briefly, then weld them back while the
+    # lossy row still holds pending retransmissions.
+    for t in range(24, 28):
+        for part in (low, high):
+            part.step(t)
+            part.flush_acks()
+        whole.step(t)
+        whole.flush_acks()
+    merged = low.merge(high)
+    assert sorted(merged.ids) == sorted(whole.ids)
+    lossy_row = merged.index["s1"]
+    assert merged.lossy[lossy_row]
+    assert merged.pending[lossy_row], "retransmissions should be in flight"
+    for t in range(28, 120):
+        whole.step(t)
+        whole.flush_acks()
+        merged.step(t)
+        merged.flush_acks()
+    for sid in whole.ids:
+        row_w, row_m = whole.index[sid], merged.index[sid]
+        np.testing.assert_array_equal(
+            whole.server.x_row(row_w), merged.server.x_row(row_m)
+        )
+        assert whole.expected_seq[row_w] == merged.expected_seq[row_m]
+        assert whole.updates_sent[row_w] == merged.updates_sent[row_m]
+        assert whole.link_resyncs[row_w] == merged.link_resyncs[row_m]
+        assert (
+            whole.bytes_delivered[row_w] == merged.bytes_delivered[row_m]
+        )
+    assert not merged.desynced[lossy_row]
+
+
+def test_merge_rejects_incompatible_shards():
+    shard = _shard(rows=2)
+    with pytest.raises(ConfigurationError):
+        shard.merge(shard)
+    other = _shard(model=constant_model(q=0.2, r=1.0), rows=2)
+    with pytest.raises(ConfigurationError):
+        shard.merge(other)
+
+
 def test_export_import_row_round_trip():
     shard = _shard(rows=3, ticks=60, seed=2)
     _drive(shard, 30)
