@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test bench soak figures examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,6 +12,12 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# The CI-scale wire soak: 5k sources over real sockets, gated on probe
+# p99 latency, datagram conservation and fleet priming.
+soak:
+	$(PYTHON) -m repro wire --soak --sources 5000 \
+		--out soak.json --bench-out BENCH_wire.json
 
 figures:
 	$(PYTHON) -m repro.experiments.export figures-out/

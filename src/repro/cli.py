@@ -24,6 +24,8 @@ writing code::
     python -m repro chaos --surge          # load x3 mid-run, autoscaler gated
     python -m repro scale                  # scalar vs batch engine race
     python -m repro scale --sources 64 1024 --min-speedup 5
+    python -m repro wire --demo            # real sockets, real DKF endpoints
+    python -m repro wire --soak --sources 5000 --out soak.json
     python -m repro benchdiff BENCH_engine_scale.json fresh.json
 """
 
@@ -307,6 +309,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         help="write the sweep as a repro.obs/v2 snapshot JSON here",
+    )
+
+    wire = sub.add_parser(
+        "wire",
+        help="run the asyncio real-wire runtime: UDP update fabric, TCP "
+        "query API, wall-clock ticks",
+    )
+    wire.add_argument(
+        "--soak",
+        action="store_true",
+        help="soak-scale run with the vectorised lite fleet and the p99 "
+        "query-latency gate armed",
+    )
+    wire.add_argument(
+        "--demo",
+        action="store_true",
+        help="demo-scale run with real DKF endpoints (SourceStepper) "
+        "instead of the lite fleet",
+    )
+    wire.add_argument(
+        "--sources", type=int, default=None,
+        help="fleet size (default: 5000 for --soak, 64 for --demo)",
+    )
+    wire.add_argument(
+        "--ticks", type=int, default=None,
+        help="runtime ticks to execute (default: 120 soak, 40 demo)",
+    )
+    wire.add_argument(
+        "--tick-seconds", type=float, default=None,
+        help="wall-clock seconds per tick (default: 0.25 soak, 0.1 demo)",
+    )
+    wire.add_argument("--seed", type=int, default=0, help="workload seed")
+    wire.add_argument(
+        "--update-prob", type=float, default=0.05,
+        help="per-source escaped-update probability per tick (lite fleet)",
+    )
+    wire.add_argument(
+        "--corrupt-rate", type=float, default=0.0,
+        help="seeded probability a fleet datagram is bit-flipped",
+    )
+    wire.add_argument(
+        "--query-rate", type=float, default=200.0,
+        help="TCP query load in queries per second",
+    )
+    wire.add_argument(
+        "--p99-gate-ms", type=float, default=250.0,
+        help="fail when p99 query latency exceeds this many ms",
+    )
+    wire.add_argument(
+        "--out", default=None,
+        help="write the soak summary JSON here",
+    )
+    wire.add_argument(
+        "--bench-out", default=None,
+        help="write a repro.obs bench snapshot (BENCH_wire.json) here",
     )
 
     benchdiff = sub.add_parser(
@@ -1250,6 +1307,74 @@ def _run_slo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_wire(args: argparse.Namespace) -> int:
+    from repro.wire import WireConfig, run_soak
+
+    demo = args.demo and not args.soak
+    sources = args.sources if args.sources is not None else (
+        64 if demo else 5000
+    )
+    ticks = args.ticks if args.ticks is not None else (40 if demo else 120)
+    tick_seconds = args.tick_seconds if args.tick_seconds is not None else (
+        0.1 if demo else 0.25
+    )
+    config = WireConfig(
+        sources=sources,
+        ticks=ticks,
+        tick_seconds=tick_seconds,
+        seed=args.seed,
+        update_prob=args.update_prob,
+        ramp_ticks=max(1, min(ticks - 1, ticks // 4)),
+        corrupt_rate=args.corrupt_rate,
+        query_rate=args.query_rate,
+        query_p99_gate_ms=args.p99_gate_ms,
+        heartbeat_interval_ticks=min(50, max(2, ticks // 2)),
+    )
+    summary = run_soak(
+        config,
+        fleet_kind="stepper" if demo else "lite",
+        out=args.out,
+        bench_out=args.bench_out,
+    )
+    measured = summary["measured"]
+    wire = summary["wire"]
+    gates = summary["gates"]
+    print(
+        f"wire {'demo' if demo else 'soak'}: {sources} sources, "
+        f"{measured['ticks']} ticks x {tick_seconds:g}s "
+        f"({measured['wall_seconds']:.1f}s wall, "
+        f"{measured['overruns']} overruns)"
+    )
+    print(
+        f"  fleet -> server: {wire['fleet']['datagrams_sent']} datagrams "
+        f"({wire['server']['frames_decoded']} decoded, "
+        f"{wire['server']['frames_corrupt']} corrupt, "
+        f"{wire['server']['inbox_dropped']} inbox-dropped, "
+        f"{wire['conservation']['kernel_dropped_data']} kernel-dropped)"
+    )
+    print(
+        f"  primed {measured['primed']}/{sources}, "
+        f"suspects {measured['suspects']}, "
+        f"acks {wire['server']['datagrams_sent']}"
+    )
+    p50 = measured["query_p50_ms"]
+    p99 = measured["query_p99_ms"]
+    print(
+        f"  queries: {measured['queries']} at "
+        f"{measured['query_qps']:g}/s, "
+        f"p50 {p50 if p50 is not None else '-'} ms, "
+        f"p99 {p99 if p99 is not None else '-'} ms "
+        f"(gate {config.query_p99_gate_ms:g} ms)"
+    )
+    for name in ("query_p99_ok", "conservation_ok", "primed_ok"):
+        print(f"  gate {name}: {'pass' if gates[name] else 'FAIL'}")
+    if args.out:
+        print(f"summary written to {args.out}")
+    if args.bench_out:
+        print(f"bench snapshot written to {args.bench_out}")
+    return 0 if gates["ok"] else 1
+
+
 #: Bench gauges gated by ``repro benchdiff``; regression direction per name.
 _BENCH_LOWER_IS_BETTER = (
     "engine_run_seconds",
@@ -1259,6 +1384,9 @@ _BENCH_LOWER_IS_BETTER = (
     "surge_shed_error",
     "surge_inbox_drops",
     "surge_settle_ticks",
+    "wire_query_p99_ms",
+    "wire_query_p50_ms",
+    "wire_tick_overruns",
 )
 _BENCH_HIGHER_IS_BETTER = ("batch_speedup_x",)
 
@@ -1352,6 +1480,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _run_chaos(args)
         if args.command == "scale":
             return _run_scale(args)
+        if args.command == "wire":
+            return _run_wire(args)
         return _run_compare(args)
     except (ConfigurationError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

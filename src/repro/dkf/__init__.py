@@ -13,6 +13,7 @@ from repro.dkf.protocol import (
     HeartbeatMessage,
     ResyncMessage,
     UpdateMessage,
+    build_source_index,
     decode_message,
     encode_message,
     periodic_loss,
@@ -21,6 +22,7 @@ from repro.dkf.protocol import (
 from repro.dkf.server import DKFServer, ServerSourceState
 from repro.dkf.session import DKFSession
 from repro.dkf.source import DKFSource, SourceStep
+from repro.dkf.stepper import SourceStepper
 
 __all__ = [
     "AckMessage",
@@ -37,8 +39,10 @@ __all__ = [
     "ResyncMessage",
     "ServerSourceState",
     "SourceStep",
+    "SourceStepper",
     "TransportPolicy",
     "UpdateMessage",
+    "build_source_index",
     "decode_message",
     "encode_message",
     "periodic_loss",

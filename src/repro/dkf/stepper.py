@@ -1,0 +1,96 @@
+"""Sans-IO per-instant step function for one DKF source.
+
+The seeded :class:`~repro.dsms.engine.StreamEngine` interleaves a
+source's reading, transmission bookkeeping and transport maintenance
+inline in its tick loop.  The wall-clock wire runtime needs the same
+dance -- sample, register the cut message with the pending-ack buffer,
+poll for timeout retransmissions and heartbeats -- but driven from an
+asyncio task that owns real sockets instead of a simulated fabric.
+
+:class:`SourceStepper` extracts that per-instant sequence into a pure
+state machine: :meth:`step` takes a clock and a reading and returns the
+protocol messages to put on whatever wire the caller owns; :meth:`on_ack`
+feeds acknowledgements back in.  No I/O, no clocks of its own -- the tick
+engine and the asyncio runtime drive the identical protocol logic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.dkf.protocol import (
+    AckMessage,
+    HeartbeatMessage,
+    ResyncMessage,
+    UpdateMessage,
+)
+from repro.dkf.source import DKFSource
+from repro.streams.base import StreamRecord
+
+__all__ = ["SourceStepper"]
+
+
+class SourceStepper:
+    """Drives one :class:`~repro.dkf.source.DKFSource` without owning I/O.
+
+    Args:
+        source: The source-side protocol endpoint (mirror filter plus
+            transport state machine).
+        reading_fn: Optional reading generator ``(k) -> value array``;
+            when given, :meth:`step` may be called without a value.
+    """
+
+    def __init__(
+        self,
+        source: DKFSource,
+        reading_fn: Callable[[int], np.ndarray] | None = None,
+    ) -> None:
+        self._source = source
+        self._reading_fn = reading_fn
+
+    @property
+    def source(self) -> DKFSource:
+        """The wrapped source endpoint (live object)."""
+        return self._source
+
+    def step(
+        self,
+        k: int,
+        value: np.ndarray | None = None,
+        now: int | None = None,
+    ) -> list[UpdateMessage | ResyncMessage | HeartbeatMessage]:
+        """Run one sampling instant; returns the messages to transmit.
+
+        Mirrors the engine's per-source tick exactly: sample the reading
+        (suppression decision), register any cut update with the
+        pending-ack buffer, then run transport maintenance (timeout
+        resyncs, heartbeats).  ``now`` defaults to ``k`` -- the wire
+        runtime passes its own monotonic tick so retransmission deadlines
+        ride the wall clock.
+        """
+        if now is None:
+            now = k
+        if value is None:
+            if self._reading_fn is None:
+                raise ValueError("step needs a value or a reading_fn")
+            value = self._reading_fn(k)
+        record = StreamRecord(k=k, timestamp=float(k), value=value)
+        step = self._source.sample(record)
+        out: list[UpdateMessage | ResyncMessage | HeartbeatMessage] = []
+        if step.message is not None:
+            self._source.note_sent(step.message, now)
+            out.append(step.message)
+        out.extend(self._source.poll_transport(now))
+        return out
+
+    def poll(
+        self, now: int
+    ) -> list[ResyncMessage | HeartbeatMessage]:
+        """Transport maintenance only (no reading this instant)."""
+        return self._source.poll_transport(now)
+
+    def on_ack(self, ack: AckMessage, now: int) -> None:
+        """Feed a received acknowledgement into the pending-ack buffer."""
+        self._source.on_ack(ack, now)

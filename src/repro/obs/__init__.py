@@ -68,6 +68,7 @@ from repro.obs.slo import (
     SLOAlert,
     SLOEngine,
     SLORule,
+    wire_rules,
 )
 from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
 from repro.obs.timing import NULL_TIMERS, NullTimers, SpanStat, SpanTimers
@@ -101,6 +102,7 @@ __all__ = [
     "SLOEngine",
     "DEFAULT_RULES",
     "FEDERATION_RULES",
+    "wire_rules",
     "TraceHop",
     "collect_trace",
     "trace_ids",

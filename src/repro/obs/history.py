@@ -116,15 +116,27 @@ class MetricHistory:
         every: Sample cadence in ticks (1 = every tick).  Coarser
             cadences trade window resolution for memory and per-tick
             cost on very long runs.
+        unit: What one tick of the sampling clock *means* -- ``"ticks"``
+            for the deterministic simulation (the historical default) or
+            a wall-clock unit such as ``"ms"`` under the asyncio wire
+            runtime, where the runtime maps real time onto the tick
+            counter.  Window widths in SLO rules and health watchers are
+            denominated in this unit; exporting it keeps a wall-clock
+            snapshot from being misread as simulated ticks.
     """
 
-    def __init__(self, capacity: int = 1024, every: int = 1) -> None:
+    def __init__(
+        self, capacity: int = 1024, every: int = 1, unit: str = "ticks"
+    ) -> None:
         if capacity < 2:
             raise ConfigurationError("history capacity must be at least 2")
         if every < 1:
             raise ConfigurationError("history cadence must be at least 1")
+        if not unit:
+            raise ConfigurationError("history unit must be a non-empty label")
         self.capacity = capacity
         self.every = every
+        self.unit = unit
         self._series: dict[tuple[str, Labels], Series] = {}
         self.samples_taken = 0
         self.last_tick: int | None = None
@@ -309,6 +321,7 @@ class MetricHistory:
         return {
             "every": self.every,
             "capacity": self.capacity,
+            "unit": self.unit,
             "samples": self.samples_taken,
             "series": [
                 series.as_dict()

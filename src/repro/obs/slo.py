@@ -39,6 +39,7 @@ __all__ = [
     "SLOEngine",
     "DEFAULT_RULES",
     "FEDERATION_RULES",
+    "wire_rules",
 ]
 
 
@@ -222,6 +223,54 @@ FEDERATION_RULES: tuple[SLORule, ...] = (
 )
 
 
+def wire_rules(
+    staleness_objective_ms: float = 2500.0,
+    query_p99_objective_ms: float = 250.0,
+) -> tuple[SLORule, ...]:
+    """The default rule set for the wall-clock wire runtime.
+
+    The tick-mode defaults denominate windows and objectives in engine
+    ticks; under :class:`~repro.wire.runtime.AsyncRuntime` the telemetry
+    clock *is* wall time in milliseconds (``Telemetry(time_unit="ms")``,
+    advanced once per runtime tick), so every window and objective here
+    is a millisecond count and the rules evaluate correctly against the
+    ms-stamped history.  Delivery is judged on the wire counters: a
+    datagram that fails its CRC or resolves to no registered source is
+    the wire layer's "bad" bucket (kernel-level drops surface
+    separately, as the send/receive residual in the soak summary).
+    """
+    return (
+        SLORule(
+            name="wire-delivery-ratio",
+            kind="ratio",
+            objective=0.95,
+            good="wire_frames_decoded_total",
+            bad=("wire_frames_corrupt_total", "wire_frames_unknown_total"),
+            burn_threshold=2.0,
+            short_window=10_000,
+            long_window=40_000,
+        ),
+        SLORule(
+            name="wire-staleness-p99",
+            kind="quantile",
+            metric="staleness_at_answer_ticks",
+            q=0.99,
+            objective=staleness_objective_ms,
+            short_window=15_000,
+            long_window=15_000,
+        ),
+        SLORule(
+            name="wire-query-p99",
+            kind="quantile",
+            metric="wire_query_latency_ms",
+            q=0.99,
+            objective=query_p99_objective_ms,
+            short_window=15_000,
+            long_window=15_000,
+        ),
+    )
+
+
 class SLOEngine:
     """Evaluates the installed rules against metric history every tick.
 
@@ -247,6 +296,17 @@ class SLOEngine:
         if federation:
             for rule in FEDERATION_RULES:
                 self.add_rule(rule)
+
+    def install_wire_defaults(
+        self,
+        staleness_objective_ms: float = 2500.0,
+        query_p99_objective_ms: float = 250.0,
+    ) -> None:
+        """Install the wall-clock wire rule set (objectives in ms)."""
+        for rule in wire_rules(
+            staleness_objective_ms, query_p99_objective_ms
+        ):
+            self.add_rule(rule)
 
     @property
     def alerts(self) -> dict[str, SLOAlert]:

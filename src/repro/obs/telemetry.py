@@ -46,6 +46,12 @@ class Telemetry:
         history: Time-series store behind the registry; defaults to a
             fresh :class:`~repro.obs.history.MetricHistory` (1024-sample
             rings, sampled every tick).
+        time_unit: What one tick of this handle's clock means --
+            ``"ticks"`` (simulated instants, the default) or a wall-clock
+            unit like ``"ms"`` when an asyncio runtime drives
+            ``set_tick`` from real time.  A default-constructed history
+            inherits it, so SLO windows and exported snapshots carry the
+            right denomination.
     """
 
     enabled = True
@@ -54,12 +60,18 @@ class Telemetry:
         self,
         buffer_size: int = 65536,
         history: MetricHistory | None = None,
+        time_unit: str = "ticks",
     ) -> None:
         self.bus = EventBus(buffer_size=buffer_size)
         self.metrics = MetricsRegistry()
         self.timers: SpanTimers | NullTimers = SpanTimers()
         self.tick = 0
-        self.history = history or MetricHistory()
+        self.time_unit = time_unit
+        # ``history or ...`` would discard an explicit empty history:
+        # MetricHistory defines __len__, so a fresh store is falsy.
+        if history is None:
+            history = MetricHistory(unit=time_unit)
+        self.history = history
         self.health = HealthMonitor(self)
         self.slo = SLOEngine(self)
         self._last_observed: int | None = None
@@ -116,10 +128,28 @@ class Telemetry:
         self.metrics.counter(name, labels).inc(amount)
 
     def observe(
-        self, name: str, value: float, source_id: str | None = None
+        self,
+        name: str,
+        value: float,
+        source_id: str | None = None,
+        unit: str | None = None,
     ) -> None:
-        """Record a histogram sample (labelled by source when given)."""
-        labels = {"source": source_id} if source_id is not None else None
+        """Record a histogram sample (labelled by source when given).
+
+        ``unit`` attaches an explicit time-unit label for metrics whose
+        name implies a denomination the runtime no longer honours --
+        e.g. the wire runtime records ``staleness_at_answer_ticks`` in
+        wall-clock milliseconds with ``unit="ms"``.  Tick-mode call
+        sites omit it (an absent label means engine ticks), so existing
+        seeded snapshots stay byte-identical.
+        """
+        labels: dict[str, str] | None = None
+        if source_id is not None or unit is not None:
+            labels = {}
+            if source_id is not None:
+                labels["source"] = source_id
+            if unit is not None:
+                labels["unit"] = unit
         self.metrics.histogram(name, labels).observe(value)
 
     def gauge(
@@ -156,6 +186,7 @@ class NullTelemetry:
     slo = None
     timers: NullTimers = NULL_TIMERS
     tick = 0
+    time_unit = "ticks"
 
     def set_tick(self, tick: int) -> None:
         """No-op."""
@@ -182,7 +213,11 @@ class NullTelemetry:
         return None
 
     def observe(
-        self, name: str, value: float, source_id: str | None = None
+        self,
+        name: str,
+        value: float,
+        source_id: str | None = None,
+        unit: str | None = None,
     ) -> None:
         """No-op."""
         return None

@@ -1,0 +1,50 @@
+"""repro.wire -- the asyncio real-wire runtime.
+
+Everything below this package is sans-IO and tick-denominated; this
+package is where the simulated fabric becomes real sockets.  UDP
+datagrams carry the PROTOCOL.md §5 frames byte-for-byte unchanged (§9:
+one frame per datagram, no extra framing), a line-delimited JSON TCP
+API serves ``answer``/``forecast`` with the same staleness and
+quarantine honesty flags the tick engine's ``answers()`` carries, and
+one :class:`~repro.wire.scheduler.Scheduler` seam holds both notions of
+time -- the seeded deterministic tick backend and the wall-clock
+:class:`~repro.wire.runtime.AsyncRuntime`.
+
+See ``docs/WIRE.md`` for the architecture and the 100k-source soak
+story.
+"""
+
+from repro.wire.config import WireConfig
+from repro.wire.datagram import (
+    MAX_DATAGRAM_BYTES,
+    BatchDatagramReceiver,
+    WireCounters,
+    corrupt_datagram,
+    open_udp_socket,
+)
+from repro.wire.fleet import LiteFleet, StepperFleet, collision_free_ids
+from repro.wire.query import QueryServer, query_line
+from repro.wire.runtime import AsyncRuntime
+from repro.wire.scheduler import Scheduler, TickScheduler
+from repro.wire.server import WireServer
+from repro.wire.soak import SOAK_SCHEMA, run_soak
+
+__all__ = [
+    "WireConfig",
+    "WireCounters",
+    "MAX_DATAGRAM_BYTES",
+    "BatchDatagramReceiver",
+    "open_udp_socket",
+    "corrupt_datagram",
+    "LiteFleet",
+    "StepperFleet",
+    "collision_free_ids",
+    "WireServer",
+    "QueryServer",
+    "query_line",
+    "Scheduler",
+    "TickScheduler",
+    "AsyncRuntime",
+    "SOAK_SCHEMA",
+    "run_soak",
+]

@@ -1,0 +1,236 @@
+"""TCP query API: line-delimited JSON over a real socket.
+
+One request per line, one JSON object per response line.  Operations:
+
+* ``{"op": "answer", "source_id": "s12"}`` -- the server's current best
+  value with the same honesty flags the tick engine's ``answers()``
+  carries: ``staleness_ms`` (wall-clock silence), ``suspect`` (past the
+  liveness deadline), ``quarantined`` (divergence-watchdog rung, when a
+  watchdog is installed), ``confidence`` and the precision width.
+* ``{"op": "answers", "limit": 10}`` -- up to ``limit`` primed sources.
+* ``{"op": "forecast", "source_id": "s12", "steps": 5}`` -- the filter's
+  forecast trajectory (the capability static caching lacks).
+* ``{"op": "stats"}`` -- wire counters, inbox depth and the clock.
+* ``{"op": "ping"}`` -- liveness probe (used by latency measurement).
+
+Unknown ops and unknown sources answer with an ``error`` field rather
+than dropping the connection; protocol errors on one line never poison
+the next.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.errors import UnknownSourceError
+from repro.obs.telemetry import NULL_TELEMETRY
+from repro.wire.config import WireConfig
+from repro.wire.server import WireServer
+
+__all__ = ["QueryServer", "query_line"]
+
+#: Hard cap on one request line; anything longer is a protocol error.
+_MAX_LINE_BYTES = 65536
+
+
+class QueryServer:
+    """Line-delimited JSON query endpoint over one :class:`WireServer`.
+
+    Args:
+        wire: The UDP-facing server whose answers this endpoint serves.
+        config: The wire runtime configuration (tick-to-ms mapping).
+        telemetry: Observability handle; every served answer records its
+            wall-clock staleness (``unit="ms"``).
+    """
+
+    def __init__(
+        self, wire: WireServer, config: WireConfig, telemetry=None
+    ) -> None:
+        self._wire = wire
+        self._config = config
+        self._tel = telemetry or NULL_TELEMETRY
+        self._server: asyncio.AbstractServer | None = None
+        self._handlers: set[asyncio.Task] = set()
+        self.queries_served = 0
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle,
+            self._config.host,
+            self._config.tcp_port,
+            limit=_MAX_LINE_BYTES,
+        )
+        return self._server.sockets[0].getsockname()
+
+    async def close(self) -> None:
+        """Stop accepting, reap open connections, close the listener.
+
+        Open handler tasks are cancelled and awaited here; leaving them
+        pending would push the cancellation into loop teardown, where
+        asyncio logs it as an unretrieved exception.
+        """
+        if self._server is not None:
+            self._server.close()
+            for task in list(self._handlers):
+                task.cancel()
+            if self._handlers:
+                await asyncio.gather(
+                    *self._handlers, return_exceptions=True
+                )
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(b'{"error": "line too long"}\n')
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                response = self.dispatch_line(line)
+                writer.write(
+                    json.dumps(response, separators=(",", ":")).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Orderly shutdown from close().  Finishing the task instead
+            # of dying cancelled matters: asyncio's stream protocol
+            # retrieves task.exception() in a loop callback, which
+            # *raises* for a cancelled task and logs a spurious error.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    # Dispatch -------------------------------------------------------------
+
+    def dispatch_line(self, line: bytes) -> dict:
+        """Parse and serve one request line (exposed for direct tests)."""
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError:
+            return {"error": "request is not valid JSON"}
+        if not isinstance(request, dict):
+            return {"error": "request must be a JSON object"}
+        op = request.get("op")
+        self.queries_served += 1
+        if op == "ping":
+            return {"ok": True, "tick": self._wire.dkf.clock}
+        if op == "answer":
+            return self._answer(request)
+        if op == "answers":
+            return self._answers(request)
+        if op == "forecast":
+            return self._forecast(request)
+        if op == "stats":
+            return self._stats()
+        return {"error": f"unknown op {op!r}"}
+
+    def _answer(self, request: dict) -> dict:
+        source_id = request.get("source_id")
+        if not isinstance(source_id, str):
+            return {"error": "answer needs a source_id"}
+        dkf = self._wire.dkf
+        try:
+            liveness = dkf.liveness(source_id)
+        except UnknownSourceError:
+            return {"error": f"unknown source {source_id!r}"}
+        staleness_ms = liveness["staleness_ticks"] * self._config.tick_ms
+        primed = dkf.is_primed(source_id)
+        quarantined = (
+            self._wire.watchdog is not None
+            and self._wire.watchdog.is_quarantined(source_id)
+        )
+        out: dict[str, object] = {
+            "source_id": source_id,
+            "primed": primed,
+            "staleness_ms": staleness_ms,
+            "suspect": bool(liveness["suspect"]),
+            "degraded": bool(liveness["suspect"]) or not primed,
+            "quarantined": quarantined,
+        }
+        if primed:
+            out["value"] = [float(v) for v in dkf.value(source_id)]
+            out["confidence"] = dkf.confidence(source_id)
+        if self._tel.enabled:
+            self._tel.observe(
+                "staleness_at_answer_ticks", staleness_ms, unit="ms"
+            )
+        return out
+
+    def _answers(self, request: dict) -> dict:
+        limit = request.get("limit", 10)
+        if not isinstance(limit, int) or limit < 1:
+            return {"error": "limit must be a positive integer"}
+        rows = []
+        for source_id in self._wire.dkf.source_ids:
+            if len(rows) >= limit:
+                break
+            if self._wire.dkf.is_primed(source_id):
+                rows.append(self._answer({"source_id": source_id}))
+        return {"answers": rows, "count": len(rows)}
+
+    def _forecast(self, request: dict) -> dict:
+        source_id = request.get("source_id")
+        steps = request.get("steps", 1)
+        if not isinstance(source_id, str):
+            return {"error": "forecast needs a source_id"}
+        if not isinstance(steps, int) or steps < 1:
+            return {"error": "steps must be a positive integer"}
+        try:
+            trajectory = self._wire.dkf.forecast(source_id, steps)
+        except UnknownSourceError:
+            return {"error": f"source {source_id!r} is not primed"}
+        return {
+            "source_id": source_id,
+            "steps": steps,
+            "forecast": [
+                [float(v) for v in row] for row in trajectory
+            ],
+        }
+
+    def _stats(self) -> dict:
+        return {
+            "tick": self._wire.dkf.clock,
+            "inbox_depth": self._wire.inbox_depth,
+            "queries_served": self.queries_served,
+            "wire": self._wire.counters.as_dict(),
+        }
+
+
+async def query_line(
+    host: str, port: int, request: dict, timeout: float = 5.0
+) -> dict:
+    """One-shot client helper: connect, send one request, read one reply."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            json.dumps(request, separators=(",", ":")).encode() + b"\n"
+        )
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout)
+        return json.loads(line)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass

@@ -1,0 +1,271 @@
+"""The wall-clock scheduler: ticks mapped onto an asyncio event loop.
+
+:class:`AsyncRuntime` is the second :class:`~repro.wire.scheduler.
+Scheduler` backend.  Where :class:`~repro.wire.scheduler.TickScheduler`
+counts loop iterations, the runtime counts *seconds*: each tick ``t``
+fires at ``t0 + t * tick_seconds`` on the loop's monotonic clock, the
+fleet and server exchange PROTOCOL.md frames over real UDP, queries
+arrive over real TCP, and every tick-denominated policy -- ack
+timeouts, heartbeat intervals, liveness deadlines -- becomes a real
+duration through the ``tick_seconds`` factor.  A tick that finishes
+late is counted as an overrun, never silently stretched, so the report
+is honest about whether the box kept up.
+
+Telemetry under this backend runs on a millisecond clock: the runtime
+stamps ``set_tick(elapsed_ms)`` each tick, so metric history, health
+watchers and the ms-denominated :func:`~repro.obs.slo.wire_rules` all
+evaluate against wall time.  Construct the handle with
+``Telemetry(time_unit="ms")`` so exported histories carry the right
+unit label.
+
+The runtime also owns the query-load probe: a persistent TCP client
+issuing ``answer`` requests round-robin across the fleet at
+``query_rate`` per second, recording each round trip into
+``wire_query_latency_ms`` -- the latency distribution the soak gate
+judges.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+
+from repro.obs.telemetry import NULL_TELEMETRY
+from repro.wire.config import WireConfig
+from repro.wire.fleet import LiteFleet
+from repro.wire.query import QueryServer
+from repro.wire.scheduler import Scheduler
+from repro.wire.server import WireServer
+
+__all__ = ["AsyncRuntime"]
+
+#: Extra drain passes after the last tick so in-flight datagrams and
+#: acks land before the books are closed.
+_SETTLE_ROUNDS = 3
+
+
+class AsyncRuntime(Scheduler):
+    """Runs a fleet and a wire server against the wall clock.
+
+    Args:
+        config: The wire runtime configuration (horizon, tick length,
+            fleet shape, gates).
+        fleet: A fleet object (:class:`~repro.wire.fleet.LiteFleet` or
+            :class:`~repro.wire.fleet.StepperFleet`); defaults to a
+            ``LiteFleet`` built from ``config``.
+        telemetry: Observability handle; pass one constructed with
+            ``time_unit="ms"`` -- the runtime advances its clock in
+            elapsed wall milliseconds.
+        watchdog: Optional divergence watchdog handed to the server (the
+            query API then reports quarantine).  Registering 100k
+            sources with a watchdog is feasible but rarely worth the
+            per-tick checks at soak scale.
+        dkf_telemetry: Optional handle for the server's per-source DKF
+            counters (small fleets only; see :class:`WireServer`).
+    """
+
+    backend = "wall-clock"
+
+    def __init__(
+        self,
+        config: WireConfig,
+        fleet=None,
+        telemetry=None,
+        watchdog=None,
+        dkf_telemetry=None,
+    ) -> None:
+        self._config = config
+        self.fleet = fleet if fleet is not None else LiteFleet(config)
+        self._tel = telemetry or NULL_TELEMETRY
+        self._watchdog = watchdog
+        self._dkf_tel = dkf_telemetry
+        self.server: WireServer | None = None
+        self.query: QueryServer | None = None
+        self.udp_endpoint: tuple[str, int] | None = None
+        self.tcp_endpoint: tuple[str, int] | None = None
+        self.latencies_ms: list[float] = []
+        self.query_failures = 0
+        self.overruns = 0
+        self.ticks_run = 0
+        self.wall_seconds = 0.0
+        self.primed = 0
+        self.suspects = 0
+
+    # Scheduler contract ---------------------------------------------------
+
+    def run(self) -> int:
+        """Execute the configured horizon on a fresh event loop."""
+        asyncio.run(self._main())
+        return self.ticks_run
+
+    def report(self) -> dict[str, object]:
+        """JSON-ready account of the completed run."""
+        latencies = sorted(self.latencies_ms)
+
+        def pct(q: float) -> float | None:
+            if not latencies:
+                return None
+            index = min(
+                len(latencies) - 1, int(q * (len(latencies) - 1))
+            )
+            return round(latencies[index], 3)
+
+        qps = (
+            len(latencies) / self.wall_seconds
+            if self.wall_seconds > 0
+            else 0.0
+        )
+        return {
+            "backend": self.backend,
+            "ticks": self.ticks_run,
+            "tick_seconds": self._config.tick_seconds,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "overruns": self.overruns,
+            "primed": self.primed,
+            "suspects": self.suspects,
+            "queries": len(latencies),
+            "query_failures": self.query_failures,
+            "query_qps": round(qps, 2),
+            "query_p50_ms": pct(0.50),
+            "query_p99_ms": pct(0.99),
+            "query_max_ms": pct(1.0),
+            "fleet": self.fleet.summary(),
+            "server": (
+                self.server.counters.as_dict()
+                if self.server is not None
+                else {}
+            ),
+        }
+
+    # Event-loop body ------------------------------------------------------
+
+    async def _main(self) -> None:
+        loop = asyncio.get_running_loop()
+        config = self._config
+        self.server = WireServer(
+            config,
+            telemetry=self._tel,
+            watchdog=self._watchdog,
+            on_scales=self.fleet.apply_scales,
+            dkf_telemetry=self._dkf_tel,
+        )
+        probe_task: asyncio.Task | None = None
+        try:
+            self.udp_endpoint = self.server.open(loop)
+            self.fleet.open(loop, self.udp_endpoint)
+            self.server.register_fleet(
+                self.fleet.source_ids,
+                self.fleet.dkf_config(),
+                self.fleet.transport_policy(),
+            )
+            self.query = QueryServer(self.server, config, self._tel)
+            self.tcp_endpoint = await self.query.start()
+            if config.query_rate > 0:
+                probe_task = asyncio.ensure_future(self._probe())
+
+            t0 = loop.time()
+            for tick in range(1, config.ticks + 1):
+                target = t0 + tick * config.tick_seconds
+                now = loop.time()
+                if now < target:
+                    await asyncio.sleep(target - now)
+                else:
+                    self.overruns += 1
+                await self.fleet.step_tick(tick)
+                await self.server.process_tick(tick)
+                if self._tel.enabled:
+                    self._tel.set_tick(
+                        int((loop.time() - t0) * 1000.0)
+                    )
+                self.ticks_run = tick
+            # Settle: no new traffic, but let straggling datagrams and
+            # acks land so the conservation books can balance.
+            for extra in range(1, _SETTLE_ROUNDS + 1):
+                await asyncio.sleep(min(config.tick_seconds, 0.05))
+                await self.server.process_tick(config.ticks + extra)
+                self.fleet.settle(config.ticks + extra)
+            self.wall_seconds = loop.time() - t0
+            self._close_books()
+        finally:
+            if probe_task is not None:
+                probe_task.cancel()
+                try:
+                    await probe_task
+                except asyncio.CancelledError:
+                    pass
+            if self.query is not None:
+                await self.query.close()
+            self.server.close()
+            self.fleet.close()
+
+    def _close_books(self) -> None:
+        dkf = self.server.dkf
+        primed = 0
+        suspects = 0
+        for source_id in self.fleet.source_ids:
+            if dkf.is_primed(source_id):
+                primed += 1
+            if dkf.liveness(source_id)["suspect"]:
+                suspects += 1
+        self.primed = primed
+        self.suspects = suspects
+        if self._tel.enabled:
+            self._tel.gauge("wire_primed_sources", float(primed))
+            self._tel.gauge("wire_suspect_sources", float(suspects))
+            self._tel.sample_now()
+
+    # Query-load probe -----------------------------------------------------
+
+    async def _probe(self) -> None:
+        """Issue ``answer`` queries at ``query_rate``/s, timing each."""
+        loop = asyncio.get_running_loop()
+        config = self._config
+        interval = 1.0 / config.query_rate
+        targets = itertools.cycle(self.fleet.source_ids)
+        reader = writer = None
+        try:
+            while True:
+                if writer is None:
+                    try:
+                        reader, writer = await asyncio.open_connection(
+                            *self.tcp_endpoint
+                        )
+                    except OSError:
+                        self.query_failures += 1
+                        await asyncio.sleep(interval)
+                        continue
+                request = {"op": "answer", "source_id": next(targets)}
+                started = loop.time()
+                try:
+                    writer.write(
+                        json.dumps(
+                            request, separators=(",", ":")
+                        ).encode()
+                        + b"\n"
+                    )
+                    await writer.drain()
+                    line = await reader.readline()
+                    if not line:
+                        raise ConnectionResetError
+                except (
+                    ConnectionResetError,
+                    BrokenPipeError,
+                    OSError,
+                ):
+                    self.query_failures += 1
+                    writer.close()
+                    reader = writer = None
+                    continue
+                elapsed_ms = (loop.time() - started) * 1000.0
+                self.latencies_ms.append(elapsed_ms)
+                if self._tel.enabled:
+                    self._tel.observe(
+                        "wire_query_latency_ms", elapsed_ms, unit="ms"
+                    )
+                remaining = interval - (loop.time() - started)
+                if remaining > 0:
+                    await asyncio.sleep(remaining)
+        finally:
+            if writer is not None:
+                writer.close()

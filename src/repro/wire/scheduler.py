@@ -1,0 +1,80 @@
+"""The scheduler seam: one interface, two notions of time.
+
+Everything above this seam -- the DKF protocol, the filters, the
+resilience machinery, the observability stack -- is sans-IO and
+tick-denominated.  A :class:`Scheduler` decides what a tick *is*:
+
+* :class:`TickScheduler` is the seeded deterministic engine the repo has
+  always run: ticks are loop iterations, time is a counter, and a run is
+  bit-identical for a given seed.  It delegates to
+  :class:`~repro.dsms.engine.StreamEngine` unchanged -- chaos drills and
+  replay comparisons keep their byte-identity guarantees.
+* :class:`~repro.wire.runtime.AsyncRuntime` maps ticks onto wall-clock
+  time on an asyncio event loop, with sources and the server exchanging
+  real UDP datagrams and queries arriving over real TCP.  Timeouts,
+  heartbeats and liveness deadlines keep their tick denominations; the
+  runtime's ``tick_seconds`` factor makes them real durations.
+
+Both satisfy the same small contract: a ``backend`` label, a blocking
+:meth:`Scheduler.run` that executes the configured horizon, and a
+:meth:`Scheduler.report` summarising what happened, so harnesses and the
+CLI can hold either without caring which clock is underneath.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["Scheduler", "TickScheduler"]
+
+
+class Scheduler(abc.ABC):
+    """Executes a configured run horizon under some notion of time.
+
+    Attributes:
+        backend: Human-readable label for the time source
+            (``"tick"`` or ``"wall-clock"``).
+    """
+
+    backend: str = "abstract"
+
+    @abc.abstractmethod
+    def run(self) -> int:
+        """Execute the configured horizon; returns ticks executed."""
+
+    @abc.abstractmethod
+    def report(self) -> dict[str, object]:
+        """JSON-ready summary of the completed run."""
+
+
+class TickScheduler(Scheduler):
+    """The deterministic backend: a thin shim over ``StreamEngine``.
+
+    The engine is held, not wrapped -- no step logic is duplicated here,
+    so the simulated-time semantics (and their byte-identity under a
+    seed) are exactly the engine's own.
+
+    Args:
+        engine: A fully configured :class:`~repro.dsms.engine.
+            StreamEngine` (sources added, faults scheduled).
+        max_ticks: Horizon passed to :meth:`StreamEngine.run`; None runs
+            until every stream is exhausted.
+    """
+
+    backend = "tick"
+
+    def __init__(self, engine, max_ticks: int | None = None) -> None:
+        self.engine = engine
+        self.max_ticks = max_ticks
+        self.ticks_run = 0
+
+    def run(self) -> int:
+        """Run the engine to its horizon; returns ticks executed."""
+        self.ticks_run = self.engine.run(self.max_ticks)
+        return self.ticks_run
+
+    def report(self) -> dict[str, object]:
+        """The engine's own report, tagged with the backend label."""
+        out = dict(self.engine.report().to_dict())
+        out["backend"] = self.backend
+        return out

@@ -1,0 +1,263 @@
+"""The UDP-facing server half of the wire runtime.
+
+A :class:`WireServer` wraps the sans-IO :class:`~repro.dkf.server.
+DKFServer` (tolerant mode, ack outbox on) with the real-socket plumbing:
+a batch-draining UDP receiver feeding a :class:`~repro.resilience.
+supervisor.BoundedInbox`, a per-tick decode/apply budget, ack datagrams
+flowing back to each source's last seen address, and socket-level
+backpressure -- the inbox depth feeds the PR-3
+:class:`~repro.resilience.supervisor.OverloadController` exactly the way
+the tick engine's drain loop does, and the resulting δ-scale changes are
+handed to the runtime's control-plane callback (in the soak harness the
+fleet is co-located, so the callback applies them directly; a deployed
+fleet would receive them out-of-band).
+
+The receive callback does nothing but enqueue: decode, filter updates
+and ack emission all run on the runtime's tick budget, chunked with
+event-loop yields so the TCP query API keeps answering while a burst
+drains.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+from collections.abc import Callable
+
+from repro.dkf.config import DKFConfig, TransportPolicy
+from repro.dkf.protocol import (
+    build_source_index,
+    decode_message,
+    encode_message,
+)
+from repro.dkf.server import DKFServer
+from repro.errors import ConfigurationError, CorruptMessageError
+from repro.obs.telemetry import NULL_TELEMETRY
+from repro.resilience.supervisor import (
+    BoundedInbox,
+    OverloadController,
+    OverloadPolicy,
+)
+from repro.wire.config import WireConfig
+from repro.wire.datagram import (
+    BatchDatagramReceiver,
+    WireCounters,
+    open_udp_socket,
+)
+
+__all__ = ["WireServer"]
+
+#: Frames decoded between event-loop yields while draining a tick.
+_DECODE_CHUNK = 500
+
+
+class WireServer:
+    """Datagram front-end over a tolerant :class:`DKFServer`.
+
+    Args:
+        config: The wire runtime configuration.
+        telemetry: Observability handle (wire counters, inbox gauge).
+        watchdog: Optional divergence watchdog; when given, the query
+            layer reads its quarantine rung.
+        on_scales: Control-plane callback invoked with the overload
+            controller's ``{source_id: delta_scale}`` changes.
+        dkf_telemetry: Telemetry handle for the *inner* DKF server.
+            Defaults to the null handle, deliberately separate from the
+            wire-level ``telemetry``: the DKF server labels its apply
+            counters per source, which at soak scale (100k sources)
+            means 100k+ instruments each sampled into history every
+            tick.  The wire layer's own counters are label-free and
+            stay cheap at any fleet size; pass a real handle here only
+            for small fleets where per-source detail is worth it.
+    """
+
+    def __init__(
+        self,
+        config: WireConfig,
+        telemetry=None,
+        watchdog=None,
+        on_scales: Callable[[dict[str, float]], None] | None = None,
+        dkf_telemetry=None,
+    ) -> None:
+        self._config = config
+        self._tel = telemetry or NULL_TELEMETRY
+        self.dkf = DKFServer(
+            strict=False,
+            emit_acks=True,
+            telemetry=dkf_telemetry or NULL_TELEMETRY,
+        )
+        self.watchdog = watchdog
+        self._on_scales = on_scales
+        self.counters = WireCounters()
+        self._inbox = BoundedInbox(config.inbox_capacity)
+        self._overload = OverloadController(
+            OverloadPolicy(
+                inbox_capacity=config.inbox_capacity,
+                drain_per_tick=config.drain_per_tick,
+            ),
+            telemetry=self._tel,
+        )
+        self._index: dict[int, str] = {}
+        self._addrs: dict[str, tuple] = {}
+        self._state_dim = config.state_dim
+        self._sock: socket.socket | None = None
+        self._receiver: BatchDatagramReceiver | None = None
+
+    # Lifecycle ------------------------------------------------------------
+
+    def open(self, loop) -> tuple[str, int]:
+        """Bind the UDP socket and install the batch receiver.
+
+        Returns the bound ``(host, port)`` (useful with port 0).
+        """
+        if self._sock is not None:
+            raise ConfigurationError("wire server is already open")
+        self._sock = open_udp_socket(
+            self._config.host,
+            self._config.udp_port,
+            self._config.socket_buffer_bytes,
+        )
+        self._receiver = BatchDatagramReceiver(
+            self._sock,
+            self._on_datagram,
+            counters=self.counters,
+            chunk=self._config.recv_chunk,
+        )
+        self._receiver.install(loop)
+        return self._sock.getsockname()
+
+    def close(self) -> None:
+        """Remove the reader and close the socket."""
+        if self._receiver is not None:
+            self._receiver.close()
+            self._receiver = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """The bound UDP address (raises before :meth:`open`)."""
+        if self._sock is None:
+            raise ConfigurationError("wire server is not open")
+        return self._sock.getsockname()
+
+    @property
+    def inbox_depth(self) -> int:
+        """Datagrams queued and not yet decoded."""
+        return self._inbox.depth
+
+    @property
+    def overload(self) -> OverloadController:
+        """The backpressure controller (live object)."""
+        return self._overload
+
+    # Registration ---------------------------------------------------------
+
+    def register(
+        self,
+        source_id: str,
+        config: DKFConfig,
+        transport: TransportPolicy | None = None,
+        priority: int = 0,
+    ) -> None:
+        """Install one source: filter slot, hash index, shed tracking."""
+        self.dkf.register(source_id, config, transport)
+        self._overload.register(source_id, priority, config.min_delta)
+        self._index = build_source_index(self.dkf.source_ids)
+        if self.watchdog is not None:
+            self.watchdog.register(source_id)
+
+    def register_fleet(
+        self,
+        source_ids,
+        config: DKFConfig,
+        transport: TransportPolicy | None = None,
+    ) -> None:
+        """Bulk registration; rebuilds the hash index once at the end."""
+        for source_id in source_ids:
+            self.dkf.register(source_id, config, transport)
+            self._overload.register(source_id, 0, config.min_delta)
+            if self.watchdog is not None:
+                self.watchdog.register(source_id)
+        self._index = build_source_index(self.dkf.source_ids)
+
+    # Receive path ---------------------------------------------------------
+
+    def _on_datagram(self, data: bytes, addr: tuple) -> None:
+        """Reader callback: enqueue only (decode runs on the tick budget)."""
+        if not self._inbox.offer((data, addr)):
+            self.counters.inbox_dropped += 1
+
+    async def process_tick(self, tick: int) -> int:
+        """One runtime tick of server work; returns frames processed.
+
+        Advances the liveness clock, decodes up to ``drain_per_tick``
+        queued datagrams (yielding to the event loop between chunks so
+        queries interleave), flushes the ack outbox after every chunk,
+        and feeds the inbox depth into the overload controller.
+        """
+        self.dkf.advance_clock(tick)
+        budget = self._config.drain_per_tick
+        processed = 0
+        while budget > 0:
+            batch = self._inbox.drain(min(budget, _DECODE_CHUNK))
+            if not batch:
+                break
+            for data, addr in batch:
+                self._apply_datagram(data, addr)
+            processed += len(batch)
+            budget -= len(batch)
+            self._flush_acks()
+            await asyncio.sleep(0)
+        self._flush_acks()
+        depth = self._inbox.depth
+        if self._tel.enabled:
+            self._tel.gauge("inbox_depth", depth)
+        changes = self._overload.step(tick, depth)
+        if changes and self._on_scales is not None:
+            self._on_scales(changes)
+        return processed
+
+    def _apply_datagram(self, data: bytes, addr: tuple) -> None:
+        counters = self.counters
+        try:
+            message = decode_message(
+                data, self._index, state_dim=self._state_dim
+            )
+        except CorruptMessageError:
+            counters.frames_corrupt += 1
+            if self._tel.enabled:
+                self._tel.count("wire_frames_corrupt_total")
+            return
+        except (ConfigurationError, ValueError, struct.error):
+            counters.frames_unknown += 1
+            if self._tel.enabled:
+                self._tel.count("wire_frames_unknown_total")
+            return
+        counters.frames_decoded += 1
+        if self._tel.enabled:
+            self._tel.count("wire_frames_decoded_total")
+        self._addrs[message.source_id] = addr
+        self.dkf.receive(message)
+
+    def _flush_acks(self) -> None:
+        """Encode and send every queued ack to its source's last address."""
+        acks = self.dkf.take_outbox()
+        if not acks or self._sock is None:
+            return
+        counters = self.counters
+        sendto = self._sock.sendto
+        for ack in acks:
+            addr = self._addrs.get(ack.source_id)
+            if addr is None:
+                continue
+            payload = encode_message(ack)
+            try:
+                sendto(payload, addr)
+            except (BlockingIOError, OSError):
+                counters.send_failures += 1
+                continue
+            counters.datagrams_sent += 1
+            counters.bytes_sent += len(payload)

@@ -1,0 +1,88 @@
+"""Time-unit labelling: tick-denominated metrics under a wall clock.
+
+The deterministic engine counts in ticks; the wire runtime counts in
+milliseconds on the *same* instruments.  The unit satellite threads an
+explicit denomination through three layers so nothing is misread:
+``MetricHistory.unit`` (exported in the snapshot ``history`` section),
+``Telemetry(time_unit=...)`` (inherited by a default history), and the
+per-sample ``unit=`` label on ``Telemetry.observe``.  The back-compat
+half of the contract matters just as much: tick-mode call sites omit
+the label entirely, so seeded snapshots stay byte-identical.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import Telemetry
+from repro.obs.exporters import build_snapshot
+from repro.obs.history import MetricHistory
+
+
+def test_history_unit_defaults_to_ticks():
+    history = MetricHistory()
+    assert history.unit == "ticks"
+    assert history.as_dict()["unit"] == "ticks"
+
+
+def test_history_unit_is_exported_in_snapshots():
+    telemetry = Telemetry(time_unit="ms")
+    telemetry.gauge("inbox_depth", 3.0)
+    telemetry.set_tick(250)
+    telemetry.sample_now()
+    snapshot = build_snapshot(telemetry, meta={})
+    assert snapshot["history"]["unit"] == "ms"
+    # The sampled "ticks" really are milliseconds of wall clock.
+    series = snapshot["history"]["series"]
+    depth = next(s for s in series if s["name"] == "inbox_depth")
+    assert 250 in depth["ticks"]
+
+
+def test_history_rejects_empty_unit():
+    with pytest.raises(ConfigurationError):
+        MetricHistory(unit="")
+
+
+def test_telemetry_time_unit_reaches_default_history():
+    assert Telemetry().time_unit == "ticks"
+    assert Telemetry().history.unit == "ticks"
+    assert Telemetry(time_unit="ms").history.unit == "ms"
+
+
+def test_explicit_history_wins_over_time_unit():
+    history = MetricHistory(unit="s")
+    telemetry = Telemetry(history=history, time_unit="ms")
+    assert telemetry.history.unit == "s"
+
+
+def test_observe_unit_label_separates_denominations():
+    telemetry = Telemetry(time_unit="ms")
+    telemetry.observe("staleness_at_answer_ticks", 1500.0, unit="ms")
+    labelled = telemetry.metrics.histogram(
+        "staleness_at_answer_ticks", {"unit": "ms"}
+    )
+    assert labelled.count == 1
+    # The labelled series is distinct from the bare tick-mode one.
+    bare = telemetry.metrics.histogram("staleness_at_answer_ticks")
+    assert bare.count == 0
+
+
+def test_observe_without_unit_is_unchanged():
+    # Tick-mode call sites must keep producing label-free series so
+    # existing seeded snapshots stay byte-identical.
+    telemetry = Telemetry()
+    telemetry.observe("staleness_at_answer_ticks", 4.0)
+    telemetry.set_tick(1)
+    telemetry.sample_now()
+    snapshot = build_snapshot(telemetry, meta={})
+    [histogram] = snapshot["histograms"]
+    assert histogram["name"] == "staleness_at_answer_ticks"
+    assert histogram["labels"] == {}
+
+
+def test_observe_unit_composes_with_source_label():
+    telemetry = Telemetry()
+    telemetry.observe("lag", 2.0, source_id="s1", unit="ms")
+    series = telemetry.metrics.histogram(
+        "lag", {"source": "s1", "unit": "ms"}
+    )
+    assert series.count == 1

@@ -1,0 +1,190 @@
+"""Wire-vs-fabric equivalence: real UDP must keep the fabric's books.
+
+The wire layer claims PROTOCOL.md §9 adds *nothing* to the codec: a
+datagram is one §5 frame, and corruption/discard accounting over real
+sockets matches the in-process :class:`~repro.dsms.network.
+NetworkFabric` exactly.  The property test here runs the same message
+sequence with the same deterministic corrupt schedule through both
+paths and requires the deliver/corrupt ledgers to agree bucket for
+bucket -- both sides derive the flipped bit from the same
+``crc32("corrupt:<index>")`` rule, so even the astronomically rare
+corrupted-frame-that-still-decodes case would land identically.
+"""
+
+import socket
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dkf.protocol import (
+    HeartbeatMessage,
+    UpdateMessage,
+    build_source_index,
+    decode_message,
+    encode_message,
+)
+from repro.dsms.network import LinkConfig, NetworkFabric
+from repro.errors import ConfigurationError, CorruptMessageError
+from repro.wire.datagram import (
+    MAX_DATAGRAM_BYTES,
+    WireCounters,
+    corrupt_datagram,
+    open_udp_socket,
+)
+from repro.wire.fleet import collision_free_ids
+
+SOURCE = "s0"
+
+
+def _messages(values):
+    return [
+        UpdateMessage(
+            source_id=SOURCE, seq=i, k=i, value=np.array([v])
+        )
+        for i, v in enumerate(values)
+    ]
+
+
+def _fabric_books(messages, corrupt_set):
+    """Offer the sequence through the in-process fabric; return books."""
+    delivered = []
+    fabric = NetworkFabric(deliver=delivered.append)
+    fabric.add_link(
+        SOURCE,
+        LinkConfig(corrupt_fn=lambda index: index in corrupt_set),
+    )
+    for message in messages:
+        fabric.send(message)
+    fabric.drain(force=True)
+    stats = fabric.stats_for(SOURCE)
+    return delivered, stats.corrupted
+
+
+def _wire_books(messages, corrupt_set):
+    """Send the same frames over real localhost UDP; return books."""
+    receiver = open_udp_socket("127.0.0.1", 0)
+    sender = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    receiver.settimeout(2.0)
+    try:
+        addr = receiver.getsockname()
+        for index, message in enumerate(messages):
+            payload = encode_message(message)
+            if index in corrupt_set:
+                payload = corrupt_datagram(payload, index)
+            sender.sendto(payload, addr)
+        delivered = []
+        corrupt = 0
+        index = build_source_index([SOURCE])
+        for _ in messages:
+            data, _ = receiver.recvfrom(MAX_DATAGRAM_BYTES + 1)
+            try:
+                delivered.append(
+                    decode_message(data, index, state_dim=1)
+                )
+            except CorruptMessageError:
+                corrupt += 1
+        return delivered, corrupt
+    finally:
+        sender.close()
+        receiver.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    ),
+    corrupt_data=st.data(),
+)
+def test_udp_roundtrip_matches_fabric_accounting(values, corrupt_data):
+    """Same frames, same corrupt schedule: fabric and wire books agree."""
+    messages = _messages(values)
+    corrupt_set = corrupt_data.draw(
+        st.sets(
+            st.integers(min_value=0, max_value=len(messages) - 1),
+            max_size=len(messages),
+        )
+    )
+    fabric_delivered, fabric_corrupt = _fabric_books(
+        messages, corrupt_set
+    )
+    wire_delivered, wire_corrupt = _wire_books(messages, corrupt_set)
+    assert wire_corrupt == fabric_corrupt
+    assert len(wire_delivered) == len(fabric_delivered)
+    for ours, theirs in zip(wire_delivered, fabric_delivered):
+        assert ours.source_id == theirs.source_id
+        assert ours.seq == theirs.seq
+        assert np.array_equal(ours.value, theirs.value)
+
+
+def test_corrupt_datagram_always_trips_crc():
+    """A single flipped bit can never survive the CRC-32 trailer."""
+    message = HeartbeatMessage(source_id=SOURCE, seq=3, k=9)
+    payload = encode_message(message)
+    for index in range(64):
+        flipped = corrupt_datagram(payload, index)
+        with pytest.raises(CorruptMessageError):
+            decode_message(flipped, [SOURCE], state_dim=1)
+
+
+def test_counters_conservation_accounting():
+    counters = WireCounters(
+        datagrams_received=10,
+        frames_decoded=6,
+        frames_corrupt=2,
+        frames_unknown=1,
+        inbox_dropped=1,
+    )
+    assert counters.conservation_holds()
+    counters.frames_decoded += 5  # more accounted than received
+    assert not counters.conservation_holds()
+
+
+def test_collision_free_ids_are_unique_and_stable():
+    import zlib
+
+    ids_a = collision_free_ids(5000)
+    ids_b = collision_free_ids(5000)
+    assert ids_a == ids_b
+    hashes = {zlib.crc32(s.encode()) for s in ids_a}
+    assert len(hashes) == len(ids_a)
+
+
+def test_oversize_datagrams_are_counted_not_decoded():
+    received = []
+    counters = WireCounters()
+    receiver = open_udp_socket("127.0.0.1", 0)
+    sender = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    receiver.settimeout(2.0)
+    try:
+        addr = receiver.getsockname()
+        sender.sendto(b"x" * (MAX_DATAGRAM_BYTES + 1), addr)
+        data, _ = receiver.recvfrom(MAX_DATAGRAM_BYTES + 1)
+        counters.datagrams_received += 1
+        counters.bytes_received += len(data)
+        if len(data) > MAX_DATAGRAM_BYTES:
+            counters.frames_oversize += 1
+        else:
+            received.append(data)
+    finally:
+        sender.close()
+        receiver.close()
+    assert counters.frames_oversize == 1
+    assert not received
+
+
+def test_open_udp_socket_rejects_bad_host():
+    with pytest.raises(OSError):
+        open_udp_socket("256.256.256.256", 0)
+
+
+def test_lite_fleet_rejects_multidim_state():
+    from repro.wire import LiteFleet, WireConfig
+
+    config = WireConfig(sources=4, ticks=4, ramp_ticks=2, state_dim=2)
+    with pytest.raises(ConfigurationError):
+        LiteFleet(config)

@@ -1,0 +1,160 @@
+"""The TCP query API: dispatch semantics and a live socket round trip.
+
+Most cases drive :meth:`QueryServer.dispatch_line` directly -- the
+protocol is line-in, JSON-out, so the dispatch table is testable
+without a socket.  One test runs the full stack: a real listener, a
+real client connection, malformed lines mixed with good ones, and the
+staleness/quarantine honesty flags served over the wire.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro.dkf.config import DKFConfig
+from repro.dkf.protocol import UpdateMessage
+from repro.filters.models import constant_model
+from repro.resilience import DivergenceWatchdog, WatchdogPolicy
+from repro.wire.config import WireConfig
+from repro.wire.query import QueryServer, query_line
+from repro.wire.server import WireServer
+
+SOURCE = "s0"
+
+
+def _served_server(watchdog=None):
+    config = WireConfig(
+        sources=1, ticks=8, ramp_ticks=1, tick_seconds=0.5
+    )
+    server = WireServer(config, watchdog=watchdog)
+    dkf_config = DKFConfig(model=constant_model(dims=1), delta=1.0)
+    server.register(SOURCE, dkf_config)
+    return config, server
+
+
+def _prime(server, value=4.0, k=1):
+    server.dkf.receive(
+        UpdateMessage(
+            source_id=SOURCE, seq=0, k=k, value=np.array([value])
+        )
+    )
+    server.dkf.take_outbox()
+
+
+def test_dispatch_answer_carries_honesty_flags():
+    config, server = _served_server()
+    query = QueryServer(server, config)
+    before = query.dispatch_line(
+        json.dumps({"op": "answer", "source_id": SOURCE}).encode()
+    )
+    assert before["primed"] is False
+    assert before["degraded"] is True
+    assert "value" not in before
+
+    _prime(server, value=4.0, k=1)
+    server.dkf.advance_clock(3)
+    after = query.dispatch_line(
+        json.dumps({"op": "answer", "source_id": SOURCE}).encode()
+    )
+    assert after["primed"] is True
+    assert after["value"] == [4.0]
+    # Contact landed at clock 0; 3 ticks of silence at 0.5 s/tick.
+    assert after["staleness_ms"] == 1500.0
+    assert after["suspect"] is False
+    assert after["quarantined"] is False
+    assert after["confidence"] > 0
+
+
+def test_dispatch_quarantine_flag_reads_watchdog():
+    watchdog = DivergenceWatchdog(WatchdogPolicy())
+    config, server = _served_server(watchdog=watchdog)
+    watchdog.register(SOURCE)
+    _prime(server)
+    query = QueryServer(server, config)
+    # Walk the escalation ladder to the quarantine rung: resync ->
+    # reprime -> quarantine, one rung per elapsed grace window.
+    grace = watchdog.policy.escalation_grace_ticks
+    tick = 1
+    while not watchdog.is_quarantined(SOURCE):
+        watchdog.apply_faults(SOURCE, tick, ["nis_spike"])
+        tick += grace
+        assert tick < 100, "watchdog never reached quarantine"
+    out = query.dispatch_line(
+        json.dumps({"op": "answer", "source_id": SOURCE}).encode()
+    )
+    assert out["quarantined"] is True
+
+
+def test_dispatch_forecast_and_stats():
+    config, server = _served_server()
+    _prime(server, value=7.5)
+    query = QueryServer(server, config)
+    forecast = query.dispatch_line(
+        json.dumps(
+            {"op": "forecast", "source_id": SOURCE, "steps": 3}
+        ).encode()
+    )
+    assert forecast["steps"] == 3
+    assert len(forecast["forecast"]) == 3
+    # Constant model: the forecast holds the last estimate.
+    assert all(
+        abs(row[0] - 7.5) < 1.0 for row in forecast["forecast"]
+    )
+    stats = query.dispatch_line(b'{"op": "stats"}')
+    assert stats["queries_served"] >= 1
+    assert "wire" in stats and "inbox_depth" in stats
+
+
+def test_dispatch_rejects_garbage_without_dropping_state():
+    config, server = _served_server()
+    query = QueryServer(server, config)
+    assert "error" in query.dispatch_line(b"not json at all")
+    assert "error" in query.dispatch_line(b"[1, 2, 3]")
+    assert "error" in query.dispatch_line(b'{"op": "warp"}')
+    assert "error" in query.dispatch_line(b'{"op": "answer"}')
+    assert "error" in query.dispatch_line(
+        b'{"op": "answer", "source_id": "nope"}'
+    )
+    assert "error" in query.dispatch_line(
+        b'{"op": "forecast", "source_id": "s0", "steps": 0}'
+    )
+    assert "error" in query.dispatch_line(
+        b'{"op": "answers", "limit": -2}'
+    )
+    # The server still answers a good request afterwards.
+    assert query.dispatch_line(b'{"op": "ping"}')["ok"] is True
+
+
+def test_query_over_real_tcp_socket():
+    asyncio.run(_tcp_roundtrip())
+
+
+async def _tcp_roundtrip():
+    config, server = _served_server()
+    _prime(server, value=2.5)
+    query = QueryServer(server, config)
+    host, port = await query.start()
+    try:
+        pong = await query_line(host, port, {"op": "ping"})
+        assert pong["ok"] is True
+        answer = await query_line(
+            host, port, {"op": "answer", "source_id": SOURCE}
+        )
+        assert answer["value"] == [2.5]
+        # A malformed line on a persistent connection must not poison
+        # the next request.
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(b"garbage\n")
+            writer.write(b'{"op": "ping"}\n')
+            await writer.drain()
+            first = json.loads(await reader.readline())
+            second = json.loads(await reader.readline())
+            assert "error" in first
+            assert second["ok"] is True
+        finally:
+            writer.close()
+            await writer.wait_closed()
+    finally:
+        await query.close()

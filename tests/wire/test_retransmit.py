@@ -1,0 +1,108 @@
+"""Retransmission over a real ack timeout: loss heals through resync.
+
+The transport state machine is tick-denominated; under the wire runtime
+those ticks ride the wall clock.  This test drops a real source's first
+update on the floor (never transmitted), then drives the sans-IO
+stepper against a live :class:`~repro.wire.server.WireServer` over real
+UDP with short real sleeps standing in for tick intervals.  The ack
+deadline must expire in *wall time*, the resulting resync snapshot must
+prime the server, and the returning ack must settle the pending buffer.
+"""
+
+import asyncio
+
+import numpy as np
+
+from repro.dkf.config import DKFConfig, TransportPolicy
+from repro.dkf.protocol import (
+    AckMessage,
+    UpdateMessage,
+    build_source_index,
+    decode_message,
+    encode_message,
+)
+from repro.dkf.source import DKFSource
+from repro.dkf.stepper import SourceStepper
+from repro.filters.models import constant_model
+from repro.wire.config import WireConfig
+from repro.wire.datagram import open_udp_socket
+from repro.wire.server import WireServer
+
+SOURCE = "s0"
+TICK_SLEEP = 0.02
+
+
+def test_resync_after_real_ack_timeout():
+    asyncio.run(_drive())
+
+
+async def _drive():
+    loop = asyncio.get_running_loop()
+    wire_config = WireConfig(sources=1, ticks=12, ramp_ticks=1)
+    server = WireServer(wire_config)
+    transport = TransportPolicy(ack_timeout_ticks=2)
+    dkf_config = DKFConfig(model=constant_model(dims=1), delta=0.5)
+    stepper = SourceStepper(
+        DKFSource(SOURCE, dkf_config, transport)
+    )
+    client = open_udp_socket("127.0.0.1", 0)
+    index = build_source_index([SOURCE])
+    acks_seen = []
+
+    def on_ack_datagram():
+        while True:
+            try:
+                data, _ = client.recvfrom(4096)
+            except BlockingIOError:
+                return
+            message = decode_message(data, index, state_dim=1)
+            assert isinstance(message, AckMessage)
+            acks_seen.append(message)
+
+    try:
+        server_addr = server.open(loop)
+        server.register(SOURCE, dkf_config, transport)
+        loop.add_reader(client.fileno(), on_ack_datagram)
+
+        # Tick 1: the source cuts its priming update -- and the "wire"
+        # loses it (we simply never transmit the frame).
+        messages = stepper.step(1, np.array([10.0]))
+        assert len(messages) == 1
+        assert isinstance(messages[0], UpdateMessage)
+        assert stepper.source.pending_acks == 1
+        await server.process_tick(1)
+        assert not server.dkf.is_primed(SOURCE)
+
+        # Ticks 2..: transport maintenance against the wall clock.  The
+        # ack deadline (2 ticks) must lapse in real time and surface a
+        # resync snapshot, which we do deliver.
+        resync_tick = None
+        for tick in range(2, wire_config.ticks):
+            await asyncio.sleep(TICK_SLEEP)
+            for message in stepper.poll(tick):
+                client.sendto(encode_message(message), server_addr)
+                if resync_tick is None:
+                    resync_tick = tick
+            await server.process_tick(tick)
+            for ack in acks_seen:
+                stepper.on_ack(ack, tick)
+            acks_seen.clear()
+            if stepper.source.pending_acks == 0 and server.dkf.is_primed(
+                SOURCE
+            ):
+                break
+
+        assert resync_tick is not None, "ack timeout never fired"
+        # First retransmission obeys the configured deadline: not
+        # before send tick + ack_timeout_ticks.
+        assert resync_tick >= 1 + transport.ack_timeout_ticks
+        assert stepper.source.retransmits >= 1
+        assert server.dkf.is_primed(SOURCE)
+        assert stepper.source.pending_acks == 0
+        answer = server.dkf.value(SOURCE)
+        assert np.allclose(answer, [10.0])
+        assert server.counters.frames_decoded >= 1
+    finally:
+        loop.remove_reader(client.fileno())
+        client.close()
+        server.close()

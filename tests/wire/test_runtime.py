@@ -1,0 +1,139 @@
+"""The wall-clock runtime end to end, and the scheduler seam.
+
+A small :class:`~repro.wire.runtime.AsyncRuntime` run with each fleet
+flavour must finish its horizon over real sockets with the books
+balanced; the tick backend must satisfy the same
+:class:`~repro.wire.scheduler.Scheduler` contract by delegating to the
+unchanged engine.  Also covers the backpressure path end to end: a
+drain budget far below the offered load must trip the overload
+controller and widen δ on the fleet.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsms.engine import StreamEngine
+from repro.dsms.query import ContinuousQuery
+from repro.filters.models import constant_model
+from repro.obs import Telemetry
+from repro.streams.base import stream_from_values
+from repro.wire.config import WireConfig
+from repro.wire.fleet import LiteFleet, StepperFleet
+from repro.wire.runtime import AsyncRuntime
+from repro.wire.scheduler import Scheduler, TickScheduler
+
+
+def _small_config(**overrides) -> WireConfig:
+    defaults = dict(
+        sources=50,
+        ticks=14,
+        tick_seconds=0.03,
+        seed=11,
+        update_prob=0.3,
+        ramp_ticks=4,
+        heartbeat_interval_ticks=6,
+        query_rate=100.0,
+    )
+    defaults.update(overrides)
+    return WireConfig(**defaults)
+
+
+def test_async_runtime_lite_fleet_end_to_end():
+    config = _small_config()
+    telemetry = Telemetry(time_unit="ms")
+    runtime = AsyncRuntime(config, telemetry=telemetry)
+    assert runtime.run() == config.ticks
+
+    report = runtime.report()
+    assert report["backend"] == "wall-clock"
+    assert report["ticks"] == config.ticks
+    assert runtime.primed == config.sources
+    # Real datagrams crossed real sockets, and every received one is
+    # accounted for.
+    server = runtime.server.counters
+    fleet = runtime.fleet.counters
+    assert server.frames_decoded > 0
+    assert fleet.datagrams_sent >= server.datagrams_received
+    assert server.datagrams_received == (
+        server.frames_decoded
+        + server.frames_corrupt
+        + server.frames_unknown
+        + server.frames_oversize
+        + server.inbox_dropped
+        + runtime.server.inbox_depth
+    )
+    # Queries were served and timed.
+    assert report["queries"] > 0
+    assert report["query_p99_ms"] is not None
+    # The ms clock reached telemetry: history is ms-denominated and the
+    # final tick is of wall-clock magnitude, not a loop counter.
+    assert telemetry.history.unit == "ms"
+    assert telemetry.tick >= int(
+        config.ticks * config.tick_seconds * 1000 * 0.5
+    )
+
+
+def test_async_runtime_stepper_fleet_end_to_end():
+    config = _small_config(sources=12, ticks=10, update_prob=0.05)
+    runtime = AsyncRuntime(config, fleet=StepperFleet(config))
+    runtime.run()
+    assert runtime.primed == config.sources
+    # Real endpoints acked: the sources' pending buffers settled.
+    fleet = runtime.fleet
+    assert fleet.acks_received > 0
+    pending = sum(
+        s.source.pending_acks for s in fleet._steppers
+    )
+    assert pending == 0
+
+
+def test_backpressure_widens_delta_on_fleet():
+    # Drain budget of 1 frame per tick against 50 eager sources: the
+    # inbox must climb past the watermark and the overload controller
+    # must widen δ on the (co-located) fleet via on_scales.
+    config = _small_config(
+        update_prob=1.0,
+        drain_per_tick=1,
+        inbox_capacity=8,
+        query_rate=0.0,
+        corrupt_rate=0.0,
+    )
+    fleet = LiteFleet(config)
+    runtime = AsyncRuntime(config, fleet=fleet)
+    runtime.run()
+    assert np.any(fleet.delta_scale > 1.0), "no δ-widening applied"
+    assert runtime.server.counters.inbox_dropped > 0
+    # Tail-dropped datagrams are still conserved in the books.
+    server = runtime.server.counters
+    assert server.datagrams_received == (
+        server.frames_decoded
+        + server.frames_corrupt
+        + server.frames_unknown
+        + server.frames_oversize
+        + server.inbox_dropped
+        + runtime.server.inbox_depth
+    )
+
+
+def test_tick_scheduler_delegates_to_engine_unchanged():
+    engine = StreamEngine()
+    rng = np.random.default_rng(5)
+    engine.add_source(
+        "s0",
+        constant_model(dims=1),
+        stream_from_values(rng.normal(0, 1, 40)),
+    )
+    engine.submit_query(ContinuousQuery("s0", delta=1.0, query_id="q"))
+    scheduler = TickScheduler(engine, max_ticks=40)
+    assert isinstance(scheduler, Scheduler)
+    assert scheduler.backend == "tick"
+    assert scheduler.run() == 40
+    report = scheduler.report()
+    assert report["backend"] == "tick"
+    assert report["ticks"] == 40
+    assert report["readings"] == 40
+
+
+def test_scheduler_is_abstract():
+    with pytest.raises(TypeError):
+        Scheduler()

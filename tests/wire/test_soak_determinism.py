@@ -1,0 +1,99 @@
+"""The soak harness determinism contract, mirroring ``repro chaos``.
+
+Wall-clock latency is inherently non-reproducible, so the summary is
+split: the ``workload`` section (who sends what, when, with which
+corrupt flips) must be byte-identical across same-seed runs, while the
+``measured`` section may vary.  Two runs with the same config must
+agree on every workload field and on the digest; a different seed must
+produce a different digest.  Gates and conservation are also checked
+here on a small run so CI exercises the full summary path.
+"""
+
+import json
+import math
+
+from repro.wire.config import WireConfig
+from repro.wire.soak import SOAK_SCHEMA, run_soak
+
+
+def _config(seed=7, **overrides) -> WireConfig:
+    defaults = dict(
+        sources=120,
+        ticks=16,
+        tick_seconds=0.02,
+        seed=seed,
+        update_prob=0.25,
+        corrupt_rate=0.01,
+        ramp_ticks=4,
+        heartbeat_interval_ticks=6,
+        query_rate=50.0,
+    )
+    defaults.update(overrides)
+    return WireConfig(**defaults)
+
+
+def test_same_seed_same_workload(tmp_path):
+    out_a = tmp_path / "a.json"
+    out_b = tmp_path / "b.json"
+    summary_a = run_soak(_config(), out=out_a)
+    summary_b = run_soak(_config(), out=out_b)
+
+    assert summary_a["schema"] == SOAK_SCHEMA
+    # The deterministic half is identical, byte for byte.
+    assert summary_a["workload"] == summary_b["workload"]
+    assert (
+        summary_a["workload"]["digest"] == summary_b["workload"]["digest"]
+    )
+    # And round trips through the JSON artifact unchanged.
+    on_disk = json.loads(out_a.read_text())
+    assert on_disk["workload"] == summary_a["workload"]
+
+
+def test_different_seed_different_workload():
+    digest_a = run_soak(_config(seed=7))["workload"]["digest"]
+    digest_b = run_soak(_config(seed=8))["workload"]["digest"]
+    assert digest_a != digest_b
+
+
+def test_small_soak_passes_all_gates(tmp_path):
+    bench_out = tmp_path / "BENCH_wire.json"
+    summary = run_soak(_config(), bench_out=bench_out)
+
+    gates = summary["gates"]
+    assert gates["conservation_ok"], summary["wire"]
+    assert gates["primed_ok"], summary["measured"]
+    assert gates["query_p99_ok"]
+    assert gates["ok"]
+
+    measured = summary["measured"]
+    assert measured["primed"] == 120
+    floor = math.ceil(0.99 * 120)
+    assert measured["primed"] >= floor
+
+    # The bench snapshot exports the gated latency metrics.
+    snapshot = json.loads(bench_out.read_text())
+    assert snapshot["meta"]["bench"] == "wire"
+    assert snapshot["meta"]["sources"] == 120
+    names = {m["name"] for m in snapshot["gauges"]}
+    assert "wire_query_p99_ms" in names
+    assert "wire_query_p50_ms" in names
+    assert "wire_tick_overruns" in names
+
+
+def test_workload_fields_cover_every_knob_that_shapes_traffic():
+    # If a new config knob changes the offered traffic but is left out
+    # of workload_fields(), same-"workload" claims silently weaken.
+    fields = _config().workload_fields()
+    for knob in (
+        "sources",
+        "ticks",
+        "seed",
+        "update_prob",
+        "corrupt_rate",
+        "ramp_ticks",
+        "heartbeat_interval_ticks",
+        "ack_timeout_ticks",
+        "state_dim",
+        "delta",
+    ):
+        assert knob in fields, knob
