@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench soak figures examples clean
+.PHONY: install test bench soak wire-chaos figures examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,6 +18,13 @@ bench:
 soak:
 	$(PYTHON) -m repro wire --soak --sources 5000 \
 		--out soak.json --bench-out BENCH_wire.json
+
+# The chaos drill: seeded socket-level faults, adversarial fuzzing, a
+# mid-run rebind/stall and the zero-loss drain/restart, all gated.
+wire-chaos:
+	$(PYTHON) -m repro wire --chaos --seed 7 \
+		--out chaos-summary.json --chaos-report chaos-report.json \
+		--bench-out BENCH_wire_chaos.json
 
 figures:
 	$(PYTHON) -m repro.experiments.export figures-out/

@@ -329,8 +329,17 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of the lite fleet",
     )
     wire.add_argument(
+        "--chaos",
+        action="store_true",
+        help="chaos-hardened run: seeded socket-level fault injection "
+        "(loss, corruption, duplication, reorder, delay, partition), "
+        "adversarial fuzz barrage, mid-run rebind, stall injection and "
+        "a zero-loss drain/hot-restart drill",
+    )
+    wire.add_argument(
         "--sources", type=int, default=None,
-        help="fleet size (default: 5000 for --soak, 64 for --demo)",
+        help="fleet size (default: 5000 for --soak, 64 for --demo, "
+        "256 for --chaos)",
     )
     wire.add_argument(
         "--ticks", type=int, default=None,
@@ -364,6 +373,11 @@ def build_parser() -> argparse.ArgumentParser:
     wire.add_argument(
         "--bench-out", default=None,
         help="write a repro.obs bench snapshot (BENCH_wire.json) here",
+    )
+    wire.add_argument(
+        "--chaos-report", default=None,
+        help="(--chaos only) write the deterministic chaos report here; "
+        "byte-identical across same-seed runs",
     )
 
     benchdiff = sub.add_parser(
@@ -1308,15 +1322,18 @@ def _run_slo(args: argparse.Namespace) -> int:
 
 
 def _run_wire(args: argparse.Namespace) -> int:
-    from repro.wire import WireConfig, run_soak
+    from repro.wire import WireConfig, run_chaos, run_soak
 
-    demo = args.demo and not args.soak
+    demo = args.demo and not args.soak and not args.chaos
+    chaos = args.chaos
     sources = args.sources if args.sources is not None else (
-        64 if demo else 5000
+        256 if chaos else 64 if demo else 5000
     )
-    ticks = args.ticks if args.ticks is not None else (40 if demo else 120)
+    ticks = args.ticks if args.ticks is not None else (
+        30 if chaos else 40 if demo else 120
+    )
     tick_seconds = args.tick_seconds if args.tick_seconds is not None else (
-        0.1 if demo else 0.25
+        0.2 if chaos else 0.1 if demo else 0.25
     )
     config = WireConfig(
         sources=sources,
@@ -1329,7 +1346,14 @@ def _run_wire(args: argparse.Namespace) -> int:
         query_rate=args.query_rate,
         query_p99_gate_ms=args.p99_gate_ms,
         heartbeat_interval_ticks=min(50, max(2, ticks // 2)),
+        # The chaos run's slow-loris drill must see the idle deadline
+        # expire inside the run's teardown window.
+        query_idle_timeout_s=(
+            max(1.0, 4 * tick_seconds) if chaos else 30.0
+        ),
     )
+    if chaos:
+        return _run_wire_chaos(args, config, run_chaos)
     summary = run_soak(
         config,
         fleet_kind="stepper" if demo else "lite",
@@ -1375,6 +1399,71 @@ def _run_wire(args: argparse.Namespace) -> int:
     return 0 if gates["ok"] else 1
 
 
+def _run_wire_chaos(
+    args: argparse.Namespace, config, run_chaos
+) -> int:
+    """The ``repro wire --chaos`` branch: seeded hostility, hard gates."""
+    summary = run_chaos(
+        config,
+        out=args.out,
+        report_out=args.chaos_report,
+        bench_out=args.bench_out,
+    )
+    measured = summary["measured"]
+    wire = summary["wire"]
+    chaos = summary["chaos"]
+    gates = summary["gates"]
+    print(
+        f"wire chaos: {config.sources} sources, "
+        f"{measured['ticks']} ticks x {config.tick_seconds:g}s "
+        f"({measured['wall_seconds']:.1f}s wall, seed {config.seed})"
+    )
+    data = chaos["data_shaper"]
+    print(
+        f"  data shaper: {data.get('offered', 0)} offered, "
+        f"{data.get('dropped', 0)} dropped, "
+        f"{data.get('partition_dropped', 0)} partitioned, "
+        f"{data.get('corrupted', 0)} corrupted, "
+        f"{data.get('duplicated', 0)} duplicated, "
+        f"{data.get('reordered', 0)} reordered, "
+        f"{data.get('delayed', 0)} delayed"
+    )
+    rejections = wire["rejections"]
+    rejected = ", ".join(
+        f"{reason}={count}" for reason, count in rejections.items()
+    )
+    print(
+        f"  fuzz: {chaos['fuzz_datagrams']} datagrams + "
+        f"{chaos['fuzz_lines']} lines; poison ledger: "
+        f"{rejected if rejected else 'empty'}"
+    )
+    drill = chaos["drill"]
+    if drill:
+        print(
+            f"  drill: drained at tick {drill.get('drain_tick')}, "
+            f"restarted, bit_identical={drill.get('bit_identical')}, "
+            f"acked_updates_lost={drill.get('acked_updates_lost')}"
+        )
+    p99 = measured["query_p99_ms"]
+    print(
+        f"  primed {measured['primed']}/{config.sources}, "
+        f"queries {measured['queries']}, "
+        f"p99 {p99 if p99 is not None else '-'} ms "
+        f"(gate {config.query_p99_gate_ms:g} ms)"
+    )
+    for name in sorted(gates):
+        if name == "ok":
+            continue
+        print(f"  gate {name}: {'pass' if gates[name] else 'FAIL'}")
+    if args.out:
+        print(f"summary written to {args.out}")
+    if args.chaos_report:
+        print(f"chaos report written to {args.chaos_report}")
+    if args.bench_out:
+        print(f"bench snapshot written to {args.bench_out}")
+    return 0 if gates["ok"] else 1
+
+
 #: Bench gauges gated by ``repro benchdiff``; regression direction per name.
 _BENCH_LOWER_IS_BETTER = (
     "engine_run_seconds",
@@ -1387,8 +1476,9 @@ _BENCH_LOWER_IS_BETTER = (
     "wire_query_p99_ms",
     "wire_query_p50_ms",
     "wire_tick_overruns",
+    "wire_chaos_query_p99_ms",
 )
-_BENCH_HIGHER_IS_BETTER = ("batch_speedup_x",)
+_BENCH_HIGHER_IS_BETTER = ("batch_speedup_x", "wire_chaos_primed_pct")
 
 
 def _run_benchdiff(args: argparse.Namespace) -> int:

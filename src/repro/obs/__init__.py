@@ -50,6 +50,7 @@ from repro.obs.exporters import (
 from repro.obs.health import (
     DEFAULT_WATCHERS,
     FEDERATION_WATCHERS,
+    WIRE_WATCHERS,
     HealthMonitor,
     HealthWatcher,
     WatcherSpec,
@@ -97,6 +98,7 @@ __all__ = [
     "HealthMonitor",
     "DEFAULT_WATCHERS",
     "FEDERATION_WATCHERS",
+    "WIRE_WATCHERS",
     "SLORule",
     "SLOAlert",
     "SLOEngine",

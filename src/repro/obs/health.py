@@ -41,6 +41,7 @@ __all__ = [
     "HealthMonitor",
     "DEFAULT_WATCHERS",
     "FEDERATION_WATCHERS",
+    "WIRE_WATCHERS",
 ]
 
 
@@ -243,6 +244,21 @@ FEDERATION_WATCHERS: tuple[WatcherSpec, ...] = (
     ),
 )
 
+#: Extra watchers for the real-wire runtime (ms-clock telemetry).
+#: ``loop_lag`` consumes the StallWatchdog's gauge -- an event-loop
+#: stall shows up here as a step anomaly even below the hard ``wire.
+#: stall`` budget; ``query_latency`` watches the probe's round trips.
+WIRE_WATCHERS: tuple[WatcherSpec, ...] = (
+    WatcherSpec(
+        name="loop_lag", metric="wire_loop_lag_ms", signal="gauge_max",
+        q=0.5, r_floor=25.0,
+    ),
+    WatcherSpec(
+        name="query_latency", metric="wire_query_latency_ms",
+        signal="hist_mean", q=0.5, r_floor=25.0,
+    ),
+)
+
 
 class HealthMonitor:
     """The watcher set behind one telemetry handle.
@@ -269,6 +285,11 @@ class HealthMonitor:
         if federation:
             for spec in FEDERATION_WATCHERS:
                 self.watch(spec)
+
+    def install_wire_defaults(self) -> None:
+        """Install the wire-runtime watcher set (ms-clock signals)."""
+        for spec in WIRE_WATCHERS:
+            self.watch(spec)
 
     @property
     def watchers(self) -> dict[str, HealthWatcher]:

@@ -14,17 +14,26 @@ See ``docs/WIRE.md`` for the architecture and the 100k-source soak
 story.
 """
 
+from repro.wire.chaos import (
+    CHAOS_SCHEMA,
+    ChannelShaper,
+    ChaosCoordinator,
+    ChaosProfile,
+    FuzzBarrage,
+    run_chaos,
+)
 from repro.wire.config import WireConfig
 from repro.wire.datagram import (
     MAX_DATAGRAM_BYTES,
     BatchDatagramReceiver,
+    PoisonLedger,
     WireCounters,
     corrupt_datagram,
     open_udp_socket,
 )
 from repro.wire.fleet import LiteFleet, StepperFleet, collision_free_ids
 from repro.wire.query import QueryServer, query_line
-from repro.wire.runtime import AsyncRuntime
+from repro.wire.runtime import AsyncRuntime, StallWatchdog
 from repro.wire.scheduler import Scheduler, TickScheduler
 from repro.wire.server import WireServer
 from repro.wire.soak import SOAK_SCHEMA, run_soak
@@ -32,6 +41,7 @@ from repro.wire.soak import SOAK_SCHEMA, run_soak
 __all__ = [
     "WireConfig",
     "WireCounters",
+    "PoisonLedger",
     "MAX_DATAGRAM_BYTES",
     "BatchDatagramReceiver",
     "open_udp_socket",
@@ -45,6 +55,13 @@ __all__ = [
     "Scheduler",
     "TickScheduler",
     "AsyncRuntime",
+    "StallWatchdog",
     "SOAK_SCHEMA",
     "run_soak",
+    "CHAOS_SCHEMA",
+    "ChaosProfile",
+    "ChannelShaper",
+    "ChaosCoordinator",
+    "FuzzBarrage",
+    "run_chaos",
 ]

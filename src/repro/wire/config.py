@@ -53,6 +53,24 @@ class WireConfig:
             soak harness applies through the TCP API.
         query_p99_gate_ms: Soak gate -- the harness fails when the p99
             query latency exceeds this many milliseconds.
+        query_idle_timeout_s: Per-connection idle deadline on the query
+            port: a client that holds a connection open without
+            completing a request line for this long is disconnected (the
+            slow-loris guard).
+        query_max_connections: Hard cap on concurrently open query
+            connections; connections past the cap get one error line and
+            an immediate close instead of a handler task.
+        query_rate_limit_per_s: Per-peer token-bucket refill rate on the
+            query port (requests per second).  0 disables rate limiting.
+        query_rate_burst: Token-bucket capacity -- how many requests a
+            peer may burst before the refill rate governs.
+        max_future_ticks: Frames stamped more than this many ticks ahead
+            of the server clock are rejected as ``future_epoch`` poison
+            (a replayed-from-the-future or forged frame, not protocol).
+        stall_budget_ms: Event-loop lag past which the stall watchdog
+            emits ``wire.stall`` and escalates to the overload
+            controller.  None derives the budget from ``tick_seconds``
+            (one tick of lag is a missed tick).
         state_dim: Filter state dimension of the fleet's model.
         delta: Precision width installed on every simulated stream.
     """
@@ -75,6 +93,12 @@ class WireConfig:
     socket_buffer_bytes: int = 4 << 20
     query_rate: float = 50.0
     query_p99_gate_ms: float = 250.0
+    query_idle_timeout_s: float = 30.0
+    query_max_connections: int = 256
+    query_rate_limit_per_s: float = 0.0
+    query_rate_burst: float = 20.0
+    max_future_ticks: int = 10000
+    stall_budget_ms: float | None = None
     state_dim: int = 1
     delta: float = 2.0
 
@@ -103,6 +127,22 @@ class WireConfig:
             raise ConfigurationError("query_rate must not be negative")
         if self.query_p99_gate_ms <= 0:
             raise ConfigurationError("query_p99_gate_ms must be positive")
+        if self.query_idle_timeout_s <= 0:
+            raise ConfigurationError("query_idle_timeout_s must be positive")
+        if self.query_max_connections < 1:
+            raise ConfigurationError(
+                "query_max_connections must be at least 1"
+            )
+        if self.query_rate_limit_per_s < 0:
+            raise ConfigurationError(
+                "query_rate_limit_per_s must not be negative"
+            )
+        if self.query_rate_burst < 1:
+            raise ConfigurationError("query_rate_burst must be at least 1")
+        if self.max_future_ticks < 1:
+            raise ConfigurationError("max_future_ticks must be at least 1")
+        if self.stall_budget_ms is not None and self.stall_budget_ms <= 0:
+            raise ConfigurationError("stall_budget_ms must be positive")
 
     @property
     def tick_ms(self) -> float:

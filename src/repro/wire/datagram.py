@@ -24,6 +24,10 @@ on one box:
   a real payload so CRC rejection can be exercised over real sockets.
 * :class:`WireCounters` -- receiver-side traffic ledger with the exact
   conservation law the soak harness asserts.
+* :class:`PoisonLedger` -- the typed rejection ledger behind
+  ``frames_rejected_total{reason=...}`` (PROTOCOL.md §9): every datagram
+  or query line the runtime refuses lands here under a stable reason
+  label, so adversarial input is *observable*, never merely swallowed.
 """
 
 from __future__ import annotations
@@ -33,9 +37,12 @@ import zlib
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.obs.telemetry import NULL_TELEMETRY
+
 __all__ = [
     "MAX_DATAGRAM_BYTES",
     "WireCounters",
+    "PoisonLedger",
     "BatchDatagramReceiver",
     "open_udp_socket",
     "corrupt_datagram",
@@ -134,6 +141,42 @@ class WireCounters:
         }
 
 
+class PoisonLedger:
+    """Typed ledger of rejected input: ``frames_rejected_total{reason=}``.
+
+    One instance is shared by everything that refuses input -- the UDP
+    decode path, the TCP query parser, the connection-admission guards.
+    Each rejection lands under a stable, lowercase reason label (the
+    taxonomy is normative in PROTOCOL.md §9): ``corrupt``, ``unknown``,
+    ``oversize``, ``future_epoch``, ``bad_json``, ``not_object``,
+    ``line_too_long``, ``idle_timeout``, ``too_many_connections``,
+    ``rate_limited``, ``handler_error``.  The plain dict always counts
+    (reports and gates read it even under :class:`NullTelemetry`); the
+    labelled counter is emitted only when telemetry is enabled.
+    """
+
+    def __init__(self, telemetry=None) -> None:
+        self._tel = telemetry or NULL_TELEMETRY
+        self.reasons: dict[str, int] = {}
+
+    def reject(self, reason: str) -> None:
+        """Count one rejection under ``reason``."""
+        self.reasons[reason] = self.reasons.get(reason, 0) + 1
+        if self._tel.enabled:
+            self._tel.metrics.counter(
+                "frames_rejected_total", {"reason": reason}
+            ).inc()
+
+    @property
+    def total(self) -> int:
+        """Rejections across every reason."""
+        return sum(self.reasons.values())
+
+    def as_dict(self) -> dict[str, int]:
+        """The ledger as a reason-sorted plain dict (reports)."""
+        return dict(sorted(self.reasons.items()))
+
+
 class BatchDatagramReceiver:
     """Drains a non-blocking UDP socket in batches off the event loop.
 
@@ -146,6 +189,9 @@ class BatchDatagramReceiver:
         chunk: Max datagrams drained per reader wakeup.  Bounding the
             drain keeps one flood from starving the loop's other tasks
             (the TCP query server most of all).
+        on_oversize: Optional callback invoked (no arguments) for each
+            datagram dropped before decode for exceeding
+            :data:`MAX_DATAGRAM_BYTES` -- the poison ledger's hook.
 
     Call :meth:`install` with the running loop; :meth:`close` removes
     the reader.  The socket's lifetime belongs to the caller.
@@ -157,11 +203,13 @@ class BatchDatagramReceiver:
         on_datagram: Callable[[bytes, tuple], None],
         counters: WireCounters | None = None,
         chunk: int = 2000,
+        on_oversize: Callable[[], None] | None = None,
     ) -> None:
         self._sock = sock
         self._on_datagram = on_datagram
         self.counters = counters if counters is not None else WireCounters()
         self._chunk = chunk
+        self._on_oversize = on_oversize
         self._loop = None
 
     def install(self, loop) -> None:
@@ -190,5 +238,7 @@ class BatchDatagramReceiver:
             counters.bytes_received += len(data)
             if len(data) > MAX_DATAGRAM_BYTES:
                 counters.frames_oversize += 1
+                if self._on_oversize is not None:
+                    self._on_oversize()
                 continue
             on_datagram(data, addr)

@@ -98,6 +98,7 @@ class _FleetSocket:
         self._receiver: BatchDatagramReceiver | None = None
         self._server_addr: tuple[str, int] | None = None
         self._ack_buf: list[bytes] = []
+        self._shaper = None
 
     def open(self, loop, server_addr: tuple[str, int]) -> tuple[str, int]:
         if self._sock is not None:
@@ -129,18 +130,40 @@ class _FleetSocket:
         self._ack_buf = []
         return out
 
+    def install_shaper(self, shaper) -> None:
+        """Route sends through ``shaper(payload, addr, raw_send)``.
+
+        The chaos transport's fleet-side seam, mirroring
+        :meth:`~repro.wire.server.WireServer.install_send_shaper`: the
+        shaper calls ``raw_send`` for every datagram that genuinely hits
+        the socket, so sent counters never count dropped shapes.
+        ``None`` uninstalls.
+        """
+        self._shaper = shaper
+
+    def _raw_send(self, payload: bytes, addr: tuple) -> None:
+        """Socket-level send; tolerant of post-close delayed releases."""
+        if self._sock is None:
+            self.counters.send_failures += 1
+            return
+        try:
+            self._sock.sendto(payload, addr)
+        except (BlockingIOError, OSError):
+            self.counters.send_failures += 1
+            return
+        self.counters.datagrams_sent += 1
+        self.counters.bytes_sent += len(payload)
+
     def send(self, payload: bytes) -> bool:
         """Transmit one datagram to the server; False on send failure."""
         if self._sock is None or self._server_addr is None:
             raise ConfigurationError("fleet socket is not open")
-        try:
-            self._sock.sendto(payload, self._server_addr)
-        except (BlockingIOError, OSError):
-            self.counters.send_failures += 1
-            return False
-        self.counters.datagrams_sent += 1
-        self.counters.bytes_sent += len(payload)
-        return True
+        if self._shaper is not None:
+            self._shaper(payload, self._server_addr, self._raw_send)
+            return True
+        before = self.counters.send_failures
+        self._raw_send(payload, self._server_addr)
+        return self.counters.send_failures == before
 
 
 class LiteFleet:
@@ -189,6 +212,7 @@ class LiteFleet:
         self.pending_attempt = np.zeros(n, dtype=np.int64)
         self.last_send = np.full(n, -1, dtype=np.int64)
         self.needs_resync = np.zeros(n, dtype=bool)
+        self.acked_seq = np.full(n, -1, dtype=np.int64)
         self.delta_scale = np.ones(n)
         self._transport = TransportPolicy(
             ack_timeout_ticks=config.ack_timeout_ticks,
@@ -231,6 +255,24 @@ class LiteFleet:
         """Close the shared socket and deregister the ack receiver."""
         self._net.close()
 
+    def install_send_shaper(self, shaper) -> None:
+        """Route fleet transmissions through a chaos shaper."""
+        self._net.install_shaper(shaper)
+
+    def acked_high(self) -> dict[str, int]:
+        """Per-source highest cumulative ack the fleet has *received*.
+
+        ``ack.seq`` carries the server's next expected sequence, so this
+        is exactly the set of updates the fleet may consider durable --
+        the zero-acked-loss drill compares it against the restored
+        server's ``expected_seq`` per source.  Sources never acked are
+        omitted.
+        """
+        return {
+            self.source_ids[slot]: int(self.acked_seq[slot])
+            for slot in np.flatnonzero(self.acked_seq >= 0)
+        }
+
     def apply_scales(self, changes: dict[str, float]) -> None:
         """Backpressure actuator: δ-widening thins the update rate.
 
@@ -267,6 +309,8 @@ class LiteFleet:
         if ack.resync_requested:
             self.needs_resync[slot] = True
             self.resyncs_requested += 1
+        if ack.seq > self.acked_seq[slot]:
+            self.acked_seq[slot] = ack.seq
         acked = ack.seq  # cumulative: everything below this is settled
         if acked >= self.next_seq[slot]:
             self.pending[slot] = -1
@@ -465,6 +509,7 @@ class StepperFleet:
         self._slot = {sid: i for i, sid in enumerate(self.source_ids)}
         self._net = _FleetSocket(config)
         self._frame_index = 0
+        self.acked_seq = np.full(config.sources, -1, dtype=np.int64)
         self.corrupts_injected = 0
         self.acks_received = 0
 
@@ -492,6 +537,17 @@ class StepperFleet:
         """Close the shared socket and deregister the ack receiver."""
         self._net.close()
 
+    def install_send_shaper(self, shaper) -> None:
+        """Route fleet transmissions through a chaos shaper."""
+        self._net.install_shaper(shaper)
+
+    def acked_high(self) -> dict[str, int]:
+        """Per-source highest cumulative ack received (see LiteFleet)."""
+        return {
+            self.source_ids[slot]: int(self.acked_seq[slot])
+            for slot in np.flatnonzero(self.acked_seq >= 0)
+        }
+
     def apply_scales(self, changes: dict[str, float]) -> None:
         """Backpressure actuator: real δ-widening on each endpoint."""
         for source_id, scale in changes.items():
@@ -516,6 +572,8 @@ class StepperFleet:
                 slot = self._slot.get(message.source_id)
                 if slot is not None:
                     self.acks_received += 1
+                    if message.seq > self.acked_seq[slot]:
+                        self.acked_seq[slot] = message.seq
                     self._steppers[slot].on_ack(message, tick)
 
     def settle(self, tick: int) -> None:

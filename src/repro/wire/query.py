@@ -16,6 +16,15 @@ One request per line, one JSON object per response line.  Operations:
 Unknown ops and unknown sources answer with an ``error`` field rather
 than dropping the connection; protocol errors on one line never poison
 the next.
+
+Adversarial-input posture (PROTOCOL.md §9): every connection carries a
+per-read idle deadline (the slow-loris guard), admissions past
+``query_max_connections`` get one error line and an immediate close,
+each peer address is governed by a token bucket when
+``query_rate_limit_per_s`` is set, and *no* request -- malformed,
+hostile or merely unlucky -- may raise past :meth:`QueryServer.
+dispatch_line`.  Every refusal lands in the shared
+:class:`~repro.wire.datagram.PoisonLedger` under a typed reason.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ import json
 from repro.errors import UnknownSourceError
 from repro.obs.telemetry import NULL_TELEMETRY
 from repro.wire.config import WireConfig
+from repro.wire.datagram import PoisonLedger
 from repro.wire.server import WireServer
 
 __all__ = ["QueryServer", "query_line"]
@@ -42,24 +52,39 @@ class QueryServer:
         config: The wire runtime configuration (tick-to-ms mapping).
         telemetry: Observability handle; every served answer records its
             wall-clock staleness (``unit="ms"``).
+        poison: Shared typed-rejection ledger.  Defaults to a private
+            one; the runtime passes the wire server's so UDP and TCP
+            refusals land in one ``frames_rejected_total`` family.
     """
 
     def __init__(
-        self, wire: WireServer, config: WireConfig, telemetry=None
+        self,
+        wire: WireServer,
+        config: WireConfig,
+        telemetry=None,
+        poison: PoisonLedger | None = None,
     ) -> None:
         self._wire = wire
         self._config = config
         self._tel = telemetry or NULL_TELEMETRY
+        self.poison = (
+            poison if poison is not None else PoisonLedger(telemetry)
+        )
         self._server: asyncio.AbstractServer | None = None
         self._handlers: set[asyncio.Task] = set()
+        self._buckets: dict[str, tuple[float, float]] = {}
         self.queries_served = 0
 
-    async def start(self) -> tuple[str, int]:
-        """Bind and start serving; returns the bound ``(host, port)``."""
+    async def start(self, port: int | None = None) -> tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``.
+
+        ``port`` overrides the configured TCP port -- the hot-restart
+        path uses it to come back on the exact endpoint clients hold.
+        """
         self._server = await asyncio.start_server(
             self._handle,
             self._config.host,
-            self._config.tcp_port,
+            self._config.tcp_port if port is None else port,
             limit=_MAX_LINE_BYTES,
         )
         return self._server.sockets[0].getsockname()
@@ -90,16 +115,36 @@ class QueryServer:
             self._handlers.add(task)
             task.add_done_callback(self._handlers.discard)
         try:
+            if len(self._handlers) > self._config.query_max_connections:
+                self.poison.reject("too_many_connections")
+                writer.write(b'{"error": "too many connections"}\n')
+                await writer.drain()
+                return
+            peername = writer.get_extra_info("peername")
+            peer = peername[0] if peername else "?"
             while True:
                 try:
-                    line = await reader.readline()
+                    line = await asyncio.wait_for(
+                        reader.readline(),
+                        self._config.query_idle_timeout_s,
+                    )
+                except asyncio.TimeoutError:
+                    self.poison.reject("idle_timeout")
+                    writer.write(b'{"error": "idle timeout"}\n')
+                    await writer.drain()
+                    break
                 except (asyncio.LimitOverrunError, ValueError):
+                    self.poison.reject("line_too_long")
                     writer.write(b'{"error": "line too long"}\n')
                     await writer.drain()
                     break
                 if not line:
                     break
-                response = self.dispatch_line(line)
+                if self._admit(peer):
+                    response = self.dispatch_line(line)
+                else:
+                    self.poison.reject("rate_limited")
+                    response = {"error": "rate limited"}
                 writer.write(
                     json.dumps(response, separators=(",", ":")).encode()
                     + b"\n"
@@ -120,29 +165,63 @@ class QueryServer:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
+    # Admission ------------------------------------------------------------
+
+    def _admit(self, peer: str) -> bool:
+        """Per-peer token bucket; always admits when rate limiting is off."""
+        rate = self._config.query_rate_limit_per_s
+        if rate <= 0:
+            return True
+        burst = self._config.query_rate_burst
+        now = asyncio.get_running_loop().time()
+        tokens, last = self._buckets.get(peer, (burst, now))
+        tokens = min(burst, tokens + (now - last) * rate)
+        if tokens < 1.0:
+            self._buckets[peer] = (tokens, now)
+            return False
+        self._buckets[peer] = (tokens - 1.0, now)
+        return True
+
     # Dispatch -------------------------------------------------------------
 
     def dispatch_line(self, line: bytes) -> dict:
-        """Parse and serve one request line (exposed for direct tests)."""
+        """Parse and serve one request line (exposed for direct tests).
+
+        Total: every failure mode maps to an ``error`` response and a
+        poison-ledger entry.  ``RecursionError`` is a real input class
+        here -- a deeply nested JSON array overflows the parser's stack
+        long before it overflows memory -- and the final catch-all keeps
+        an unforeseen handler bug on *this* line from poisoning the
+        connection or the event loop.
+        """
         try:
             request = json.loads(line)
-        except json.JSONDecodeError:
+        except RecursionError:
+            self.poison.reject("bad_json")
+            return {"error": "request is too deeply nested"}
+        except (json.JSONDecodeError, ValueError):
+            self.poison.reject("bad_json")
             return {"error": "request is not valid JSON"}
         if not isinstance(request, dict):
+            self.poison.reject("not_object")
             return {"error": "request must be a JSON object"}
         op = request.get("op")
         self.queries_served += 1
-        if op == "ping":
-            return {"ok": True, "tick": self._wire.dkf.clock}
-        if op == "answer":
-            return self._answer(request)
-        if op == "answers":
-            return self._answers(request)
-        if op == "forecast":
-            return self._forecast(request)
-        if op == "stats":
-            return self._stats()
-        return {"error": f"unknown op {op!r}"}
+        try:
+            if op == "ping":
+                return {"ok": True, "tick": self._wire.dkf.clock}
+            if op == "answer":
+                return self._answer(request)
+            if op == "answers":
+                return self._answers(request)
+            if op == "forecast":
+                return self._forecast(request)
+            if op == "stats":
+                return self._stats()
+            return {"error": f"unknown op {op!r}"}
+        except Exception:
+            self.poison.reject("handler_error")
+            return {"error": "internal error"}
 
     def _answer(self, request: dict) -> dict:
         source_id = request.get("source_id")

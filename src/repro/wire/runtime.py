@@ -23,6 +23,17 @@ issuing ``answer`` requests round-robin across the fleet at
 ``query_rate`` per second, recording each round trip into
 ``wire_query_latency_ms`` -- the latency distribution the soak gate
 judges.
+
+Two robustness organs live here as well.  The :class:`StallWatchdog` is
+a heartbeat task that measures event-loop lag (how late its own wakeup
+fired), gauges it into ``wire_loop_lag_ms`` for the Kalman health
+watchers, and -- past the tick budget -- emits ``wire.stall`` and
+escalates one planned widening step through the OverloadController.
+And :meth:`AsyncRuntime.drain` / :meth:`AsyncRuntime.restart` implement
+the zero-loss hot-restart cycle: stop accepting, flush the inbox,
+checkpoint through the PR-3 machinery, close the sockets; then re-bind
+both endpoints on their old concrete addresses, recover bit-identically
+and let the resync handshake re-prime stragglers.
 """
 
 from __future__ import annotations
@@ -32,17 +43,89 @@ import itertools
 import json
 
 from repro.obs.telemetry import NULL_TELEMETRY
+from repro.resilience.checkpoint import CheckpointStore
 from repro.wire.config import WireConfig
 from repro.wire.fleet import LiteFleet
 from repro.wire.query import QueryServer
 from repro.wire.scheduler import Scheduler
 from repro.wire.server import WireServer
 
-__all__ = ["AsyncRuntime"]
+__all__ = ["AsyncRuntime", "StallWatchdog"]
 
 #: Extra drain passes after the last tick so in-flight datagrams and
 #: acks land before the books are closed.
 _SETTLE_ROUNDS = 3
+
+
+class StallWatchdog:
+    """Heartbeat task measuring how late its own wakeups fire.
+
+    Event-loop lag is the one overload signal no queue depth captures:
+    a synchronous stall (GC pause, a handler that forgot to yield, CPU
+    starvation) delays *everything* scheduled, including this task.
+    Each interval the watchdog records the overshoot as
+    ``wire_loop_lag_ms`` -- the gauge the ``loop_lag`` Kalman health
+    watcher consumes -- and when the lag breaches ``budget_ms`` it
+    counts ``wire_stalls_total``, emits a ``wire.stall`` event and
+    invokes ``on_stall(lag_ms)`` (the runtime escalates that to one
+    planned OverloadController widening step).
+
+    Args:
+        budget_ms: Lag past which a wakeup counts as a stall.
+        interval_s: Heartbeat period (a fraction of the tick length).
+        telemetry: Observability handle.
+        on_stall: Optional escalation callback ``(lag_ms) -> None``.
+    """
+
+    def __init__(
+        self,
+        budget_ms: float,
+        interval_s: float,
+        telemetry=None,
+        on_stall=None,
+    ) -> None:
+        self.budget_ms = budget_ms
+        self._interval = interval_s
+        self._tel = telemetry or NULL_TELEMETRY
+        self._on_stall = on_stall
+        self.beats = 0
+        self.stalls = 0
+        self.max_lag_ms = 0.0
+
+    async def run(self) -> None:
+        """Beat until cancelled (the runtime owns the task)."""
+        loop = asyncio.get_running_loop()
+        target = loop.time() + self._interval
+        while True:
+            await asyncio.sleep(max(0.0, target - loop.time()))
+            now = loop.time()
+            lag_ms = max(0.0, (now - target) * 1000.0)
+            target = now + self._interval
+            self.beats += 1
+            if lag_ms > self.max_lag_ms:
+                self.max_lag_ms = lag_ms
+            if self._tel.enabled:
+                self._tel.gauge("wire_loop_lag_ms", lag_ms)
+            if lag_ms > self.budget_ms:
+                self.stalls += 1
+                if self._tel.enabled:
+                    self._tel.count("wire_stalls_total")
+                    self._tel.emit(
+                        "wire.stall",
+                        lag_ms=round(lag_ms, 3),
+                        budget_ms=self.budget_ms,
+                    )
+                if self._on_stall is not None:
+                    self._on_stall(lag_ms)
+
+    def summary(self) -> dict[str, object]:
+        """Measured lag account (non-deterministic; report only)."""
+        return {
+            "beats": self.beats,
+            "stalls": self.stalls,
+            "max_lag_ms": round(self.max_lag_ms, 3),
+            "budget_ms": self.budget_ms,
+        }
 
 
 class AsyncRuntime(Scheduler):
@@ -63,6 +146,11 @@ class AsyncRuntime(Scheduler):
             per-tick checks at soak scale.
         dkf_telemetry: Optional handle for the server's per-source DKF
             counters (small fleets only; see :class:`WireServer`).
+        chaos: Optional chaos coordinator (:class:`~repro.wire.chaos.
+            ChaosCoordinator`).  When given, its ``install`` hook runs
+            once the sockets are open (shapers, fuzzers) and its
+            ``on_tick`` coroutine runs after every tick (fault pumps,
+            scheduled rebinds, the drain/restart drill).
     """
 
     backend = "wall-clock"
@@ -74,14 +162,17 @@ class AsyncRuntime(Scheduler):
         telemetry=None,
         watchdog=None,
         dkf_telemetry=None,
+        chaos=None,
     ) -> None:
         self._config = config
         self.fleet = fleet if fleet is not None else LiteFleet(config)
         self._tel = telemetry or NULL_TELEMETRY
         self._watchdog = watchdog
         self._dkf_tel = dkf_telemetry
+        self._chaos = chaos
         self.server: WireServer | None = None
         self.query: QueryServer | None = None
+        self.stall_watchdog: StallWatchdog | None = None
         self.udp_endpoint: tuple[str, int] | None = None
         self.tcp_endpoint: tuple[str, int] | None = None
         self.latencies_ms: list[float] = []
@@ -91,6 +182,8 @@ class AsyncRuntime(Scheduler):
         self.wall_seconds = 0.0
         self.primed = 0
         self.suspects = 0
+        self.drains = 0
+        self.restarts = 0
 
     # Scheduler contract ---------------------------------------------------
 
@@ -130,9 +223,21 @@ class AsyncRuntime(Scheduler):
             "query_p50_ms": pct(0.50),
             "query_p99_ms": pct(0.99),
             "query_max_ms": pct(1.0),
+            "drains": self.drains,
+            "restarts": self.restarts,
+            "stall_watchdog": (
+                self.stall_watchdog.summary()
+                if self.stall_watchdog is not None
+                else {}
+            ),
             "fleet": self.fleet.summary(),
             "server": (
                 self.server.counters.as_dict()
+                if self.server is not None
+                else {}
+            ),
+            "rejections": (
+                self.server.poison.as_dict()
                 if self.server is not None
                 else {}
             ),
@@ -151,6 +256,7 @@ class AsyncRuntime(Scheduler):
             dkf_telemetry=self._dkf_tel,
         )
         probe_task: asyncio.Task | None = None
+        stall_task: asyncio.Task | None = None
         try:
             self.udp_endpoint = self.server.open(loop)
             self.fleet.open(loop, self.udp_endpoint)
@@ -159,10 +265,26 @@ class AsyncRuntime(Scheduler):
                 self.fleet.dkf_config(),
                 self.fleet.transport_policy(),
             )
-            self.query = QueryServer(self.server, config, self._tel)
+            self.query = QueryServer(
+                self.server, config, self._tel,
+                poison=self.server.poison,
+            )
             self.tcp_endpoint = await self.query.start()
+            self.stall_watchdog = StallWatchdog(
+                budget_ms=(
+                    config.stall_budget_ms
+                    if config.stall_budget_ms is not None
+                    else config.tick_ms
+                ),
+                interval_s=min(max(config.tick_seconds / 4, 0.01), 0.25),
+                telemetry=self._tel,
+                on_stall=self._escalate_stall,
+            )
+            stall_task = asyncio.ensure_future(self.stall_watchdog.run())
             if config.query_rate > 0:
                 probe_task = asyncio.ensure_future(self._probe())
+            if self._chaos is not None:
+                self._chaos.install(self, loop)
 
             t0 = loop.time()
             for tick in range(1, config.ticks + 1):
@@ -174,6 +296,8 @@ class AsyncRuntime(Scheduler):
                     self.overruns += 1
                 await self.fleet.step_tick(tick)
                 await self.server.process_tick(tick)
+                if self._chaos is not None:
+                    await self._chaos.on_tick(tick, self)
                 if self._tel.enabled:
                     self._tel.set_tick(
                         int((loop.time() - t0) * 1000.0)
@@ -188,16 +312,82 @@ class AsyncRuntime(Scheduler):
             self.wall_seconds = loop.time() - t0
             self._close_books()
         finally:
-            if probe_task is not None:
-                probe_task.cancel()
-                try:
-                    await probe_task
-                except asyncio.CancelledError:
-                    pass
+            for task in (probe_task, stall_task):
+                if task is not None:
+                    task.cancel()
+                    try:
+                        await task
+                    except asyncio.CancelledError:
+                        pass
+            if self._chaos is not None:
+                await self._chaos.teardown(self)
             if self.query is not None:
                 await self.query.close()
             self.server.close()
             self.fleet.close()
+
+    def _escalate_stall(self, lag_ms: float) -> None:
+        """Stall escalation: one planned widening step, applied now."""
+        if self.server is None:
+            return
+        changes = self.server.overload.plan_widen(self.ticks_run, 1)
+        if changes:
+            self.fleet.apply_scales(changes)
+
+    # Drain / hot restart --------------------------------------------------
+
+    async def drain(self, checkpoint_dir: str | None = None) -> dict:
+        """Zero-loss drain: stop intake, flush, checkpoint, close.
+
+        Ordering is the whole proof.  (1) The receiver deregisters, so
+        no new datagram can be accepted -- anything arriving now dies in
+        the kernel and is, by definition, unacknowledged.  (2) The query
+        listener closes.  (3) The inbox is flushed to exhaustion, so
+        every datagram the runtime ever *accepted* reaches the DKF and
+        its ack hits the wire.  (4) The checkpoint is cut *after* that
+        flush -- the last state change before close -- so any ack the
+        fleet has ever received satisfies ``ack.seq <= checkpointed
+        expected_seq``.  (5) Sockets close.  Returns the snapshot, and
+        persists it through the PR-3 :class:`CheckpointStore` (WAL
+        machinery included) when ``checkpoint_dir`` is given.
+        """
+        server = self.server
+        server.stop_receiving()
+        if self.query is not None:
+            await self.query.close()
+            self.query = None
+        server.flush_inbox()
+        snapshot = server.checkpoint_snapshot(self.ticks_run)
+        if checkpoint_dir is not None:
+            CheckpointStore(checkpoint_dir).save(snapshot)
+        server.close()
+        self.drains += 1
+        if self._tel.enabled:
+            self._tel.emit("wire.drain", at_tick=self.ticks_run)
+        return snapshot
+
+    async def restart(self, snapshot: dict) -> None:
+        """Hot restart: re-bind old endpoints, recover, re-prime.
+
+        The UDP socket and TCP listener come back on the exact concrete
+        addresses they had before :meth:`drain` (UDP has no TIME_WAIT;
+        the TCP listener was closed cleanly), so the fleet's frames and
+        the probe's reconnects land without reconfiguration.  The DKF
+        state is rebuilt bit-identically from the snapshot; sources the
+        checkpoint missed re-prime through the ordinary resync
+        handshake once their ack deadlines fire.
+        """
+        loop = asyncio.get_running_loop()
+        server = self.server
+        server.restore(snapshot)
+        server.open(loop, self.udp_endpoint)
+        self.query = QueryServer(
+            server, self._config, self._tel, poison=server.poison
+        )
+        await self.query.start(port=self.tcp_endpoint[1])
+        self.restarts += 1
+        if self._tel.enabled:
+            self._tel.emit("wire.restart", at_tick=self.ticks_run)
 
     def _close_books(self) -> None:
         dkf = self.server.dkf

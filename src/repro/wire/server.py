@@ -34,6 +34,7 @@ from repro.dkf.protocol import (
 from repro.dkf.server import DKFServer
 from repro.errors import ConfigurationError, CorruptMessageError
 from repro.obs.telemetry import NULL_TELEMETRY
+from repro.resilience.checkpoint import CHECKPOINT_SCHEMA
 from repro.resilience.supervisor import (
     BoundedInbox,
     OverloadController,
@@ -42,6 +43,7 @@ from repro.resilience.supervisor import (
 from repro.wire.config import WireConfig
 from repro.wire.datagram import (
     BatchDatagramReceiver,
+    PoisonLedger,
     WireCounters,
     open_udp_socket,
 )
@@ -103,26 +105,40 @@ class WireServer:
         self._state_dim = config.state_dim
         self._sock: socket.socket | None = None
         self._receiver: BatchDatagramReceiver | None = None
+        self._send_shaper = None
+        self._dkf_telemetry = dkf_telemetry or NULL_TELEMETRY
+        self._fleet_dkf_config: DKFConfig | None = None
+        self._fleet_transport: TransportPolicy | None = None
+        self.poison = PoisonLedger(self._tel)
 
     # Lifecycle ------------------------------------------------------------
 
-    def open(self, loop) -> tuple[str, int]:
+    def open(
+        self, loop, endpoint: tuple[str, int] | None = None
+    ) -> tuple[str, int]:
         """Bind the UDP socket and install the batch receiver.
 
+        ``endpoint`` overrides the configured ``(host, udp_port)`` --
+        the restart path passes the previously bound concrete address so
+        the fleet's datagrams keep landing where they always did.
         Returns the bound ``(host, port)`` (useful with port 0).
         """
         if self._sock is not None:
             raise ConfigurationError("wire server is already open")
+        host, port = (
+            endpoint
+            if endpoint is not None
+            else (self._config.host, self._config.udp_port)
+        )
         self._sock = open_udp_socket(
-            self._config.host,
-            self._config.udp_port,
-            self._config.socket_buffer_bytes,
+            host, port, self._config.socket_buffer_bytes
         )
         self._receiver = BatchDatagramReceiver(
             self._sock,
             self._on_datagram,
             counters=self.counters,
             chunk=self._config.recv_chunk,
+            on_oversize=lambda: self.poison.reject("oversize"),
         )
         self._receiver.install(loop)
         return self._sock.getsockname()
@@ -135,6 +151,27 @@ class WireServer:
         if self._sock is not None:
             self._sock.close()
             self._sock = None
+
+    def rebind(self, loop) -> tuple[str, int]:
+        """Close and immediately re-open on the same concrete endpoint.
+
+        The chaos drill's mid-run socket bounce: datagrams in flight
+        while the socket is down are genuinely lost (UDP's contract) and
+        surface as the kernel-drop residual, never as a counter leak.
+        """
+        endpoint = self.endpoint
+        self.close()
+        return self.open(loop, endpoint)
+
+    def stop_receiving(self) -> None:
+        """Deregister the reader but keep the socket (drain phase 1).
+
+        Acks for already-queued frames can still be sent; new datagrams
+        accumulate in the kernel buffer and die with the socket.
+        """
+        if self._receiver is not None:
+            self._receiver.close()
+            self._receiver = None
 
     @property
     def endpoint(self) -> tuple[str, int]:
@@ -175,7 +212,14 @@ class WireServer:
         config: DKFConfig,
         transport: TransportPolicy | None = None,
     ) -> None:
-        """Bulk registration; rebuilds the hash index once at the end."""
+        """Bulk registration; rebuilds the hash index once at the end.
+
+        The fleet's DKF config and transport policy are retained so
+        :meth:`restore` can re-register the same fleet bit-identically
+        after a drain/restart cycle.
+        """
+        self._fleet_dkf_config = config
+        self._fleet_transport = transport
         for source_id in source_ids:
             self.dkf.register(source_id, config, transport)
             self._overload.register(source_id, 0, config.min_delta)
@@ -228,11 +272,23 @@ class WireServer:
             )
         except CorruptMessageError:
             counters.frames_corrupt += 1
+            self.poison.reject("corrupt")
             if self._tel.enabled:
                 self._tel.count("wire_frames_corrupt_total")
             return
         except (ConfigurationError, ValueError, struct.error):
             counters.frames_unknown += 1
+            self.poison.reject("unknown")
+            if self._tel.enabled:
+                self._tel.count("wire_frames_unknown_total")
+            return
+        if message.k > self.dkf.clock + self._config.max_future_ticks:
+            # Intact CRC but a sampling instant far past the server's
+            # clock: a forged or replayed-from-the-future frame, not a
+            # straggler.  Conservation-wise it lands in the unknown
+            # bucket; the ledger records the sharper reason.
+            counters.frames_unknown += 1
+            self.poison.reject("future_epoch")
             if self._tel.enabled:
                 self._tel.count("wire_frames_unknown_total")
             return
@@ -242,22 +298,119 @@ class WireServer:
         self._addrs[message.source_id] = addr
         self.dkf.receive(message)
 
+    def flush_inbox(self) -> int:
+        """Decode and apply *everything* queued, ignoring the tick budget.
+
+        The drain path's inbox flush: after :meth:`stop_receiving`, the
+        inbox is finite and this empties it synchronously so the
+        checkpoint cut sees every datagram the runtime ever accepted.
+        Returns the number of datagrams applied.
+        """
+        processed = 0
+        while True:
+            batch = self._inbox.drain(_DECODE_CHUNK)
+            if not batch:
+                break
+            for data, addr in batch:
+                self._apply_datagram(data, addr)
+            processed += len(batch)
+        self._flush_acks()
+        return processed
+
+    # Send path ------------------------------------------------------------
+
+    def install_send_shaper(self, shaper) -> None:
+        """Route outbound datagrams through ``shaper(payload, addr, send)``.
+
+        The chaos transport's server-side seam: the shaper decides what
+        actually reaches the wire (drop, duplicate, delay, corrupt) and
+        calls the passed ``send`` for each real emission, so the sent
+        counters always reflect datagrams that genuinely hit the socket.
+        ``None`` uninstalls.
+        """
+        self._send_shaper = shaper
+
+    def _raw_send(self, payload: bytes, addr: tuple) -> None:
+        """Put one datagram on the socket and account for it.
+
+        Tolerates a closed socket: a chaos shaper's delayed release can
+        fire after teardown, where the right behaviour is to count a
+        send failure, not raise into the event loop.
+        """
+        if self._sock is None:
+            self.counters.send_failures += 1
+            return
+        try:
+            self._sock.sendto(payload, addr)
+        except (BlockingIOError, OSError):
+            self.counters.send_failures += 1
+            return
+        self.counters.datagrams_sent += 1
+        self.counters.bytes_sent += len(payload)
+
+    def _send(self, payload: bytes, addr: tuple) -> None:
+        if self._send_shaper is not None:
+            self._send_shaper(payload, addr, self._raw_send)
+        else:
+            self._raw_send(payload, addr)
+
     def _flush_acks(self) -> None:
         """Encode and send every queued ack to its source's last address."""
         acks = self.dkf.take_outbox()
         if not acks or self._sock is None:
             return
-        counters = self.counters
-        sendto = self._sock.sendto
         for ack in acks:
             addr = self._addrs.get(ack.source_id)
             if addr is None:
                 continue
-            payload = encode_message(ack)
-            try:
-                sendto(payload, addr)
-            except (BlockingIOError, OSError):
-                counters.send_failures += 1
-                continue
-            counters.datagrams_sent += 1
-            counters.bytes_sent += len(payload)
+            self._send(encode_message(ack), addr)
+
+    # Checkpoint / restore -------------------------------------------------
+
+    def checkpoint_snapshot(self, tick: int) -> dict:
+        """A PR-3 ``repro.ckpt-v1`` snapshot of the full DKF state.
+
+        Cut *after* the final inbox flush so it reflects every update
+        the server ever acknowledged; :func:`~repro.resilience.
+        checkpoint.validate_checkpoint` accepts it as-is.
+        """
+        return {
+            "schema": CHECKPOINT_SCHEMA,
+            "tick": int(tick),
+            "server_clock": int(self.dkf.clock),
+            "sources": {
+                source_id: self.dkf.export_source_state(source_id)
+                for source_id in self.dkf.source_ids
+            },
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Rebuild the inner DKF server bit-identically from a snapshot.
+
+        Requires a prior :meth:`register_fleet` (the fleet's DKF config
+        and transport policy are not in the snapshot, matching the PR-3
+        recovery flow where the engine re-registers from its configs).
+        The hash index, shed tracking and last-seen addresses survive in
+        this object; only the protocol/filter state is rebuilt.
+        """
+        if self._fleet_dkf_config is None:
+            raise ConfigurationError(
+                "restore requires a prior register_fleet"
+            )
+        dkf = DKFServer(
+            strict=False,
+            emit_acks=True,
+            telemetry=self._dkf_telemetry,
+        )
+        for source_id, state in snapshot["sources"].items():
+            dkf.register(
+                source_id, self._fleet_dkf_config, self._fleet_transport
+            )
+            dkf.import_source_state(source_id, state)
+        dkf.advance_clock(int(snapshot["server_clock"]))
+        self.dkf = dkf
+        self._index = build_source_index(self.dkf.source_ids)
+        # A genuinely restarted process would not remember peer
+        # addresses; drop them so acks only flow once a source has
+        # re-contacted this incarnation (its next frame carries addr).
+        self._addrs.clear()

@@ -51,8 +51,16 @@ def _build_fleet(config: WireConfig, kind: str):
     raise ConfigurationError(f"unknown fleet kind {kind!r}")
 
 
-def _conservation(runtime: AsyncRuntime) -> dict[str, object]:
-    """Both endpoints' books plus the cross-endpoint residuals."""
+def _conservation(
+    runtime: AsyncRuntime, extra_data_sent: int = 0
+) -> dict[str, object]:
+    """Both endpoints' books plus the cross-endpoint residuals.
+
+    ``extra_data_sent`` counts datagrams offered to the server by
+    senders *other than the fleet* -- the chaos run's fuzz barrage --
+    without which the data-direction residual would go negative (the
+    server legitimately receives more than the fleet sent).
+    """
     server = runtime.server.counters
     fleet = runtime.fleet.counters
     inbox_left = runtime.server.inbox_depth
@@ -66,7 +74,10 @@ def _conservation(runtime: AsyncRuntime) -> dict[str, object]:
     )
     # Kernel drops are invisible to both ledgers; they surface only as
     # the non-negative residual sent - received per direction.
-    data_residual = fleet.datagrams_sent - server.datagrams_received
+    data_residual = (
+        fleet.datagrams_sent + extra_data_sent
+        - server.datagrams_received
+    )
     ack_residual = server.datagrams_sent - fleet.datagrams_received
     fleet_accounted = (
         fleet.frames_decoded

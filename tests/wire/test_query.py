@@ -126,6 +126,118 @@ def test_dispatch_rejects_garbage_without_dropping_state():
     assert query.dispatch_line(b'{"op": "ping"}')["ok"] is True
 
 
+def test_dispatch_non_object_json_is_typed_rejection():
+    # Valid JSON that is not an object must answer with an error and a
+    # typed not_object ledger entry -- never raise, never be treated as
+    # a request (pins the adversarial-input contract).
+    config, server = _served_server()
+    query = QueryServer(server, config)
+    for line in (b"[1, 2, 3]", b'"just a string"', b"42", b"null"):
+        out = query.dispatch_line(line)
+        assert out == {"error": "request must be a JSON object"}
+    assert query.poison.reasons["not_object"] == 4
+    # Malformed and pathologically nested JSON land under bad_json.
+    assert "error" in query.dispatch_line(b'{"op": "ping"')
+    assert "nested" in query.dispatch_line(
+        b"[" * 50_000 + b"]" * 50_000
+    )["error"]
+    assert query.poison.reasons["bad_json"] == 2
+
+
+def test_idle_timeout_evicts_slow_loris():
+    asyncio.run(_idle_timeout_case())
+
+
+async def _idle_timeout_case():
+    config, server = _served_server()
+    config = WireConfig(
+        sources=1, ticks=8, ramp_ticks=1, tick_seconds=0.5,
+        query_idle_timeout_s=0.2,
+    )
+    query = QueryServer(server, config)
+    host, port = await query.start()
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(b'{"op": "ans')  # half a request, then silence
+        await writer.drain()
+        # The server owes us one error line and then EOF, well before a
+        # 30 s default would allow.
+        line = await asyncio.wait_for(reader.readline(), 5.0)
+        assert json.loads(line) == {"error": "idle timeout"}
+        assert await asyncio.wait_for(reader.read(), 5.0) == b""
+        writer.close()
+        await writer.wait_closed()
+        assert query.poison.reasons["idle_timeout"] == 1
+    finally:
+        await query.close()
+
+
+def test_connection_cap_rejects_excess_admissions():
+    asyncio.run(_connection_cap_case())
+
+
+async def _connection_cap_case():
+    config, server = _served_server()
+    config = WireConfig(
+        sources=1, ticks=8, ramp_ticks=1, tick_seconds=0.5,
+        query_max_connections=1,
+    )
+    query = QueryServer(server, config)
+    host, port = await query.start()
+    try:
+        r1, w1 = await asyncio.open_connection(host, port)
+        w1.write(b'{"op": "ping"}\n')
+        await w1.drain()
+        assert json.loads(await r1.readline())["ok"] is True
+        # Second concurrent connection: one error line, then close.
+        r2, w2 = await asyncio.open_connection(host, port)
+        line = await asyncio.wait_for(r2.readline(), 5.0)
+        assert json.loads(line) == {"error": "too many connections"}
+        assert await asyncio.wait_for(r2.read(), 5.0) == b""
+        for writer in (w1, w2):
+            writer.close()
+            await writer.wait_closed()
+        assert query.poison.reasons["too_many_connections"] == 1
+        # The capped peer did not poison service for the survivor: a
+        # fresh connection after w2 closes is admitted again.
+        pong = await query_line(host, port, {"op": "ping"})
+        assert pong["ok"] is True
+    finally:
+        await query.close()
+
+
+def test_rate_limit_token_bucket_per_peer():
+    asyncio.run(_rate_limit_case())
+
+
+async def _rate_limit_case():
+    config, server = _served_server()
+    config = WireConfig(
+        sources=1, ticks=8, ramp_ticks=1, tick_seconds=0.5,
+        query_rate_limit_per_s=0.001, query_rate_burst=2.0,
+    )
+    query = QueryServer(server, config)
+    host, port = await query.start()
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+        replies = []
+        for _ in range(4):
+            writer.write(b'{"op": "ping"}\n')
+            await writer.drain()
+            replies.append(json.loads(await reader.readline()))
+        # Burst of 2 admitted, refill is negligible: the rest are typed
+        # refusals on a connection that stays open.
+        assert [r.get("ok") for r in replies[:2]] == [True, True]
+        assert all(
+            r == {"error": "rate limited"} for r in replies[2:]
+        )
+        assert query.poison.reasons["rate_limited"] == 2
+        writer.close()
+        await writer.wait_closed()
+    finally:
+        await query.close()
+
+
 def test_query_over_real_tcp_socket():
     asyncio.run(_tcp_roundtrip())
 
